@@ -1,0 +1,78 @@
+// Ablation: constellation geometry and who gets covered. Starlink's
+// 53-deg-heavy delta shells, OneWeb's polar star, and Kuiper's three-
+// inclination mix distribute the same per-satellite capacity very
+// differently across latitudes — the fleet-scale version of Fig 4c's
+// "inclination diversity buys coverage".
+#include "bench_common.hpp"
+#include "constellation/fleets.hpp"
+#include "util/stats.hpp"
+
+using namespace mpleo;
+
+int main(int argc, char** argv) {
+  sim::Scenario defaults;
+  defaults.runs = 5;
+  defaults.duration_s = 2.0 * 86400.0;
+  const sim::Scenario scenario = bench::start(
+      argc, argv, "Ablation: fleet geometry vs who gets covered",
+      "polar stars serve high latitudes; low-inclination shells serve the "
+      "tropics; mixes interpolate",
+      defaults);
+
+  const cov::CoverageEngine engine(scenario.grid(), scenario.elevation_mask_deg);
+
+  struct Probe {
+    const char* name;
+    double lat, lon;
+  };
+  const Probe probes[] = {
+      {"Singapore (1N)", 1.35, 103.8},
+      {"Taipei (25N)", 25.03, 121.56},
+      {"London (51N)", 51.5, -0.13},
+      {"Reykjavik (64N)", 64.1, -21.9},
+      {"Svalbard (78N)", 78.2, 15.6},
+  };
+  std::vector<cov::GroundSite> sites;
+  for (const Probe& p : probes) {
+    sites.push_back({p.name, orbit::TopocentricFrame(
+                                 orbit::Geodetic::from_degrees(p.lat, p.lon)), 1.0});
+  }
+
+  struct Fleet {
+    const char* name;
+    std::vector<constellation::Satellite> catalog;
+  };
+  const Fleet fleets[] = {
+      {"Starlink (53-deg heavy)",
+       constellation::build_starlink_catalog(scenario.epoch)},
+      {"OneWeb (polar star)",
+       constellation::build_catalog(constellation::oneweb_shells(), scenario.epoch)},
+      {"Kuiper (3-inclination)",
+       constellation::build_catalog(constellation::kuiper_shells(), scenario.epoch)},
+  };
+
+  constexpr std::size_t kSampleSize = 200;
+  util::Table table({"fleet (200-sat sample)", "Singapore", "Taipei", "London",
+                     "Reykjavik", "Svalbard"});
+  util::Xoshiro256PlusPlus rng(scenario.seed);
+
+  for (const Fleet& fleet : fleets) {
+    std::vector<util::RunningStats> covered(sites.size());
+    for (std::size_t run = 0; run < scenario.runs; ++run) {
+      util::Xoshiro256PlusPlus run_rng = rng.split(run);
+      const auto sample =
+          constellation::sample_satellites(fleet.catalog, kSampleSize, run_rng);
+      for (std::size_t j = 0; j < sites.size(); ++j) {
+        covered[j].add(
+            engine.stats(engine.coverage_mask(sample, sites[j].frame)).covered_fraction);
+      }
+    }
+    std::vector<std::string> row{fleet.name};
+    for (const auto& stats : covered) row.push_back(util::Table::pct(stats.mean()));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nan MP-LEO that lets parties pick diverse inclinations (Fig 4c's\n"
+              "incentive) naturally interpolates between these columns.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation (§1-2, the sharing argument on the traffic axis): demand is
+// diurnal, so a satellite's busy hour over Tokyo is its idle hour over New
+// York. Pooling capacity across time zones serves the same demand with less
+// capacity — or the same capacity with fewer drops.
+//
+// Model: two regions 10 time zones apart offer diurnal load into (a) two
+// dedicated half-capacity pipes vs (b) one shared full-capacity pipe.
+#include "bench_common.hpp"
+#include "net/queueing.hpp"
+#include "net/traffic.hpp"
+
+using namespace mpleo;
+
+int main(int argc, char** argv) {
+  sim::Scenario defaults;
+  defaults.duration_s = 2.0 * 86400.0;
+  defaults.step_s = 300.0;
+  const sim::Scenario scenario = bench::start(
+      argc, argv, "Ablation: time-zone multiplexing of shared capacity",
+      "shared pool serves anti-correlated regional peaks better than "
+      "dedicated splits",
+      defaults);
+
+  const orbit::TimeGrid grid = scenario.grid();
+  net::DiurnalProfile profile;
+  profile.base_bps = 30e6;
+  profile.peak_bps = 150e6;
+
+  const double lon_tokyo = util::deg_to_rad(139.65);
+  const double lon_nyc = util::deg_to_rad(-74.01);
+
+  std::vector<double> tokyo(grid.count), nyc(grid.count), combined(grid.count);
+  for (std::size_t i = 0; i < grid.count; ++i) {
+    const orbit::TimePoint t = grid.at(i);
+    tokyo[i] = net::diurnal_demand_bps(profile, t, lon_tokyo);
+    nyc[i] = net::diurnal_demand_bps(profile, t, lon_nyc);
+    combined[i] = tokyo[i] + nyc[i];
+  }
+
+  util::Table table({"total capacity (Mbps)", "dedicated delivered %",
+                     "shared delivered %", "dedicated mean delay",
+                     "shared mean delay"});
+  net::QueueConfig queue_cfg;
+  queue_cfg.buffer_bytes = 256e6;
+
+  for (const double capacity_mbps : {120.0, 160.0, 200.0, 260.0}) {
+    // Dedicated: each region gets half the pool.
+    const std::vector<double> half(grid.count, capacity_mbps / 2.0 * 1e6);
+    const net::QueueStats ded_tokyo =
+        net::simulate_fifo_queue(tokyo, half, grid.step_seconds, queue_cfg);
+    const net::QueueStats ded_nyc =
+        net::simulate_fifo_queue(nyc, half, grid.step_seconds, queue_cfg);
+    const double ded_delivered =
+        (ded_tokyo.delivered_bytes + ded_nyc.delivered_bytes) /
+        (ded_tokyo.offered_bytes + ded_nyc.offered_bytes);
+    const double ded_delay =
+        (ded_tokyo.mean_delay_s + ded_nyc.mean_delay_s) / 2.0;
+
+    // Shared: one pool carries both regions.
+    const std::vector<double> full(grid.count, capacity_mbps * 1e6);
+    const net::QueueStats shared =
+        net::simulate_fifo_queue(combined, full, grid.step_seconds, queue_cfg);
+
+    table.add_row({util::Table::num(capacity_mbps, 0),
+                   util::Table::pct(ded_delivered),
+                   util::Table::pct(shared.delivery_fraction()),
+                   util::Table::num(ded_delay, 1) + " s",
+                   util::Table::num(shared.mean_delay_s, 1) + " s"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nTokyo's 8 pm peak is ~6 am in New York: the shared pool rides the\n"
+              "anti-correlation, the dedicated split cannot — the traffic-side\n"
+              "version of the paper's idle-satellite argument.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared plumbing for the figure-reproduction benches: scenario parsing,
+// catalog/engine construction, and the paper-expectation banner.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/mpleo.hpp"
+
+namespace mpleo::bench {
+
+struct Experiment {
+  sim::Scenario scenario;
+  cov::CoverageEngine engine;
+  std::vector<constellation::Satellite> catalog;
+
+  explicit Experiment(const sim::Scenario& sc)
+      : scenario(sc),
+        engine(sc.grid(), sc.elevation_mask_deg),
+        catalog(constellation::build_starlink_catalog(
+            sc.epoch, {.include_gen2 = sc.include_gen2_catalog})) {}
+};
+
+// Parses flags and prints the standard banner. Exits the process with a
+// usage message on bad flags.
+inline sim::Scenario start(int argc, char** argv, const char* title,
+                           const char* paper_claim, sim::Scenario defaults = {}) {
+  sim::Scenario scenario;
+  try {
+    scenario = sim::parse_scenario(argc, argv, defaults);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+  std::printf("=== %s ===\n", title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("setup: %s\n\n", sim::describe(scenario).c_str());
+  return scenario;
+}
+
+inline std::string hours(double seconds) { return util::Table::duration(seconds); }
+
+}  // namespace mpleo::bench

@@ -1,0 +1,172 @@
+// Simulator micro-benchmarks (google-benchmark): the hot paths every figure
+// rides on — Kepler solves, propagation, per-step visibility, mask algebra.
+#include <benchmark/benchmark.h>
+
+#include "constellation/starlink.hpp"
+#include "core/mpleo.hpp"
+
+using namespace mpleo;
+
+namespace {
+
+const orbit::TimePoint kEpoch = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+
+void BM_KeplerSolve(benchmark::State& state) {
+  const double e = static_cast<double>(state.range(0)) / 100.0;
+  double m = 0.0;
+  for (auto _ : state) {
+    m += 0.1;
+    benchmark::DoNotOptimize(orbit::solve_kepler(m, e));
+  }
+}
+BENCHMARK(BM_KeplerSolve)->Arg(0)->Arg(10)->Arg(70);
+
+void BM_PropagateState(benchmark::State& state) {
+  const orbit::KeplerianPropagator prop(
+      orbit::ClassicalElements::circular(550e3, 53.0, 10.0, 20.0), kEpoch);
+  double dt = 0.0;
+  for (auto _ : state) {
+    dt += 60.0;
+    benchmark::DoNotOptimize(prop.state_at_offset(dt));
+  }
+}
+BENCHMARK(BM_PropagateState);
+
+void BM_GmstTableWeek(benchmark::State& state) {
+  const orbit::TimeGrid grid =
+      orbit::TimeGrid::over_duration(kEpoch, 7.0 * 86400.0, 60.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orbit::GmstTable::for_grid(grid));
+  }
+}
+BENCHMARK(BM_GmstTableWeek);
+
+void BM_VisibilityMaskWeek(benchmark::State& state) {
+  // One satellite against N sites over a one-week 60 s grid — the inner loop
+  // of every coverage experiment.
+  const orbit::TimeGrid grid =
+      orbit::TimeGrid::over_duration(kEpoch, 7.0 * 86400.0, 60.0);
+  const cov::CoverageEngine engine(grid, 25.0);
+  constellation::Satellite sat;
+  sat.elements = orbit::ClassicalElements::circular(550e3, 53.0, 10.0, 20.0);
+  sat.epoch = kEpoch;
+  const auto all = cov::sites_from_cities(cov::paper_cities());
+  const std::vector<cov::GroundSite> sites(all.begin(),
+                                           all.begin() + state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.visibility_masks(sat, sites));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.count));
+}
+BENCHMARK(BM_VisibilityMaskWeek)->Arg(1)->Arg(21);
+
+void BM_MaskUnion1000(benchmark::State& state) {
+  // Union of 1000 one-week masks — the Monte-Carlo subset operation.
+  const std::size_t steps = 10081;
+  util::Xoshiro256PlusPlus rng(1);
+  std::vector<cov::StepMask> masks;
+  masks.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    cov::StepMask m(steps);
+    for (int k = 0; k < 60; ++k) {
+      m.set(rng.uniform_index(steps));
+    }
+    masks.push_back(std::move(m));
+  }
+  for (auto _ : state) {
+    cov::StepMask acc(steps);
+    for (const auto& m : masks) acc |= m;
+    benchmark::DoNotOptimize(acc.count());
+  }
+}
+BENCHMARK(BM_MaskUnion1000);
+
+void BM_IntervalSetInsert(benchmark::State& state) {
+  util::Xoshiro256PlusPlus rng(2);
+  for (auto _ : state) {
+    cov::IntervalSet set;
+    for (int i = 0; i < 200; ++i) {
+      const double start = rng.uniform(0.0, 1e5);
+      set.insert(start, start + rng.uniform(10.0, 500.0));
+    }
+    benchmark::DoNotOptimize(set.total_length());
+  }
+}
+BENCHMARK(BM_IntervalSetInsert);
+
+void BM_BuildStarlinkCatalog(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(constellation::build_starlink_catalog(kEpoch));
+  }
+}
+BENCHMARK(BM_BuildStarlinkCatalog);
+
+void BM_SchedulerStep(benchmark::State& state) {
+  // One scheduling step: N satellites x 4 terminals x 4 stations.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<constellation::Satellite> sats(n);
+  std::vector<util::Vec3> positions;
+  for (std::size_t i = 0; i < n; ++i) {
+    sats[i].owner_party = static_cast<std::uint32_t>(i % 4);
+    positions.push_back(orbit::geodetic_to_ecef(orbit::Geodetic::from_degrees(
+        10.0 + 0.3 * static_cast<double>(i % 40), 20.0, 550e3)));
+  }
+  std::vector<net::Terminal> terminals(4);
+  std::vector<net::GroundStation> stations(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    terminals[i].id = i;
+    terminals[i].owner_party = i;
+    terminals[i].location = orbit::Geodetic::from_degrees(10.0 + i, 20.0 + i);
+    terminals[i].radio = net::default_user_terminal();
+    stations[i].id = i;
+    stations[i].owner_party = i;
+    stations[i].location = orbit::Geodetic::from_degrees(10.5 + i, 20.5 + i);
+    stations[i].radio = net::default_ground_station();
+  }
+  const net::BentPipeScheduler scheduler(net::SchedulerConfig{}, sats, terminals,
+                                         stations);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule_step(positions, 0));
+  }
+}
+BENCHMARK(BM_SchedulerStep)->Arg(10)->Arg(100);
+
+void BM_IslTopologyBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256PlusPlus rng(3);
+  std::vector<util::Vec3> positions;
+  for (std::size_t i = 0; i < n; ++i) {
+    const util::Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    positions.push_back(dir.normalized() * (util::kEarthMeanRadiusM + 550e3));
+  }
+  const net::IslConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::IslTopology::build(positions, cfg));
+  }
+}
+BENCHMARK(BM_IslTopologyBuild)->Arg(100)->Arg(400);
+
+void BM_ConjunctionScreen50(benchmark::State& state) {
+  const auto sats = constellation::single_plane(550e3, 53.0, 0.0, 50, kEpoch);
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 6000.0, 30.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orbit::screen_conjunctions(sats, grid, 50e3));
+  }
+}
+BENCHMARK(BM_ConjunctionScreen50);
+
+void BM_RelayBudget(benchmark::State& state) {
+  const auto terminal = net::default_user_terminal();
+  const auto transponder = net::default_transponder();
+  const auto station = net::default_ground_station();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::compute_relay(terminal, transponder, station, 800e3,
+                                                900e3, net::RelayMode::kTransparent));
+  }
+}
+BENCHMARK(BM_RelayBudget);
+
+}  // namespace
+
+BENCHMARK_MAIN();

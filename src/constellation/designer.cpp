@@ -1,0 +1,86 @@
+#include "constellation/designer.hpp"
+
+#include <cstdio>
+
+#include "util/angles.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::constellation {
+namespace {
+
+std::string fmt_label(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, value);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<CandidateSlot> phase_offset_candidates(const orbit::ClassicalElements& reference,
+                                                   const std::vector<double>& offsets_deg) {
+  std::vector<CandidateSlot> slots;
+  slots.reserve(offsets_deg.size());
+  for (double offset : offsets_deg) {
+    orbit::ClassicalElements coe = reference;
+    coe.mean_anomaly_rad =
+        util::wrap_two_pi(coe.mean_anomaly_rad + util::deg_to_rad(offset));
+    slots.push_back({fmt_label("phase%+.1fdeg", offset), coe});
+  }
+  return slots;
+}
+
+std::vector<CandidateSlot> factor_candidates(const orbit::ClassicalElements& reference,
+                                             double new_inclination_deg,
+                                             double altitude_delta_m,
+                                             double phase_delta_deg) {
+  std::vector<CandidateSlot> slots;
+
+  orbit::ClassicalElements incl = reference;
+  incl.inclination_rad = util::deg_to_rad(new_inclination_deg);
+  slots.push_back({fmt_label("inclination=%.1fdeg", new_inclination_deg), incl});
+
+  orbit::ClassicalElements alt = reference;
+  alt.semi_major_axis_m += altitude_delta_m;
+  slots.push_back(
+      {fmt_label("altitude%+.0fkm", altitude_delta_m / 1000.0), alt});
+
+  orbit::ClassicalElements phase = reference;
+  phase.mean_anomaly_rad =
+      util::wrap_two_pi(phase.mean_anomaly_rad + util::deg_to_rad(phase_delta_deg));
+  slots.push_back({fmt_label("phase%+.1fdeg", phase_delta_deg), phase});
+
+  return slots;
+}
+
+SlotGrid SlotGrid::coarse_leo() {
+  SlotGrid grid;
+  for (double raan = 0.0; raan < 360.0; raan += 30.0) grid.raan_values_deg.push_back(raan);
+  for (double phase = 0.0; phase < 360.0; phase += 30.0) {
+    grid.phase_values_deg.push_back(phase);
+  }
+  grid.inclination_values_deg = {43.0, 53.0, 70.0, 97.6};
+  grid.altitude_values_m = {525e3, 550e3, 570e3};
+  return grid;
+}
+
+std::vector<CandidateSlot> enumerate_slots(const SlotGrid& grid) {
+  std::vector<CandidateSlot> slots;
+  slots.reserve(grid.raan_values_deg.size() * grid.phase_values_deg.size() *
+                grid.inclination_values_deg.size() * grid.altitude_values_m.size());
+  for (double incl : grid.inclination_values_deg) {
+    for (double alt : grid.altitude_values_m) {
+      for (double raan : grid.raan_values_deg) {
+        for (double phase : grid.phase_values_deg) {
+          char buf[96];
+          std::snprintf(buf, sizeof buf, "i%.1f/h%.0fkm/raan%.0f/ph%.0f", incl, alt / 1000.0,
+                        raan, phase);
+          slots.push_back(
+              {buf, orbit::ClassicalElements::circular(alt, incl, raan, phase)});
+        }
+      }
+    }
+  }
+  return slots;
+}
+
+}  // namespace mpleo::constellation

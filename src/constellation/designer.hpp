@@ -1,0 +1,50 @@
+// Candidate-slot generation for incremental constellation design (§3.3).
+//
+// The paper's placement question is: given an existing constellation, where
+// should the next satellite go? These helpers enumerate the candidate orbital
+// slots the paper's Fig. 4b/4c sweep over, plus a general grid generator the
+// greedy placement optimizer (core/placement) searches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "constellation/shell.hpp"
+
+namespace mpleo::constellation {
+
+// A labelled candidate orbit for one additional satellite.
+struct CandidateSlot {
+  std::string label;
+  orbit::ClassicalElements elements;
+};
+
+// Fig. 4b: candidates at in-plane phase offsets (degrees) from a reference
+// satellite, keeping every other element fixed.
+[[nodiscard]] std::vector<CandidateSlot> phase_offset_candidates(
+    const orbit::ClassicalElements& reference, const std::vector<double>& offsets_deg);
+
+// Fig. 4c: the three candidate categories compared by the paper, relative to
+// a reference orbit —
+//   "inclination" : inclination changed to `new_inclination_deg`;
+//   "altitude"    : altitude changed by `altitude_delta_m`, same plane/phase;
+//   "phase"       : in-plane phase shifted by `phase_delta_deg`.
+[[nodiscard]] std::vector<CandidateSlot> factor_candidates(
+    const orbit::ClassicalElements& reference, double new_inclination_deg,
+    double altitude_delta_m, double phase_delta_deg);
+
+// General search grid: the cross product of RAAN values, phase values, and
+// (inclination, altitude) options. Used by the greedy gap-filling planner.
+struct SlotGrid {
+  std::vector<double> raan_values_deg;
+  std::vector<double> phase_values_deg;
+  std::vector<double> inclination_values_deg;
+  std::vector<double> altitude_values_m;
+
+  // A coarse default grid suitable for LEO broadband shells.
+  [[nodiscard]] static SlotGrid coarse_leo();
+};
+
+[[nodiscard]] std::vector<CandidateSlot> enumerate_slots(const SlotGrid& grid);
+
+}  // namespace mpleo::constellation

@@ -1,0 +1,57 @@
+#include "constellation/fleets.hpp"
+
+#include "util/angles.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::constellation {
+
+std::vector<WalkerShell> oneweb_shells() {
+  return {{.label = "ONEWEB-P1",
+           .altitude_m = 1200e3,
+           .inclination_deg = 87.9,
+           .plane_count = 12,
+           .sats_per_plane = 49,
+           .phasing_factor = 1,
+           .raan_spread_deg = 180.0}};
+}
+
+std::vector<WalkerShell> kuiper_shells() {
+  return {
+      {.label = "KUIPER-S1", .altitude_m = 630e3, .inclination_deg = 51.9,
+       .plane_count = 34, .sats_per_plane = 34, .phasing_factor = 7},
+      {.label = "KUIPER-S2", .altitude_m = 610e3, .inclination_deg = 42.0,
+       .plane_count = 36, .sats_per_plane = 36, .phasing_factor = 11,
+       .raan_offset_deg = 3.0},
+      {.label = "KUIPER-S3", .altitude_m = 590e3, .inclination_deg = 33.0,
+       .plane_count = 28, .sats_per_plane = 28, .phasing_factor = 5,
+       .raan_offset_deg = 6.0},
+  };
+}
+
+std::vector<Satellite> build_catalog(const std::vector<WalkerShell>& shells,
+                                     orbit::TimePoint epoch,
+                                     const CatalogOptions& options) {
+  std::vector<Satellite> catalog;
+  util::Xoshiro256PlusPlus rng(options.jitter_seed);
+
+  SatelliteId next_id = 0;
+  for (const WalkerShell& shell : shells) {
+    std::vector<Satellite> sats = shell.build(epoch, next_id);
+    next_id += static_cast<SatelliteId>(sats.size());
+    for (Satellite& sat : sats) {
+      if (options.jitter_deg > 0.0) {
+        const double dr = rng.uniform(-options.jitter_deg, options.jitter_deg);
+        const double dp = rng.uniform(-options.jitter_deg, options.jitter_deg);
+        sat.elements.raan_rad =
+            util::wrap_two_pi(sat.elements.raan_rad + util::deg_to_rad(dr));
+        sat.elements.mean_anomaly_rad =
+            util::wrap_two_pi(sat.elements.mean_anomaly_rad + util::deg_to_rad(dp));
+      }
+      catalog.push_back(std::move(sat));
+    }
+  }
+  return catalog;
+}
+
+}  // namespace mpleo::constellation

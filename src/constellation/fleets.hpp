@@ -1,0 +1,33 @@
+// The other broadband fleets the paper names (§1): OneWeb (polar Walker
+// star) and Amazon Kuiper (three mid-inclination delta shells), plus a
+// generic catalog builder shared with the Starlink module. Having multiple
+// real constellation geometries lets benches ablate inclination mix — the
+// Fig-4c effect at fleet scale.
+#pragma once
+
+#include <vector>
+
+#include "constellation/shell.hpp"
+
+namespace mpleo::constellation {
+
+// OneWeb Phase 1: 588 satellites at 1200 km, 87.9 deg, 12 planes x 49
+// (Walker star — planes spread over 180 deg).
+[[nodiscard]] std::vector<WalkerShell> oneweb_shells();
+
+// Kuiper (FCC 2020 authorization): 630 km/51.9 deg 34x34,
+// 610 km/42 deg 36x36, 590 km/33 deg 28x28 — 3236 satellites.
+[[nodiscard]] std::vector<WalkerShell> kuiper_shells();
+
+struct CatalogOptions {
+  double jitter_deg = 0.75;
+  std::uint64_t jitter_seed = 0x57A2;
+};
+
+// Builds any shell list into a satellite catalog (ids contiguous from 0),
+// with the same per-satellite RAAN/phase scatter the Starlink builder uses.
+[[nodiscard]] std::vector<Satellite> build_catalog(const std::vector<WalkerShell>& shells,
+                                                   orbit::TimePoint epoch,
+                                                   const CatalogOptions& options = {});
+
+}  // namespace mpleo::constellation

@@ -1,0 +1,30 @@
+#include "constellation/sampler.hpp"
+
+#include <stdexcept>
+
+namespace mpleo::constellation {
+
+std::vector<std::size_t> sample_indices(std::size_t catalog_size, std::size_t count,
+                                        util::Xoshiro256PlusPlus& rng) {
+  if (count > catalog_size) {
+    throw std::invalid_argument("sample_indices: count exceeds catalog size");
+  }
+  return rng.sample_without_replacement(catalog_size, count);
+}
+
+std::vector<Satellite> gather(std::span<const Satellite> catalog,
+                              std::span<const std::size_t> indices) {
+  std::vector<Satellite> out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) out.push_back(catalog[idx]);
+  return out;
+}
+
+std::vector<Satellite> sample_satellites(std::span<const Satellite> catalog,
+                                         std::size_t count,
+                                         util::Xoshiro256PlusPlus& rng) {
+  const std::vector<std::size_t> indices = sample_indices(catalog.size(), count, rng);
+  return gather(catalog, indices);
+}
+
+}  // namespace mpleo::constellation

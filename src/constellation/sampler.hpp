@@ -1,0 +1,29 @@
+// Random sampling of satellites from a catalog — the Monte-Carlo primitive
+// behind the paper's Figures 2, 4a, 5 and 6 ("in each run, we randomly
+// sample satellites from the Starlink network").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "constellation/shell.hpp"
+#include "util/rng.hpp"
+
+namespace mpleo::constellation {
+
+// Draws `count` distinct satellites uniformly from `catalog`.
+// Precondition: count <= catalog.size().
+[[nodiscard]] std::vector<Satellite> sample_satellites(std::span<const Satellite> catalog,
+                                                       std::size_t count,
+                                                       util::Xoshiro256PlusPlus& rng);
+
+// Index-only variant (cheaper when the caller keeps the catalog around).
+[[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t catalog_size,
+                                                      std::size_t count,
+                                                      util::Xoshiro256PlusPlus& rng);
+
+// Gathers catalog entries by index.
+[[nodiscard]] std::vector<Satellite> gather(std::span<const Satellite> catalog,
+                                            std::span<const std::size_t> indices);
+
+}  // namespace mpleo::constellation

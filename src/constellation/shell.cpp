@@ -1,0 +1,66 @@
+#include "constellation/shell.hpp"
+
+#include <stdexcept>
+
+#include "util/angles.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::constellation {
+
+std::vector<Satellite> WalkerShell::build(orbit::TimePoint epoch,
+                                          SatelliteId first_id) const {
+  if (plane_count <= 0 || sats_per_plane <= 0) {
+    throw std::invalid_argument("WalkerShell: plane_count and sats_per_plane must be > 0");
+  }
+  if (phasing_factor < 0 || phasing_factor >= plane_count) {
+    throw std::invalid_argument("WalkerShell: phasing factor out of [0, plane_count)");
+  }
+  if (!(raan_spread_deg > 0.0) || raan_spread_deg > 360.0) {
+    throw std::invalid_argument("WalkerShell: raan spread must be in (0, 360]");
+  }
+
+  std::vector<Satellite> sats;
+  sats.reserve(static_cast<std::size_t>(total_count()));
+  const double raan_step = raan_spread_deg / plane_count;
+  const double phase_step = 360.0 / sats_per_plane;
+  // Walker-delta relative phasing between adjacent planes: F * 360 / T.
+  const double plane_phase_step =
+      static_cast<double>(phasing_factor) * 360.0 / static_cast<double>(total_count());
+
+  SatelliteId id = first_id;
+  for (int plane = 0; plane < plane_count; ++plane) {
+    const double raan = raan_offset_deg + raan_step * plane;
+    for (int slot = 0; slot < sats_per_plane; ++slot) {
+      const double phase = phase_offset_deg + phase_step * slot + plane_phase_step * plane;
+      Satellite sat;
+      sat.id = id++;
+      sat.name = label + "-P" + std::to_string(plane) + "S" + std::to_string(slot);
+      sat.elements =
+          orbit::ClassicalElements::circular(altitude_m, inclination_deg, raan, phase);
+      sat.epoch = epoch;
+      sats.push_back(std::move(sat));
+    }
+  }
+  return sats;
+}
+
+std::vector<Satellite> single_plane(double altitude_m, double inclination_deg,
+                                    double raan_deg, int count, orbit::TimePoint epoch,
+                                    double phase_offset_deg, SatelliteId first_id) {
+  if (count <= 0) throw std::invalid_argument("single_plane: count must be > 0");
+  std::vector<Satellite> sats;
+  sats.reserve(static_cast<std::size_t>(count));
+  const double phase_step = 360.0 / count;
+  for (int slot = 0; slot < count; ++slot) {
+    Satellite sat;
+    sat.id = first_id + static_cast<SatelliteId>(slot);
+    sat.name = "PLANE-S" + std::to_string(slot);
+    sat.elements = orbit::ClassicalElements::circular(
+        altitude_m, inclination_deg, raan_deg, phase_offset_deg + phase_step * slot);
+    sat.epoch = epoch;
+    sats.push_back(std::move(sat));
+  }
+  return sats;
+}
+
+}  // namespace mpleo::constellation

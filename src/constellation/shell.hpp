@@ -1,0 +1,63 @@
+// Constellation shells: the Walker-delta pattern that real broadband
+// constellations (Starlink, Kuiper, OneWeb) are built from, plus the
+// Satellite value type used throughout the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "orbit/elements.hpp"
+#include "orbit/time.hpp"
+
+namespace mpleo::constellation {
+
+using SatelliteId = std::uint32_t;
+
+// A satellite as the rest of the library sees it: an id, a human-readable
+// name, mean elements at an epoch, and (for MP-LEO) an owning-party index
+// assigned later by core::Consortium (kUnowned until then).
+struct Satellite {
+  static constexpr std::uint32_t kUnowned = 0xFFFFFFFFu;
+
+  SatelliteId id = 0;
+  std::string name;
+  orbit::ClassicalElements elements;
+  orbit::TimePoint epoch;
+  std::uint32_t owner_party = kUnowned;
+};
+
+// Walker shell: total_count satellites in plane_count equally spaced planes
+// at a common inclination/altitude; phasing_factor F sets the inter-plane
+// phase offset (Walker notation i:T/P/F). `raan_spread_deg` distinguishes
+// the delta pattern (planes over 360°, typical for mid-inclination
+// broadband shells) from the star pattern (planes over 180°, typical for
+// polar constellations such as OneWeb/Iridium, where ascending and
+// descending passes interleave).
+struct WalkerShell {
+  std::string label;
+  double altitude_m = 550e3;
+  double inclination_deg = 53.0;
+  int plane_count = 72;
+  int sats_per_plane = 22;
+  int phasing_factor = 1;   // F in [0, plane_count)
+  double raan_spread_deg = 360.0;  // 360 = Walker delta, 180 = Walker star
+  double raan_offset_deg = 0.0;   // rotation of the whole shell
+  double phase_offset_deg = 0.0;  // in-plane rotation of the whole shell
+
+  [[nodiscard]] int total_count() const noexcept { return plane_count * sats_per_plane; }
+
+  // Instantiates the shell's satellites with ids starting at `first_id`.
+  [[nodiscard]] std::vector<Satellite> build(orbit::TimePoint epoch,
+                                             SatelliteId first_id = 0) const;
+};
+
+// A single orbital plane of `count` satellites spaced uniformly in phase —
+// the paper's Fig-4b/4c micro-constellations.
+[[nodiscard]] std::vector<Satellite> single_plane(double altitude_m, double inclination_deg,
+                                                  double raan_deg, int count,
+                                                  orbit::TimePoint epoch,
+                                                  double phase_offset_deg = 0.0,
+                                                  SatelliteId first_id = 0);
+
+}  // namespace mpleo::constellation

@@ -1,0 +1,59 @@
+#include "constellation/starlink.hpp"
+
+#include "util/angles.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::constellation {
+
+std::vector<WalkerShell> starlink_shells(bool include_gen2) {
+  // SpaceX Gen-1 FCC filing (as modified 2021): five shells.
+  std::vector<WalkerShell> shells = {
+      {.label = "STARLINK-S1", .altitude_m = 550e3, .inclination_deg = 53.0,
+       .plane_count = 72, .sats_per_plane = 22, .phasing_factor = 17},
+      {.label = "STARLINK-S2", .altitude_m = 540e3, .inclination_deg = 53.2,
+       .plane_count = 72, .sats_per_plane = 22, .phasing_factor = 17,
+       .raan_offset_deg = 2.5, .phase_offset_deg = 7.0},
+      {.label = "STARLINK-S3", .altitude_m = 570e3, .inclination_deg = 70.0,
+       .plane_count = 36, .sats_per_plane = 20, .phasing_factor = 11},
+      {.label = "STARLINK-S4", .altitude_m = 560e3, .inclination_deg = 97.6,
+       .plane_count = 6, .sats_per_plane = 58, .phasing_factor = 1},
+      {.label = "STARLINK-S5", .altitude_m = 560e3, .inclination_deg = 97.6,
+       .plane_count = 4, .sats_per_plane = 43, .phasing_factor = 1,
+       .raan_offset_deg = 45.0},
+  };
+  if (include_gen2) {
+    // Gen-2 lead shell (the one being densified as of 2024).
+    shells.push_back({.label = "STARLINK-G2", .altitude_m = 525e3,
+                      .inclination_deg = 53.0, .plane_count = 28, .sats_per_plane = 60,
+                      .phasing_factor = 13, .raan_offset_deg = 6.4,
+                      .phase_offset_deg = 3.0});
+  }
+  return shells;
+}
+
+std::vector<Satellite> build_starlink_catalog(orbit::TimePoint epoch,
+                                              const StarlinkCatalogOptions& options) {
+  std::vector<Satellite> catalog;
+  util::Xoshiro256PlusPlus rng(options.jitter_seed);
+
+  SatelliteId next_id = 0;
+  for (const WalkerShell& shell : starlink_shells(options.include_gen2)) {
+    std::vector<Satellite> sats = shell.build(epoch, next_id);
+    next_id += static_cast<SatelliteId>(sats.size());
+    for (Satellite& sat : sats) {
+      if (options.jitter_deg > 0.0) {
+        const double dr = rng.uniform(-options.jitter_deg, options.jitter_deg);
+        const double dp = rng.uniform(-options.jitter_deg, options.jitter_deg);
+        sat.elements.raan_rad =
+            util::wrap_two_pi(sat.elements.raan_rad + util::deg_to_rad(dr));
+        sat.elements.mean_anomaly_rad =
+            util::wrap_two_pi(sat.elements.mean_anomaly_rad + util::deg_to_rad(dp));
+      }
+      catalog.push_back(std::move(sat));
+    }
+  }
+  return catalog;
+}
+
+}  // namespace mpleo::constellation

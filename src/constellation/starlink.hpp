@@ -1,0 +1,32 @@
+// Synthetic Starlink-like catalog.
+//
+// The paper samples satellites "from the Starlink network". We rebuild that
+// catalog from SpaceX's FCC-filed Gen-1 shell parameters (and optionally the
+// Gen-2 525 km shell) as Walker-delta patterns — the distribution of
+// inclinations, altitudes, planes, and phases is what the sampling
+// experiments depend on, not any particular day's live TLEs.
+#pragma once
+
+#include <vector>
+
+#include "constellation/shell.hpp"
+
+namespace mpleo::constellation {
+
+struct StarlinkCatalogOptions {
+  bool include_gen2 = true;  // adds the 525 km 53° Gen-2 shell (~6k total)
+  // Small per-satellite scatter applied to RAAN/phase (degrees, uniform
+  // half-width) so the synthetic catalog is not perfectly gridded the way a
+  // live catalog never is. 0 disables.
+  double jitter_deg = 0.75;
+  std::uint64_t jitter_seed = 0x57A2;
+};
+
+// The FCC-filed shells as WalkerShell descriptions.
+[[nodiscard]] std::vector<WalkerShell> starlink_shells(bool include_gen2 = true);
+
+// Builds the full catalog at `epoch`. Satellite ids are contiguous from 0.
+[[nodiscard]] std::vector<Satellite> build_starlink_catalog(
+    orbit::TimePoint epoch, const StarlinkCatalogOptions& options = {});
+
+}  // namespace mpleo::constellation

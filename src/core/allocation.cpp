@@ -1,0 +1,65 @@
+#include "core/allocation.hpp"
+
+#include <stdexcept>
+
+namespace mpleo::core {
+
+SettlementReport settle(const net::ScheduleResult& usage,
+                        const std::vector<AccountId>& party_accounts,
+                        const SettlementConfig& config, Ledger& ledger) {
+  const std::size_t n = usage.per_party.size();
+  if (party_accounts.size() != n) {
+    throw std::invalid_argument("settle: account/party arity mismatch");
+  }
+
+  SettlementReport report;
+  report.per_party.resize(n);
+
+  // System-wide spare utilization drives the dynamic multiplier.
+  double spare_used = 0.0;
+  double unserved = 0.0;
+  double provided_total = 0.0;
+  for (const net::PartyUsage& u : usage.per_party) {
+    spare_used += u.spare_used_seconds;
+    unserved += u.unserved_terminal_seconds;
+    provided_total += u.spare_provided_seconds;
+  }
+  const double demand = spare_used + unserved;
+  report.utilization = demand > 0.0 ? spare_used / demand : 0.0;
+
+  report.price_multiplier = 1.0;
+  if (config.dynamic) {
+    report.price_multiplier =
+        DynamicPricing(config.dynamic_config).multiplier(report.utilization);
+  }
+
+  if (provided_total <= 0.0) return report;  // nothing to clear
+
+  for (std::size_t consumer = 0; consumer < n; ++consumer) {
+    const net::PartyUsage& cu = usage.per_party[consumer];
+    const double owed = config.pricing.price_for(cu.bytes_received_from_others,
+                                                 cu.spare_used_seconds) *
+                        report.price_multiplier;
+    if (owed <= 0.0) continue;
+
+    // Split the payment across providers by provided-seconds share.
+    for (std::size_t provider = 0; provider < n; ++provider) {
+      if (provider == consumer) continue;
+      const double share =
+          usage.per_party[provider].spare_provided_seconds / provided_total;
+      const double amount = owed * share;
+      if (amount <= 0.0) continue;
+      if (ledger.transfer(party_accounts[consumer], party_accounts[provider], amount,
+                          "spare-capacity settlement")) {
+        report.per_party[consumer].paid += amount;
+        report.per_party[provider].earned += amount;
+        report.total_cleared += amount;
+      } else {
+        ++report.failed_transfers;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mpleo::core

@@ -1,0 +1,43 @@
+// Settlement: turns the scheduler's per-party usage aggregates into ledger
+// transfers — consumers of spare capacity pay the providers (§3.2: "consumers
+// pay satellite operators to carry traffic, in proportion to utilization").
+#pragma once
+
+#include <vector>
+
+#include "core/ledger.hpp"
+#include "core/pricing.hpp"
+#include "net/scheduler.hpp"
+
+namespace mpleo::core {
+
+struct SettlementConfig {
+  StaticPricing pricing;
+  // When set, the dynamic multiplier from system-wide spare utilization is
+  // applied on top of the static tariff.
+  bool dynamic = false;
+  DynamicPricing::Config dynamic_config{};
+};
+
+struct PartySettlement {
+  double paid = 0.0;     // tokens this party paid for spare capacity it used
+  double earned = 0.0;   // tokens this party earned carrying others' traffic
+};
+
+struct SettlementReport {
+  std::vector<PartySettlement> per_party;
+  double total_cleared = 0.0;     // sum of all payments
+  double utilization = 0.0;       // spare-used / (spare-used + unserved), [0,1]
+  double price_multiplier = 1.0;  // dynamic multiplier actually applied
+  std::size_t failed_transfers = 0;  // payments rejected for insufficient funds
+};
+
+// Computes payments from `usage` and executes them on `ledger`.
+// `party_accounts[i]` is the ledger account of party i; arity must match
+// usage.per_party. Payments are proportional: a consumer's payment is split
+// across providers by their share of spare_provided_seconds.
+[[nodiscard]] SettlementReport settle(const net::ScheduleResult& usage,
+                                      const std::vector<AccountId>& party_accounts,
+                                      const SettlementConfig& config, Ledger& ledger);
+
+}  // namespace mpleo::core

@@ -1,0 +1,76 @@
+#include "core/bootstrap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/stats.hpp"
+
+namespace mpleo::core {
+
+double EmissionSchedule::epoch_reward(std::size_t epoch) const noexcept {
+  const std::size_t halvings = epochs_per_halving > 0 ? epoch / epochs_per_halving : 0;
+  double reward = initial_epoch_reward;
+  for (std::size_t h = 0; h < halvings; ++h) reward *= decay;
+  return reward;
+}
+
+double EmissionSchedule::cumulative(std::size_t epoch_count) const noexcept {
+  double total = 0.0;
+  for (std::size_t e = 0; e < epoch_count; ++e) total += epoch_reward(e);
+  return total;
+}
+
+double EmissionSchedule::total_supply() const noexcept {
+  if (decay >= 1.0) return std::numeric_limits<double>::infinity();
+  // Geometric series of per-halving blocks.
+  const double block = initial_epoch_reward * static_cast<double>(epochs_per_halving);
+  return block / (1.0 - decay);
+}
+
+std::vector<double> dtn_delivery_latencies(const cov::StepMask& uplink,
+                                           const cov::StepMask& downlink,
+                                           double step_seconds) {
+  const std::size_t steps = uplink.step_count();
+  std::vector<double> latencies;
+  if (steps == 0 || downlink.step_count() != steps) return latencies;
+
+  // next_up[i]: first step >= i with uplink set (steps if none); same for
+  // next_down. Computed right-to-left in O(n).
+  const std::size_t none = steps;
+  std::vector<std::size_t> next_up(steps + 1, none);
+  std::vector<std::size_t> next_down(steps + 1, none);
+  for (std::size_t i = steps; i-- > 0;) {
+    next_up[i] = uplink.test(i) ? i : next_up[i + 1];
+    next_down[i] = downlink.test(i) ? i : next_down[i + 1];
+  }
+
+  latencies.reserve(steps);
+  for (std::size_t created = 0; created < steps; ++created) {
+    const std::size_t pickup = next_up[created];
+    if (pickup == none) continue;
+    // Delivery requires a downlink pass at or after pickup (the satellite
+    // carries the message from the pickup onward).
+    const std::size_t delivery = next_down[pickup];
+    if (delivery == none) continue;
+    latencies.push_back(static_cast<double>(delivery - created) * step_seconds);
+  }
+  return latencies;
+}
+
+DtnStats dtn_stats(const cov::StepMask& uplink, const cov::StepMask& downlink,
+                   double step_seconds) {
+  DtnStats stats;
+  const std::vector<double> latencies =
+      dtn_delivery_latencies(uplink, downlink, step_seconds);
+  stats.delivered = latencies.size();
+  stats.stranded = uplink.step_count() - latencies.size();
+  if (!latencies.empty()) {
+    stats.mean_latency_s = util::mean_of(latencies);
+    stats.p50_latency_s = util::percentile(latencies, 50.0);
+    stats.p95_latency_s = util::percentile(latencies, 95.0);
+    stats.max_latency_s = *std::max_element(latencies.begin(), latencies.end());
+  }
+  return stats;
+}
+
+}  // namespace mpleo::core

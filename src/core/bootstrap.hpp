@@ -1,0 +1,56 @@
+// Bootstrapping economics (§4 "Bootstrapping decentralized networks").
+//
+// Two instruments the paper sketches, made concrete:
+//  1. Token emission with early-adopter weighting: epoch rewards decay
+//     geometrically (Helium-style halvings), so early contributors earn a
+//     larger share of the eventual supply.
+//  2. Delay-tolerant service from sparse constellations: before coverage is
+//     continuous, a store-and-forward satellite can still carry IoT and bulk
+//     transfers. Given visibility timelines of a source and destination
+//     site, `dtn_delivery_latencies` computes the latency a message created
+//     at each step experiences (wait for pickup pass, ride, wait for
+//     delivery pass) — quantifying what an early MP-LEO can sell.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coverage/step_mask.hpp"
+
+namespace mpleo::core {
+
+struct EmissionSchedule {
+  double initial_epoch_reward = 1000.0;  // tokens minted in epoch 0
+  double decay = 0.5;                    // per-halving multiplier
+  std::size_t epochs_per_halving = 12;   // e.g. monthly epochs, annual halving
+
+  // Tokens minted in a given epoch.
+  [[nodiscard]] double epoch_reward(std::size_t epoch) const noexcept;
+  // Total minted in epochs [0, epoch_count).
+  [[nodiscard]] double cumulative(std::size_t epoch_count) const noexcept;
+  // Limit of cumulative() as epochs -> infinity (finite for decay < 1).
+  [[nodiscard]] double total_supply() const noexcept;
+};
+
+struct DtnStats {
+  std::size_t delivered = 0;
+  std::size_t stranded = 0;  // no delivery opportunity before window end
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double max_latency_s = 0.0;
+};
+
+// Latency of a store-and-forward message created at step i: time until the
+// next step where `uplink` (satellite over the source) is set, then from
+// there the next step where `downlink` (satellite over the destination) is
+// set. Messages that cannot complete before the window end are dropped from
+// the returned vector (counted as stranded in dtn_stats).
+[[nodiscard]] std::vector<double> dtn_delivery_latencies(const cov::StepMask& uplink,
+                                                         const cov::StepMask& downlink,
+                                                         double step_seconds);
+
+[[nodiscard]] DtnStats dtn_stats(const cov::StepMask& uplink,
+                                 const cov::StepMask& downlink, double step_seconds);
+
+}  // namespace mpleo::core

@@ -1,0 +1,131 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpleo::core {
+
+Campaign::Campaign(Consortium consortium, std::vector<net::Terminal> terminals,
+                   std::vector<net::GroundStation> stations, CampaignConfig config,
+                   std::uint64_t seed)
+    : consortium_(std::move(consortium)),
+      terminals_(std::move(terminals)),
+      stations_(std::move(stations)),
+      config_(config),
+      poc_(config.poc),
+      rng_(seed),
+      clock_(config.start) {
+  const std::size_t party_count = consortium_.parties().size();
+  if (party_count == 0) throw std::invalid_argument("Campaign: no parties");
+  for (const net::Terminal& t : terminals_) {
+    if (t.owner_party >= party_count) {
+      throw std::invalid_argument("Campaign: terminal owner out of range");
+    }
+  }
+  for (const net::GroundStation& gs : stations_) {
+    if (gs.owner_party >= party_count) {
+      throw std::invalid_argument("Campaign: station owner out of range");
+    }
+  }
+
+  // Ledger bootstrap: one account per party, seeded with the grant. The
+  // treasury is pre-funded with enough to cover grants; emissions mint more
+  // per epoch.
+  ledger_.mint(config_.bootstrap_grant * static_cast<double>(party_count),
+               "bootstrap funding");
+  for (const Party& party : consortium_.parties()) {
+    const AccountId account = ledger_.open_account(party.name);
+    accounts_.push_back(account);
+    if (!ledger_.reward(account, config_.bootstrap_grant, "bootstrap grant")) {
+      throw std::logic_error("Campaign: bootstrap grant failed");
+    }
+  }
+
+  // Register satellites and verifiers for proof-of-coverage.
+  for (const constellation::Satellite& sat : consortium_.active_satellites()) {
+    satellite_keys_.push_back(poc_.register_satellite(sat, seed));
+    registered_satellite_ids_.push_back(sat.id);
+  }
+  for (const net::Terminal& t : terminals_) {
+    verifier_ids_.push_back(poc_.register_verifier(t.location));
+  }
+}
+
+std::size_t Campaign::withdraw_party(PartyId party) {
+  return consortium_.withdraw_party(party);
+}
+
+EpochReport Campaign::run_epoch() {
+  EpochReport report;
+  report.epoch = next_epoch_;
+  report.window_start = clock_;
+
+  const std::vector<constellation::Satellite> sats = consortium_.active_satellites();
+  report.active_satellites = sats.size();
+  const std::size_t party_count = consortium_.parties().size();
+
+  // 1. Schedule the epoch.
+  const orbit::TimeGrid grid =
+      orbit::TimeGrid::over_duration(clock_, config_.epoch_duration_s, config_.step_s);
+  const net::BentPipeScheduler scheduler(config_.scheduler, sats, terminals_, stations_);
+  net::ScheduleResult usage = scheduler.run(grid, party_count);
+  report.total_served_seconds = usage.total_served_seconds;
+  report.total_unserved_seconds = usage.total_unserved_seconds;
+  report.service_fairness = service_fairness(usage);
+
+  // 2. Settle spare-capacity usage.
+  report.settlement = settle(usage, accounts_, config_.settlement, ledger_);
+
+  // 3. Proof-of-coverage spot checks: each party's terminals challenge
+  // random registered satellites at random times in the epoch.
+  for (std::size_t ti = 0; ti < terminals_.size(); ++ti) {
+    for (std::size_t c = 0; c < config_.poc_challenges_per_party_per_epoch; ++c) {
+      if (registered_satellite_ids_.empty()) break;
+      const std::size_t pick = rng_.uniform_index(registered_satellite_ids_.size());
+      const orbit::TimePoint when =
+          clock_.plus_seconds(rng_.uniform(0.0, config_.epoch_duration_s));
+      const CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+          registered_satellite_ids_[pick], satellite_keys_[pick], verifier_ids_[ti],
+          when, rng_.next());
+      // Owner lookup: the registration order mirrors active_satellites() at
+      // construction; find the owner by id in the consortium.
+      std::uint32_t owner = constellation::Satellite::kUnowned;
+      for (const constellation::Satellite& sat : sats) {
+        if (sat.id == receipt.satellite) {
+          owner = sat.owner_party;
+          break;
+        }
+      }
+      if (owner == constellation::Satellite::kUnowned) continue;  // withdrawn
+      const ReceiptVerdict verdict =
+          poc_.verify_and_reward(receipt, ledger_, accounts_[owner]);
+      if (verdict == ReceiptVerdict::kValid) {
+        ++report.poc_valid;
+      } else {
+        ++report.poc_rejected;
+      }
+    }
+  }
+
+  // 4. Epoch emission, distributed by stake.
+  report.emission_minted = config_.emission.epoch_reward(next_epoch_);
+  if (report.emission_minted > 0.0) {
+    ledger_.mint(report.emission_minted, "epoch emission");
+    for (const Party& party : consortium_.parties()) {
+      const double share = consortium_.stake(party.id) * report.emission_minted;
+      if (share > 0.0) {
+        (void)ledger_.reward(accounts_[party.id], share, "emission by stake");
+      }
+    }
+  }
+
+  report.usage = std::move(usage.per_party);
+  report.balances.reserve(party_count);
+  for (AccountId account : accounts_) report.balances.push_back(ledger_.balance(account));
+
+  clock_ = clock_.plus_seconds(config_.epoch_duration_s);
+  ++next_epoch_;
+  return report;
+}
+
+}  // namespace mpleo::core

@@ -1,0 +1,97 @@
+// Campaign: multi-epoch operation of an MP-LEO constellation.
+//
+// Each epoch (e.g. one day) the campaign:
+//   1. schedules bent-pipe service over the epoch window (owner-priority,
+//      spare capacity shared);
+//   2. settles spare-capacity usage on the token ledger;
+//   3. runs proof-of-coverage spot checks and pays rewards;
+//   4. mints the epoch's token emission and distributes it by stake.
+// Parties can withdraw between epochs; the next epoch simply runs with the
+// remaining satellites — the §3.4 degradation shows up in the reports.
+//
+// This is the facade downstream users drive; examples/mpleo_consortium.cpp
+// shows the underlying pieces wired manually.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/bootstrap.hpp"
+#include "core/consortium.hpp"
+#include "core/fairness.hpp"
+#include "core/ledger.hpp"
+#include "core/proof_of_coverage.hpp"
+#include "net/scheduler.hpp"
+#include "orbit/time.hpp"
+#include "util/rng.hpp"
+
+namespace mpleo::core {
+
+struct CampaignConfig {
+  orbit::TimePoint start = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+  double epoch_duration_s = 86400.0;
+  double step_s = 120.0;
+  net::SchedulerConfig scheduler;
+  SettlementConfig settlement;
+  EmissionSchedule emission;
+  double bootstrap_grant = 200.0;  // tokens granted to each party at start
+  ProofOfCoverage::Config poc;
+  std::size_t poc_challenges_per_party_per_epoch = 4;
+};
+
+struct EpochReport {
+  std::size_t epoch = 0;
+  orbit::TimePoint window_start;
+  // Service outcome.
+  double total_served_seconds = 0.0;
+  double total_unserved_seconds = 0.0;
+  double service_fairness = 0.0;
+  std::vector<net::PartyUsage> usage;        // per party
+  // Economics.
+  SettlementReport settlement;
+  double emission_minted = 0.0;
+  std::size_t poc_valid = 0;
+  std::size_t poc_rejected = 0;
+  std::vector<double> balances;              // per party, end of epoch
+  std::size_t active_satellites = 0;
+};
+
+class Campaign {
+ public:
+  // The consortium is taken by value: the campaign owns membership evolution
+  // from here on. Terminal/station owner ids must reference its parties.
+  Campaign(Consortium consortium, std::vector<net::Terminal> terminals,
+           std::vector<net::GroundStation> stations, CampaignConfig config,
+           std::uint64_t seed);
+
+  // Runs the next epoch and returns its report.
+  EpochReport run_epoch();
+
+  // Withdraws a party effective from the next epoch; returns satellites
+  // removed.
+  std::size_t withdraw_party(PartyId party);
+
+  [[nodiscard]] const Consortium& consortium() const noexcept { return consortium_; }
+  [[nodiscard]] const Ledger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] AccountId account_of(PartyId party) const { return accounts_.at(party); }
+  [[nodiscard]] std::size_t epochs_run() const noexcept { return next_epoch_; }
+  [[nodiscard]] orbit::TimePoint current_time() const noexcept { return clock_; }
+
+ private:
+  Consortium consortium_;
+  std::vector<net::Terminal> terminals_;
+  std::vector<net::GroundStation> stations_;
+  CampaignConfig config_;
+  Ledger ledger_;
+  std::vector<AccountId> accounts_;
+  ProofOfCoverage poc_;
+  std::vector<std::uint64_t> satellite_keys_;  // parallel to registration order
+  std::vector<constellation::SatelliteId> registered_satellite_ids_;
+  std::vector<std::uint32_t> verifier_ids_;    // one per terminal
+  util::Xoshiro256PlusPlus rng_;
+  orbit::TimePoint clock_;
+  std::size_t next_epoch_ = 0;
+};
+
+}  // namespace mpleo::core

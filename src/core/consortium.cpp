@@ -1,0 +1,123 @@
+#include "core/consortium.hpp"
+
+#include <stdexcept>
+
+namespace mpleo::core {
+
+PartyId Consortium::add_party(Party party) {
+  const auto id = static_cast<PartyId>(parties_.size());
+  party.id = id;
+  party.active = true;
+  parties_.push_back(std::move(party));
+  return id;
+}
+
+std::vector<constellation::SatelliteId> Consortium::contribute(
+    PartyId party, std::vector<constellation::Satellite> satellites) {
+  if (party >= parties_.size()) {
+    throw std::out_of_range("Consortium::contribute: unknown party");
+  }
+  if (!parties_[party].active) {
+    throw std::logic_error("Consortium::contribute: party has withdrawn");
+  }
+  std::vector<constellation::SatelliteId> ids;
+  ids.reserve(satellites.size());
+  for (constellation::Satellite& sat : satellites) {
+    sat.id = next_satellite_id_++;
+    sat.owner_party = party;
+    ids.push_back(sat.id);
+    members_.push_back({std::move(sat), true});
+  }
+  return ids;
+}
+
+std::size_t Consortium::withdraw_party(PartyId party) {
+  if (party >= parties_.size()) {
+    throw std::out_of_range("Consortium::withdraw_party: unknown party");
+  }
+  std::size_t removed = 0;
+  for (Member& member : members_) {
+    if (member.active && member.satellite.owner_party == party) {
+      member.active = false;
+      ++removed;
+    }
+  }
+  parties_[party].active = false;
+  return removed;
+}
+
+bool Consortium::fail_satellite(constellation::SatelliteId satellite) {
+  for (Member& member : members_) {
+    if (member.satellite.id == satellite) {
+      if (!member.active) return false;
+      member.active = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Consortium::active_party_count() const noexcept {
+  std::size_t n = 0;
+  for (const Party& p : parties_) {
+    if (p.active) ++n;
+  }
+  return n;
+}
+
+std::vector<constellation::Satellite> Consortium::active_satellites() const {
+  std::vector<constellation::Satellite> out;
+  out.reserve(members_.size());
+  for (const Member& member : members_) {
+    if (member.active) out.push_back(member.satellite);
+  }
+  return out;
+}
+
+std::vector<constellation::Satellite> Consortium::party_satellites(PartyId party) const {
+  std::vector<constellation::Satellite> out;
+  for (const Member& member : members_) {
+    if (member.active && member.satellite.owner_party == party) {
+      out.push_back(member.satellite);
+    }
+  }
+  return out;
+}
+
+std::size_t Consortium::active_satellite_count() const noexcept {
+  std::size_t n = 0;
+  for (const Member& member : members_) {
+    if (member.active) ++n;
+  }
+  return n;
+}
+
+std::size_t Consortium::party_satellite_count(PartyId party) const noexcept {
+  std::size_t n = 0;
+  for (const Member& member : members_) {
+    if (member.active && member.satellite.owner_party == party) ++n;
+  }
+  return n;
+}
+
+double Consortium::stake(PartyId party) const noexcept {
+  const std::size_t total = active_satellite_count();
+  if (total == 0 || party >= parties_.size()) return 0.0;
+  return static_cast<double>(party_satellite_count(party)) / static_cast<double>(total);
+}
+
+PartyId Consortium::largest_party() const noexcept {
+  PartyId best = kInvalidParty;
+  std::size_t best_count = 0;
+  for (const Party& p : parties_) {
+    if (!p.active) continue;
+    const std::size_t count = party_satellite_count(p.id);
+    if (count > best_count) {
+      best_count = count;
+      best = p.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace mpleo::core

@@ -1,0 +1,48 @@
+#include "core/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace mpleo::core {
+
+double CostModel::constellation_capex(std::size_t satellites,
+                                      std::size_t ground_stations) const noexcept {
+  return static_cast<double>(satellites) *
+             (satellite_unit_cost + launch_cost_per_satellite) +
+         static_cast<double>(ground_stations) * ground_station_capex;
+}
+
+double CostModel::lifetime_cost(std::size_t satellites,
+                                std::size_t ground_stations) const noexcept {
+  return constellation_capex(satellites, ground_stations) +
+         static_cast<double>(satellites) * annual_opex_per_satellite *
+             satellite_lifetime_years;
+}
+
+double CostModel::cost_per_covered_hour(std::size_t satellites,
+                                        std::size_t ground_stations,
+                                        double covered_fraction) const {
+  if (!(covered_fraction > 0.0) || covered_fraction > 1.0) {
+    throw std::invalid_argument("cost_per_covered_hour: coverage not in (0, 1]");
+  }
+  const double covered_hours =
+      satellite_lifetime_years * 365.25 * 24.0 * covered_fraction;
+  return lifetime_cost(satellites, ground_stations) / covered_hours;
+}
+
+SharingAdvantage sharing_advantage(const CostModel& model,
+                                   std::size_t sovereign_satellites,
+                                   std::size_t contributed_satellites,
+                                   std::size_t ground_stations) {
+  SharingAdvantage advantage;
+  advantage.sovereign_lifetime_cost =
+      model.lifetime_cost(sovereign_satellites, ground_stations);
+  advantage.shared_lifetime_cost =
+      model.lifetime_cost(contributed_satellites, ground_stations);
+  advantage.cost_ratio =
+      advantage.shared_lifetime_cost > 0.0
+          ? advantage.sovereign_lifetime_cost / advantage.shared_lifetime_cost
+          : 0.0;
+  return advantage;
+}
+
+}  // namespace mpleo::core

@@ -1,0 +1,55 @@
+// Economic cost model for the paper's §1-2 claims: "building fully
+// operational LEO networks requires investments between 10-30 billion
+// dollars", and "a participant contributing just 50 satellites can get
+// coverage worth over 1000 satellites".
+//
+// Deliberately coarse — unit costs are public-order-of-magnitude figures —
+// because the paper's argument is about ratios (sovereign vs shared), which
+// are insensitive to the absolute unit cost.
+#pragma once
+
+#include <cstddef>
+
+namespace mpleo::core {
+
+struct CostModel {
+  // Per-satellite figures (USD). Defaults approximate published smallsat
+  // broadband numbers: ~$0.5M build (volume production), ~$1M launch share.
+  double satellite_unit_cost = 0.5e6;
+  double launch_cost_per_satellite = 1.0e6;
+  double ground_station_capex = 0.5e6;
+  double annual_opex_per_satellite = 0.1e6;
+  double satellite_lifetime_years = 5.0;
+
+  // Total capital expenditure for a constellation of n satellites and g
+  // ground stations.
+  [[nodiscard]] double constellation_capex(std::size_t satellites,
+                                           std::size_t ground_stations) const noexcept;
+
+  // Lifetime total cost (capex + lifetime opex).
+  [[nodiscard]] double lifetime_cost(std::size_t satellites,
+                                     std::size_t ground_stations) const noexcept;
+
+  // Cost per covered hour over the satellite lifetime, given the average
+  // coverage fraction the deployment achieves for its owner.
+  // Precondition: covered_fraction in (0, 1].
+  [[nodiscard]] double cost_per_covered_hour(std::size_t satellites,
+                                             std::size_t ground_stations,
+                                             double covered_fraction) const;
+};
+
+// The sovereign-vs-shared comparison of §2: party contributes
+// `contributed` satellites to a shared constellation that delivers
+// `shared_coverage_fraction`, vs going alone with `sovereign_satellites`
+// achieving `sovereign_coverage_fraction`.
+struct SharingAdvantage {
+  double sovereign_lifetime_cost = 0.0;
+  double shared_lifetime_cost = 0.0;
+  double cost_ratio = 0.0;  // sovereign / shared for comparable coverage
+};
+
+[[nodiscard]] SharingAdvantage sharing_advantage(
+    const CostModel& model, std::size_t sovereign_satellites,
+    std::size_t contributed_satellites, std::size_t ground_stations);
+
+}  // namespace mpleo::core

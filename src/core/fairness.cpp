@@ -1,0 +1,49 @@
+#include "core/fairness.hpp"
+
+namespace mpleo::core {
+
+double jain_fairness_index(std::span<const double> allocations) noexcept {
+  if (allocations.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+std::vector<Reciprocity> reciprocity_by_party(const net::ScheduleResult& usage) {
+  std::vector<Reciprocity> out;
+  out.reserve(usage.per_party.size());
+  for (const net::PartyUsage& u : usage.per_party) {
+    out.push_back({u.spare_provided_seconds, u.spare_used_seconds});
+  }
+  return out;
+}
+
+std::vector<std::size_t> detect_free_riders(const net::ScheduleResult& usage,
+                                            const FreeRiderPolicy& policy) {
+  std::vector<std::size_t> riders;
+  const std::vector<Reciprocity> reciprocity = reciprocity_by_party(usage);
+  for (std::size_t p = 0; p < reciprocity.size(); ++p) {
+    const Reciprocity& r = reciprocity[p];
+    if (r.consumed_seconds >= policy.min_consumed_seconds &&
+        r.ratio() < policy.min_ratio) {
+      riders.push_back(p);
+    }
+  }
+  return riders;
+}
+
+double service_fairness(const net::ScheduleResult& usage) noexcept {
+  std::vector<double> service;
+  service.reserve(usage.per_party.size());
+  for (const net::PartyUsage& u : usage.per_party) {
+    service.push_back(u.own_link_seconds + u.spare_used_seconds);
+  }
+  return jain_fairness_index(service);
+}
+
+}  // namespace mpleo::core

@@ -1,0 +1,130 @@
+#include "core/governance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpleo::core {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0x100000001B3ULL;
+  return h;
+}
+
+std::uint64_t command_digest(std::uint64_t key, std::uint64_t command_id,
+                             constellation::SatelliteId satellite, CommandAction action,
+                             PartyId approver) noexcept {
+  std::uint64_t h = key ^ 0xC0FFEE;
+  h = mix(h, command_id);
+  h = mix(h, satellite);
+  h = mix(h, static_cast<std::uint64_t>(action));
+  h = mix(h, approver);
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(CommandAction action) noexcept {
+  switch (action) {
+    case CommandAction::kBeamReconfigure: return "beam-reconfigure";
+    case CommandAction::kSoftwareUpdate: return "software-update";
+    case CommandAction::kSafeMode: return "safe-mode";
+    case CommandAction::kDeorbit: return "deorbit";
+  }
+  return "?";
+}
+
+CommandAuthority::CommandAuthority(QuorumPolicy policy, std::uint64_t authority_seed)
+    : policy_(std::move(policy)), seed_(authority_seed) {
+  if (!policy_.valid()) {
+    throw std::invalid_argument("CommandAuthority: invalid quorum policy");
+  }
+}
+
+std::uint64_t CommandAuthority::party_key(PartyId party) const {
+  const bool on_council =
+      std::find(policy_.council.begin(), policy_.council.end(), party) !=
+      policy_.council.end();
+  if (!on_council) {
+    throw std::invalid_argument("CommandAuthority::party_key: party not on council");
+  }
+  return mix(seed_ ^ 0x5EED, party);
+}
+
+std::uint64_t CommandAuthority::propose(constellation::SatelliteId satellite,
+                                        CommandAction action) {
+  CommandRecord record;
+  record.command_id = next_command_id_++;
+  record.satellite = satellite;
+  record.action = action;
+  commands_.push_back(record);
+  audit_log_.push_back("proposed #" + std::to_string(record.command_id) + " " +
+                       to_string(action) + " on sat " + std::to_string(satellite));
+  return record.command_id;
+}
+
+Approval CommandAuthority::sign(std::uint64_t command_id,
+                                constellation::SatelliteId satellite,
+                                CommandAction action, PartyId approver,
+                                std::uint64_t party_key) {
+  return {approver, command_digest(party_key, command_id, satellite, action, approver)};
+}
+
+CommandStatus CommandAuthority::approve(std::uint64_t command_id,
+                                        const Approval& approval) {
+  auto it = std::find_if(commands_.begin(), commands_.end(),
+                         [command_id](const CommandRecord& r) {
+                           return r.command_id == command_id;
+                         });
+  if (it == commands_.end()) {
+    throw std::out_of_range("CommandAuthority::approve: unknown command");
+  }
+  CommandRecord& record = *it;
+  if (record.status == CommandStatus::kAuthorized) return record.status;
+
+  // Council membership check.
+  const bool on_council =
+      std::find(policy_.council.begin(), policy_.council.end(), approval.approver) !=
+      policy_.council.end();
+  if (!on_council) {
+    audit_log_.push_back("rejected non-council approval on #" +
+                         std::to_string(command_id));
+    return CommandStatus::kRejected;
+  }
+
+  // Signature check against the approver's derived key.
+  const std::uint64_t expected =
+      command_digest(mix(seed_ ^ 0x5EED, approval.approver), command_id,
+                     record.satellite, record.action, approval.approver);
+  if (expected != approval.signature) {
+    audit_log_.push_back("rejected bad signature on #" + std::to_string(command_id));
+    return CommandStatus::kRejected;
+  }
+
+  // Idempotent per party.
+  const bool already = std::any_of(
+      record.approvals.begin(), record.approvals.end(),
+      [&](const Approval& a) { return a.approver == approval.approver; });
+  if (!already) {
+    record.approvals.push_back(approval);
+    audit_log_.push_back("approval from party " + std::to_string(approval.approver) +
+                         " on #" + std::to_string(command_id));
+  }
+
+  if (record.approvals.size() >= policy_.required) {
+    record.status = CommandStatus::kAuthorized;
+    audit_log_.push_back("executed #" + std::to_string(command_id) + " (" +
+                         to_string(record.action) + ")");
+  }
+  return record.status;
+}
+
+std::optional<CommandRecord> CommandAuthority::record(std::uint64_t command_id) const {
+  for (const CommandRecord& r : commands_) {
+    if (r.command_id == command_id) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mpleo::core

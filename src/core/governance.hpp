@@ -1,0 +1,100 @@
+// Multi-party control (§4): "space-based trusted execution environments…
+// can potentially be utilized to provide cryptographic guarantees on what
+// runs on the satellite and how they are controlled (e.g., by consensus
+// from multiple parties)."
+//
+// Model: shared-infrastructure satellites register a quorum policy (M-of-N
+// council parties). Sensitive commands (deorbit, beam reconfiguration,
+// software update) require M distinct, cryptographically bound approvals
+// before the (simulated) TEE executes them. Approvals are keyed digests over
+// (command id, action, satellite, approver) — the same simulated-MAC
+// primitive proof-of-coverage uses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constellation/shell.hpp"
+#include "core/party.hpp"
+
+namespace mpleo::core {
+
+enum class CommandAction {
+  kBeamReconfigure,
+  kSoftwareUpdate,
+  kSafeMode,
+  kDeorbit,
+};
+
+[[nodiscard]] const char* to_string(CommandAction action) noexcept;
+
+struct QuorumPolicy {
+  std::vector<PartyId> council;  // the N parties with a vote
+  std::size_t required = 1;      // M approvals needed
+
+  [[nodiscard]] bool valid() const noexcept {
+    return required >= 1 && required <= council.size();
+  }
+};
+
+struct Approval {
+  PartyId approver = 0;
+  std::uint64_t signature = 0;  // keyed digest over the command
+};
+
+enum class CommandStatus {
+  kPending,    // collecting approvals
+  kAuthorized, // quorum met; executed
+  kRejected,   // invalid approval or non-council approver
+};
+
+struct CommandRecord {
+  std::uint64_t command_id = 0;
+  constellation::SatelliteId satellite = 0;
+  CommandAction action = CommandAction::kBeamReconfigure;
+  std::vector<Approval> approvals;
+  CommandStatus status = CommandStatus::kPending;
+};
+
+class CommandAuthority {
+ public:
+  // Registers a satellite under a quorum policy. Party keys are derived from
+  // `authority_seed` and handed back to the parties out of band; here each
+  // party's key is retrievable via party_key() (tests act as all parties).
+  CommandAuthority(QuorumPolicy policy, std::uint64_t authority_seed);
+
+  [[nodiscard]] const QuorumPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] std::uint64_t party_key(PartyId party) const;
+
+  // Opens a command; returns its id.
+  std::uint64_t propose(constellation::SatelliteId satellite, CommandAction action);
+
+  // Party side: produce an approval signature for a command.
+  [[nodiscard]] static Approval sign(std::uint64_t command_id,
+                                     constellation::SatelliteId satellite,
+                                     CommandAction action, PartyId approver,
+                                     std::uint64_t party_key);
+
+  // Submits an approval. Returns the command's status after processing:
+  //  - non-council approvers and bad signatures are rejected (no state change
+  //    beyond the audit log);
+  //  - duplicate approvals from the same party are idempotent;
+  //  - reaching M distinct approvals authorizes (executes) the command.
+  CommandStatus approve(std::uint64_t command_id, const Approval& approval);
+
+  [[nodiscard]] std::optional<CommandRecord> record(std::uint64_t command_id) const;
+  [[nodiscard]] const std::vector<std::string>& audit_log() const noexcept {
+    return audit_log_;
+  }
+
+ private:
+  QuorumPolicy policy_;
+  std::uint64_t seed_;
+  std::vector<CommandRecord> commands_;
+  std::vector<std::string> audit_log_;
+  std::uint64_t next_command_id_ = 1;
+};
+
+}  // namespace mpleo::core

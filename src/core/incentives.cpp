@@ -1,0 +1,47 @@
+#include "core/incentives.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "coverage/engine.hpp"
+
+namespace mpleo::core {
+
+std::vector<double> reward_multipliers(std::span<const double> cell_coverage,
+                                       const IncentiveConfig& config) {
+  if (config.base_rate < 0.0 || config.hole_boost < 0.0 || config.gamma <= 0.0) {
+    throw std::invalid_argument("reward_multipliers: invalid config");
+  }
+  std::vector<double> multipliers;
+  multipliers.reserve(cell_coverage.size());
+  for (double covered : cell_coverage) {
+    const double deficit = std::clamp(1.0 - covered, 0.0, 1.0);
+    multipliers.push_back(config.base_rate *
+                          (1.0 + config.hole_boost * std::pow(deficit, config.gamma)));
+  }
+  return multipliers;
+}
+
+double expected_reward_rate(const cov::CoverageEngine& engine,
+                            const cov::EarthGrid& grid,
+                            std::span<const double> multipliers,
+                            const constellation::Satellite& satellite) {
+  if (multipliers.size() != grid.size()) {
+    throw std::invalid_argument("expected_reward_rate: arity mismatch");
+  }
+  std::vector<cov::GroundSite> sites;
+  sites.reserve(grid.size());
+  for (const cov::EarthGrid::Cell& cell : grid.cells()) {
+    sites.push_back({"cell", orbit::TopocentricFrame(cell.center), cell.area_weight});
+  }
+  const std::vector<cov::StepMask> per_cell = engine.visibility_masks(satellite, sites);
+
+  double rate = 0.0;
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    rate += grid.cells()[c].area_weight * multipliers[c] * per_cell[c].fraction();
+  }
+  return rate;
+}
+
+}  // namespace mpleo::core

@@ -1,0 +1,36 @@
+// Coverage-hole-weighted incentives (§3.2): "Helium-like networks design
+// incentive structures to offer higher rewards in regions of low coverage."
+//
+// Rewards per grid cell scale with the coverage deficit, so a satellite
+// whose ground track crosses under-served cells earns more — which is
+// exactly the behaviour that also maximizes global coverage (§3.3's
+// incentive/robustness alignment).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "constellation/shell.hpp"
+#include "coverage/grid.hpp"
+
+namespace mpleo::core {
+
+struct IncentiveConfig {
+  double base_rate = 1.0;   // tokens/hour of service in a fully covered cell
+  double hole_boost = 4.0;  // extra multiplier at zero coverage
+  double gamma = 1.0;       // curvature: >1 concentrates rewards on deep holes
+};
+
+// multiplier[c] = base_rate * (1 + hole_boost * (1 - coverage[c])^gamma).
+[[nodiscard]] std::vector<double> reward_multipliers(
+    std::span<const double> cell_coverage, const IncentiveConfig& config);
+
+// Expected reward rate (tokens/hour of wall-clock time) of operating
+// `satellite`: the area-weighted, multiplier-weighted fraction of time the
+// satellite serves each grid cell over the engine's window.
+[[nodiscard]] double expected_reward_rate(const cov::CoverageEngine& engine,
+                                          const cov::EarthGrid& grid,
+                                          std::span<const double> multipliers,
+                                          const constellation::Satellite& satellite);
+
+}  // namespace mpleo::core

@@ -1,0 +1,62 @@
+// Double-entry token ledger mediating MP-LEO's financial exchanges (§3.2).
+//
+// Every value movement is a transfer between two accounts, so the invariant
+//   sum(all balances) == total minted
+// holds at all times and is checked in debug builds. Accounts cannot go
+// negative: a transfer exceeding the payer's balance is rejected, which is
+// how "participants with more satellites earn more" stays an accounting fact
+// rather than an assumption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpleo::core {
+
+using AccountId = std::uint32_t;
+
+struct LedgerEntry {
+  std::uint64_t sequence = 0;
+  AccountId from = 0;
+  AccountId to = 0;
+  double amount = 0.0;
+  std::string memo;
+};
+
+class Ledger {
+ public:
+  // The treasury (account 0) is created implicitly; tokens are minted into it.
+  Ledger();
+
+  AccountId open_account(std::string name);
+
+  // Mints `amount` new tokens into the treasury. Precondition: amount >= 0.
+  void mint(double amount, const std::string& memo = "mint");
+
+  // Transfers; returns false (and records nothing) when the payer's balance
+  // is insufficient or an account is unknown. Precondition: amount >= 0.
+  [[nodiscard]] bool transfer(AccountId from, AccountId to, double amount,
+                              std::string memo = {});
+
+  // Treasury payout helper (rewards): treasury -> account.
+  [[nodiscard]] bool reward(AccountId to, double amount, std::string memo = {});
+
+  [[nodiscard]] double balance(AccountId account) const;
+  [[nodiscard]] double total_minted() const noexcept { return minted_; }
+  [[nodiscard]] double sum_of_balances() const noexcept;
+  [[nodiscard]] std::size_t account_count() const noexcept { return balances_.size(); }
+  [[nodiscard]] const std::string& account_name(AccountId account) const;
+  [[nodiscard]] const std::vector<LedgerEntry>& entries() const noexcept { return entries_; }
+
+  static constexpr AccountId kTreasury = 0;
+
+ private:
+  std::vector<double> balances_;
+  std::vector<std::string> names_;
+  std::vector<LedgerEntry> entries_;
+  double minted_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace mpleo::core

@@ -1,0 +1,84 @@
+#include "core/market.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpleo::core {
+
+void CapacityMarket::post_ask(Ask ask) {
+  if (ask.capacity_gb < 0.0 || ask.price_per_gb < 0.0) {
+    throw std::invalid_argument("post_ask: negative capacity or price");
+  }
+  asks_.push_back(ask);
+}
+
+void CapacityMarket::post_bid(Bid bid) {
+  if (bid.demand_gb < 0.0 || bid.limit_price_per_gb < 0.0) {
+    throw std::invalid_argument("post_bid: negative demand or price");
+  }
+  bids_.push_back(bid);
+}
+
+ClearingResult CapacityMarket::clear(Ledger& ledger) {
+  ClearingResult result;
+
+  std::sort(asks_.begin(), asks_.end(),
+            [](const Ask& a, const Ask& b) { return a.price_per_gb < b.price_per_gb; });
+  std::sort(bids_.begin(), bids_.end(), [](const Bid& a, const Bid& b) {
+    return a.limit_price_per_gb > b.limit_price_per_gb;
+  });
+
+  std::size_t ai = 0, bi = 0;
+  double ask_left = asks_.empty() ? 0.0 : asks_[0].capacity_gb;
+  double bid_left = bids_.empty() ? 0.0 : bids_[0].demand_gb;
+
+  while (ai < asks_.size() && bi < bids_.size()) {
+    const Ask& ask = asks_[ai];
+    const Bid& bid = bids_[bi];
+    if (bid.limit_price_per_gb < ask.price_per_gb) break;  // book crossed no further
+
+    const double quantity = std::min(ask_left, bid_left);
+    if (quantity > 0.0) {
+      Trade trade;
+      trade.provider_party = ask.provider_party;
+      trade.consumer_party = bid.consumer_party;
+      trade.quantity_gb = quantity;
+      trade.price_per_gb = (ask.price_per_gb + bid.limit_price_per_gb) / 2.0;
+      const double value = trade.quantity_gb * trade.price_per_gb;
+      trade.settled = ledger.transfer(bid.consumer_account, ask.provider_account, value,
+                                      "capacity market trade");
+      if (trade.settled) {
+        result.cleared_gb += quantity;
+        result.cleared_value += value;
+      } else {
+        result.unmatched_demand_gb += quantity;
+      }
+      result.trades.push_back(trade);
+    }
+
+    ask_left -= quantity;
+    bid_left -= quantity;
+    if (ask_left <= 0.0 && ++ai < asks_.size()) ask_left = asks_[ai].capacity_gb;
+    if (bid_left <= 0.0 && ++bi < bids_.size()) bid_left = bids_[bi].demand_gb;
+  }
+
+  // Whatever remains on either side is unmatched.
+  if (bi < bids_.size()) {
+    result.unmatched_demand_gb += bid_left;
+    for (std::size_t j = bi + 1; j < bids_.size(); ++j) {
+      result.unmatched_demand_gb += bids_[j].demand_gb;
+    }
+  }
+  if (ai < asks_.size()) {
+    result.unmatched_supply_gb += ask_left;
+    for (std::size_t j = ai + 1; j < asks_.size(); ++j) {
+      result.unmatched_supply_gb += asks_[j].capacity_gb;
+    }
+  }
+
+  asks_.clear();
+  bids_.clear();
+  return result;
+}
+
+}  // namespace mpleo::core

@@ -1,0 +1,71 @@
+// Open data market for spare capacity (§3.2, §4 "Market design").
+//
+// A simple call market: providers post asks (capacity at a price), consumers
+// post bids (demand with a price limit), and clearing matches the cheapest
+// asks to the highest bids while bid >= ask, settling through the ledger at
+// the midpoint price. This is the "dynamically set prices, leading to open
+// data markets" instantiation; StaticPricing is the "predetermined" one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ledger.hpp"
+
+namespace mpleo::core {
+
+struct Ask {
+  std::uint32_t provider_party = 0;
+  AccountId provider_account = 0;
+  double capacity_gb = 0.0;       // capacity on offer
+  double price_per_gb = 0.0;      // reserve price
+};
+
+struct Bid {
+  std::uint32_t consumer_party = 0;
+  AccountId consumer_account = 0;
+  double demand_gb = 0.0;
+  double limit_price_per_gb = 0.0;
+};
+
+struct Trade {
+  std::uint32_t provider_party = 0;
+  std::uint32_t consumer_party = 0;
+  double quantity_gb = 0.0;
+  double price_per_gb = 0.0;     // midpoint of ask and bid
+  bool settled = false;          // ledger transfer succeeded
+};
+
+struct ClearingResult {
+  std::vector<Trade> trades;
+  double cleared_gb = 0.0;
+  double cleared_value = 0.0;          // sum of settled trade values
+  double unmatched_demand_gb = 0.0;
+  double unmatched_supply_gb = 0.0;
+  // Quantity-weighted average settled price; 0 when nothing cleared.
+  [[nodiscard]] double average_price() const noexcept {
+    return cleared_gb > 0.0 ? cleared_value / cleared_gb : 0.0;
+  }
+};
+
+class CapacityMarket {
+ public:
+  void post_ask(Ask ask);
+  void post_bid(Bid bid);
+
+  [[nodiscard]] const std::vector<Ask>& asks() const noexcept { return asks_; }
+  [[nodiscard]] const std::vector<Bid>& bids() const noexcept { return bids_; }
+
+  // Clears the book: price-priority matching, partial fills allowed, payments
+  // executed on `ledger`. Unsettleable trades (insufficient balance) are
+  // recorded with settled=false and their quantity returns to the book's
+  // unmatched totals. The book is emptied.
+  [[nodiscard]] ClearingResult clear(Ledger& ledger);
+
+ private:
+  std::vector<Ask> asks_;
+  std::vector<Bid> bids_;
+};
+
+}  // namespace mpleo::core

@@ -1,0 +1,22 @@
+#include "core/party.hpp"
+
+namespace mpleo::core {
+
+const char* to_string(PartyKind kind) noexcept {
+  switch (kind) {
+    case PartyKind::kCountry: return "country";
+    case PartyKind::kCompany: return "company";
+  }
+  return "?";
+}
+
+const char* to_string(Objective objective) noexcept {
+  switch (objective) {
+    case Objective::kGlobalCoverage: return "global-coverage";
+    case Objective::kRegionalCoverage: return "regional-coverage";
+    case Objective::kProfit: return "profit";
+  }
+  return "?";
+}
+
+}  // namespace mpleo::core

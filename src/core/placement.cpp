@@ -1,0 +1,112 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+
+namespace mpleo::core {
+
+PlacementOptimizer::PlacementOptimizer(const cov::CoverageEngine& engine,
+                                       std::span<const cov::GroundSite> sites)
+    : engine_(&engine), sites_(sites.begin(), sites.end()) {
+  double total = 0.0;
+  for (const cov::GroundSite& site : sites_) total += site.weight;
+  weights_.reserve(sites_.size());
+  for (const cov::GroundSite& site : sites_) {
+    weights_.push_back(total > 0.0 ? site.weight / total : 0.0);
+  }
+}
+
+std::vector<cov::StepMask> PlacementOptimizer::union_masks(
+    std::span<const constellation::Satellite> satellites) const {
+  std::vector<cov::StepMask> unions(sites_.size(),
+                                    cov::StepMask(engine_->grid().count));
+  for (const constellation::Satellite& sat : satellites) {
+    const std::vector<cov::StepMask> per_site = engine_->visibility_masks(sat, sites_);
+    for (std::size_t j = 0; j < sites_.size(); ++j) unions[j] |= per_site[j];
+  }
+  return unions;
+}
+
+double PlacementOptimizer::marginal_gain_seconds(
+    std::span<const constellation::Satellite> base,
+    const orbit::ClassicalElements& candidate, orbit::TimePoint candidate_epoch) const {
+  const std::vector<cov::StepMask> base_masks = union_masks(base);
+
+  constellation::Satellite probe;
+  probe.name = "CANDIDATE";
+  probe.elements = candidate;
+  probe.epoch = candidate_epoch;
+  const std::vector<cov::StepMask> probe_masks = engine_->visibility_masks(probe, sites_);
+
+  const double window = engine_->grid().duration_seconds();
+  double gain = 0.0;
+  for (std::size_t j = 0; j < sites_.size(); ++j) {
+    cov::StepMask fresh = probe_masks[j];
+    fresh.subtract(base_masks[j]);  // only time not already covered counts
+    gain += weights_[j] * fresh.fraction() * window;
+  }
+  return gain;
+}
+
+std::vector<PlacementEvaluation> PlacementOptimizer::evaluate(
+    std::span<const constellation::Satellite> base,
+    std::span<const constellation::CandidateSlot> candidates,
+    orbit::TimePoint candidate_epoch) const {
+  const std::vector<cov::StepMask> base_masks = union_masks(base);
+  const double window = engine_->grid().duration_seconds();
+
+  double base_weighted = 0.0;
+  for (std::size_t j = 0; j < sites_.size(); ++j) {
+    base_weighted += weights_[j] * base_masks[j].fraction() * window;
+  }
+
+  std::vector<PlacementEvaluation> evals;
+  evals.reserve(candidates.size());
+  for (const constellation::CandidateSlot& slot : candidates) {
+    constellation::Satellite probe;
+    probe.name = slot.label;
+    probe.elements = slot.elements;
+    probe.epoch = candidate_epoch;
+    const std::vector<cov::StepMask> probe_masks = engine_->visibility_masks(probe, sites_);
+
+    double gain = 0.0;
+    for (std::size_t j = 0; j < sites_.size(); ++j) {
+      cov::StepMask fresh = probe_masks[j];
+      fresh.subtract(base_masks[j]);
+      gain += weights_[j] * fresh.fraction() * window;
+    }
+    evals.push_back({slot, base_weighted, gain});
+  }
+  return evals;
+}
+
+std::vector<PlacementEvaluation> PlacementOptimizer::plan_incremental(
+    std::vector<constellation::Satellite> base,
+    std::span<const constellation::CandidateSlot> candidates,
+    orbit::TimePoint candidate_epoch, std::size_t count) const {
+  std::vector<PlacementEvaluation> picks;
+  std::vector<constellation::CandidateSlot> remaining(candidates.begin(), candidates.end());
+
+  for (std::size_t round = 0; round < count && !remaining.empty(); ++round) {
+    std::vector<PlacementEvaluation> evals =
+        evaluate(base, remaining, candidate_epoch);
+    const auto best = std::max_element(
+        evals.begin(), evals.end(),
+        [](const PlacementEvaluation& a, const PlacementEvaluation& b) {
+          return a.gained_weighted_seconds < b.gained_weighted_seconds;
+        });
+
+    const auto best_index = static_cast<std::size_t>(best - evals.begin());
+    picks.push_back(*best);
+
+    constellation::Satellite placed;
+    placed.id = static_cast<constellation::SatelliteId>(1'000'000 + round);
+    placed.name = best->slot.label;
+    placed.elements = best->slot.elements;
+    placed.epoch = candidate_epoch;
+    base.push_back(std::move(placed));
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_index));
+  }
+  return picks;
+}
+
+}  // namespace mpleo::core

@@ -1,0 +1,3 @@
+#include "core/pricing.hpp"
+
+// Pricing is header-only arithmetic; this TU anchors the module.

@@ -1,0 +1,54 @@
+// Pricing of spare capacity (§3.2): prices "can be dynamically set, leading
+// to open data markets, or they can be predetermined".
+#pragma once
+
+#include <algorithm>
+
+namespace mpleo::core {
+
+// Predetermined tariff: flat rates per carried gigabyte and per connected
+// minute of spare capacity.
+struct StaticPricing {
+  double tokens_per_gb = 8.0;
+  double tokens_per_minute = 0.5;
+
+  [[nodiscard]] double price_for(double bytes, double seconds) const noexcept {
+    return tokens_per_gb * bytes / 1e9 + tokens_per_minute * seconds / 60.0;
+  }
+};
+
+// Utilization-responsive price: multiplies a base tariff by a factor driven
+// by demand/supply, clamped to [min_multiplier, max_multiplier]. At
+// utilization == target the multiplier is 1 (the market-clearing anchor);
+// scarcity raises price linearly, slack lowers it.
+class DynamicPricing {
+ public:
+  struct Config {
+    StaticPricing base;
+    double target_utilization = 0.6;
+    double sensitivity = 2.0;      // slope of the multiplier around target
+    double min_multiplier = 0.25;
+    double max_multiplier = 4.0;
+  };
+
+  explicit DynamicPricing(Config config) : config_(config) {}
+
+  // utilization in [0, 1]: offered-demand / available-spare-capacity.
+  [[nodiscard]] double multiplier(double utilization) const noexcept {
+    const double m =
+        1.0 + config_.sensitivity * (utilization - config_.target_utilization);
+    return std::clamp(m, config_.min_multiplier, config_.max_multiplier);
+  }
+
+  [[nodiscard]] double price_for(double bytes, double seconds,
+                                 double utilization) const noexcept {
+    return config_.base.price_for(bytes, seconds) * multiplier(utilization);
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace mpleo::core

@@ -1,0 +1,115 @@
+#include "core/proof_of_coverage.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "orbit/propagator.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::core {
+namespace {
+
+// FNV-1a over a byte view; used as the simulated MAC primitive.
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed ^ 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+const char* to_string(ReceiptVerdict verdict) noexcept {
+  switch (verdict) {
+    case ReceiptVerdict::kValid: return "valid";
+    case ReceiptVerdict::kBadDigest: return "bad-digest";
+    case ReceiptVerdict::kNotOverhead: return "not-overhead";
+    case ReceiptVerdict::kUnknownSatellite: return "unknown-satellite";
+    case ReceiptVerdict::kUnknownVerifier: return "unknown-verifier";
+  }
+  return "?";
+}
+
+std::uint64_t ProofOfCoverage::digest(std::uint64_t key,
+                                      constellation::SatelliteId satellite,
+                                      std::uint32_t verifier, double julian_date,
+                                      std::uint64_t nonce) noexcept {
+  struct Payload {
+    constellation::SatelliteId satellite;
+    std::uint32_t verifier;
+    double julian_date;
+    std::uint64_t nonce;
+  } payload{satellite, verifier, julian_date, nonce};
+  static_assert(sizeof(Payload) == 24);
+  return fnv1a(&payload, sizeof payload, key);
+}
+
+std::uint64_t ProofOfCoverage::register_satellite(const constellation::Satellite& satellite,
+                                                  std::uint64_t consortium_seed) {
+  const std::uint64_t key =
+      fnv1a(&satellite.id, sizeof satellite.id, consortium_seed ^ 0x6d706c656fULL);
+  satellites_.push_back({satellite, key});
+  return key;
+}
+
+std::uint32_t ProofOfCoverage::register_verifier(const orbit::Geodetic& site) {
+  verifiers_.emplace_back(site);
+  return static_cast<std::uint32_t>(verifiers_.size() - 1);
+}
+
+CoverageReceipt ProofOfCoverage::answer_challenge(constellation::SatelliteId satellite,
+                                                  std::uint64_t key, std::uint32_t verifier,
+                                                  orbit::TimePoint time,
+                                                  std::uint64_t nonce) {
+  CoverageReceipt receipt;
+  receipt.satellite = satellite;
+  receipt.verifier = verifier;
+  receipt.time = time;
+  receipt.nonce = nonce;
+  receipt.digest = digest(key, satellite, verifier, time.julian_date(), nonce);
+  return receipt;
+}
+
+ReceiptVerdict ProofOfCoverage::verify(const CoverageReceipt& receipt) const {
+  const RegisteredSatellite* registered = nullptr;
+  for (const RegisteredSatellite& rs : satellites_) {
+    if (rs.satellite.id == receipt.satellite) {
+      registered = &rs;
+      break;
+    }
+  }
+  if (registered == nullptr) return ReceiptVerdict::kUnknownSatellite;
+  if (receipt.verifier >= verifiers_.size()) return ReceiptVerdict::kUnknownVerifier;
+
+  const std::uint64_t expected =
+      digest(registered->key, receipt.satellite, receipt.verifier,
+             receipt.time.julian_date(), receipt.nonce);
+  if (expected != receipt.digest) return ReceiptVerdict::kBadDigest;
+
+  // Geometry check: was the satellite actually above the verifier's horizon?
+  const orbit::KeplerianPropagator prop(registered->satellite.elements,
+                                        registered->satellite.epoch);
+  const orbit::StateVector state = prop.state_at(receipt.time);
+  const util::Vec3 ecef = orbit::eci_to_ecef(state.position, receipt.time);
+  const double sin_mask = std::sin(util::deg_to_rad(config_.elevation_mask_deg));
+  if (!verifiers_[receipt.verifier].visible_above(ecef, sin_mask)) {
+    return ReceiptVerdict::kNotOverhead;
+  }
+  return ReceiptVerdict::kValid;
+}
+
+ReceiptVerdict ProofOfCoverage::verify_and_reward(const CoverageReceipt& receipt,
+                                                  Ledger& ledger,
+                                                  AccountId owner_account) const {
+  const ReceiptVerdict verdict = verify(receipt);
+  if (verdict == ReceiptVerdict::kValid) {
+    // A failed reward (empty treasury) does not invalidate the receipt.
+    (void)ledger.reward(owner_account, config_.reward_per_receipt, "proof-of-coverage");
+  }
+  return verdict;
+}
+
+}  // namespace mpleo::core

@@ -1,0 +1,94 @@
+// Proof-of-coverage (§3.2): "ground stations at random locations can verify
+// coverage by pinging satellites when they are overhead, and provide
+// proof-of-coverage to earn rewards."
+//
+// Protocol modelled here:
+//   1. Each satellite registers a secret key with the consortium at join.
+//   2. A verifier site issues a challenge (nonce) when a satellite should be
+//      overhead; a live satellite answers with MAC(key, sat | verifier |
+//      time | nonce) — simulated with a keyed FNV-1a digest.
+//   3. The consortium checks the digest AND that orbital geometry actually
+//      places the satellite above the verifier's horizon at that time —
+//      a party cannot earn rewards for coverage it can't deliver.
+//   4. Valid receipts earn treasury rewards.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "constellation/shell.hpp"
+#include "core/ledger.hpp"
+#include "orbit/geodesy.hpp"
+#include "orbit/time.hpp"
+
+namespace mpleo::core {
+
+struct CoverageReceipt {
+  constellation::SatelliteId satellite = 0;
+  std::uint32_t verifier = 0;       // verifier site index
+  orbit::TimePoint time;
+  std::uint64_t nonce = 0;
+  std::uint64_t digest = 0;
+};
+
+enum class ReceiptVerdict {
+  kValid,
+  kBadDigest,        // forged / wrong key
+  kNotOverhead,      // geometry says the satellite wasn't visible
+  kUnknownSatellite,
+  kUnknownVerifier,
+};
+
+[[nodiscard]] const char* to_string(ReceiptVerdict verdict) noexcept;
+
+class ProofOfCoverage {
+ public:
+  struct Config {
+    double elevation_mask_deg = 10.0;  // verifier horizon (lower than service mask)
+    double reward_per_receipt = 1.0;   // treasury tokens per valid receipt
+  };
+
+  explicit ProofOfCoverage(Config config) : config_(config) {}
+
+  // Registers a satellite and derives its secret key from the consortium
+  // seed; returns the key so the satellite side can answer challenges.
+  std::uint64_t register_satellite(const constellation::Satellite& satellite,
+                                   std::uint64_t consortium_seed);
+
+  // Registers a verifier site; returns its verifier index.
+  std::uint32_t register_verifier(const orbit::Geodetic& site);
+
+  // Satellite side: answers a challenge (requires the satellite's key).
+  [[nodiscard]] static CoverageReceipt answer_challenge(
+      constellation::SatelliteId satellite, std::uint64_t key, std::uint32_t verifier,
+      orbit::TimePoint time, std::uint64_t nonce);
+
+  // Consortium side: full verification (digest + orbital geometry).
+  [[nodiscard]] ReceiptVerdict verify(const CoverageReceipt& receipt) const;
+
+  // Verifies and, if valid, pays the owner account from the treasury.
+  // Returns the verdict; the payment only happens on kValid.
+  ReceiptVerdict verify_and_reward(const CoverageReceipt& receipt, Ledger& ledger,
+                                   AccountId owner_account) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  // The keyed digest (exposed for tests).
+  [[nodiscard]] static std::uint64_t digest(std::uint64_t key,
+                                            constellation::SatelliteId satellite,
+                                            std::uint32_t verifier, double julian_date,
+                                            std::uint64_t nonce) noexcept;
+
+ private:
+  struct RegisteredSatellite {
+    constellation::Satellite satellite;
+    std::uint64_t key = 0;
+  };
+
+  Config config_;
+  std::vector<RegisteredSatellite> satellites_;
+  std::vector<orbit::TopocentricFrame> verifiers_;
+};
+
+}  // namespace mpleo::core

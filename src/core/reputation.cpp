@@ -1,0 +1,38 @@
+#include "core/reputation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpleo::core {
+
+ReputationTracker::ReputationTracker(std::size_t party_count, Config config)
+    : config_(config), scores_(party_count, config.initial) {
+  if (party_count == 0) {
+    throw std::invalid_argument("ReputationTracker: no parties");
+  }
+  if (config_.floor > config_.ceiling || config_.initial < config_.floor ||
+      config_.initial > config_.ceiling) {
+    throw std::invalid_argument("ReputationTracker: inconsistent score bounds");
+  }
+}
+
+void ReputationTracker::record_poc(PartyId party, bool valid) {
+  double& score = scores_.at(party);
+  score += valid ? config_.poc_gain : -config_.poc_penalty;
+  score = std::clamp(score, config_.floor, config_.ceiling);
+}
+
+void ReputationTracker::record_reciprocity(PartyId party, double ratio) {
+  double& score = scores_.at(party);
+  score += ratio >= config_.good_ratio ? config_.reciprocity_gain
+                                       : -config_.reciprocity_penalty;
+  score = std::clamp(score, config_.floor, config_.ceiling);
+}
+
+double ReputationTracker::score(PartyId party) const { return scores_.at(party); }
+
+double ReputationTracker::priority_weight(PartyId party) const {
+  return 0.1 + 0.9 * score(party);
+}
+
+}  // namespace mpleo::core

@@ -1,0 +1,51 @@
+// Reputation: the consortium's memory of good behavior (§3.2's "what
+// constitutes good behavior" and the §1 requirement that parties cannot
+// "deny service to others while continuing to benefit").
+//
+// Scores move on evidence: verified proof-of-coverage receipts and healthy
+// reciprocity raise them; forged receipts and free-riding lower them —
+// asymmetrically, so trust is slow to build and fast to lose. The score maps
+// to a service-priority weight the scheduler layer can apply to spare
+// capacity contention.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/party.hpp"
+
+namespace mpleo::core {
+
+class ReputationTracker {
+ public:
+  struct Config {
+    double initial = 0.5;
+    double poc_gain = 0.02;        // per verified receipt
+    double poc_penalty = 0.10;     // per forged/failed receipt
+    double reciprocity_gain = 0.05;   // per epoch with ratio >= good_ratio
+    double reciprocity_penalty = 0.08;  // per epoch flagged as free riding
+    double good_ratio = 0.5;
+    double floor = 0.0;
+    double ceiling = 1.0;
+  };
+
+  explicit ReputationTracker(std::size_t party_count)
+      : ReputationTracker(party_count, Config{}) {}
+  ReputationTracker(std::size_t party_count, Config config);
+
+  void record_poc(PartyId party, bool valid);
+  // Feed an epoch's provided/consumed ratio (see core::Reciprocity::ratio()).
+  void record_reciprocity(PartyId party, double ratio);
+
+  [[nodiscard]] double score(PartyId party) const;
+  // Spare-capacity priority weight in [0.1, 1]: parties never starve
+  // entirely (degradation proportional, not punitive blackout).
+  [[nodiscard]] double priority_weight(PartyId party) const;
+  [[nodiscard]] std::size_t party_count() const noexcept { return scores_.size(); }
+
+ private:
+  Config config_;
+  std::vector<double> scores_;
+};
+
+}  // namespace mpleo::core

@@ -1,0 +1,64 @@
+#include "core/robustness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mpleo::core {
+
+WithdrawalImpact withdrawal_impact(cov::VisibilityCache& cache,
+                                   std::span<const std::size_t> base,
+                                   std::span<const std::size_t> withdrawn) {
+  const std::unordered_set<std::size_t> gone(withdrawn.begin(), withdrawn.end());
+  std::vector<std::size_t> remaining;
+  remaining.reserve(base.size());
+  for (std::size_t idx : base) {
+    if (!gone.contains(idx)) remaining.push_back(idx);
+  }
+  if (base.size() - remaining.size() != withdrawn.size()) {
+    throw std::invalid_argument("withdrawal_impact: withdrawn is not a subset of base");
+  }
+
+  WithdrawalImpact impact;
+  impact.before_fraction = cache.weighted_coverage_fraction(base);
+  impact.after_fraction = cache.weighted_coverage_fraction(remaining);
+  return impact;
+}
+
+std::vector<std::size_t> partition_by_ratio(std::size_t total, std::size_t ratio,
+                                            std::size_t others) {
+  if (ratio == 0) throw std::invalid_argument("partition_by_ratio: ratio must be >= 1");
+  const std::size_t shares = ratio + others;
+  if (shares == 0 || total == 0) {
+    throw std::invalid_argument("partition_by_ratio: empty partition");
+  }
+  const std::size_t unit = total / shares;
+  if (unit == 0) {
+    throw std::invalid_argument("partition_by_ratio: total too small for ratio");
+  }
+  std::vector<std::size_t> sizes;
+  sizes.reserve(1 + others);
+  sizes.push_back(ratio * unit + (total - unit * shares));  // largest + remainder
+  for (std::size_t i = 0; i < others; ++i) sizes.push_back(unit);
+  return sizes;
+}
+
+std::vector<std::vector<std::size_t>> assign_to_parties(
+    std::span<const std::size_t> indices, std::span<const std::size_t> sizes) {
+  std::size_t total = 0;
+  for (std::size_t s : sizes) total += s;
+  if (total != indices.size()) {
+    throw std::invalid_argument("assign_to_parties: sizes do not sum to index count");
+  }
+  std::vector<std::vector<std::size_t>> parties;
+  parties.reserve(sizes.size());
+  std::size_t cursor = 0;
+  for (std::size_t s : sizes) {
+    parties.emplace_back(indices.begin() + static_cast<std::ptrdiff_t>(cursor),
+                         indices.begin() + static_cast<std::ptrdiff_t>(cursor + s));
+    cursor += s;
+  }
+  return parties;
+}
+
+}  // namespace mpleo::core

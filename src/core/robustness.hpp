@@ -1,0 +1,50 @@
+// Robustness analysis (§3.4): what happens to coverage when satellites or
+// whole parties leave. Drives Figures 5 and 6.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coverage/engine.hpp"
+#include "util/rng.hpp"
+
+namespace mpleo::cov {
+class VisibilityCache;
+}
+
+namespace mpleo::core {
+
+struct WithdrawalImpact {
+  double before_fraction = 0.0;   // weighted coverage before withdrawal
+  double after_fraction = 0.0;    // weighted coverage after withdrawal
+  // Absolute drop in weighted coverage fraction, in [0, 1].
+  [[nodiscard]] double drop_fraction() const noexcept {
+    return before_fraction - after_fraction;
+  }
+  // Drop relative to the pre-withdrawal coverage (the paper's "% drop in
+  // coverage" in Fig. 5), in [0, 1]; 0 when nothing was covered before.
+  [[nodiscard]] double relative_drop() const noexcept {
+    return before_fraction > 0.0 ? drop_fraction() / before_fraction : 0.0;
+  }
+};
+
+// Coverage impact of removing `withdrawn` (indices into the cache's catalog)
+// from `base` (ditto). `withdrawn` must be a subset of `base`.
+[[nodiscard]] WithdrawalImpact withdrawal_impact(cov::VisibilityCache& cache,
+                                                 std::span<const std::size_t> base,
+                                                 std::span<const std::size_t> withdrawn);
+
+// Splits `total` satellites across 1 + others parties with the paper's Fig-6
+// ratio scheme r:1:...:1 — the first (largest) party receives r shares, each
+// of the `others` parties one share. Sizes sum exactly to `total` (remainder
+// distributed to the largest party).
+[[nodiscard]] std::vector<std::size_t> partition_by_ratio(std::size_t total, std::size_t ratio,
+                                                          std::size_t others);
+
+// Assigns `indices` (already sampled) to parties with the given sizes, in
+// order; returns per-party index lists. sum(sizes) must equal indices.size().
+[[nodiscard]] std::vector<std::vector<std::size_t>> assign_to_parties(
+    std::span<const std::size_t> indices, std::span<const std::size_t> sizes);
+
+}  // namespace mpleo::core

@@ -1,0 +1,53 @@
+#include "core/sla.hpp"
+
+namespace mpleo::core {
+
+const char* to_string(SlaClause clause) noexcept {
+  switch (clause) {
+    case SlaClause::kCoverageFraction: return "coverage-fraction";
+    case SlaClause::kMaxGap: return "max-gap";
+    case SlaClause::kServedFraction: return "served-fraction";
+  }
+  return "?";
+}
+
+SlaReport evaluate_sla(const SlaTerms& terms, const cov::CoverageStats& coverage) {
+  SlaReport report;
+  if (coverage.covered_fraction < terms.min_coverage_fraction) {
+    report.violations.push_back({SlaClause::kCoverageFraction,
+                                 terms.min_coverage_fraction,
+                                 coverage.covered_fraction});
+  }
+  if (coverage.max_gap_seconds > terms.max_gap_seconds) {
+    report.violations.push_back(
+        {SlaClause::kMaxGap, terms.max_gap_seconds, coverage.max_gap_seconds});
+  }
+  report.compliant = report.violations.empty();
+  report.total_penalty =
+      terms.penalty_per_violation * static_cast<double>(report.violations.size());
+  return report;
+}
+
+SlaReport evaluate_sla(const SlaTerms& terms, const cov::CoverageStats& coverage,
+                       const net::PartyUsage& usage, double window_seconds) {
+  SlaReport report = evaluate_sla(terms, coverage);
+  if (terms.min_served_fraction > 0.0 && window_seconds > 0.0) {
+    const double served =
+        (usage.own_link_seconds + usage.spare_used_seconds) / window_seconds;
+    if (served < terms.min_served_fraction) {
+      report.violations.push_back(
+          {SlaClause::kServedFraction, terms.min_served_fraction, served});
+      report.compliant = false;
+      report.total_penalty += terms.penalty_per_violation;
+    }
+  }
+  return report;
+}
+
+bool settle_sla_penalty(const SlaReport& report, Ledger& ledger, AccountId provider,
+                        AccountId customer) {
+  if (report.total_penalty <= 0.0) return true;
+  return ledger.transfer(provider, customer, report.total_penalty, "SLA penalty");
+}
+
+}  // namespace mpleo::core

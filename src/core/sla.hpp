@@ -1,0 +1,66 @@
+// Service-level agreements (§4 "Market design": "What kinds of
+// quality-of-service can they provide?").
+//
+// An SLA binds a provider to measurable service: minimum coverage fraction,
+// maximum continuous outage, minimum delivered capacity. Compliance is
+// evaluated against the same CoverageStats / PartyUsage artifacts the rest
+// of the stack produces, and violations settle as ledger penalties — so QoS
+// is enforceable inside the token economy rather than by promise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ledger.hpp"
+#include "coverage/engine.hpp"
+#include "net/scheduler.hpp"
+
+namespace mpleo::core {
+
+struct SlaTerms {
+  std::string name = "standard";
+  double min_coverage_fraction = 0.95;
+  double max_gap_seconds = 3600.0;
+  // Minimum served fraction of the customer's terminal time (own + spare).
+  double min_served_fraction = 0.0;
+  // Penalty per violated clause, paid provider -> customer at settlement.
+  double penalty_per_violation = 25.0;
+};
+
+enum class SlaClause {
+  kCoverageFraction,
+  kMaxGap,
+  kServedFraction,
+};
+
+[[nodiscard]] const char* to_string(SlaClause clause) noexcept;
+
+struct SlaViolation {
+  SlaClause clause = SlaClause::kCoverageFraction;
+  double required = 0.0;
+  double delivered = 0.0;
+};
+
+struct SlaReport {
+  bool compliant = true;
+  std::vector<SlaViolation> violations;
+  double total_penalty = 0.0;
+};
+
+// Evaluates the coverage clauses against a site's coverage statistics and
+// (optionally, when usage/party are provided) the served-fraction clause
+// against the customer's scheduler usage over `window_seconds`.
+[[nodiscard]] SlaReport evaluate_sla(const SlaTerms& terms,
+                                     const cov::CoverageStats& coverage);
+[[nodiscard]] SlaReport evaluate_sla(const SlaTerms& terms,
+                                     const cov::CoverageStats& coverage,
+                                     const net::PartyUsage& usage,
+                                     double window_seconds);
+
+// Executes the penalty transfer; returns false when the provider cannot pay
+// (the shortfall is recorded by the caller — an undercollateralised provider
+// is itself a reputation event).
+[[nodiscard]] bool settle_sla_penalty(const SlaReport& report, Ledger& ledger,
+                                      AccountId provider, AccountId customer);
+
+}  // namespace mpleo::core

@@ -1,0 +1,54 @@
+#include "coverage/contact_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace mpleo::cov {
+
+std::vector<Contact> build_contact_plan(const CoverageEngine& engine,
+                                        std::span<const constellation::Satellite> satellites,
+                                        std::span<const GroundSite> sites) {
+  std::vector<Contact> contacts;
+  const double step = engine.grid().step_seconds;
+  for (const constellation::Satellite& sat : satellites) {
+    const std::vector<StepMask> masks = engine.visibility_masks(sat, sites);
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+      // Keep the IntervalSet alive for the loop (iterating a temporary's
+      // member would dangle under C++20 range-for rules).
+      const IntervalSet windows = masks[j].to_intervals(step);
+      for (const Interval& window : windows.intervals()) {
+        contacts.push_back({sat.id, sites[j].name, window.start, window.end});
+      }
+    }
+  }
+  std::sort(contacts.begin(), contacts.end(), [](const Contact& a, const Contact& b) {
+    if (a.start_offset_s != b.start_offset_s) return a.start_offset_s < b.start_offset_s;
+    return a.satellite < b.satellite;
+  });
+  return contacts;
+}
+
+std::string contact_plan_csv(std::span<const Contact> contacts) {
+  std::ostringstream os;
+  util::CsvWriter writer(os);
+  writer.write_row({"satellite", "site", "start_s", "end_s", "duration_s"});
+  for (const Contact& c : contacts) {
+    writer.write_row({std::to_string(c.satellite), c.site_name,
+                      std::to_string(c.start_offset_s), std::to_string(c.end_offset_s),
+                      std::to_string(c.duration_s())});
+  }
+  return os.str();
+}
+
+double total_contact_seconds(std::span<const Contact> contacts,
+                             const std::string& site_name) {
+  double total = 0.0;
+  for (const Contact& c : contacts) {
+    if (c.site_name == site_name) total += c.duration_s();
+  }
+  return total;
+}
+
+}  // namespace mpleo::cov

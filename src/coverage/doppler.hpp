@@ -1,0 +1,35 @@
+// Doppler profiles of satellite passes. The transparent bent-pipe pushes all
+// demodulation to ground stations and terminals (§3.1), so *they* must track
+// the Doppler trajectory; this module computes it for SDR ground-segment
+// design (open-source terminals are a §4 open question).
+#pragma once
+
+#include <vector>
+
+#include "constellation/shell.hpp"
+#include "orbit/geodesy.hpp"
+#include "orbit/time.hpp"
+
+namespace mpleo::cov {
+
+struct DopplerSample {
+  double offset_seconds = 0.0;
+  double range_m = 0.0;
+  double range_rate_m_per_s = 0.0;  // negative = approaching
+  double doppler_shift_hz = 0.0;    // at the requested carrier
+  double elevation_rad = 0.0;
+};
+
+// Samples range, range-rate and Doppler at every grid step where the
+// satellite is above `elevation_mask_deg`. Range-rate is computed from the
+// true relative velocity in the Earth-fixed frame (satellite inertial
+// velocity corrected for frame rotation), not finite differences.
+[[nodiscard]] std::vector<DopplerSample> doppler_profile(
+    const constellation::Satellite& satellite, const orbit::TopocentricFrame& site,
+    const orbit::TimeGrid& grid, double elevation_mask_deg, double carrier_hz);
+
+// Upper bound on |Doppler| for a circular orbit at `altitude_m`:
+// f * v_orbital / c — useful for sizing acquisition search windows.
+[[nodiscard]] double max_doppler_bound_hz(double altitude_m, double carrier_hz);
+
+}  // namespace mpleo::cov

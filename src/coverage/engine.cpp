@@ -1,0 +1,161 @@
+#include "coverage/engine.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/propagator.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::cov {
+
+GroundSite GroundSite::from_city(const City& city, double weight) {
+  return {city.name, orbit::TopocentricFrame(city.location), weight};
+}
+
+std::vector<GroundSite> sites_from_cities(std::span<const City> cities,
+                                          bool population_weighted) {
+  std::vector<GroundSite> sites;
+  sites.reserve(cities.size());
+  for (const City& city : cities) {
+    sites.push_back(GroundSite::from_city(city, population_weighted ? city.population : 1.0));
+  }
+  return sites;
+}
+
+CoverageEngine::CoverageEngine(const orbit::TimeGrid& grid, double elevation_mask_deg)
+    : grid_(grid),
+      mask_deg_(elevation_mask_deg),
+      sin_mask_(std::sin(util::deg_to_rad(elevation_mask_deg))),
+      gmst_(orbit::GmstTable::for_grid(grid)) {
+  if (elevation_mask_deg < 0.0 || elevation_mask_deg >= 90.0) {
+    throw std::invalid_argument("CoverageEngine: elevation mask must be in [0, 90)");
+  }
+  if (grid.count == 0) throw std::invalid_argument("CoverageEngine: empty time grid");
+}
+
+StepMask CoverageEngine::visibility_mask(const constellation::Satellite& satellite,
+                                         const orbit::TopocentricFrame& site) const {
+  const GroundSite wrapped{satellite.name, site, 1.0};
+  return visibility_masks(satellite, std::span<const GroundSite>(&wrapped, 1)).front();
+}
+
+std::vector<StepMask> CoverageEngine::visibility_masks(
+    const constellation::Satellite& satellite, std::span<const GroundSite> sites) const {
+  std::vector<StepMask> masks(sites.size(), StepMask(grid_.count));
+  const orbit::KeplerianPropagator prop(satellite.elements, satellite.epoch);
+  const double t0 = grid_.start.seconds_since(satellite.epoch);
+
+  for (std::size_t step = 0; step < grid_.count; ++step) {
+    const double dt = t0 + grid_.step_seconds * static_cast<double>(step);
+    const util::Vec3 eci = prop.position_eci_at_offset(dt);
+    const double c = gmst_.cos_gmst[step];
+    const double s = gmst_.sin_gmst[step];
+    const util::Vec3 ecef{c * eci.x + s * eci.y, -s * eci.x + c * eci.y, eci.z};
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+      if (sites[j].frame.visible_above(ecef, sin_mask_)) masks[j].set(step);
+    }
+  }
+  return masks;
+}
+
+StepMask CoverageEngine::coverage_mask(std::span<const constellation::Satellite> satellites,
+                                       const orbit::TopocentricFrame& site) const {
+  StepMask result(grid_.count);
+  for (const constellation::Satellite& sat : satellites) {
+    result |= visibility_mask(sat, site);
+  }
+  return result;
+}
+
+CoverageStats CoverageEngine::stats(const StepMask& mask) const {
+  assert(mask.step_count() == grid_.count);
+  CoverageStats out;
+  out.covered_fraction = mask.fraction();
+  const double window = grid_.duration_seconds();
+  out.covered_seconds = out.covered_fraction * window;
+  out.uncovered_seconds = window - out.covered_seconds;
+  out.max_gap_seconds =
+      static_cast<double>(mask.longest_zero_run()) * grid_.step_seconds;
+  out.pass_count = mask.to_intervals(grid_.step_seconds).size();
+  return out;
+}
+
+double CoverageEngine::weighted_coverage_seconds(
+    std::span<const constellation::Satellite> satellites,
+    std::span<const GroundSite> sites) const {
+  double weight_total = 0.0;
+  for (const GroundSite& site : sites) weight_total += site.weight;
+  if (weight_total <= 0.0) return 0.0;
+
+  std::vector<StepMask> unions(sites.size(), StepMask(grid_.count));
+  for (const constellation::Satellite& sat : satellites) {
+    const std::vector<StepMask> per_site = visibility_masks(sat, sites);
+    for (std::size_t j = 0; j < sites.size(); ++j) unions[j] |= per_site[j];
+  }
+
+  double weighted = 0.0;
+  for (std::size_t j = 0; j < sites.size(); ++j) {
+    weighted += sites[j].weight / weight_total * unions[j].fraction();
+  }
+  return weighted * grid_.duration_seconds();
+}
+
+double CoverageEngine::idle_fraction(const constellation::Satellite& satellite,
+                                     std::span<const GroundSite> sites) const {
+  const std::vector<StepMask> per_site = visibility_masks(satellite, sites);
+  StepMask busy(grid_.count);
+  for (const StepMask& mask : per_site) busy |= mask;
+  return 1.0 - busy.fraction();
+}
+
+VisibilityCache::VisibilityCache(const CoverageEngine& engine,
+                                 std::span<const constellation::Satellite> catalog,
+                                 std::span<const GroundSite> sites)
+    : engine_(&engine),
+      catalog_(catalog),
+      sites_(sites.begin(), sites.end()),
+      masks_(catalog.size() * sites.size()),
+      computed_(catalog.size(), false) {
+  double total = 0.0;
+  for (const GroundSite& site : sites_) total += site.weight;
+  normalised_weights_.reserve(sites_.size());
+  for (const GroundSite& site : sites_) {
+    normalised_weights_.push_back(total > 0.0 ? site.weight / total : 0.0);
+  }
+}
+
+void VisibilityCache::ensure_computed(std::size_t satellite_index) {
+  assert(satellite_index < catalog_.size());
+  if (computed_[satellite_index]) return;
+  std::vector<StepMask> per_site =
+      engine_->visibility_masks(catalog_[satellite_index], sites_);
+  for (std::size_t j = 0; j < sites_.size(); ++j) {
+    masks_[satellite_index * sites_.size() + j] = std::move(per_site[j]);
+  }
+  computed_[satellite_index] = true;
+}
+
+const StepMask& VisibilityCache::mask(std::size_t satellite_index, std::size_t site_index) {
+  ensure_computed(satellite_index);
+  return masks_[satellite_index * sites_.size() + site_index];
+}
+
+StepMask VisibilityCache::union_mask(std::span<const std::size_t> satellite_indices,
+                                     std::size_t site_index) {
+  StepMask out(engine_->grid().count);
+  for (std::size_t sat : satellite_indices) out |= mask(sat, site_index);
+  return out;
+}
+
+double VisibilityCache::weighted_coverage_fraction(
+    std::span<const std::size_t> satellite_indices) {
+  double weighted = 0.0;
+  for (std::size_t j = 0; j < sites_.size(); ++j) {
+    if (normalised_weights_[j] <= 0.0) continue;
+    weighted += normalised_weights_[j] * union_mask(satellite_indices, j).fraction();
+  }
+  return weighted;
+}
+
+}  // namespace mpleo::cov

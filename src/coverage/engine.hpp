@@ -1,0 +1,118 @@
+// The coverage engine: per-satellite visibility timelines, constellation
+// coverage unions, gap statistics, idle time, and population-weighted
+// coverage — everything the paper's Figures 2–6 are computed from.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "constellation/shell.hpp"
+#include "coverage/cities.hpp"
+#include "coverage/step_mask.hpp"
+#include "orbit/ephemeris.hpp"
+#include "orbit/geodesy.hpp"
+#include "orbit/time.hpp"
+
+namespace mpleo::cov {
+
+// A ground site prepared for fast visibility testing.
+struct GroundSite {
+  std::string name;
+  orbit::TopocentricFrame frame;
+  double weight = 1.0;
+
+  [[nodiscard]] static GroundSite from_city(const City& city, double weight = 1.0);
+};
+
+[[nodiscard]] std::vector<GroundSite> sites_from_cities(std::span<const City> cities,
+                                                        bool population_weighted = true);
+
+// Gap statistics of one site's coverage timeline.
+struct CoverageStats {
+  double covered_fraction = 0.0;    // fraction of the window with >=1 satellite
+  double covered_seconds = 0.0;
+  double uncovered_seconds = 0.0;
+  double max_gap_seconds = 0.0;     // longest continuous outage
+  std::size_t pass_count = 0;       // number of distinct covered runs
+};
+
+class CoverageEngine {
+ public:
+  // `elevation_mask_deg` is the minimum elevation for a usable link; 25° is
+  // Starlink's operational terminal mask and the library default.
+  CoverageEngine(const orbit::TimeGrid& grid, double elevation_mask_deg = 25.0);
+
+  [[nodiscard]] const orbit::TimeGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] double elevation_mask_deg() const noexcept { return mask_deg_; }
+
+  // Visibility timeline of one satellite over one site.
+  [[nodiscard]] StepMask visibility_mask(const constellation::Satellite& satellite,
+                                         const orbit::TopocentricFrame& site) const;
+
+  // One propagation sweep, all sites: masks[i] corresponds to sites[i].
+  [[nodiscard]] std::vector<StepMask> visibility_masks(
+      const constellation::Satellite& satellite,
+      std::span<const GroundSite> sites) const;
+
+  // Union coverage of a satellite set over one site.
+  [[nodiscard]] StepMask coverage_mask(std::span<const constellation::Satellite> satellites,
+                                       const orbit::TopocentricFrame& site) const;
+
+  [[nodiscard]] CoverageStats stats(const StepMask& mask) const;
+
+  // Population-weighted covered time in seconds: sum_i weight_i * covered_i.
+  // Weights are taken from the sites (normalised by their sum).
+  [[nodiscard]] double weighted_coverage_seconds(
+      std::span<const constellation::Satellite> satellites,
+      std::span<const GroundSite> sites) const;
+
+  // Idle fraction of one satellite: fraction of the window during which the
+  // satellite sees none of the sites (the paper's §2 idle-time metric).
+  [[nodiscard]] double idle_fraction(const constellation::Satellite& satellite,
+                                     std::span<const GroundSite> sites) const;
+
+ private:
+  orbit::TimeGrid grid_;
+  double mask_deg_;
+  double sin_mask_;
+  orbit::GmstTable gmst_;
+};
+
+// Memoised per-(satellite, site) masks over a fixed catalog — the working set
+// of the Monte-Carlo benches. Masks are computed lazily, one propagation
+// sweep per satellite covering all sites.
+class VisibilityCache {
+ public:
+  VisibilityCache(const CoverageEngine& engine,
+                  std::span<const constellation::Satellite> catalog,
+                  std::span<const GroundSite> sites);
+
+  [[nodiscard]] const StepMask& mask(std::size_t satellite_index, std::size_t site_index);
+
+  // Union over the given satellites at one site.
+  [[nodiscard]] StepMask union_mask(std::span<const std::size_t> satellite_indices,
+                                    std::size_t site_index);
+
+  // Weighted coverage fraction over all sites for the given satellite set.
+  [[nodiscard]] double weighted_coverage_fraction(
+      std::span<const std::size_t> satellite_indices);
+
+  [[nodiscard]] std::size_t site_count() const noexcept { return sites_.size(); }
+  [[nodiscard]] std::size_t satellite_count() const noexcept { return catalog_.size(); }
+  [[nodiscard]] const CoverageEngine& engine() const noexcept { return *engine_; }
+
+ private:
+  void ensure_computed(std::size_t satellite_index);
+
+  const CoverageEngine* engine_;
+  std::span<const constellation::Satellite> catalog_;
+  std::vector<GroundSite> sites_;
+  std::vector<double> normalised_weights_;
+  // masks_[sat * site_count + site]; empty() until computed.
+  std::vector<StepMask> masks_;
+  std::vector<bool> computed_;
+};
+
+}  // namespace mpleo::cov

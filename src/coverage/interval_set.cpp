@@ -1,0 +1,109 @@
+#include "coverage/interval_set.hpp"
+
+#include <algorithm>
+
+namespace mpleo::cov {
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  normalise();
+}
+
+void IntervalSet::normalise() {
+  std::erase_if(intervals_, [](const Interval& iv) { return !(iv.end > iv.start); });
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) {
+    if (!merged.empty() && iv.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+void IntervalSet::insert(double start, double end) {
+  if (!(end > start)) return;
+  // Find the insertion window of intervals that touch [start, end).
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), start,
+      [](const Interval& iv, double s) { return iv.end < s; });
+  auto last = first;
+  double new_start = start;
+  double new_end = end;
+  while (last != intervals_.end() && last->start <= new_end) {
+    new_start = std::min(new_start, last->start);
+    new_end = std::max(new_end, last->end);
+    ++last;
+  }
+  const auto pos = intervals_.erase(first, last);
+  intervals_.insert(pos, Interval{new_start, new_end});
+}
+
+bool IntervalSet::contains(double t) const noexcept {
+  auto it = std::upper_bound(intervals_.begin(), intervals_.end(), t,
+                             [](double tt, const Interval& iv) { return tt < iv.start; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return t >= it->start && t < it->end;
+}
+
+double IntervalSet::total_length() const noexcept {
+  double sum = 0.0;
+  for (const Interval& iv : intervals_) sum += iv.length();
+  return sum;
+}
+
+IntervalSet IntervalSet::union_with(const IntervalSet& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return IntervalSet(std::move(all));
+}
+
+IntervalSet IntervalSet::intersect_with(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    const double lo = std::max(a.start, b.start);
+    const double hi = std::min(a.end, b.end);
+    if (hi > lo) out.push_back({lo, hi});
+    if (a.end < b.end) ++i; else ++j;
+  }
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::difference_with(const IntervalSet& other) const {
+  if (intervals_.empty()) return {};
+  const double lo = intervals_.front().start;
+  const double hi = intervals_.back().end;
+  return intersect_with(other.complement_within(lo, hi));
+}
+
+IntervalSet IntervalSet::complement_within(double window_start, double window_end) const {
+  IntervalSet out;
+  if (!(window_end > window_start)) return out;
+  double cursor = window_start;
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= window_start) continue;
+    if (iv.start >= window_end) break;
+    if (iv.start > cursor) out.insert(cursor, std::min(iv.start, window_end));
+    cursor = std::max(cursor, iv.end);
+    if (cursor >= window_end) break;
+  }
+  if (cursor < window_end) out.insert(cursor, window_end);
+  return out;
+}
+
+double IntervalSet::max_gap_within(double window_start, double window_end) const {
+  const IntervalSet gaps = complement_within(window_start, window_end);
+  double longest = 0.0;
+  for (const Interval& iv : gaps.intervals()) longest = std::max(longest, iv.length());
+  return longest;
+}
+
+}  // namespace mpleo::cov

@@ -1,0 +1,53 @@
+// A set of disjoint, sorted, half-open time intervals [start, end), seconds
+// on some experiment-local axis. Used for pass windows, coverage timelines,
+// and gap statistics.
+#pragma once
+
+#include <vector>
+
+namespace mpleo::cov {
+
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;  // exclusive
+
+  [[nodiscard]] double length() const noexcept { return end - start; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  // Builds from possibly-overlapping, unsorted intervals (normalises).
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  // Inserts [start, end), merging with any overlapping/adjacent intervals.
+  // Empty or inverted inputs are ignored.
+  void insert(double start, double end);
+
+  [[nodiscard]] bool contains(double t) const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return intervals_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return intervals_.size(); }
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept { return intervals_; }
+
+  // Sum of interval lengths.
+  [[nodiscard]] double total_length() const noexcept;
+
+  [[nodiscard]] IntervalSet union_with(const IntervalSet& other) const;
+  [[nodiscard]] IntervalSet intersect_with(const IntervalSet& other) const;
+  // Set difference: parts of *this not in `other`.
+  [[nodiscard]] IntervalSet difference_with(const IntervalSet& other) const;
+  // Complement within the window [window_start, window_end): the gaps.
+  [[nodiscard]] IntervalSet complement_within(double window_start, double window_end) const;
+
+  // Longest gap length within the window (0 when fully covered).
+  [[nodiscard]] double max_gap_within(double window_start, double window_end) const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  void normalise();
+  std::vector<Interval> intervals_;  // invariant: sorted, disjoint, non-empty each
+};
+
+}  // namespace mpleo::cov

@@ -1,0 +1,47 @@
+#include "coverage/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "orbit/ephemeris.hpp"
+#include "orbit/propagator.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::cov {
+
+double one_way_delay_ms(double range_m) noexcept {
+  return range_m / util::kSpeedOfLightMPerSec * 1000.0;
+}
+
+double geo_zenith_one_way_delay_ms() noexcept { return one_way_delay_ms(35786e3); }
+
+LatencyStats propagation_latency_stats(const constellation::Satellite& satellite,
+                                       const orbit::TopocentricFrame& site,
+                                       const orbit::TimeGrid& grid,
+                                       double elevation_mask_deg) {
+  const orbit::KeplerianPropagator prop(satellite.elements, satellite.epoch);
+  const std::vector<util::Vec3> positions = orbit::ecef_positions(prop, grid);
+  const double sin_mask = std::sin(util::deg_to_rad(elevation_mask_deg));
+
+  LatencyStats stats;
+  double sum_ms = 0.0;
+  for (const util::Vec3& pos : positions) {
+    if (!site.visible_above(pos, sin_mask)) continue;
+    const double delay = one_way_delay_ms(site.range_m(pos));
+    if (stats.visible_steps == 0) {
+      stats.min_one_way_ms = delay;
+      stats.max_one_way_ms = delay;
+    } else {
+      stats.min_one_way_ms = std::min(stats.min_one_way_ms, delay);
+      stats.max_one_way_ms = std::max(stats.max_one_way_ms, delay);
+    }
+    sum_ms += delay;
+    ++stats.visible_steps;
+  }
+  if (stats.visible_steps > 0) {
+    stats.mean_one_way_ms = sum_ms / static_cast<double>(stats.visible_steps);
+  }
+  return stats;
+}
+
+}  // namespace mpleo::cov

@@ -1,0 +1,37 @@
+// Propagation-latency statistics — the paper's §2 LEO-vs-GEO argument
+// ("orders of magnitude degradation in network latency") made quantitative.
+#pragma once
+
+#include "constellation/shell.hpp"
+#include "orbit/geodesy.hpp"
+#include "orbit/time.hpp"
+
+namespace mpleo::cov {
+
+struct LatencyStats {
+  std::size_t visible_steps = 0;
+  double min_one_way_ms = 0.0;
+  double mean_one_way_ms = 0.0;
+  double max_one_way_ms = 0.0;
+  // Bent-pipe RTT through a co-located ground station: 4 hops (up, down,
+  // and back), i.e. 4x the one-way satellite delay at the sampled range.
+  [[nodiscard]] double mean_bent_pipe_rtt_ms() const noexcept {
+    return 4.0 * mean_one_way_ms;
+  }
+};
+
+// Samples the slant range from `site` to `satellite` at every grid step the
+// satellite is above `elevation_mask_deg`, converting to light-time.
+[[nodiscard]] LatencyStats propagation_latency_stats(
+    const constellation::Satellite& satellite, const orbit::TopocentricFrame& site,
+    const orbit::TimeGrid& grid, double elevation_mask_deg);
+
+// One-way light time (ms) for a given slant range in metres.
+[[nodiscard]] double one_way_delay_ms(double range_m) noexcept;
+
+// Geostationary reference: one-way delay to a GEO satellite at zenith
+// (35786 km) — the number the paper's "second-level latency" claim rests on
+// once processing and bent-pipe double-hops are included.
+[[nodiscard]] double geo_zenith_one_way_delay_ms() noexcept;
+
+}  // namespace mpleo::cov

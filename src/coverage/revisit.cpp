@@ -1,0 +1,46 @@
+#include "coverage/revisit.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace mpleo::cov {
+
+std::vector<double> gap_lengths(const StepMask& mask, double step_seconds) {
+  std::vector<double> gaps;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < mask.step_count(); ++i) {
+    if (!mask.test(i)) {
+      ++run;
+    } else if (run > 0) {
+      gaps.push_back(static_cast<double>(run) * step_seconds);
+      run = 0;
+    }
+  }
+  if (run > 0) gaps.push_back(static_cast<double>(run) * step_seconds);
+  return gaps;
+}
+
+RevisitStats revisit_stats(const StepMask& mask, double step_seconds) {
+  RevisitStats stats;
+  stats.covered_fraction = mask.fraction();
+
+  const IntervalSet passes = mask.to_intervals(step_seconds);
+  stats.pass_count = passes.size();
+  if (stats.pass_count > 0) {
+    stats.mean_pass_seconds =
+        passes.total_length() / static_cast<double>(stats.pass_count);
+  }
+
+  const std::vector<double> gaps = gap_lengths(mask, step_seconds);
+  stats.gap_count = gaps.size();
+  if (!gaps.empty()) {
+    stats.mean_gap_seconds = util::mean_of(gaps);
+    stats.max_gap_seconds = *std::max_element(gaps.begin(), gaps.end());
+    stats.p50_gap_seconds = util::percentile(gaps, 50.0);
+    stats.p95_gap_seconds = util::percentile(gaps, 95.0);
+  }
+  return stats;
+}
+
+}  // namespace mpleo::cov

@@ -1,0 +1,33 @@
+// Revisit statistics: the standard constellation-engineering metrics derived
+// from a coverage timeline — how long between passes, and how bad the tail
+// is. Used by the sovereign-vs-shared comparisons and the DTN bootstrap
+// model (a store-and-forward message waits one revisit gap on each leg).
+#pragma once
+
+#include <vector>
+
+#include "coverage/step_mask.hpp"
+
+namespace mpleo::cov {
+
+struct RevisitStats {
+  std::size_t pass_count = 0;
+  std::size_t gap_count = 0;
+  double mean_pass_seconds = 0.0;
+  double mean_gap_seconds = 0.0;
+  double max_gap_seconds = 0.0;
+  double p50_gap_seconds = 0.0;
+  double p95_gap_seconds = 0.0;
+  // Fraction of the window covered.
+  double covered_fraction = 0.0;
+};
+
+// Computes pass/gap statistics from a coverage mask. Leading and trailing
+// gaps (before the first / after the last pass) are included as gaps.
+[[nodiscard]] RevisitStats revisit_stats(const StepMask& mask, double step_seconds);
+
+// The raw gap lengths (seconds), in timeline order — the latency
+// distribution a delay-tolerant message faces waiting for the next pass.
+[[nodiscard]] std::vector<double> gap_lengths(const StepMask& mask, double step_seconds);
+
+}  // namespace mpleo::cov

@@ -1,0 +1,103 @@
+#include "coverage/step_mask.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace mpleo::cov {
+
+StepMask::StepMask(std::size_t step_count)
+    : steps_(step_count), words_((step_count + 63) / 64, 0) {}
+
+void StepMask::set(std::size_t index) noexcept {
+  assert(index < steps_);
+  words_[index >> 6] |= (std::uint64_t{1} << (index & 63));
+}
+
+void StepMask::reset(std::size_t index) noexcept {
+  assert(index < steps_);
+  words_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+}
+
+bool StepMask::test(std::size_t index) const noexcept {
+  assert(index < steps_);
+  return (words_[index >> 6] >> (index & 63)) & 1;
+}
+
+std::size_t StepMask::count() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+double StepMask::fraction() const noexcept {
+  if (steps_ == 0) return 0.0;
+  return static_cast<double>(count()) / static_cast<double>(steps_);
+}
+
+StepMask& StepMask::operator|=(const StepMask& other) noexcept {
+  assert(steps_ == other.steps_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+StepMask& StepMask::operator&=(const StepMask& other) noexcept {
+  assert(steps_ == other.steps_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+StepMask& StepMask::subtract(const StepMask& other) noexcept {
+  assert(steps_ == other.steps_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+StepMask StepMask::operator|(const StepMask& other) const {
+  StepMask out = *this;
+  out |= other;
+  return out;
+}
+
+StepMask StepMask::operator&(const StepMask& other) const {
+  StepMask out = *this;
+  out &= other;
+  return out;
+}
+
+std::size_t StepMask::longest_zero_run() const noexcept {
+  std::size_t longest = 0;
+  std::size_t current = 0;
+  for (std::size_t i = 0; i < steps_; ++i) {
+    if (test(i)) {
+      current = 0;
+    } else {
+      ++current;
+      longest = std::max(longest, current);
+    }
+  }
+  return longest;
+}
+
+IntervalSet StepMask::to_intervals(double step_seconds) const {
+  IntervalSet out;
+  std::size_t run_start = 0;
+  bool in_run = false;
+  for (std::size_t i = 0; i < steps_; ++i) {
+    if (test(i) && !in_run) {
+      in_run = true;
+      run_start = i;
+    } else if (!test(i) && in_run) {
+      in_run = false;
+      out.insert(static_cast<double>(run_start) * step_seconds,
+                 static_cast<double>(i) * step_seconds);
+    }
+  }
+  if (in_run) {
+    out.insert(static_cast<double>(run_start) * step_seconds,
+               static_cast<double>(steps_) * step_seconds);
+  }
+  return out;
+}
+
+}  // namespace mpleo::cov

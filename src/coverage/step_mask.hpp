@@ -1,0 +1,54 @@
+// A per-step boolean timeline over a TimeGrid, packed 64 steps per word.
+//
+// Monte-Carlo coverage experiments union thousands of per-satellite
+// visibility timelines; with masks that union is a word-wide OR, making a
+// 100-run sampling experiment over a 1-week grid essentially free once the
+// per-satellite masks exist.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coverage/interval_set.hpp"
+
+namespace mpleo::cov {
+
+class StepMask {
+ public:
+  StepMask() = default;
+  explicit StepMask(std::size_t step_count);
+
+  [[nodiscard]] std::size_t step_count() const noexcept { return steps_; }
+
+  void set(std::size_t index) noexcept;
+  void reset(std::size_t index) noexcept;
+  [[nodiscard]] bool test(std::size_t index) const noexcept;
+
+  // Number of set steps.
+  [[nodiscard]] std::size_t count() const noexcept;
+  // Fraction of steps set, in [0, 1]; 0 for an empty mask.
+  [[nodiscard]] double fraction() const noexcept;
+
+  // In-place bitwise ops. Preconditions: same step_count.
+  StepMask& operator|=(const StepMask& other) noexcept;
+  StepMask& operator&=(const StepMask& other) noexcept;
+  // Clears in *this every step set in `other` (and-not).
+  StepMask& subtract(const StepMask& other) noexcept;
+
+  [[nodiscard]] StepMask operator|(const StepMask& other) const;
+  [[nodiscard]] StepMask operator&(const StepMask& other) const;
+
+  // Longest run of consecutive unset steps.
+  [[nodiscard]] std::size_t longest_zero_run() const noexcept;
+
+  // Converts set runs to intervals on [0, step_count*step_seconds).
+  [[nodiscard]] IntervalSet to_intervals(double step_seconds) const;
+
+  friend bool operator==(const StepMask&, const StepMask&) = default;
+
+ private:
+  std::size_t steps_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mpleo::cov

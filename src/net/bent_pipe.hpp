@@ -1,0 +1,51 @@
+// Bent-pipe relay models (§3.1 and §4 of the paper).
+//
+// Transparent mode: the satellite is a pure RF repeater — it re-amplifies the
+// uplink waveform (noise included) onto the downlink, so the end-to-end SNR
+// cascades: 1/SNR_total = 1/SNR_up + 1/SNR_down. The satellite never decodes,
+// which is what gives MP-LEO its privacy/protocol-agnosticism properties.
+//
+// Regenerative mode: the satellite decodes and re-encodes (packet-level);
+// end-to-end capacity is min(uplink, downlink) and uplink noise does not
+// propagate. This is the §4 "bent-pipe variants" alternative.
+#pragma once
+
+#include "net/link_budget.hpp"
+
+namespace mpleo::net {
+
+enum class RelayMode {
+  kTransparent,   // RF repeater (MP-LEO default)
+  kRegenerative,  // decode-and-forward
+};
+
+struct RelayBudget {
+  LinkBudget uplink;
+  LinkBudget downlink;
+  double end_to_end_snr_linear = 0.0;
+  double end_to_end_snr_db = 0.0;
+  double end_to_end_capacity_bps = 0.0;
+  RelayMode mode = RelayMode::kTransparent;
+};
+
+// Satellite transponder parameters for the relay hop.
+struct TransponderConfig {
+  RadioConfig receive;   // satellite receive chain (uplink side)
+  RadioConfig transmit;  // satellite transmit chain (downlink side)
+};
+
+// Computes the end-to-end budget terminal -> satellite -> ground station.
+// `uplink_distance_m` and `downlink_distance_m` are slant ranges.
+[[nodiscard]] RelayBudget compute_relay(const RadioConfig& terminal,
+                                        const TransponderConfig& satellite,
+                                        const RadioConfig& ground_station,
+                                        double uplink_distance_m,
+                                        double downlink_distance_m, RelayMode mode);
+
+// Default radio chains modelled on published Ku-band LEO terminal/gateway
+// characteristics; useful for examples and benches.
+[[nodiscard]] RadioConfig default_user_terminal();
+[[nodiscard]] TransponderConfig default_transponder();
+[[nodiscard]] RadioConfig default_ground_station();
+
+}  // namespace mpleo::net

@@ -1,0 +1,67 @@
+#include "net/ground_station.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/units.hpp"
+
+namespace mpleo::net {
+
+double great_circle_distance_m(const orbit::Geodetic& a, const orbit::Geodetic& b) noexcept {
+  // Haversine on the mean sphere.
+  const double dlat = b.latitude_rad - a.latitude_rad;
+  const double dlon = b.longitude_rad - a.longitude_rad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h =
+      s1 * s1 + std::cos(a.latitude_rad) * std::cos(b.latitude_rad) * s2 * s2;
+  return 2.0 * util::kEarthMeanRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+void GsaasInventory::add_listing(TeleportListing listing) {
+  listings_.push_back(std::move(listing));
+}
+
+std::optional<TeleportListing> GsaasInventory::cheapest_near(const orbit::Geodetic& near,
+                                                             double max_distance_m) const {
+  std::optional<TeleportListing> best;
+  double best_price = std::numeric_limits<double>::infinity();
+  for (const TeleportListing& listing : listings_) {
+    const double d = great_circle_distance_m(near, listing.station.location);
+    if (d <= max_distance_m && listing.price_per_minute < best_price) {
+      best = listing;
+      best_price = listing.price_per_minute;
+    }
+  }
+  return best;
+}
+
+GsaasInventory GsaasInventory::global_default() {
+  GsaasInventory inv;
+  GroundStationId next_id = 1000;
+  auto add = [&](const char* name, double lat, double lon, double price) {
+    GroundStation gs;
+    gs.id = next_id++;
+    gs.name = name;
+    gs.location = orbit::Geodetic::from_degrees(lat, lon);
+    gs.antenna_count = 4;
+    inv.add_listing({gs, price});
+  };
+  // Representative commercial teleport locations.
+  add("Teleport-Oregon", 45.6, -121.2, 2.5);
+  add("Teleport-Ohio", 40.1, -83.1, 2.5);
+  add("Teleport-Ireland", 53.4, -6.3, 3.0);
+  add("Teleport-Bahrain", 26.1, 50.6, 3.5);
+  add("Teleport-CapeTown", -33.9, 18.6, 3.5);
+  add("Teleport-Singapore", 1.35, 103.8, 3.0);
+  add("Teleport-Seoul", 37.4, 127.1, 3.0);
+  add("Teleport-Sydney", -33.9, 151.2, 3.0);
+  add("Teleport-SaoPaulo", -23.5, -46.6, 3.5);
+  add("Teleport-Hawaii", 21.3, -157.8, 4.0);
+  add("Teleport-Stockholm", 59.3, 18.1, 3.0);
+  add("Teleport-PuntaArenas", -53.2, -70.9, 4.5);
+  return inv;
+}
+
+}  // namespace mpleo::net

@@ -1,0 +1,68 @@
+// Ground stations and ground-station-as-a-service (GSaaS) inventory (§3.1).
+//
+// In MP-LEO each participant's terminals connect to that participant's own
+// (owned or rented) ground stations; the satellite only repeats RF between
+// them. The GSaaS inventory models renting slots at shared teleports, the
+// way AWS Ground Station / Azure Orbital lease antenna time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/link_budget.hpp"
+#include "orbit/geodesy.hpp"
+
+namespace mpleo::net {
+
+using GroundStationId = std::uint32_t;
+
+struct GroundStation {
+  GroundStationId id = 0;
+  std::string name;
+  orbit::Geodetic location;
+  std::uint32_t owner_party = 0;
+  RadioConfig radio;
+  // Concurrent satellite links this site can terminate (antenna count).
+  int antenna_count = 2;
+
+  [[nodiscard]] orbit::TopocentricFrame frame() const {
+    return orbit::TopocentricFrame(location);
+  }
+};
+
+// A rentable GSaaS teleport: fixed site, per-minute price, finite antennas.
+struct TeleportListing {
+  GroundStation station;
+  double price_per_minute = 3.0;  // in ledger tokens
+};
+
+// Inventory of rentable teleports; parties lease stations near their service
+// regions instead of building their own (the paper's "purely software-defined
+// ground segment" deployment path).
+class GsaasInventory {
+ public:
+  void add_listing(TeleportListing listing);
+
+  [[nodiscard]] const std::vector<TeleportListing>& listings() const noexcept {
+    return listings_;
+  }
+
+  // Cheapest listing within `max_distance_m` great-circle distance of
+  // `near`; nullopt when none qualifies.
+  [[nodiscard]] std::optional<TeleportListing> cheapest_near(const orbit::Geodetic& near,
+                                                             double max_distance_m) const;
+
+  // A small built-in global teleport inventory (one per continent region).
+  [[nodiscard]] static GsaasInventory global_default();
+
+ private:
+  std::vector<TeleportListing> listings_;
+};
+
+// Great-circle distance between two geodetic points on the mean sphere.
+[[nodiscard]] double great_circle_distance_m(const orbit::Geodetic& a,
+                                             const orbit::Geodetic& b) noexcept;
+
+}  // namespace mpleo::net

@@ -1,0 +1,80 @@
+#include "net/handover.hpp"
+
+#include <cmath>
+
+#include "orbit/ephemeris.hpp"
+#include "orbit/propagator.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::net {
+
+std::vector<std::uint32_t> serving_satellite_timeline(
+    const cov::CoverageEngine& engine,
+    std::span<const constellation::Satellite> satellites,
+    const orbit::TopocentricFrame& terminal) {
+  const orbit::TimeGrid& grid = engine.grid();
+  const double mask_rad = util::deg_to_rad(engine.elevation_mask_deg());
+  const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
+
+  std::vector<orbit::KeplerianPropagator> props;
+  props.reserve(satellites.size());
+  for (const constellation::Satellite& sat : satellites) {
+    props.emplace_back(sat.elements, sat.epoch);
+  }
+
+  std::vector<std::uint32_t> timeline(grid.count, kNoSatellite);
+  for (std::size_t step = 0; step < grid.count; ++step) {
+    double best_elevation = mask_rad;
+    for (std::size_t si = 0; si < satellites.size(); ++si) {
+      const double dt = grid.at(step).seconds_since(satellites[si].epoch);
+      const util::Vec3 eci = props[si].position_eci_at_offset(dt);
+      const double c = gmst.cos_gmst[step];
+      const double s = gmst.sin_gmst[step];
+      const util::Vec3 ecef{c * eci.x + s * eci.y, -s * eci.x + c * eci.y, eci.z};
+      const double elevation = terminal.elevation_rad(ecef);
+      if (elevation >= best_elevation) {
+        best_elevation = elevation;
+        timeline[step] = static_cast<std::uint32_t>(si);
+      }
+    }
+  }
+  return timeline;
+}
+
+HandoverStats handover_stats(std::span<const std::uint32_t> timeline,
+                             double step_seconds) {
+  HandoverStats stats;
+  if (timeline.empty()) return stats;
+
+  std::size_t connected_steps = 0;
+  std::size_t dwell_segments = 0;
+  std::uint32_t previous = kNoSatellite;
+  for (std::uint32_t serving : timeline) {
+    if (serving != kNoSatellite) {
+      ++connected_steps;
+      if (previous == kNoSatellite) {
+        ++dwell_segments;  // (re)acquisition starts a dwell
+      } else if (serving != previous) {
+        ++stats.handover_count;
+        ++dwell_segments;
+      }
+    } else if (previous != kNoSatellite) {
+      ++stats.outage_count;
+    }
+    previous = serving;
+  }
+
+  stats.connected_fraction =
+      static_cast<double>(connected_steps) / static_cast<double>(timeline.size());
+  const double connected_seconds = static_cast<double>(connected_steps) * step_seconds;
+  if (dwell_segments > 0) {
+    stats.mean_dwell_seconds = connected_seconds / static_cast<double>(dwell_segments);
+  }
+  if (connected_seconds > 0.0) {
+    stats.handovers_per_hour =
+        static_cast<double>(stats.handover_count) / (connected_seconds / 3600.0);
+  }
+  return stats;
+}
+
+}  // namespace mpleo::net

@@ -1,0 +1,152 @@
+#include "net/isl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "orbit/ephemeris.hpp"
+#include "orbit/propagator.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::net {
+
+IslTopology IslTopology::build(std::span<const util::Vec3> positions,
+                               const IslConfig& config) {
+  if (config.max_links_per_satellite < 0 || config.max_range_m <= 0.0) {
+    throw std::invalid_argument("IslTopology::build: invalid config");
+  }
+  const std::size_t n = positions.size();
+  IslTopology topo;
+  topo.adjacency_.resize(n);
+
+  const double range2 = config.max_range_m * config.max_range_m;
+  // Candidate neighbours per satellite: (distance^2, index), keep nearest k.
+  struct Candidate {
+    double dist2;
+    std::uint32_t index;
+  };
+  std::vector<std::vector<Candidate>> candidates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d2 = (positions[i] - positions[j]).norm_squared();
+      if (d2 <= range2) {
+        candidates[i].push_back({d2, static_cast<std::uint32_t>(j)});
+        candidates[j].push_back({d2, static_cast<std::uint32_t>(i)});
+      }
+    }
+  }
+
+  const auto k = static_cast<std::size_t>(config.max_links_per_satellite);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& cands = candidates[i];
+    if (cands.size() > k) {
+      std::partial_sort(cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(k),
+                        cands.end(),
+                        [](const Candidate& a, const Candidate& b) {
+                          return a.dist2 < b.dist2;
+                        });
+      cands.resize(k);
+    }
+  }
+  // A link exists when both ends keep each other (mutual selection), which
+  // also enforces the per-satellite terminal budget symmetrically.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Candidate& c : candidates[i]) {
+      if (c.index > i) continue;  // handle each unordered pair once (j < i)
+      const auto& back = candidates[c.index];
+      const bool mutual = std::any_of(back.begin(), back.end(), [i](const Candidate& b) {
+        return b.index == static_cast<std::uint32_t>(i);
+      });
+      if (mutual) {
+        topo.adjacency_[i].push_back(c.index);
+        topo.adjacency_[c.index].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  return topo;
+}
+
+std::size_t IslTopology::link_count() const noexcept {
+  std::size_t degree_sum = 0;
+  for (const auto& neighbors : adjacency_) degree_sum += neighbors.size();
+  return degree_sum / 2;
+}
+
+std::vector<int> IslTopology::hops_from(std::span<const std::size_t> sources) const {
+  std::vector<int> hops(adjacency_.size(), kUnreachable);
+  std::queue<std::size_t> frontier;
+  for (std::size_t s : sources) {
+    if (s < hops.size() && hops[s] == kUnreachable) {
+      hops[s] = 0;
+      frontier.push(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (std::uint32_t v : adjacency_[u]) {
+      if (hops[v] == kUnreachable) {
+        hops[v] = hops[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return hops;
+}
+
+cov::StepMask isl_coverage_mask(const cov::CoverageEngine& engine,
+                                std::span<const constellation::Satellite> satellites,
+                                const orbit::TopocentricFrame& terminal,
+                                std::span<const cov::GroundSite> gateways,
+                                const IslConfig& config) {
+  const orbit::TimeGrid& grid = engine.grid();
+  const double sin_mask = std::sin(util::deg_to_rad(engine.elevation_mask_deg()));
+  const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
+
+  std::vector<orbit::KeplerianPropagator> props;
+  props.reserve(satellites.size());
+  for (const constellation::Satellite& sat : satellites) {
+    props.emplace_back(sat.elements, sat.epoch);
+  }
+
+  cov::StepMask covered(grid.count);
+  std::vector<util::Vec3> positions(satellites.size());
+  std::vector<std::size_t> gateway_visible;
+  std::vector<std::size_t> terminal_visible;
+
+  for (std::size_t step = 0; step < grid.count; ++step) {
+    for (std::size_t s = 0; s < satellites.size(); ++s) {
+      const double dt = grid.at(step).seconds_since(satellites[s].epoch);
+      const util::Vec3 eci = props[s].position_eci_at_offset(dt);
+      const double c = gmst.cos_gmst[step];
+      const double sn = gmst.sin_gmst[step];
+      positions[s] = {c * eci.x + sn * eci.y, -sn * eci.x + c * eci.y, eci.z};
+    }
+
+    terminal_visible.clear();
+    gateway_visible.clear();
+    for (std::size_t s = 0; s < satellites.size(); ++s) {
+      if (terminal.visible_above(positions[s], sin_mask)) terminal_visible.push_back(s);
+      for (const cov::GroundSite& gw : gateways) {
+        if (gw.frame.visible_above(positions[s], sin_mask)) {
+          gateway_visible.push_back(s);
+          break;
+        }
+      }
+    }
+    if (terminal_visible.empty() || gateway_visible.empty()) continue;
+
+    const IslTopology topo = IslTopology::build(positions, config);
+    const std::vector<int> hops = topo.hops_from(gateway_visible);
+    for (std::size_t s : terminal_visible) {
+      if (hops[s] != IslTopology::kUnreachable && hops[s] <= config.max_hops) {
+        covered.set(step);
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
+}  // namespace mpleo::net

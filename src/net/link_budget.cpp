@@ -1,0 +1,44 @@
+#include "net/link_budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace mpleo::net {
+
+double db_to_linear(double db) noexcept { return std::pow(10.0, db / 10.0); }
+double linear_to_db(double linear) noexcept { return 10.0 * std::log10(linear); }
+
+double free_space_path_loss_db(double distance_m, double frequency_hz) {
+  if (!(distance_m > 0.0) || !(frequency_hz > 0.0)) {
+    throw std::invalid_argument("free_space_path_loss_db: non-positive input");
+  }
+  const double ratio =
+      4.0 * util::kPi * distance_m * frequency_hz / util::kSpeedOfLightMPerSec;
+  return 20.0 * std::log10(ratio);
+}
+
+double shannon_capacity_bps(double snr_linear, double bandwidth_hz) {
+  if (snr_linear < 0.0 || bandwidth_hz <= 0.0) {
+    throw std::invalid_argument("shannon_capacity_bps: invalid input");
+  }
+  return bandwidth_hz * std::log2(1.0 + snr_linear);
+}
+
+LinkBudget compute_link(const RadioConfig& tx, const RadioConfig& rx, double distance_m) {
+  LinkBudget budget;
+  budget.eirp_dbw = tx.eirp_dbw();
+  budget.path_loss_db = free_space_path_loss_db(distance_m, tx.frequency_hz);
+  budget.received_power_dbw = budget.eirp_dbw - budget.path_loss_db + rx.receive_gain_dbi -
+                              tx.misc_losses_db;
+  // N = k * T * B.
+  budget.noise_power_dbw = linear_to_db(util::kBoltzmannJPerK * rx.system_noise_temp_k *
+                                        rx.bandwidth_hz);
+  budget.snr_db = budget.received_power_dbw - budget.noise_power_dbw;
+  budget.snr_linear = db_to_linear(budget.snr_db);
+  budget.shannon_capacity_bps = shannon_capacity_bps(budget.snr_linear, rx.bandwidth_hz);
+  return budget;
+}
+
+}  // namespace mpleo::net

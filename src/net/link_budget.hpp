@@ -1,0 +1,49 @@
+// RF link budgets for satellite links: free-space path loss, received
+// carrier-to-noise, and Shannon capacity. All gains/losses in dB, powers in
+// dBW, frequencies in Hz, distances in metres.
+#pragma once
+
+namespace mpleo::net {
+
+[[nodiscard]] double db_to_linear(double db) noexcept;
+[[nodiscard]] double linear_to_db(double linear) noexcept;
+
+// Free-space path loss in dB. Preconditions: distance_m > 0, frequency_hz > 0.
+[[nodiscard]] double free_space_path_loss_db(double distance_m, double frequency_hz);
+
+// One end of a link.
+struct RadioConfig {
+  double transmit_power_dbw = 10.0;   // PA output
+  double transmit_gain_dbi = 30.0;    // antenna gain
+  double receive_gain_dbi = 30.0;
+  double system_noise_temp_k = 300.0; // receiver system noise temperature
+  double bandwidth_hz = 250e6;
+  double frequency_hz = 14.0e9;       // Ku-band uplink default
+  double misc_losses_db = 2.0;        // pointing, atmosphere, implementation
+
+  [[nodiscard]] double eirp_dbw() const noexcept {
+    return transmit_power_dbw + transmit_gain_dbi;
+  }
+};
+
+// A computed one-hop budget.
+struct LinkBudget {
+  double eirp_dbw = 0.0;
+  double path_loss_db = 0.0;
+  double received_power_dbw = 0.0;
+  double noise_power_dbw = 0.0;
+  double snr_db = 0.0;
+  double snr_linear = 0.0;
+  // Shannon capacity over the configured bandwidth, bit/s.
+  double shannon_capacity_bps = 0.0;
+};
+
+// Computes the budget of a single hop from `tx` (its transmit side) to `rx`
+// (its receive side) across `distance_m` at tx.frequency_hz.
+[[nodiscard]] LinkBudget compute_link(const RadioConfig& tx, const RadioConfig& rx,
+                                      double distance_m);
+
+// Shannon capacity for an SNR given in linear units over `bandwidth_hz`.
+[[nodiscard]] double shannon_capacity_bps(double snr_linear, double bandwidth_hz);
+
+}  // namespace mpleo::net

@@ -1,0 +1,63 @@
+#include "net/power.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpleo::net {
+
+PowerTimelineResult simulate_power(const PowerConfig& config, const cov::StepMask& sunlit,
+                                   const cov::StepMask& transmit_request,
+                                   double step_seconds) {
+  if (sunlit.step_count() != transmit_request.step_count()) {
+    throw std::invalid_argument("simulate_power: mask arity mismatch");
+  }
+  if (step_seconds <= 0.0 || config.battery_capacity_wh <= 0.0 ||
+      config.max_depth_of_discharge <= 0.0 || config.max_depth_of_discharge > 1.0) {
+    throw std::invalid_argument("simulate_power: invalid config");
+  }
+
+  const std::size_t steps = sunlit.step_count();
+  const double hours_per_step = step_seconds / 3600.0;
+  const double floor_wh =
+      config.battery_capacity_wh * (1.0 - config.max_depth_of_discharge);
+
+  PowerTimelineResult result;
+  result.transmitted = cov::StepMask(steps);
+  result.charge_wh.resize(steps);
+
+  double charge =
+      std::clamp(config.initial_charge_fraction, 0.0, 1.0) * config.battery_capacity_wh;
+  result.min_charge_wh = charge;
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double generation_w = sunlit.test(i) ? config.solar_panel_w : 0.0;
+    const bool wants_tx = transmit_request.test(i);
+
+    // Would transmitting this step violate the depth-of-discharge floor?
+    double load_w = config.bus_load_w + (wants_tx ? config.transponder_load_w : 0.0);
+    double next = charge + (generation_w - load_w) * hours_per_step;
+    bool transmit = wants_tx;
+    if (wants_tx && next < floor_wh) {
+      transmit = false;
+      ++result.denied_steps;
+      load_w = config.bus_load_w;
+      next = charge + (generation_w - load_w) * hours_per_step;
+    }
+
+    charge = std::clamp(next, 0.0, config.battery_capacity_wh);
+    if (transmit) result.transmitted.set(i);
+    result.charge_wh[i] = charge;
+    result.min_charge_wh = std::min(result.min_charge_wh, charge);
+  }
+  return result;
+}
+
+double sustainable_transmit_duty(const PowerConfig& config, double sunlit_fraction) {
+  // Energy balance: generation >= bus + duty * transponder.
+  const double surplus_w =
+      config.solar_panel_w * std::clamp(sunlit_fraction, 0.0, 1.0) - config.bus_load_w;
+  if (surplus_w <= 0.0) return 0.0;
+  return std::min(1.0, surplus_w / config.transponder_load_w);
+}
+
+}  // namespace mpleo::net

@@ -1,0 +1,46 @@
+// Satellite power/energy model: solar charging when sunlit, constant bus
+// load, transponder draw when transmitting, battery with depth-of-discharge
+// limits. Determines how much of a satellite's nominal spare capacity is
+// actually sellable — the physical ceiling under MP-LEO's §3.2 incentives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coverage/step_mask.hpp"
+
+namespace mpleo::net {
+
+struct PowerConfig {
+  double solar_panel_w = 400.0;        // generation when sunlit
+  double bus_load_w = 120.0;           // always-on avionics
+  double transponder_load_w = 180.0;   // additional draw while relaying
+  double battery_capacity_wh = 600.0;
+  double max_depth_of_discharge = 0.8; // usable fraction of the battery
+  double initial_charge_fraction = 1.0;
+};
+
+struct PowerTimelineResult {
+  // Steps at which the transponder actually ran (requested AND power ok).
+  cov::StepMask transmitted;
+  // Battery state of charge (Wh) at the END of each step.
+  std::vector<double> charge_wh;
+  std::size_t denied_steps = 0;   // transmit requests refused to protect DoD
+  double min_charge_wh = 0.0;
+};
+
+// Simulates the battery over a step grid. `sunlit[i]` says whether the
+// panels generate at step i; `transmit_request[i]` whether the scheduler
+// wants the transponder on. A request is denied when serving it would push
+// the battery below (1 - max_depth_of_discharge) * capacity.
+[[nodiscard]] PowerTimelineResult simulate_power(const PowerConfig& config,
+                                                 const cov::StepMask& sunlit,
+                                                 const cov::StepMask& transmit_request,
+                                                 double step_seconds);
+
+// Long-run duty-cycle bound: the fraction of time the transponder can run
+// given average sunlit fraction (energy balance, ignoring battery size).
+[[nodiscard]] double sustainable_transmit_duty(const PowerConfig& config,
+                                               double sunlit_fraction);
+
+}  // namespace mpleo::net

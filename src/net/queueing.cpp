@@ -1,0 +1,53 @@
+#include "net/queueing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpleo::net {
+
+QueueStats simulate_fifo_queue(std::span<const double> offered_bps,
+                               std::span<const double> capacity_bps,
+                               double step_seconds, const QueueConfig& config) {
+  if (offered_bps.size() != capacity_bps.size()) {
+    throw std::invalid_argument("simulate_fifo_queue: arity mismatch");
+  }
+  if (step_seconds <= 0.0 || config.buffer_bytes < 0.0) {
+    throw std::invalid_argument("simulate_fifo_queue: invalid config");
+  }
+
+  QueueStats stats;
+  double backlog = 0.0;
+  double backlog_time_integral = 0.0;  // bytes * seconds
+
+  for (std::size_t i = 0; i < offered_bps.size(); ++i) {
+    const double arriving = std::max(0.0, offered_bps[i]) * step_seconds / 8.0;
+    stats.offered_bytes += arriving;
+
+    // Serve first (the backlog at the start of the step plus what arrives,
+    // up to this step's capacity), then enforce the buffer on what remains.
+    const double service = std::max(0.0, capacity_bps[i]) * step_seconds / 8.0;
+    const double in_system = backlog + arriving;
+    const double served = std::min(in_system, service);
+    stats.delivered_bytes += served;
+
+    double remaining = in_system - served;
+    if (remaining > config.buffer_bytes) {
+      stats.dropped_bytes += remaining - config.buffer_bytes;
+      remaining = config.buffer_bytes;
+    }
+    backlog = remaining;
+    stats.max_backlog_bytes = std::max(stats.max_backlog_bytes, backlog);
+    backlog_time_integral += backlog * step_seconds;
+  }
+
+  if (stats.delivered_bytes > 0.0) {
+    const double window =
+        step_seconds * static_cast<double>(offered_bps.size());
+    const double mean_backlog = backlog_time_integral / window;
+    const double mean_rate = stats.delivered_bytes / window;  // bytes/s
+    stats.mean_delay_s = mean_rate > 0.0 ? mean_backlog / mean_rate : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace mpleo::net

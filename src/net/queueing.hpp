@@ -1,0 +1,37 @@
+// Fluid FIFO queue model for the packet-level (regenerative) bent-pipe
+// variant (§4): offered load vs link capacity per step, with a finite
+// buffer. Produces the delay/backlog/drop numbers that distinguish "the
+// link closes" from "the service is usable".
+#pragma once
+
+#include <span>
+
+namespace mpleo::net {
+
+struct QueueConfig {
+  double buffer_bytes = 64e6;  // on-board / gateway buffer
+};
+
+struct QueueStats {
+  double offered_bytes = 0.0;
+  double delivered_bytes = 0.0;
+  double dropped_bytes = 0.0;
+  double max_backlog_bytes = 0.0;
+  // Time-averaged queueing delay (Little's law: mean backlog / mean
+  // delivered rate); 0 when nothing was delivered.
+  double mean_delay_s = 0.0;
+
+  [[nodiscard]] double delivery_fraction() const noexcept {
+    return offered_bytes > 0.0 ? delivered_bytes / offered_bytes : 0.0;
+  }
+};
+
+// Simulates a work-conserving FIFO over a step grid. offered_bps[i] enters
+// the queue during step i; up to capacity_bps[i] drains. Arrivals beyond the
+// buffer are dropped. Arities must match; step_seconds > 0.
+[[nodiscard]] QueueStats simulate_fifo_queue(std::span<const double> offered_bps,
+                                             std::span<const double> capacity_bps,
+                                             double step_seconds,
+                                             const QueueConfig& config = {});
+
+}  // namespace mpleo::net

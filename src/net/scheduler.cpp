@@ -1,0 +1,180 @@
+#include "net/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/propagator.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::net {
+
+BentPipeScheduler::BentPipeScheduler(SchedulerConfig config,
+                                     std::vector<constellation::Satellite> satellites,
+                                     std::vector<Terminal> terminals,
+                                     std::vector<GroundStation> stations)
+    : config_(config),
+      satellites_(std::move(satellites)),
+      terminals_(std::move(terminals)),
+      stations_(std::move(stations)),
+      sin_mask_(std::sin(util::deg_to_rad(config.elevation_mask_deg))) {
+  if (config_.beams_per_satellite <= 0) {
+    throw std::invalid_argument("BentPipeScheduler: beams_per_satellite must be > 0");
+  }
+  terminal_frames_.reserve(terminals_.size());
+  for (const Terminal& t : terminals_) terminal_frames_.emplace_back(t.location);
+  station_frames_.reserve(stations_.size());
+  for (const GroundStation& gs : stations_) station_frames_.emplace_back(gs.location);
+}
+
+StepSchedule BentPipeScheduler::schedule_step(std::span<const util::Vec3> satellite_ecef,
+                                              std::size_t step) const {
+  StepSchedule schedule;
+  schedule.step = step;
+
+  std::vector<int> beams_left(satellites_.size(), config_.beams_per_satellite);
+
+  // Spare-pass service order: by configured party priority (descending),
+  // stable by terminal index. Own-pass order stays index order.
+  std::vector<std::size_t> spare_order(terminals_.size());
+  for (std::size_t i = 0; i < spare_order.size(); ++i) spare_order[i] = i;
+  if (!config_.spare_priority_by_party.empty()) {
+    std::stable_sort(spare_order.begin(), spare_order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       const auto& weights = config_.spare_priority_by_party;
+                       auto weight_of = [&weights](const Terminal& t) {
+                         return t.owner_party < weights.size()
+                                    ? weights[t.owner_party]
+                                    : 0.0;
+                       };
+                       return weight_of(terminals_[a]) > weight_of(terminals_[b]);
+                     });
+  }
+
+  // Two passes: own-satellite links first (owner priority), then spare
+  // capacity on anyone's satellite.
+  for (const bool spare_pass : {false, true}) {
+    for (std::size_t order_index = 0; order_index < terminals_.size(); ++order_index) {
+      const std::size_t ti = spare_pass ? spare_order[order_index] : order_index;
+      // Skip terminals already served in the first pass.
+      const bool already = std::any_of(
+          schedule.links.begin(), schedule.links.end(),
+          [ti](const LinkAssignment& l) { return l.terminal_index == ti; });
+      if (already) continue;
+
+      const Terminal& term = terminals_[ti];
+      const orbit::TopocentricFrame& term_frame = terminal_frames_[ti];
+
+      // Best (highest end-to-end capacity) feasible satellite+station pair.
+      double best_capacity = 0.0;
+      std::size_t best_sat = 0, best_gs = 0;
+      bool found = false;
+
+      for (std::size_t si = 0; si < satellites_.size(); ++si) {
+        if (beams_left[si] <= 0) continue;
+        const bool own = satellites_[si].owner_party == term.owner_party;
+        if (own == spare_pass) continue;  // pass 0: own only; pass 1: spare only
+        const util::Vec3& sat_pos = satellite_ecef[si];
+        if (!term_frame.visible_above(sat_pos, sin_mask_)) continue;
+
+        for (std::size_t gi = 0; gi < stations_.size(); ++gi) {
+          if (stations_[gi].owner_party != term.owner_party) continue;
+          if (!station_frames_[gi].visible_above(sat_pos, sin_mask_)) continue;
+
+          const double up = term_frame.range_m(sat_pos);
+          const double down = station_frames_[gi].range_m(sat_pos);
+          const RelayBudget budget = compute_relay(term.radio, config_.transponder,
+                                                   stations_[gi].radio, up, down,
+                                                   config_.relay_mode);
+          if (budget.end_to_end_capacity_bps > best_capacity) {
+            best_capacity = budget.end_to_end_capacity_bps;
+            best_sat = si;
+            best_gs = gi;
+            found = true;
+          }
+        }
+      }
+
+      if (found) {
+        --beams_left[best_sat];
+        schedule.links.push_back({ti, best_sat, best_gs, best_capacity,
+                                  satellites_[best_sat].owner_party != term.owner_party});
+      }
+    }
+  }
+
+  for (std::size_t ti = 0; ti < terminals_.size(); ++ti) {
+    const bool served = std::any_of(
+        schedule.links.begin(), schedule.links.end(),
+        [ti](const LinkAssignment& l) { return l.terminal_index == ti; });
+    if (!served) schedule.unserved_terminals.push_back(ti);
+  }
+  return schedule;
+}
+
+ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t party_count,
+                                      bool keep_steps) const {
+  for (const Terminal& t : terminals_) {
+    if (t.owner_party >= party_count) {
+      throw std::invalid_argument("BentPipeScheduler::run: terminal owner out of range");
+    }
+  }
+  for (const constellation::Satellite& s : satellites_) {
+    if (s.owner_party != constellation::Satellite::kUnowned && s.owner_party >= party_count) {
+      throw std::invalid_argument("BentPipeScheduler::run: satellite owner out of range");
+    }
+  }
+
+  ScheduleResult result;
+  result.per_party.resize(party_count);
+
+  const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
+  std::vector<orbit::KeplerianPropagator> props;
+  props.reserve(satellites_.size());
+  for (const constellation::Satellite& s : satellites_) {
+    props.emplace_back(s.elements, s.epoch);
+  }
+
+  std::vector<util::Vec3> positions(satellites_.size());
+  const double dt_step = grid.step_seconds;
+
+  for (std::size_t step = 0; step < grid.count; ++step) {
+    for (std::size_t si = 0; si < satellites_.size(); ++si) {
+      const double dt = grid.at(step).seconds_since(satellites_[si].epoch);
+      const util::Vec3 eci = props[si].position_eci_at_offset(dt);
+      const double c = gmst.cos_gmst[step];
+      const double s = gmst.sin_gmst[step];
+      positions[si] = {c * eci.x + s * eci.y, -s * eci.x + c * eci.y, eci.z};
+    }
+
+    StepSchedule schedule = schedule_step(positions, step);
+
+    for (const LinkAssignment& link : schedule.links) {
+      const std::uint32_t term_party = terminals_[link.terminal_index].owner_party;
+      const std::uint32_t sat_party = satellites_[link.satellite_index].owner_party;
+      const double throughput_bytes =
+          std::min(link.capacity_bps, terminals_[link.terminal_index].demand_bps) *
+          dt_step / 8.0;
+      if (link.spare) {
+        result.per_party[term_party].spare_used_seconds += dt_step;
+        result.per_party[term_party].bytes_received_from_others += throughput_bytes;
+        if (sat_party != constellation::Satellite::kUnowned) {
+          result.per_party[sat_party].spare_provided_seconds += dt_step;
+          result.per_party[sat_party].bytes_carried_for_others += throughput_bytes;
+        }
+      } else {
+        result.per_party[term_party].own_link_seconds += dt_step;
+      }
+      result.total_served_seconds += dt_step;
+    }
+    for (std::size_t ti : schedule.unserved_terminals) {
+      result.per_party[terminals_[ti].owner_party].unserved_terminal_seconds += dt_step;
+      result.total_unserved_seconds += dt_step;
+    }
+
+    if (keep_steps) result.steps.push_back(std::move(schedule));
+  }
+  return result;
+}
+
+}  // namespace mpleo::net

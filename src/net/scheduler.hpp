@@ -1,0 +1,106 @@
+// Per-step bent-pipe link scheduling.
+//
+// A terminal is servable at a step iff some satellite is simultaneously
+// visible to the terminal AND to a ground station of the terminal's party
+// (transparent bent-pipe needs both legs up at once — no ISLs, §3.1).
+// Satellites have a finite beam count; beams are granted owner-first, and
+// whatever remains is *spare capacity* offered to other parties — the core
+// sharing mechanism of MP-LEO. The aggregate accounting this produces (who
+// carried whose traffic for how long) is what core/ledger bills from.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "constellation/shell.hpp"
+#include "net/bent_pipe.hpp"
+#include "net/ground_station.hpp"
+#include "net/terminal.hpp"
+#include "orbit/ephemeris.hpp"
+#include "orbit/time.hpp"
+
+namespace mpleo::net {
+
+struct SchedulerConfig {
+  double elevation_mask_deg = 25.0;
+  int beams_per_satellite = 8;
+  RelayMode relay_mode = RelayMode::kTransparent;
+  TransponderConfig transponder = default_transponder();
+  // Optional per-party priority weights (e.g. core::ReputationTracker
+  // priority_weight) applied to SPARE-capacity contention only: terminals of
+  // higher-weight parties are offered leftover beams first. Own-satellite
+  // service is unaffected — a party can never be locked out of its own
+  // satellites. Empty = FIFO by terminal index (all equal).
+  std::vector<double> spare_priority_by_party;
+};
+
+// One granted link at one step.
+struct LinkAssignment {
+  std::size_t terminal_index = 0;
+  std::size_t satellite_index = 0;
+  std::size_t station_index = 0;
+  double capacity_bps = 0.0;
+  // True when the satellite's owner differs from the terminal's owner, i.e.
+  // the link rides spare capacity.
+  bool spare = false;
+};
+
+struct StepSchedule {
+  std::size_t step = 0;
+  std::vector<LinkAssignment> links;
+  std::vector<std::size_t> unserved_terminals;
+};
+
+// Aggregates over a whole grid run, per party.
+struct PartyUsage {
+  double own_link_seconds = 0.0;     // party terminals on party satellites
+  double spare_used_seconds = 0.0;   // party terminals on others' satellites
+  double spare_provided_seconds = 0.0;  // party satellites serving others
+  double bytes_carried_for_others = 0.0;
+  double bytes_received_from_others = 0.0;
+  double unserved_terminal_seconds = 0.0;
+};
+
+struct ScheduleResult {
+  std::vector<StepSchedule> steps;        // optionally retained (see config)
+  std::vector<PartyUsage> per_party;      // indexed by party id
+  double total_served_seconds = 0.0;
+  double total_unserved_seconds = 0.0;
+};
+
+class BentPipeScheduler {
+ public:
+  BentPipeScheduler(SchedulerConfig config, std::vector<constellation::Satellite> satellites,
+                    std::vector<Terminal> terminals, std::vector<GroundStation> stations);
+
+  // Schedules one step given precomputed satellite ECEF positions (one entry
+  // per satellite, same order as construction).
+  [[nodiscard]] StepSchedule schedule_step(std::span<const util::Vec3> satellite_ecef,
+                                           std::size_t step) const;
+
+  // Runs the whole grid and aggregates per-party usage. `party_count` sizes
+  // the aggregate vector; terminals/satellites with owner >= party_count are
+  // rejected. Set keep_steps to retain the per-step link lists.
+  [[nodiscard]] ScheduleResult run(const orbit::TimeGrid& grid, std::size_t party_count,
+                                   bool keep_steps = false) const;
+
+  [[nodiscard]] const std::vector<constellation::Satellite>& satellites() const noexcept {
+    return satellites_;
+  }
+  [[nodiscard]] const std::vector<Terminal>& terminals() const noexcept { return terminals_; }
+  [[nodiscard]] const std::vector<GroundStation>& stations() const noexcept {
+    return stations_;
+  }
+
+ private:
+  SchedulerConfig config_;
+  std::vector<constellation::Satellite> satellites_;
+  std::vector<Terminal> terminals_;
+  std::vector<GroundStation> stations_;
+  std::vector<orbit::TopocentricFrame> terminal_frames_;
+  std::vector<orbit::TopocentricFrame> station_frames_;
+  double sin_mask_ = 0.0;
+};
+
+}  // namespace mpleo::net

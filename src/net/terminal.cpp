@@ -1,0 +1,4 @@
+#include "net/terminal.hpp"
+
+// Terminal is a value type; behaviour lives in the scheduler. This TU exists
+// so the module has a home for future out-of-line members.

@@ -1,0 +1,28 @@
+// User terminals: the customer edge of a bent-pipe satellite network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/link_budget.hpp"
+#include "orbit/geodesy.hpp"
+
+namespace mpleo::net {
+
+using TerminalId = std::uint32_t;
+
+struct Terminal {
+  TerminalId id = 0;
+  std::string name;
+  orbit::Geodetic location;
+  std::uint32_t owner_party = 0;   // index into the consortium's party list
+  RadioConfig radio;               // RF chain of the terminal
+  double demand_bps = 50e6;        // offered load
+
+  // Precomputed frame for visibility tests.
+  [[nodiscard]] orbit::TopocentricFrame frame() const {
+    return orbit::TopocentricFrame(location);
+  }
+};
+
+}  // namespace mpleo::net

@@ -1,0 +1,41 @@
+#include "orbit/ephemeris.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mpleo::orbit {
+
+GmstTable GmstTable::for_grid(const TimeGrid& grid) {
+  GmstTable table;
+  table.cos_gmst.reserve(grid.count);
+  table.sin_gmst.reserve(grid.count);
+  for (std::size_t i = 0; i < grid.count; ++i) {
+    const double g = gmst_rad(grid.at(i));
+    table.cos_gmst.push_back(std::cos(g));
+    table.sin_gmst.push_back(std::sin(g));
+  }
+  return table;
+}
+
+std::vector<util::Vec3> ecef_positions(const KeplerianPropagator& propagator,
+                                       const TimeGrid& grid, const GmstTable& gmst) {
+  assert(gmst.size() == grid.count);
+  std::vector<util::Vec3> out;
+  out.reserve(grid.count);
+  const double t0 = grid.start.seconds_since(propagator.epoch());
+  for (std::size_t i = 0; i < grid.count; ++i) {
+    const double dt = t0 + grid.step_seconds * static_cast<double>(i);
+    const util::Vec3 eci = propagator.position_eci_at_offset(dt);
+    const double c = gmst.cos_gmst[i];
+    const double s = gmst.sin_gmst[i];
+    out.push_back({c * eci.x + s * eci.y, -s * eci.x + c * eci.y, eci.z});
+  }
+  return out;
+}
+
+std::vector<util::Vec3> ecef_positions(const KeplerianPropagator& propagator,
+                                       const TimeGrid& grid) {
+  return ecef_positions(propagator, grid, GmstTable::for_grid(grid));
+}
+
+}  // namespace mpleo::orbit

@@ -1,0 +1,34 @@
+// Ephemeris evaluation over a uniform time grid.
+//
+// The coverage engine evaluates many satellites against the same grid, so
+// the per-step sidereal rotation is computed once (GmstTable) and reused for
+// every satellite's ECI->ECEF transform.
+#pragma once
+
+#include <vector>
+
+#include "orbit/propagator.hpp"
+#include "orbit/time.hpp"
+#include "util/vec3.hpp"
+
+namespace mpleo::orbit {
+
+// Precomputed cos/sin of GMST at each grid step.
+struct GmstTable {
+  std::vector<double> cos_gmst;
+  std::vector<double> sin_gmst;
+
+  [[nodiscard]] static GmstTable for_grid(const TimeGrid& grid);
+  [[nodiscard]] std::size_t size() const noexcept { return cos_gmst.size(); }
+};
+
+// ECEF positions of one satellite at every step of `grid`.
+[[nodiscard]] std::vector<util::Vec3> ecef_positions(const KeplerianPropagator& propagator,
+                                                     const TimeGrid& grid,
+                                                     const GmstTable& gmst);
+
+// Convenience overload that builds the GmstTable internally (single use).
+[[nodiscard]] std::vector<util::Vec3> ecef_positions(const KeplerianPropagator& propagator,
+                                                     const TimeGrid& grid);
+
+}  // namespace mpleo::orbit

@@ -1,0 +1,70 @@
+// WGS-84 geodesy and reference-frame transforms.
+//
+// Frames:
+//   ECI  — Earth-centred inertial (TEME-like; z = rotation axis).
+//   ECEF — Earth-centred Earth-fixed; rotates with GMST about z.
+//   Topocentric (ENU) — local east/north/up at a ground site.
+#pragma once
+
+#include "orbit/time.hpp"
+#include "util/vec3.hpp"
+
+namespace mpleo::orbit {
+
+using util::Vec3;
+
+// Geodetic coordinates on the WGS-84 ellipsoid.
+struct Geodetic {
+  double latitude_rad = 0.0;   // [-pi/2, pi/2]
+  double longitude_rad = 0.0;  // (-pi, pi]
+  double altitude_m = 0.0;     // height above the ellipsoid
+
+  [[nodiscard]] static Geodetic from_degrees(double lat_deg, double lon_deg,
+                                             double alt_m = 0.0) noexcept;
+};
+
+// Geodetic -> ECEF (closed form).
+[[nodiscard]] Vec3 geodetic_to_ecef(const Geodetic& g) noexcept;
+
+// ECEF -> geodetic (Bowring's method, one refinement; < 1e-9 rad error for
+// near-Earth points).
+[[nodiscard]] Geodetic ecef_to_geodetic(const Vec3& ecef) noexcept;
+
+// Frame rotations about z by the sidereal angle.
+[[nodiscard]] Vec3 eci_to_ecef(const Vec3& eci, double gmst) noexcept;
+[[nodiscard]] Vec3 ecef_to_eci(const Vec3& ecef, double gmst) noexcept;
+[[nodiscard]] inline Vec3 eci_to_ecef(const Vec3& eci, const TimePoint& t) noexcept {
+  return eci_to_ecef(eci, gmst_rad(t));
+}
+
+// Precomputed local east/north/up basis at a ground site; makes per-step
+// elevation tests a couple of dot products.
+class TopocentricFrame {
+ public:
+  explicit TopocentricFrame(const Geodetic& site) noexcept;
+
+  [[nodiscard]] const Vec3& origin_ecef() const noexcept { return origin_; }
+  [[nodiscard]] const Vec3& up() const noexcept { return up_; }
+  [[nodiscard]] const Vec3& east() const noexcept { return east_; }
+  [[nodiscard]] const Vec3& north() const noexcept { return north_; }
+
+  // Elevation angle (radians) of a target given in ECEF; negative when the
+  // target is below the local horizon.
+  [[nodiscard]] double elevation_rad(const Vec3& target_ecef) const noexcept;
+  // Azimuth angle (radians, clockwise from north in [0, 2*pi)).
+  [[nodiscard]] double azimuth_rad(const Vec3& target_ecef) const noexcept;
+  // Slant range (metres).
+  [[nodiscard]] double range_m(const Vec3& target_ecef) const noexcept;
+
+  // Fast visibility test: true iff elevation(target) >= mask. Equivalent to
+  // elevation_rad(..) >= mask_rad but avoids the asin.
+  [[nodiscard]] bool visible_above(const Vec3& target_ecef, double sin_mask) const noexcept;
+
+ private:
+  Vec3 origin_;
+  Vec3 up_;
+  Vec3 east_;
+  Vec3 north_;
+};
+
+}  // namespace mpleo::orbit

@@ -1,0 +1,38 @@
+#include "orbit/ground_track.hpp"
+
+#include <cmath>
+
+#include "orbit/ephemeris.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+
+std::vector<GroundTrackPoint> ground_track(const KeplerianPropagator& propagator,
+                                           const TimeGrid& grid) {
+  const std::vector<util::Vec3> positions = ecef_positions(propagator, grid);
+  std::vector<GroundTrackPoint> track;
+  track.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    Geodetic g = ecef_to_geodetic(positions[i]);
+    g.altitude_m = 0.0;
+    track.push_back({grid.step_seconds * static_cast<double>(i), g});
+  }
+  return track;
+}
+
+double ground_track_shift_per_orbit_deg(const KeplerianPropagator& propagator) noexcept {
+  // Earth's inertial rotation carries the ground point eastward while the
+  // node drifts at the J2 rate; the track shifts west by the difference,
+  // accumulated over one (anomalistic) period.
+  const double period_s = util::kTwoPi / propagator.mean_anomaly_rate();
+  const double relative_rate =
+      util::kEarthRotationRateRadPerSec - propagator.raan_rate();
+  return util::rad_to_deg(relative_rate * period_s);
+}
+
+double max_track_latitude_rad(const ClassicalElements& elements) noexcept {
+  const double incl = elements.inclination_rad;
+  return incl <= util::kPi / 2.0 ? incl : util::kPi - incl;
+}
+
+}  // namespace mpleo::orbit

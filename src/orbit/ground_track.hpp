@@ -1,0 +1,35 @@
+// Ground tracks: the sub-satellite point over time. This is the geometry in
+// the paper's Fig. 1a — a LEO satellite's track shifts westward every orbit
+// because Earth rotates underneath it, which is why region-specific
+// constellations waste capacity.
+#pragma once
+
+#include <vector>
+
+#include "orbit/geodesy.hpp"
+#include "orbit/propagator.hpp"
+#include "orbit/time.hpp"
+
+namespace mpleo::orbit {
+
+struct GroundTrackPoint {
+  double offset_seconds = 0.0;  // from grid start
+  Geodetic point;               // sub-satellite latitude/longitude (alt = 0)
+};
+
+// Sub-satellite points at every grid step.
+[[nodiscard]] std::vector<GroundTrackPoint> ground_track(
+    const KeplerianPropagator& propagator, const TimeGrid& grid);
+
+// Westward shift (degrees, positive = west) of the ground track between
+// consecutive ascending equator crossings — approximately
+// 360 deg * period / sidereal day (~22.9 deg for a 550 km orbit), modified
+// slightly by J2 nodal regression.
+[[nodiscard]] double ground_track_shift_per_orbit_deg(
+    const KeplerianPropagator& propagator) noexcept;
+
+// Maximum |latitude| the track reaches: the orbit inclination (mirrored for
+// retrograde orbits).
+[[nodiscard]] double max_track_latitude_rad(const ClassicalElements& elements) noexcept;
+
+}  // namespace mpleo::orbit

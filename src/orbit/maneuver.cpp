@@ -1,0 +1,85 @@
+#include "orbit/maneuver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+namespace {
+constexpr double kMu = util::kMuEarth;
+
+void require_positive_radius(double r) {
+  if (!(r > util::kEarthMeanRadiusM * 0.5)) {
+    throw std::invalid_argument("maneuver: radius implausibly small");
+  }
+}
+}  // namespace
+
+double circular_velocity(double radius_m) {
+  require_positive_radius(radius_m);
+  return std::sqrt(kMu / radius_m);
+}
+
+double hohmann_delta_v(double r1_m, double r2_m) {
+  require_positive_radius(r1_m);
+  require_positive_radius(r2_m);
+  const double r1 = std::min(r1_m, r2_m);
+  const double r2 = std::max(r1_m, r2_m);
+  if (r1 == r2) return 0.0;
+  const double a_transfer = (r1 + r2) / 2.0;
+  const double v1 = std::sqrt(kMu / r1);
+  const double v2 = std::sqrt(kMu / r2);
+  const double v_peri = std::sqrt(kMu * (2.0 / r1 - 1.0 / a_transfer));
+  const double v_apo = std::sqrt(kMu * (2.0 / r2 - 1.0 / a_transfer));
+  return (v_peri - v1) + (v2 - v_apo);
+}
+
+double hohmann_transfer_time(double r1_m, double r2_m) {
+  require_positive_radius(r1_m);
+  require_positive_radius(r2_m);
+  const double a_transfer = (r1_m + r2_m) / 2.0;
+  return util::kPi * std::sqrt(a_transfer * a_transfer * a_transfer / kMu);
+}
+
+double plane_change_delta_v(double radius_m, double delta_inclination_rad) {
+  return 2.0 * circular_velocity(radius_m) * std::fabs(std::sin(delta_inclination_rad / 2.0));
+}
+
+double phasing_time(double radius_m, double phase_change_rad, double altitude_offset_m) {
+  require_positive_radius(radius_m);
+  if (altitude_offset_m == 0.0 || phase_change_rad == 0.0) {
+    throw std::invalid_argument("phasing_time: offset and phase change must be nonzero");
+  }
+  // Relative angular rate between the nominal orbit and the phasing orbit.
+  const double n0 = std::sqrt(kMu / (radius_m * radius_m * radius_m));
+  const double rp = radius_m - altitude_offset_m;  // lower = faster = catch up
+  const double np = std::sqrt(kMu / (rp * rp * rp));
+  const double relative_rate = np - n0;  // rad/s, sign follows offset
+  const double required = phase_change_rad / relative_rate;
+  if (required < 0.0) {
+    throw std::invalid_argument(
+        "phasing_time: offset direction cannot produce the requested drift");
+  }
+  return required;
+}
+
+double phasing_delta_v(double radius_m, double altitude_offset_m) {
+  require_positive_radius(radius_m);
+  // Enter and exit the phasing orbit: two Hohmann transfers.
+  return 2.0 * hohmann_delta_v(radius_m, radius_m - altitude_offset_m);
+}
+
+double deorbit_delta_v(double radius_m, double perigee_target_m) {
+  require_positive_radius(radius_m);
+  if (perigee_target_m >= radius_m) {
+    throw std::invalid_argument("deorbit_delta_v: target perigee above current orbit");
+  }
+  const double a_disposal = (radius_m + perigee_target_m) / 2.0;
+  const double v_circ = circular_velocity(radius_m);
+  const double v_after = std::sqrt(kMu * (2.0 / radius_m - 1.0 / a_disposal));
+  return v_circ - v_after;
+}
+
+}  // namespace mpleo::orbit

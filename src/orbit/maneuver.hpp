@@ -1,0 +1,40 @@
+// Impulsive maneuver budgets: the delta-v arithmetic behind constellation
+// deployment choices (§3.3) and end-of-life disposal (§1's sustainability
+// concern). All two-body circular-orbit approximations — the fidelity of a
+// mission-planning spreadsheet, which is what incremental-deployment
+// decisions are made with.
+#pragma once
+
+#include <cstddef>
+
+namespace mpleo::orbit {
+
+// Circular orbital speed at radius r (m), m/s.
+[[nodiscard]] double circular_velocity(double radius_m);
+
+// Total delta-v (m/s) of a two-burn Hohmann transfer between circular orbits
+// at the given radii (order independent).
+[[nodiscard]] double hohmann_delta_v(double r1_m, double r2_m);
+
+// Transfer time (s) of the Hohmann half-ellipse.
+[[nodiscard]] double hohmann_transfer_time(double r1_m, double r2_m);
+
+// Delta-v of a pure plane change of `delta_inclination_rad` at circular
+// speed for `radius_m`: 2 v sin(di/2). The reason "different inclination"
+// (Fig 4c's best coverage factor) is the most expensive slot to fill.
+[[nodiscard]] double plane_change_delta_v(double radius_m, double delta_inclination_rad);
+
+// Co-planar phasing: time (s) to drift `phase_change_rad` ahead/behind by
+// temporarily lowering/raising the orbit by `altitude_offset_m`.
+// Positive phase change = move ahead (drift in a lower, faster orbit).
+[[nodiscard]] double phasing_time(double radius_m, double phase_change_rad,
+                                  double altitude_offset_m);
+
+// Delta-v to enter and leave the phasing orbit (two Hohmann-like pairs).
+[[nodiscard]] double phasing_delta_v(double radius_m, double altitude_offset_m);
+
+// Delta-v to lower perigee from a circular orbit at `radius_m` to
+// `perigee_target_m` (deorbit burn; target below the dense atmosphere).
+[[nodiscard]] double deorbit_delta_v(double radius_m, double perigee_target_m);
+
+}  // namespace mpleo::orbit

@@ -1,0 +1,51 @@
+#include "orbit/propagator.hpp"
+
+#include <cmath>
+
+#include "util/angles.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+
+KeplerianPropagator::KeplerianPropagator(const ClassicalElements& epoch_elements,
+                                         TimePoint epoch,
+                                         Perturbation perturbation) noexcept
+    : coe_(epoch_elements), epoch_(epoch), perturbation_(perturbation) {
+  const double n = coe_.mean_motion_rad_per_sec();
+  m_dot_ = n;
+  if (perturbation_ == Perturbation::kJ2Secular) {
+    const double p = coe_.semi_latus_rectum_m();
+    const double re_over_p = util::kEarthEquatorialRadiusM / p;
+    const double j2_factor = util::kJ2Earth * re_over_p * re_over_p;
+    const double cos_i = std::cos(coe_.inclination_rad);
+    const double sqrt_1me2 =
+        std::sqrt(1.0 - coe_.eccentricity * coe_.eccentricity);
+
+    // Vallado, "Fundamentals of Astrodynamics", secular J2 rates.
+    raan_dot_ = -1.5 * n * j2_factor * cos_i;
+    argp_dot_ = 0.75 * n * j2_factor * (5.0 * cos_i * cos_i - 1.0);
+    m_dot_ = n + 0.75 * n * j2_factor * sqrt_1me2 * (3.0 * cos_i * cos_i - 1.0);
+  }
+}
+
+ClassicalElements KeplerianPropagator::elements_at_offset(double dt) const noexcept {
+  ClassicalElements out = coe_;
+  out.raan_rad = util::wrap_two_pi(coe_.raan_rad + raan_dot_ * dt);
+  out.arg_perigee_rad = util::wrap_two_pi(coe_.arg_perigee_rad + argp_dot_ * dt);
+  out.mean_anomaly_rad = util::wrap_two_pi(coe_.mean_anomaly_rad + m_dot_ * dt);
+  return out;
+}
+
+StateVector KeplerianPropagator::state_at_offset(double dt) const noexcept {
+  return elements_to_state(elements_at_offset(dt));
+}
+
+StateVector KeplerianPropagator::state_at(const TimePoint& t) const noexcept {
+  return state_at_offset(t.seconds_since(epoch_));
+}
+
+Vec3 KeplerianPropagator::position_eci_at_offset(double dt) const noexcept {
+  return state_at_offset(dt).position;
+}
+
+}  // namespace mpleo::orbit

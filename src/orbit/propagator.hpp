@@ -1,0 +1,50 @@
+// Analytic orbit propagation: two-body Keplerian motion with optional J2
+// secular perturbations (nodal regression, apsidal rotation, mean-anomaly
+// drift). This is the same fidelity class as TLE mean-element propagation
+// used by coverage simulators; short-period oscillations (~km) are far below
+// the footprint scale (~1000 km) that drives coverage results.
+#pragma once
+
+#include "orbit/elements.hpp"
+#include "orbit/time.hpp"
+
+namespace mpleo::orbit {
+
+enum class Perturbation {
+  kNone,       // pure two-body
+  kJ2Secular,  // two-body + secular J2 drift rates (default)
+};
+
+class KeplerianPropagator {
+ public:
+  // `epoch_elements` are osculating/mean elements valid at `epoch`.
+  KeplerianPropagator(const ClassicalElements& epoch_elements, TimePoint epoch,
+                      Perturbation perturbation = Perturbation::kJ2Secular) noexcept;
+
+  // Elements advanced by `dt_seconds` from the epoch (secular rates applied).
+  [[nodiscard]] ClassicalElements elements_at_offset(double dt_seconds) const noexcept;
+
+  [[nodiscard]] StateVector state_at(const TimePoint& t) const noexcept;
+  [[nodiscard]] StateVector state_at_offset(double dt_seconds) const noexcept;
+  [[nodiscard]] Vec3 position_eci_at_offset(double dt_seconds) const noexcept;
+
+  [[nodiscard]] const ClassicalElements& epoch_elements() const noexcept { return coe_; }
+  [[nodiscard]] TimePoint epoch() const noexcept { return epoch_; }
+  [[nodiscard]] Perturbation perturbation() const noexcept { return perturbation_; }
+
+  // Secular rates (rad/s); zero under Perturbation::kNone.
+  [[nodiscard]] double raan_rate() const noexcept { return raan_dot_; }
+  [[nodiscard]] double arg_perigee_rate() const noexcept { return argp_dot_; }
+  // Total mean anomaly rate including the J2 correction.
+  [[nodiscard]] double mean_anomaly_rate() const noexcept { return m_dot_; }
+
+ private:
+  ClassicalElements coe_;
+  TimePoint epoch_;
+  Perturbation perturbation_;
+  double raan_dot_ = 0.0;
+  double argp_dot_ = 0.0;
+  double m_dot_ = 0.0;
+};
+
+}  // namespace mpleo::orbit

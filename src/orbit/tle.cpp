@@ -1,0 +1,305 @@
+#include "orbit/tle.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+namespace {
+
+// Extracts the [start, start+len) column slice (1-based TLE column start).
+std::string slice(const std::string& line, std::size_t start_col, std::size_t len) {
+  if (start_col - 1 >= line.size()) return {};
+  return line.substr(start_col - 1, len);
+}
+
+double parse_double(const std::string& field, bool* ok) {
+  char* end = nullptr;
+  const std::string trimmed = field;
+  const double v = std::strtod(trimmed.c_str(), &end);
+  if (end == trimmed.c_str()) {
+    *ok = false;
+    return 0.0;
+  }
+  return v;
+}
+
+long parse_long(const std::string& field, bool* ok) {
+  char* end = nullptr;
+  const long v = std::strtol(field.c_str(), &end, 10);
+  if (end == field.c_str()) {
+    *ok = false;
+    return 0;
+  }
+  return v;
+}
+
+// Parses the TLE "implied decimal + exponent" notation, e.g. " 34123-4"
+// meaning 0.34123e-4, used for BSTAR and the second derivative field.
+double parse_implied_exponent(const std::string& field, bool* ok) {
+  std::string s;
+  for (char ch : field) {
+    if (!std::isspace(static_cast<unsigned char>(ch))) s += ch;
+  }
+  if (s.empty() || s == "00000-0" || s == "00000+0") return 0.0;
+  double sign = 1.0;
+  std::size_t i = 0;
+  if (s[i] == '-') {
+    sign = -1.0;
+    ++i;
+  } else if (s[i] == '+') {
+    ++i;
+  }
+  std::string mantissa_digits;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    mantissa_digits += s[i++];
+  }
+  if (mantissa_digits.empty() || i >= s.size()) {
+    *ok = false;
+    return 0.0;
+  }
+  double exp_sign = 1.0;
+  if (s[i] == '-') {
+    exp_sign = -1.0;
+    ++i;
+  } else if (s[i] == '+') {
+    ++i;
+  }
+  if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+    *ok = false;
+    return 0.0;
+  }
+  const double exponent = exp_sign * (s[i] - '0');
+  const double mantissa =
+      std::strtod(("0." + mantissa_digits).c_str(), nullptr);
+  return sign * mantissa * std::pow(10.0, exponent);
+}
+
+std::string format_implied_exponent(double value) {
+  char buf[16];
+  if (value == 0.0) return " 00000+0";
+  const char sign = value < 0.0 ? '-' : ' ';
+  double mag = std::fabs(value);
+  int exponent = static_cast<int>(std::floor(std::log10(mag))) + 1;
+  double mantissa = mag / std::pow(10.0, exponent);
+  auto digits = static_cast<long>(std::llround(mantissa * 1e5));
+  if (digits >= 100000) {  // rounding overflow, e.g. 0.999999 -> 1.0
+    digits = 10000;
+    ++exponent;
+  }
+  std::snprintf(buf, sizeof buf, "%c%05ld%+d", sign, digits, exponent);
+  return buf;
+}
+
+// TLE epoch field: YYDDD.DDDDDDDD.
+TimePoint parse_tle_epoch(const std::string& field, bool* ok) {
+  bool field_ok = true;
+  const double raw = parse_double(field, &field_ok);
+  if (!field_ok) {
+    *ok = false;
+    return {};
+  }
+  const int yy = static_cast<int>(raw / 1000.0);
+  const double doy = raw - yy * 1000.0;  // fractional day of year (1.0 = Jan 1 00:00)
+  const int year = yy >= 57 ? 1900 + yy : 2000 + yy;
+  const TimePoint jan1 = TimePoint::from_civil({year, 1, 1, 0, 0, 0.0});
+  return jan1.plus_days(doy - 1.0);
+}
+
+std::string format_tle_epoch(const TimePoint& t) {
+  const CivilTime c = t.to_civil();
+  const TimePoint jan1 = TimePoint::from_civil({c.year, 1, 1, 0, 0, 0.0});
+  const double doy = t.seconds_since(jan1) / util::kSecondsPerDay + 1.0;
+  const int yy = c.year % 100;
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%02d%012.8f", yy, doy);
+  return buf;
+}
+
+}  // namespace
+
+int tle_checksum(const std::string& line) noexcept {
+  int sum = 0;
+  const std::size_t limit = std::min<std::size_t>(line.size(), 68);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const char ch = line[i];
+    if (ch >= '0' && ch <= '9') sum += ch - '0';
+    if (ch == '-') sum += 1;
+  }
+  return sum % 10;
+}
+
+TleParseResult parse_tle(const std::string& line0, const std::string& line1,
+                         const std::string& line2) {
+  TleParseResult result;
+  auto fail = [&result](std::string message) {
+    result.ok = false;
+    result.error = std::move(message);
+    return result;
+  };
+
+  if (line1.size() < 69 || line2.size() < 69) return fail("line shorter than 69 columns");
+  if (line1[0] != '1') return fail("line 1 does not start with '1'");
+  if (line2[0] != '2') return fail("line 2 does not start with '2'");
+  if (tle_checksum(line1) != line1[68] - '0') return fail("line 1 checksum mismatch");
+  if (tle_checksum(line2) != line2[68] - '0') return fail("line 2 checksum mismatch");
+
+  bool ok = true;
+  Tle tle;
+  tle.name = line0;
+  while (!tle.name.empty() && std::isspace(static_cast<unsigned char>(tle.name.back()))) {
+    tle.name.pop_back();
+  }
+
+  tle.catalog_number = static_cast<int>(parse_long(slice(line1, 3, 5), &ok));
+  tle.classification = line1[7];
+  tle.intl_designator = slice(line1, 10, 8);
+  while (!tle.intl_designator.empty() &&
+         std::isspace(static_cast<unsigned char>(tle.intl_designator.back()))) {
+    tle.intl_designator.pop_back();
+  }
+  tle.epoch = parse_tle_epoch(slice(line1, 19, 14), &ok);
+  tle.mean_motion_dot = parse_double(slice(line1, 34, 10), &ok);
+  tle.mean_motion_ddot = parse_implied_exponent(slice(line1, 45, 8), &ok);
+  tle.bstar = parse_implied_exponent(slice(line1, 54, 8), &ok);
+  tle.element_set_number = static_cast<int>(parse_long(slice(line1, 65, 4), &ok));
+
+  const int cat2 = static_cast<int>(parse_long(slice(line2, 3, 5), &ok));
+  if (cat2 != tle.catalog_number) return fail("catalog number differs between lines");
+  tle.inclination_deg = parse_double(slice(line2, 9, 8), &ok);
+  tle.raan_deg = parse_double(slice(line2, 18, 8), &ok);
+  tle.eccentricity = parse_double("0." + slice(line2, 27, 7), &ok);
+  tle.arg_perigee_deg = parse_double(slice(line2, 35, 8), &ok);
+  tle.mean_anomaly_deg = parse_double(slice(line2, 44, 8), &ok);
+  tle.mean_motion_rev_per_day = parse_double(slice(line2, 53, 11), &ok);
+  tle.revolution_number = static_cast<int>(parse_long(slice(line2, 64, 5), &ok));
+
+  if (!ok) return fail("numeric field parse failure");
+  if (tle.mean_motion_rev_per_day <= 0.0) return fail("non-positive mean motion");
+  if (tle.eccentricity < 0.0 || tle.eccentricity >= 1.0) return fail("eccentricity out of range");
+
+  result.ok = true;
+  result.tle = std::move(tle);
+  return result;
+}
+
+TleLines format_tle(const Tle& tle) {
+  char l1[80];
+  char l2[80];
+
+  // First derivative field: sign, then ".NNNNNNNN".
+  char nd_buf[16];
+  std::snprintf(nd_buf, sizeof nd_buf, "%.8f", std::fabs(tle.mean_motion_dot));
+  // nd_buf is "0.XXXXXXXX"; the TLE field drops the leading zero.
+  std::string ndot = (tle.mean_motion_dot < 0.0 ? "-" : " ") + std::string(nd_buf + 1);
+
+  std::snprintf(l1, sizeof l1, "1 %05dU %-8s %s %s %s %s 0 %4d", tle.catalog_number,
+                tle.intl_designator.c_str(), format_tle_epoch(tle.epoch).c_str(),
+                ndot.c_str(), format_implied_exponent(tle.mean_motion_ddot).c_str(),
+                format_implied_exponent(tle.bstar).c_str(), tle.element_set_number % 10000);
+
+  const auto ecc_digits = static_cast<long>(std::llround(tle.eccentricity * 1e7));
+  std::snprintf(l2, sizeof l2, "2 %05d %8.4f %8.4f %07ld %8.4f %8.4f %11.8f%5d",
+                tle.catalog_number, tle.inclination_deg, tle.raan_deg, ecc_digits,
+                tle.arg_perigee_deg, tle.mean_anomaly_deg, tle.mean_motion_rev_per_day,
+                tle.revolution_number % 100000);
+
+  TleLines lines{l1, l2};
+  lines.line1 += static_cast<char>('0' + tle_checksum(lines.line1));
+  lines.line2 += static_cast<char>('0' + tle_checksum(lines.line2));
+  return lines;
+}
+
+TleCatalog parse_tle_catalog(const std::string& text) {
+  TleCatalog catalog;
+
+  // Split into lines (tolerate \r\n).
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+    start = end + 1;
+  }
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+
+  std::string pending_name;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    if (line[0] == '1' && line.size() >= 69) {
+      if (i + 1 >= lines.size()) {
+        catalog.errors.push_back("line " + std::to_string(i + 1) +
+                                 ": line 1 without a following line 2");
+        break;
+      }
+      TleParseResult parsed = parse_tle(pending_name, line, lines[i + 1]);
+      if (parsed.ok) {
+        catalog.entries.push_back(std::move(parsed.tle));
+      } else {
+        catalog.errors.push_back("line " + std::to_string(i + 1) + ": " + parsed.error);
+      }
+      pending_name.clear();
+      ++i;  // consume line 2
+    } else {
+      // Anything else is treated as a name (line 0), possibly "0 NAME".
+      pending_name = line;
+      if (pending_name.size() >= 2 && pending_name[0] == '0' && pending_name[1] == ' ') {
+        pending_name.erase(0, 2);
+      }
+    }
+  }
+  return catalog;
+}
+
+std::string format_tle_catalog(const std::vector<Tle>& entries) {
+  std::string out;
+  for (const Tle& tle : entries) {
+    const TleLines lines = format_tle(tle);
+    out += tle.name.empty() ? "UNKNOWN" : tle.name;
+    out += '\n';
+    out += lines.line1;
+    out += '\n';
+    out += lines.line2;
+    out += '\n';
+  }
+  return out;
+}
+
+ClassicalElements Tle::to_elements() const noexcept {
+  ClassicalElements coe;
+  const double n = mean_motion_rev_per_day * util::kTwoPi / util::kSecondsPerDay;
+  coe.semi_major_axis_m = std::cbrt(util::kMuEarth / (n * n));
+  coe.eccentricity = eccentricity;
+  coe.inclination_rad = util::deg_to_rad(inclination_deg);
+  coe.raan_rad = util::deg_to_rad(raan_deg);
+  coe.arg_perigee_rad = util::deg_to_rad(arg_perigee_deg);
+  coe.mean_anomaly_rad = util::deg_to_rad(mean_anomaly_deg);
+  return coe;
+}
+
+Tle Tle::from_elements(const ClassicalElements& coe, TimePoint epoch, int catalog_number,
+                       std::string name) {
+  Tle tle;
+  tle.name = std::move(name);
+  tle.catalog_number = catalog_number;
+  tle.intl_designator = "24001A";
+  tle.epoch = epoch;
+  tle.inclination_deg = util::rad_to_deg(coe.inclination_rad);
+  tle.raan_deg = util::rad_to_deg(coe.raan_rad);
+  tle.eccentricity = coe.eccentricity;
+  tle.arg_perigee_deg = util::rad_to_deg(coe.arg_perigee_rad);
+  tle.mean_anomaly_deg = util::rad_to_deg(coe.mean_anomaly_rad);
+  tle.mean_motion_rev_per_day =
+      coe.mean_motion_rad_per_sec() * util::kSecondsPerDay / util::kTwoPi;
+  return tle;
+}
+
+}  // namespace mpleo::orbit

@@ -1,0 +1,73 @@
+#include "sim/scenario.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace mpleo::sim {
+namespace {
+
+bool consume_prefix(std::string_view& arg, std::string_view prefix) {
+  if (arg.substr(0, prefix.size()) != prefix) return false;
+  arg.remove_prefix(prefix.size());
+  return true;
+}
+
+double to_double(std::string_view value, const char* flag) {
+  char* end = nullptr;
+  const std::string buffer(value);
+  const double parsed = std::strtod(buffer.c_str(), &end);
+  if (end == buffer.c_str() || *end != '\0') {
+    throw std::invalid_argument(std::string("invalid numeric value for ") + flag);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Scenario parse_scenario(int argc, const char* const* argv, Scenario defaults) {
+  Scenario scenario = defaults;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--full") {
+      scenario.apply_full_fidelity();
+    } else if (arg == "--quick") {
+      scenario.runs = 5;
+      scenario.duration_s = 2.0 * 86400.0;
+      scenario.step_s = 120.0;
+    } else if (arg == "--no-gen2") {
+      scenario.include_gen2_catalog = false;
+    } else if (consume_prefix(arg, "--runs=")) {
+      scenario.runs = static_cast<std::size_t>(to_double(arg, "--runs"));
+    } else if (consume_prefix(arg, "--step=")) {
+      scenario.step_s = to_double(arg, "--step");
+    } else if (consume_prefix(arg, "--mask=")) {
+      scenario.elevation_mask_deg = to_double(arg, "--mask");
+    } else if (consume_prefix(arg, "--seed=")) {
+      scenario.seed = static_cast<std::uint64_t>(to_double(arg, "--seed"));
+    } else if (consume_prefix(arg, "--days=")) {
+      scenario.duration_s = to_double(arg, "--days") * 86400.0;
+    } else if (consume_prefix(arg, "--epoch=")) {
+      scenario.epoch = orbit::TimePoint::from_iso8601(std::string(arg));
+    } else {
+      throw std::invalid_argument("unknown flag: " + std::string(argv[i]) +
+                                  " (supported: --runs= --step= --mask= --seed= --days= "
+                                  "--epoch= --full --quick --no-gen2)");
+    }
+  }
+  if (scenario.runs == 0) throw std::invalid_argument("--runs must be >= 1");
+  if (scenario.step_s <= 0.0) throw std::invalid_argument("--step must be > 0");
+  if (scenario.duration_s <= 0.0) throw std::invalid_argument("--days must be > 0");
+  return scenario;
+}
+
+std::string describe(const Scenario& scenario) {
+  std::ostringstream os;
+  os << "epoch=" << scenario.epoch.to_iso8601() << " window=" << scenario.duration_s / 86400.0
+     << "d step=" << scenario.step_s << "s mask=" << scenario.elevation_mask_deg
+     << "deg runs=" << scenario.runs << " seed=" << scenario.seed;
+  return os.str();
+}
+
+}  // namespace mpleo::sim

@@ -1,0 +1,35 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace mpleo::sim {
+
+void TraceRecorder::record(double time_s, std::string category, std::string message) {
+  events_.push_back({time_s, std::move(category), std::move(message)});
+}
+
+std::vector<TraceEvent> TraceRecorder::by_category(const std::string& category) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.category == category) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::count(const std::string& category) const noexcept {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.category == category) ++n;
+  }
+  return n;
+}
+
+std::string TraceRecorder::to_string() const {
+  std::ostringstream os;
+  for (const TraceEvent& e : events_) {
+    os << "t=" << e.time_s << "s [" << e.category << "] " << e.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mpleo::sim

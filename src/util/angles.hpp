@@ -1,0 +1,29 @@
+// Angle normalisation helpers.
+#pragma once
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace mpleo::util {
+
+// Wraps an angle to [0, 2*pi).
+[[nodiscard]] inline double wrap_two_pi(double rad) noexcept {
+  double w = std::fmod(rad, kTwoPi);
+  if (w < 0.0) w += kTwoPi;
+  return w;
+}
+
+// Wraps an angle to (-pi, pi].
+[[nodiscard]] inline double wrap_pi(double rad) noexcept {
+  double w = wrap_two_pi(rad);
+  if (w > kPi) w -= kTwoPi;
+  return w;
+}
+
+// Smallest absolute angular separation between two angles, in [0, pi].
+[[nodiscard]] inline double angular_separation(double a, double b) noexcept {
+  return std::fabs(wrap_pi(a - b));
+}
+
+}  // namespace mpleo::util

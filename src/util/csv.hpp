@@ -1,0 +1,24 @@
+// CSV writer with RFC-4180 quoting, used to dump bench series for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mpleo::util {
+
+class CsvWriter {
+ public:
+  // Writes rows to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  // Quotes a cell if it contains a comma, quote, or newline.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace mpleo::util

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace mpleo::util {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[mpleo %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace mpleo::util

@@ -1,0 +1,43 @@
+// Tiny leveled logger. Not thread-safe by design: the simulator is
+// single-threaded per run; benches own their output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mpleo::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mpleo::util
+
+#define MPLEO_LOG_DEBUG ::mpleo::util::detail::LogLine(::mpleo::util::LogLevel::kDebug)
+#define MPLEO_LOG_INFO ::mpleo::util::detail::LogLine(::mpleo::util::LogLevel::kInfo)
+#define MPLEO_LOG_WARN ::mpleo::util::detail::LogLine(::mpleo::util::LogLevel::kWarn)
+#define MPLEO_LOG_ERROR ::mpleo::util::detail::LogLine(::mpleo::util::LogLevel::kError)

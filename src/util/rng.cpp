@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/units.hpp"
+
+namespace mpleo::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256PlusPlus::Xoshiro256PlusPlus(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Xoshiro256PlusPlus::result_type Xoshiro256PlusPlus::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Xoshiro256PlusPlus Xoshiro256PlusPlus::split(std::uint64_t child_index) const noexcept {
+  // Mix the current state with the child index through SplitMix64 to obtain
+  // a decorrelated child seed. Does not advance the parent.
+  SplitMix64 sm(s_[0] ^ rotl(s_[2], 29) ^ (child_index * 0x9E3779B97F4A7C15ULL));
+  return Xoshiro256PlusPlus(sm.next());
+}
+
+double Xoshiro256PlusPlus::uniform() noexcept {
+  // 53 random bits -> [0,1) double.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256PlusPlus::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256PlusPlus::uniform_index(std::uint64_t n) noexcept {
+  assert(n > 0);
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    // Split the 64-bit draw into a 128-bit product high/low by hand.
+    const __uint128_t m = static_cast<__uint128_t>(r) * n;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Xoshiro256PlusPlus::normal() noexcept {
+  // Box-Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double Xoshiro256PlusPlus::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+std::vector<std::size_t> Xoshiro256PlusPlus::sample_without_replacement(std::size_t n,
+                                                                        std::size_t k) {
+  assert(k <= n);
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(uniform_index(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace mpleo::util

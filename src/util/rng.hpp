@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiment randomness flows through Xoshiro256PlusPlus streams so that
+// every bench/table is exactly reproducible from a seed. Streams can be
+// split per Monte-Carlo run (split(run_index)) so runs are independent yet
+// individually re-creatable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mpleo::util {
+
+// SplitMix64 — used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256++ by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Xoshiro256PlusPlus {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256PlusPlus(std::uint64_t seed = 0x6d70ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  // Derives an independent child stream; child i is stable across calls.
+  [[nodiscard]] Xoshiro256PlusPlus split(std::uint64_t child_index) const noexcept;
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept;
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  // Uniform integer in [0, n). Precondition: n > 0. Unbiased (rejection).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  // Standard normal via Box-Muller (no cached spare; stateless per call pair).
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept;
+
+  // Fisher-Yates partial shuffle: returns k distinct indices drawn uniformly
+  // without replacement from [0, n). Precondition: k <= n.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                                    std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mpleo::util

@@ -1,0 +1,60 @@
+// Small statistics toolkit for Monte-Carlo experiment summaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mpleo::util {
+
+// Welford online accumulator: numerically stable mean/variance plus extrema.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  // Merges another accumulator into this one (parallel-combine form).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile with linear interpolation; p in [0,100]. Copies and sorts.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+[[nodiscard]] double mean_of(const std::vector<double>& values);
+[[nodiscard]] double stddev_of(const std::vector<double>& values);
+
+// Fixed-width histogram over [lo, hi); values outside are clamped to the
+// first/last bin. Used by benches to show distributions paper-figure style.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mpleo::util

@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpleo::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return os.str();
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::duration(double seconds) {
+  const bool neg = seconds < 0.0;
+  double s = std::fabs(seconds);
+  const auto days = static_cast<long>(s / 86400.0);
+  s -= static_cast<double>(days) * 86400.0;
+  const auto hours = static_cast<long>(s / 3600.0);
+  s -= static_cast<double>(hours) * 3600.0;
+  const auto minutes = static_cast<long>(s / 60.0);
+
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof buf, "%s%ldd %ldh %02ldm", neg ? "-" : "", days, hours, minutes);
+  } else if (hours > 0) {
+    std::snprintf(buf, sizeof buf, "%s%ldh %02ldm", neg ? "-" : "", hours, minutes);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%ldm %02.0fs", neg ? "-" : "", minutes,
+                  s - static_cast<double>(minutes) * 60.0);
+  }
+  return buf;
+}
+
+}  // namespace mpleo::util

@@ -1,0 +1,32 @@
+// ASCII table renderer used by the bench harnesses to print paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpleo::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with aligned columns, a header rule, and outer borders.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  // Formatting helpers for cells.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 2);
+  // Renders seconds as e.g. "1d 16h 03m".
+  [[nodiscard]] static std::string duration(double seconds);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpleo::util

@@ -1,0 +1,49 @@
+// Physical constants and unit helpers used across the library.
+//
+// All internal computation is SI: metres, seconds, radians, kilograms,
+// watts, hertz. Helpers exist to convert at the API boundary only.
+#pragma once
+
+#include <numbers>
+
+namespace mpleo::util {
+
+// --- Mathematical constants ------------------------------------------------
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// --- Earth / gravity (WGS-84 + EGM96 values) --------------------------------
+// Gravitational parameter of Earth, m^3/s^2.
+inline constexpr double kMuEarth = 3.986004418e14;
+// WGS-84 equatorial radius, m.
+inline constexpr double kEarthEquatorialRadiusM = 6378137.0;
+// WGS-84 flattening.
+inline constexpr double kEarthFlattening = 1.0 / 298.257223563;
+// Mean Earth radius (IUGG), m — used for spherical footprint approximations.
+inline constexpr double kEarthMeanRadiusM = 6371008.8;
+// Second zonal harmonic (J2) of Earth's geopotential.
+inline constexpr double kJ2Earth = 1.08262668e-3;
+// Earth rotation rate, rad/s (sidereal).
+inline constexpr double kEarthRotationRateRadPerSec = 7.2921158553e-5;
+
+// --- Radio ------------------------------------------------------------------
+// Speed of light, m/s.
+inline constexpr double kSpeedOfLightMPerSec = 299792458.0;
+// Boltzmann constant, J/K.
+inline constexpr double kBoltzmannJPerK = 1.380649e-23;
+
+// --- Time -------------------------------------------------------------------
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+
+// --- Conversions --------------------------------------------------------------
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept { return deg * kPi / 180.0; }
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept { return rad * 180.0 / kPi; }
+[[nodiscard]] constexpr double km_to_m(double km) noexcept { return km * 1000.0; }
+[[nodiscard]] constexpr double m_to_km(double m) noexcept { return m / 1000.0; }
+[[nodiscard]] constexpr double hours_to_sec(double h) noexcept { return h * kSecondsPerHour; }
+[[nodiscard]] constexpr double sec_to_hours(double s) noexcept { return s / kSecondsPerHour; }
+[[nodiscard]] constexpr double days_to_sec(double d) noexcept { return d * kSecondsPerDay; }
+
+}  // namespace mpleo::util

@@ -1,0 +1,67 @@
+// Minimal 3-vector used for positions/velocities in metres and m/s.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace mpleo::util {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) noexcept : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) noexcept {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) noexcept {
+    x /= s; y /= s; z /= s;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr double norm_squared() const noexcept { return x * x + y * y + z * z; }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(norm_squared()); }
+
+  // Returns this vector scaled to unit length. Precondition: norm() > 0.
+  [[nodiscard]] Vec3 normalized() const noexcept {
+    const double n = norm();
+    return {x / n, y / n, z / n};
+  }
+};
+
+[[nodiscard]] constexpr Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+[[nodiscard]] constexpr Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+[[nodiscard]] constexpr Vec3 operator*(Vec3 a, double s) noexcept { return a *= s; }
+[[nodiscard]] constexpr Vec3 operator*(double s, Vec3 a) noexcept { return a *= s; }
+[[nodiscard]] constexpr Vec3 operator/(Vec3 a, double s) noexcept { return a /= s; }
+[[nodiscard]] constexpr Vec3 operator-(const Vec3& a) noexcept { return {-a.x, -a.y, -a.z}; }
+
+[[nodiscard]] constexpr double dot(const Vec3& a, const Vec3& b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+[[nodiscard]] constexpr Vec3 cross(const Vec3& a, const Vec3& b) noexcept {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+[[nodiscard]] inline double distance(const Vec3& a, const Vec3& b) noexcept {
+  return (a - b).norm();
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace mpleo::util

@@ -1,0 +1,89 @@
+#include "constellation/designer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/angles.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::constellation {
+namespace {
+
+orbit::ClassicalElements reference() {
+  return orbit::ClassicalElements::circular(546e3, 53.0, 0.0, 0.0);
+}
+
+TEST(Designer, PhaseOffsetCandidates) {
+  const auto slots = phase_offset_candidates(reference(), {1.0, 15.0, 29.0});
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_NEAR(util::rad_to_deg(slots[0].elements.mean_anomaly_rad), 1.0, 1e-9);
+  EXPECT_NEAR(util::rad_to_deg(slots[1].elements.mean_anomaly_rad), 15.0, 1e-9);
+  EXPECT_NEAR(util::rad_to_deg(slots[2].elements.mean_anomaly_rad), 29.0, 1e-9);
+  // Everything else unchanged.
+  for (const CandidateSlot& s : slots) {
+    EXPECT_EQ(s.elements.semi_major_axis_m, reference().semi_major_axis_m);
+    EXPECT_EQ(s.elements.inclination_rad, reference().inclination_rad);
+    EXPECT_EQ(s.elements.raan_rad, reference().raan_rad);
+  }
+}
+
+TEST(Designer, PhaseOffsetWrapsNegative) {
+  const auto slots = phase_offset_candidates(reference(), {-10.0});
+  EXPECT_NEAR(util::rad_to_deg(slots[0].elements.mean_anomaly_rad), 350.0, 1e-9);
+}
+
+TEST(Designer, FactorCandidatesCategories) {
+  const auto slots = factor_candidates(reference(), 43.0, 25e3, 45.0);
+  ASSERT_EQ(slots.size(), 3u);
+
+  // Category 1: inclination change only.
+  EXPECT_NEAR(util::rad_to_deg(slots[0].elements.inclination_rad), 43.0, 1e-9);
+  EXPECT_EQ(slots[0].elements.semi_major_axis_m, reference().semi_major_axis_m);
+  EXPECT_EQ(slots[0].elements.mean_anomaly_rad, reference().mean_anomaly_rad);
+
+  // Category 2: altitude change only.
+  EXPECT_NEAR(slots[1].elements.semi_major_axis_m,
+              reference().semi_major_axis_m + 25e3, 1e-6);
+  EXPECT_EQ(slots[1].elements.inclination_rad, reference().inclination_rad);
+
+  // Category 3: phase change only.
+  EXPECT_NEAR(util::rad_to_deg(slots[2].elements.mean_anomaly_rad), 45.0, 1e-9);
+  EXPECT_EQ(slots[2].elements.inclination_rad, reference().inclination_rad);
+  EXPECT_EQ(slots[2].elements.semi_major_axis_m, reference().semi_major_axis_m);
+}
+
+TEST(Designer, LabelsAreDescriptive) {
+  const auto slots = factor_candidates(reference(), 43.0, 25e3, 45.0);
+  EXPECT_NE(slots[0].label.find("inclination"), std::string::npos);
+  EXPECT_NE(slots[1].label.find("altitude"), std::string::npos);
+  EXPECT_NE(slots[2].label.find("phase"), std::string::npos);
+}
+
+TEST(Designer, CoarseGridDimensions) {
+  const SlotGrid grid = SlotGrid::coarse_leo();
+  EXPECT_EQ(grid.raan_values_deg.size(), 12u);
+  EXPECT_EQ(grid.phase_values_deg.size(), 12u);
+  EXPECT_EQ(grid.inclination_values_deg.size(), 4u);
+  EXPECT_EQ(grid.altitude_values_m.size(), 3u);
+  const auto slots = enumerate_slots(grid);
+  EXPECT_EQ(slots.size(), 12u * 12u * 4u * 3u);
+}
+
+TEST(Designer, EnumerateEmptyGridIsEmpty) {
+  EXPECT_TRUE(enumerate_slots(SlotGrid{}).empty());
+}
+
+TEST(Designer, EnumerateAppliesAllValues) {
+  SlotGrid grid;
+  grid.raan_values_deg = {10.0};
+  grid.phase_values_deg = {20.0};
+  grid.inclination_values_deg = {53.0};
+  grid.altitude_values_m = {550e3};
+  const auto slots = enumerate_slots(grid);
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_NEAR(util::rad_to_deg(slots[0].elements.raan_rad), 10.0, 1e-9);
+  EXPECT_NEAR(util::rad_to_deg(slots[0].elements.mean_anomaly_rad), 20.0, 1e-9);
+  EXPECT_NEAR(util::rad_to_deg(slots[0].elements.inclination_rad), 53.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mpleo::constellation

@@ -1,0 +1,80 @@
+#include "constellation/fleets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/units.hpp"
+
+namespace mpleo::constellation {
+namespace {
+
+TEST(Fleets, OneWebGeometry) {
+  const auto shells = oneweb_shells();
+  ASSERT_EQ(shells.size(), 1u);
+  EXPECT_EQ(shells[0].total_count(), 588);
+  EXPECT_DOUBLE_EQ(shells[0].raan_spread_deg, 180.0);
+  EXPECT_NEAR(shells[0].inclination_deg, 87.9, 1e-12);
+  EXPECT_NEAR(shells[0].altitude_m, 1200e3, 1e-6);
+}
+
+TEST(Fleets, KuiperTotals) {
+  const auto shells = kuiper_shells();
+  ASSERT_EQ(shells.size(), 3u);
+  int total = 0;
+  for (const WalkerShell& s : shells) total += s.total_count();
+  EXPECT_EQ(total, 34 * 34 + 36 * 36 + 28 * 28);  // 3236
+}
+
+TEST(Fleets, WalkerStarPlanesSpanHalfCircle) {
+  WalkerShell star = oneweb_shells()[0];
+  star.raan_offset_deg = 0.0;
+  const auto sats = star.build(orbit::TimePoint{});
+  double max_raan = 0.0;
+  for (const Satellite& s : sats) {
+    max_raan = std::max(max_raan, util::rad_to_deg(s.elements.raan_rad));
+  }
+  // 12 planes over 180 deg: last plane at 165 deg.
+  EXPECT_LT(max_raan, 180.0);
+  EXPECT_NEAR(max_raan, 165.0, 1e-9);
+}
+
+TEST(Fleets, WalkerStarRejectsBadSpread) {
+  WalkerShell shell;
+  shell.raan_spread_deg = 0.0;
+  EXPECT_THROW(shell.build(orbit::TimePoint{}), std::invalid_argument);
+  shell.raan_spread_deg = 400.0;
+  EXPECT_THROW(shell.build(orbit::TimePoint{}), std::invalid_argument);
+}
+
+TEST(Fleets, BuildCatalogContiguousIds) {
+  const auto catalog = build_catalog(kuiper_shells(), orbit::TimePoint{});
+  EXPECT_EQ(catalog.size(), 3236u);
+  std::set<SatelliteId> ids;
+  for (const Satellite& s : catalog) ids.insert(s.id);
+  EXPECT_EQ(ids.size(), catalog.size());
+  EXPECT_EQ(*ids.begin(), 0u);
+}
+
+TEST(Fleets, BuildCatalogDeterministicJitter) {
+  const auto a = build_catalog(oneweb_shells(), orbit::TimePoint{});
+  const auto b = build_catalog(oneweb_shells(), orbit::TimePoint{});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_EQ(a[i].elements.raan_rad, b[i].elements.raan_rad);
+  }
+}
+
+TEST(Fleets, KuiperInclinationsMixed) {
+  const auto catalog = build_catalog(kuiper_shells(), orbit::TimePoint{});
+  std::set<int> inclinations;
+  for (const Satellite& s : catalog) {
+    inclinations.insert(static_cast<int>(util::rad_to_deg(s.elements.inclination_rad) + 0.5));
+  }
+  EXPECT_TRUE(inclinations.contains(52));
+  EXPECT_TRUE(inclinations.contains(42));
+  EXPECT_TRUE(inclinations.contains(33));
+}
+
+}  // namespace
+}  // namespace mpleo::constellation

@@ -1,0 +1,88 @@
+#include "constellation/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "constellation/starlink.hpp"
+
+namespace mpleo::constellation {
+namespace {
+
+std::vector<Satellite> small_catalog() {
+  WalkerShell shell;
+  shell.label = "S";
+  shell.plane_count = 10;
+  shell.sats_per_plane = 10;
+  shell.phasing_factor = 1;
+  return shell.build(orbit::TimePoint{});
+}
+
+TEST(Sampler, IndicesDistinctAndInRange) {
+  util::Xoshiro256PlusPlus rng(5);
+  const auto indices = sample_indices(100, 30, rng);
+  EXPECT_EQ(indices.size(), 30u);
+  std::set<std::size_t> unique(indices.begin(), indices.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t i : indices) EXPECT_LT(i, 100u);
+}
+
+TEST(Sampler, CountExceedingCatalogThrows) {
+  util::Xoshiro256PlusPlus rng(5);
+  EXPECT_THROW(sample_indices(10, 11, rng), std::invalid_argument);
+}
+
+TEST(Sampler, FullCatalogIsPermutation) {
+  util::Xoshiro256PlusPlus rng(5);
+  const auto indices = sample_indices(50, 50, rng);
+  std::set<std::size_t> unique(indices.begin(), indices.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(Sampler, GatherPreservesOrderAndContent) {
+  const auto catalog = small_catalog();
+  const std::vector<std::size_t> indices{5, 0, 99};
+  const auto picked = gather(catalog, indices);
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0].id, catalog[5].id);
+  EXPECT_EQ(picked[1].id, catalog[0].id);
+  EXPECT_EQ(picked[2].id, catalog[99].id);
+}
+
+TEST(Sampler, SampleSatellitesMatchesIndices) {
+  const auto catalog = small_catalog();
+  util::Xoshiro256PlusPlus rng_a(9);
+  util::Xoshiro256PlusPlus rng_b(9);
+  const auto indices = sample_indices(catalog.size(), 20, rng_a);
+  const auto sats = sample_satellites(catalog, 20, rng_b);
+  ASSERT_EQ(sats.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(sats[i].id, catalog[indices[i]].id);
+  }
+}
+
+TEST(Sampler, DifferentSeedsProduceDifferentSamples) {
+  util::Xoshiro256PlusPlus rng_a(1);
+  util::Xoshiro256PlusPlus rng_b(2);
+  const auto a = sample_indices(1000, 100, rng_a);
+  const auto b = sample_indices(1000, 100, rng_b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Sampler, ApproximatelyUniformOverCatalog) {
+  // Each index should be picked with probability k/n.
+  util::Xoshiro256PlusPlus rng(13);
+  constexpr std::size_t kN = 50;
+  constexpr std::size_t kK = 10;
+  constexpr int kTrials = 5000;
+  std::vector<int> hits(kN, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    for (std::size_t idx : sample_indices(kN, kK, rng)) ++hits[idx];
+  }
+  const double expected = kTrials * static_cast<double>(kK) / kN;
+  for (int h : hits) EXPECT_NEAR(h, expected, expected * 0.15);
+}
+
+}  // namespace
+}  // namespace mpleo::constellation

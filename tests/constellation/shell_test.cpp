@@ -1,0 +1,126 @@
+#include "constellation/shell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "util/angles.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::constellation {
+namespace {
+
+TEST(WalkerShell, TotalCountAndIds) {
+  WalkerShell shell;
+  shell.label = "TEST";
+  shell.plane_count = 6;
+  shell.sats_per_plane = 4;
+  shell.phasing_factor = 1;
+  const auto sats = shell.build(orbit::TimePoint{}, 100);
+  ASSERT_EQ(sats.size(), 24u);
+  EXPECT_EQ(shell.total_count(), 24);
+  EXPECT_EQ(sats.front().id, 100u);
+  EXPECT_EQ(sats.back().id, 123u);
+  std::set<SatelliteId> ids;
+  for (const Satellite& s : sats) ids.insert(s.id);
+  EXPECT_EQ(ids.size(), 24u);
+}
+
+TEST(WalkerShell, PlanesEquallySpacedInRaan) {
+  WalkerShell shell;
+  shell.plane_count = 8;
+  shell.sats_per_plane = 2;
+  shell.phasing_factor = 0;
+  const auto sats = shell.build(orbit::TimePoint{});
+  // First satellite of each plane.
+  for (int p = 0; p < shell.plane_count; ++p) {
+    const auto& sat = sats[static_cast<std::size_t>(p * shell.sats_per_plane)];
+    EXPECT_NEAR(util::rad_to_deg(sat.elements.raan_rad), 45.0 * p, 1e-9);
+  }
+}
+
+TEST(WalkerShell, InPlanePhasingUniform) {
+  WalkerShell shell;
+  shell.plane_count = 1;
+  shell.sats_per_plane = 12;
+  shell.phasing_factor = 0;
+  const auto sats = shell.build(orbit::TimePoint{});
+  for (int s = 0; s < 12; ++s) {
+    EXPECT_NEAR(util::rad_to_deg(sats[static_cast<std::size_t>(s)].elements.mean_anomaly_rad),
+                30.0 * s, 1e-9);
+  }
+}
+
+TEST(WalkerShell, PhasingFactorShiftsAdjacentPlanes) {
+  WalkerShell shell;
+  shell.plane_count = 4;
+  shell.sats_per_plane = 5;
+  shell.phasing_factor = 2;
+  const auto sats = shell.build(orbit::TimePoint{});
+  const double expected_shift_deg = 2.0 * 360.0 / 20.0;  // F * 360 / T
+  const double p0 = util::rad_to_deg(sats[0].elements.mean_anomaly_rad);
+  const double p1 = util::rad_to_deg(sats[5].elements.mean_anomaly_rad);
+  EXPECT_NEAR(p1 - p0, expected_shift_deg, 1e-9);
+}
+
+TEST(WalkerShell, AltitudeAndInclinationApplied) {
+  WalkerShell shell;
+  shell.altitude_m = 546e3;
+  shell.inclination_deg = 53.0;
+  shell.plane_count = 2;
+  shell.sats_per_plane = 2;
+  shell.phasing_factor = 0;
+  for (const Satellite& sat : shell.build(orbit::TimePoint{})) {
+    EXPECT_NEAR(sat.elements.semi_major_axis_m, util::kEarthMeanRadiusM + 546e3, 1e-6);
+    EXPECT_NEAR(util::rad_to_deg(sat.elements.inclination_rad), 53.0, 1e-12);
+    EXPECT_EQ(sat.elements.eccentricity, 0.0);
+  }
+}
+
+TEST(WalkerShell, RejectsInvalidParameters) {
+  WalkerShell shell;
+  shell.plane_count = 0;
+  EXPECT_THROW(shell.build(orbit::TimePoint{}), std::invalid_argument);
+  shell.plane_count = 4;
+  shell.phasing_factor = 4;  // must be < plane_count
+  EXPECT_THROW(shell.build(orbit::TimePoint{}), std::invalid_argument);
+}
+
+TEST(SinglePlane, PaperFig4bConstellation) {
+  // 12 satellites, 30 deg apart, 53 deg inclination, 546 km altitude.
+  const auto sats = single_plane(546e3, 53.0, 0.0, 12, orbit::TimePoint{});
+  ASSERT_EQ(sats.size(), 12u);
+  for (std::size_t i = 1; i < sats.size(); ++i) {
+    const double gap = util::rad_to_deg(sats[i].elements.mean_anomaly_rad) -
+                       util::rad_to_deg(sats[i - 1].elements.mean_anomaly_rad);
+    EXPECT_NEAR(gap, 30.0, 1e-9);
+  }
+  // Same plane: identical RAAN and inclination.
+  for (const Satellite& s : sats) {
+    EXPECT_EQ(s.elements.raan_rad, sats[0].elements.raan_rad);
+    EXPECT_EQ(s.elements.inclination_rad, sats[0].elements.inclination_rad);
+  }
+}
+
+TEST(SinglePlane, PhaseOffsetShiftsAll) {
+  const auto base = single_plane(550e3, 53.0, 0.0, 4, orbit::TimePoint{});
+  const auto shifted = single_plane(550e3, 53.0, 0.0, 4, orbit::TimePoint{}, 15.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(util::rad_to_deg(shifted[i].elements.mean_anomaly_rad) -
+                    util::rad_to_deg(base[i].elements.mean_anomaly_rad),
+                15.0, 1e-9);
+  }
+}
+
+TEST(SinglePlane, RejectsNonPositiveCount) {
+  EXPECT_THROW(single_plane(550e3, 53.0, 0.0, 0, orbit::TimePoint{}), std::invalid_argument);
+}
+
+TEST(Satellite, DefaultsUnowned) {
+  Satellite sat;
+  EXPECT_EQ(sat.owner_party, Satellite::kUnowned);
+}
+
+}  // namespace
+}  // namespace mpleo::constellation

@@ -1,0 +1,100 @@
+#include "constellation/starlink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/units.hpp"
+
+namespace mpleo::constellation {
+namespace {
+
+TEST(Starlink, Gen1ShellSizes) {
+  const auto shells = starlink_shells(/*include_gen2=*/false);
+  ASSERT_EQ(shells.size(), 5u);
+  int total = 0;
+  for (const WalkerShell& s : shells) total += s.total_count();
+  // FCC Gen-1 filing: 1584 + 1584 + 720 + 348 + 172 = 4408.
+  EXPECT_EQ(total, 4408);
+}
+
+TEST(Starlink, CatalogSizeWithGen2) {
+  const auto catalog = build_starlink_catalog(orbit::TimePoint{});
+  // 4408 + 28*60 = 6088 — "nearly 6000 satellites" as the paper says.
+  EXPECT_EQ(catalog.size(), 6088u);
+}
+
+TEST(Starlink, IdsAreContiguousAndUnique) {
+  const auto catalog = build_starlink_catalog(orbit::TimePoint{});
+  std::set<SatelliteId> ids;
+  for (const Satellite& s : catalog) ids.insert(s.id);
+  EXPECT_EQ(ids.size(), catalog.size());
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), catalog.size() - 1);
+}
+
+TEST(Starlink, InclinationMixMatchesFiling) {
+  const auto catalog = build_starlink_catalog(orbit::TimePoint{});
+  int incl53 = 0, incl70 = 0, sso = 0;
+  for (const Satellite& s : catalog) {
+    const double incl = util::rad_to_deg(s.elements.inclination_rad);
+    if (incl < 55.0) ++incl53;
+    else if (incl < 80.0) ++incl70;
+    else ++sso;
+  }
+  EXPECT_EQ(incl53, 1584 + 1584 + 1680);  // 53.0 + 53.2 + Gen2 53.0
+  EXPECT_EQ(incl70, 720);
+  EXPECT_EQ(sso, 348 + 172);
+}
+
+TEST(Starlink, AltitudesWithinLeoBand) {
+  for (const Satellite& s : build_starlink_catalog(orbit::TimePoint{})) {
+    const double alt = s.elements.semi_major_axis_m - util::kEarthMeanRadiusM;
+    EXPECT_GE(alt, 500e3);
+    EXPECT_LE(alt, 600e3);
+  }
+}
+
+TEST(Starlink, JitterIsDeterministicPerSeed) {
+  const auto a = build_starlink_catalog(orbit::TimePoint{});
+  const auto b = build_starlink_catalog(orbit::TimePoint{});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a[i].elements.raan_rad, b[i].elements.raan_rad);
+    EXPECT_EQ(a[i].elements.mean_anomaly_rad, b[i].elements.mean_anomaly_rad);
+  }
+}
+
+TEST(Starlink, JitterChangesWithSeed) {
+  StarlinkCatalogOptions opts;
+  opts.jitter_seed = 111;
+  const auto a = build_starlink_catalog(orbit::TimePoint{}, opts);
+  opts.jitter_seed = 222;
+  const auto b = build_starlink_catalog(orbit::TimePoint{}, opts);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].elements.raan_rad != b[i].elements.raan_rad) ++differing;
+  }
+  EXPECT_GT(differing, static_cast<int>(a.size() / 2));
+}
+
+TEST(Starlink, ZeroJitterGivesExactGrid) {
+  StarlinkCatalogOptions opts;
+  opts.jitter_deg = 0.0;
+  opts.include_gen2 = false;
+  const auto catalog = build_starlink_catalog(orbit::TimePoint{}, opts);
+  // First shell, first plane, first two satellites are 360/22 deg apart.
+  const double gap = util::rad_to_deg(catalog[1].elements.mean_anomaly_rad) -
+                     util::rad_to_deg(catalog[0].elements.mean_anomaly_rad);
+  EXPECT_NEAR(gap, 360.0 / 22.0, 1e-9);
+}
+
+TEST(Starlink, EpochStampedOnAllSatellites) {
+  const auto epoch = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+  for (const Satellite& s : build_starlink_catalog(epoch)) {
+    EXPECT_EQ(s.epoch.julian_date(), epoch.julian_date());
+  }
+}
+
+}  // namespace
+}  // namespace mpleo::constellation

@@ -1,0 +1,125 @@
+#include "core/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpleo::core {
+namespace {
+
+// Builds a usage aggregate where party 1 consumed spare capacity that
+// parties 0 and 2 provided (2:1 split of provided seconds).
+net::ScheduleResult sample_usage() {
+  net::ScheduleResult usage;
+  usage.per_party.resize(3);
+  usage.per_party[1].spare_used_seconds = 600.0;             // 10 minutes
+  usage.per_party[1].bytes_received_from_others = 2e9;       // 2 GB
+  usage.per_party[0].spare_provided_seconds = 400.0;
+  usage.per_party[0].bytes_carried_for_others = 1.4e9;
+  usage.per_party[2].spare_provided_seconds = 200.0;
+  usage.per_party[2].bytes_carried_for_others = 0.6e9;
+  return usage;
+}
+
+struct Accounts {
+  Ledger ledger;
+  std::vector<AccountId> ids;
+};
+
+Accounts funded_accounts(double initial = 1000.0) {
+  Accounts a;
+  a.ledger.mint(3 * initial);
+  for (int i = 0; i < 3; ++i) {
+    a.ids.push_back(a.ledger.open_account("party" + std::to_string(i)));
+    EXPECT_TRUE(a.ledger.reward(a.ids.back(), initial));
+  }
+  return a;
+}
+
+TEST(Settlement, ConsumerPaysProvidersProportionally) {
+  Accounts accounts = funded_accounts();
+  SettlementConfig cfg;
+  cfg.pricing.tokens_per_gb = 8.0;
+  cfg.pricing.tokens_per_minute = 0.5;
+
+  const SettlementReport report =
+      settle(sample_usage(), accounts.ids, cfg, accounts.ledger);
+
+  // Owed: 2 GB * 8 + 10 min * 0.5 = 21 tokens.
+  EXPECT_NEAR(report.per_party[1].paid, 21.0, 1e-9);
+  // Split 400:200 across providers 0 and 2.
+  EXPECT_NEAR(report.per_party[0].earned, 14.0, 1e-9);
+  EXPECT_NEAR(report.per_party[2].earned, 7.0, 1e-9);
+  EXPECT_NEAR(report.total_cleared, 21.0, 1e-9);
+  EXPECT_EQ(report.failed_transfers, 0u);
+
+  // Ledger reflects the payments.
+  EXPECT_NEAR(accounts.ledger.balance(accounts.ids[1]), 1000.0 - 21.0, 1e-9);
+  EXPECT_NEAR(accounts.ledger.balance(accounts.ids[0]), 1014.0, 1e-9);
+  EXPECT_NEAR(accounts.ledger.sum_of_balances(), accounts.ledger.total_minted(), 1e-9);
+}
+
+TEST(Settlement, MoreSatellitesEarnMore) {
+  // The paper's §3.2 claim, as an accounting fact: the provider with more
+  // spare-provided time earns strictly more.
+  Accounts accounts = funded_accounts();
+  SettlementConfig cfg;
+  const SettlementReport report =
+      settle(sample_usage(), accounts.ids, cfg, accounts.ledger);
+  EXPECT_GT(report.per_party[0].earned, report.per_party[2].earned);
+}
+
+TEST(Settlement, NoProvidersMeansNothingCleared) {
+  Accounts accounts = funded_accounts();
+  net::ScheduleResult usage;
+  usage.per_party.resize(3);
+  usage.per_party[1].spare_used_seconds = 100.0;  // demand but nobody provided
+  SettlementConfig cfg;
+  const SettlementReport report = settle(usage, accounts.ids, cfg, accounts.ledger);
+  EXPECT_EQ(report.total_cleared, 0.0);
+}
+
+TEST(Settlement, InsufficientFundsRecordedNotThrown) {
+  Accounts accounts = funded_accounts(0.0);  // nobody has tokens
+  SettlementConfig cfg;
+  const SettlementReport report =
+      settle(sample_usage(), accounts.ids, cfg, accounts.ledger);
+  EXPECT_EQ(report.total_cleared, 0.0);
+  EXPECT_GT(report.failed_transfers, 0u);
+}
+
+TEST(Settlement, DynamicMultiplierApplied) {
+  Accounts accounts = funded_accounts();
+  net::ScheduleResult usage = sample_usage();
+  // Fully served spare demand -> utilization 1.0 -> multiplier above 1.
+  SettlementConfig cfg;
+  cfg.dynamic = true;
+  cfg.dynamic_config.base = cfg.pricing;
+  cfg.dynamic_config.target_utilization = 0.5;
+  cfg.dynamic_config.sensitivity = 1.0;
+  const SettlementReport report = settle(usage, accounts.ids, cfg, accounts.ledger);
+  EXPECT_NEAR(report.utilization, 1.0, 1e-12);
+  EXPECT_NEAR(report.price_multiplier, 1.5, 1e-12);
+  EXPECT_NEAR(report.per_party[1].paid, 21.0 * 1.5, 1e-9);
+}
+
+TEST(Settlement, UtilizationCountsUnserved) {
+  Accounts accounts = funded_accounts();
+  net::ScheduleResult usage = sample_usage();
+  usage.per_party[1].unserved_terminal_seconds = 600.0;  // half the demand unmet
+  SettlementConfig cfg;
+  const SettlementReport report = settle(usage, accounts.ids, cfg, accounts.ledger);
+  EXPECT_NEAR(report.utilization, 0.5, 1e-12);
+}
+
+TEST(Settlement, ArityMismatchThrows) {
+  Accounts accounts = funded_accounts();
+  net::ScheduleResult usage;
+  usage.per_party.resize(2);
+  SettlementConfig cfg;
+  EXPECT_THROW((void)settle(usage, accounts.ids, cfg, accounts.ledger),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpleo::core

@@ -1,0 +1,119 @@
+#include "core/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpleo::core {
+namespace {
+
+cov::StepMask mask_from_pattern(const char* pattern) {
+  const std::string s(pattern);
+  cov::StepMask m(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1') m.set(i);
+  }
+  return m;
+}
+
+TEST(Emission, ConstantWithinHalvingPeriod) {
+  EmissionSchedule schedule;
+  schedule.initial_epoch_reward = 1000.0;
+  schedule.epochs_per_halving = 12;
+  for (std::size_t e = 0; e < 12; ++e) {
+    EXPECT_DOUBLE_EQ(schedule.epoch_reward(e), 1000.0);
+  }
+  EXPECT_DOUBLE_EQ(schedule.epoch_reward(12), 500.0);
+  EXPECT_DOUBLE_EQ(schedule.epoch_reward(24), 250.0);
+}
+
+TEST(Emission, EarlyAdoptersEarnLargerShare) {
+  EmissionSchedule schedule;
+  // First year's emission vs fifth year's.
+  const double year1 = schedule.cumulative(12);
+  const double year5 =
+      schedule.cumulative(60) - schedule.cumulative(48);
+  EXPECT_GT(year1, year5 * 10.0);
+}
+
+TEST(Emission, CumulativeApproachesTotalSupply) {
+  EmissionSchedule schedule;
+  const double limit = schedule.total_supply();
+  EXPECT_DOUBLE_EQ(limit, 1000.0 * 12.0 / 0.5);
+  EXPECT_LT(schedule.cumulative(240), limit);
+  EXPECT_NEAR(schedule.cumulative(240), limit, limit * 1e-4);
+}
+
+TEST(Emission, NoDecayMeansInfiniteSupply) {
+  EmissionSchedule schedule;
+  schedule.decay = 1.0;
+  EXPECT_TRUE(std::isinf(schedule.total_supply()));
+  EXPECT_DOUBLE_EQ(schedule.epoch_reward(100), schedule.epoch_reward(0));
+}
+
+TEST(Dtn, SimplePickupAndDelivery) {
+  // Message at step 0: uplink pass at step 2, downlink pass at step 5.
+  const auto up = mask_from_pattern("0010000000");
+  const auto down = mask_from_pattern("0000010000");
+  const auto latencies = dtn_delivery_latencies(up, down, 60.0);
+  // Messages created at steps 0,1,2 are picked up at step 2 and land at 5.
+  ASSERT_GE(latencies.size(), 3u);
+  EXPECT_DOUBLE_EQ(latencies[0], 300.0);  // 5 steps * 60 s
+  EXPECT_DOUBLE_EQ(latencies[1], 240.0);
+  EXPECT_DOUBLE_EQ(latencies[2], 180.0);
+}
+
+TEST(Dtn, DeliveryRequiresDownlinkAfterPickup) {
+  // Downlink pass happens BEFORE the only uplink pass: nothing delivers.
+  const auto up = mask_from_pattern("0000000100");
+  const auto down = mask_from_pattern("0100000000");
+  EXPECT_TRUE(dtn_delivery_latencies(up, down, 60.0).empty());
+  const DtnStats stats = dtn_stats(up, down, 60.0);
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(stats.stranded, 10u);
+}
+
+TEST(Dtn, SimultaneousPassDeliversImmediately) {
+  const auto up = mask_from_pattern("0001000");
+  const auto down = mask_from_pattern("0001000");
+  const auto latencies = dtn_delivery_latencies(up, down, 30.0);
+  ASSERT_EQ(latencies.size(), 4u);        // created at steps 0..3
+  EXPECT_DOUBLE_EQ(latencies[3], 0.0);    // created during the joint pass
+}
+
+TEST(Dtn, LateMessagesStrand) {
+  const auto up = mask_from_pattern("1000000000");
+  const auto down = mask_from_pattern("0100000000");
+  const DtnStats stats = dtn_stats(up, down, 60.0);
+  // Only the step-0 message catches the only uplink pass.
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_EQ(stats.stranded, 9u);
+  EXPECT_DOUBLE_EQ(stats.max_latency_s, 60.0);
+}
+
+TEST(Dtn, StatsOrderingInvariants) {
+  const auto up = mask_from_pattern("10001000100010001000");
+  const auto down = mask_from_pattern("01000100010001000100");
+  const DtnStats stats = dtn_stats(up, down, 60.0);
+  EXPECT_GT(stats.delivered, 0u);
+  EXPECT_LE(stats.p50_latency_s, stats.p95_latency_s);
+  EXPECT_LE(stats.p95_latency_s, stats.max_latency_s);
+  EXPECT_GT(stats.mean_latency_s, 0.0);
+}
+
+TEST(Dtn, MismatchedMasksReturnEmpty) {
+  EXPECT_TRUE(dtn_delivery_latencies(cov::StepMask(5), cov::StepMask(6), 60.0).empty());
+  EXPECT_TRUE(dtn_delivery_latencies(cov::StepMask(0), cov::StepMask(0), 60.0).empty());
+}
+
+TEST(Dtn, DenserDownlinksReduceLatency) {
+  const auto up = mask_from_pattern("10000000001000000000");
+  const auto sparse_down = mask_from_pattern("00000000010000000001");
+  const auto dense_down = mask_from_pattern("00100100100100100100");
+  const DtnStats sparse = dtn_stats(up, sparse_down, 60.0);
+  const DtnStats dense = dtn_stats(up, dense_down, 60.0);
+  EXPECT_LT(dense.mean_latency_s, sparse.mean_latency_s);
+}
+
+}  // namespace
+}  // namespace mpleo::core

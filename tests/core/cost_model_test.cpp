@@ -1,0 +1,66 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpleo::core {
+namespace {
+
+TEST(CostModel, CapexArithmetic) {
+  CostModel model;
+  model.satellite_unit_cost = 0.5e6;
+  model.launch_cost_per_satellite = 1.0e6;
+  model.ground_station_capex = 0.5e6;
+  EXPECT_DOUBLE_EQ(model.constellation_capex(100, 4), 100 * 1.5e6 + 4 * 0.5e6);
+  EXPECT_DOUBLE_EQ(model.constellation_capex(0, 0), 0.0);
+}
+
+TEST(CostModel, LifetimeAddsOpex) {
+  CostModel model;
+  model.annual_opex_per_satellite = 0.1e6;
+  model.satellite_lifetime_years = 5.0;
+  const double capex = model.constellation_capex(10, 1);
+  EXPECT_DOUBLE_EQ(model.lifetime_cost(10, 1), capex + 10 * 0.1e6 * 5.0);
+}
+
+TEST(CostModel, MegaConstellationLandsInPaperRange) {
+  // The paper quotes $10-30B for a fully operational LEO network. Price a
+  // 12000-satellite build at somewhat higher per-unit costs (early-production
+  // economics) plus 100 gateways.
+  CostModel model;
+  model.satellite_unit_cost = 1.0e6;
+  model.launch_cost_per_satellite = 1.2e6;
+  const double capex = model.constellation_capex(12000, 100);
+  EXPECT_GT(capex, 10e9);
+  EXPECT_LT(capex, 30e9);
+}
+
+TEST(CostModel, CostPerCoveredHour) {
+  CostModel model;
+  const double full = model.cost_per_covered_hour(100, 2, 1.0);
+  const double half = model.cost_per_covered_hour(100, 2, 0.5);
+  EXPECT_NEAR(half, 2.0 * full, 1e-6);
+  EXPECT_THROW((void)model.cost_per_covered_hour(100, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)model.cost_per_covered_hour(100, 2, 1.5), std::invalid_argument);
+}
+
+TEST(CostModel, SharingAdvantageRatio) {
+  // §2's headline: 50 contributed satellites buy the coverage of a 1000-sat
+  // sovereign constellation — a ~20x cost advantage.
+  CostModel model;
+  const SharingAdvantage advantage = sharing_advantage(model, 1000, 50, 2);
+  EXPECT_GT(advantage.cost_ratio, 15.0);
+  EXPECT_LT(advantage.cost_ratio, 25.0);
+  EXPECT_GT(advantage.sovereign_lifetime_cost, advantage.shared_lifetime_cost);
+}
+
+TEST(CostModel, ZeroContributionYieldsZeroRatio) {
+  CostModel model;
+  model.ground_station_capex = 0.0;
+  const SharingAdvantage advantage = sharing_advantage(model, 100, 0, 0);
+  EXPECT_EQ(advantage.cost_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace mpleo::core

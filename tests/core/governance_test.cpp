@@ -1,0 +1,135 @@
+#include "core/governance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpleo::core {
+namespace {
+
+QuorumPolicy three_of_five() {
+  QuorumPolicy policy;
+  policy.council = {0, 1, 2, 3, 4};
+  policy.required = 3;
+  return policy;
+}
+
+TEST(Governance, InvalidPolicyRejected) {
+  QuorumPolicy empty;
+  empty.required = 1;
+  EXPECT_THROW(CommandAuthority(empty, 1), std::invalid_argument);
+  QuorumPolicy too_high;
+  too_high.council = {0, 1};
+  too_high.required = 3;
+  EXPECT_THROW(CommandAuthority(too_high, 1), std::invalid_argument);
+}
+
+TEST(Governance, QuorumAuthorizesCommand) {
+  CommandAuthority authority(three_of_five(), 42);
+  const auto cmd = authority.propose(7, CommandAction::kBeamReconfigure);
+
+  for (PartyId p : {0u, 1u}) {
+    const auto approval = CommandAuthority::sign(cmd, 7, CommandAction::kBeamReconfigure,
+                                                 p, authority.party_key(p));
+    EXPECT_EQ(authority.approve(cmd, approval), CommandStatus::kPending);
+  }
+  const auto third = CommandAuthority::sign(cmd, 7, CommandAction::kBeamReconfigure, 2,
+                                            authority.party_key(2));
+  EXPECT_EQ(authority.approve(cmd, third), CommandStatus::kAuthorized);
+
+  const auto record = authority.record(cmd);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->status, CommandStatus::kAuthorized);
+  EXPECT_EQ(record->approvals.size(), 3u);
+}
+
+TEST(Governance, DuplicateApprovalsAreIdempotent) {
+  CommandAuthority authority(three_of_five(), 42);
+  const auto cmd = authority.propose(1, CommandAction::kSafeMode);
+  const auto approval = CommandAuthority::sign(cmd, 1, CommandAction::kSafeMode, 0,
+                                               authority.party_key(0));
+  EXPECT_EQ(authority.approve(cmd, approval), CommandStatus::kPending);
+  EXPECT_EQ(authority.approve(cmd, approval), CommandStatus::kPending);
+  EXPECT_EQ(authority.record(cmd)->approvals.size(), 1u);
+}
+
+TEST(Governance, ForgedSignatureRejected) {
+  CommandAuthority authority(three_of_five(), 42);
+  const auto cmd = authority.propose(1, CommandAction::kDeorbit);
+  Approval forged = CommandAuthority::sign(cmd, 1, CommandAction::kDeorbit, 0,
+                                           authority.party_key(0));
+  forged.signature ^= 1;
+  EXPECT_EQ(authority.approve(cmd, forged), CommandStatus::kRejected);
+  EXPECT_EQ(authority.record(cmd)->approvals.size(), 0u);
+}
+
+TEST(Governance, SignatureBoundToActionAndCommand) {
+  CommandAuthority authority(three_of_five(), 42);
+  const auto cmd_a = authority.propose(1, CommandAction::kSoftwareUpdate);
+  const auto cmd_b = authority.propose(1, CommandAction::kDeorbit);
+  // An approval signed for the benign update must not authorize the deorbit.
+  const auto benign = CommandAuthority::sign(cmd_a, 1, CommandAction::kSoftwareUpdate, 0,
+                                             authority.party_key(0));
+  EXPECT_EQ(authority.approve(cmd_b, benign), CommandStatus::kRejected);
+}
+
+TEST(Governance, StolenKeyCannotSignForAnotherParty) {
+  CommandAuthority authority(three_of_five(), 42);
+  const auto cmd = authority.propose(1, CommandAction::kDeorbit);
+  // Party 3's key used to craft an approval attributed to party 0.
+  const auto impostor = CommandAuthority::sign(cmd, 1, CommandAction::kDeorbit, 0,
+                                               authority.party_key(3));
+  EXPECT_EQ(authority.approve(cmd, impostor), CommandStatus::kRejected);
+}
+
+TEST(Governance, NonCouncilApproverRejected) {
+  CommandAuthority authority(three_of_five(), 42);
+  const auto cmd = authority.propose(1, CommandAction::kSafeMode);
+  Approval outsider;
+  outsider.approver = 99;
+  outsider.signature = 12345;
+  EXPECT_EQ(authority.approve(cmd, outsider), CommandStatus::kRejected);
+  EXPECT_THROW((void)authority.party_key(99), std::invalid_argument);
+}
+
+TEST(Governance, SinglePartyCannotDeorbitUnderQuorum) {
+  // The paper's headline property: one party alone cannot execute a
+  // destructive command on shared infrastructure.
+  CommandAuthority authority(three_of_five(), 42);
+  const auto cmd = authority.propose(5, CommandAction::kDeorbit);
+  const auto only = CommandAuthority::sign(cmd, 5, CommandAction::kDeorbit, 4,
+                                           authority.party_key(4));
+  EXPECT_EQ(authority.approve(cmd, only), CommandStatus::kPending);
+  EXPECT_NE(authority.record(cmd)->status, CommandStatus::kAuthorized);
+}
+
+TEST(Governance, UnknownCommandThrows) {
+  CommandAuthority authority(three_of_five(), 42);
+  Approval approval;
+  EXPECT_THROW(authority.approve(999, approval), std::out_of_range);
+  EXPECT_FALSE(authority.record(999).has_value());
+}
+
+TEST(Governance, AuditLogRecordsLifecycle) {
+  CommandAuthority authority(three_of_five(), 42);
+  const auto cmd = authority.propose(2, CommandAction::kSoftwareUpdate);
+  for (PartyId p : {0u, 1u, 2u}) {
+    (void)authority.approve(cmd, CommandAuthority::sign(
+                                     cmd, 2, CommandAction::kSoftwareUpdate, p,
+                                     authority.party_key(p)));
+  }
+  const auto& log = authority.audit_log();
+  ASSERT_GE(log.size(), 5u);  // propose + 3 approvals + executed
+  EXPECT_NE(log.front().find("proposed"), std::string::npos);
+  EXPECT_NE(log.back().find("executed"), std::string::npos);
+}
+
+TEST(Governance, ActionNames) {
+  EXPECT_STREQ(to_string(CommandAction::kBeamReconfigure), "beam-reconfigure");
+  EXPECT_STREQ(to_string(CommandAction::kSoftwareUpdate), "software-update");
+  EXPECT_STREQ(to_string(CommandAction::kSafeMode), "safe-mode");
+  EXPECT_STREQ(to_string(CommandAction::kDeorbit), "deorbit");
+}
+
+}  // namespace
+}  // namespace mpleo::core

@@ -1,0 +1,94 @@
+#include "core/incentives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "constellation/shell.hpp"
+#include "coverage/engine.hpp"
+
+namespace mpleo::core {
+namespace {
+
+TEST(Incentives, MultipliersScaleWithDeficit) {
+  IncentiveConfig cfg;
+  cfg.base_rate = 1.0;
+  cfg.hole_boost = 4.0;
+  cfg.gamma = 1.0;
+  const std::vector<double> coverage{1.0, 0.5, 0.0};
+  const auto multipliers = reward_multipliers(coverage, cfg);
+  ASSERT_EQ(multipliers.size(), 3u);
+  EXPECT_DOUBLE_EQ(multipliers[0], 1.0);  // fully covered: base rate
+  EXPECT_DOUBLE_EQ(multipliers[1], 3.0);  // half covered
+  EXPECT_DOUBLE_EQ(multipliers[2], 5.0);  // hole: base * (1 + boost)
+}
+
+TEST(Incentives, GammaConcentratesOnDeepHoles) {
+  IncentiveConfig linear;
+  IncentiveConfig quadratic;
+  quadratic.gamma = 2.0;
+  const std::vector<double> coverage{0.5};
+  EXPECT_GT(reward_multipliers(coverage, linear)[0],
+            reward_multipliers(coverage, quadratic)[0]);
+}
+
+TEST(Incentives, InvalidConfigThrows) {
+  IncentiveConfig cfg;
+  cfg.gamma = 0.0;
+  EXPECT_THROW(reward_multipliers(std::vector<double>{0.5}, cfg), std::invalid_argument);
+  cfg.gamma = 1.0;
+  cfg.base_rate = -1.0;
+  EXPECT_THROW(reward_multipliers(std::vector<double>{0.5}, cfg), std::invalid_argument);
+}
+
+TEST(Incentives, CoverageClampedToUnitRange) {
+  IncentiveConfig cfg;
+  const auto multipliers =
+      reward_multipliers(std::vector<double>{1.4, -0.2}, cfg);
+  EXPECT_DOUBLE_EQ(multipliers[0], cfg.base_rate);  // over-covered -> no boost
+  EXPECT_DOUBLE_EQ(multipliers[1], cfg.base_rate * (1.0 + cfg.hole_boost));
+}
+
+TEST(Incentives, SatelliteOverHolesEarnsMore) {
+  // Incentive/robustness alignment (§3.2-3.3): with holes at high latitude,
+  // a polar satellite out-earns an equatorial one.
+  const orbit::TimeGrid time_grid = orbit::TimeGrid::over_duration(
+      orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 6.0 * 3600.0, 120.0);
+  const cov::CoverageEngine engine(time_grid, 25.0);
+  const cov::EarthGrid grid(20.0);
+
+  // Synthetic deficit: equatorial band fully covered, high latitudes empty.
+  std::vector<double> coverage(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double lat = std::abs(grid.cells()[i].center.latitude_rad);
+    coverage[i] = lat < 0.5 ? 1.0 : 0.0;  // ~28 deg boundary
+  }
+  const auto multipliers = reward_multipliers(coverage, IncentiveConfig{});
+
+  constellation::Satellite polar;
+  polar.elements = orbit::ClassicalElements::circular(550e3, 90.0, 0.0, 0.0);
+  polar.epoch = time_grid.start;
+  constellation::Satellite equatorial;
+  equatorial.elements = orbit::ClassicalElements::circular(550e3, 0.0, 0.0, 0.0);
+  equatorial.epoch = time_grid.start;
+
+  const double polar_rate = expected_reward_rate(engine, grid, multipliers, polar);
+  const double equatorial_rate =
+      expected_reward_rate(engine, grid, multipliers, equatorial);
+  EXPECT_GT(polar_rate, equatorial_rate);
+}
+
+TEST(Incentives, RewardRateArityMismatchThrows) {
+  const orbit::TimeGrid time_grid = orbit::TimeGrid::over_duration(
+      orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 3600.0, 120.0);
+  const cov::CoverageEngine engine(time_grid, 25.0);
+  const cov::EarthGrid grid(30.0);
+  const std::vector<double> wrong(grid.size() + 1, 1.0);
+  constellation::Satellite sat;
+  sat.epoch = time_grid.start;
+  EXPECT_THROW((void)expected_reward_rate(engine, grid, wrong, sat),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpleo::core

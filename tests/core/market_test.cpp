@@ -1,0 +1,136 @@
+#include "core/market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpleo::core {
+namespace {
+
+struct MarketFixture {
+  Ledger ledger;
+  AccountId provider_a;
+  AccountId provider_b;
+  AccountId consumer;
+
+  MarketFixture() {
+    ledger.mint(1000.0);
+    provider_a = ledger.open_account("provider-a");
+    provider_b = ledger.open_account("provider-b");
+    consumer = ledger.open_account("consumer");
+    EXPECT_TRUE(ledger.reward(consumer, 500.0));
+  }
+};
+
+TEST(Market, SimpleMatchAtMidpoint) {
+  MarketFixture fx;
+  CapacityMarket market;
+  market.post_ask({0, fx.provider_a, 10.0, 4.0});
+  market.post_bid({2, fx.consumer, 10.0, 6.0});
+  const ClearingResult result = market.clear(fx.ledger);
+
+  ASSERT_EQ(result.trades.size(), 1u);
+  const Trade& trade = result.trades.front();
+  EXPECT_TRUE(trade.settled);
+  EXPECT_DOUBLE_EQ(trade.quantity_gb, 10.0);
+  EXPECT_DOUBLE_EQ(trade.price_per_gb, 5.0);  // midpoint of 4 and 6
+  EXPECT_DOUBLE_EQ(result.cleared_gb, 10.0);
+  EXPECT_DOUBLE_EQ(result.cleared_value, 50.0);
+  EXPECT_DOUBLE_EQ(fx.ledger.balance(fx.provider_a), 50.0);
+  EXPECT_DOUBLE_EQ(fx.ledger.balance(fx.consumer), 450.0);
+}
+
+TEST(Market, NoCrossNoTrade) {
+  MarketFixture fx;
+  CapacityMarket market;
+  market.post_ask({0, fx.provider_a, 10.0, 8.0});
+  market.post_bid({2, fx.consumer, 10.0, 5.0});  // bid below ask
+  const ClearingResult result = market.clear(fx.ledger);
+  EXPECT_TRUE(result.trades.empty());
+  EXPECT_DOUBLE_EQ(result.unmatched_demand_gb, 10.0);
+  EXPECT_DOUBLE_EQ(result.unmatched_supply_gb, 10.0);
+}
+
+TEST(Market, PricePriorityMatching) {
+  MarketFixture fx;
+  CapacityMarket market;
+  market.post_ask({0, fx.provider_a, 5.0, 6.0});   // expensive
+  market.post_ask({1, fx.provider_b, 5.0, 2.0});   // cheap — should fill first
+  market.post_bid({2, fx.consumer, 5.0, 7.0});
+  const ClearingResult result = market.clear(fx.ledger);
+  ASSERT_EQ(result.trades.size(), 1u);
+  EXPECT_EQ(result.trades.front().provider_party, 1u);
+  EXPECT_DOUBLE_EQ(result.unmatched_supply_gb, 5.0);  // expensive ask unfilled
+}
+
+TEST(Market, PartialFillsAcrossAsks) {
+  MarketFixture fx;
+  CapacityMarket market;
+  market.post_ask({0, fx.provider_a, 4.0, 3.0});
+  market.post_ask({1, fx.provider_b, 4.0, 4.0});
+  market.post_bid({2, fx.consumer, 6.0, 5.0});
+  const ClearingResult result = market.clear(fx.ledger);
+  ASSERT_EQ(result.trades.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.cleared_gb, 6.0);
+  EXPECT_DOUBLE_EQ(result.trades[0].quantity_gb, 4.0);
+  EXPECT_DOUBLE_EQ(result.trades[1].quantity_gb, 2.0);
+  EXPECT_DOUBLE_EQ(result.unmatched_supply_gb, 2.0);
+}
+
+TEST(Market, MultipleBidsHighestFirst) {
+  MarketFixture fx;
+  const AccountId consumer2 = fx.ledger.open_account("consumer2");
+  ASSERT_TRUE(fx.ledger.reward(consumer2, 100.0));
+  CapacityMarket market;
+  market.post_ask({0, fx.provider_a, 5.0, 2.0});
+  market.post_bid({2, fx.consumer, 5.0, 3.0});
+  market.post_bid({3, consumer2, 5.0, 9.0});  // higher limit wins the scarce supply
+  const ClearingResult result = market.clear(fx.ledger);
+  ASSERT_EQ(result.trades.size(), 1u);
+  EXPECT_EQ(result.trades.front().consumer_party, 3u);
+  EXPECT_DOUBLE_EQ(result.unmatched_demand_gb, 5.0);
+}
+
+TEST(Market, InsufficientFundsRecordedAsUnsettled) {
+  MarketFixture fx;
+  const AccountId broke = fx.ledger.open_account("broke");
+  CapacityMarket market;
+  market.post_ask({0, fx.provider_a, 10.0, 4.0});
+  market.post_bid({5, broke, 10.0, 6.0});
+  const ClearingResult result = market.clear(fx.ledger);
+  ASSERT_EQ(result.trades.size(), 1u);
+  EXPECT_FALSE(result.trades.front().settled);
+  EXPECT_DOUBLE_EQ(result.cleared_gb, 0.0);
+  EXPECT_DOUBLE_EQ(fx.ledger.balance(fx.provider_a), 0.0);
+}
+
+TEST(Market, ClearEmptiesBook) {
+  MarketFixture fx;
+  CapacityMarket market;
+  market.post_ask({0, fx.provider_a, 1.0, 1.0});
+  (void)market.clear(fx.ledger);
+  EXPECT_TRUE(market.asks().empty());
+  EXPECT_TRUE(market.bids().empty());
+  const ClearingResult again = market.clear(fx.ledger);
+  EXPECT_TRUE(again.trades.empty());
+}
+
+TEST(Market, AveragePriceQuantityWeighted) {
+  MarketFixture fx;
+  CapacityMarket market;
+  market.post_ask({0, fx.provider_a, 4.0, 2.0});
+  market.post_ask({1, fx.provider_b, 4.0, 6.0});
+  market.post_bid({2, fx.consumer, 8.0, 6.0});
+  const ClearingResult result = market.clear(fx.ledger);
+  // Trades at (2+6)/2 = 4 and (6+6)/2 = 6; each 4 GB.
+  EXPECT_DOUBLE_EQ(result.average_price(), 5.0);
+}
+
+TEST(Market, RejectsNegativeInputs) {
+  CapacityMarket market;
+  EXPECT_THROW(market.post_ask({0, 0, -1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(market.post_bid({0, 0, 1.0, -1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpleo::core

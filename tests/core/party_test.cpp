@@ -1,0 +1,27 @@
+#include "core/party.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpleo::core {
+namespace {
+
+TEST(Party, DefaultsAreSane) {
+  const Party p;
+  EXPECT_EQ(p.kind, PartyKind::kCountry);
+  EXPECT_EQ(p.objective, Objective::kRegionalCoverage);
+  EXPECT_TRUE(p.active);
+}
+
+TEST(Party, KindNames) {
+  EXPECT_STREQ(to_string(PartyKind::kCountry), "country");
+  EXPECT_STREQ(to_string(PartyKind::kCompany), "company");
+}
+
+TEST(Party, ObjectiveNames) {
+  EXPECT_STREQ(to_string(Objective::kGlobalCoverage), "global-coverage");
+  EXPECT_STREQ(to_string(Objective::kRegionalCoverage), "regional-coverage");
+  EXPECT_STREQ(to_string(Objective::kProfit), "profit");
+}
+
+}  // namespace
+}  // namespace mpleo::core

@@ -1,0 +1,72 @@
+#include "core/pricing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpleo::core {
+namespace {
+
+TEST(StaticPricing, LinearInUsage) {
+  StaticPricing p;
+  p.tokens_per_gb = 8.0;
+  p.tokens_per_minute = 0.5;
+  EXPECT_DOUBLE_EQ(p.price_for(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.price_for(1e9, 0.0), 8.0);
+  EXPECT_DOUBLE_EQ(p.price_for(0.0, 120.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.price_for(2e9, 60.0), 16.5);
+  // Additivity.
+  EXPECT_DOUBLE_EQ(p.price_for(1e9, 30.0) + p.price_for(1e9, 30.0), p.price_for(2e9, 60.0));
+}
+
+DynamicPricing::Config default_config() {
+  DynamicPricing::Config cfg;
+  cfg.base.tokens_per_gb = 10.0;
+  cfg.base.tokens_per_minute = 0.0;
+  cfg.target_utilization = 0.6;
+  cfg.sensitivity = 2.0;
+  cfg.min_multiplier = 0.25;
+  cfg.max_multiplier = 4.0;
+  return cfg;
+}
+
+TEST(DynamicPricing, UnityAtTargetUtilization) {
+  const DynamicPricing pricing(default_config());
+  EXPECT_DOUBLE_EQ(pricing.multiplier(0.6), 1.0);
+}
+
+TEST(DynamicPricing, ScarcityRaisesPrice) {
+  const DynamicPricing pricing(default_config());
+  EXPECT_GT(pricing.multiplier(0.9), 1.0);
+  EXPECT_NEAR(pricing.multiplier(0.9), 1.6, 1e-12);
+}
+
+TEST(DynamicPricing, SlackLowersPrice) {
+  const DynamicPricing pricing(default_config());
+  EXPECT_LT(pricing.multiplier(0.2), 1.0);
+  EXPECT_NEAR(pricing.multiplier(0.2), 0.25, 0.06);  // clamped near the floor
+}
+
+TEST(DynamicPricing, ClampsToBounds) {
+  const DynamicPricing pricing(default_config());
+  EXPECT_DOUBLE_EQ(pricing.multiplier(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(pricing.multiplier(5.0), 4.0);
+}
+
+TEST(DynamicPricing, MultiplierIsMonotone) {
+  const DynamicPricing pricing(default_config());
+  double previous = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.05) {
+    const double m = pricing.multiplier(u);
+    EXPECT_GE(m, previous);
+    previous = m;
+  }
+}
+
+TEST(DynamicPricing, PriceForScalesBase) {
+  const DynamicPricing pricing(default_config());
+  // At target utilization, identical to the static price.
+  EXPECT_DOUBLE_EQ(pricing.price_for(1e9, 0.0, 0.6), 10.0);
+  EXPECT_DOUBLE_EQ(pricing.price_for(1e9, 0.0, 0.9), 16.0);
+}
+
+}  // namespace
+}  // namespace mpleo::core

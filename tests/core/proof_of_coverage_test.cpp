@@ -1,0 +1,137 @@
+#include "core/proof_of_coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "orbit/geodesy.hpp"
+#include "orbit/propagator.hpp"
+
+namespace mpleo::core {
+namespace {
+
+// A scenario where geometry is under our control: an equatorial satellite and
+// a verifier at the sub-satellite point at epoch.
+struct PocFixture {
+  ProofOfCoverage poc{ProofOfCoverage::Config{}};
+  constellation::Satellite satellite;
+  std::uint64_t key = 0;
+  std::uint32_t overhead_verifier = 0;
+  std::uint32_t far_verifier = 0;
+  orbit::TimePoint epoch = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+
+  PocFixture() {
+    satellite.id = 7;
+    satellite.elements = orbit::ClassicalElements::circular(550e3, 0.0, 0.0, 0.0);
+    satellite.epoch = epoch;
+    key = poc.register_satellite(satellite, /*consortium_seed=*/1234);
+
+    // Sub-satellite point at epoch: propagate and convert.
+    const orbit::KeplerianPropagator prop(satellite.elements, epoch);
+    const auto ecef = orbit::eci_to_ecef(prop.state_at(epoch).position, epoch);
+    const orbit::Geodetic below = orbit::ecef_to_geodetic(ecef);
+    overhead_verifier =
+        poc.register_verifier({below.latitude_rad, below.longitude_rad, 0.0});
+    // Antipodal verifier can never see the satellite.
+    far_verifier = poc.register_verifier(
+        orbit::Geodetic::from_degrees(-60.0, below.longitude_rad > 0 ? -120.0 : 120.0));
+  }
+};
+
+TEST(ProofOfCoverage, ValidReceiptVerifies) {
+  PocFixture fx;
+  const CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+      fx.satellite.id, fx.key, fx.overhead_verifier, fx.epoch, /*nonce=*/42);
+  EXPECT_EQ(fx.poc.verify(receipt), ReceiptVerdict::kValid);
+}
+
+TEST(ProofOfCoverage, ForgedDigestRejected) {
+  PocFixture fx;
+  CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+      fx.satellite.id, fx.key, fx.overhead_verifier, fx.epoch, 42);
+  receipt.digest ^= 1;
+  EXPECT_EQ(fx.poc.verify(receipt), ReceiptVerdict::kBadDigest);
+}
+
+TEST(ProofOfCoverage, WrongKeyRejected) {
+  PocFixture fx;
+  const CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+      fx.satellite.id, fx.key ^ 0xDEAD, fx.overhead_verifier, fx.epoch, 42);
+  EXPECT_EQ(fx.poc.verify(receipt), ReceiptVerdict::kBadDigest);
+}
+
+TEST(ProofOfCoverage, NonceBoundToDigest) {
+  PocFixture fx;
+  CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+      fx.satellite.id, fx.key, fx.overhead_verifier, fx.epoch, 42);
+  receipt.nonce = 43;  // replay with altered nonce
+  EXPECT_EQ(fx.poc.verify(receipt), ReceiptVerdict::kBadDigest);
+}
+
+TEST(ProofOfCoverage, GeometryRejectsCoverageLies) {
+  // A cryptographically valid receipt claiming coverage where the satellite
+  // is not overhead must fail: rewards only for real coverage (§3.2).
+  PocFixture fx;
+  const CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+      fx.satellite.id, fx.key, fx.far_verifier, fx.epoch, 42);
+  EXPECT_EQ(fx.poc.verify(receipt), ReceiptVerdict::kNotOverhead);
+}
+
+TEST(ProofOfCoverage, UnknownSatelliteAndVerifier) {
+  PocFixture fx;
+  CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+      999, fx.key, fx.overhead_verifier, fx.epoch, 42);
+  EXPECT_EQ(fx.poc.verify(receipt), ReceiptVerdict::kUnknownSatellite);
+
+  receipt = ProofOfCoverage::answer_challenge(fx.satellite.id, fx.key, 77, fx.epoch, 42);
+  EXPECT_EQ(fx.poc.verify(receipt), ReceiptVerdict::kUnknownVerifier);
+}
+
+TEST(ProofOfCoverage, RewardPaidOnlyWhenValid) {
+  PocFixture fx;
+  Ledger ledger;
+  ledger.mint(10.0);
+  const AccountId owner = ledger.open_account("owner");
+
+  const CoverageReceipt good = ProofOfCoverage::answer_challenge(
+      fx.satellite.id, fx.key, fx.overhead_verifier, fx.epoch, 1);
+  EXPECT_EQ(fx.poc.verify_and_reward(good, ledger, owner), ReceiptVerdict::kValid);
+  EXPECT_DOUBLE_EQ(ledger.balance(owner), fx.poc.config().reward_per_receipt);
+
+  CoverageReceipt bad = good;
+  bad.digest ^= 1;
+  EXPECT_EQ(fx.poc.verify_and_reward(bad, ledger, owner), ReceiptVerdict::kBadDigest);
+  EXPECT_DOUBLE_EQ(ledger.balance(owner), fx.poc.config().reward_per_receipt);
+}
+
+TEST(ProofOfCoverage, DigestIsDeterministicAndKeyed) {
+  const auto d1 = ProofOfCoverage::digest(1, 2, 3, 4.5, 6);
+  const auto d2 = ProofOfCoverage::digest(1, 2, 3, 4.5, 6);
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(d1, ProofOfCoverage::digest(2, 2, 3, 4.5, 6));  // key
+  EXPECT_NE(d1, ProofOfCoverage::digest(1, 9, 3, 4.5, 6));  // satellite
+  EXPECT_NE(d1, ProofOfCoverage::digest(1, 2, 9, 4.5, 6));  // verifier
+  EXPECT_NE(d1, ProofOfCoverage::digest(1, 2, 3, 9.5, 6));  // time
+  EXPECT_NE(d1, ProofOfCoverage::digest(1, 2, 3, 4.5, 9));  // nonce
+}
+
+TEST(ProofOfCoverage, KeysDifferAcrossSatellitesAndSeeds) {
+  ProofOfCoverage poc{ProofOfCoverage::Config{}};
+  constellation::Satellite a, b;
+  a.id = 1;
+  b.id = 2;
+  const auto ka = poc.register_satellite(a, 7);
+  const auto kb = poc.register_satellite(b, 7);
+  EXPECT_NE(ka, kb);
+  ProofOfCoverage poc2{ProofOfCoverage::Config{}};
+  EXPECT_NE(poc2.register_satellite(a, 8), ka);
+}
+
+TEST(ProofOfCoverage, ToStringCoversAllVerdicts) {
+  EXPECT_STREQ(to_string(ReceiptVerdict::kValid), "valid");
+  EXPECT_STREQ(to_string(ReceiptVerdict::kBadDigest), "bad-digest");
+  EXPECT_STREQ(to_string(ReceiptVerdict::kNotOverhead), "not-overhead");
+  EXPECT_STREQ(to_string(ReceiptVerdict::kUnknownSatellite), "unknown-satellite");
+  EXPECT_STREQ(to_string(ReceiptVerdict::kUnknownVerifier), "unknown-verifier");
+}
+
+}  // namespace
+}  // namespace mpleo::core

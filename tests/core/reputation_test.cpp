@@ -1,0 +1,68 @@
+#include "core/reputation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpleo::core {
+namespace {
+
+TEST(Reputation, StartsAtInitial) {
+  const ReputationTracker tracker(3);
+  for (PartyId p = 0; p < 3; ++p) EXPECT_DOUBLE_EQ(tracker.score(p), 0.5);
+}
+
+TEST(Reputation, PocEvidenceMovesScore) {
+  ReputationTracker tracker(2);
+  tracker.record_poc(0, true);
+  EXPECT_DOUBLE_EQ(tracker.score(0), 0.52);
+  tracker.record_poc(1, false);
+  EXPECT_DOUBLE_EQ(tracker.score(1), 0.4);
+  // Trust is slow to build, fast to lose: one forgery erases five proofs.
+  ReputationTracker asym(1);
+  for (int i = 0; i < 5; ++i) asym.record_poc(0, true);
+  asym.record_poc(0, false);
+  EXPECT_DOUBLE_EQ(asym.score(0), 0.5);
+}
+
+TEST(Reputation, ReciprocityEvidence) {
+  ReputationTracker tracker(2);
+  tracker.record_reciprocity(0, 1.5);   // good citizen
+  tracker.record_reciprocity(1, 0.05);  // free rider
+  EXPECT_GT(tracker.score(0), 0.5);
+  EXPECT_LT(tracker.score(1), 0.5);
+}
+
+TEST(Reputation, ScoresClampToBounds) {
+  ReputationTracker tracker(1);
+  for (int i = 0; i < 100; ++i) tracker.record_poc(0, true);
+  EXPECT_DOUBLE_EQ(tracker.score(0), 1.0);
+  for (int i = 0; i < 100; ++i) tracker.record_poc(0, false);
+  EXPECT_DOUBLE_EQ(tracker.score(0), 0.0);
+}
+
+TEST(Reputation, PriorityWeightNeverStarves) {
+  ReputationTracker tracker(1);
+  for (int i = 0; i < 100; ++i) tracker.record_poc(0, false);
+  // Even a zero-reputation party keeps 10% weight: degradation stays
+  // proportional, not a blackout (the paper's §1 design goal).
+  EXPECT_DOUBLE_EQ(tracker.priority_weight(0), 0.1);
+  for (int i = 0; i < 200; ++i) tracker.record_poc(0, true);
+  EXPECT_DOUBLE_EQ(tracker.priority_weight(0), 1.0);
+}
+
+TEST(Reputation, UnknownPartyThrows) {
+  ReputationTracker tracker(2);
+  EXPECT_THROW(tracker.record_poc(5, true), std::out_of_range);
+  EXPECT_THROW((void)tracker.score(5), std::out_of_range);
+}
+
+TEST(Reputation, InvalidConfigRejected) {
+  EXPECT_THROW(ReputationTracker(0), std::invalid_argument);
+  ReputationTracker::Config bad;
+  bad.initial = 2.0;
+  EXPECT_THROW(ReputationTracker(1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpleo::core

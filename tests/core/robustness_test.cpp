@@ -1,0 +1,130 @@
+#include "core/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "constellation/shell.hpp"
+#include "coverage/cities.hpp"
+
+namespace mpleo::core {
+namespace {
+
+orbit::TimeGrid test_grid() {
+  return orbit::TimeGrid::over_duration(
+      orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 86400.0, 120.0);
+}
+
+TEST(PartitionByRatio, EqualSplitMatchesPaper) {
+  // 1000 satellites across 11 equal parties: 91 each (paper's Fig-6 anchor),
+  // with the remainder folded into the largest.
+  const auto sizes = partition_by_ratio(1000, 1, 10);
+  ASSERT_EQ(sizes.size(), 11u);
+  EXPECT_EQ(sizes.front(), 100u);  // 90 + remainder 10
+  for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_EQ(sizes[i], 90u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 1000u);
+}
+
+TEST(PartitionByRatio, SkewedSplitMatchesPaper) {
+  // Ratio 10:1:...:1 over 1000 -> largest 500, others 50 each.
+  const auto sizes = partition_by_ratio(1000, 10, 10);
+  ASSERT_EQ(sizes.size(), 11u);
+  EXPECT_EQ(sizes.front(), 500u);
+  for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_EQ(sizes[i], 50u);
+}
+
+TEST(PartitionByRatio, SumAlwaysEqualsTotal) {
+  for (std::size_t ratio = 1; ratio <= 10; ++ratio) {
+    const auto sizes = partition_by_ratio(997, ratio, 10);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 997u);
+    // Largest party really is largest.
+    for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_GE(sizes.front(), sizes[i]);
+  }
+}
+
+TEST(PartitionByRatio, RejectsDegenerateInputs) {
+  EXPECT_THROW(partition_by_ratio(100, 0, 10), std::invalid_argument);
+  EXPECT_THROW(partition_by_ratio(0, 1, 10), std::invalid_argument);
+  EXPECT_THROW(partition_by_ratio(5, 10, 10), std::invalid_argument);  // unit would be 0
+}
+
+TEST(AssignToParties, SplitsInOrder) {
+  const std::vector<std::size_t> indices{9, 8, 7, 6, 5};
+  const std::vector<std::size_t> sizes{2, 3};
+  const auto parties = assign_to_parties(indices, sizes);
+  ASSERT_EQ(parties.size(), 2u);
+  EXPECT_EQ(parties[0], (std::vector<std::size_t>{9, 8}));
+  EXPECT_EQ(parties[1], (std::vector<std::size_t>{7, 6, 5}));
+}
+
+TEST(AssignToParties, RejectsSizeMismatch) {
+  const std::vector<std::size_t> indices{1, 2, 3};
+  const std::vector<std::size_t> sizes{2, 2};
+  EXPECT_THROW(assign_to_parties(indices, sizes), std::invalid_argument);
+}
+
+class WithdrawalFixture : public ::testing::Test {
+ protected:
+  WithdrawalFixture()
+      : engine_(test_grid(), 25.0),
+        sites_(cov::sites_from_cities(cov::paper_cities())) {
+    // Three orthogonal planes of 8 satellites each.
+    for (double raan : {0.0, 60.0, 120.0}) {
+      auto plane = constellation::single_plane(
+          550e3, 53.0, raan, 8, orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"),
+          raan / 2.0);
+      catalog_.insert(catalog_.end(), plane.begin(), plane.end());
+    }
+    cache_ = std::make_unique<cov::VisibilityCache>(engine_, catalog_, sites_);
+    base_.resize(catalog_.size());
+    std::iota(base_.begin(), base_.end(), std::size_t{0});
+  }
+
+  cov::CoverageEngine engine_;
+  std::vector<cov::GroundSite> sites_;
+  std::vector<constellation::Satellite> catalog_;
+  std::unique_ptr<cov::VisibilityCache> cache_;
+  std::vector<std::size_t> base_;
+};
+
+TEST_F(WithdrawalFixture, NoWithdrawalNoDrop) {
+  const WithdrawalImpact impact = withdrawal_impact(*cache_, base_, {});
+  EXPECT_DOUBLE_EQ(impact.drop_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(impact.relative_drop(), 0.0);
+}
+
+TEST_F(WithdrawalFixture, FullWithdrawalDropsToZero) {
+  const WithdrawalImpact impact = withdrawal_impact(*cache_, base_, base_);
+  EXPECT_GT(impact.before_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(impact.after_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(impact.relative_drop(), 1.0);
+}
+
+TEST_F(WithdrawalFixture, DropGrowsWithWithdrawalSize) {
+  const std::vector<std::size_t> few(base_.begin(), base_.begin() + 4);
+  const std::vector<std::size_t> many(base_.begin(), base_.begin() + 16);
+  const double drop_few = withdrawal_impact(*cache_, base_, few).drop_fraction();
+  const double drop_many = withdrawal_impact(*cache_, base_, many).drop_fraction();
+  EXPECT_GE(drop_many, drop_few);
+  EXPECT_GE(drop_few, 0.0);
+}
+
+TEST_F(WithdrawalFixture, CoverageNeverIncreasesOnWithdrawal) {
+  util::Xoshiro256PlusPlus rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto count = 1 + rng.uniform_index(base_.size() - 1);
+    auto shuffled = rng.sample_without_replacement(base_.size(), count);
+    const WithdrawalImpact impact = withdrawal_impact(*cache_, base_, shuffled);
+    EXPECT_LE(impact.after_fraction, impact.before_fraction + 1e-12);
+  }
+}
+
+TEST_F(WithdrawalFixture, NonSubsetWithdrawalThrows) {
+  const std::vector<std::size_t> not_in_base{base_.size() + 5};
+  EXPECT_THROW(withdrawal_impact(*cache_, base_, not_in_base), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpleo::core

@@ -1,0 +1,208 @@
+#include "coverage/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "constellation/starlink.hpp"
+#include "coverage/visibility.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::cov {
+namespace {
+
+orbit::TimeGrid day_grid(double step = 60.0) {
+  return orbit::TimeGrid::over_duration(
+      orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 86400.0, step);
+}
+
+constellation::Satellite make_sat(double alt, double incl, double raan, double phase,
+                                  const orbit::TimePoint& epoch) {
+  constellation::Satellite sat;
+  sat.elements = orbit::ClassicalElements::circular(alt, incl, raan, phase);
+  sat.epoch = epoch;
+  return sat;
+}
+
+TEST(CoverageEngine, RejectsBadConfig) {
+  EXPECT_THROW(CoverageEngine(day_grid(), -1.0), std::invalid_argument);
+  EXPECT_THROW(CoverageEngine(day_grid(), 90.0), std::invalid_argument);
+  orbit::TimeGrid empty;
+  EXPECT_THROW(CoverageEngine(empty, 25.0), std::invalid_argument);
+}
+
+TEST(CoverageEngine, VisibilityMaskMatchesPassFinder) {
+  const orbit::TimeGrid grid = day_grid(30.0);
+  const CoverageEngine engine(grid, 25.0);
+  const auto sat = make_sat(550e3, 53.0, 10.0, 20.0, grid.start);
+  const orbit::TopocentricFrame site(orbit::Geodetic::from_degrees(25.0, 121.5));
+
+  const StepMask mask = engine.visibility_mask(sat, site);
+  const double mask_seconds = static_cast<double>(mask.count()) * grid.step_seconds;
+
+  double pass_seconds = 0.0;
+  for (const Pass& p : find_passes(sat, site, grid, 25.0)) pass_seconds += p.duration_s();
+  EXPECT_NEAR(mask_seconds, pass_seconds, 1e-6);
+}
+
+TEST(CoverageEngine, MultiSiteSweepMatchesSingleSite) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const auto sat = make_sat(550e3, 53.0, 77.0, 120.0, grid.start);
+
+  const std::vector<GroundSite> sites = sites_from_cities(paper_cities());
+  const auto multi = engine.visibility_masks(sat, sites);
+  ASSERT_EQ(multi.size(), sites.size());
+  for (std::size_t j = 0; j < sites.size(); j += 5) {
+    EXPECT_EQ(multi[j], engine.visibility_mask(sat, sites[j].frame));
+  }
+}
+
+TEST(CoverageEngine, CoverageMaskIsUnionOfSingles) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const orbit::TopocentricFrame site(orbit::Geodetic::from_degrees(25.0, 121.5));
+
+  std::vector<constellation::Satellite> sats;
+  for (double raan : {0.0, 60.0, 120.0}) {
+    sats.push_back(make_sat(550e3, 53.0, raan, raan * 2.0, grid.start));
+  }
+  StepMask expected(grid.count);
+  for (const auto& sat : sats) expected |= engine.visibility_mask(sat, site);
+  EXPECT_EQ(engine.coverage_mask(sats, site), expected);
+}
+
+TEST(CoverageEngine, MoreSatellitesNeverReduceCoverage) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const orbit::TopocentricFrame site(orbit::Geodetic::from_degrees(25.0, 121.5));
+
+  std::vector<constellation::Satellite> sats;
+  double previous = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    sats.push_back(make_sat(550e3, 53.0, 45.0 * i, 30.0 * i, grid.start));
+    const double covered = engine.stats(engine.coverage_mask(sats, site)).covered_fraction;
+    EXPECT_GE(covered, previous);
+    previous = covered;
+  }
+}
+
+TEST(CoverageEngine, StatsConsistency) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const orbit::TopocentricFrame site(orbit::Geodetic::from_degrees(25.0, 121.5));
+  const auto sat = make_sat(550e3, 53.0, 10.0, 20.0, grid.start);
+
+  const CoverageStats stats = engine.stats(engine.visibility_mask(sat, site));
+  EXPECT_NEAR(stats.covered_seconds + stats.uncovered_seconds, grid.duration_seconds(),
+              1e-6);
+  EXPECT_GE(stats.max_gap_seconds, 0.0);
+  EXPECT_LE(stats.max_gap_seconds, grid.duration_seconds());
+  if (stats.covered_fraction > 0.0) EXPECT_GE(stats.pass_count, 1u);
+}
+
+TEST(CoverageEngine, SingleLeoSatelliteIsMostlyIdle) {
+  // The paper's §2 anchor: one satellite serving one city is ~99% idle.
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(
+      orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 3.0 * 86400.0, 60.0);
+  const CoverageEngine engine(grid, 25.0);
+  const auto sat = make_sat(550e3, 53.0, 121.0, 25.0, grid.start);
+  const std::vector<GroundSite> one_city{GroundSite::from_city(taipei())};
+  const double idle = engine.idle_fraction(sat, one_city);
+  EXPECT_GT(idle, 0.97);
+  EXPECT_LE(idle, 1.0);
+}
+
+TEST(CoverageEngine, IdleDecreasesWithMoreCities) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const auto sat = make_sat(550e3, 53.0, 10.0, 200.0, grid.start);
+  const auto& cities = paper_cities();
+
+  const std::vector<GroundSite> few = sites_from_cities(std::span(cities).subspan(0, 3));
+  const std::vector<GroundSite> many = sites_from_cities(cities);
+  EXPECT_GE(engine.idle_fraction(sat, few), engine.idle_fraction(sat, many));
+}
+
+TEST(CoverageEngine, WeightedCoverageBetweenMinAndMax) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const std::vector<GroundSite> sites = sites_from_cities(paper_cities());
+
+  std::vector<constellation::Satellite> sats;
+  for (double raan : {0.0, 90.0, 180.0, 270.0}) {
+    sats.push_back(make_sat(550e3, 53.0, raan, raan, grid.start));
+  }
+  const double weighted = engine.weighted_coverage_seconds(sats, sites);
+
+  double min_cov = grid.duration_seconds(), max_cov = 0.0;
+  for (const GroundSite& site : sites) {
+    const double c =
+        engine.stats(engine.coverage_mask(sats, site.frame)).covered_seconds;
+    min_cov = std::min(min_cov, c);
+    max_cov = std::max(max_cov, c);
+  }
+  EXPECT_GE(weighted, min_cov - 1e-6);
+  EXPECT_LE(weighted, max_cov + 1e-6);
+}
+
+TEST(CoverageEngine, LowerMaskNeverReducesCoverage) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine tight(grid, 40.0);
+  const CoverageEngine loose(grid, 15.0);
+  const orbit::TopocentricFrame site(orbit::Geodetic::from_degrees(25.0, 121.5));
+  const auto sat = make_sat(550e3, 53.0, 10.0, 20.0, grid.start);
+  EXPECT_GE(loose.visibility_mask(sat, site).count(),
+            tight.visibility_mask(sat, site).count());
+}
+
+TEST(VisibilityCache, MatchesDirectComputation) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const std::vector<GroundSite> sites = sites_from_cities(paper_cities());
+
+  std::vector<constellation::Satellite> catalog;
+  for (double raan : {0.0, 30.0, 60.0, 90.0}) {
+    catalog.push_back(make_sat(550e3, 53.0, raan, raan * 3.0, grid.start));
+  }
+  VisibilityCache cache(engine, catalog, sites);
+  EXPECT_EQ(cache.satellite_count(), 4u);
+  EXPECT_EQ(cache.site_count(), sites.size());
+
+  for (std::size_t s = 0; s < catalog.size(); ++s) {
+    EXPECT_EQ(cache.mask(s, 0), engine.visibility_mask(catalog[s], sites[0].frame));
+  }
+
+  const std::vector<std::size_t> all{0, 1, 2, 3};
+  const double via_cache =
+      cache.weighted_coverage_fraction(all) * grid.duration_seconds();
+  const double direct = engine.weighted_coverage_seconds(catalog, sites);
+  EXPECT_NEAR(via_cache, direct, 1e-6);
+}
+
+TEST(VisibilityCache, UnionMaskMatchesManualUnion) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const std::vector<GroundSite> sites{GroundSite::from_city(taipei())};
+
+  std::vector<constellation::Satellite> catalog;
+  for (double phase : {0.0, 120.0, 240.0}) {
+    catalog.push_back(make_sat(550e3, 53.0, 50.0, phase, grid.start));
+  }
+  VisibilityCache cache(engine, catalog, sites);
+  const std::vector<std::size_t> subset{0, 2};
+  StepMask manual = cache.mask(0, 0);
+  manual |= cache.mask(2, 0);
+  EXPECT_EQ(cache.union_mask(subset, 0), manual);
+}
+
+TEST(CoverageEngine, EmptySatelliteSetHasZeroCoverage) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const std::vector<GroundSite> sites = sites_from_cities(paper_cities());
+  EXPECT_EQ(engine.weighted_coverage_seconds({}, sites), 0.0);
+}
+
+}  // namespace
+}  // namespace mpleo::cov

@@ -1,0 +1,139 @@
+#include "coverage/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "constellation/shell.hpp"
+#include "coverage/engine.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::cov {
+namespace {
+
+orbit::TimeGrid short_grid() {
+  return orbit::TimeGrid::over_duration(
+      orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 6.0 * 3600.0, 120.0);
+}
+
+TEST(EarthGrid, WeightsSumToOne) {
+  const EarthGrid grid(10.0);
+  double total = 0.0;
+  for (const auto& cell : grid.cells()) total += cell.area_weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(grid.size(), 100u);
+}
+
+TEST(EarthGrid, PolarBandsHaveFewerCells) {
+  const EarthGrid grid(10.0, 80.0);
+  std::size_t equator_cells = 0, polar_cells = 0;
+  for (const auto& cell : grid.cells()) {
+    const double lat = util::rad_to_deg(cell.center.latitude_rad);
+    if (std::abs(lat) < 5.1) ++equator_cells;
+    if (lat > 70.0) ++polar_cells;
+  }
+  EXPECT_GT(equator_cells, polar_cells);
+  EXPECT_GT(polar_cells, 0u);
+}
+
+TEST(EarthGrid, LatitudeCapRespected) {
+  const EarthGrid grid(10.0, 60.0);
+  for (const auto& cell : grid.cells()) {
+    EXPECT_LE(std::abs(util::rad_to_deg(cell.center.latitude_rad)), 60.0);
+  }
+}
+
+TEST(EarthGrid, RejectsInvalidParameters) {
+  EXPECT_THROW(EarthGrid(0.0), std::invalid_argument);
+  EXPECT_THROW(EarthGrid(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(EarthGrid(10.0, 91.0), std::invalid_argument);
+}
+
+TEST(CellCoverage, EmptyConstellationIsZero) {
+  const CoverageEngine engine(short_grid(), 25.0);
+  const EarthGrid grid(20.0);
+  const auto fractions = cell_coverage(engine, grid, {});
+  ASSERT_EQ(fractions.size(), grid.size());
+  for (double f : fractions) EXPECT_EQ(f, 0.0);
+  EXPECT_EQ(global_coverage_fraction(grid, fractions), 0.0);
+}
+
+TEST(CellCoverage, PolarConstellationCoversHighLatitudes) {
+  const CoverageEngine engine(short_grid(), 25.0);
+  const EarthGrid grid(20.0);
+  const auto sats = constellation::single_plane(
+      550e3, 90.0, 0.0, 12, orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"));
+  const auto fractions = cell_coverage(engine, grid, sats);
+
+  // High-latitude cells should on average see more than equatorial ones for
+  // a single polar plane.
+  double high = 0.0, low = 0.0;
+  std::size_t high_n = 0, low_n = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double lat = std::abs(util::rad_to_deg(grid.cells()[i].center.latitude_rad));
+    if (lat > 60.0) {
+      high += fractions[i];
+      ++high_n;
+    } else if (lat < 30.0) {
+      low += fractions[i];
+      ++low_n;
+    }
+  }
+  EXPECT_GT(high / static_cast<double>(high_n), low / static_cast<double>(low_n));
+  const double global = global_coverage_fraction(grid, fractions);
+  EXPECT_GT(global, 0.0);
+  EXPECT_LT(global, 1.0);
+}
+
+TEST(WorstCells, ReturnsWorstFirst) {
+  const std::vector<double> coverage{0.9, 0.1, 0.5, 0.0, 0.7};
+  const auto worst = worst_cells(coverage, 3);
+  ASSERT_EQ(worst.size(), 3u);
+  EXPECT_EQ(worst[0], 3u);
+  EXPECT_EQ(worst[1], 1u);
+  EXPECT_EQ(worst[2], 2u);
+}
+
+TEST(WorstCells, ClampsK) {
+  const std::vector<double> coverage{0.5, 0.6};
+  EXPECT_EQ(worst_cells(coverage, 10).size(), 2u);
+  EXPECT_TRUE(worst_cells(coverage, 0).empty());
+}
+
+TEST(AsciiMap, RendersOneRowPerBand) {
+  const EarthGrid grid(30.0, 60.0);  // 4 bands
+  const std::vector<double> fractions(grid.size(), 0.95);
+  const std::string map = ascii_coverage_map(grid, fractions);
+  std::size_t rows = 0;
+  for (char ch : map) {
+    if (ch == '\n') ++rows;
+  }
+  EXPECT_EQ(rows, 4u);
+  EXPECT_NE(map.find('#'), std::string::npos);
+  EXPECT_EQ(map.find(' '), std::string::npos);  // everything covered
+}
+
+TEST(AsciiMap, GlyphThresholds) {
+  const EarthGrid grid(90.0, 45.0);  // single band
+  ASSERT_GE(grid.size(), 4u);
+  std::vector<double> fr(grid.size(), 0.0);
+  fr[0] = 0.95;
+  fr[1] = 0.65;
+  fr[2] = 0.35;
+  fr[3] = 0.05;
+  const std::string map = ascii_coverage_map(grid, fr);
+  EXPECT_EQ(map[0], '#');
+  EXPECT_EQ(map[1], '+');
+  EXPECT_EQ(map[2], '-');
+  EXPECT_EQ(map[3], '.');
+}
+
+TEST(CellCoverage, ArityMismatchThrows) {
+  const EarthGrid grid(30.0);
+  const std::vector<double> wrong(grid.size() + 1, 0.0);
+  EXPECT_THROW((void)global_coverage_fraction(grid, wrong), std::invalid_argument);
+  EXPECT_THROW((void)ascii_coverage_map(grid, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpleo::cov

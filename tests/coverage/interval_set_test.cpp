@@ -1,0 +1,192 @@
+#include "coverage/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mpleo::cov {
+namespace {
+
+TEST(IntervalSet, EmptyByDefault) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.total_length(), 0.0);
+  EXPECT_FALSE(set.contains(0.0));
+}
+
+TEST(IntervalSet, InsertAndContains) {
+  IntervalSet set;
+  set.insert(1.0, 3.0);
+  EXPECT_FALSE(set.contains(0.9));
+  EXPECT_TRUE(set.contains(1.0));   // inclusive start
+  EXPECT_TRUE(set.contains(2.0));
+  EXPECT_FALSE(set.contains(3.0));  // exclusive end
+  EXPECT_DOUBLE_EQ(set.total_length(), 2.0);
+}
+
+TEST(IntervalSet, InsertIgnoresEmptyAndInverted) {
+  IntervalSet set;
+  set.insert(5.0, 5.0);
+  set.insert(7.0, 6.0);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, OverlappingInsertsMerge) {
+  IntervalSet set;
+  set.insert(1.0, 3.0);
+  set.insert(2.0, 5.0);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 4.0);
+}
+
+TEST(IntervalSet, AdjacentIntervalsMerge) {
+  IntervalSet set;
+  set.insert(1.0, 2.0);
+  set.insert(2.0, 3.0);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 2.0);
+}
+
+TEST(IntervalSet, DisjointInsertsStaySeparate) {
+  IntervalSet set;
+  set.insert(5.0, 6.0);
+  set.insert(1.0, 2.0);
+  set.insert(10.0, 12.0);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 4.0);
+  // Sorted invariant.
+  EXPECT_LT(set.intervals()[0].start, set.intervals()[1].start);
+  EXPECT_LT(set.intervals()[1].start, set.intervals()[2].start);
+}
+
+TEST(IntervalSet, InsertBridgingManyIntervals) {
+  IntervalSet set;
+  set.insert(0.0, 1.0);
+  set.insert(2.0, 3.0);
+  set.insert(4.0, 5.0);
+  set.insert(0.5, 4.5);  // bridges all three
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 5.0);
+}
+
+TEST(IntervalSet, ConstructorNormalises) {
+  IntervalSet set({{3.0, 4.0}, {1.0, 2.5}, {2.0, 3.5}, {9.0, 8.0}});
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 3.0);
+}
+
+TEST(IntervalSet, UnionWith) {
+  IntervalSet a({{0.0, 2.0}, {5.0, 6.0}});
+  IntervalSet b({{1.0, 3.0}, {7.0, 8.0}});
+  const IntervalSet u = a.union_with(b);
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_DOUBLE_EQ(u.total_length(), 5.0);
+}
+
+TEST(IntervalSet, IntersectWith) {
+  IntervalSet a({{0.0, 2.0}, {4.0, 8.0}});
+  IntervalSet b({{1.0, 5.0}, {7.0, 9.0}});
+  const IntervalSet i = a.intersect_with(b);
+  // [1,2), [4,5), [7,8).
+  EXPECT_EQ(i.size(), 3u);
+  EXPECT_DOUBLE_EQ(i.total_length(), 3.0);
+}
+
+TEST(IntervalSet, IntersectDisjointIsEmpty) {
+  IntervalSet a({{0.0, 1.0}});
+  IntervalSet b({{2.0, 3.0}});
+  EXPECT_TRUE(a.intersect_with(b).empty());
+}
+
+TEST(IntervalSet, DifferenceWith) {
+  IntervalSet a({{0.0, 10.0}});
+  IntervalSet b({{2.0, 3.0}, {5.0, 7.0}});
+  const IntervalSet d = a.difference_with(b);
+  EXPECT_DOUBLE_EQ(d.total_length(), 7.0);
+  EXPECT_TRUE(d.contains(0.0));
+  EXPECT_FALSE(d.contains(2.5));
+  EXPECT_TRUE(d.contains(4.0));
+  EXPECT_FALSE(d.contains(6.0));
+  EXPECT_TRUE(d.contains(9.0));
+}
+
+TEST(IntervalSet, ComplementWithin) {
+  IntervalSet set({{2.0, 3.0}, {5.0, 6.0}});
+  const IntervalSet gaps = set.complement_within(0.0, 8.0);
+  EXPECT_EQ(gaps.size(), 3u);  // [0,2) [3,5) [6,8)
+  EXPECT_DOUBLE_EQ(gaps.total_length(), 6.0);
+}
+
+TEST(IntervalSet, ComplementOfEmptyIsWindow) {
+  IntervalSet set;
+  const IntervalSet gaps = set.complement_within(1.0, 4.0);
+  EXPECT_EQ(gaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(gaps.total_length(), 3.0);
+}
+
+TEST(IntervalSet, ComplementOfFullCoverIsEmpty) {
+  IntervalSet set({{0.0, 10.0}});
+  EXPECT_TRUE(set.complement_within(2.0, 8.0).empty());
+}
+
+TEST(IntervalSet, MaxGapWithin) {
+  IntervalSet set({{2.0, 3.0}, {7.0, 8.0}});
+  EXPECT_DOUBLE_EQ(set.max_gap_within(0.0, 10.0), 4.0);  // [3,7)
+  EXPECT_DOUBLE_EQ(IntervalSet({{0.0, 10.0}}).max_gap_within(0.0, 10.0), 0.0);
+}
+
+// Property tests: algebraic identities on randomly generated sets.
+class IntervalAlgebraProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static IntervalSet random_set(util::Xoshiro256PlusPlus& rng) {
+    IntervalSet set;
+    const int n = static_cast<int>(rng.uniform_index(12));
+    for (int i = 0; i < n; ++i) {
+      const double start = rng.uniform(0.0, 100.0);
+      set.insert(start, start + rng.uniform(0.0, 15.0));
+    }
+    return set;
+  }
+};
+
+TEST_P(IntervalAlgebraProperty, UnionLengthBounds) {
+  util::Xoshiro256PlusPlus rng(GetParam());
+  const IntervalSet a = random_set(rng);
+  const IntervalSet b = random_set(rng);
+  const IntervalSet u = a.union_with(b);
+  EXPECT_GE(u.total_length() + 1e-9, std::max(a.total_length(), b.total_length()));
+  EXPECT_LE(u.total_length(), a.total_length() + b.total_length() + 1e-9);
+}
+
+TEST_P(IntervalAlgebraProperty, InclusionExclusion) {
+  util::Xoshiro256PlusPlus rng(GetParam() ^ 0xABCDEF);
+  const IntervalSet a = random_set(rng);
+  const IntervalSet b = random_set(rng);
+  const double lhs = a.union_with(b).total_length() + a.intersect_with(b).total_length();
+  const double rhs = a.total_length() + b.total_length();
+  EXPECT_NEAR(lhs, rhs, 1e-7);
+}
+
+TEST_P(IntervalAlgebraProperty, ComplementPartitionsWindow) {
+  util::Xoshiro256PlusPlus rng(GetParam() ^ 0x123456);
+  const IntervalSet a = random_set(rng);
+  const IntervalSet clipped = a.intersect_with(IntervalSet({{0.0, 120.0}}));
+  const IntervalSet gaps = a.complement_within(0.0, 120.0);
+  EXPECT_NEAR(clipped.total_length() + gaps.total_length(), 120.0, 1e-7);
+  EXPECT_TRUE(clipped.intersect_with(gaps).empty());
+}
+
+TEST_P(IntervalAlgebraProperty, UnionIsIdempotentAndCommutative) {
+  util::Xoshiro256PlusPlus rng(GetParam() ^ 0x777);
+  const IntervalSet a = random_set(rng);
+  const IntervalSet b = random_set(rng);
+  EXPECT_EQ(a.union_with(a), a);
+  EXPECT_EQ(a.union_with(b), b.union_with(a));
+  EXPECT_EQ(a.intersect_with(b), b.intersect_with(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalAlgebraProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+}  // namespace
+}  // namespace mpleo::cov

@@ -1,0 +1,72 @@
+#include "coverage/revisit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpleo::cov {
+namespace {
+
+StepMask mask_from_pattern(const char* pattern) {
+  const std::string s(pattern);
+  StepMask m(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1') m.set(i);
+  }
+  return m;
+}
+
+TEST(Revisit, EmptyMaskIsOneBigGap) {
+  const RevisitStats stats = revisit_stats(StepMask(100), 60.0);
+  EXPECT_EQ(stats.pass_count, 0u);
+  EXPECT_EQ(stats.gap_count, 1u);
+  EXPECT_DOUBLE_EQ(stats.max_gap_seconds, 6000.0);
+  EXPECT_DOUBLE_EQ(stats.covered_fraction, 0.0);
+}
+
+TEST(Revisit, FullMaskHasNoGaps) {
+  StepMask full(50);
+  for (std::size_t i = 0; i < 50; ++i) full.set(i);
+  const RevisitStats stats = revisit_stats(full, 60.0);
+  EXPECT_EQ(stats.gap_count, 0u);
+  EXPECT_EQ(stats.pass_count, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_pass_seconds, 3000.0);
+  EXPECT_DOUBLE_EQ(stats.covered_fraction, 1.0);
+}
+
+TEST(Revisit, PatternStats) {
+  // Gaps: 2 (lead), 3 (middle), 1 (tail). Passes: 2 and 2 steps.
+  const StepMask m = mask_from_pattern("0011000110");
+  const RevisitStats stats = revisit_stats(m, 10.0);
+  EXPECT_EQ(stats.pass_count, 2u);
+  EXPECT_EQ(stats.gap_count, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_pass_seconds, 20.0);
+  EXPECT_DOUBLE_EQ(stats.mean_gap_seconds, 20.0);
+  EXPECT_DOUBLE_EQ(stats.max_gap_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(stats.p50_gap_seconds, 20.0);
+}
+
+TEST(Revisit, GapLengthsInOrder) {
+  const auto gaps = gap_lengths(mask_from_pattern("0101001"), 5.0);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaps[0], 5.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 5.0);
+  EXPECT_DOUBLE_EQ(gaps[2], 10.0);
+}
+
+TEST(Revisit, GapsPlusPassesCoverWindow) {
+  const StepMask m = mask_from_pattern("0110011100010");
+  const RevisitStats stats = revisit_stats(m, 7.0);
+  const double window = 7.0 * static_cast<double>(m.step_count());
+  const double pass_time = stats.mean_pass_seconds * static_cast<double>(stats.pass_count);
+  const double gap_time = stats.mean_gap_seconds * static_cast<double>(stats.gap_count);
+  EXPECT_NEAR(pass_time + gap_time, window, 1e-9);
+}
+
+TEST(Revisit, P95AtLeastP50) {
+  const StepMask m = mask_from_pattern("10010000100000001");
+  const RevisitStats stats = revisit_stats(m, 1.0);
+  EXPECT_GE(stats.p95_gap_seconds, stats.p50_gap_seconds);
+  EXPECT_GE(stats.max_gap_seconds, stats.p95_gap_seconds);
+}
+
+}  // namespace
+}  // namespace mpleo::cov

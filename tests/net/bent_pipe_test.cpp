@@ -1,0 +1,79 @@
+#include "net/bent_pipe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpleo::net {
+namespace {
+
+RelayBudget default_relay(RelayMode mode, double up = 800e3, double down = 900e3) {
+  return compute_relay(default_user_terminal(), default_transponder(),
+                       default_ground_station(), up, down, mode);
+}
+
+TEST(BentPipe, TransparentSnrIsHarmonicCombination) {
+  const RelayBudget budget = default_relay(RelayMode::kTransparent);
+  const double expected =
+      1.0 / (1.0 / budget.uplink.snr_linear + 1.0 / budget.downlink.snr_linear);
+  EXPECT_NEAR(budget.end_to_end_snr_linear, expected, expected * 1e-12);
+}
+
+TEST(BentPipe, TransparentWorseThanEitherHop) {
+  const RelayBudget budget = default_relay(RelayMode::kTransparent);
+  EXPECT_LT(budget.end_to_end_snr_linear, budget.uplink.snr_linear);
+  EXPECT_LT(budget.end_to_end_snr_linear, budget.downlink.snr_linear);
+}
+
+TEST(BentPipe, RegenerativeIsMinOfHops) {
+  const RelayBudget budget = default_relay(RelayMode::kRegenerative);
+  EXPECT_DOUBLE_EQ(budget.end_to_end_snr_linear,
+                   std::min(budget.uplink.snr_linear, budget.downlink.snr_linear));
+  EXPECT_DOUBLE_EQ(
+      budget.end_to_end_capacity_bps,
+      std::min(budget.uplink.shannon_capacity_bps, budget.downlink.shannon_capacity_bps));
+}
+
+TEST(BentPipe, RegenerativeBeatsTransparent) {
+  // The paper's §4 trade-off: decoding on board avoids re-amplifying uplink
+  // noise, so regenerative end-to-end SNR is strictly better.
+  const RelayBudget transparent = default_relay(RelayMode::kTransparent);
+  const RelayBudget regen = default_relay(RelayMode::kRegenerative);
+  EXPECT_GT(regen.end_to_end_snr_linear, transparent.end_to_end_snr_linear);
+  EXPECT_GT(regen.end_to_end_capacity_bps, transparent.end_to_end_capacity_bps);
+}
+
+TEST(BentPipe, TransparentPenaltyIsBoundedBy3dbWhenBalanced) {
+  // With equal hop SNRs the transparent combination is exactly 3 dB worse.
+  RadioConfig symmetric_terminal = default_user_terminal();
+  TransponderConfig transponder = default_transponder();
+  RadioConfig symmetric_gs = default_ground_station();
+  // Force the two hops identical by making the downlink mirror the uplink.
+  transponder.transmit = symmetric_terminal;
+  symmetric_gs = transponder.receive;
+
+  const RelayBudget budget = compute_relay(symmetric_terminal, transponder, symmetric_gs,
+                                           700e3, 700e3, RelayMode::kTransparent);
+  EXPECT_NEAR(budget.uplink.snr_db - budget.end_to_end_snr_db, 3.0103, 1e-3);
+}
+
+TEST(BentPipe, LongerUplinkDegradesEndToEnd) {
+  const RelayBudget short_up = default_relay(RelayMode::kTransparent, 600e3, 900e3);
+  const RelayBudget long_up = default_relay(RelayMode::kTransparent, 1800e3, 900e3);
+  EXPECT_GT(short_up.end_to_end_snr_linear, long_up.end_to_end_snr_linear);
+}
+
+TEST(BentPipe, DefaultChainsCloseTheLink) {
+  // Both modes should yield usable capacity at typical slant ranges.
+  for (const RelayMode mode : {RelayMode::kTransparent, RelayMode::kRegenerative}) {
+    const RelayBudget budget = default_relay(mode);
+    EXPECT_GT(budget.end_to_end_snr_db, 0.0);
+    EXPECT_GT(budget.end_to_end_capacity_bps, 10e6);  // at least 10 Mbit/s
+  }
+}
+
+TEST(BentPipe, ModeRecordedInBudget) {
+  EXPECT_EQ(default_relay(RelayMode::kTransparent).mode, RelayMode::kTransparent);
+  EXPECT_EQ(default_relay(RelayMode::kRegenerative).mode, RelayMode::kRegenerative);
+}
+
+}  // namespace
+}  // namespace mpleo::net

@@ -1,0 +1,88 @@
+#include "net/ground_station.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace mpleo::net {
+namespace {
+
+TEST(GreatCircle, ZeroForSamePoint) {
+  const auto p = orbit::Geodetic::from_degrees(25.0, 121.5);
+  EXPECT_NEAR(great_circle_distance_m(p, p), 0.0, 1e-6);
+}
+
+TEST(GreatCircle, QuarterMeridian) {
+  const auto equator = orbit::Geodetic::from_degrees(0.0, 0.0);
+  const auto pole = orbit::Geodetic::from_degrees(90.0, 0.0);
+  EXPECT_NEAR(great_circle_distance_m(equator, pole),
+              util::kEarthMeanRadiusM * util::kPi / 2.0, 1.0);
+}
+
+TEST(GreatCircle, KnownCityPair) {
+  // London - New York ~ 5570 km.
+  const auto london = orbit::Geodetic::from_degrees(51.5074, -0.1278);
+  const auto nyc = orbit::Geodetic::from_degrees(40.7128, -74.0060);
+  EXPECT_NEAR(great_circle_distance_m(london, nyc) / 1000.0, 5570.0, 60.0);
+}
+
+TEST(GreatCircle, Symmetric) {
+  const auto a = orbit::Geodetic::from_degrees(35.0, 139.0);
+  const auto b = orbit::Geodetic::from_degrees(-33.9, 151.2);
+  EXPECT_DOUBLE_EQ(great_circle_distance_m(a, b), great_circle_distance_m(b, a));
+}
+
+TEST(Gsaas, GlobalDefaultHasListings) {
+  const GsaasInventory inv = GsaasInventory::global_default();
+  EXPECT_GE(inv.listings().size(), 10u);
+  for (const TeleportListing& listing : inv.listings()) {
+    EXPECT_GT(listing.price_per_minute, 0.0);
+    EXPECT_GT(listing.station.antenna_count, 0);
+  }
+}
+
+TEST(Gsaas, CheapestNearFindsRegionalTeleport) {
+  const GsaasInventory inv = GsaasInventory::global_default();
+  const auto near_taipei = inv.cheapest_near(orbit::Geodetic::from_degrees(25.0, 121.5),
+                                             3000e3);
+  ASSERT_TRUE(near_taipei.has_value());
+  // Seoul is the closest default teleport to Taipei.
+  EXPECT_EQ(near_taipei->station.name, "Teleport-Seoul");
+}
+
+TEST(Gsaas, CheapestNearRespectsRadius) {
+  const GsaasInventory inv = GsaasInventory::global_default();
+  // 100 km around the middle of the Pacific: nothing.
+  const auto nowhere = inv.cheapest_near(orbit::Geodetic::from_degrees(-10.0, -140.0),
+                                         100e3);
+  EXPECT_FALSE(nowhere.has_value());
+}
+
+TEST(Gsaas, CheapestPrefersLowerPrice) {
+  GsaasInventory inv;
+  GroundStation a;
+  a.id = 1;
+  a.name = "expensive";
+  a.location = orbit::Geodetic::from_degrees(10.0, 10.0);
+  GroundStation b = a;
+  b.id = 2;
+  b.name = "cheap";
+  b.location = orbit::Geodetic::from_degrees(10.5, 10.5);
+  inv.add_listing({a, 9.0});
+  inv.add_listing({b, 2.0});
+  const auto best = inv.cheapest_near(orbit::Geodetic::from_degrees(10.0, 10.0), 500e3);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->station.name, "cheap");
+}
+
+TEST(GroundStation, FrameIsAtLocation) {
+  GroundStation gs;
+  gs.location = orbit::Geodetic::from_degrees(45.0, 7.0, 300.0);
+  const auto frame = gs.frame();
+  const auto back = orbit::ecef_to_geodetic(frame.origin_ecef());
+  EXPECT_NEAR(back.latitude_rad, gs.location.latitude_rad, 1e-9);
+  EXPECT_NEAR(back.altitude_m, 300.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace mpleo::net

@@ -1,0 +1,79 @@
+#include "net/handover.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpleo::net {
+namespace {
+
+TEST(HandoverStats, EmptyTimeline) {
+  const HandoverStats stats = handover_stats({}, 60.0);
+  EXPECT_EQ(stats.handover_count, 0u);
+  EXPECT_EQ(stats.connected_fraction, 0.0);
+}
+
+TEST(HandoverStats, SyntheticTimeline) {
+  // 0 0 gap 1 1 2 gap gap 2 -> handovers: 1->2 within-connection (1);
+  // dwell segments: [0,0], [1,1], [2], [2] = 4; outages: 2 (after 0s, after 2).
+  const std::vector<std::uint32_t> timeline{0, 0, kNoSatellite, 1, 1, 2,
+                                            kNoSatellite, kNoSatellite, 2};
+  const HandoverStats stats = handover_stats(timeline, 10.0);
+  EXPECT_EQ(stats.handover_count, 1u);
+  EXPECT_EQ(stats.outage_count, 2u);
+  EXPECT_NEAR(stats.connected_fraction, 6.0 / 9.0, 1e-12);
+  EXPECT_NEAR(stats.mean_dwell_seconds, 60.0 / 4.0, 1e-9);
+  EXPECT_NEAR(stats.handovers_per_hour, 1.0 / (60.0 / 3600.0), 1e-9);
+}
+
+TEST(HandoverStats, ContinuousSingleSatellite) {
+  const std::vector<std::uint32_t> timeline(20, 3u);
+  const HandoverStats stats = handover_stats(timeline, 30.0);
+  EXPECT_EQ(stats.handover_count, 0u);
+  EXPECT_EQ(stats.outage_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.connected_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_dwell_seconds, 600.0);
+}
+
+TEST(ServingTimeline, PicksHighestElevationAndRespectsMask) {
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(
+      orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 86400.0, 60.0);
+  const cov::CoverageEngine engine(grid, 25.0);
+  const auto sats = constellation::single_plane(550e3, 53.0, 100.0, 8, grid.start);
+  const orbit::TopocentricFrame terminal(cov::taipei().location);
+
+  const auto timeline = serving_satellite_timeline(engine, sats, terminal);
+  ASSERT_EQ(timeline.size(), grid.count);
+
+  // Whenever the timeline says "connected", the union coverage mask agrees,
+  // and vice versa.
+  cov::StepMask covered(grid.count);
+  for (const auto& sat : sats) covered |= engine.visibility_mask(sat, terminal);
+  for (std::size_t i = 0; i < grid.count; ++i) {
+    EXPECT_EQ(timeline[i] != kNoSatellite, covered.test(i)) << "step " << i;
+    if (timeline[i] != kNoSatellite) EXPECT_LT(timeline[i], sats.size());
+  }
+}
+
+TEST(ServingTimeline, DenserConstellationRaisesHandovers) {
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(
+      orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 86400.0, 60.0);
+  const cov::CoverageEngine engine(grid, 25.0);
+  const orbit::TopocentricFrame terminal(cov::taipei().location);
+
+  const auto sparse = constellation::single_plane(550e3, 53.0, 100.0, 4, grid.start);
+  constellation::WalkerShell dense_shell;
+  dense_shell.plane_count = 12;
+  dense_shell.sats_per_plane = 12;
+  dense_shell.phasing_factor = 5;
+  const auto dense = dense_shell.build(grid.start);
+
+  const auto sparse_stats = handover_stats(
+      serving_satellite_timeline(engine, sparse, terminal), grid.step_seconds);
+  const auto dense_stats = handover_stats(
+      serving_satellite_timeline(engine, dense, terminal), grid.step_seconds);
+
+  EXPECT_GT(dense_stats.connected_fraction, sparse_stats.connected_fraction);
+  EXPECT_GT(dense_stats.handover_count, sparse_stats.handover_count);
+}
+
+}  // namespace
+}  // namespace mpleo::net

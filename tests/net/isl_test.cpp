@@ -1,0 +1,160 @@
+#include "net/isl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "constellation/shell.hpp"
+#include "coverage/cities.hpp"
+
+namespace mpleo::net {
+namespace {
+
+using util::Vec3;
+
+TEST(IslTopology, LinksWithinRangeOnly) {
+  const std::vector<Vec3> positions{
+      {0.0, 0.0, 0.0}, {1000e3, 0.0, 0.0}, {10000e3, 0.0, 0.0}};
+  IslConfig cfg;
+  cfg.max_range_m = 2000e3;
+  const IslTopology topo = IslTopology::build(positions, cfg);
+  EXPECT_EQ(topo.link_count(), 1u);  // only 0-1
+  EXPECT_EQ(topo.neighbors(0).size(), 1u);
+  EXPECT_EQ(topo.neighbors(2).size(), 0u);
+}
+
+TEST(IslTopology, DegreeCapRespected) {
+  // Five satellites clustered within range; cap of 2 links each.
+  std::vector<Vec3> positions;
+  for (int i = 0; i < 5; ++i) positions.push_back({i * 100e3, 0.0, 0.0});
+  IslConfig cfg;
+  cfg.max_range_m = 1000e3;
+  cfg.max_links_per_satellite = 2;
+  const IslTopology topo = IslTopology::build(positions, cfg);
+  for (std::size_t s = 0; s < positions.size(); ++s) {
+    EXPECT_LE(topo.neighbors(s).size(), 2u);
+  }
+  // Mutual selection keeps the chain connected: 0-1, 1-2, 2-3, 3-4.
+  EXPECT_GE(topo.link_count(), 4u);
+}
+
+TEST(IslTopology, HopsBfs) {
+  // A line: 0 - 1 - 2 - 3.
+  std::vector<Vec3> positions;
+  for (int i = 0; i < 4; ++i) positions.push_back({i * 900e3, 0.0, 0.0});
+  IslConfig cfg;
+  cfg.max_range_m = 1000e3;
+  cfg.max_links_per_satellite = 2;
+  const IslTopology topo = IslTopology::build(positions, cfg);
+
+  const std::vector<std::size_t> sources{0};
+  const auto hops = topo.hops_from(sources);
+  EXPECT_EQ(hops[0], 0);
+  EXPECT_EQ(hops[1], 1);
+  EXPECT_EQ(hops[2], 2);
+  EXPECT_EQ(hops[3], 3);
+}
+
+TEST(IslTopology, UnreachableComponents) {
+  const std::vector<Vec3> positions{
+      {0.0, 0.0, 0.0}, {500e3, 0.0, 0.0}, {9000e3, 0.0, 0.0}};
+  IslConfig cfg;
+  cfg.max_range_m = 1000e3;
+  const IslTopology topo = IslTopology::build(positions, cfg);
+  const std::vector<std::size_t> sources{0};
+  const auto hops = topo.hops_from(sources);
+  EXPECT_EQ(hops[2], IslTopology::kUnreachable);
+}
+
+TEST(IslTopology, MultipleSources) {
+  std::vector<Vec3> positions;
+  for (int i = 0; i < 5; ++i) positions.push_back({i * 900e3, 0.0, 0.0});
+  IslConfig cfg;
+  cfg.max_range_m = 1000e3;
+  cfg.max_links_per_satellite = 2;
+  const IslTopology topo = IslTopology::build(positions, cfg);
+  const std::vector<std::size_t> sources{0, 4};
+  const auto hops = topo.hops_from(sources);
+  EXPECT_EQ(hops[2], 2);  // middle reached from either end
+  EXPECT_EQ(hops[3], 1);
+}
+
+TEST(IslTopology, InvalidConfigThrows) {
+  IslConfig cfg;
+  cfg.max_range_m = -1.0;
+  EXPECT_THROW(IslTopology::build({}, cfg), std::invalid_argument);
+}
+
+class IslCoverageFixture : public ::testing::Test {
+ protected:
+  IslCoverageFixture()
+      : grid_(orbit::TimeGrid::over_duration(
+            orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 6.0 * 3600.0, 120.0)),
+        engine_(grid_, 25.0),
+        terminal_(orbit::Geodetic::from_degrees(0.0, 121.5)) {
+    // A dense equatorial ring: 24 satellites 15 deg apart give continuous
+    // equator coverage (footprint half-width ~8.45 deg) and a connected ISL
+    // ring (neighbour spacing ~1800 km < 3000 km laser reach).
+    sats_ = constellation::single_plane(
+        550e3, 0.0, 0.0, 24, orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"));
+    // Gateway 90 deg of longitude away on the equator: no single satellite
+    // ever sees both sites, so bent-pipe alone cannot serve the terminal.
+    gateways_.push_back(
+        {"gw", orbit::TopocentricFrame(orbit::Geodetic::from_degrees(0.0, 31.5)), 1.0});
+  }
+
+  orbit::TimeGrid grid_;
+  cov::CoverageEngine engine_;
+  orbit::TopocentricFrame terminal_;
+  std::vector<constellation::Satellite> sats_;
+  std::vector<cov::GroundSite> gateways_;
+};
+
+TEST_F(IslCoverageFixture, ZeroHopsEqualsBentPipeRule) {
+  IslConfig cfg;
+  cfg.max_hops = 0;
+  const cov::StepMask isl = isl_coverage_mask(engine_, sats_, terminal_, gateways_, cfg);
+
+  // Bent-pipe rule computed directly: satellite must see both sides.
+  cov::StepMask expected(grid_.count);
+  for (const auto& sat : sats_) {
+    const cov::StepMask term_mask = engine_.visibility_mask(sat, terminal_);
+    const cov::StepMask gw_mask = engine_.visibility_mask(sat, gateways_[0].frame);
+    expected |= (term_mask & gw_mask);
+  }
+  EXPECT_EQ(isl, expected);
+}
+
+TEST_F(IslCoverageFixture, MoreHopsNeverReduceCoverage) {
+  std::size_t previous = 0;
+  for (int hops : {0, 1, 3, 6}) {
+    IslConfig cfg;
+    cfg.max_hops = hops;
+    const std::size_t covered =
+        isl_coverage_mask(engine_, sats_, terminal_, gateways_, cfg).count();
+    EXPECT_GE(covered, previous) << "hops=" << hops;
+    previous = covered;
+  }
+}
+
+TEST_F(IslCoverageFixture, IslsBridgeTerminalToRemoteGateway) {
+  // §4's future-work claim in numbers: multi-hop ISLs let the terminal reach
+  // a gateway a quarter of the planet away, which bent-pipe cannot.
+  IslConfig cfg;
+  cfg.max_hops = 10;
+  cfg.max_range_m = 3000e3;
+  const std::size_t with_isl =
+      isl_coverage_mask(engine_, sats_, terminal_, gateways_, cfg).count();
+
+  IslConfig no_hops = cfg;
+  no_hops.max_hops = 0;
+  const std::size_t bent_pipe =
+      isl_coverage_mask(engine_, sats_, terminal_, gateways_, no_hops).count();
+  EXPECT_EQ(bent_pipe, 0u);  // 90 deg apart: no shared footprint
+  // The ring covers the whole equator continuously, so ISL service is
+  // (nearly) continuous.
+  EXPECT_GT(with_isl, grid_.count * 9 / 10);
+}
+
+}  // namespace
+}  // namespace mpleo::net

@@ -1,0 +1,98 @@
+#include "net/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpleo::net {
+namespace {
+
+cov::StepMask all_set(std::size_t n) {
+  cov::StepMask m(n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i);
+  return m;
+}
+
+TEST(Power, SunlitIdleChargesToFull) {
+  PowerConfig cfg;
+  cfg.initial_charge_fraction = 0.5;
+  const auto result =
+      simulate_power(cfg, all_set(100), cov::StepMask(100), 60.0);
+  EXPECT_EQ(result.denied_steps, 0u);
+  EXPECT_NEAR(result.charge_wh.back(), cfg.battery_capacity_wh, 1e-9);
+}
+
+TEST(Power, EclipseDrainsBattery) {
+  PowerConfig cfg;
+  const auto result =
+      simulate_power(cfg, cov::StepMask(60), cov::StepMask(60), 60.0);
+  // Bus load of 120 W for an hour = 120 Wh off the battery.
+  EXPECT_NEAR(result.charge_wh.back(), cfg.battery_capacity_wh - 120.0, 1e-9);
+}
+
+TEST(Power, TransmitRequestsDeniedAtDodFloor) {
+  PowerConfig cfg;
+  cfg.battery_capacity_wh = 100.0;
+  cfg.max_depth_of_discharge = 0.5;  // floor at 50 Wh
+  cfg.solar_panel_w = 0.0;           // permanent eclipse
+  cfg.bus_load_w = 0.0;
+  cfg.transponder_load_w = 600.0;    // 10 Wh per minute step
+  const auto result = simulate_power(cfg, cov::StepMask(20), all_set(20), 60.0);
+  // 5 steps of transmitting drop 100 -> 50 Wh; the rest are denied.
+  EXPECT_EQ(result.transmitted.count(), 5u);
+  EXPECT_EQ(result.denied_steps, 15u);
+  EXPECT_NEAR(result.min_charge_wh, 50.0, 1e-9);
+  // The floor is never violated.
+  for (double c : result.charge_wh) EXPECT_GE(c, 50.0 - 1e-9);
+}
+
+TEST(Power, ChargeNeverExceedsCapacity) {
+  PowerConfig cfg;
+  cfg.solar_panel_w = 10000.0;
+  const auto result = simulate_power(cfg, all_set(50), all_set(50), 60.0);
+  for (double c : result.charge_wh) EXPECT_LE(c, cfg.battery_capacity_wh + 1e-9);
+  EXPECT_EQ(result.denied_steps, 0u);
+  EXPECT_EQ(result.transmitted.count(), 50u);
+}
+
+TEST(Power, RecoversAfterEclipse) {
+  PowerConfig cfg;
+  cfg.battery_capacity_wh = 200.0;
+  // 30 steps eclipse then 30 sunlit, transmit wanted throughout.
+  cov::StepMask sunlit(60);
+  for (std::size_t i = 30; i < 60; ++i) sunlit.set(i);
+  const auto result = simulate_power(cfg, sunlit, all_set(60), 60.0);
+  // Some transmission happens in both phases; battery ends higher than its
+  // minimum.
+  EXPECT_GT(result.transmitted.count(), 0u);
+  EXPECT_GT(result.charge_wh.back(), result.min_charge_wh);
+}
+
+TEST(Power, InvalidInputsThrow) {
+  PowerConfig cfg;
+  EXPECT_THROW((void)simulate_power(cfg, cov::StepMask(5), cov::StepMask(6), 60.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_power(cfg, cov::StepMask(5), cov::StepMask(5), 0.0),
+               std::invalid_argument);
+  cfg.max_depth_of_discharge = 0.0;
+  EXPECT_THROW((void)simulate_power(cfg, cov::StepMask(5), cov::StepMask(5), 60.0),
+               std::invalid_argument);
+}
+
+TEST(Power, SustainableDutyBehaviour) {
+  PowerConfig cfg;
+  cfg.solar_panel_w = 400.0;
+  cfg.bus_load_w = 120.0;
+  cfg.transponder_load_w = 180.0;
+  // At 65% sunlight: (400*0.65 - 120) / 180 = 0.777...
+  EXPECT_NEAR(sustainable_transmit_duty(cfg, 0.65), 0.7778, 1e-3);
+  // Full sun: capped at 1.
+  EXPECT_DOUBLE_EQ(sustainable_transmit_duty(cfg, 1.0), 1.0);
+  // Not enough sun to even run the bus: 0.
+  EXPECT_DOUBLE_EQ(sustainable_transmit_duty(cfg, 0.25), 0.0);
+  // Monotone in sunlight.
+  EXPECT_GE(sustainable_transmit_duty(cfg, 0.8), sustainable_transmit_duty(cfg, 0.6));
+}
+
+}  // namespace
+}  // namespace mpleo::net

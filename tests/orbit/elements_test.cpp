@@ -1,0 +1,135 @@
+#include "orbit/elements.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+namespace {
+
+TEST(Elements, CircularConstructor) {
+  const ClassicalElements coe = ClassicalElements::circular(550e3, 53.0, 120.0, 45.0);
+  EXPECT_NEAR(coe.semi_major_axis_m, util::kEarthMeanRadiusM + 550e3, 1e-6);
+  EXPECT_EQ(coe.eccentricity, 0.0);
+  EXPECT_NEAR(util::rad_to_deg(coe.inclination_rad), 53.0, 1e-12);
+  EXPECT_NEAR(util::rad_to_deg(coe.raan_rad), 120.0, 1e-12);
+  EXPECT_NEAR(util::rad_to_deg(coe.mean_anomaly_rad), 45.0, 1e-12);
+}
+
+TEST(Elements, PeriodOfLeoOrbit) {
+  // ~550 km circular orbit: period ~ 95.6 minutes.
+  const ClassicalElements coe = ClassicalElements::circular(550e3, 53.0, 0.0, 0.0);
+  EXPECT_NEAR(coe.period_seconds() / 60.0, 95.6, 0.3);
+}
+
+TEST(Elements, PerigeeApogeeAltitudes) {
+  ClassicalElements coe;
+  coe.semi_major_axis_m = 7000e3;
+  coe.eccentricity = 0.01;
+  EXPECT_NEAR(coe.perigee_altitude_m(), 7000e3 * 0.99 - util::kEarthMeanRadiusM, 1.0);
+  EXPECT_NEAR(coe.apogee_altitude_m(), 7000e3 * 1.01 - util::kEarthMeanRadiusM, 1.0);
+}
+
+TEST(ElementsToState, CircularEquatorialAtPerigee) {
+  ClassicalElements coe;
+  coe.semi_major_axis_m = 7000e3;
+  coe.eccentricity = 0.0;
+  coe.inclination_rad = 0.0;
+  coe.raan_rad = 0.0;
+  coe.arg_perigee_rad = 0.0;
+  coe.mean_anomaly_rad = 0.0;
+  const StateVector s = elements_to_state(coe);
+  EXPECT_NEAR(s.position.x, 7000e3, 1e-3);
+  EXPECT_NEAR(s.position.y, 0.0, 1e-3);
+  EXPECT_NEAR(s.position.z, 0.0, 1e-3);
+  // Circular speed = sqrt(mu/a).
+  EXPECT_NEAR(s.velocity.norm(), std::sqrt(util::kMuEarth / 7000e3), 1e-6);
+  EXPECT_NEAR(s.velocity.y, s.velocity.norm(), 1e-6);  // prograde along +y
+}
+
+TEST(ElementsToState, RadiusMatchesConicEquation) {
+  ClassicalElements coe;
+  coe.semi_major_axis_m = 7200e3;
+  coe.eccentricity = 0.05;
+  coe.inclination_rad = util::deg_to_rad(53.0);
+  coe.raan_rad = util::deg_to_rad(40.0);
+  coe.arg_perigee_rad = util::deg_to_rad(30.0);
+  coe.mean_anomaly_rad = 0.0;  // at perigee
+  const StateVector s = elements_to_state(coe);
+  EXPECT_NEAR(s.position.norm(), coe.semi_major_axis_m * (1.0 - coe.eccentricity), 1e-3);
+}
+
+TEST(ElementsToState, InclinationBoundsZ) {
+  const ClassicalElements coe = ClassicalElements::circular(550e3, 53.0, 10.0, 77.0);
+  const StateVector s = elements_to_state(coe);
+  const double max_z = s.position.norm() * std::sin(coe.inclination_rad);
+  EXPECT_LE(std::fabs(s.position.z), max_z + 1.0);
+}
+
+TEST(ElementsToState, VisVivaEnergyHolds) {
+  ClassicalElements coe;
+  coe.semi_major_axis_m = 6928e3;
+  coe.eccentricity = 0.12;
+  coe.inclination_rad = util::deg_to_rad(97.6);
+  coe.raan_rad = 1.0;
+  coe.arg_perigee_rad = 2.0;
+  coe.mean_anomaly_rad = 2.5;
+  const StateVector s = elements_to_state(coe);
+  const double energy = s.velocity.norm_squared() / 2.0 - util::kMuEarth / s.position.norm();
+  EXPECT_NEAR(energy, -util::kMuEarth / (2.0 * coe.semi_major_axis_m), 1e-3);
+}
+
+TEST(StateToElements, RecoversKnownCircular) {
+  const ClassicalElements in = ClassicalElements::circular(550e3, 53.0, 100.0, 200.0);
+  const ClassicalElements out = state_to_elements(elements_to_state(in));
+  EXPECT_NEAR(out.semi_major_axis_m, in.semi_major_axis_m, 1e-3);
+  EXPECT_NEAR(out.eccentricity, 0.0, 1e-9);
+  EXPECT_NEAR(out.inclination_rad, in.inclination_rad, 1e-9);
+  EXPECT_NEAR(out.raan_rad, in.raan_rad, 1e-9);
+}
+
+struct RoundTripCase {
+  double a, e, i_deg, raan_deg, argp_deg, m_deg;
+};
+
+class StateRoundTripSweep : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(StateRoundTripSweep, StateSurvivesElementRoundTrip) {
+  const auto p = GetParam();
+  ClassicalElements coe;
+  coe.semi_major_axis_m = p.a;
+  coe.eccentricity = p.e;
+  coe.inclination_rad = util::deg_to_rad(p.i_deg);
+  coe.raan_rad = util::deg_to_rad(p.raan_deg);
+  coe.arg_perigee_rad = util::deg_to_rad(p.argp_deg);
+  coe.mean_anomaly_rad = util::deg_to_rad(p.m_deg);
+
+  const StateVector s1 = elements_to_state(coe);
+  const ClassicalElements back = state_to_elements(s1);
+  const StateVector s2 = elements_to_state(back);
+
+  const double pos_tol = 1e-4 * s1.position.norm();
+  EXPECT_NEAR(s2.position.x, s1.position.x, pos_tol);
+  EXPECT_NEAR(s2.position.y, s1.position.y, pos_tol);
+  EXPECT_NEAR(s2.position.z, s1.position.z, pos_tol);
+  const double vel_tol = 1e-4 * s1.velocity.norm();
+  EXPECT_NEAR(s2.velocity.x, s1.velocity.x, vel_tol);
+  EXPECT_NEAR(s2.velocity.y, s1.velocity.y, vel_tol);
+  EXPECT_NEAR(s2.velocity.z, s1.velocity.z, vel_tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StateRoundTripSweep,
+    ::testing::Values(RoundTripCase{6928e3, 0.0, 53.0, 10.0, 0.0, 45.0},
+                      RoundTripCase{6928e3, 0.001, 53.0, 350.0, 90.0, 180.0},
+                      RoundTripCase{7150e3, 0.1, 97.6, 200.0, 270.0, 300.0},
+                      RoundTripCase{6900e3, 0.0, 0.0, 0.0, 0.0, 120.0},    // equatorial circular
+                      RoundTripCase{7000e3, 0.05, 0.0, 0.0, 45.0, 30.0},   // equatorial elliptic
+                      RoundTripCase{7000e3, 0.0, 90.0, 60.0, 0.0, 250.0},  // polar circular
+                      RoundTripCase{26560e3, 0.6, 63.4, 120.0, 270.0, 10.0}  // Molniya-like
+                      ));
+
+}  // namespace
+}  // namespace mpleo::orbit

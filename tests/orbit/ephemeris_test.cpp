@@ -1,0 +1,69 @@
+#include "orbit/ephemeris.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orbit/geodesy.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+namespace {
+
+TimeGrid small_grid() {
+  return TimeGrid::over_duration(TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 3600.0,
+                                 60.0);
+}
+
+TEST(GmstTable, MatchesDirectEvaluation) {
+  const TimeGrid grid = small_grid();
+  const GmstTable table = GmstTable::for_grid(grid);
+  ASSERT_EQ(table.size(), grid.count);
+  for (std::size_t i = 0; i < grid.count; i += 13) {
+    const double g = gmst_rad(grid.at(i));
+    EXPECT_NEAR(table.cos_gmst[i], std::cos(g), 1e-12);
+    EXPECT_NEAR(table.sin_gmst[i], std::sin(g), 1e-12);
+  }
+}
+
+TEST(EcefPositions, MatchesManualTransform) {
+  const TimeGrid grid = small_grid();
+  const ClassicalElements coe = ClassicalElements::circular(550e3, 53.0, 45.0, 10.0);
+  const KeplerianPropagator prop(coe, grid.start);
+
+  const std::vector<util::Vec3> positions = ecef_positions(prop, grid);
+  ASSERT_EQ(positions.size(), grid.count);
+
+  for (std::size_t i = 0; i < grid.count; i += 7) {
+    const StateVector s = prop.state_at(grid.at(i));
+    const util::Vec3 expected = eci_to_ecef(s.position, grid.at(i));
+    EXPECT_NEAR(positions[i].x, expected.x, 1e-3);
+    EXPECT_NEAR(positions[i].y, expected.y, 1e-3);
+    EXPECT_NEAR(positions[i].z, expected.z, 1e-3);
+  }
+}
+
+TEST(EcefPositions, RadiusStaysAtOrbitAltitude) {
+  const TimeGrid grid = small_grid();
+  const ClassicalElements coe = ClassicalElements::circular(550e3, 53.0, 0.0, 0.0);
+  const KeplerianPropagator prop(coe, grid.start);
+  for (const util::Vec3& p : ecef_positions(prop, grid)) {
+    EXPECT_NEAR(p.norm(), util::kEarthMeanRadiusM + 550e3, 50.0);
+  }
+}
+
+TEST(EcefPositions, SharedGmstTableEquivalent) {
+  const TimeGrid grid = small_grid();
+  const GmstTable table = GmstTable::for_grid(grid);
+  const ClassicalElements coe = ClassicalElements::circular(550e3, 70.0, 120.0, 200.0);
+  const KeplerianPropagator prop(coe, grid.start);
+  const auto with_table = ecef_positions(prop, grid, table);
+  const auto without = ecef_positions(prop, grid);
+  ASSERT_EQ(with_table.size(), without.size());
+  for (std::size_t i = 0; i < with_table.size(); ++i) {
+    EXPECT_NEAR(with_table[i].x, without[i].x, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mpleo::orbit

@@ -1,0 +1,88 @@
+#include "orbit/ground_track.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/angles.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+namespace {
+
+const TimePoint kEpoch = TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+
+TEST(GroundTrack, EquatorialOrbitStaysOnEquator) {
+  const KeplerianPropagator prop(ClassicalElements::circular(550e3, 0.0, 0.0, 0.0),
+                                 kEpoch);
+  const TimeGrid grid = TimeGrid::over_duration(kEpoch, 6000.0, 60.0);
+  for (const GroundTrackPoint& p : ground_track(prop, grid)) {
+    EXPECT_NEAR(p.point.latitude_rad, 0.0, 1e-6);
+    EXPECT_EQ(p.point.altitude_m, 0.0);
+  }
+}
+
+TEST(GroundTrack, LatitudeBoundedByInclination) {
+  const double incl_deg = 53.0;
+  const KeplerianPropagator prop(
+      ClassicalElements::circular(550e3, incl_deg, 20.0, 0.0), kEpoch);
+  const TimeGrid grid = TimeGrid::over_duration(kEpoch, 86400.0, 60.0);
+  double max_lat = 0.0;
+  for (const GroundTrackPoint& p : ground_track(prop, grid)) {
+    max_lat = std::max(max_lat, std::fabs(p.point.latitude_rad));
+  }
+  // Reaches close to the inclination but never exceeds it (geodetic latitude
+  // can overshoot geocentric by up to ~0.2 deg on the ellipsoid).
+  EXPECT_LE(util::rad_to_deg(max_lat), incl_deg + 0.25);
+  EXPECT_GE(util::rad_to_deg(max_lat), incl_deg - 1.0);
+}
+
+TEST(GroundTrack, TrackLengthMatchesGrid) {
+  const KeplerianPropagator prop(ClassicalElements::circular(550e3, 53.0, 0.0, 0.0),
+                                 kEpoch);
+  const TimeGrid grid = TimeGrid::over_duration(kEpoch, 3600.0, 30.0);
+  const auto track = ground_track(prop, grid);
+  ASSERT_EQ(track.size(), grid.count);
+  EXPECT_DOUBLE_EQ(track.front().offset_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(track.back().offset_seconds,
+                   grid.step_seconds * static_cast<double>(grid.count - 1));
+}
+
+TEST(GroundTrack, WestwardShiftPerOrbit) {
+  // 550 km orbit (95.7 min period): Earth turns ~24 deg underneath per
+  // revolution, plus ~0.3 deg from J2 nodal regression — Fig. 1a's
+  // "different path on Earth during each orbit".
+  const KeplerianPropagator prop(ClassicalElements::circular(550e3, 53.0, 0.0, 0.0),
+                                 kEpoch);
+  const double shift = ground_track_shift_per_orbit_deg(prop);
+  EXPECT_NEAR(shift, 24.3, 0.5);
+}
+
+TEST(GroundTrack, ShiftObservedInSimulation) {
+  // Measure the longitude of two consecutive ascending equator crossings.
+  const KeplerianPropagator prop(ClassicalElements::circular(550e3, 53.0, 40.0, 0.0),
+                                 kEpoch);
+  const TimeGrid grid = TimeGrid::over_duration(kEpoch, 4.0 * 6000.0, 5.0);
+  const auto track = ground_track(prop, grid);
+
+  std::vector<double> crossing_lons;
+  for (std::size_t i = 1; i < track.size(); ++i) {
+    if (track[i - 1].point.latitude_rad < 0.0 && track[i].point.latitude_rad >= 0.0) {
+      crossing_lons.push_back(track[i].point.longitude_rad);
+    }
+  }
+  ASSERT_GE(crossing_lons.size(), 2u);
+  const double measured_shift_deg = util::rad_to_deg(
+      util::wrap_pi(crossing_lons[0] - crossing_lons[1]));
+  EXPECT_NEAR(measured_shift_deg, ground_track_shift_per_orbit_deg(prop), 0.5);
+}
+
+TEST(GroundTrack, MaxLatitudeForRetrogradeOrbits) {
+  ClassicalElements sso = ClassicalElements::circular(560e3, 97.6, 0.0, 0.0);
+  EXPECT_NEAR(util::rad_to_deg(max_track_latitude_rad(sso)), 82.4, 1e-9);
+  ClassicalElements prograde = ClassicalElements::circular(550e3, 53.0, 0.0, 0.0);
+  EXPECT_NEAR(util::rad_to_deg(max_track_latitude_rad(prograde)), 53.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mpleo::orbit

@@ -1,0 +1,94 @@
+#include "orbit/maneuver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+namespace {
+
+constexpr double kLeoRadius = 6371008.8 + 550e3;
+constexpr double kGeoRadius = 42164e3;
+
+TEST(Maneuver, CircularVelocityKnownValues) {
+  // 550 km LEO ~ 7.59 km/s; GEO ~ 3.07 km/s.
+  EXPECT_NEAR(circular_velocity(kLeoRadius), 7585.0, 15.0);
+  EXPECT_NEAR(circular_velocity(kGeoRadius), 3075.0, 10.0);
+  EXPECT_THROW((void)circular_velocity(100.0), std::invalid_argument);
+}
+
+TEST(Maneuver, HohmannLeoToGeoTextbookValue) {
+  // LEO (550 km) -> GEO total delta-v ~ 3.8 km/s (the canonical ~3.9 is
+  // quoted from a 300 km parking orbit; higher start = slightly cheaper).
+  const double dv = hohmann_delta_v(kLeoRadius, kGeoRadius);
+  EXPECT_NEAR(dv, 3800.0, 60.0);
+  // Order independence and zero at equality.
+  EXPECT_DOUBLE_EQ(dv, hohmann_delta_v(kGeoRadius, kLeoRadius));
+  EXPECT_EQ(hohmann_delta_v(kLeoRadius, kLeoRadius), 0.0);
+}
+
+TEST(Maneuver, HohmannTransferTimeLeoToGeo) {
+  // ~5.3 hours for the LEO->GEO half ellipse.
+  EXPECT_NEAR(hohmann_transfer_time(kLeoRadius, kGeoRadius) / 3600.0, 5.25, 0.15);
+}
+
+TEST(Maneuver, SmallAltitudeChangesAreCheap) {
+  // 550 -> 575 km: a few m/s x ~13. Rule of thumb ~0.5 m/s per km at LEO.
+  const double dv = hohmann_delta_v(kLeoRadius, kLeoRadius + 25e3);
+  EXPECT_NEAR(dv, 13.7, 1.0);
+}
+
+TEST(Maneuver, PlaneChangeIsExpensive) {
+  // Fig 4c's best coverage factor (10 deg inclination change) costs
+  // 2 v sin(5 deg) ~ 1.32 km/s at LEO — far beyond the altitude/phase moves.
+  const double dv = plane_change_delta_v(kLeoRadius, util::deg_to_rad(10.0));
+  EXPECT_NEAR(dv, 1322.0, 20.0);
+  EXPECT_EQ(plane_change_delta_v(kLeoRadius, 0.0), 0.0);
+  // Symmetric in sign.
+  EXPECT_DOUBLE_EQ(plane_change_delta_v(kLeoRadius, util::deg_to_rad(-10.0)),
+                   plane_change_delta_v(kLeoRadius, util::deg_to_rad(10.0)));
+}
+
+TEST(Maneuver, PhasingDriftDirectionAndDuration) {
+  // Drop 20 km to drift ahead 30 deg: lower orbit is faster.
+  const double t = phasing_time(kLeoRadius, util::deg_to_rad(30.0), 20e3);
+  EXPECT_GT(t, 0.0);
+  // Relative rate ~ 1.5 n (dh/r) per orbit => tens of orbits.
+  EXPECT_GT(t / 5700.0, 5.0);
+  EXPECT_LT(t / 5700.0, 50.0);
+  // Wrong direction is rejected.
+  EXPECT_THROW((void)phasing_time(kLeoRadius, util::deg_to_rad(30.0), -20e3),
+               std::invalid_argument);
+  EXPECT_THROW((void)phasing_time(kLeoRadius, 0.0, 20e3), std::invalid_argument);
+}
+
+TEST(Maneuver, PhasingDeltaVEntersAndExits) {
+  const double dv = phasing_delta_v(kLeoRadius, 20e3);
+  EXPECT_NEAR(dv, 2.0 * hohmann_delta_v(kLeoRadius, kLeoRadius - 20e3), 1e-9);
+  EXPECT_GT(dv, 0.0);
+  EXPECT_LT(dv, 50.0);  // phasing is cheap, as §3.3 deployment assumes
+}
+
+TEST(Maneuver, DeorbitBurnMagnitude) {
+  // 550 km -> 50 km perigee disposal: ~145 m/s.
+  const double dv = deorbit_delta_v(kLeoRadius, 6371008.8 + 50e3);
+  EXPECT_NEAR(dv, 145.0, 15.0);
+  EXPECT_THROW((void)deorbit_delta_v(kLeoRadius, kLeoRadius + 1.0),
+               std::invalid_argument);
+}
+
+TEST(Maneuver, CostOrderingMatchesFig4cIntuition) {
+  // The coverage-best slot (new inclination) is the delta-v-worst move;
+  // phase changes are cheapest. This asymmetry is why incremental
+  // deployments launch into new planes instead of maneuvering into them.
+  const double incl = plane_change_delta_v(kLeoRadius, util::deg_to_rad(10.0));
+  const double alt = hohmann_delta_v(kLeoRadius, kLeoRadius + 25e3);
+  const double phase = phasing_delta_v(kLeoRadius, 20e3);
+  EXPECT_GT(incl, 10.0 * alt);
+  EXPECT_GT(incl, 10.0 * phase);
+}
+
+}  // namespace
+}  // namespace mpleo::orbit

@@ -1,0 +1,144 @@
+#include "orbit/propagator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/angles.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+namespace {
+
+ClassicalElements leo_orbit() { return ClassicalElements::circular(550e3, 53.0, 30.0, 0.0); }
+
+TEST(TwoBody, StateAtEpochMatchesElements) {
+  const ClassicalElements coe = leo_orbit();
+  const KeplerianPropagator prop(coe, TimePoint{}, Perturbation::kNone);
+  const StateVector direct = elements_to_state(coe);
+  const StateVector propagated = prop.state_at_offset(0.0);
+  EXPECT_NEAR(propagated.position.x, direct.position.x, 1e-6);
+  EXPECT_NEAR(propagated.position.y, direct.position.y, 1e-6);
+  EXPECT_NEAR(propagated.position.z, direct.position.z, 1e-6);
+}
+
+TEST(TwoBody, ReturnsAfterOnePeriod) {
+  const ClassicalElements coe = leo_orbit();
+  const KeplerianPropagator prop(coe, TimePoint{}, Perturbation::kNone);
+  const StateVector s0 = prop.state_at_offset(0.0);
+  const StateVector s1 = prop.state_at_offset(coe.period_seconds());
+  EXPECT_NEAR((s1.position - s0.position).norm(), 0.0, 1.0);
+}
+
+TEST(TwoBody, EnergyConservedAcrossWeek) {
+  ClassicalElements coe = leo_orbit();
+  coe.eccentricity = 0.02;
+  const KeplerianPropagator prop(coe, TimePoint{}, Perturbation::kNone);
+  const double expected = -util::kMuEarth / (2.0 * coe.semi_major_axis_m);
+  for (double dt = 0.0; dt <= 7.0 * 86400.0; dt += 86400.0 / 3.0) {
+    const StateVector s = prop.state_at_offset(dt);
+    const double energy =
+        s.velocity.norm_squared() / 2.0 - util::kMuEarth / s.position.norm();
+    EXPECT_NEAR(energy, expected, std::fabs(expected) * 1e-9);
+  }
+}
+
+TEST(TwoBody, AngularMomentumDirectionFixed) {
+  const ClassicalElements coe = leo_orbit();
+  const KeplerianPropagator prop(coe, TimePoint{}, Perturbation::kNone);
+  const StateVector s0 = prop.state_at_offset(0.0);
+  const util::Vec3 h0 = cross(s0.position, s0.velocity).normalized();
+  for (double dt : {1000.0, 40000.0, 300000.0}) {
+    const StateVector s = prop.state_at_offset(dt);
+    const util::Vec3 h = cross(s.position, s.velocity).normalized();
+    EXPECT_NEAR(dot(h, h0), 1.0, 1e-12);
+  }
+}
+
+TEST(J2, RatesZeroUnderNoPerturbation) {
+  const KeplerianPropagator prop(leo_orbit(), TimePoint{}, Perturbation::kNone);
+  EXPECT_EQ(prop.raan_rate(), 0.0);
+  EXPECT_EQ(prop.arg_perigee_rate(), 0.0);
+}
+
+TEST(J2, NodalRegressionForProgradeOrbit) {
+  // Prograde (i < 90 deg): RAAN drifts westward (negative rate).
+  const KeplerianPropagator prop(leo_orbit(), TimePoint{});
+  EXPECT_LT(prop.raan_rate(), 0.0);
+  // Starlink-like orbit: about -5 deg/day.
+  const double deg_per_day = util::rad_to_deg(prop.raan_rate()) * 86400.0;
+  EXPECT_NEAR(deg_per_day, -5.0, 0.6);
+}
+
+TEST(J2, NodalPrecessionForRetrogradeOrbit) {
+  // Sun-synchronous (i = 97.6 deg): RAAN advances eastward ~ +1 deg/day.
+  const ClassicalElements coe = ClassicalElements::circular(560e3, 97.6, 0.0, 0.0);
+  const KeplerianPropagator prop(coe, TimePoint{});
+  const double deg_per_day = util::rad_to_deg(prop.raan_rate()) * 86400.0;
+  EXPECT_NEAR(deg_per_day, 0.985, 0.1);
+}
+
+TEST(J2, PolarOrbitHasNoRegression) {
+  const ClassicalElements coe = ClassicalElements::circular(550e3, 90.0, 0.0, 0.0);
+  const KeplerianPropagator prop(coe, TimePoint{});
+  EXPECT_NEAR(prop.raan_rate(), 0.0, 1e-15);
+}
+
+TEST(J2, ElementsDriftLinearly) {
+  const KeplerianPropagator prop(leo_orbit(), TimePoint{});
+  const double dt = 86400.0;
+  const ClassicalElements at_day = prop.elements_at_offset(dt);
+  EXPECT_NEAR(at_day.raan_rad,
+              util::wrap_two_pi(leo_orbit().raan_rad + prop.raan_rate() * dt), 1e-12);
+  // Shape is unchanged (secular J2 only affects angles).
+  EXPECT_EQ(at_day.semi_major_axis_m, leo_orbit().semi_major_axis_m);
+  EXPECT_EQ(at_day.eccentricity, leo_orbit().eccentricity);
+  EXPECT_EQ(at_day.inclination_rad, leo_orbit().inclination_rad);
+}
+
+TEST(J2, AltitudePreservedOverWeek) {
+  const KeplerianPropagator prop(leo_orbit(), TimePoint{});
+  for (double dt : {0.0, 86400.0, 7.0 * 86400.0}) {
+    const StateVector s = prop.state_at_offset(dt);
+    EXPECT_NEAR(s.position.norm(), util::kEarthMeanRadiusM + 550e3, 100.0);
+  }
+}
+
+TEST(Propagator, StateAtUsesEpoch) {
+  const TimePoint epoch = TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+  const KeplerianPropagator prop(leo_orbit(), epoch);
+  const StateVector a = prop.state_at(epoch.plus_seconds(1234.0));
+  const StateVector b = prop.state_at_offset(1234.0);
+  EXPECT_NEAR(a.position.x, b.position.x, 1e-9);
+}
+
+TEST(Propagator, NegativeOffsetPropagatesBackwards) {
+  const KeplerianPropagator prop(leo_orbit(), TimePoint{}, Perturbation::kNone);
+  const StateVector back = prop.state_at_offset(-300.0);
+  const StateVector forward = prop.state_at_offset(300.0);
+  // Mirror symmetry across the epoch plane for circular orbit.
+  EXPECT_NEAR(back.position.norm(), forward.position.norm(), 1e-3);
+}
+
+class InclinationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InclinationSweep, RaanRateSignFollowsCosineOfInclination) {
+  const double incl = GetParam();
+  const ClassicalElements coe = ClassicalElements::circular(550e3, incl, 0.0, 0.0);
+  const KeplerianPropagator prop(coe, TimePoint{});
+  const double cos_i = std::cos(util::deg_to_rad(incl));
+  if (cos_i > 1e-6) {
+    EXPECT_LT(prop.raan_rate(), 0.0);
+  } else if (cos_i < -1e-6) {
+    EXPECT_GT(prop.raan_rate(), 0.0);
+  }
+  // Mean anomaly rate stays close to the Keplerian mean motion.
+  EXPECT_NEAR(prop.mean_anomaly_rate(), coe.mean_motion_rad_per_sec(),
+              coe.mean_motion_rad_per_sec() * 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InclinationSweep,
+                         ::testing::Values(0.0, 28.5, 43.0, 53.0, 70.0, 90.0, 97.6, 116.6));
+
+}  // namespace
+}  // namespace mpleo::orbit

@@ -1,0 +1,108 @@
+// Property tests: the capacity market under randomized books — token
+// conservation, no overdrafts, price bounds, and quantity bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/market.hpp"
+#include "util/rng.hpp"
+
+namespace mpleo::core {
+namespace {
+
+struct RandomBook {
+  Ledger ledger;
+  CapacityMarket market;
+  std::vector<AccountId> accounts;
+  double total_supply_gb = 0.0;
+  double total_demand_gb = 0.0;
+  double min_ask = 1e300;
+  double max_bid = 0.0;
+};
+
+RandomBook make_book(std::uint64_t seed) {
+  util::Xoshiro256PlusPlus rng(seed);
+  RandomBook book;
+  book.ledger.mint(1e6);
+  const std::size_t parties = 2 + rng.uniform_index(6);
+  for (std::size_t p = 0; p < parties; ++p) {
+    book.accounts.push_back(book.ledger.open_account("p" + std::to_string(p)));
+    // Some parties are poor on purpose to exercise unsettled trades.
+    const double funding = rng.uniform() < 0.2 ? 0.0 : rng.uniform(10.0, 2000.0);
+    if (funding > 0.0) EXPECT_TRUE(book.ledger.reward(book.accounts.back(), funding));
+  }
+  const std::size_t orders = 1 + rng.uniform_index(10);
+  for (std::size_t i = 0; i < orders; ++i) {
+    const auto party = static_cast<std::uint32_t>(rng.uniform_index(parties));
+    if (rng.uniform() < 0.5) {
+      Ask ask{party, book.accounts[party], rng.uniform(0.0, 50.0), rng.uniform(0.5, 10.0)};
+      book.total_supply_gb += ask.capacity_gb;
+      book.min_ask = std::min(book.min_ask, ask.price_per_gb);
+      book.market.post_ask(ask);
+    } else {
+      Bid bid{party, book.accounts[party], rng.uniform(0.0, 50.0), rng.uniform(0.5, 10.0)};
+      book.total_demand_gb += bid.demand_gb;
+      book.max_bid = std::max(book.max_bid, bid.limit_price_per_gb);
+      book.market.post_bid(bid);
+    }
+  }
+  return book;
+}
+
+class MarketProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MarketProperty, ConservationAndBounds) {
+  RandomBook book = make_book(GetParam());
+  const double minted_before = book.ledger.total_minted();
+  const ClearingResult result = book.market.clear(book.ledger);
+
+  // 1. Clearing mints nothing and conserves tokens.
+  EXPECT_DOUBLE_EQ(book.ledger.total_minted(), minted_before);
+  EXPECT_NEAR(book.ledger.sum_of_balances(), book.ledger.total_minted(), 1e-6);
+
+  // 2. No account overdrawn.
+  for (AccountId a : book.accounts) EXPECT_GE(book.ledger.balance(a), -1e-9);
+
+  // 3. Cleared quantity bounded by both sides of the book.
+  EXPECT_LE(result.cleared_gb, book.total_supply_gb + 1e-9);
+  EXPECT_LE(result.cleared_gb, book.total_demand_gb + 1e-9);
+
+  // 4. Every trade priced inside [min ask, max bid]; midpoint never leaves
+  //    the crossing band.
+  for (const Trade& trade : result.trades) {
+    EXPECT_GE(trade.price_per_gb, book.min_ask - 1e-9);
+    EXPECT_LE(trade.price_per_gb, book.max_bid + 1e-9);
+    EXPECT_GE(trade.quantity_gb, 0.0);
+  }
+
+  // 5. Settled value matches reported total.
+  double settled_value = 0.0;
+  for (const Trade& trade : result.trades) {
+    if (trade.settled) settled_value += trade.quantity_gb * trade.price_per_gb;
+  }
+  EXPECT_NEAR(settled_value, result.cleared_value, 1e-6);
+
+  // 6. The book is emptied by clearing.
+  EXPECT_TRUE(book.market.asks().empty());
+  EXPECT_TRUE(book.market.bids().empty());
+}
+
+TEST_P(MarketProperty, QuantityAccounting) {
+  RandomBook book = make_book(GetParam() ^ 0x51CA);
+  const ClearingResult result = book.market.clear(book.ledger);
+  // supply = cleared(settled) + unmatched_supply, demand likewise —
+  // unsettled trade quantity returns to unmatched demand by design.
+  double unsettled_quantity = 0.0;
+  for (const Trade& trade : result.trades) {
+    if (!trade.settled) unsettled_quantity += trade.quantity_gb;
+  }
+  EXPECT_NEAR(result.cleared_gb + unsettled_quantity + result.unmatched_supply_gb,
+              book.total_supply_gb, 1e-6);
+  EXPECT_NEAR(result.cleared_gb + result.unmatched_demand_gb, book.total_demand_gb,
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarketProperty, ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace mpleo::core

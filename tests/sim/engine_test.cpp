@@ -1,0 +1,62 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace mpleo::sim {
+namespace {
+
+TEST(SimEngine, ClockStartsAtZero) {
+  SimEngine engine;
+  EXPECT_EQ(engine.now(), 0.0);
+}
+
+TEST(SimEngine, RunUntilAdvancesClock) {
+  SimEngine engine;
+  std::vector<double> fired;
+  engine.at(5.0, [&] { fired.push_back(5.0); });
+  engine.at(15.0, [&] { fired.push_back(15.0); });
+  engine.run_until(10.0);
+  EXPECT_EQ(fired, (std::vector<double>{5.0}));
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_until(20.0);
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST(SimEngine, AfterUsesRelativeDelay) {
+  SimEngine engine;
+  double fired_at = -1.0;
+  engine.at(10.0, [&] { engine.after(5.0, [&] { fired_at = engine.now(); }); });
+  engine.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(SimEngine, EveryCreatesPeriodicEvents) {
+  SimEngine engine;
+  int count = 0;
+  engine.every(10.0, 55.0, [&] { ++count; });
+  engine.run_all();
+  EXPECT_EQ(count, 5);  // t = 10,20,30,40,50
+  EXPECT_DOUBLE_EQ(engine.now(), 50.0);
+}
+
+TEST(SimEngine, RejectsPastAndNegative) {
+  SimEngine engine;
+  engine.at(10.0, [] {});
+  engine.run_until(10.0);
+  EXPECT_THROW(engine.at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.after(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.every(0.0, 10.0, [] {}), std::invalid_argument);
+}
+
+TEST(SimEngine, RunUntilWithEmptyQueueStillAdvances) {
+  SimEngine engine;
+  engine.run_until(42.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 42.0);
+}
+
+}  // namespace
+}  // namespace mpleo::sim

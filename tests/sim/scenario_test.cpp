@@ -1,0 +1,80 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpleo::sim {
+namespace {
+
+Scenario parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"bench"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_scenario(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Scenario, DefaultsMatchPaperSetup) {
+  const Scenario s;
+  EXPECT_DOUBLE_EQ(s.duration_s, 7.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(s.step_s, 60.0);
+  EXPECT_DOUBLE_EQ(s.elevation_mask_deg, 25.0);
+  EXPECT_EQ(s.epoch.to_civil().year, 2024);
+  EXPECT_EQ(s.epoch.to_civil().month, 11);
+  EXPECT_EQ(s.epoch.to_civil().day, 18);
+}
+
+TEST(Scenario, GridSpansWindow) {
+  Scenario s;
+  s.duration_s = 3600.0;
+  s.step_s = 60.0;
+  const orbit::TimeGrid grid = s.grid();
+  EXPECT_EQ(grid.count, 61u);
+}
+
+TEST(Scenario, ParsesFlags) {
+  const Scenario s = parse({"--runs=50", "--step=30", "--mask=15", "--seed=99", "--days=2"});
+  EXPECT_EQ(s.runs, 50u);
+  EXPECT_DOUBLE_EQ(s.step_s, 30.0);
+  EXPECT_DOUBLE_EQ(s.elevation_mask_deg, 15.0);
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_DOUBLE_EQ(s.duration_s, 2.0 * 86400.0);
+}
+
+TEST(Scenario, FullRestoresPaperRuns) {
+  EXPECT_EQ(parse({"--full"}).runs, 100u);
+}
+
+TEST(Scenario, QuickReducesEverything) {
+  const Scenario s = parse({"--quick"});
+  EXPECT_EQ(s.runs, 5u);
+  EXPECT_DOUBLE_EQ(s.duration_s, 2.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(s.step_s, 120.0);
+}
+
+TEST(Scenario, NoGen2Flag) {
+  EXPECT_TRUE(parse({}).include_gen2_catalog);
+  EXPECT_FALSE(parse({"--no-gen2"}).include_gen2_catalog);
+}
+
+TEST(Scenario, EpochFlag) {
+  const Scenario s = parse({"--epoch=2025-01-01T00:00:00Z"});
+  EXPECT_EQ(s.epoch.to_civil().year, 2025);
+}
+
+TEST(Scenario, RejectsUnknownAndInvalid) {
+  EXPECT_THROW(parse({"--bogus"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--runs=abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--runs=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--step=-5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--days=0"}), std::invalid_argument);
+}
+
+TEST(Scenario, DescribeMentionsKeyParameters) {
+  const std::string desc = describe(Scenario{});
+  EXPECT_NE(desc.find("2024-11-18"), std::string::npos);
+  EXPECT_NE(desc.find("mask=25"), std::string::npos);
+  EXPECT_NE(desc.find("runs=20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpleo::sim

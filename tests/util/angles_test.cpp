@@ -1,0 +1,51 @@
+#include "util/angles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace mpleo::util {
+namespace {
+
+TEST(Angles, WrapTwoPiBasics) {
+  EXPECT_NEAR(wrap_two_pi(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(wrap_two_pi(kTwoPi), 0.0, 1e-15);
+  EXPECT_NEAR(wrap_two_pi(kTwoPi + 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(-1.0), kTwoPi - 1.0, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(-5.0 * kTwoPi - 0.5), kTwoPi - 0.5, 1e-9);
+}
+
+TEST(Angles, WrapPiBasics) {
+  EXPECT_NEAR(wrap_pi(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(wrap_pi(kPi + 0.25), -kPi + 0.25, 1e-12);
+  EXPECT_NEAR(wrap_pi(-kPi + 0.1), -kPi + 0.1, 1e-12);
+  EXPECT_NEAR(wrap_pi(kPi), kPi, 1e-15);  // pi maps to +pi by convention
+}
+
+TEST(Angles, AngularSeparation) {
+  EXPECT_NEAR(angular_separation(0.1, 0.1), 0.0, 1e-15);
+  EXPECT_NEAR(angular_separation(0.0, kPi / 2.0), kPi / 2.0, 1e-12);
+  // Wraparound: 350 deg and 10 deg are 20 deg apart.
+  EXPECT_NEAR(angular_separation(deg_to_rad(350.0), deg_to_rad(10.0)), deg_to_rad(20.0),
+              1e-12);
+}
+
+class WrapRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(WrapRoundTrip, WrapTwoPiIsIdempotentAndInRange) {
+  const double angle = GetParam();
+  const double wrapped = wrap_two_pi(angle);
+  EXPECT_GE(wrapped, 0.0);
+  EXPECT_LT(wrapped, kTwoPi);
+  EXPECT_NEAR(wrap_two_pi(wrapped), wrapped, 1e-12);
+  // Difference from the input is a multiple of 2*pi.
+  const double k = (angle - wrapped) / kTwoPi;
+  EXPECT_NEAR(k, std::round(k), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WrapRoundTrip,
+                         ::testing::Values(-100.0, -7.5, -kPi, -0.001, 0.0, 0.001, 1.0, kPi,
+                                           6.0, 12.7, 200.0));
+
+}  // namespace
+}  // namespace mpleo::util

@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mpleo::util {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"x", "y"});
+  writer.write_row({"1,5", "2"});
+  EXPECT_EQ(os.str(), "x,y\n\"1,5\",2\n");
+}
+
+TEST(Csv, EmptyRowIsBlankLine) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace mpleo::util

@@ -1,0 +1,53 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpleo::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, MacrosCompileAndStream) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);  // suppress output while exercising paths
+  MPLEO_LOG_DEBUG << "debug " << 1;
+  MPLEO_LOG_INFO << "info " << 2.5;
+  MPLEO_LOG_WARN << "warn " << "text";
+  MPLEO_LOG_ERROR << "error";
+  SUCCEED();
+}
+
+TEST(Log, MessagesBelowLevelDropped) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // These produce no output (manually verified via stderr capture elsewhere);
+  // here we only assert no crash and level filtering API behaves.
+  log_message(LogLevel::kDebug, "dropped");
+  log_message(LogLevel::kWarn, "dropped");
+  SUCCEED();
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log_message(LogLevel::kError, "silent");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mpleo::util

@@ -1,0 +1,141 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mpleo::util {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 from the SplitMix64 reference implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256PlusPlus a(123);
+  Xoshiro256PlusPlus b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256PlusPlus a(1);
+  Xoshiro256PlusPlus b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256PlusPlus rng(7);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256PlusPlus rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Xoshiro, UniformIndexCoversAllValues) {
+  Xoshiro256PlusPlus rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Xoshiro, UniformIndexApproximatelyUniform) {
+  Xoshiro256PlusPlus rng(13);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, kN / 10, kN / 100);
+}
+
+TEST(Xoshiro, NormalMomentsApproximatelyStandard) {
+  Xoshiro256PlusPlus rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Xoshiro, NormalScalesMeanAndStddev) {
+  Xoshiro256PlusPlus rng(19);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Xoshiro, SplitStreamsAreIndependentAndStable) {
+  Xoshiro256PlusPlus parent(42);
+  Xoshiro256PlusPlus child_a = parent.split(0);
+  Xoshiro256PlusPlus child_a_again = parent.split(0);
+  Xoshiro256PlusPlus child_b = parent.split(1);
+  EXPECT_EQ(child_a.next(), child_a_again.next());
+  EXPECT_NE(child_a.next(), child_b.next());
+  // Splitting does not advance the parent.
+  Xoshiro256PlusPlus fresh(42);
+  EXPECT_EQ(parent.next(), fresh.next());
+}
+
+TEST(Xoshiro, SampleWithoutReplacementIsDistinct) {
+  Xoshiro256PlusPlus rng(23);
+  const auto sample = rng.sample_without_replacement(100, 40);
+  EXPECT_EQ(sample.size(), 40u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(Xoshiro, SampleWholePopulationIsPermutation) {
+  Xoshiro256PlusPlus rng(29);
+  const auto sample = rng.sample_without_replacement(50, 50);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(Xoshiro, SampleZeroIsEmpty) {
+  Xoshiro256PlusPlus rng(31);
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+}
+
+class UniformIndexSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformIndexSweep, AlwaysBelowBound) {
+  const std::uint64_t n = GetParam();
+  Xoshiro256PlusPlus rng(n);
+  for (int i = 0; i < 2000; ++i) ASSERT_LT(rng.uniform_index(n), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformIndexSweep,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 10ULL, 63ULL, 64ULL, 65ULL,
+                                           1000ULL, 6088ULL));
+
+}  // namespace
+}  // namespace mpleo::util

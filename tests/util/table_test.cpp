@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpleo::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t({"a", "b"});
+  t.add_row({"x", "longvalue"});
+  t.add_row({"longer", "y"});
+  const std::string out = t.to_string();
+  // All lines have equal width.
+  std::size_t line_len = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (line_len == 0) line_len = len;
+    EXPECT_EQ(len, line_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(-1.0, 0), "-1");
+  EXPECT_EQ(Table::num(2.5, 3), "2.500");
+}
+
+TEST(Table, PctFormatting) {
+  EXPECT_EQ(Table::pct(0.5), "50.00%");
+  EXPECT_EQ(Table::pct(0.12345, 1), "12.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, DurationFormatting) {
+  EXPECT_EQ(Table::duration(30.0), "0m 30s");
+  EXPECT_EQ(Table::duration(90.0), "1m 30s");
+  EXPECT_EQ(Table::duration(3660.0), "1h 01m");
+  // The paper's Fig-5 anchor: 1 day 16 hours.
+  EXPECT_EQ(Table::duration(40.0 * 3600.0), "1d 16h 00m");
+  EXPECT_EQ(Table::duration(-3660.0), "-1h 01m");
+}
+
+}  // namespace
+}  // namespace mpleo::util

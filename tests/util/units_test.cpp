@@ -1,0 +1,41 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpleo::util {
+namespace {
+
+TEST(Units, AngleConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad_to_deg(kPi / 2.0), 90.0);
+  for (double deg : {-270.0, -1.0, 0.0, 53.0, 97.6, 360.0}) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(deg)), deg, 1e-12);
+  }
+}
+
+TEST(Units, LengthConversions) {
+  EXPECT_DOUBLE_EQ(km_to_m(550.0), 550e3);
+  EXPECT_DOUBLE_EQ(m_to_km(6371008.8), 6371.0088);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(hours_to_sec(1.5), 5400.0);
+  EXPECT_DOUBLE_EQ(sec_to_hours(7200.0), 2.0);
+  EXPECT_DOUBLE_EQ(days_to_sec(7.0), kSecondsPerWeek);
+}
+
+TEST(Units, PhysicalConstantsSane) {
+  // Orbital velocity at 550 km from mu and radius: ~7.59 km/s.
+  const double r = kEarthMeanRadiusM + 550e3;
+  const double v = std::sqrt(kMuEarth / r);
+  EXPECT_NEAR(v, 7585.0, 15.0);
+  // Sidereal rate x sidereal day ~ 2 pi.
+  EXPECT_NEAR(kEarthRotationRateRadPerSec * 86164.0905, kTwoPi, 1e-6);
+  // WGS-84 flattening denominator.
+  EXPECT_NEAR(1.0 / kEarthFlattening, 298.257223563, 1e-9);
+}
+
+}  // namespace
+}  // namespace mpleo::util

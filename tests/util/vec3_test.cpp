@@ -1,0 +1,87 @@
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpleo::util {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  const Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+  EXPECT_EQ(v.norm(), 0.0);
+}
+
+TEST(Vec3, AdditionAndSubtraction) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -5.0, 6.0};
+  const Vec3 sum = a + b;
+  EXPECT_EQ(sum.x, 5.0);
+  EXPECT_EQ(sum.y, -3.0);
+  EXPECT_EQ(sum.z, 9.0);
+  const Vec3 diff = sum - b;
+  EXPECT_DOUBLE_EQ(diff.x, a.x);
+  EXPECT_DOUBLE_EQ(diff.y, a.y);
+  EXPECT_DOUBLE_EQ(diff.z, a.z);
+}
+
+TEST(Vec3, ScalarOps) {
+  const Vec3 v{1.0, -2.0, 0.5};
+  const Vec3 scaled = 2.0 * v;
+  EXPECT_EQ(scaled.x, 2.0);
+  EXPECT_EQ(scaled.y, -4.0);
+  EXPECT_EQ(scaled.z, 1.0);
+  const Vec3 halved = scaled / 2.0;
+  EXPECT_DOUBLE_EQ(halved.y, v.y);
+  const Vec3 negated = -v;
+  EXPECT_EQ(negated.x, -1.0);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_EQ(dot(x, y), 0.0);
+  const Vec3 z = cross(x, y);
+  EXPECT_EQ(z.x, 0.0);
+  EXPECT_EQ(z.y, 0.0);
+  EXPECT_EQ(z.z, 1.0);
+  // Anti-commutativity.
+  const Vec3 mz = cross(y, x);
+  EXPECT_EQ(mz.z, -1.0);
+}
+
+TEST(Vec3, NormAndNormalized) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_squared(), 25.0);
+  const Vec3 unit = v.normalized();
+  EXPECT_NEAR(unit.norm(), 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(unit.x, 0.6);
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {0, 3, 4}), 5.0);
+}
+
+TEST(Vec3, CrossProductOrthogonality) {
+  const Vec3 a{1.5, -2.25, 0.75};
+  const Vec3 b{-0.5, 4.0, 2.0};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+}
+
+TEST(Vec3, LagrangeIdentity) {
+  // |a x b|^2 + (a.b)^2 == |a|^2 |b|^2.
+  const Vec3 a{2.0, -1.0, 3.5};
+  const Vec3 b{0.25, 5.0, -2.0};
+  const double lhs = cross(a, b).norm_squared() + dot(a, b) * dot(a, b);
+  const double rhs = a.norm_squared() * b.norm_squared();
+  EXPECT_NEAR(lhs, rhs, 1e-9 * rhs);
+}
+
+}  // namespace
+}  // namespace mpleo::util
