@@ -1,9 +1,21 @@
 // Simulator micro-benchmarks (google-benchmark): the hot paths every figure
 // rides on — Kepler solves, propagation, per-step visibility, mask algebra.
+//
+// Besides the google-benchmark suite, `perf_simulator --compare` runs the
+// scalar-vs-batched pipeline comparison on the canonical 500-satellite x
+// 100-site x 1-day/60s workload, verifies the batched masks are
+// bit-identical to the scalar reference, and writes a machine-readable JSON
+// report (default BENCH_perf_simulator.json; override with --out=PATH).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "constellation/starlink.hpp"
 #include "core/mpleo.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace mpleo;
 
@@ -43,7 +55,7 @@ BENCHMARK(BM_GmstTableWeek);
 
 void BM_VisibilityMaskWeek(benchmark::State& state) {
   // One satellite against N sites over a one-week 60 s grid — the inner loop
-  // of every coverage experiment.
+  // of every coverage experiment (batched ephemeris-table path).
   const orbit::TimeGrid grid =
       orbit::TimeGrid::over_duration(kEpoch, 7.0 * 86400.0, 60.0);
   const cov::CoverageEngine engine(grid, 25.0);
@@ -60,6 +72,58 @@ void BM_VisibilityMaskWeek(benchmark::State& state) {
                           static_cast<std::int64_t>(grid.count));
 }
 BENCHMARK(BM_VisibilityMaskWeek)->Arg(1)->Arg(21);
+
+void BM_VisibilityMaskWeekReference(benchmark::State& state) {
+  // The exhaustive scalar scan the batched kernel is measured against.
+  const orbit::TimeGrid grid =
+      orbit::TimeGrid::over_duration(kEpoch, 7.0 * 86400.0, 60.0);
+  const cov::CoverageEngine engine(grid, 25.0);
+  constellation::Satellite sat;
+  sat.elements = orbit::ClassicalElements::circular(550e3, 53.0, 10.0, 20.0);
+  sat.epoch = kEpoch;
+  const auto all = cov::sites_from_cities(cov::paper_cities());
+  const std::vector<cov::GroundSite> sites(all.begin(),
+                                           all.begin() + state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.visibility_masks_reference(sat, sites));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.count));
+}
+BENCHMARK(BM_VisibilityMaskWeekReference)->Arg(1)->Arg(21);
+
+void BM_EphemerisTableDay(benchmark::State& state) {
+  // One satellite propagated into a shared table over a 1-day/60s grid.
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 86400.0, 60.0);
+  const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
+  const orbit::KeplerianPropagator prop(
+      orbit::ClassicalElements::circular(550e3, 53.0, 10.0, 20.0), kEpoch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orbit::EphemerisTable::compute(prop, grid, gmst));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.count));
+}
+BENCHMARK(BM_EphemerisTableDay);
+
+void BM_EphemerisSetDay(benchmark::State& state) {
+  // A whole catalog of tables; Arg is the satellite count. Thread count 1
+  // (serial) vs hardware (shared pool) via the second Arg.
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 86400.0, 60.0);
+  const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
+  constellation::WalkerShell shell;
+  shell.plane_count = 10;
+  shell.sats_per_plane = 10;
+  const auto sats = shell.build(kEpoch);
+  const std::vector<orbit::EphemerisSpec> specs = cov::ephemeris_specs(sats);
+  util::ThreadPool* pool = state.range(0) == 0 ? nullptr : &util::ThreadPool::shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orbit::EphemerisSet::compute(specs, grid, gmst, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(specs.size() * grid.count));
+}
+BENCHMARK(BM_EphemerisSetDay)->Arg(0)->Arg(1);
 
 void BM_MaskUnion1000(benchmark::State& state) {
   // Union of 1000 one-week masks — the Monte-Carlo subset operation.
@@ -167,6 +231,130 @@ void BM_RelayBudget(benchmark::State& state) {
 }
 BENCHMARK(BM_RelayBudget);
 
+// --compare: the acceptance workload. 500 satellites (Walker 25x20) against
+// 100 ground sites over one day at 60 s steps, scalar reference vs the shared
+// ephemeris kernel (serial and pooled). Masks must match bit-for-bit; the
+// process exits non-zero if they do not, so CI can gate on it.
+int run_compare(const std::string& out_path) {
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 86400.0, 60.0);
+  const cov::CoverageEngine engine(grid, 25.0);
+
+  constellation::WalkerShell shell;
+  shell.plane_count = 25;
+  shell.sats_per_plane = 20;
+  const std::vector<constellation::Satellite> sats = shell.build(kEpoch);
+
+  std::vector<cov::GroundSite> sites;
+  sites.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    const double lat = -60.0 + 120.0 * static_cast<double>(i % 10) / 9.0;
+    const double lon = -180.0 + 360.0 * static_cast<double>(i / 10) / 10.0;
+    sites.push_back({"site-" + std::to_string(i),
+                     orbit::TopocentricFrame(orbit::Geodetic::from_degrees(lat, lon)),
+                     1.0});
+  }
+
+  const double sat_steps =
+      static_cast<double>(sats.size()) * static_cast<double>(grid.count);
+  using clock = std::chrono::steady_clock;
+
+  // Scalar reference: propagate every (satellite, site, step) independently.
+  auto t0 = clock::now();
+  std::vector<std::vector<cov::StepMask>> reference;
+  reference.reserve(sats.size());
+  for (const constellation::Satellite& sat : sats) {
+    reference.push_back(engine.visibility_masks_reference(sat, sites));
+  }
+  const double sec_reference = std::chrono::duration<double>(clock::now() - t0).count();
+
+  // Batched serial: one shared ephemeris table per satellite, then masks.
+  bool identical = true;
+  t0 = clock::now();
+  {
+    const orbit::EphemerisSet set = engine.ephemerides(sats);
+    for (std::size_t i = 0; i < sats.size(); ++i) {
+      const std::vector<cov::StepMask> masks =
+          engine.visibility_masks(set.table(i), sites);
+      for (std::size_t j = 0; j < masks.size(); ++j) {
+        if (!(masks[j] == reference[i][j])) identical = false;
+      }
+    }
+  }
+  const double sec_batched = std::chrono::duration<double>(clock::now() - t0).count();
+
+  // Batched pooled: same pipeline with the ephemeris fill spread over threads.
+  util::ThreadPool pool;
+  t0 = clock::now();
+  {
+    const orbit::EphemerisSet set = engine.ephemerides(sats, &pool);
+    for (std::size_t i = 0; i < sats.size(); ++i) {
+      const std::vector<cov::StepMask> masks =
+          engine.visibility_masks(set.table(i), sites);
+      for (std::size_t j = 0; j < masks.size(); ++j) {
+        if (!(masks[j] == reference[i][j])) identical = false;
+      }
+    }
+  }
+  const double sec_pooled = std::chrono::duration<double>(clock::now() - t0).count();
+
+  const double thr_reference = sat_steps / sec_reference;
+  const double thr_batched = sat_steps / sec_batched;
+  const double thr_pooled = sat_steps / sec_pooled;
+
+  std::printf("workload: %zu satellites x %zu sites x %zu steps (1 day / 60 s)\n",
+              sats.size(), sites.size(), grid.count);
+  std::printf("scalar reference : %8.3f s  %10.3e sat*steps/s\n", sec_reference,
+              thr_reference);
+  std::printf("batched (serial) : %8.3f s  %10.3e sat*steps/s  (%.2fx)\n", sec_batched,
+              thr_batched, sec_reference / sec_batched);
+  std::printf("batched (%2zu thr) : %8.3f s  %10.3e sat*steps/s  (%.2fx)\n",
+              pool.thread_count(), sec_pooled, thr_pooled, sec_reference / sec_pooled);
+  std::printf("masks bit-identical: %s\n", identical ? "yes" : "NO");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf_simulator: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"workload\": {\"satellites\": %zu, \"sites\": %zu, \"steps\": %zu,"
+               " \"step_seconds\": 60.0},\n"
+               "  \"threads\": %zu,\n"
+               "  \"scalar_reference\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e},\n"
+               "  \"batched_serial\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e,"
+               " \"speedup\": %.4f},\n"
+               "  \"batched_pooled\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e,"
+               " \"speedup\": %.4f},\n"
+               "  \"masks_identical\": %s\n"
+               "}\n",
+               sats.size(), sites.size(), grid.count, pool.thread_count(),
+               sec_reference, thr_reference, sec_batched, thr_batched,
+               sec_reference / sec_batched, sec_pooled, thr_pooled,
+               sec_reference / sec_pooled, identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("report written to %s\n", out_path.c_str());
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool compare = false;
+  std::string out_path = "BENCH_perf_simulator.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare") == 0) {
+      compare = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+  if (compare) return run_compare(out_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

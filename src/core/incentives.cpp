@@ -27,6 +27,13 @@ double expected_reward_rate(const cov::CoverageEngine& engine,
                             const cov::EarthGrid& grid,
                             std::span<const double> multipliers,
                             const constellation::Satellite& satellite) {
+  return expected_reward_rate(engine, grid, multipliers, engine.ephemeris(satellite));
+}
+
+double expected_reward_rate(const cov::CoverageEngine& engine,
+                            const cov::EarthGrid& grid,
+                            std::span<const double> multipliers,
+                            const orbit::EphemerisTable& ephemeris) {
   if (multipliers.size() != grid.size()) {
     throw std::invalid_argument("expected_reward_rate: arity mismatch");
   }
@@ -35,7 +42,7 @@ double expected_reward_rate(const cov::CoverageEngine& engine,
   for (const cov::EarthGrid::Cell& cell : grid.cells()) {
     sites.push_back({"cell", orbit::TopocentricFrame(cell.center), cell.area_weight});
   }
-  const std::vector<cov::StepMask> per_cell = engine.visibility_masks(satellite, sites);
+  const std::vector<cov::StepMask> per_cell = engine.visibility_masks(ephemeris, sites);
 
   double rate = 0.0;
   for (std::size_t c = 0; c < grid.size(); ++c) {

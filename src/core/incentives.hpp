@@ -12,6 +12,7 @@
 
 #include "constellation/shell.hpp"
 #include "coverage/grid.hpp"
+#include "orbit/ephemeris.hpp"
 
 namespace mpleo::core {
 
@@ -32,5 +33,12 @@ struct IncentiveConfig {
                                           const cov::EarthGrid& grid,
                                           std::span<const double> multipliers,
                                           const constellation::Satellite& satellite);
+
+// Same, from a precomputed ephemeris table (shared-kernel path: callers
+// scoring many reward configurations against one satellite propagate once).
+[[nodiscard]] double expected_reward_rate(const cov::CoverageEngine& engine,
+                                          const cov::EarthGrid& grid,
+                                          std::span<const double> multipliers,
+                                          const orbit::EphemerisTable& ephemeris);
 
 }  // namespace mpleo::core

@@ -1,6 +1,10 @@
 #include "core/placement.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/thread_pool.hpp"
 
 namespace mpleo::core {
 
@@ -82,29 +86,61 @@ std::vector<PlacementEvaluation> PlacementOptimizer::evaluate(
 std::vector<PlacementEvaluation> PlacementOptimizer::plan_incremental(
     std::vector<constellation::Satellite> base,
     std::span<const constellation::CandidateSlot> candidates,
-    orbit::TimePoint candidate_epoch, std::size_t count) const {
+    orbit::TimePoint candidate_epoch, std::size_t count, util::ThreadPool* pool) const {
+  const double window = engine_->grid().duration_seconds();
+
+  // A candidate's masks depend only on its own elements, never on the
+  // growing base, so compute them once up front instead of re-propagating
+  // every remaining candidate on every greedy round.
+  std::vector<std::vector<cov::StepMask>> candidate_masks(candidates.size());
+  const auto fill = [&](std::size_t i) {
+    constellation::Satellite probe;
+    probe.name = candidates[i].label;
+    probe.elements = candidates[i].elements;
+    probe.epoch = candidate_epoch;
+    candidate_masks[i] = engine_->visibility_masks(probe, sites_);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(candidates.size(), fill);
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) fill(i);
+  }
+
+  // The base union grows by OR-ing in each pick — bit-identical to
+  // recomputing it from scratch with the placed satellites appended.
+  std::vector<cov::StepMask> base_masks = union_masks(base);
+  std::vector<std::size_t> remaining(candidates.size());
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+
   std::vector<PlacementEvaluation> picks;
-  std::vector<constellation::CandidateSlot> remaining(candidates.begin(), candidates.end());
-
   for (std::size_t round = 0; round < count && !remaining.empty(); ++round) {
-    std::vector<PlacementEvaluation> evals =
-        evaluate(base, remaining, candidate_epoch);
-    const auto best = std::max_element(
-        evals.begin(), evals.end(),
-        [](const PlacementEvaluation& a, const PlacementEvaluation& b) {
-          return a.gained_weighted_seconds < b.gained_weighted_seconds;
-        });
+    double base_weighted = 0.0;
+    for (std::size_t j = 0; j < sites_.size(); ++j) {
+      base_weighted += weights_[j] * base_masks[j].fraction() * window;
+    }
 
-    const auto best_index = static_cast<std::size_t>(best - evals.begin());
-    picks.push_back(*best);
+    std::size_t best_pos = 0;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (std::size_t pos = 0; pos < remaining.size(); ++pos) {
+      const std::vector<cov::StepMask>& probe_masks = candidate_masks[remaining[pos]];
+      double gain = 0.0;
+      for (std::size_t j = 0; j < sites_.size(); ++j) {
+        cov::StepMask fresh = probe_masks[j];
+        fresh.subtract(base_masks[j]);
+        gain += weights_[j] * fresh.fraction() * window;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_pos = pos;
+      }
+    }
 
-    constellation::Satellite placed;
-    placed.id = static_cast<constellation::SatelliteId>(1'000'000 + round);
-    placed.name = best->slot.label;
-    placed.elements = best->slot.elements;
-    placed.epoch = candidate_epoch;
-    base.push_back(std::move(placed));
-    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_index));
+    const std::size_t best_index = remaining[best_pos];
+    picks.push_back({candidates[best_index], base_weighted, best_gain});
+    for (std::size_t j = 0; j < sites_.size(); ++j) {
+      base_masks[j] |= candidate_masks[best_index][j];
+    }
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_pos));
   }
   return picks;
 }

@@ -6,6 +6,10 @@
 
 namespace mpleo::core {
 
+void prepare_cache(cov::VisibilityCache& cache, util::ThreadPool* pool) {
+  cache.precompute_all(pool);
+}
+
 WithdrawalImpact withdrawal_impact(cov::VisibilityCache& cache,
                                    std::span<const std::size_t> base,
                                    std::span<const std::size_t> withdrawn) {

@@ -12,6 +12,9 @@
 namespace mpleo::cov {
 class VisibilityCache;
 }
+namespace mpleo::util {
+class ThreadPool;
+}
 
 namespace mpleo::core {
 
@@ -28,6 +31,12 @@ struct WithdrawalImpact {
     return before_fraction > 0.0 ? drop_fraction() / before_fraction : 0.0;
   }
 };
+
+// Eagerly fills `cache` with every satellite's masks before a Monte-Carlo
+// withdrawal sweep, in parallel across satellites when a pool is given.
+// The parallel fill is bit-identical to the lazy serial one; after this,
+// withdrawal_impact calls are pure mask arithmetic.
+void prepare_cache(cov::VisibilityCache& cache, util::ThreadPool* pool = nullptr);
 
 // Coverage impact of removing `withdrawn` (indices into the cache's catalog)
 // from `base` (ditto). `withdrawn` must be a subset of `base`.

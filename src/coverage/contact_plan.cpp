@@ -9,11 +9,15 @@ namespace mpleo::cov {
 
 std::vector<Contact> build_contact_plan(const CoverageEngine& engine,
                                         std::span<const constellation::Satellite> satellites,
-                                        std::span<const GroundSite> sites) {
+                                        std::span<const GroundSite> sites,
+                                        util::ThreadPool* pool) {
   std::vector<Contact> contacts;
   const double step = engine.grid().step_seconds;
-  for (const constellation::Satellite& sat : satellites) {
-    const std::vector<StepMask> masks = engine.visibility_masks(sat, sites);
+  const orbit::EphemerisSet ephemerides = engine.ephemerides(satellites, pool);
+  for (std::size_t i = 0; i < satellites.size(); ++i) {
+    const constellation::Satellite& sat = satellites[i];
+    const std::vector<StepMask> masks =
+        engine.visibility_masks(ephemerides.table(i), sites);
     for (std::size_t j = 0; j < sites.size(); ++j) {
       // Keep the IntervalSet alive for the loop (iterating a temporary's
       // member would dangle under C++20 range-for rules).

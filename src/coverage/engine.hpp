@@ -1,8 +1,17 @@
 // The coverage engine: per-satellite visibility timelines, constellation
 // coverage unions, gap statistics, idle time, and population-weighted
 // coverage — everything the paper's Figures 2–6 are computed from.
+//
+// All visibility flows through the shared ephemeris kernel: a satellite is
+// propagated once per grid into an orbit::EphemerisTable and every consumer
+// (masks, contact plans, ISL relays, handover timelines, placement) reads
+// that table. The per-site fill culls with a conservative geometric cone —
+// a satellite further than psi_max from the site's zenith direction cannot
+// clear the elevation mask — so only a few percent of the grid ever reaches
+// the exact elevation test, with results identical to the exhaustive scan.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -14,6 +23,10 @@
 #include "orbit/ephemeris.hpp"
 #include "orbit/geodesy.hpp"
 #include "orbit/time.hpp"
+
+namespace mpleo::util {
+class ThreadPool;
+}
 
 namespace mpleo::cov {
 
@@ -28,6 +41,10 @@ struct GroundSite {
 
 [[nodiscard]] std::vector<GroundSite> sites_from_cities(std::span<const City> cities,
                                                         bool population_weighted = true);
+
+// Ephemeris inputs for a catalog, in catalog order.
+[[nodiscard]] std::vector<orbit::EphemerisSpec> ephemeris_specs(
+    std::span<const constellation::Satellite> satellites);
 
 // Gap statistics of one site's coverage timeline.
 struct CoverageStats {
@@ -46,6 +63,18 @@ class CoverageEngine {
 
   [[nodiscard]] const orbit::TimeGrid& grid() const noexcept { return grid_; }
   [[nodiscard]] double elevation_mask_deg() const noexcept { return mask_deg_; }
+  [[nodiscard]] const orbit::GmstTable& gmst() const noexcept { return gmst_; }
+
+  // One satellite propagated over the engine's grid (reusing the shared
+  // GMST table). The table can serve any number of sites or consumers.
+  [[nodiscard]] orbit::EphemerisTable ephemeris(
+      const constellation::Satellite& satellite) const;
+
+  // Shared ephemerides of a whole catalog; parallel across satellites when a
+  // pool is given.
+  [[nodiscard]] orbit::EphemerisSet ephemerides(
+      std::span<const constellation::Satellite> satellites,
+      util::ThreadPool* pool = nullptr) const;
 
   // Visibility timeline of one satellite over one site.
   [[nodiscard]] StepMask visibility_mask(const constellation::Satellite& satellite,
@@ -53,6 +82,18 @@ class CoverageEngine {
 
   // One propagation sweep, all sites: masks[i] corresponds to sites[i].
   [[nodiscard]] std::vector<StepMask> visibility_masks(
+      const constellation::Satellite& satellite,
+      std::span<const GroundSite> sites) const;
+
+  // Same masks from a precomputed ephemeris table (the shared-kernel entry
+  // point used by the batched pipeline).
+  [[nodiscard]] std::vector<StepMask> visibility_masks(
+      const orbit::EphemerisTable& ephemeris, std::span<const GroundSite> sites) const;
+
+  // Exhaustive per-step scan without the ephemeris table or culling — the
+  // scalar reference the batched kernel is validated and benchmarked
+  // against. Slow; use visibility_masks.
+  [[nodiscard]] std::vector<StepMask> visibility_masks_reference(
       const constellation::Satellite& satellite,
       std::span<const GroundSite> sites) const;
 
@@ -74,20 +115,38 @@ class CoverageEngine {
                                      std::span<const GroundSite> sites) const;
 
  private:
+  // Sets the visible steps of `ephemeris` over `site` in `out` (all-zero on
+  // entry).
+  void fill_visibility(const orbit::EphemerisTable& ephemeris, const GroundSite& site,
+                       StepMask& out) const;
+
   orbit::TimeGrid grid_;
   double mask_deg_;
+  double mask_rad_;
   double sin_mask_;
+  // Precomputed cull trigonometry (fixed once the mask is known); see
+  // fill_visibility for the derivation.
+  double cull_cos_meff_ = 1.0;
+  double cull_cos_t_ = 1.0, cull_sin_t_ = 0.0;
+  double cull_cos_b_ = 1.0, cull_sin_b_ = 0.0;
   orbit::GmstTable gmst_;
 };
 
 // Memoised per-(satellite, site) masks over a fixed catalog — the working set
-// of the Monte-Carlo benches. Masks are computed lazily, one propagation
-// sweep per satellite covering all sites.
+// of the Monte-Carlo benches. Masks are computed lazily one satellite at a
+// time, or eagerly for the whole catalog with precompute_all (optionally in
+// parallel across satellites; the parallel fill is bit-identical to the
+// serial one). The lazy accessors are not thread-safe; precompute first when
+// sharing a cache across threads.
 class VisibilityCache {
  public:
   VisibilityCache(const CoverageEngine& engine,
                   std::span<const constellation::Satellite> catalog,
                   std::span<const GroundSite> sites);
+
+  // Computes every satellite's masks up front. With a pool, satellites are
+  // filled concurrently (each writes only its own mask slots).
+  void precompute_all(util::ThreadPool* pool = nullptr);
 
   [[nodiscard]] const StepMask& mask(std::size_t satellite_index, std::size_t site_index);
 
@@ -112,7 +171,9 @@ class VisibilityCache {
   std::vector<double> normalised_weights_;
   // masks_[sat * site_count + site]; empty() until computed.
   std::vector<StepMask> masks_;
-  std::vector<bool> computed_;
+  // Byte flags (not vector<bool>): distinct satellites touch distinct bytes,
+  // so the parallel precompute writes race-free.
+  std::vector<std::uint8_t> computed_;
 };
 
 }  // namespace mpleo::cov

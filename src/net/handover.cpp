@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "orbit/ephemeris.hpp"
-#include "orbit/propagator.hpp"
 #include "util/units.hpp"
 
 namespace mpleo::net {
@@ -11,27 +10,17 @@ namespace mpleo::net {
 std::vector<std::uint32_t> serving_satellite_timeline(
     const cov::CoverageEngine& engine,
     std::span<const constellation::Satellite> satellites,
-    const orbit::TopocentricFrame& terminal) {
+    const orbit::TopocentricFrame& terminal, util::ThreadPool* pool) {
   const orbit::TimeGrid& grid = engine.grid();
   const double mask_rad = util::deg_to_rad(engine.elevation_mask_deg());
-  const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
-
-  std::vector<orbit::KeplerianPropagator> props;
-  props.reserve(satellites.size());
-  for (const constellation::Satellite& sat : satellites) {
-    props.emplace_back(sat.elements, sat.epoch);
-  }
+  const orbit::EphemerisSet ephemerides = engine.ephemerides(satellites, pool);
 
   std::vector<std::uint32_t> timeline(grid.count, kNoSatellite);
   for (std::size_t step = 0; step < grid.count; ++step) {
     double best_elevation = mask_rad;
     for (std::size_t si = 0; si < satellites.size(); ++si) {
-      const double dt = grid.at(step).seconds_since(satellites[si].epoch);
-      const util::Vec3 eci = props[si].position_eci_at_offset(dt);
-      const double c = gmst.cos_gmst[step];
-      const double s = gmst.sin_gmst[step];
-      const util::Vec3 ecef{c * eci.x + s * eci.y, -s * eci.x + c * eci.y, eci.z};
-      const double elevation = terminal.elevation_rad(ecef);
+      const double elevation =
+          terminal.elevation_rad(ephemerides.table(si).position_ecef(step));
       if (elevation >= best_elevation) {
         best_elevation = elevation;
         timeline[step] = static_cast<std::uint32_t>(si);

@@ -12,6 +12,10 @@
 #include "coverage/engine.hpp"
 #include "orbit/geodesy.hpp"
 
+namespace mpleo::util {
+class ThreadPool;
+}
+
 namespace mpleo::net {
 
 struct HandoverStats {
@@ -23,12 +27,13 @@ struct HandoverStats {
 };
 
 // Per-step serving-satellite selection: the visible satellite with the
-// highest elevation; kNoSatellite when none is visible.
+// highest elevation; kNoSatellite when none is visible. Positions come from
+// the shared ephemeris tables (filled in parallel when a pool is given).
 inline constexpr std::uint32_t kNoSatellite = 0xFFFFFFFFu;
 [[nodiscard]] std::vector<std::uint32_t> serving_satellite_timeline(
     const cov::CoverageEngine& engine,
     std::span<const constellation::Satellite> satellites,
-    const orbit::TopocentricFrame& terminal);
+    const orbit::TopocentricFrame& terminal, util::ThreadPool* pool = nullptr);
 
 // Aggregates the timeline into handover statistics.
 [[nodiscard]] HandoverStats handover_stats(std::span<const std::uint32_t> timeline,

@@ -1,13 +1,11 @@
 #include "net/isl.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "orbit/ephemeris.hpp"
-#include "orbit/propagator.hpp"
-#include "util/units.hpp"
 
 namespace mpleo::net {
 
@@ -99,43 +97,52 @@ cov::StepMask isl_coverage_mask(const cov::CoverageEngine& engine,
                                 std::span<const constellation::Satellite> satellites,
                                 const orbit::TopocentricFrame& terminal,
                                 std::span<const cov::GroundSite> gateways,
-                                const IslConfig& config) {
+                                const IslConfig& config, util::ThreadPool* pool) {
   const orbit::TimeGrid& grid = engine.grid();
-  const double sin_mask = std::sin(util::deg_to_rad(engine.elevation_mask_deg()));
-  const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
+  const std::size_t n = satellites.size();
+  const orbit::EphemerisSet ephemerides = engine.ephemerides(satellites, pool);
 
-  std::vector<orbit::KeplerianPropagator> props;
-  props.reserve(satellites.size());
-  for (const constellation::Satellite& sat : satellites) {
-    props.emplace_back(sat.elements, sat.epoch);
+  // Per-satellite visibility timelines from the shared tables: terminal
+  // visibility and the union over all gateways.
+  const cov::GroundSite terminal_site{"terminal", terminal, 1.0};
+  std::vector<cov::StepMask> terminal_masks(n);
+  std::vector<cov::StepMask> gateway_masks(n);
+  cov::StepMask any_terminal(grid.count);
+  cov::StepMask any_gateway(grid.count);
+  for (std::size_t s = 0; s < n; ++s) {
+    terminal_masks[s] =
+        engine
+            .visibility_masks(ephemerides.table(s),
+                              std::span<const cov::GroundSite>(&terminal_site, 1))
+            .front();
+    const std::vector<cov::StepMask> per_gateway =
+        engine.visibility_masks(ephemerides.table(s), gateways);
+    cov::StepMask gw_union(grid.count);
+    for (const cov::StepMask& mask : per_gateway) gw_union |= mask;
+    any_terminal |= terminal_masks[s];
+    any_gateway |= gw_union;
+    gateway_masks[s] = std::move(gw_union);
   }
 
+  // Only steps with both a terminal-visible and a gateway-visible satellite
+  // can be covered; everything else skips the O(n^2) mesh build.
+  cov::StepMask candidate_steps = any_terminal & any_gateway;
+
   cov::StepMask covered(grid.count);
-  std::vector<util::Vec3> positions(satellites.size());
+  std::vector<util::Vec3> positions(n);
   std::vector<std::size_t> gateway_visible;
   std::vector<std::size_t> terminal_visible;
 
   for (std::size_t step = 0; step < grid.count; ++step) {
-    for (std::size_t s = 0; s < satellites.size(); ++s) {
-      const double dt = grid.at(step).seconds_since(satellites[s].epoch);
-      const util::Vec3 eci = props[s].position_eci_at_offset(dt);
-      const double c = gmst.cos_gmst[step];
-      const double sn = gmst.sin_gmst[step];
-      positions[s] = {c * eci.x + sn * eci.y, -sn * eci.x + c * eci.y, eci.z};
-    }
+    if (!candidate_steps.test(step)) continue;
 
     terminal_visible.clear();
     gateway_visible.clear();
-    for (std::size_t s = 0; s < satellites.size(); ++s) {
-      if (terminal.visible_above(positions[s], sin_mask)) terminal_visible.push_back(s);
-      for (const cov::GroundSite& gw : gateways) {
-        if (gw.frame.visible_above(positions[s], sin_mask)) {
-          gateway_visible.push_back(s);
-          break;
-        }
-      }
+    for (std::size_t s = 0; s < n; ++s) {
+      positions[s] = ephemerides.table(s).position_ecef(step);
+      if (terminal_masks[s].test(step)) terminal_visible.push_back(s);
+      if (gateway_masks[s].test(step)) gateway_visible.push_back(s);
     }
-    if (terminal_visible.empty() || gateway_visible.empty()) continue;
 
     const IslTopology topo = IslTopology::build(positions, config);
     const std::vector<int> hops = topo.hops_from(gateway_visible);

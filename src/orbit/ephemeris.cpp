@@ -2,8 +2,24 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "orbit/kepler.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mpleo::orbit {
+namespace {
+
+// Steps between exact libm resynchronisations of the incremental plane
+// rotations. Drift over one interval is a few tens of ulps — sub-micrometre
+// at orbital radii, far below the <1 mm table accuracy contract.
+constexpr std::size_t kResyncInterval = 64;
+
+// Matches the solve_kepler fast path: below this the orbit is treated as
+// circular (E == M) and the mean anomaly advances linearly in time.
+constexpr double kCircularEccentricity = 1e-12;
+
+}  // namespace
 
 GmstTable GmstTable::for_grid(const TimeGrid& grid) {
   GmstTable table;
@@ -36,6 +52,149 @@ std::vector<util::Vec3> ecef_positions(const KeplerianPropagator& propagator,
 std::vector<util::Vec3> ecef_positions(const KeplerianPropagator& propagator,
                                        const TimeGrid& grid) {
   return ecef_positions(propagator, grid, GmstTable::for_grid(grid));
+}
+
+EphemerisTable EphemerisTable::compute(const KeplerianPropagator& propagator,
+                                      const TimeGrid& grid, const GmstTable& gmst) {
+  if (gmst.size() != grid.count) {
+    throw std::invalid_argument("EphemerisTable: GmstTable does not match grid");
+  }
+  EphemerisTable table;
+  const std::size_t n = grid.count;
+  table.x_.resize(n);
+  table.y_.resize(n);
+  table.z_.resize(n);
+  table.r_.resize(n);
+  if (n == 0) return table;
+
+  const ClassicalElements& coe = propagator.epoch_elements();
+  const double a = coe.semi_major_axis_m;
+  const double e = coe.eccentricity;
+  const double b = a * std::sqrt(1.0 - e * e);  // semi-minor axis
+  const double cos_i = std::cos(coe.inclination_rad);
+  const double sin_i = std::sin(coe.inclination_rad);
+
+  const double t0 = grid.start.seconds_since(propagator.epoch());
+  const double h = grid.step_seconds;
+  const double m_dot = propagator.mean_anomaly_rate();
+  const double w_dot = propagator.arg_perigee_rate();
+  const double o_dot = propagator.raan_rate();
+  const bool circular = e < kCircularEccentricity;
+
+  // Per-step rotations of the three time-linear angles.
+  const double cdw = std::cos(w_dot * h), sdw = std::sin(w_dot * h);
+  const double cdo = std::cos(o_dot * h), sdo = std::sin(o_dot * h);
+  const double cdm = std::cos(m_dot * h), sdm = std::sin(m_dot * h);
+
+  double cw = 0.0, sw = 0.0;  // argument of perigee
+  double co = 0.0, so = 0.0;  // RAAN
+  double ce = 0.0, se = 0.0;  // eccentric anomaly (circular fast path only)
+  double r_min = 0.0, r_max = 0.0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const double dt = t0 + h * static_cast<double>(k);
+    if (k % kResyncInterval == 0) {
+      const double w = coe.arg_perigee_rad + w_dot * dt;
+      cw = std::cos(w);
+      sw = std::sin(w);
+      const double raan = coe.raan_rad + o_dot * dt;
+      co = std::cos(raan);
+      so = std::sin(raan);
+      if (circular) {
+        const double m = coe.mean_anomaly_rad + m_dot * dt;
+        ce = std::cos(m);
+        se = std::sin(m);
+      }
+    }
+    if (!circular) {
+      const double m = coe.mean_anomaly_rad + m_dot * dt;
+      const double ecc_anomaly = solve_kepler(m, e);
+      ce = std::cos(ecc_anomaly);
+      se = std::sin(ecc_anomaly);
+    }
+
+    // Perifocal coordinates from the eccentric anomaly (identical geometry
+    // to the r/nu form used by elements_to_state, without the atan2).
+    const double xp = a * (ce - e);
+    const double yp = b * se;
+    const double r = a * (1.0 - e * ce);
+    // Rz(argp)
+    const double x1 = xp * cw - yp * sw;
+    const double y1 = xp * sw + yp * cw;
+    // Rx(inclination)
+    const double y2 = y1 * cos_i;
+    const double z2 = y1 * sin_i;
+    // Rz(raan - gmst): the ECI->ECEF sidereal rotation folded into the node
+    // rotation via the angle-difference identity, using the shared table.
+    const double cg = gmst.cos_gmst[k];
+    const double sg = gmst.sin_gmst[k];
+    const double ca = co * cg + so * sg;
+    const double sa = so * cg - co * sg;
+    table.x_[k] = x1 * ca - y2 * sa;
+    table.y_[k] = x1 * sa + y2 * ca;
+    table.z_[k] = z2;
+    table.r_[k] = r;
+    if (k == 0 || r < r_min) r_min = r;
+    if (k == 0 || r > r_max) r_max = r;
+
+    // Advance the incremental rotations to step k+1.
+    const double cw_next = cw * cdw - sw * sdw;
+    sw = sw * cdw + cw * sdw;
+    cw = cw_next;
+    const double co_next = co * cdo - so * sdo;
+    so = so * cdo + co * sdo;
+    co = co_next;
+    if (circular) {
+      const double ce_next = ce * cdm - se * sdm;
+      se = se * cdm + ce * sdm;
+      ce = ce_next;
+    }
+  }
+
+  table.r_min_ = r_min;
+  table.r_max_ = r_max;
+  if (circular) {
+    const double u_dot = w_dot + m_dot;
+    table.lat_arg_.valid = u_dot > 0.0;
+    table.lat_arg_.u0 = coe.arg_perigee_rad + coe.mean_anomaly_rad + u_dot * t0;
+    table.lat_arg_.du = u_dot * h;
+    table.lat_arg_.sin_incl = sin_i;
+    table.lat_arg_.radius_m = a;
+  }
+  return table;
+}
+
+EphemerisTable EphemerisTable::compute(const KeplerianPropagator& propagator,
+                                      const TimeGrid& grid) {
+  return compute(propagator, grid, GmstTable::for_grid(grid));
+}
+
+EphemerisSet EphemerisSet::compute(std::span<const EphemerisSpec> specs,
+                                   const TimeGrid& grid, GmstTable gmst,
+                                   util::ThreadPool* pool) {
+  if (gmst.size() != grid.count) {
+    throw std::invalid_argument("EphemerisSet: GmstTable does not match grid");
+  }
+  EphemerisSet set;
+  set.grid_ = grid;
+  set.gmst_ = std::move(gmst);
+  set.tables_.resize(specs.size());
+  const auto fill = [&set, &specs, &grid](std::size_t i) {
+    const KeplerianPropagator propagator(specs[i].elements, specs[i].epoch,
+                                         specs[i].perturbation);
+    set.tables_[i] = EphemerisTable::compute(propagator, grid, set.gmst_);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(specs.size(), fill);
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) fill(i);
+  }
+  return set;
+}
+
+EphemerisSet EphemerisSet::compute(std::span<const EphemerisSpec> specs,
+                                   const TimeGrid& grid, util::ThreadPool* pool) {
+  return compute(specs, grid, GmstTable::for_grid(grid), pool);
 }
 
 }  // namespace mpleo::orbit

@@ -3,13 +3,30 @@
 // The coverage engine evaluates many satellites against the same grid, so
 // the per-step sidereal rotation is computed once (GmstTable) and reused for
 // every satellite's ECI->ECEF transform.
+//
+// EphemerisTable is the batched form: one satellite propagated once over the
+// whole grid into contiguous SoA ECEF buffers. All trigonometry that is
+// linear in time (argument of perigee, RAAN, and — for circular orbits —
+// the mean anomaly) advances through incremental plane rotations that are
+// resynchronised against libm every few dozen steps, so a table costs a
+// handful of multiply-adds per step instead of a full element conversion.
+// EphemerisSet owns tables for a whole catalog and can fill them in
+// parallel across satellites; every visibility consumer (coverage, contact
+// plans, ISL, handover, placement) reads these shared tables instead of
+// re-propagating.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "orbit/propagator.hpp"
 #include "orbit/time.hpp"
 #include "util/vec3.hpp"
+
+namespace mpleo::util {
+class ThreadPool;
+}
 
 namespace mpleo::orbit {
 
@@ -30,5 +47,90 @@ struct GmstTable {
 // Convenience overload that builds the GmstTable internally (single use).
 [[nodiscard]] std::vector<util::Vec3> ecef_positions(const KeplerianPropagator& propagator,
                                                      const TimeGrid& grid);
+
+// For circular orbits the geometry collapses to an exactly linear argument
+// of latitude: z(k) = radius * sin_incl * sin(u0 + du * k). Visibility
+// kernels use this to enumerate the only grid steps on which a satellite
+// can clear a site's latitude band, instead of scanning every step.
+struct LinearLatitudeArgument {
+  bool valid = false;   // true only for (near-)circular orbits
+  double u0 = 0.0;      // argument of latitude at grid step 0, radians
+  double du = 0.0;      // per-step advance, radians (positive for bound orbits)
+  double sin_incl = 0.0;
+  double radius_m = 0.0;  // constant orbital radius
+};
+
+// One satellite propagated over a whole grid: contiguous SoA ECEF
+// coordinates plus the geocentric radius per step. Positions match the
+// pointwise KeplerianPropagator path to well under a millimetre.
+class EphemerisTable {
+ public:
+  EphemerisTable() = default;
+
+  [[nodiscard]] static EphemerisTable compute(const KeplerianPropagator& propagator,
+                                              const TimeGrid& grid, const GmstTable& gmst);
+  [[nodiscard]] static EphemerisTable compute(const KeplerianPropagator& propagator,
+                                              const TimeGrid& grid);
+
+  [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
+
+  [[nodiscard]] util::Vec3 position_ecef(std::size_t step) const noexcept {
+    return {x_[step], y_[step], z_[step]};
+  }
+  [[nodiscard]] std::span<const double> x() const noexcept { return x_; }
+  [[nodiscard]] std::span<const double> y() const noexcept { return y_; }
+  [[nodiscard]] std::span<const double> z() const noexcept { return z_; }
+  // Geocentric distance |position| per step (from the orbit equation, not a
+  // recomputed norm).
+  [[nodiscard]] std::span<const double> radius_m() const noexcept { return r_; }
+  [[nodiscard]] double min_radius_m() const noexcept { return r_min_; }
+  [[nodiscard]] double max_radius_m() const noexcept { return r_max_; }
+
+  [[nodiscard]] const LinearLatitudeArgument& latitude_argument() const noexcept {
+    return lat_arg_;
+  }
+
+ private:
+  std::vector<double> x_, y_, z_, r_;
+  double r_min_ = 0.0;
+  double r_max_ = 0.0;
+  LinearLatitudeArgument lat_arg_;
+};
+
+// Elements + epoch of one catalog entry, the input to EphemerisSet. Mirrors
+// constellation::Satellite without depending on the constellation layer.
+struct EphemerisSpec {
+  ClassicalElements elements;
+  TimePoint epoch;
+  Perturbation perturbation = Perturbation::kJ2Secular;
+};
+
+// Shared ephemerides of a whole catalog over one grid. Tables are computed
+// in parallel across satellites when a thread pool is given; results are
+// identical to the serial fill.
+class EphemerisSet {
+ public:
+  EphemerisSet() = default;
+
+  [[nodiscard]] static EphemerisSet compute(std::span<const EphemerisSpec> specs,
+                                            const TimeGrid& grid,
+                                            util::ThreadPool* pool = nullptr);
+  // Reuses an existing GmstTable (copied into the set) instead of rebuilding.
+  [[nodiscard]] static EphemerisSet compute(std::span<const EphemerisSpec> specs,
+                                            const TimeGrid& grid, GmstTable gmst,
+                                            util::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tables_.size(); }
+  [[nodiscard]] const EphemerisTable& table(std::size_t index) const {
+    return tables_.at(index);
+  }
+  [[nodiscard]] const TimeGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] const GmstTable& gmst() const noexcept { return gmst_; }
+
+ private:
+  TimeGrid grid_;
+  GmstTable gmst_;
+  std::vector<EphemerisTable> tables_;
+};
 
 }  // namespace mpleo::orbit

@@ -7,6 +7,7 @@
 
 #include "constellation/starlink.hpp"
 #include "coverage/visibility.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace mpleo::cov {
@@ -195,6 +196,50 @@ TEST(VisibilityCache, UnionMaskMatchesManualUnion) {
   StepMask manual = cache.mask(0, 0);
   manual |= cache.mask(2, 0);
   EXPECT_EQ(cache.union_mask(subset, 0), manual);
+}
+
+TEST(VisibilityCache, ParallelPrecomputeIsBitIdenticalToSerial) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const std::vector<GroundSite> sites = sites_from_cities(paper_cities());
+
+  std::vector<constellation::Satellite> catalog;
+  for (double raan : {0.0, 24.0, 48.0, 72.0, 96.0, 120.0}) {
+    catalog.push_back(make_sat(550e3, 53.0, raan, raan * 2.0, grid.start));
+  }
+
+  VisibilityCache serial(engine, catalog, sites);
+  serial.precompute_all();
+
+  util::ThreadPool pool(4);
+  VisibilityCache parallel(engine, catalog, sites);
+  parallel.precompute_all(&pool);
+
+  for (std::size_t s = 0; s < catalog.size(); ++s) {
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+      ASSERT_EQ(serial.mask(s, j), parallel.mask(s, j)) << "sat " << s << " site " << j;
+    }
+  }
+}
+
+TEST(VisibilityCache, PrecomputeMatchesLazyFill) {
+  const orbit::TimeGrid grid = day_grid();
+  const CoverageEngine engine(grid, 25.0);
+  const std::vector<GroundSite> sites = sites_from_cities(paper_cities());
+
+  std::vector<constellation::Satellite> catalog;
+  for (double phase : {0.0, 90.0, 180.0, 270.0}) {
+    catalog.push_back(make_sat(560e3, 70.0, 15.0, phase, grid.start));
+  }
+
+  util::ThreadPool pool(3);
+  VisibilityCache eager(engine, catalog, sites);
+  eager.precompute_all(&pool);
+  VisibilityCache lazy(engine, catalog, sites);
+
+  for (std::size_t s = 0; s < catalog.size(); ++s) {
+    EXPECT_EQ(eager.mask(s, 2), lazy.mask(s, 2));
+  }
 }
 
 TEST(CoverageEngine, EmptySatelliteSetHasZeroCoverage) {
