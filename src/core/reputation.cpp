@@ -29,6 +29,15 @@ void ReputationTracker::record_reciprocity(PartyId party, double ratio) {
   score = std::clamp(score, config_.floor, config_.ceiling);
 }
 
+void ReputationTracker::record_outage(PartyId party, double outage_seconds) {
+  if (outage_seconds < 0.0) {
+    throw std::invalid_argument("ReputationTracker: negative outage seconds");
+  }
+  double& score = scores_.at(party);
+  score -= config_.outage_penalty_per_hour * outage_seconds / 3600.0;
+  score = std::clamp(score, config_.floor, config_.ceiling);
+}
+
 double ReputationTracker::score(PartyId party) const { return scores_.at(party); }
 
 double ReputationTracker::priority_weight(PartyId party) const {

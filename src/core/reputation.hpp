@@ -24,6 +24,10 @@ class ReputationTracker {
     double poc_penalty = 0.10;     // per forged/failed receipt
     double reciprocity_gain = 0.05;   // per epoch with ratio >= good_ratio
     double reciprocity_penalty = 0.08;  // per epoch flagged as free riding
+    // Per hour of a party's assets being down (fault::FaultTimeline outage
+    // records). Asymmetric like the rest: uptime earns nothing, downtime
+    // erodes trust.
+    double outage_penalty_per_hour = 0.005;
     double good_ratio = 0.5;
     double floor = 0.0;
     double ceiling = 1.0;
@@ -36,6 +40,10 @@ class ReputationTracker {
   void record_poc(PartyId party, bool valid);
   // Feed an epoch's provided/consumed ratio (see core::Reciprocity::ratio()).
   void record_reciprocity(PartyId party, double ratio);
+  // Feed an epoch's accumulated asset downtime for one party (e.g. one
+  // entry of fault::FaultTimeline::outage_seconds_by_party). Zero seconds
+  // is a no-op. Precondition: outage_seconds >= 0.
+  void record_outage(PartyId party, double outage_seconds);
 
   [[nodiscard]] double score(PartyId party) const;
   // Spare-capacity priority weight in [0.1, 1]: parties never starve

@@ -1,5 +1,6 @@
 // Robustness analysis (§3.4): what happens to coverage when satellites or
-// whole parties leave. Drives Figures 5 and 6.
+// whole parties leave — permanently (withdrawal, Figures 5 and 6) or
+// transiently (fault-injection resilience sweeps with recovery).
 #pragma once
 
 #include <cstdint>
@@ -55,5 +56,40 @@ void prepare_cache(cov::VisibilityCache& cache, util::ThreadPool* pool = nullptr
 // order; returns per-party index lists. sum(sizes) must equal indices.size().
 [[nodiscard]] std::vector<std::vector<std::size_t>> assign_to_parties(
     std::span<const std::size_t> indices, std::span<const std::size_t> sizes);
+
+// Transient-failure Monte-Carlo sweep: instead of withdrawing satellites
+// forever, satellites fail at a Poisson rate and come back after an
+// exponential repair time, turning Fig-5's two-point before/after analysis
+// into MTBF/MTTR resilience curves.
+struct ResilienceConfig {
+  // Sweep axis: per-satellite failure initiations per day.
+  std::vector<double> failure_rates_per_sat_day = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0};
+  double mttr_seconds = 6.0 * 3600.0;  // mean repair duration
+  std::size_t runs = 10;
+  std::uint64_t seed = 42;
+};
+
+struct ResiliencePoint {
+  double failure_rate_per_sat_day = 0.0;
+  double mttr_seconds = 0.0;
+  // Weighted coverage fraction under faults, averaged over runs.
+  double mean_coverage_fraction = 0.0;
+  // Coverage retained relative to the fault-free baseline, in [0, 1].
+  double mean_served_fraction = 0.0;
+  // Mean over runs of the worst per-site continuous outage.
+  double mean_worst_gap_seconds = 0.0;
+};
+
+// Sweeps coverage vs failure rate for the given satellite set (indices into
+// the cache's catalog), pooled across Monte-Carlo runs when a pool is given
+// (the cache is precomputed first; results are deterministic for a given
+// seed regardless of thread count). Failure candidates are drawn once per
+// run at the envelope (maximum) rate and thinned per sweep point — common
+// random numbers — so within every run the outage set grows with the rate
+// and the served fraction is monotonically non-increasing by construction,
+// not merely in expectation. Points come back in config order.
+[[nodiscard]] std::vector<ResiliencePoint> resilience_sweep(
+    cov::VisibilityCache& cache, std::span<const std::size_t> satellite_indices,
+    const ResilienceConfig& config, util::ThreadPool* pool = nullptr);
 
 }  // namespace mpleo::core

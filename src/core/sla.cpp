@@ -1,5 +1,7 @@
 #include "core/sla.hpp"
 
+#include "fault/timeline.hpp"
+
 namespace mpleo::core {
 
 const char* to_string(SlaClause clause) noexcept {
@@ -42,6 +44,13 @@ SlaReport evaluate_sla(const SlaTerms& terms, const cov::CoverageStats& coverage
     }
   }
   return report;
+}
+
+SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
+                       std::span<const std::size_t> satellite_indices,
+                       std::size_t site_index, const fault::FaultTimeline& faults) {
+  const cov::StepMask mask = cache.union_mask(satellite_indices, site_index, &faults);
+  return evaluate_sla(terms, cache.engine().stats(mask));
 }
 
 bool settle_sla_penalty(const SlaReport& report, Ledger& ledger, AccountId provider,

@@ -15,6 +15,10 @@
 #include "coverage/engine.hpp"
 #include "net/scheduler.hpp"
 
+namespace mpleo::fault {
+class FaultTimeline;
+}
+
 namespace mpleo::core {
 
 struct SlaTerms {
@@ -56,6 +60,16 @@ struct SlaReport {
                                      const cov::CoverageStats& coverage,
                                      const net::PartyUsage& usage,
                                      double window_seconds);
+
+// Evaluates the coverage clauses on the fault-degraded union of
+// `satellite_indices` at `site_index`: outages carve real gaps into the
+// coverage timeline, so a failure longer than max_gap_seconds violates the
+// SLA even when the orbital geometry alone would have complied. An empty
+// timeline is bit-identical to evaluating the healthy union.
+[[nodiscard]] SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
+                                     std::span<const std::size_t> satellite_indices,
+                                     std::size_t site_index,
+                                     const fault::FaultTimeline& faults);
 
 // Executes the penalty transfer; returns false when the provider cannot pay
 // (the shortfall is recorded by the caller — an undercollateralised provider

@@ -6,6 +6,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "fault/timeline.hpp"
 #include "orbit/propagator.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
@@ -300,6 +301,19 @@ StepMask CoverageEngine::coverage_mask(std::span<const constellation::Satellite>
   return result;
 }
 
+StepMask CoverageEngine::coverage_mask(std::span<const constellation::Satellite> satellites,
+                                       const orbit::TopocentricFrame& site,
+                                       const fault::FaultTimeline* faults) const {
+  if (faults == nullptr || faults->empty()) return coverage_mask(satellites, site);
+  StepMask result(grid_.count);
+  for (std::size_t i = 0; i < satellites.size(); ++i) {
+    StepMask mask = visibility_mask(satellites[i], site);
+    if (const StepMask* out = faults->satellite_outage_steps(i)) mask.subtract(*out);
+    result |= mask;
+  }
+  return result;
+}
+
 CoverageStats CoverageEngine::stats(const StepMask& mask) const {
   assert(mask.step_count() == grid_.count);
   CoverageStats out;
@@ -391,12 +405,47 @@ StepMask VisibilityCache::union_mask(std::span<const std::size_t> satellite_indi
   return out;
 }
 
+StepMask VisibilityCache::union_mask(std::span<const std::size_t> satellite_indices,
+                                     std::size_t site_index,
+                                     const fault::FaultTimeline* faults) {
+  if (faults == nullptr || faults->empty()) {
+    return union_mask(satellite_indices, site_index);
+  }
+  StepMask out(engine_->grid().count);
+  StepMask scratch;
+  for (std::size_t sat : satellite_indices) {
+    const StepMask& visible = mask(sat, site_index);
+    if (const StepMask* outage = faults->satellite_outage_steps(sat)) {
+      scratch = visible;
+      scratch.subtract(*outage);
+      out |= scratch;
+    } else {
+      out |= visible;
+    }
+  }
+  return out;
+}
+
 double VisibilityCache::weighted_coverage_fraction(
     std::span<const std::size_t> satellite_indices) {
   double weighted = 0.0;
   for (std::size_t j = 0; j < sites_.size(); ++j) {
     if (normalised_weights_[j] <= 0.0) continue;
     weighted += normalised_weights_[j] * union_mask(satellite_indices, j).fraction();
+  }
+  return weighted;
+}
+
+double VisibilityCache::weighted_coverage_fraction(
+    std::span<const std::size_t> satellite_indices, const fault::FaultTimeline* faults) {
+  if (faults == nullptr || faults->empty()) {
+    return weighted_coverage_fraction(satellite_indices);
+  }
+  double weighted = 0.0;
+  for (std::size_t j = 0; j < sites_.size(); ++j) {
+    if (normalised_weights_[j] <= 0.0) continue;
+    weighted +=
+        normalised_weights_[j] * union_mask(satellite_indices, j, faults).fraction();
   }
   return weighted;
 }

@@ -27,6 +27,9 @@
 namespace mpleo::util {
 class ThreadPool;
 }
+namespace mpleo::fault {
+class FaultTimeline;
+}
 
 namespace mpleo::cov {
 
@@ -101,6 +104,14 @@ class CoverageEngine {
   [[nodiscard]] StepMask coverage_mask(std::span<const constellation::Satellite> satellites,
                                        const orbit::TopocentricFrame& site) const;
 
+  // Fault-aware union: satellite i of the span is intersected with its
+  // availability in `faults` (fault asset index == span index) before the
+  // union. nullptr or an empty timeline is bit-identical to the overload
+  // above.
+  [[nodiscard]] StepMask coverage_mask(std::span<const constellation::Satellite> satellites,
+                                       const orbit::TopocentricFrame& site,
+                                       const fault::FaultTimeline* faults) const;
+
   [[nodiscard]] CoverageStats stats(const StepMask& mask) const;
 
   // Population-weighted covered time in seconds: sum_i weight_i * covered_i.
@@ -154,9 +165,28 @@ class VisibilityCache {
   [[nodiscard]] StepMask union_mask(std::span<const std::size_t> satellite_indices,
                                     std::size_t site_index);
 
+  // Fault-aware union: each satellite's mask is intersected with its
+  // availability (fault asset index == catalog index) before the union.
+  // nullptr or an empty timeline is bit-identical to the overload above;
+  // satellites the timeline never faults skip the mask arithmetic entirely.
+  [[nodiscard]] StepMask union_mask(std::span<const std::size_t> satellite_indices,
+                                    std::size_t site_index,
+                                    const fault::FaultTimeline* faults);
+
   // Weighted coverage fraction over all sites for the given satellite set.
   [[nodiscard]] double weighted_coverage_fraction(
       std::span<const std::size_t> satellite_indices);
+
+  // Fault-degraded weighted coverage; same bit-identity contract as the
+  // fault-aware union_mask.
+  [[nodiscard]] double weighted_coverage_fraction(
+      std::span<const std::size_t> satellite_indices,
+      const fault::FaultTimeline* faults);
+
+  // Normalised site weight (sums to 1 over all sites with positive weight).
+  [[nodiscard]] double site_weight(std::size_t site_index) const {
+    return normalised_weights_[site_index];
+  }
 
   [[nodiscard]] std::size_t site_count() const noexcept { return sites_.size(); }
   [[nodiscard]] std::size_t satellite_count() const noexcept { return catalog_.size(); }

@@ -2,23 +2,28 @@
 
 #include <cmath>
 
+#include "fault/timeline.hpp"
 #include "orbit/ephemeris.hpp"
 #include "util/units.hpp"
 
 namespace mpleo::net {
+namespace {
 
-std::vector<std::uint32_t> serving_satellite_timeline(
+std::vector<std::uint32_t> build_timeline(
     const cov::CoverageEngine& engine,
     std::span<const constellation::Satellite> satellites,
-    const orbit::TopocentricFrame& terminal, util::ThreadPool* pool) {
+    const orbit::TopocentricFrame& terminal, const fault::FaultTimeline* faults,
+    util::ThreadPool* pool) {
   const orbit::TimeGrid& grid = engine.grid();
   const double mask_rad = util::deg_to_rad(engine.elevation_mask_deg());
   const orbit::EphemerisSet ephemerides = engine.ephemerides(satellites, pool);
+  const bool faulted = faults != nullptr && !faults->empty();
 
   std::vector<std::uint32_t> timeline(grid.count, kNoSatellite);
   for (std::size_t step = 0; step < grid.count; ++step) {
     double best_elevation = mask_rad;
     for (std::size_t si = 0; si < satellites.size(); ++si) {
+      if (faulted && !faults->satellite_available(si, step)) continue;
       const double elevation =
           terminal.elevation_rad(ephemerides.table(si).position_ecef(step));
       if (elevation >= best_elevation) {
@@ -30,15 +35,39 @@ std::vector<std::uint32_t> serving_satellite_timeline(
   return timeline;
 }
 
+}  // namespace
+
+std::vector<std::uint32_t> serving_satellite_timeline(
+    const cov::CoverageEngine& engine,
+    std::span<const constellation::Satellite> satellites,
+    const orbit::TopocentricFrame& terminal, util::ThreadPool* pool) {
+  return build_timeline(engine, satellites, terminal, nullptr, pool);
+}
+
+std::vector<std::uint32_t> serving_satellite_timeline(
+    const cov::CoverageEngine& engine,
+    std::span<const constellation::Satellite> satellites,
+    const orbit::TopocentricFrame& terminal, const fault::FaultTimeline& faults,
+    util::ThreadPool* pool) {
+  return build_timeline(engine, satellites, terminal, &faults, pool);
+}
+
 HandoverStats handover_stats(std::span<const std::uint32_t> timeline,
-                             double step_seconds) {
+                             double step_seconds, const fault::FaultTimeline* faults) {
   HandoverStats stats;
   if (timeline.empty()) return stats;
 
+  const bool faulted = faults != nullptr && !faults->empty();
   std::size_t connected_steps = 0;
   std::size_t dwell_segments = 0;
   std::uint32_t previous = kNoSatellite;
-  for (std::uint32_t serving : timeline) {
+  for (std::size_t step = 0; step < timeline.size(); ++step) {
+    const std::uint32_t serving = timeline[step];
+    // A transition away from a satellite that is down *now* was forced by
+    // the failure; losing a healthy satellite is ordinary orbital motion.
+    const bool previous_failed =
+        faulted && previous != kNoSatellite &&
+        !faults->satellite_available(previous, step);
     if (serving != kNoSatellite) {
       ++connected_steps;
       if (previous == kNoSatellite) {
@@ -46,9 +75,11 @@ HandoverStats handover_stats(std::span<const std::uint32_t> timeline,
       } else if (serving != previous) {
         ++stats.handover_count;
         ++dwell_segments;
+        if (previous_failed) ++stats.failure_handover_count;
       }
     } else if (previous != kNoSatellite) {
       ++stats.outage_count;
+      if (previous_failed) ++stats.failure_outage_count;
     }
     previous = serving;
   }

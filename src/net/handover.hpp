@@ -15,6 +15,9 @@
 namespace mpleo::util {
 class ThreadPool;
 }
+namespace mpleo::fault {
+class FaultTimeline;
+}
 
 namespace mpleo::net {
 
@@ -24,6 +27,11 @@ struct HandoverStats {
   double connected_fraction = 0.0;
   double mean_dwell_seconds = 0.0;      // mean time on one satellite
   double handovers_per_hour = 0.0;      // normalised over connected time
+  // Fault attribution (zero without a timeline): transitions whose previous
+  // serving satellite failed at the switch step, as opposed to ordinary
+  // elevation-driven handovers.
+  std::size_t failure_handover_count = 0;  // subset of handover_count
+  std::size_t failure_outage_count = 0;    // subset of outage_count
 };
 
 // Per-step serving-satellite selection: the visible satellite with the
@@ -35,8 +43,21 @@ inline constexpr std::uint32_t kNoSatellite = 0xFFFFFFFFu;
     std::span<const constellation::Satellite> satellites,
     const orbit::TopocentricFrame& terminal, util::ThreadPool* pool = nullptr);
 
-// Aggregates the timeline into handover statistics.
+// Fault-aware selection: satellites the timeline marks out at a step are
+// not eligible to serve (fault asset index == span index). An empty
+// timeline yields a timeline bit-identical to the overload above.
+[[nodiscard]] std::vector<std::uint32_t> serving_satellite_timeline(
+    const cov::CoverageEngine& engine,
+    std::span<const constellation::Satellite> satellites,
+    const orbit::TopocentricFrame& terminal, const fault::FaultTimeline& faults,
+    util::ThreadPool* pool = nullptr);
+
+// Aggregates the timeline into handover statistics. With a fault timeline,
+// transitions caused by the previous satellite failing are additionally
+// counted as failure-forced; a nullptr leaves those counters zero and every
+// other field unchanged.
 [[nodiscard]] HandoverStats handover_stats(std::span<const std::uint32_t> timeline,
-                                           double step_seconds);
+                                           double step_seconds,
+                                           const fault::FaultTimeline* faults = nullptr);
 
 }  // namespace mpleo::net

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fault/timeline.hpp"
 #include "orbit/propagator.hpp"
 #include "util/units.hpp"
 
@@ -21,6 +22,31 @@ BentPipeScheduler::BentPipeScheduler(SchedulerConfig config,
   if (config_.beams_per_satellite <= 0) {
     throw std::invalid_argument("BentPipeScheduler: beams_per_satellite must be > 0");
   }
+  for (const double weight : config_.spare_priority_by_party) {
+    if (!std::isfinite(weight) || weight < 0.0) {
+      throw std::invalid_argument(
+          "BentPipeScheduler: spare priority weights must be finite and >= 0");
+    }
+  }
+  if (!config_.spare_priority_by_party.empty()) {
+    // A non-empty weight vector must cover every party index in play;
+    // otherwise spare contention silently zero-weights (or worse, indexes
+    // past) the uncovered parties.
+    const std::size_t covered = config_.spare_priority_by_party.size();
+    for (const Terminal& t : terminals_) {
+      if (t.owner_party >= covered) {
+        throw std::invalid_argument(
+            "BentPipeScheduler: spare_priority_by_party does not cover terminal owner");
+      }
+    }
+    for (const constellation::Satellite& s : satellites_) {
+      if (s.owner_party != constellation::Satellite::kUnowned &&
+          s.owner_party >= covered) {
+        throw std::invalid_argument(
+            "BentPipeScheduler: spare_priority_by_party does not cover satellite owner");
+      }
+    }
+  }
   terminal_frames_.reserve(terminals_.size());
   for (const Terminal& t : terminals_) terminal_frames_.emplace_back(t.location);
   station_frames_.reserve(stations_.size());
@@ -29,10 +55,23 @@ BentPipeScheduler::BentPipeScheduler(SchedulerConfig config,
 
 StepSchedule BentPipeScheduler::schedule_step(std::span<const util::Vec3> satellite_ecef,
                                               std::size_t step) const {
+  return schedule_step(satellite_ecef, step, nullptr);
+}
+
+StepSchedule BentPipeScheduler::schedule_step(
+    std::span<const util::Vec3> satellite_ecef, std::size_t step,
+    const fault::FaultTimeline* faults,
+    std::span<const std::uint8_t> blocked_terminals) const {
   StepSchedule schedule;
   schedule.step = step;
 
+  const bool faulted = faults != nullptr && !faults->empty();
   std::vector<int> beams_left(satellites_.size(), config_.beams_per_satellite);
+  if (faulted) {
+    for (std::size_t si = 0; si < satellites_.size(); ++si) {
+      beams_left[si] = faults->degraded_beam_count(si, step, config_.beams_per_satellite);
+    }
+  }
 
   // Spare-pass service order: by configured party priority (descending),
   // stable by terminal index. Own-pass order stays index order.
@@ -56,6 +95,8 @@ StepSchedule BentPipeScheduler::schedule_step(std::span<const util::Vec3> satell
   for (const bool spare_pass : {false, true}) {
     for (std::size_t order_index = 0; order_index < terminals_.size(); ++order_index) {
       const std::size_t ti = spare_pass ? spare_order[order_index] : order_index;
+      // Terminals waiting out a re-acquisition backoff take no service.
+      if (ti < blocked_terminals.size() && blocked_terminals[ti] != 0) continue;
       // Skip terminals already served in the first pass.
       const bool already = std::any_of(
           schedule.links.begin(), schedule.links.end(),
@@ -79,6 +120,7 @@ StepSchedule BentPipeScheduler::schedule_step(std::span<const util::Vec3> satell
 
         for (std::size_t gi = 0; gi < stations_.size(); ++gi) {
           if (stations_[gi].owner_party != term.owner_party) continue;
+          if (faulted && !faults->station_available(gi, step)) continue;
           if (!station_frames_[gi].visible_above(sat_pos, sin_mask_)) continue;
 
           const double up = term_frame.range_m(sat_pos);
@@ -114,6 +156,12 @@ StepSchedule BentPipeScheduler::schedule_step(std::span<const util::Vec3> satell
 
 ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t party_count,
                                       bool keep_steps) const {
+  return run(grid, party_count, nullptr, keep_steps);
+}
+
+ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t party_count,
+                                      const fault::FaultTimeline* faults,
+                                      bool keep_steps) const {
   for (const Terminal& t : terminals_) {
     if (t.owner_party >= party_count) {
       throw std::invalid_argument("BentPipeScheduler::run: terminal owner out of range");
@@ -138,6 +186,17 @@ ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t p
   std::vector<util::Vec3> positions(satellites_.size());
   const double dt_step = grid.step_seconds;
 
+  // Degraded-operations state: who served each terminal last step, and how
+  // long each terminal still sits in re-acquisition backoff. All of it stays
+  // inert (and the loop bit-identical to the no-fault path) when `faults` is
+  // null or empty.
+  const bool faulted = faults != nullptr && !faults->empty();
+  constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> prev_satellite(terminals_.size(), kNone);
+  std::vector<std::uint32_t> prev_station(terminals_.size(), kNone);
+  std::vector<std::size_t> backoff_remaining(terminals_.size(), 0);
+  std::vector<std::uint8_t> blocked(terminals_.size(), 0);
+
   for (std::size_t step = 0; step < grid.count; ++step) {
     for (std::size_t si = 0; si < satellites_.size(); ++si) {
       const double dt = grid.at(step).seconds_since(satellites_[si].epoch);
@@ -147,7 +206,44 @@ ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t p
       positions[si] = {c * eci.x + s * eci.y, -s * eci.x + c * eci.y, eci.z};
     }
 
-    StepSchedule schedule = schedule_step(positions, step);
+    if (faulted) {
+      // A terminal whose serving satellite or station just went down is
+      // failure-force-detached: it must re-acquire, which costs
+      // reacquisition_backoff_steps of no service. Elevation-driven loss
+      // (the satellite flying out of view) stays a free handover.
+      for (std::size_t ti = 0; ti < terminals_.size(); ++ti) {
+        if (prev_satellite[ti] != kNone &&
+            (!faults->satellite_available(prev_satellite[ti], step) ||
+             (prev_station[ti] != kNone &&
+              !faults->station_available(prev_station[ti], step)))) {
+          ++result.failure_forced_detaches;
+          backoff_remaining[ti] =
+              std::max(backoff_remaining[ti], config_.reacquisition_backoff_steps);
+          prev_satellite[ti] = kNone;
+          prev_station[ti] = kNone;
+        }
+        blocked[ti] = backoff_remaining[ti] > 0 ? 1 : 0;
+        if (blocked[ti]) result.reacquisition_wait_seconds += dt_step;
+      }
+    }
+
+    StepSchedule schedule =
+        faulted ? schedule_step(positions, step, faults, blocked)
+                : schedule_step(positions, step);
+
+    if (faulted) {
+      for (std::size_t ti = 0; ti < terminals_.size(); ++ti) {
+        if (backoff_remaining[ti] > 0) --backoff_remaining[ti];
+        prev_satellite[ti] = kNone;
+        prev_station[ti] = kNone;
+      }
+      for (const LinkAssignment& link : schedule.links) {
+        prev_satellite[link.terminal_index] =
+            static_cast<std::uint32_t>(link.satellite_index);
+        prev_station[link.terminal_index] =
+            static_cast<std::uint32_t>(link.station_index);
+      }
+    }
 
     for (const LinkAssignment& link : schedule.links) {
       const std::uint32_t term_party = terminals_[link.terminal_index].owner_party;

@@ -20,6 +20,10 @@
 #include "orbit/ephemeris.hpp"
 #include "orbit/time.hpp"
 
+namespace mpleo::fault {
+class FaultTimeline;
+}
+
 namespace mpleo::net {
 
 struct SchedulerConfig {
@@ -31,8 +35,16 @@ struct SchedulerConfig {
   // priority_weight) applied to SPARE-capacity contention only: terminals of
   // higher-weight parties are offered leftover beams first. Own-satellite
   // service is unaffected — a party can never be locked out of its own
-  // satellites. Empty = FIFO by terminal index (all equal).
+  // satellites. Empty = FIFO by terminal index (all equal). Weights must be
+  // finite and non-negative, and a non-empty vector must cover every party
+  // index used by the terminals and owned satellites (validated at
+  // construction).
   std::vector<double> spare_priority_by_party;
+  // Steps a terminal stays detached after a failure-forced detach (its
+  // serving satellite or station went down under it) before it may
+  // re-attach — the re-pointing / re-ranging delay that gives outages tails
+  // instead of free instant handovers. 0 = instant re-acquisition.
+  std::size_t reacquisition_backoff_steps = 0;
 };
 
 // One granted link at one step.
@@ -67,6 +79,11 @@ struct ScheduleResult {
   std::vector<PartyUsage> per_party;      // indexed by party id
   double total_served_seconds = 0.0;
   double total_unserved_seconds = 0.0;
+  // Fault accounting (zero on the no-fault path): links dropped because the
+  // serving satellite or station failed, and terminal-seconds spent waiting
+  // out the re-acquisition backoff after such a drop.
+  std::size_t failure_forced_detaches = 0;
+  double reacquisition_wait_seconds = 0.0;
 };
 
 class BentPipeScheduler {
@@ -79,10 +96,28 @@ class BentPipeScheduler {
   [[nodiscard]] StepSchedule schedule_step(std::span<const util::Vec3> satellite_ecef,
                                            std::size_t step) const;
 
+  // Fault- and backoff-aware step: faulted satellites and stations are
+  // skipped, degraded satellites offer fewer beams, and terminals flagged in
+  // `blocked_terminals` (byte per terminal; re-acquisition backoff) go
+  // straight to unserved. nullptr/empty faults and no blocked flags are
+  // bit-identical to the plain overload.
+  [[nodiscard]] StepSchedule schedule_step(
+      std::span<const util::Vec3> satellite_ecef, std::size_t step,
+      const fault::FaultTimeline* faults,
+      std::span<const std::uint8_t> blocked_terminals = {}) const;
+
   // Runs the whole grid and aggregates per-party usage. `party_count` sizes
   // the aggregate vector; terminals/satellites with owner >= party_count are
   // rejected. Set keep_steps to retain the per-step link lists.
   [[nodiscard]] ScheduleResult run(const orbit::TimeGrid& grid, std::size_t party_count,
+                                   bool keep_steps = false) const;
+
+  // Degraded-operations run: `faults` gates per-step asset health, and a
+  // terminal whose serving satellite or station fails enters a
+  // `reacquisition_backoff_steps`-step hold before it may re-attach. With a
+  // nullptr or empty timeline the result is bit-identical to the plain run.
+  [[nodiscard]] ScheduleResult run(const orbit::TimeGrid& grid, std::size_t party_count,
+                                   const fault::FaultTimeline* faults,
                                    bool keep_steps = false) const;
 
   [[nodiscard]] const std::vector<constellation::Satellite>& satellites() const noexcept {

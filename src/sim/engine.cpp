@@ -17,7 +17,13 @@ void SimEngine::after(double delay_s, EventCallback callback) {
 
 void SimEngine::every(double period_s, double until_s, const EventCallback& callback) {
   if (period_s <= 0.0) throw std::invalid_argument("SimEngine::every: period must be > 0");
-  for (double t = now_s_ + period_s; t < until_s; t += period_s) {
+  // Each firing is now + k * period, not an accumulated t += period: the
+  // accumulated form drifts by one ulp per firing, which over multi-day
+  // horizons walks periodic tasks (fault/repair polls, price updates) off
+  // the step grid and can even change the firing count near until_s.
+  for (std::uint64_t k = 1;; ++k) {
+    const double t = now_s_ + period_s * static_cast<double>(k);
+    if (t >= until_s) break;
     queue_.schedule(t, callback);
   }
 }

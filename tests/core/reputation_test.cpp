@@ -51,10 +51,30 @@ TEST(Reputation, PriorityWeightNeverStarves) {
   EXPECT_DOUBLE_EQ(tracker.priority_weight(0), 1.0);
 }
 
+TEST(Reputation, OutageSecondsErodeScore) {
+  ReputationTracker tracker(2);
+  // 10 asset-hours down at the default 0.005/hour: score drops by 0.05.
+  tracker.record_outage(0, 10.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(tracker.score(0), 0.45);
+  // Zero downtime is a no-op; the other party is untouched either way.
+  tracker.record_outage(1, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.score(1), 0.5);
+  // Massive downtime clamps at the floor instead of going negative.
+  tracker.record_outage(0, 1e9);
+  EXPECT_DOUBLE_EQ(tracker.score(0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.priority_weight(0), 0.1);
+}
+
+TEST(Reputation, OutageRejectsNegativeSeconds) {
+  ReputationTracker tracker(1);
+  EXPECT_THROW(tracker.record_outage(0, -1.0), std::invalid_argument);
+}
+
 TEST(Reputation, UnknownPartyThrows) {
   ReputationTracker tracker(2);
   EXPECT_THROW(tracker.record_poc(5, true), std::out_of_range);
   EXPECT_THROW((void)tracker.score(5), std::out_of_range);
+  EXPECT_THROW(tracker.record_outage(5, 60.0), std::out_of_range);
 }
 
 TEST(Reputation, InvalidConfigRejected) {

@@ -126,5 +126,36 @@ TEST_F(WithdrawalFixture, NonSubsetWithdrawalThrows) {
   EXPECT_THROW(withdrawal_impact(*cache_, base_, not_in_base), std::invalid_argument);
 }
 
+TEST_F(WithdrawalFixture, ResilienceSweepRejectsDegenerateConfigs) {
+  ResilienceConfig config;
+  config.failure_rates_per_sat_day.clear();
+  EXPECT_THROW(resilience_sweep(*cache_, base_, config), std::invalid_argument);
+  config.failure_rates_per_sat_day = {-1.0};
+  EXPECT_THROW(resilience_sweep(*cache_, base_, config), std::invalid_argument);
+  config = ResilienceConfig{};
+  config.mttr_seconds = 0.0;
+  EXPECT_THROW(resilience_sweep(*cache_, base_, config), std::invalid_argument);
+  config = ResilienceConfig{};
+  config.runs = 0;
+  EXPECT_THROW(resilience_sweep(*cache_, base_, config), std::invalid_argument);
+}
+
+TEST_F(WithdrawalFixture, ResilienceSweepBaselineAndRateZero) {
+  ResilienceConfig config;
+  config.failure_rates_per_sat_day = {0.0, 8.0};
+  config.mttr_seconds = 7200.0;
+  config.runs = 2;
+  const std::vector<ResiliencePoint> points = resilience_sweep(*cache_, base_, config);
+  ASSERT_EQ(points.size(), 2u);
+  // Rate zero is exactly the healthy constellation.
+  EXPECT_DOUBLE_EQ(points[0].mean_coverage_fraction,
+                   cache_->weighted_coverage_fraction(base_));
+  EXPECT_DOUBLE_EQ(points[0].mean_served_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].mttr_seconds, 7200.0);
+  // Eight failures per satellite-day with two-hour repairs must cost coverage
+  // on a 24-satellite fleet.
+  EXPECT_LT(points[1].mean_coverage_fraction, points[0].mean_coverage_fraction);
+}
+
 }  // namespace
 }  // namespace mpleo::core

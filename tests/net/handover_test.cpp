@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace mpleo::net {
 namespace {
 
@@ -22,6 +24,35 @@ TEST(HandoverStats, SyntheticTimeline) {
   EXPECT_NEAR(stats.connected_fraction, 6.0 / 9.0, 1e-12);
   EXPECT_NEAR(stats.mean_dwell_seconds, 60.0 / 4.0, 1e-9);
   EXPECT_NEAR(stats.handovers_per_hour, 1.0 / (60.0 / 3600.0), 1e-9);
+}
+
+TEST(HandoverStats, AllOutageTimelineIsFiniteAndZero) {
+  // Never connected: every ratio that divides by connected time or dwell
+  // segments must come out 0, not NaN/inf.
+  const std::vector<std::uint32_t> timeline(16, kNoSatellite);
+  const HandoverStats stats = handover_stats(timeline, 60.0);
+  EXPECT_EQ(stats.handover_count, 0u);
+  EXPECT_EQ(stats.outage_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.connected_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_dwell_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.handovers_per_hour, 0.0);
+  EXPECT_TRUE(std::isfinite(stats.mean_dwell_seconds));
+  EXPECT_TRUE(std::isfinite(stats.handovers_per_hour));
+}
+
+TEST(HandoverStats, SingleStepTimelines) {
+  const std::vector<std::uint32_t> connected{4u};
+  const HandoverStats on = handover_stats(connected, 60.0);
+  EXPECT_EQ(on.handover_count, 0u);
+  EXPECT_DOUBLE_EQ(on.connected_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(on.mean_dwell_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(on.handovers_per_hour, 0.0);
+
+  const std::vector<std::uint32_t> disconnected{kNoSatellite};
+  const HandoverStats off = handover_stats(disconnected, 60.0);
+  EXPECT_DOUBLE_EQ(off.connected_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(off.mean_dwell_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(off.handovers_per_hour, 0.0);
 }
 
 TEST(HandoverStats, ContinuousSingleSatellite) {

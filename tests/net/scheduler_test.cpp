@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "orbit/geodesy.hpp"
@@ -226,6 +228,49 @@ TEST(ScheduleStep, SparePriorityNeverBlocksOwnService) {
   const StepSchedule schedule = scheduler.schedule_step(positions, 0);
   ASSERT_EQ(schedule.links.size(), 1u);
   EXPECT_FALSE(schedule.links.front().spare);
+}
+
+TEST(Scheduler, RejectsInvalidSparePriorityWeights) {
+  const std::vector<Satellite> sats{owned_satellite(0)};
+  const std::vector<Terminal> terminals{make_terminal(10.0, 20.0, 0)};
+  const std::vector<GroundStation> stations{make_station(10.5, 20.5, 0)};
+
+  SchedulerConfig cfg;
+  cfg.spare_priority_by_party = {std::nan("")};
+  EXPECT_THROW(BentPipeScheduler(cfg, sats, terminals, stations), std::invalid_argument);
+
+  cfg.spare_priority_by_party = {std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(BentPipeScheduler(cfg, sats, terminals, stations), std::invalid_argument);
+
+  cfg.spare_priority_by_party = {-0.5};
+  EXPECT_THROW(BentPipeScheduler(cfg, sats, terminals, stations), std::invalid_argument);
+}
+
+TEST(Scheduler, NonEmptySparePriorityMustCoverEveryParty) {
+  SchedulerConfig cfg;
+  cfg.spare_priority_by_party = {1.0, 0.5};  // covers parties 0 and 1 only
+
+  // Terminal owned by party 2: uncovered.
+  EXPECT_THROW(BentPipeScheduler(cfg, {owned_satellite(0)},
+                                 {make_terminal(10.0, 20.0, 2)},
+                                 {make_station(10.5, 20.5, 0)}),
+               std::invalid_argument);
+
+  // Satellite owned by party 2: uncovered.
+  EXPECT_THROW(BentPipeScheduler(cfg, {owned_satellite(2)},
+                                 {make_terminal(10.0, 20.0, 0)},
+                                 {make_station(10.5, 20.5, 0)}),
+               std::invalid_argument);
+
+  // Unowned satellites are exempt from coverage, and an empty weight vector
+  // (FIFO) never restricts party indices.
+  EXPECT_NO_THROW(BentPipeScheduler(cfg, {owned_satellite(Satellite::kUnowned)},
+                                    {make_terminal(10.0, 20.0, 1)},
+                                    {make_station(10.5, 20.5, 1)}));
+  cfg.spare_priority_by_party.clear();
+  EXPECT_NO_THROW(BentPipeScheduler(cfg, {owned_satellite(7)},
+                                    {make_terminal(10.0, 20.0, 5)},
+                                    {make_station(10.5, 20.5, 5)}));
 }
 
 TEST(Scheduler, RejectsZeroBeams) {

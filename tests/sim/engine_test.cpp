@@ -43,6 +43,30 @@ TEST(SimEngine, EveryCreatesPeriodicEvents) {
   EXPECT_DOUBLE_EQ(engine.now(), 50.0);
 }
 
+TEST(SimEngine, EveryFiresOnExactMultiplesWithoutDrift) {
+  // Accumulating t += period drifts by an ulp per firing; 0.1 is the classic
+  // non-representable period. Every firing must land on exactly now + k *
+  // period, and the count must be exact even near until_s.
+  SimEngine engine;
+  std::vector<double> fired;
+  engine.every(0.1, 10.0, [&] { fired.push_back(engine.now()); });
+  engine.run_all();
+  ASSERT_EQ(fired.size(), 99u);  // t = 0.1 .. 9.9; 10.0 is excluded
+  for (std::size_t k = 0; k < fired.size(); ++k) {
+    EXPECT_EQ(fired[k], 0.1 * static_cast<double>(k + 1)) << "firing " << k;
+  }
+}
+
+TEST(SimEngine, EveryAnchorsAtCurrentTime) {
+  SimEngine engine;
+  std::vector<double> fired;
+  engine.at(7.0, [&] {
+    engine.every(2.0, 14.0, [&] { fired.push_back(engine.now()); });
+  });
+  engine.run_all();
+  EXPECT_EQ(fired, (std::vector<double>{9.0, 11.0, 13.0}));
+}
+
 TEST(SimEngine, RejectsPastAndNegative) {
   SimEngine engine;
   engine.at(10.0, [] {});
