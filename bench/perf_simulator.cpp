@@ -1,11 +1,17 @@
 // Simulator micro-benchmarks (google-benchmark): the hot paths every figure
 // rides on — Kepler solves, propagation, per-step visibility, mask algebra.
 //
-// Besides the google-benchmark suite, `perf_simulator --compare` runs the
-// scalar-vs-batched pipeline comparison on the canonical 500-satellite x
-// 100-site x 1-day/60s workload, verifies the batched masks are
-// bit-identical to the scalar reference, and writes a machine-readable JSON
-// report (default BENCH_perf_simulator.json; override with --out=PATH).
+// Besides the google-benchmark suite, two acceptance modes write a
+// machine-readable JSON report (default BENCH_perf_simulator.json; override
+// with --out=PATH) and exit non-zero on any bit-identity mismatch:
+//
+//   --compare            scalar-vs-batched visibility on the canonical
+//                        500-satellite x 100-site x 1-day/60s workload
+//   --compare-scheduler  run_reference vs the two-phase pipelined scheduler
+//                        on 500 satellites x 200 terminals x 20 stations x
+//                        1 day/60s across 4 parties, plus a faulted run
+//
+// Both may be passed together; the report then carries both sections.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -234,8 +240,9 @@ BENCHMARK(BM_RelayBudget);
 // --compare: the acceptance workload. 500 satellites (Walker 25x20) against
 // 100 ground sites over one day at 60 s steps, scalar reference vs the shared
 // ephemeris kernel (serial and pooled). Masks must match bit-for-bit; the
-// process exits non-zero if they do not, so CI can gate on it.
-int run_compare(const std::string& out_path) {
+// process exits non-zero if they do not, so CI can gate on it. Writes its
+// JSON object (fields only, no braces) into `out`; returns false on mismatch.
+bool run_compare(std::FILE* out) {
   const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 86400.0, 60.0);
   const cov::CoverageEngine engine(grid, 25.0);
 
@@ -311,46 +318,186 @@ int run_compare(const std::string& out_path) {
               pool.thread_count(), sec_pooled, thr_pooled, sec_reference / sec_pooled);
   std::printf("masks bit-identical: %s\n", identical ? "yes" : "NO");
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "perf_simulator: cannot open %s for writing\n",
-                 out_path.c_str());
-    return 1;
-  }
   std::fprintf(out,
-               "{\n"
-               "  \"workload\": {\"satellites\": %zu, \"sites\": %zu, \"steps\": %zu,"
+               "  \"ephemeris_compare\": {\n"
+               "    \"workload\": {\"satellites\": %zu, \"sites\": %zu, \"steps\": %zu,"
                " \"step_seconds\": 60.0},\n"
-               "  \"threads\": %zu,\n"
-               "  \"scalar_reference\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e},\n"
-               "  \"batched_serial\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e,"
+               "    \"threads\": %zu,\n"
+               "    \"scalar_reference\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e},\n"
+               "    \"batched_serial\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e,"
                " \"speedup\": %.4f},\n"
-               "  \"batched_pooled\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e,"
+               "    \"batched_pooled\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e,"
                " \"speedup\": %.4f},\n"
-               "  \"masks_identical\": %s\n"
-               "}\n",
+               "    \"masks_identical\": %s\n"
+               "  }",
                sats.size(), sites.size(), grid.count, pool.thread_count(),
                sec_reference, thr_reference, sec_batched, thr_batched,
                sec_reference / sec_batched, sec_pooled, thr_pooled,
                sec_reference / sec_pooled, identical ? "true" : "false");
-  std::fclose(out);
-  std::printf("report written to %s\n", out_path.c_str());
-  return identical ? 0 : 1;
+  return identical;
+}
+
+// --compare-scheduler: the scheduling acceptance workload. 500 satellites
+// (Walker 25x20) split across 4 parties, 200 user terminals, 20 ground
+// stations, one day at 60 s steps. The scalar reference (run_reference, the
+// pre-pipeline per-step joint scan) races the two-phase pipelined run()
+// serially and pooled; every ScheduleResult must match the reference bit for
+// bit, down to link ordering, and a faulted run over a shorter grid pins the
+// degraded-operations contract too. Returns false on any identity mismatch.
+bool run_compare_scheduler(std::FILE* out) {
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 86400.0, 60.0);
+  constexpr std::size_t kParties = 4;
+
+  constellation::WalkerShell shell;
+  shell.plane_count = 25;
+  shell.sats_per_plane = 20;
+  std::vector<constellation::Satellite> sats = shell.build(kEpoch);
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    sats[i].owner_party = static_cast<std::uint32_t>(i % kParties);
+  }
+
+  std::vector<net::Terminal> terminals;
+  terminals.reserve(200);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    net::Terminal t;
+    t.id = i;
+    t.owner_party = i % kParties;
+    t.location = orbit::Geodetic::from_degrees(
+        -52.0 + 104.0 * static_cast<double>(i % 20) / 19.0,
+        -180.0 + 360.0 * static_cast<double>(i / 20) / 10.0);
+    t.radio = net::default_user_terminal();
+    t.demand_bps = 50e6;
+    terminals.push_back(t);
+  }
+
+  std::vector<net::GroundStation> stations;
+  stations.reserve(20);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    net::GroundStation gs;
+    gs.id = i;
+    gs.owner_party = i % kParties;
+    gs.location = orbit::Geodetic::from_degrees(
+        -48.0 + 96.0 * static_cast<double>(i % 5) / 4.0,
+        -170.0 + 360.0 * static_cast<double>(i / 5) / 4.0);
+    gs.radio = net::default_ground_station();
+    stations.push_back(gs);
+  }
+
+  const net::BentPipeScheduler scheduler(net::SchedulerConfig{}, sats, terminals,
+                                         stations);
+  using clock = std::chrono::steady_clock;
+
+  // Best of three repetitions per variant: the workload runs in fractions of
+  // a second, so a single sample would fold scheduler noise into the speedup
+  // the CI regression gate keys on.
+  constexpr int kRepeats = 5;
+  const auto timed = [&](auto&& invoke) {
+    double best = 0.0;
+    net::ScheduleResult result;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const auto t0 = clock::now();
+      result = invoke();
+      const double sec = std::chrono::duration<double>(clock::now() - t0).count();
+      if (rep == 0 || sec < best) best = sec;
+    }
+    return std::pair{std::move(result), best};
+  };
+
+  const auto [reference, sec_reference] = timed(
+      [&] { return scheduler.run_reference(grid, kParties, nullptr, /*keep_steps=*/true); });
+  const auto [serial, sec_serial] =
+      timed([&] { return scheduler.run(grid, kParties, /*keep_steps=*/true); });
+  util::ThreadPool pool;
+  const auto [pooled, sec_pooled] =
+      timed([&] { return scheduler.run(grid, kParties, /*keep_steps=*/true, &pool); });
+
+  const bool identical = serial == reference && pooled == reference;
+
+  // Faulted identity on a 6 h sub-grid: outages, degradations, and station
+  // faults exercise the detach/backoff path through both schedulers.
+  const orbit::TimeGrid fault_grid =
+      orbit::TimeGrid::over_duration(kEpoch, 6.0 * 3600.0, 60.0);
+  fault::FaultTimeline faults(fault_grid, sats.size(), stations.size());
+  for (std::size_t si = 0; si < sats.size(); si += 7) {
+    const double start = static_cast<double>(si % 11) * 1800.0;
+    faults.add_satellite_outage(si, start, start + 3600.0);
+  }
+  for (std::size_t si = 3; si < sats.size(); si += 9) {
+    const double start = static_cast<double>(si % 13) * 1200.0;
+    faults.add_transponder_degradation(si, start, start + 5400.0, 0.5);
+  }
+  for (std::size_t gi = 0; gi < stations.size(); gi += 3) {
+    faults.add_station_outage(gi, 3600.0 * static_cast<double>(gi % 4), 3600.0 * 5.0);
+  }
+  const bool faulted_identical =
+      scheduler.run(fault_grid, kParties, &faults, /*keep_steps=*/true) ==
+      scheduler.run_reference(fault_grid, kParties, &faults, /*keep_steps=*/true);
+
+  std::printf(
+      "scheduler workload: %zu satellites x %zu terminals x %zu stations"
+      " x %zu steps (1 day / 60 s, %zu parties)\n",
+      sats.size(), terminals.size(), stations.size(), grid.count, kParties);
+  std::printf("scalar reference    : %8.3f s\n", sec_reference);
+  std::printf("pipelined (serial)  : %8.3f s  (%.2fx)\n", sec_serial,
+              sec_reference / sec_serial);
+  std::printf("pipelined (%2zu thr)  : %8.3f s  (%.2fx)\n", pool.thread_count(),
+              sec_pooled, sec_reference / sec_pooled);
+  std::printf("schedules bit-identical: %s   faulted: %s\n",
+              identical ? "yes" : "NO", faulted_identical ? "yes" : "NO");
+
+  std::fprintf(out,
+               "  \"scheduler_compare\": {\n"
+               "    \"workload\": {\"satellites\": %zu, \"terminals\": %zu,"
+               " \"stations\": %zu, \"parties\": %zu, \"steps\": %zu,"
+               " \"step_seconds\": 60.0},\n"
+               "    \"threads\": %zu,\n"
+               "    \"scalar_reference\": {\"seconds\": %.6f},\n"
+               "    \"pipelined_serial\": {\"seconds\": %.6f, \"speedup\": %.4f},\n"
+               "    \"pipelined_pooled\": {\"seconds\": %.6f, \"speedup\": %.4f},\n"
+               "    \"bit_identical\": %s,\n"
+               "    \"faulted_bit_identical\": %s\n"
+               "  }",
+               sats.size(), terminals.size(), stations.size(), kParties, grid.count,
+               pool.thread_count(), sec_reference, sec_serial,
+               sec_reference / sec_serial, sec_pooled, sec_reference / sec_pooled,
+               identical ? "true" : "false", faulted_identical ? "true" : "false");
+  return identical && faulted_identical;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool compare = false;
+  bool compare_scheduler = false;
   std::string out_path = "BENCH_perf_simulator.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--compare") == 0) {
       compare = true;
+    } else if (std::strcmp(argv[i], "--compare-scheduler") == 0) {
+      compare_scheduler = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     }
   }
-  if (compare) return run_compare(out_path);
+  if (compare || compare_scheduler) {
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "perf_simulator: cannot open %s for writing\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n");
+    bool ok = true;
+    if (compare) {
+      ok = run_compare(out) && ok;
+      if (compare_scheduler) std::fprintf(out, ",\n");
+    }
+    if (compare_scheduler) ok = run_compare_scheduler(out) && ok;
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    std::printf("report written to %s\n", out_path.c_str());
+    return ok ? 0 : 1;
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -55,7 +55,7 @@ std::size_t Campaign::withdraw_party(PartyId party) {
   return consortium_.withdraw_party(party);
 }
 
-EpochReport Campaign::run_epoch() {
+EpochReport Campaign::run_epoch(util::ThreadPool* pool) {
   EpochReport report;
   report.epoch = next_epoch_;
   report.window_start = clock_;
@@ -68,7 +68,7 @@ EpochReport Campaign::run_epoch() {
   const orbit::TimeGrid grid =
       orbit::TimeGrid::over_duration(clock_, config_.epoch_duration_s, config_.step_s);
   const net::BentPipeScheduler scheduler(config_.scheduler, sats, terminals_, stations_);
-  net::ScheduleResult usage = scheduler.run(grid, party_count);
+  net::ScheduleResult usage = scheduler.run(grid, party_count, /*keep_steps=*/false, pool);
   report.total_served_seconds = usage.total_served_seconds;
   report.total_unserved_seconds = usage.total_unserved_seconds;
   report.service_fairness = service_fairness(usage);

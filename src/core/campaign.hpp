@@ -26,6 +26,10 @@
 #include "orbit/time.hpp"
 #include "util/rng.hpp"
 
+namespace mpleo::util {
+class ThreadPool;
+}
+
 namespace mpleo::core {
 
 struct CampaignConfig {
@@ -65,8 +69,10 @@ class Campaign {
            std::vector<net::GroundStation> stations, CampaignConfig config,
            std::uint64_t seed);
 
-  // Runs the next epoch and returns its report.
-  EpochReport run_epoch();
+  // Runs the next epoch and returns its report. A pool parallelises the
+  // epoch's scheduling phase 1 (ephemerides, pair masks, candidate lists);
+  // the report is bit-identical for any pool size, including none.
+  EpochReport run_epoch(util::ThreadPool* pool = nullptr);
 
   // Withdraws a party effective from the next epoch; returns satellites
   // removed.

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
 
-#include "orbit/propagator.hpp"
+#include "coverage/visibility_cull.hpp"
+#include "orbit/ephemeris.hpp"
 #include "util/units.hpp"
 
 namespace mpleo::core {
@@ -51,7 +53,8 @@ std::uint64_t ProofOfCoverage::register_satellite(const constellation::Satellite
                                                   std::uint64_t consortium_seed) {
   const std::uint64_t key =
       fnv1a(&satellite.id, sizeof satellite.id, consortium_seed ^ 0x6d706c656fULL);
-  satellites_.push_back({satellite, key});
+  satellites_.push_back(
+      {satellite, key, orbit::KeplerianPropagator(satellite.elements, satellite.epoch)});
   return key;
 }
 
@@ -73,14 +76,16 @@ CoverageReceipt ProofOfCoverage::answer_challenge(constellation::SatelliteId sat
   return receipt;
 }
 
-ReceiptVerdict ProofOfCoverage::verify(const CoverageReceipt& receipt) const {
-  const RegisteredSatellite* registered = nullptr;
+const ProofOfCoverage::RegisteredSatellite* ProofOfCoverage::find(
+    constellation::SatelliteId id) const {
   for (const RegisteredSatellite& rs : satellites_) {
-    if (rs.satellite.id == receipt.satellite) {
-      registered = &rs;
-      break;
-    }
+    if (rs.satellite.id == id) return &rs;
   }
+  return nullptr;
+}
+
+ReceiptVerdict ProofOfCoverage::verify(const CoverageReceipt& receipt) const {
+  const RegisteredSatellite* registered = find(receipt.satellite);
   if (registered == nullptr) return ReceiptVerdict::kUnknownSatellite;
   if (receipt.verifier >= verifiers_.size()) return ReceiptVerdict::kUnknownVerifier;
 
@@ -90,15 +95,31 @@ ReceiptVerdict ProofOfCoverage::verify(const CoverageReceipt& receipt) const {
   if (expected != receipt.digest) return ReceiptVerdict::kBadDigest;
 
   // Geometry check: was the satellite actually above the verifier's horizon?
-  const orbit::KeplerianPropagator prop(registered->satellite.elements,
-                                        registered->satellite.epoch);
-  const orbit::StateVector state = prop.state_at(receipt.time);
+  const orbit::StateVector state = registered->propagator.state_at(receipt.time);
   const util::Vec3 ecef = orbit::eci_to_ecef(state.position, receipt.time);
   const double sin_mask = std::sin(util::deg_to_rad(config_.elevation_mask_deg));
   if (!verifiers_[receipt.verifier].visible_above(ecef, sin_mask)) {
     return ReceiptVerdict::kNotOverhead;
   }
   return ReceiptVerdict::kValid;
+}
+
+cov::StepMask ProofOfCoverage::overhead_steps(constellation::SatelliteId satellite,
+                                              std::uint32_t verifier,
+                                              const orbit::TimeGrid& grid) const {
+  const RegisteredSatellite* registered = find(satellite);
+  if (registered == nullptr) {
+    throw std::invalid_argument("ProofOfCoverage: unknown satellite");
+  }
+  if (verifier >= verifiers_.size()) {
+    throw std::invalid_argument("ProofOfCoverage: unknown verifier");
+  }
+  const orbit::EphemerisTable table =
+      orbit::EphemerisTable::compute(registered->propagator, grid);
+  const cov::VisibilityCuller culler(grid, config_.elevation_mask_deg);
+  cov::StepMask mask(grid.count);
+  culler.fill(table, verifiers_[verifier], mask);
+  return mask;
 }
 
 ReceiptVerdict ProofOfCoverage::verify_and_reward(const CoverageReceipt& receipt,

@@ -19,7 +19,9 @@
 
 #include "constellation/shell.hpp"
 #include "core/ledger.hpp"
+#include "coverage/step_mask.hpp"
 #include "orbit/geodesy.hpp"
+#include "orbit/propagator.hpp"
 #include "orbit/time.hpp"
 
 namespace mpleo::core {
@@ -67,6 +69,16 @@ class ProofOfCoverage {
   // Consortium side: full verification (digest + orbital geometry).
   [[nodiscard]] ReceiptVerdict verify(const CoverageReceipt& receipt) const;
 
+  // Challenge-window planning: the grid steps at which `satellite` clears the
+  // verifier's horizon, computed through the shared ephemeris kernel (one
+  // propagation sweep + the coverage cull) instead of a per-instant state
+  // query per candidate challenge. A receipt timestamped at a set step
+  // clears the geometry check of verify (up to propagation round-off at the
+  // exact mask boundary). Throws on unknown indices.
+  [[nodiscard]] cov::StepMask overhead_steps(constellation::SatelliteId satellite,
+                                             std::uint32_t verifier,
+                                             const orbit::TimeGrid& grid) const;
+
   // Verifies and, if valid, pays the owner account from the treasury.
   // Returns the verdict; the payment only happens on kValid.
   ReceiptVerdict verify_and_reward(const CoverageReceipt& receipt, Ledger& ledger,
@@ -84,7 +96,12 @@ class ProofOfCoverage {
   struct RegisteredSatellite {
     constellation::Satellite satellite;
     std::uint64_t key = 0;
+    // Built once at registration; every geometry check (per-receipt state
+    // query or batched overhead mask) reuses it.
+    orbit::KeplerianPropagator propagator;
   };
+
+  [[nodiscard]] const RegisteredSatellite* find(constellation::SatelliteId id) const;
 
   Config config_;
   std::vector<RegisteredSatellite> satellites_;

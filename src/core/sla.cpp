@@ -48,7 +48,9 @@ SlaReport evaluate_sla(const SlaTerms& terms, const cov::CoverageStats& coverage
 
 SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
                        std::span<const std::size_t> satellite_indices,
-                       std::size_t site_index, const fault::FaultTimeline& faults) {
+                       std::size_t site_index, const fault::FaultTimeline& faults,
+                       util::ThreadPool* pool) {
+  if (pool != nullptr) cache.precompute_all(pool);
   const cov::StepMask mask = cache.union_mask(satellite_indices, site_index, &faults);
   return evaluate_sla(terms, cache.engine().stats(mask));
 }

@@ -18,6 +18,9 @@
 namespace mpleo::fault {
 class FaultTimeline;
 }
+namespace mpleo::util {
+class ThreadPool;
+}
 
 namespace mpleo::core {
 
@@ -65,11 +68,15 @@ struct SlaReport {
 // `satellite_indices` at `site_index`: outages carve real gaps into the
 // coverage timeline, so a failure longer than max_gap_seconds violates the
 // SLA even when the orbital geometry alone would have complied. An empty
-// timeline is bit-identical to evaluating the healthy union.
+// timeline is bit-identical to evaluating the healthy union. A pool
+// precomputes the cache's visibility masks in parallel across satellites
+// first (bit-identical to the lazy serial fill); pass it when the cache is
+// cold and the catalog large.
 [[nodiscard]] SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
                                      std::span<const std::size_t> satellite_indices,
                                      std::size_t site_index,
-                                     const fault::FaultTimeline& faults);
+                                     const fault::FaultTimeline& faults,
+                                     util::ThreadPool* pool = nullptr);
 
 // Executes the penalty transfer; returns false when the provider cannot pay
 // (the shortfall is recorded by the caller — an undercollateralised provider

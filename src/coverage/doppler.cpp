@@ -1,13 +1,17 @@
 #include "coverage/doppler.hpp"
 
+#include <bit>
 #include <cmath>
 
+#include "coverage/step_mask.hpp"
+#include "coverage/visibility_cull.hpp"
 #include "orbit/propagator.hpp"
 #include "util/units.hpp"
 
 namespace mpleo::cov {
 
 std::vector<DopplerSample> doppler_profile(const constellation::Satellite& satellite,
+                                           const orbit::EphemerisTable& ephemeris,
                                            const orbit::TopocentricFrame& site,
                                            const orbit::TimeGrid& grid,
                                            double elevation_mask_deg, double carrier_hz) {
@@ -15,35 +19,56 @@ std::vector<DopplerSample> doppler_profile(const constellation::Satellite& satel
   const double mask_rad = util::deg_to_rad(elevation_mask_deg);
   const util::Vec3 omega{0.0, 0.0, util::kEarthRotationRateRadPerSec};
 
+  // Candidate steps from the shared cull; the full state vector (position +
+  // inertial velocity) is only evaluated inside passes.
+  const VisibilityCuller culler(grid, elevation_mask_deg);
+  StepMask visible(ephemeris.size());
+  culler.fill(ephemeris, site, visible);
+
   std::vector<DopplerSample> samples;
-  for (std::size_t i = 0; i < grid.count; ++i) {
-    const orbit::TimePoint t = grid.at(i);
-    const orbit::StateVector state = prop.state_at(t);
-    const double gmst = orbit::gmst_rad(t);
-    const util::Vec3 r_ecef = orbit::eci_to_ecef(state.position, gmst);
+  const std::span<const std::uint64_t> words = visible.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const std::size_t i = w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const orbit::TimePoint t = grid.at(i);
+      const orbit::StateVector state = prop.state_at(t);
+      const double gmst = orbit::gmst_rad(t);
+      const util::Vec3 r_ecef = orbit::eci_to_ecef(state.position, gmst);
 
-    const double elevation = site.elevation_rad(r_ecef);
-    if (elevation < mask_rad) continue;
+      const double elevation = site.elevation_rad(r_ecef);
+      if (elevation < mask_rad) continue;
 
-    // Velocity in the rotating frame: rotate the inertial velocity, then
-    // subtract the frame-rotation term omega x r.
-    const util::Vec3 v_rotated = orbit::eci_to_ecef(state.velocity, gmst);
-    const util::Vec3 v_ecef = v_rotated - cross(omega, r_ecef);
+      // Velocity in the rotating frame: rotate the inertial velocity, then
+      // subtract the frame-rotation term omega x r.
+      const util::Vec3 v_rotated = orbit::eci_to_ecef(state.velocity, gmst);
+      const util::Vec3 v_ecef = v_rotated - cross(omega, r_ecef);
 
-    const util::Vec3 rho = r_ecef - site.origin_ecef();
-    const double range = rho.norm();
-    const double range_rate = range > 0.0 ? dot(v_ecef, rho) / range : 0.0;
+      const util::Vec3 rho = r_ecef - site.origin_ecef();
+      const double range = rho.norm();
+      const double range_rate = range > 0.0 ? dot(v_ecef, rho) / range : 0.0;
 
-    DopplerSample sample;
-    sample.offset_seconds = grid.step_seconds * static_cast<double>(i);
-    sample.range_m = range;
-    sample.range_rate_m_per_s = range_rate;
-    sample.doppler_shift_hz =
-        -range_rate / util::kSpeedOfLightMPerSec * carrier_hz;
-    sample.elevation_rad = elevation;
-    samples.push_back(sample);
+      DopplerSample sample;
+      sample.offset_seconds = grid.step_seconds * static_cast<double>(i);
+      sample.range_m = range;
+      sample.range_rate_m_per_s = range_rate;
+      sample.doppler_shift_hz =
+          -range_rate / util::kSpeedOfLightMPerSec * carrier_hz;
+      sample.elevation_rad = elevation;
+      samples.push_back(sample);
+    }
   }
   return samples;
+}
+
+std::vector<DopplerSample> doppler_profile(const constellation::Satellite& satellite,
+                                           const orbit::TopocentricFrame& site,
+                                           const orbit::TimeGrid& grid,
+                                           double elevation_mask_deg, double carrier_hz) {
+  const orbit::KeplerianPropagator prop(satellite.elements, satellite.epoch);
+  return doppler_profile(satellite, orbit::EphemerisTable::compute(prop, grid), site,
+                         grid, elevation_mask_deg, carrier_hz);
 }
 
 double max_doppler_bound_hz(double altitude_m, double carrier_hz) {

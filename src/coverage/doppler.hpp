@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "constellation/shell.hpp"
+#include "orbit/ephemeris.hpp"
 #include "orbit/geodesy.hpp"
 #include "orbit/time.hpp"
 
@@ -23,10 +24,21 @@ struct DopplerSample {
 // Samples range, range-rate and Doppler at every grid step where the
 // satellite is above `elevation_mask_deg`. Range-rate is computed from the
 // true relative velocity in the Earth-fixed frame (satellite inertial
-// velocity corrected for frame rotation), not finite differences.
+// velocity corrected for frame rotation), not finite differences. Candidate
+// steps come from the shared ephemeris kernel's culled visibility mask, so
+// the full state is evaluated only during passes, never across the whole
+// grid.
 [[nodiscard]] std::vector<DopplerSample> doppler_profile(
     const constellation::Satellite& satellite, const orbit::TopocentricFrame& site,
     const orbit::TimeGrid& grid, double elevation_mask_deg, double carrier_hz);
+
+// Same profile reusing a precomputed ephemeris table of `satellite` over
+// `grid` (the batched pipeline's entry point — one table can feed latency,
+// Doppler and visibility without re-propagating).
+[[nodiscard]] std::vector<DopplerSample> doppler_profile(
+    const constellation::Satellite& satellite, const orbit::EphemerisTable& ephemeris,
+    const orbit::TopocentricFrame& site, const orbit::TimeGrid& grid,
+    double elevation_mask_deg, double carrier_hz);
 
 // Upper bound on |Doppler| for a circular orbit at `altitude_m`:
 // f * v_orbital / c — useful for sizing acquisition search windows.

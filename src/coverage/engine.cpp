@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 #include "fault/timeline.hpp"
@@ -12,29 +11,6 @@
 #include "util/units.hpp"
 
 namespace mpleo::cov {
-namespace {
-
-constexpr double kPi = std::numbers::pi;
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
-
-// The conservative cull rests on spherical coverage geometry: a satellite at
-// geocentric radius r with central angle psi from a site at radius R sits at
-// geocentric elevation el with psi = acos((R/r) * cos(el)) - el, monotone in
-// r. Geodetic elevation >= mask therefore implies
-//   psi <= psi_max = acos((R/r_max) * cos(mask - deflection)) - (mask - ...)
-// where `deflection` bounds the angle between the geodetic vertical (which
-// elevation masks are measured against) and the geocentric radial; on WGS-84
-// it peaks at ~0.00336 rad near 45 deg latitude.
-constexpr double kVerticalDeflection = 0.0035;
-// Extra angular margin absorbing every numeric approximation in the cull
-// chain (table round-off, incremental-rotation drift): ~1.4 km at LEO
-// radii, many orders of magnitude above the actual error.
-constexpr double kAngularSlack = 2e-4;
-// Additional margin on the latitude band (~700 m) before converting it to
-// argument-of-latitude arcs.
-constexpr double kLatitudeSlack = 1e-4;
-
-}  // namespace
 
 GroundSite GroundSite::from_city(const City& city, double weight) {
   return {city.name, orbit::TopocentricFrame(city.location), weight};
@@ -65,6 +41,7 @@ CoverageEngine::CoverageEngine(const orbit::TimeGrid& grid, double elevation_mas
       mask_deg_(elevation_mask_deg),
       mask_rad_(util::deg_to_rad(elevation_mask_deg)),
       sin_mask_(std::sin(util::deg_to_rad(elevation_mask_deg))),
+      culler_(grid, elevation_mask_deg),
       gmst_(orbit::GmstTable::for_grid(grid)) {
   if (elevation_mask_deg < 0.0 || elevation_mask_deg >= 90.0) {
     throw std::invalid_argument("CoverageEngine: elevation mask must be in [0, 90)");
@@ -73,18 +50,6 @@ CoverageEngine::CoverageEngine(const orbit::TimeGrid& grid, double elevation_mas
   if (!(grid.step_seconds > 0.0)) {
     throw std::invalid_argument("CoverageEngine: grid step must be positive");
   }
-  // Fixed trigonometry of the cull chain (see fill_visibility). With
-  // c = (R/r_max) * cos(m_eff) the cone half-angle is psi = acos(c) - theta,
-  // and cos/sin(psi) expand through the angle-difference identities using
-  // these precomputed cos/sin(theta) — no inverse trig per (table, site).
-  const double m_eff = mask_rad_ - kVerticalDeflection;
-  cull_cos_meff_ = std::cos(m_eff);
-  const double theta_t = m_eff - kAngularSlack;  // threshold cone
-  cull_cos_t_ = std::cos(theta_t);
-  cull_sin_t_ = std::sin(theta_t);
-  const double theta_b = theta_t - kLatitudeSlack;  // latitude band
-  cull_cos_b_ = std::cos(theta_b);
-  cull_sin_b_ = std::sin(theta_b);
 }
 
 orbit::EphemerisTable CoverageEngine::ephemeris(
@@ -143,153 +108,7 @@ std::vector<StepMask> CoverageEngine::visibility_masks_reference(
 
 void CoverageEngine::fill_visibility(const orbit::EphemerisTable& ephemeris,
                                      const GroundSite& site, StepMask& out) const {
-  const std::size_t n = ephemeris.size();
-  const orbit::TopocentricFrame& frame = site.frame;
-  const double* xs = ephemeris.x().data();
-  const double* ys = ephemeris.y().data();
-  const double* zs = ephemeris.z().data();
-
-  const util::Vec3& origin = frame.origin_ecef();
-  const double site_r = origin.norm();
-  const double r_max = ephemeris.max_radius_m();
-  // Degenerate geometry (site at the geocentre, or the satellite not safely
-  // above the site's radius): fall back to testing every step exactly.
-  if (!(site_r > 0.0) || !(r_max > site_r * 1.001)) {
-    for (std::size_t k = 0; k < n; ++k) {
-      if (frame.visible_above({xs[k], ys[k], zs[k]}, sin_mask_)) out.set(k);
-    }
-    return;
-  }
-
-  // Cone cull: a visible satellite has central angle psi <= acos(c) - theta_t
-  // from the site's radial direction, with c = (R/r_max) * cos(m_eff). In
-  // dot-product form dot(u_site, p) >= r * cos(psi_max); bound the right side
-  // below over r in [r_min, r_max] and leave an absolute slack so borderline
-  // steps are always tested exactly — the cull skips work, never flips bits.
-  const double inv_r = 1.0 / site_r;
-  const double ux = origin.x * inv_r;
-  const double uy = origin.y * inv_r;
-  const double uz = origin.z * inv_r;
-  const double c = (site_r / r_max) * cull_cos_meff_;  // in (0, 1)
-  const double s_c = std::sqrt(std::max(0.0, 1.0 - c * c));
-  const double cos_psi = c * cull_cos_t_ + s_c * cull_sin_t_;
-  const double r_ref = cos_psi >= 0.0 ? ephemeris.min_radius_m() : r_max;
-  const double threshold = cos_psi * r_ref - 1e-6 * r_max;
-
-  const auto exact = [&](std::size_t k) {
-    const util::Vec3 p{xs[k], ys[k], zs[k]};
-    if (ux * p.x + uy * p.y + uz * p.z >= threshold &&
-        frame.visible_above(p, sin_mask_)) {
-      out.set(k);
-    }
-  };
-
-  const orbit::LinearLatitudeArgument& arg = ephemeris.latitude_argument();
-  if (!(arg.valid && arg.du > 1e-12 && arg.sin_incl > 1e-9)) {
-    // Eccentric (or degenerate) orbit: cone-test every step; the cull still
-    // rejects the vast majority with three multiplies.
-    for (std::size_t k = 0; k < n; ++k) exact(k);
-    return;
-  }
-
-  // Circular orbit: z(k) = r * sin_i * sin(u0 + du*k) exactly, so the cone's
-  // latitude band |lat_sat - phi| <= psi_band translates into closed arcs of
-  // the argument of latitude u. Only the grid steps whose u lands in an arc
-  // can pass the cone; enumerate them directly instead of scanning. All band
-  // trigonometry expands through angle-sum identities from the precomputed
-  // constants: cos/sin(psi_band) from (c, s_c), then
-  //   sin(phi +- psi_band) = sin_phi * cos_d -+ cos_phi * sin_d.
-  const double cos_d = c * cull_cos_b_ + s_c * cull_sin_b_;
-  const double sin_d = s_c * cull_cos_b_ - c * cull_sin_b_;
-  const double sin_phi = origin.z * inv_r;  // geocentric site latitude
-  const double cos_phi = std::sqrt(std::max(0.0, 1.0 - sin_phi * sin_phi));
-  const double axial = sin_phi * cos_d;
-  const double cross = cos_phi * sin_d;
-  const double inv_sin_i = 1.0 / arg.sin_incl;
-  // sin(u) bounds of the band; a band edge past a pole (phi +- psi_band
-  // beyond +-pi/2, i.e. sin_phi beyond +-cos_d) leaves that side unbounded.
-  const double ql =
-      sin_phi <= -(cos_d - 1e-12) ? -2.0 : (axial - cross) * inv_sin_i;
-  const double qh = sin_phi >= cos_d - 1e-12 ? 2.0 : (axial + cross) * inv_sin_i;
-  if (ql > 1.0 || qh < -1.0) return;  // orbit never reaches the site's band
-
-  const bool lo_open = ql <= -1.0;
-  const bool hi_open = qh >= 1.0;
-  if (lo_open && hi_open) {
-    for (std::size_t k = 0; k < n; ++k) exact(k);
-    return;
-  }
-
-  constexpr double kArcSlack = 1e-6;  // pure FP rounding of the asin path
-  double arcs[2][2];
-  std::size_t arc_count = 1;
-  if (hi_open) {
-    // sin(u) >= ql only: one arc through the ascending maximum.
-    const double a1 = std::asin(ql);
-    arcs[0][0] = a1 - kArcSlack;
-    arcs[0][1] = kPi - a1 + kArcSlack;
-  } else if (lo_open) {
-    // sin(u) <= qh only: one arc through the descending minimum.
-    const double a2 = std::asin(qh);
-    arcs[0][0] = kPi - a2 - kArcSlack;
-    arcs[0][1] = kTwoPi + a2 + kArcSlack;
-  } else {
-    const double a1 = std::asin(ql);
-    const double a2 = std::asin(qh);
-    arcs[0][0] = a1 - kArcSlack;
-    arcs[0][1] = a2 + kArcSlack;
-    arcs[1][0] = kPi - a2 - kArcSlack;
-    arcs[1][1] = kPi - a1 + kArcSlack;
-    arc_count = 2;
-  }
-
-  // Crossing prefilter: the satellite's ECEF direction drifts at most v_ang
-  // radians per step (orbital rate plus Earth rotation), so if the middle
-  // step of a band crossing sits further than psi_max + alpha from the
-  // site's radial — alpha covering half the crossing width plus margin — no
-  // step of that crossing can be inside the cone and the whole run is
-  // skipped with a single dot product. Disabled (never skips) whenever the
-  // relaxed angle reaches pi, where the cos comparison would flip.
-  const double inv_du = 1.0 / arg.du;
-  const double sin_psi = std::max(0.0, s_c * cull_cos_t_ - c * cull_sin_t_);
-  const double widest = std::max(arcs[0][1] - arcs[0][0],
-                                 arc_count == 2 ? arcs[1][1] - arcs[1][0] : 0.0);
-  const double v_ang = arg.du + 7.2921159e-5 * grid_.step_seconds;
-  const double alpha = (0.5 * widest * inv_du + 2.0) * v_ang;
-  double relaxed_threshold = -4.0 * r_max;  // passes every crossing
-  if (alpha < kPi && cos_psi > -std::cos(alpha) + 1e-12) {
-    const double cos_rel = cos_psi * std::cos(alpha) - sin_psi * std::sin(alpha);
-    const double r_ref_rel = cos_rel >= 0.0 ? ephemeris.min_radius_m() : r_max;
-    relaxed_threshold = cos_rel * r_ref_rel - 1e-6 * r_max;
-  }
-
-  // Each arc recurs once per orbit; walk its 2*pi translates across the grid
-  // with an incremental step counter (no divisions in the loop).
-  const double u_first = arg.u0;
-  const double steps_per_orbit = kTwoPi * inv_du;
-  const double last_step = static_cast<double>(n - 1) + 1e-9;
-  for (std::size_t ai = 0; ai < arc_count; ++ai) {
-    const double lo = arcs[ai][0];
-    const double hi = arcs[ai][1];
-    // First translate whose end can reach the grid start (biased one orbit
-    // early; an empty clamped range below costs nothing).
-    const double m0 = std::ceil((u_first - hi) / kTwoPi) - 1.0;
-    double k_lo = (lo + kTwoPi * m0 - u_first) * inv_du;
-    double k_hi = k_lo + (hi - lo) * inv_du;
-    while (k_lo <= last_step) {
-      const long k_begin = std::max(0L, static_cast<long>(std::ceil(k_lo - 1e-9)));
-      const long k_end = std::min(static_cast<long>(n) - 1,
-                                  static_cast<long>(std::floor(k_hi + 1e-9)));
-      if (k_begin <= k_end) {
-        const std::size_t k_mid = static_cast<std::size_t>((k_begin + k_end) / 2);
-        if (ux * xs[k_mid] + uy * ys[k_mid] + uz * zs[k_mid] >= relaxed_threshold) {
-          for (long k = k_begin; k <= k_end; ++k) exact(static_cast<std::size_t>(k));
-        }
-      }
-      k_lo += steps_per_orbit;
-      k_hi += steps_per_orbit;
-    }
-  }
+  culler_.fill(ephemeris, site.frame, out);
 }
 
 StepMask CoverageEngine::coverage_mask(std::span<const constellation::Satellite> satellites,

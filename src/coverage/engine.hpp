@@ -20,6 +20,7 @@
 #include "constellation/shell.hpp"
 #include "coverage/cities.hpp"
 #include "coverage/step_mask.hpp"
+#include "coverage/visibility_cull.hpp"
 #include "orbit/ephemeris.hpp"
 #include "orbit/geodesy.hpp"
 #include "orbit/time.hpp"
@@ -67,6 +68,9 @@ class CoverageEngine {
   [[nodiscard]] const orbit::TimeGrid& grid() const noexcept { return grid_; }
   [[nodiscard]] double elevation_mask_deg() const noexcept { return mask_deg_; }
   [[nodiscard]] const orbit::GmstTable& gmst() const noexcept { return gmst_; }
+  // The pair-visibility cull kernel every fill rides; shared with other
+  // mask consumers (e.g. the pipelined scheduler) so they cull identically.
+  [[nodiscard]] const VisibilityCuller& culler() const noexcept { return culler_; }
 
   // One satellite propagated over the engine's grid (reusing the shared
   // GMST table). The table can serve any number of sites or consumers.
@@ -135,11 +139,7 @@ class CoverageEngine {
   double mask_deg_;
   double mask_rad_;
   double sin_mask_;
-  // Precomputed cull trigonometry (fixed once the mask is known); see
-  // fill_visibility for the derivation.
-  double cull_cos_meff_ = 1.0;
-  double cull_cos_t_ = 1.0, cull_sin_t_ = 0.0;
-  double cull_cos_b_ = 1.0, cull_sin_b_ = 0.0;
+  VisibilityCuller culler_;
   orbit::GmstTable gmst_;
 };
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "constellation/shell.hpp"
+#include "orbit/ephemeris.hpp"
 #include "orbit/geodesy.hpp"
 #include "orbit/time.hpp"
 
@@ -20,8 +21,16 @@ struct LatencyStats {
   }
 };
 
-// Samples the slant range from `site` to `satellite` at every grid step the
-// satellite is above `elevation_mask_deg`, converting to light-time.
+// Samples the slant range from `site` at every step of a precomputed
+// ephemeris where the satellite is above `elevation_mask_deg`, converting to
+// light-time. Visible steps are found through the shared zenith-cone cull,
+// so only a few percent of the grid reaches the range computation.
+[[nodiscard]] LatencyStats propagation_latency_stats(
+    const orbit::EphemerisTable& ephemeris, const orbit::TopocentricFrame& site,
+    const orbit::TimeGrid& grid, double elevation_mask_deg);
+
+// Convenience overload: propagates `satellite` over the grid through the
+// shared ephemeris kernel and delegates to the table form.
 [[nodiscard]] LatencyStats propagation_latency_stats(
     const constellation::Satellite& satellite, const orbit::TopocentricFrame& site,
     const orbit::TimeGrid& grid, double elevation_mask_deg);

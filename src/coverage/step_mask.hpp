@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "coverage/interval_set.hpp"
@@ -40,6 +41,12 @@ class StepMask {
 
   // Longest run of consecutive unset steps.
   [[nodiscard]] std::size_t longest_zero_run() const noexcept;
+
+  // Raw 64-step words, low bit = lowest step index; bits at or beyond
+  // step_count() are always zero. Word-at-a-time consumers (the pipelined
+  // scheduler's candidate walk) use this to skip empty 64-step chunks with
+  // one load instead of 64 tests.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
 
   // Converts set runs to intervals on [0, step_count*step_seconds).
   [[nodiscard]] IntervalSet to_intervals(double step_seconds) const;

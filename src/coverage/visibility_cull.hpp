@@ -1,0 +1,53 @@
+// The conservative zenith-cone visibility cull, factored out of
+// CoverageEngine so any pair-visibility consumer (the coverage fill, the
+// pipelined bent-pipe scheduler, latency/Doppler sampling) can pack
+// (satellite, site) visibility into StepMasks without owning an engine.
+//
+// The cull rests on spherical coverage geometry: a satellite at geocentric
+// radius r with central angle psi from a site at radius R sits at geocentric
+// elevation el with psi = acos((R/r) * cos(el)) - el, monotone in r.
+// Geodetic elevation >= mask therefore implies
+//   psi <= psi_max = acos((R/r_max) * cos(mask - deflection)) - (mask - ...)
+// where `deflection` bounds the angle between the geodetic vertical (which
+// elevation masks are measured against) and the geocentric radial. The cull
+// only skips work — every surviving step still runs the exact
+// visible_above test — so the filled mask is bit-identical to the
+// exhaustive per-step scan over the same ephemeris table.
+#pragma once
+
+#include "coverage/step_mask.hpp"
+#include "orbit/ephemeris.hpp"
+#include "orbit/geodesy.hpp"
+#include "orbit/time.hpp"
+
+namespace mpleo::cov {
+
+class VisibilityCuller {
+ public:
+  VisibilityCuller() = default;
+
+  // `grid` supplies the step cadence for the crossing prefilter. Masks
+  // outside [0, 90) degrees disable the cone geometry (every step is tested
+  // exactly), preserving whatever semantics the caller's sin(mask) has.
+  VisibilityCuller(const orbit::TimeGrid& grid, double elevation_mask_deg);
+
+  // sin of the elevation mask — the threshold fill() tests against.
+  [[nodiscard]] double sin_mask() const noexcept { return sin_mask_; }
+
+  // Sets in `out` (all-zero on entry) exactly the steps of `ephemeris` at
+  // which the satellite clears the mask over `frame` — identical to testing
+  // frame.visible_above(position, sin_mask()) at every step.
+  void fill(const orbit::EphemerisTable& ephemeris, const orbit::TopocentricFrame& frame,
+            StepMask& out) const;
+
+ private:
+  double step_seconds_ = 0.0;
+  double sin_mask_ = 0.0;
+  bool exhaustive_ = false;  // mask outside [0, 90): no cone, test every step
+  // Fixed trigonometry of the cull chain (see fill for the derivation).
+  double cull_cos_meff_ = 1.0;
+  double cull_cos_t_ = 1.0, cull_sin_t_ = 0.0;
+  double cull_cos_b_ = 1.0, cull_sin_b_ = 0.0;
+};
+
+}  // namespace mpleo::cov

@@ -7,13 +7,21 @@ namespace mpleo::net {
 RelayBudget compute_relay(const RadioConfig& terminal, const TransponderConfig& satellite,
                           const RadioConfig& ground_station, double uplink_distance_m,
                           double downlink_distance_m, RelayMode mode) {
+  return combine_relay(compute_link(terminal, satellite.receive, uplink_distance_m),
+                       compute_link(satellite.transmit, ground_station, downlink_distance_m),
+                       satellite, ground_station, mode);
+}
+
+RelayBudget combine_relay(const LinkBudget& uplink, const LinkBudget& downlink,
+                          const TransponderConfig& satellite,
+                          const RadioConfig& ground_station, RelayMode mode) {
   RelayBudget budget;
   budget.mode = mode;
-  budget.uplink = compute_link(terminal, satellite.receive, uplink_distance_m);
-  budget.downlink = compute_link(satellite.transmit, ground_station, downlink_distance_m);
+  budget.uplink = uplink;
+  budget.downlink = downlink;
 
-  const double snr_up = budget.uplink.snr_linear;
-  const double snr_down = budget.downlink.snr_linear;
+  const double snr_up = uplink.snr_linear;
+  const double snr_down = downlink.snr_linear;
 
   if (mode == RelayMode::kTransparent) {
     // Noise from the uplink is re-amplified onto the downlink:
@@ -27,10 +35,31 @@ RelayBudget compute_relay(const RadioConfig& terminal, const TransponderConfig& 
     // Regenerative: each hop decodes independently; the pipe is the weaker hop.
     budget.end_to_end_snr_linear = std::min(snr_up, snr_down);
     budget.end_to_end_capacity_bps =
-        std::min(budget.uplink.shannon_capacity_bps, budget.downlink.shannon_capacity_bps);
+        std::min(uplink.shannon_capacity_bps, downlink.shannon_capacity_bps);
   }
   budget.end_to_end_snr_db = linear_to_db(budget.end_to_end_snr_linear);
   return budget;
+}
+
+double relay_capacity_bps(const LinkBudget& uplink, const LinkBudget& downlink,
+                          const TransponderConfig& satellite,
+                          const RadioConfig& ground_station, RelayMode mode) {
+  return relay_capacity_bps(uplink.snr_linear, uplink.shannon_capacity_bps,
+                            downlink.snr_linear, downlink.shannon_capacity_bps, satellite,
+                            ground_station, mode);
+}
+
+double relay_capacity_bps(double uplink_snr_linear, double uplink_shannon_bps,
+                          double downlink_snr_linear, double downlink_shannon_bps,
+                          const TransponderConfig& satellite,
+                          const RadioConfig& ground_station, RelayMode mode) {
+  if (mode == RelayMode::kTransparent) {
+    const double inv = 1.0 / uplink_snr_linear + 1.0 / downlink_snr_linear;
+    return shannon_capacity_bps(
+        inv > 0.0 ? 1.0 / inv : 0.0,
+        std::min(satellite.receive.bandwidth_hz, ground_station.bandwidth_hz));
+  }
+  return std::min(uplink_shannon_bps, downlink_shannon_bps);
 }
 
 RadioConfig default_user_terminal() {

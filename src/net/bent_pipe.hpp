@@ -42,6 +42,33 @@ struct TransponderConfig {
                                         double uplink_distance_m,
                                         double downlink_distance_m, RelayMode mode);
 
+// Cascades two already-computed hop budgets into the end-to-end relay
+// budget. compute_relay is exactly compute_link on each hop followed by this
+// combine, so callers that reuse per-hop budgets across many pairings (the
+// pipelined scheduler computes each uplink once per terminal-satellite pair
+// and each downlink once per satellite-station pair) obtain capacities
+// bit-identical to calling compute_relay per triple.
+[[nodiscard]] RelayBudget combine_relay(const LinkBudget& uplink, const LinkBudget& downlink,
+                                        const TransponderConfig& satellite,
+                                        const RadioConfig& ground_station, RelayMode mode);
+
+// The capacity component of combine_relay alone — the scheduler's selection
+// metric — skipping the dB conversion of the combined SNR.
+[[nodiscard]] double relay_capacity_bps(const LinkBudget& uplink, const LinkBudget& downlink,
+                                        const TransponderConfig& satellite,
+                                        const RadioConfig& ground_station, RelayMode mode);
+
+// Same combine on raw per-hop values (snr_linear always; the per-hop Shannon
+// capacities are read only in regenerative mode, so transparent-mode callers
+// may pass zeros). This is the form the pipelined scheduler feeds from
+// HopEvaluator legs; the LinkBudget overload delegates here, keeping the
+// arithmetic — and therefore bit-identity with compute_relay — in one place.
+[[nodiscard]] double relay_capacity_bps(double uplink_snr_linear, double uplink_shannon_bps,
+                                        double downlink_snr_linear,
+                                        double downlink_shannon_bps,
+                                        const TransponderConfig& satellite,
+                                        const RadioConfig& ground_station, RelayMode mode);
+
 // Default radio chains modelled on published Ku-band LEO terminal/gateway
 // characteristics; useful for examples and benches.
 [[nodiscard]] RadioConfig default_user_terminal();

@@ -41,4 +41,25 @@ LinkBudget compute_link(const RadioConfig& tx, const RadioConfig& rx, double dis
   return budget;
 }
 
+HopEvaluator HopEvaluator::make(const RadioConfig& tx, const RadioConfig& rx) {
+  HopEvaluator hop;
+  hop.eirp_dbw = tx.eirp_dbw();
+  hop.receive_gain_dbi = rx.receive_gain_dbi;
+  hop.misc_losses_db = tx.misc_losses_db;
+  hop.noise_power_dbw = linear_to_db(util::kBoltzmannJPerK * rx.system_noise_temp_k *
+                                     rx.bandwidth_hz);
+  hop.frequency_hz = tx.frequency_hz;
+  hop.bandwidth_hz = rx.bandwidth_hz;
+  return hop;
+}
+
+double HopEvaluator::snr_linear(double distance_m) const {
+  // Same expression, same evaluation order as compute_link: any reassociation
+  // here would break the scheduler's bit-identity contract.
+  const double path_loss_db = free_space_path_loss_db(distance_m, frequency_hz);
+  const double received_power_dbw =
+      eirp_dbw - path_loss_db + receive_gain_dbi - misc_losses_db;
+  return db_to_linear(received_power_dbw - noise_power_dbw);
+}
+
 }  // namespace mpleo::net

@@ -46,4 +46,31 @@ struct LinkBudget {
 // Shannon capacity for an SNR given in linear units over `bandwidth_hz`.
 [[nodiscard]] double shannon_capacity_bps(double snr_linear, double bandwidth_hz);
 
+// Range-independent pieces of one hop, hoisted so a caller evaluating the
+// same (tx, rx) pair across many slant ranges — the pipelined scheduler does
+// this for every terminal-satellite and satellite-station pair — skips the
+// EIRP and noise-power work per call. snr_linear() replays compute_link's
+// expression over the hoisted values in the same order, so its result (and
+// shannon_bps over it) is bit-identical to the corresponding compute_link
+// field.
+struct HopEvaluator {
+  double eirp_dbw = 0.0;
+  double receive_gain_dbi = 0.0;
+  double misc_losses_db = 0.0;
+  double noise_power_dbw = 0.0;
+  double frequency_hz = 0.0;    // tx side: sets the path loss
+  double bandwidth_hz = 0.0;    // rx side: sets the Shannon capacity
+
+  [[nodiscard]] static HopEvaluator make(const RadioConfig& tx, const RadioConfig& rx);
+
+  // == compute_link(tx, rx, distance_m).snr_linear, bit for bit.
+  [[nodiscard]] double snr_linear(double distance_m) const;
+
+  // == compute_link(tx, rx, distance_m).shannon_capacity_bps when fed the
+  // snr_linear() of the same distance.
+  [[nodiscard]] double shannon_bps(double snr_linear_value) const {
+    return shannon_capacity_bps(snr_linear_value, bandwidth_hz);
+  }
+};
+
 }  // namespace mpleo::net

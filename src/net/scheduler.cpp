@@ -1,14 +1,328 @@
 #include "net/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
+#include "coverage/step_mask.hpp"
+#include "coverage/visibility_cull.hpp"
 #include "fault/timeline.hpp"
-#include "orbit/propagator.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace mpleo::net {
+namespace {
+
+// Phase 1 works one StepMask word at a time: a chunk is exactly the 64 steps
+// behind one word of every pair mask, so feasibility of a whole chunk is a
+// single AND and empty chunks cost one load.
+constexpr std::size_t kChunkSteps = 64;
+
+// One precomputed service option: for a (terminal, satellite) pair visible at
+// a step, the best (highest end-to-end capacity, lowest index on ties) healthy
+// same-party station and the resulting capacity. Beam contention is NOT
+// resolved here — that is phase 2's job — so candidates depend only on
+// geometry and faults, never on scheduling state, and chunks can be built in
+// parallel in any order.
+struct Candidate {
+  std::uint32_t terminal = 0;
+  std::uint32_t satellite = 0;
+  std::uint32_t station = 0;
+  double capacity_bps = 0.0;
+};
+
+// Candidates of one step, terminal-major with satellites ascending inside
+// each terminal (the reference scan order), plus per-terminal offsets:
+// terminal ti owns cands[offsets[ti] .. offsets[ti + 1]).
+struct StepCandidates {
+  std::vector<Candidate> cands;
+  std::vector<std::uint32_t> offsets;
+
+  void reset(std::size_t terminal_count) {
+    cands.clear();
+    offsets.assign(terminal_count + 1, 0);
+  }
+};
+
+// A downlink leg toward one station, cached per (satellite, step) so the
+// satellite->station leg is computed once instead of once per terminal. Only
+// the values relay_capacity_bps reads are kept; shannon_bps stays zero in
+// transparent mode, where the combine never looks at it.
+struct StationBudget {
+  std::uint32_t station = 0;
+  double snr_linear = 0.0;
+  double shannon_bps = 0.0;
+};
+
+// Read-only phase-1 inputs (all shared across chunk workers).
+struct PipelineContext {
+  const SchedulerConfig& config;
+  std::span<const constellation::Satellite> satellites;
+  std::span<const Terminal> terminals;
+  std::span<const GroundStation> stations;
+  std::span<const orbit::TopocentricFrame> terminal_frames;
+  std::span<const orbit::TopocentricFrame> station_frames;
+  const orbit::EphemerisSet& ephemerides;
+  // Pair visibility, outage-subtracted for stations:
+  //   terminal_vis[si * terminals.size() + ti], station_vis[si * stations.size() + gi].
+  std::span<const cov::StepMask> terminal_vis;
+  std::span<const cov::StepMask> station_vis;
+  // party_avail[party * satellites.size() + si]: steps where satellite si can
+  // reach at least one healthy station of `party` — the word that gates all
+  // uplink work for that party's terminals.
+  std::span<const cov::StepMask> party_avail;
+  // Range-independent hop pieces, hoisted once per run: uplink_hops[ti] is
+  // terminal ti -> transponder receive, downlink_hops[gi] is transponder
+  // transmit -> station gi.
+  std::span<const HopEvaluator> uplink_hops;
+  std::span<const HopEvaluator> downlink_hops;
+  // Per-hop Shannon terms are only consumed by the regenerative combine.
+  bool regenerative = false;
+};
+
+// Per-worker scratch for fill_chunk, reused across the chunks a wave slot
+// processes so the (step, satellite) downlink lists keep their capacity
+// instead of reallocating tens of thousands of small vectors per chunk.
+struct FillScratch {
+  std::vector<std::vector<StationBudget>> downlinks;
+
+  void reset(std::size_t slots) {
+    if (downlinks.size() < slots) downlinks.resize(slots);
+    for (std::size_t i = 0; i < slots; ++i) downlinks[i].clear();
+  }
+};
+
+// Builds the candidate lists of steps [chunk_begin, chunk_begin + count) into
+// out[0..count). Pure function of the context — no scheduling state.
+void fill_chunk(const PipelineContext& ctx, std::size_t chunk_begin, std::size_t count,
+                std::span<StepCandidates> out, FillScratch& scratch) {
+  const std::size_t sat_count = ctx.satellites.size();
+  const std::size_t term_count = ctx.terminals.size();
+  const std::size_t station_count = ctx.stations.size();
+  const std::size_t word = chunk_begin / kChunkSteps;
+
+  for (std::size_t b = 0; b < count; ++b) out[b].reset(term_count);
+
+  // Downlink legs first: one budget per (satellite, station, step) with both
+  // the pair visible and the station healthy. Station order inside each
+  // (step, satellite) list stays ascending — the reference tie-break order.
+  scratch.reset(count * sat_count);
+  std::vector<std::vector<StationBudget>>& downlinks = scratch.downlinks;
+  for (std::size_t si = 0; si < sat_count; ++si) {
+    const orbit::EphemerisTable& table = ctx.ephemerides.table(si);
+    for (std::size_t gi = 0; gi < station_count; ++gi) {
+      std::uint64_t bits = ctx.station_vis[si * station_count + gi].words()[word];
+      while (bits != 0) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::size_t step = chunk_begin + b;
+        const util::Vec3 pos = table.position_ecef(step);
+        const double snr =
+            ctx.downlink_hops[gi].snr_linear(ctx.station_frames[gi].range_m(pos));
+        downlinks[b * sat_count + si].push_back(
+            {static_cast<std::uint32_t>(gi), snr,
+             ctx.regenerative ? ctx.downlink_hops[gi].shannon_bps(snr) : 0.0});
+      }
+    }
+  }
+
+  // Uplink legs + combine, gated so a terminal-satellite budget is computed
+  // only at steps where the pair is visible AND the terminal's party has a
+  // reachable station through that satellite (one word-AND per pair-chunk).
+  for (std::size_t ti = 0; ti < term_count; ++ti) {
+    const Terminal& term = ctx.terminals[ti];
+    const std::uint32_t party = term.owner_party;
+    const cov::StepMask* avail = &ctx.party_avail[party * sat_count];
+    for (std::size_t si = 0; si < sat_count; ++si) {
+      std::uint64_t bits = ctx.terminal_vis[si * term_count + ti].words()[word] &
+                           avail[si].words()[word];
+      if (bits == 0) continue;
+      const orbit::EphemerisTable& table = ctx.ephemerides.table(si);
+      while (bits != 0) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::size_t step = chunk_begin + b;
+        const util::Vec3 pos = table.position_ecef(step);
+        const double up_snr =
+            ctx.uplink_hops[ti].snr_linear(ctx.terminal_frames[ti].range_m(pos));
+        const double up_shannon =
+            ctx.regenerative ? ctx.uplink_hops[ti].shannon_bps(up_snr) : 0.0;
+        double best_capacity = 0.0;
+        std::uint32_t best_gs = 0;
+        bool found = false;
+        for (const StationBudget& sb : downlinks[b * sat_count + si]) {
+          if (ctx.stations[sb.station].owner_party != party) continue;
+          const double capacity =
+              relay_capacity_bps(up_snr, up_shannon, sb.snr_linear, sb.shannon_bps,
+                                 ctx.config.transponder,
+                                 ctx.stations[sb.station].radio, ctx.config.relay_mode);
+          if (capacity > best_capacity) {
+            best_capacity = capacity;
+            best_gs = sb.station;
+            found = true;
+          }
+        }
+        if (found) {
+          out[b].cands.push_back({static_cast<std::uint32_t>(ti),
+                                  static_cast<std::uint32_t>(si), best_gs,
+                                  best_capacity});
+        }
+      }
+    }
+    for (std::size_t b = 0; b < count; ++b) {
+      out[b].offsets[ti + 1] = static_cast<std::uint32_t>(out[b].cands.size());
+    }
+  }
+}
+
+// Phase-2 inputs: the step-invariant scheduling state.
+struct ConsumeContext {
+  const SchedulerConfig& config;
+  std::span<const constellation::Satellite> satellites;
+  std::span<const Terminal> terminals;
+  std::span<const std::size_t> spare_order;
+};
+
+// Sequentially allocates beams for one step from its candidate list. Mirrors
+// schedule_step exactly: same two passes, same strict-> maximisation, same
+// tie-breaks — a candidate list entry stands in for the (si, best-station)
+// column of the reference's joint scan, so the selected links and their
+// order are bit-identical.
+StepSchedule consume_step(const ConsumeContext& ctx, const StepCandidates& sc,
+                          std::size_t step, const fault::FaultTimeline* faults,
+                          std::span<const std::uint8_t> blocked_terminals) {
+  StepSchedule schedule;
+  schedule.step = step;
+
+  const bool faulted = faults != nullptr && !faults->empty();
+  std::vector<int> beams_left(ctx.satellites.size(), ctx.config.beams_per_satellite);
+  if (faulted) {
+    for (std::size_t si = 0; si < ctx.satellites.size(); ++si) {
+      beams_left[si] = faults->degraded_beam_count(si, step, ctx.config.beams_per_satellite);
+    }
+  }
+
+  std::vector<std::uint8_t> served(ctx.terminals.size(), 0);
+  for (const bool spare_pass : {false, true}) {
+    for (std::size_t order_index = 0; order_index < ctx.terminals.size(); ++order_index) {
+      const std::size_t ti = spare_pass ? ctx.spare_order[order_index] : order_index;
+      if (ti < blocked_terminals.size() && blocked_terminals[ti] != 0) continue;
+      if (served[ti] != 0) continue;
+
+      const std::uint32_t party = ctx.terminals[ti].owner_party;
+      double best_capacity = 0.0;
+      std::size_t best_sat = 0, best_gs = 0;
+      bool found = false;
+      for (std::uint32_t k = sc.offsets[ti]; k < sc.offsets[ti + 1]; ++k) {
+        const Candidate& cand = sc.cands[k];
+        if (beams_left[cand.satellite] <= 0) continue;
+        const bool own = ctx.satellites[cand.satellite].owner_party == party;
+        if (own == spare_pass) continue;  // pass 0: own only; pass 1: spare only
+        if (cand.capacity_bps > best_capacity) {
+          best_capacity = cand.capacity_bps;
+          best_sat = cand.satellite;
+          best_gs = cand.station;
+          found = true;
+        }
+      }
+      if (found) {
+        --beams_left[best_sat];
+        served[ti] = 1;
+        schedule.links.push_back({ti, best_sat, best_gs, best_capacity,
+                                  ctx.satellites[best_sat].owner_party != party});
+      }
+    }
+  }
+
+  for (std::size_t ti = 0; ti < ctx.terminals.size(); ++ti) {
+    if (served[ti] == 0) schedule.unserved_terminals.push_back(ti);
+  }
+  return schedule;
+}
+
+// Degraded-operations state shared by run and run_reference: who served each
+// terminal last step, and how long each terminal still sits in
+// re-acquisition backoff. All of it stays inert (and the sweep bit-identical
+// to the no-fault path) when faults are null or empty.
+struct DetachState {
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> prev_satellite;
+  std::vector<std::uint32_t> prev_station;
+  std::vector<std::size_t> backoff_remaining;
+  std::vector<std::uint8_t> blocked;
+
+  explicit DetachState(std::size_t terminal_count)
+      : prev_satellite(terminal_count, kNone),
+        prev_station(terminal_count, kNone),
+        backoff_remaining(terminal_count, 0),
+        blocked(terminal_count, 0) {}
+
+  // A terminal whose serving satellite or station just went down is
+  // failure-force-detached: it must re-acquire, which costs
+  // reacquisition_backoff_steps of no service. Elevation-driven loss (the
+  // satellite flying out of view) stays a free handover.
+  void pre_step(const fault::FaultTimeline& faults, std::size_t step,
+                std::size_t backoff_steps, double dt_step, ScheduleResult& result) {
+    for (std::size_t ti = 0; ti < blocked.size(); ++ti) {
+      if (prev_satellite[ti] != kNone &&
+          (!faults.satellite_available(prev_satellite[ti], step) ||
+           (prev_station[ti] != kNone &&
+            !faults.station_available(prev_station[ti], step)))) {
+        ++result.failure_forced_detaches;
+        backoff_remaining[ti] = std::max(backoff_remaining[ti], backoff_steps);
+        prev_satellite[ti] = kNone;
+        prev_station[ti] = kNone;
+      }
+      blocked[ti] = backoff_remaining[ti] > 0 ? 1 : 0;
+      if (blocked[ti]) result.reacquisition_wait_seconds += dt_step;
+    }
+  }
+
+  void post_step(const StepSchedule& schedule) {
+    for (std::size_t ti = 0; ti < blocked.size(); ++ti) {
+      if (backoff_remaining[ti] > 0) --backoff_remaining[ti];
+      prev_satellite[ti] = kNone;
+      prev_station[ti] = kNone;
+    }
+    for (const LinkAssignment& link : schedule.links) {
+      prev_satellite[link.terminal_index] =
+          static_cast<std::uint32_t>(link.satellite_index);
+      prev_station[link.terminal_index] =
+          static_cast<std::uint32_t>(link.station_index);
+    }
+  }
+};
+
+// Folds one step's schedule into the per-party aggregates.
+void accumulate_step(const StepSchedule& schedule, std::span<const Terminal> terminals,
+                     std::span<const constellation::Satellite> satellites, double dt_step,
+                     ScheduleResult& result) {
+  for (const LinkAssignment& link : schedule.links) {
+    const std::uint32_t term_party = terminals[link.terminal_index].owner_party;
+    const std::uint32_t sat_party = satellites[link.satellite_index].owner_party;
+    const double throughput_bytes =
+        std::min(link.capacity_bps, terminals[link.terminal_index].demand_bps) *
+        dt_step / 8.0;
+    if (link.spare) {
+      result.per_party[term_party].spare_used_seconds += dt_step;
+      result.per_party[term_party].bytes_received_from_others += throughput_bytes;
+      if (sat_party != constellation::Satellite::kUnowned) {
+        result.per_party[sat_party].spare_provided_seconds += dt_step;
+        result.per_party[sat_party].bytes_carried_for_others += throughput_bytes;
+      }
+    } else {
+      result.per_party[term_party].own_link_seconds += dt_step;
+    }
+    result.total_served_seconds += dt_step;
+  }
+  for (std::size_t ti : schedule.unserved_terminals) {
+    result.per_party[terminals[ti].owner_party].unserved_terminal_seconds += dt_step;
+    result.total_unserved_seconds += dt_step;
+  }
+}
+
+}  // namespace
 
 BentPipeScheduler::BentPipeScheduler(SchedulerConfig config,
                                      std::vector<constellation::Satellite> satellites,
@@ -51,6 +365,21 @@ BentPipeScheduler::BentPipeScheduler(SchedulerConfig config,
   for (const Terminal& t : terminals_) terminal_frames_.emplace_back(t.location);
   station_frames_.reserve(stations_.size());
   for (const GroundStation& gs : stations_) station_frames_.emplace_back(gs.location);
+
+  spare_order_.resize(terminals_.size());
+  for (std::size_t i = 0; i < spare_order_.size(); ++i) spare_order_[i] = i;
+  if (!config_.spare_priority_by_party.empty()) {
+    std::stable_sort(spare_order_.begin(), spare_order_.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       const auto& weights = config_.spare_priority_by_party;
+                       auto weight_of = [&weights](const Terminal& t) {
+                         return t.owner_party < weights.size()
+                                    ? weights[t.owner_party]
+                                    : 0.0;
+                       };
+                       return weight_of(terminals_[a]) > weight_of(terminals_[b]);
+                     });
+  }
 }
 
 StepSchedule BentPipeScheduler::schedule_step(std::span<const util::Vec3> satellite_ecef,
@@ -73,35 +402,16 @@ StepSchedule BentPipeScheduler::schedule_step(
     }
   }
 
-  // Spare-pass service order: by configured party priority (descending),
-  // stable by terminal index. Own-pass order stays index order.
-  std::vector<std::size_t> spare_order(terminals_.size());
-  for (std::size_t i = 0; i < spare_order.size(); ++i) spare_order[i] = i;
-  if (!config_.spare_priority_by_party.empty()) {
-    std::stable_sort(spare_order.begin(), spare_order.end(),
-                     [this](std::size_t a, std::size_t b) {
-                       const auto& weights = config_.spare_priority_by_party;
-                       auto weight_of = [&weights](const Terminal& t) {
-                         return t.owner_party < weights.size()
-                                    ? weights[t.owner_party]
-                                    : 0.0;
-                       };
-                       return weight_of(terminals_[a]) > weight_of(terminals_[b]);
-                     });
-  }
-
   // Two passes: own-satellite links first (owner priority), then spare
-  // capacity on anyone's satellite.
+  // capacity on anyone's satellite. Terminals served in the first pass are
+  // tracked in a flat bitmap (not a scan over the links granted so far).
+  std::vector<std::uint8_t> served(terminals_.size(), 0);
   for (const bool spare_pass : {false, true}) {
     for (std::size_t order_index = 0; order_index < terminals_.size(); ++order_index) {
-      const std::size_t ti = spare_pass ? spare_order[order_index] : order_index;
+      const std::size_t ti = spare_pass ? spare_order_[order_index] : order_index;
       // Terminals waiting out a re-acquisition backoff take no service.
       if (ti < blocked_terminals.size() && blocked_terminals[ti] != 0) continue;
-      // Skip terminals already served in the first pass.
-      const bool already = std::any_of(
-          schedule.links.begin(), schedule.links.end(),
-          [ti](const LinkAssignment& l) { return l.terminal_index == ti; });
-      if (already) continue;
+      if (served[ti] != 0) continue;
 
       const Terminal& term = terminals_[ti];
       const orbit::TopocentricFrame& term_frame = terminal_frames_[ti];
@@ -139,6 +449,7 @@ StepSchedule BentPipeScheduler::schedule_step(
 
       if (found) {
         --beams_left[best_sat];
+        served[ti] = 1;
         schedule.links.push_back({ti, best_sat, best_gs, best_capacity,
                                   satellites_[best_sat].owner_party != term.owner_party});
       }
@@ -146,22 +457,12 @@ StepSchedule BentPipeScheduler::schedule_step(
   }
 
   for (std::size_t ti = 0; ti < terminals_.size(); ++ti) {
-    const bool served = std::any_of(
-        schedule.links.begin(), schedule.links.end(),
-        [ti](const LinkAssignment& l) { return l.terminal_index == ti; });
-    if (!served) schedule.unserved_terminals.push_back(ti);
+    if (served[ti] == 0) schedule.unserved_terminals.push_back(ti);
   }
   return schedule;
 }
 
-ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t party_count,
-                                      bool keep_steps) const {
-  return run(grid, party_count, nullptr, keep_steps);
-}
-
-ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t party_count,
-                                      const fault::FaultTimeline* faults,
-                                      bool keep_steps) const {
+void BentPipeScheduler::validate_owners(std::size_t party_count) const {
   for (const Terminal& t : terminals_) {
     if (t.owner_party >= party_count) {
       throw std::invalid_argument("BentPipeScheduler::run: terminal owner out of range");
@@ -172,102 +473,198 @@ ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t p
       throw std::invalid_argument("BentPipeScheduler::run: satellite owner out of range");
     }
   }
+}
+
+orbit::EphemerisSet BentPipeScheduler::ephemerides(const orbit::TimeGrid& grid,
+                                                   util::ThreadPool* pool) const {
+  std::vector<orbit::EphemerisSpec> specs;
+  specs.reserve(satellites_.size());
+  for (const constellation::Satellite& s : satellites_) {
+    specs.push_back({s.elements, s.epoch, orbit::Perturbation::kJ2Secular});
+  }
+  return orbit::EphemerisSet::compute(specs, grid, pool);
+}
+
+ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t party_count,
+                                      bool keep_steps, util::ThreadPool* pool) const {
+  return run(grid, party_count, nullptr, keep_steps, pool);
+}
+
+ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t party_count,
+                                      const fault::FaultTimeline* faults, bool keep_steps,
+                                      util::ThreadPool* pool) const {
+  validate_owners(party_count);
 
   ScheduleResult result;
   result.per_party.resize(party_count);
+  const std::size_t step_total = grid.count;
+  if (step_total == 0) return result;
 
-  const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
-  std::vector<orbit::KeplerianPropagator> props;
-  props.reserve(satellites_.size());
-  for (const constellation::Satellite& s : satellites_) {
-    props.emplace_back(s.elements, s.epoch);
+  const std::size_t sat_count = satellites_.size();
+  const std::size_t term_count = terminals_.size();
+  const std::size_t station_count = stations_.size();
+  const bool faulted = faults != nullptr && !faults->empty();
+
+  // Every satellite propagated once through the shared ephemeris kernel;
+  // both phases (and run_reference) read positions from these tables.
+  const orbit::EphemerisSet eph = ephemerides(grid, pool);
+
+  // Pair visibility masks through the coverage cull. The cull only skips
+  // work — each set bit passed the exact visible_above test the reference
+  // runs — so a mask word is precisely 64 reference visibility answers.
+  const cov::VisibilityCuller culler(grid, config_.elevation_mask_deg);
+  std::vector<cov::StepMask> terminal_vis(sat_count * term_count,
+                                          cov::StepMask(step_total));
+  std::vector<cov::StepMask> station_vis(sat_count * station_count,
+                                         cov::StepMask(step_total));
+  const auto fill_pair_masks = [&](std::size_t si) {
+    const orbit::EphemerisTable& table = eph.table(si);
+    for (std::size_t ti = 0; ti < term_count; ++ti) {
+      culler.fill(table, terminal_frames_[ti], terminal_vis[si * term_count + ti]);
+    }
+    for (std::size_t gi = 0; gi < station_count; ++gi) {
+      culler.fill(table, station_frames_[gi], station_vis[si * station_count + gi]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(sat_count, fill_pair_masks);
+  } else {
+    for (std::size_t si = 0; si < sat_count; ++si) fill_pair_masks(si);
   }
+
+  // Station outages come off the pair masks up front, so phase 1 never
+  // offers a downed station. Steps at or beyond the timeline's own grid
+  // report healthy (the station_available contract).
+  if (faulted) {
+    for (std::size_t gi = 0; gi < station_count; ++gi) {
+      const cov::StepMask* outage = faults->station_outage_steps(gi);
+      if (outage == nullptr) continue;
+      cov::StepMask clipped(step_total);
+      const std::size_t limit = std::min(step_total, outage->step_count());
+      for (std::size_t step = 0; step < limit; ++step) {
+        if (outage->test(step)) clipped.set(step);
+      }
+      for (std::size_t si = 0; si < sat_count; ++si) {
+        station_vis[si * station_count + gi].subtract(clipped);
+      }
+    }
+  }
+
+  // Per-(party, satellite) availability: the union of the party's healthy
+  // station legs through that satellite. Stations owned by parties outside
+  // [0, party_count) can never match a (validated) terminal owner, so they
+  // contribute to no mask — exactly the reference's owner filter.
+  std::vector<cov::StepMask> party_avail(party_count * sat_count,
+                                         cov::StepMask(step_total));
+  for (std::size_t gi = 0; gi < station_count; ++gi) {
+    const std::uint32_t party = stations_[gi].owner_party;
+    if (party >= party_count) continue;
+    for (std::size_t si = 0; si < sat_count; ++si) {
+      party_avail[party * sat_count + si] |= station_vis[si * station_count + gi];
+    }
+  }
+
+  std::vector<HopEvaluator> uplink_hops;
+  uplink_hops.reserve(term_count);
+  for (const Terminal& terminal : terminals_) {
+    uplink_hops.push_back(HopEvaluator::make(terminal.radio, config_.transponder.receive));
+  }
+  std::vector<HopEvaluator> downlink_hops;
+  downlink_hops.reserve(station_count);
+  for (const GroundStation& station : stations_) {
+    downlink_hops.push_back(HopEvaluator::make(config_.transponder.transmit, station.radio));
+  }
+
+  const PipelineContext ctx{config_,         satellites_,    terminals_,
+                            stations_,       terminal_frames_, station_frames_,
+                            eph,             terminal_vis,   station_vis,
+                            party_avail,     uplink_hops,    downlink_hops,
+                            config_.relay_mode == RelayMode::kRegenerative};
+  const ConsumeContext cctx{config_, satellites_, terminals_, spare_order_};
+
+  // Waves of chunks: phase 1 builds a wave's candidate lists (parallel over
+  // chunks when pooled), phase 2 drains it in step order. Buffers are reused
+  // across waves, bounding memory; each chunk writes only its own slot, so
+  // the result is bit-identical for any wave size or pool size.
+  const std::size_t chunk_total = (step_total + kChunkSteps - 1) / kChunkSteps;
+  const std::size_t wave_slots =
+      std::min(chunk_total, pool != nullptr
+                                ? std::max<std::size_t>(2 * pool->thread_count(), 8)
+                                : std::size_t{4});
+  std::vector<std::vector<StepCandidates>> wave(wave_slots);
+  std::vector<FillScratch> scratch(wave_slots);
+
+  DetachState detach(term_count);
+  const double dt_step = grid.step_seconds;
+
+  for (std::size_t wave_begin = 0; wave_begin < chunk_total; wave_begin += wave_slots) {
+    const std::size_t batch = std::min(wave_slots, chunk_total - wave_begin);
+    const auto build = [&](std::size_t slot) {
+      const std::size_t begin = (wave_begin + slot) * kChunkSteps;
+      const std::size_t count = std::min(kChunkSteps, step_total - begin);
+      wave[slot].resize(count);
+      fill_chunk(ctx, begin, count, wave[slot], scratch[slot]);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(batch, build);
+    } else {
+      for (std::size_t slot = 0; slot < batch; ++slot) build(slot);
+    }
+
+    for (std::size_t slot = 0; slot < batch; ++slot) {
+      const std::size_t begin = (wave_begin + slot) * kChunkSteps;
+      for (std::size_t b = 0; b < wave[slot].size(); ++b) {
+        const std::size_t step = begin + b;
+        if (faulted) {
+          detach.pre_step(*faults, step, config_.reacquisition_backoff_steps, dt_step,
+                          result);
+        }
+        StepSchedule schedule = consume_step(
+            cctx, wave[slot][b], step, faults,
+            faulted ? std::span<const std::uint8_t>(detach.blocked)
+                    : std::span<const std::uint8_t>{});
+        if (faulted) detach.post_step(schedule);
+        accumulate_step(schedule, terminals_, satellites_, dt_step, result);
+        if (keep_steps) result.steps.push_back(std::move(schedule));
+      }
+    }
+  }
+  return result;
+}
+
+ScheduleResult BentPipeScheduler::run_reference(const orbit::TimeGrid& grid,
+                                                std::size_t party_count,
+                                                const fault::FaultTimeline* faults,
+                                                bool keep_steps) const {
+  validate_owners(party_count);
+
+  ScheduleResult result;
+  result.per_party.resize(party_count);
+  if (grid.count == 0) return result;
+
+  // Same shared ephemeris tables as run(): the two paths see bit-identical
+  // satellite positions, which is what makes full-result bit-identity
+  // possible at all.
+  const orbit::EphemerisSet eph = ephemerides(grid, nullptr);
 
   std::vector<util::Vec3> positions(satellites_.size());
   const double dt_step = grid.step_seconds;
-
-  // Degraded-operations state: who served each terminal last step, and how
-  // long each terminal still sits in re-acquisition backoff. All of it stays
-  // inert (and the loop bit-identical to the no-fault path) when `faults` is
-  // null or empty.
   const bool faulted = faults != nullptr && !faults->empty();
-  constexpr std::uint32_t kNone = 0xFFFFFFFFu;
-  std::vector<std::uint32_t> prev_satellite(terminals_.size(), kNone);
-  std::vector<std::uint32_t> prev_station(terminals_.size(), kNone);
-  std::vector<std::size_t> backoff_remaining(terminals_.size(), 0);
-  std::vector<std::uint8_t> blocked(terminals_.size(), 0);
+  DetachState detach(terminals_.size());
 
   for (std::size_t step = 0; step < grid.count; ++step) {
     for (std::size_t si = 0; si < satellites_.size(); ++si) {
-      const double dt = grid.at(step).seconds_since(satellites_[si].epoch);
-      const util::Vec3 eci = props[si].position_eci_at_offset(dt);
-      const double c = gmst.cos_gmst[step];
-      const double s = gmst.sin_gmst[step];
-      positions[si] = {c * eci.x + s * eci.y, -s * eci.x + c * eci.y, eci.z};
+      positions[si] = eph.table(si).position_ecef(step);
     }
 
     if (faulted) {
-      // A terminal whose serving satellite or station just went down is
-      // failure-force-detached: it must re-acquire, which costs
-      // reacquisition_backoff_steps of no service. Elevation-driven loss
-      // (the satellite flying out of view) stays a free handover.
-      for (std::size_t ti = 0; ti < terminals_.size(); ++ti) {
-        if (prev_satellite[ti] != kNone &&
-            (!faults->satellite_available(prev_satellite[ti], step) ||
-             (prev_station[ti] != kNone &&
-              !faults->station_available(prev_station[ti], step)))) {
-          ++result.failure_forced_detaches;
-          backoff_remaining[ti] =
-              std::max(backoff_remaining[ti], config_.reacquisition_backoff_steps);
-          prev_satellite[ti] = kNone;
-          prev_station[ti] = kNone;
-        }
-        blocked[ti] = backoff_remaining[ti] > 0 ? 1 : 0;
-        if (blocked[ti]) result.reacquisition_wait_seconds += dt_step;
-      }
+      detach.pre_step(*faults, step, config_.reacquisition_backoff_steps, dt_step,
+                      result);
     }
-
-    StepSchedule schedule =
-        faulted ? schedule_step(positions, step, faults, blocked)
-                : schedule_step(positions, step);
-
-    if (faulted) {
-      for (std::size_t ti = 0; ti < terminals_.size(); ++ti) {
-        if (backoff_remaining[ti] > 0) --backoff_remaining[ti];
-        prev_satellite[ti] = kNone;
-        prev_station[ti] = kNone;
-      }
-      for (const LinkAssignment& link : schedule.links) {
-        prev_satellite[link.terminal_index] =
-            static_cast<std::uint32_t>(link.satellite_index);
-        prev_station[link.terminal_index] =
-            static_cast<std::uint32_t>(link.station_index);
-      }
-    }
-
-    for (const LinkAssignment& link : schedule.links) {
-      const std::uint32_t term_party = terminals_[link.terminal_index].owner_party;
-      const std::uint32_t sat_party = satellites_[link.satellite_index].owner_party;
-      const double throughput_bytes =
-          std::min(link.capacity_bps, terminals_[link.terminal_index].demand_bps) *
-          dt_step / 8.0;
-      if (link.spare) {
-        result.per_party[term_party].spare_used_seconds += dt_step;
-        result.per_party[term_party].bytes_received_from_others += throughput_bytes;
-        if (sat_party != constellation::Satellite::kUnowned) {
-          result.per_party[sat_party].spare_provided_seconds += dt_step;
-          result.per_party[sat_party].bytes_carried_for_others += throughput_bytes;
-        }
-      } else {
-        result.per_party[term_party].own_link_seconds += dt_step;
-      }
-      result.total_served_seconds += dt_step;
-    }
-    for (std::size_t ti : schedule.unserved_terminals) {
-      result.per_party[terminals_[ti].owner_party].unserved_terminal_seconds += dt_step;
-      result.total_unserved_seconds += dt_step;
-    }
-
+    StepSchedule schedule = faulted ? schedule_step(positions, step, faults, detach.blocked)
+                                    : schedule_step(positions, step);
+    if (faulted) detach.post_step(schedule);
+    accumulate_step(schedule, terminals_, satellites_, dt_step, result);
     if (keep_steps) result.steps.push_back(std::move(schedule));
   }
   return result;

@@ -7,6 +7,22 @@
 // whatever remains is *spare capacity* offered to other parties — the core
 // sharing mechanism of MP-LEO. The aggregate accounting this produces (who
 // carried whose traffic for how long) is what core/ledger bills from.
+//
+// run() executes a two-phase pipeline:
+//   Phase 1 (parallel over step chunks): propagate every satellite once
+//   through the shared ephemeris kernel, cull (satellite, terminal) and
+//   (satellite, station) pairs with the coverage engine's conservative
+//   zenith-cone prefilter into StepMask bitmaps, and precompute per-step
+//   candidate lists — for each visible (terminal, satellite) pair the best
+//   same-party station with its end-to-end relay capacity. Link budgets are
+//   evaluated only for triples whose terminal leg AND some party station leg
+//   are simultaneously up (a word-level AND of pair masks), and each leg is
+//   computed once per pair instead of once per triple.
+//   Phase 2 (sequential, cheap): sweep steps in order consuming the
+//   candidate lists for beam allocation, spare-priority ordering,
+//   failure-forced detach, and re-acquisition backoff bookkeeping.
+// The result is bit-identical to run_reference — the retained scalar
+// per-triple scan — on both the faulted and unfaulted paths.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +38,9 @@
 
 namespace mpleo::fault {
 class FaultTimeline;
+}
+namespace mpleo::util {
+class ThreadPool;
 }
 
 namespace mpleo::net {
@@ -56,12 +75,16 @@ struct LinkAssignment {
   // True when the satellite's owner differs from the terminal's owner, i.e.
   // the link rides spare capacity.
   bool spare = false;
+
+  friend bool operator==(const LinkAssignment&, const LinkAssignment&) = default;
 };
 
 struct StepSchedule {
   std::size_t step = 0;
   std::vector<LinkAssignment> links;
   std::vector<std::size_t> unserved_terminals;
+
+  friend bool operator==(const StepSchedule&, const StepSchedule&) = default;
 };
 
 // Aggregates over a whole grid run, per party.
@@ -72,6 +95,8 @@ struct PartyUsage {
   double bytes_carried_for_others = 0.0;
   double bytes_received_from_others = 0.0;
   double unserved_terminal_seconds = 0.0;
+
+  friend bool operator==(const PartyUsage&, const PartyUsage&) = default;
 };
 
 struct ScheduleResult {
@@ -84,6 +109,8 @@ struct ScheduleResult {
   // out the re-acquisition backoff after such a drop.
   std::size_t failure_forced_detaches = 0;
   double reacquisition_wait_seconds = 0.0;
+
+  friend bool operator==(const ScheduleResult&, const ScheduleResult&) = default;
 };
 
 class BentPipeScheduler {
@@ -106,11 +133,15 @@ class BentPipeScheduler {
       const fault::FaultTimeline* faults,
       std::span<const std::uint8_t> blocked_terminals = {}) const;
 
-  // Runs the whole grid and aggregates per-party usage. `party_count` sizes
-  // the aggregate vector; terminals/satellites with owner >= party_count are
-  // rejected. Set keep_steps to retain the per-step link lists.
+  // Runs the whole grid through the two-phase pipeline and aggregates
+  // per-party usage. `party_count` sizes the aggregate vector;
+  // terminals/satellites with owner >= party_count are rejected. Set
+  // keep_steps to retain the per-step link lists. With a pool, phase 1
+  // (ephemerides, pair masks, candidate lists) runs parallel over step
+  // chunks; the result is bit-identical for any pool size, including none.
   [[nodiscard]] ScheduleResult run(const orbit::TimeGrid& grid, std::size_t party_count,
-                                   bool keep_steps = false) const;
+                                   bool keep_steps = false,
+                                   util::ThreadPool* pool = nullptr) const;
 
   // Degraded-operations run: `faults` gates per-step asset health, and a
   // terminal whose serving satellite or station fails enters a
@@ -118,7 +149,18 @@ class BentPipeScheduler {
   // nullptr or empty timeline the result is bit-identical to the plain run.
   [[nodiscard]] ScheduleResult run(const orbit::TimeGrid& grid, std::size_t party_count,
                                    const fault::FaultTimeline* faults,
-                                   bool keep_steps = false) const;
+                                   bool keep_steps = false,
+                                   util::ThreadPool* pool = nullptr) const;
+
+  // The scalar reference: the original per-step, per-triple scan (via
+  // schedule_step), kept as the correctness oracle the pipeline is validated
+  // against. Satellite positions come from the same shared ephemeris tables
+  // as run(), so the two are bit-identical down to link ordering — faulted
+  // and unfaulted. Serial and slow; prefer run().
+  [[nodiscard]] ScheduleResult run_reference(const orbit::TimeGrid& grid,
+                                             std::size_t party_count,
+                                             const fault::FaultTimeline* faults = nullptr,
+                                             bool keep_steps = false) const;
 
   [[nodiscard]] const std::vector<constellation::Satellite>& satellites() const noexcept {
     return satellites_;
@@ -129,12 +171,20 @@ class BentPipeScheduler {
   }
 
  private:
+  void validate_owners(std::size_t party_count) const;
+  [[nodiscard]] orbit::EphemerisSet ephemerides(const orbit::TimeGrid& grid,
+                                                util::ThreadPool* pool) const;
+
   SchedulerConfig config_;
   std::vector<constellation::Satellite> satellites_;
   std::vector<Terminal> terminals_;
   std::vector<GroundStation> stations_;
   std::vector<orbit::TopocentricFrame> terminal_frames_;
   std::vector<orbit::TopocentricFrame> station_frames_;
+  // Spare-pass service order: by configured party priority (descending),
+  // stable by terminal index. Step-invariant, so built once at construction.
+  // Own-pass order stays index order.
+  std::vector<std::size_t> spare_order_;
   double sin_mask_ = 0.0;
 };
 

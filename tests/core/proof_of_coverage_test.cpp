@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "orbit/geodesy.hpp"
 #include "orbit/propagator.hpp"
 
@@ -131,6 +133,32 @@ TEST(ProofOfCoverage, ToStringCoversAllVerdicts) {
   EXPECT_STREQ(to_string(ReceiptVerdict::kNotOverhead), "not-overhead");
   EXPECT_STREQ(to_string(ReceiptVerdict::kUnknownSatellite), "unknown-satellite");
   EXPECT_STREQ(to_string(ReceiptVerdict::kUnknownVerifier), "unknown-verifier");
+}
+
+TEST(ProofOfCoverage, OverheadStepsPlanValidChallenges) {
+  PocFixture fx;
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(fx.epoch, 86400.0, 60.0);
+
+  const cov::StepMask overhead =
+      fx.poc.overhead_steps(fx.satellite.id, fx.overhead_verifier, grid);
+  ASSERT_GT(overhead.count(), 0u);
+  // The sub-satellite verifier sees the satellite at epoch (step 0), and a
+  // receipt timestamped at any planned step clears the geometry check.
+  EXPECT_TRUE(overhead.test(0));
+  for (std::size_t step = 0; step < grid.count; ++step) {
+    if (!overhead.test(step)) continue;
+    const CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+        fx.satellite.id, fx.key, fx.overhead_verifier, grid.at(step), /*nonce=*/99);
+    EXPECT_EQ(fx.poc.verify(receipt), ReceiptVerdict::kValid) << "step " << step;
+  }
+
+  // The antipodal verifier never sees it.
+  EXPECT_EQ(fx.poc.overhead_steps(fx.satellite.id, fx.far_verifier, grid).count(), 0u);
+
+  EXPECT_THROW((void)fx.poc.overhead_steps(/*satellite=*/999, fx.overhead_verifier, grid),
+               std::invalid_argument);
+  EXPECT_THROW((void)fx.poc.overhead_steps(fx.satellite.id, /*verifier=*/99, grid),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "orbit/propagator.hpp"
 #include "util/units.hpp"
 
 namespace mpleo::cov {
@@ -85,6 +86,25 @@ TEST(Doppler, EmptyWhenNeverVisible) {
   equatorial.elements = orbit::ClassicalElements::circular(550e3, 0.0, 0.0, 0.0);
   equatorial.epoch = kEpoch;
   EXPECT_TRUE(doppler_profile(equatorial, oslo, grid, 25.0, 11.7e9).empty());
+}
+
+TEST(Doppler, TableOverloadMatchesSatelliteOverload) {
+  // The satellite form builds its table through the same shared kernel, so a
+  // caller-precomputed table reproduces the profile sample for sample.
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 86400.0, 10.0);
+  const orbit::TopocentricFrame site(orbit::Geodetic::from_degrees(25.0, 121.5));
+  const constellation::Satellite sat = overhead_sat();
+  const orbit::KeplerianPropagator prop(sat.elements, sat.epoch);
+  const orbit::EphemerisTable table = orbit::EphemerisTable::compute(prop, grid);
+
+  const auto from_table = doppler_profile(sat, table, site, grid, 10.0, 11.7e9);
+  const auto from_satellite = doppler_profile(sat, site, grid, 10.0, 11.7e9);
+  ASSERT_EQ(from_table.size(), from_satellite.size());
+  for (std::size_t i = 0; i < from_table.size(); ++i) {
+    EXPECT_EQ(from_table[i].offset_seconds, from_satellite[i].offset_seconds);
+    EXPECT_EQ(from_table[i].range_m, from_satellite[i].range_m);
+    EXPECT_EQ(from_table[i].doppler_shift_hz, from_satellite[i].doppler_shift_hz);
+  }
 }
 
 TEST(Doppler, HigherCarrierScalesShift) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "coverage/cities.hpp"
+#include "orbit/propagator.hpp"
 #include "util/units.hpp"
 
 namespace mpleo::cov {
@@ -75,6 +76,29 @@ TEST(Latency, LowerMaskAllowsLongerRanges) {
   ASSERT_GT(tight.visible_steps, 0u);
   EXPECT_GE(loose.visible_steps, tight.visible_steps);
   EXPECT_GE(loose.max_one_way_ms, tight.max_one_way_ms);
+}
+
+TEST(Latency, TableOverloadMatchesSatelliteOverload) {
+  // The satellite form propagates through the shared ephemeris kernel and
+  // delegates, so a caller-precomputed table yields identical statistics.
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(
+      orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 86400.0, 60.0);
+  constellation::Satellite sat;
+  sat.elements = orbit::ClassicalElements::circular(550e3, 53.0, 120.0, 40.0);
+  sat.epoch = grid.start;
+  const orbit::TopocentricFrame taipei_frame(taipei().location);
+
+  const orbit::KeplerianPropagator prop(sat.elements, sat.epoch);
+  const orbit::EphemerisTable table = orbit::EphemerisTable::compute(prop, grid);
+  const LatencyStats from_table =
+      propagation_latency_stats(table, taipei_frame, grid, 25.0);
+  const LatencyStats from_satellite =
+      propagation_latency_stats(sat, taipei_frame, grid, 25.0);
+  ASSERT_GT(from_table.visible_steps, 0u);
+  EXPECT_EQ(from_table.visible_steps, from_satellite.visible_steps);
+  EXPECT_EQ(from_table.min_one_way_ms, from_satellite.min_one_way_ms);
+  EXPECT_EQ(from_table.mean_one_way_ms, from_satellite.mean_one_way_ms);
+  EXPECT_EQ(from_table.max_one_way_ms, from_satellite.max_one_way_ms);
 }
 
 }  // namespace

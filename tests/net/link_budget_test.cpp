@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 
 namespace mpleo::net {
 namespace {
@@ -76,6 +77,35 @@ TEST(ComputeLink, LongerPathLowersSnr) {
   const LinkBudget far_budget = compute_link(tx, rx, 2000e3);
   EXPECT_GT(near_budget.snr_db, far_budget.snr_db);
   EXPECT_GT(near_budget.shannon_capacity_bps, far_budget.shannon_capacity_bps);
+}
+
+TEST(HopEvaluator, BitIdenticalToComputeLink) {
+  // The pipelined scheduler's bit-identity contract rests on the hoisted hop
+  // evaluation reproducing compute_link exactly, not just approximately.
+  RadioConfig terminal, transponder_rx, station;
+  terminal.transmit_power_dbw = 3.0;
+  terminal.transmit_gain_dbi = 33.0;
+  terminal.misc_losses_db = 2.0;
+  terminal.frequency_hz = 14.0e9;
+  transponder_rx.receive_gain_dbi = 37.0;
+  transponder_rx.system_noise_temp_k = 550.0;
+  transponder_rx.bandwidth_hz = 62.5e6;
+  station.receive_gain_dbi = 45.0;
+  station.system_noise_temp_k = 150.0;
+  station.bandwidth_hz = 125e6;
+
+  for (const auto& [tx, rx] : {std::pair{terminal, transponder_rx},
+                               std::pair{transponder_rx, station},
+                               std::pair{station, terminal}}) {
+    const HopEvaluator hop = HopEvaluator::make(tx, rx);
+    for (double distance_m = 400e3; distance_m < 3000e3; distance_m += 73e3) {
+      const LinkBudget budget = compute_link(tx, rx, distance_m);
+      const double snr = hop.snr_linear(distance_m);
+      EXPECT_EQ(snr, budget.snr_linear) << "distance " << distance_m;
+      EXPECT_EQ(hop.shannon_bps(snr), budget.shannon_capacity_bps)
+          << "distance " << distance_m;
+    }
+  }
 }
 
 TEST(ComputeLink, HotterReceiverLowersSnr) {

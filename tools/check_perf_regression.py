@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate perf_simulator speedups against the committed baseline.
+
+Usage:
+    check_perf_regression.py --baseline BENCH_perf_simulator.json \
+                             --current  BENCH_current.json [--tolerance 0.2]
+
+Absolute seconds are machine-dependent, so the gate compares *speedups*
+(scalar reference vs optimized path on the same box, same run): the current
+speedup of every section present in both reports must be at least
+(1 - tolerance) x the baseline speedup, and every bit-identity flag must be
+true. Exits non-zero on any regression, so CI can fail the build.
+"""
+
+import argparse
+import json
+import sys
+
+# (section, subsection) pairs whose "speedup" field is gated.
+SPEEDUPS = [
+    ("ephemeris_compare", "batched_serial"),
+    ("ephemeris_compare", "batched_pooled"),
+    ("scheduler_compare", "pipelined_serial"),
+    ("scheduler_compare", "pipelined_pooled"),
+]
+
+# (section, flag) pairs that must be true in the current report.
+IDENTITY_FLAGS = [
+    ("ephemeris_compare", "masks_identical"),
+    ("scheduler_compare", "bit_identical"),
+    ("scheduler_compare", "faulted_bit_identical"),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional speedup drop (default 0.2)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = []
+    for section, flag in IDENTITY_FLAGS:
+        if section not in current:
+            continue
+        if current[section].get(flag) is not True:
+            failures.append(f"{section}.{flag} is not true in {args.current}")
+
+    for section, sub in SPEEDUPS:
+        if section not in baseline or section not in current:
+            continue
+        base = baseline[section][sub]["speedup"]
+        cur = current[section][sub]["speedup"]
+        floor = (1.0 - args.tolerance) * base
+        status = "OK " if cur >= floor else "REGRESSED"
+        print(f"{status} {section}.{sub}: current {cur:.2f}x vs baseline "
+              f"{base:.2f}x (floor {floor:.2f}x)")
+        if cur < floor:
+            failures.append(
+                f"{section}.{sub} regressed: {cur:.2f}x < {floor:.2f}x "
+                f"({(1.0 - args.tolerance) * 100:.0f}% of baseline {base:.2f}x)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
