@@ -13,12 +13,16 @@ struct Experiment {
   sim::Scenario scenario;
   cov::CoverageEngine engine;
   std::vector<constellation::Satellite> catalog;
+  // Shared run context (pool sized by scenario.threads, metrics, trace);
+  // non-copyable, so Experiment is constructed in place and stays put.
+  sim::RunContext context;
 
   explicit Experiment(const sim::Scenario& sc)
       : scenario(sc),
         engine(sc.grid(), sc.elevation_mask_deg),
         catalog(constellation::build_starlink_catalog(
-            sc.epoch, {.include_gen2 = sc.include_gen2_catalog})) {}
+            sc.epoch, {.include_gen2 = sc.include_gen2_catalog})),
+        context(sc) {}
 };
 
 // Parses flags and prints the standard banner. Exits the process with a

@@ -344,7 +344,12 @@ bool run_compare(std::FILE* out) {
 // serially and pooled; every ScheduleResult must match the reference bit for
 // bit, down to link ordering, and a faulted run over a shorter grid pins the
 // degraded-operations contract too. Returns false on any identity mismatch.
-bool run_compare_scheduler(std::FILE* out) {
+//
+// The pooled and faulted runs go through `context` (which owns the worker
+// pool), so phase timings, candidate occupancy, beam rejections and
+// fault-forced detaches accumulate in its metrics registry; main() appends
+// them to the JSON report as the "obs" section.
+bool run_compare_scheduler(std::FILE* out, sim::RunContext& context) {
   const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 86400.0, 60.0);
   constexpr std::size_t kParties = 4;
 
@@ -407,9 +412,8 @@ bool run_compare_scheduler(std::FILE* out) {
       [&] { return scheduler.run_reference(grid, kParties, nullptr, /*keep_steps=*/true); });
   const auto [serial, sec_serial] =
       timed([&] { return scheduler.run(grid, kParties, /*keep_steps=*/true); });
-  util::ThreadPool pool;
-  const auto [pooled, sec_pooled] =
-      timed([&] { return scheduler.run(grid, kParties, /*keep_steps=*/true, &pool); });
+  const auto [pooled, sec_pooled] = timed(
+      [&] { return scheduler.run(grid, kParties, context, /*keep_steps=*/true); });
 
   const bool identical = serial == reference && pooled == reference;
 
@@ -429,9 +433,11 @@ bool run_compare_scheduler(std::FILE* out) {
   for (std::size_t gi = 0; gi < stations.size(); gi += 3) {
     faults.add_station_outage(gi, 3600.0 * static_cast<double>(gi % 4), 3600.0 * 5.0);
   }
+  context.use_faults(&faults);
   const bool faulted_identical =
-      scheduler.run(fault_grid, kParties, &faults, /*keep_steps=*/true) ==
+      scheduler.run(fault_grid, kParties, context, /*keep_steps=*/true) ==
       scheduler.run_reference(fault_grid, kParties, &faults, /*keep_steps=*/true);
+  context.clear_faults();
 
   std::printf(
       "scheduler workload: %zu satellites x %zu terminals x %zu stations"
@@ -440,7 +446,7 @@ bool run_compare_scheduler(std::FILE* out) {
   std::printf("scalar reference    : %8.3f s\n", sec_reference);
   std::printf("pipelined (serial)  : %8.3f s  (%.2fx)\n", sec_serial,
               sec_reference / sec_serial);
-  std::printf("pipelined (%2zu thr)  : %8.3f s  (%.2fx)\n", pool.thread_count(),
+  std::printf("pipelined (%2zu thr)  : %8.3f s  (%.2fx)\n", context.thread_count(),
               sec_pooled, sec_reference / sec_pooled);
   std::printf("schedules bit-identical: %s   faulted: %s\n",
               identical ? "yes" : "NO", faulted_identical ? "yes" : "NO");
@@ -458,7 +464,7 @@ bool run_compare_scheduler(std::FILE* out) {
                "    \"faulted_bit_identical\": %s\n"
                "  }",
                sats.size(), terminals.size(), stations.size(), kParties, grid.count,
-               pool.thread_count(), sec_reference, sec_serial,
+               context.thread_count(), sec_reference, sec_serial,
                sec_reference / sec_serial, sec_pooled, sec_reference / sec_pooled,
                identical ? "true" : "false", faulted_identical ? "true" : "false");
   return identical && faulted_identical;
@@ -486,13 +492,21 @@ int main(int argc, char** argv) {
                    out_path.c_str());
       return 1;
     }
+    // One hardware-pooled run context drives every pooled/faulted compare
+    // pass; the accumulated metrics become the report's "obs" section.
+    sim::Scenario obs_scenario;
+    obs_scenario.threads = 0;
+    sim::RunContext context(obs_scenario);
     std::fprintf(out, "{\n");
     bool ok = true;
     if (compare) {
       ok = run_compare(out) && ok;
       if (compare_scheduler) std::fprintf(out, ",\n");
     }
-    if (compare_scheduler) ok = run_compare_scheduler(out) && ok;
+    if (compare_scheduler) {
+      ok = run_compare_scheduler(out, context) && ok;
+      std::fprintf(out, ",\n  \"obs\": %s", context.metrics().to_json(2).c_str());
+    }
     std::fprintf(out, "\n}\n");
     std::fclose(out);
     std::printf("report written to %s\n", out_path.c_str());

@@ -11,7 +11,6 @@
 
 #include "bench_common.hpp"
 #include "core/robustness.hpp"
-#include "util/thread_pool.hpp"
 
 using namespace mpleo;
 
@@ -30,6 +29,7 @@ int main(int argc, char** argv) {
   sim::Scenario defaults;
   defaults.duration_s = 86400.0;  // one day keeps the default sweep quick
   defaults.runs = 5;
+  defaults.threads = 0;  // hardware-sized pool unless --threads=N overrides
   const sim::Scenario scenario = bench::start(
       static_cast<int>(rest.size()), rest.data(),
       "Resilience sweep: coverage vs failure rate under recovery",
@@ -39,7 +39,6 @@ int main(int argc, char** argv) {
 
   const std::vector<cov::GroundSite> sites = cov::sites_from_cities(cov::paper_cities());
   cov::VisibilityCache cache(exp.engine, exp.catalog, sites);
-  util::ThreadPool pool;
 
   // A mid-size MP-LEO consortium: 500 satellites sampled from the catalog.
   util::Xoshiro256PlusPlus rng(scenario.seed);
@@ -60,7 +59,7 @@ int main(int argc, char** argv) {
   for (const double mttr : mttr_values) {
     config.mttr_seconds = mttr;
     const std::vector<core::ResiliencePoint> points =
-        core::resilience_sweep(cache, fleet, config, &pool);
+        core::resilience_sweep(cache, fleet, config, exp.context);
     for (std::size_t i = 0; i < points.size(); ++i) {
       const core::ResiliencePoint& p = points[i];
       if (i > 0 && p.mean_served_fraction >

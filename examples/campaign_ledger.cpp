@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   config.settlement.dynamic = true;
   core::Campaign campaign(std::move(consortium), terminals, stations, config,
                           scenario.seed);
+  sim::RunContext context(scenario);
 
   std::printf("campaign: 7 daily epochs; MegaCorp (largest) withdraws before day 4\n\n");
   util::Table table({"day", "sats", "served", "unserved", "fairness", "cleared",
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
       std::printf("!! MegaCorp withdraws %zu satellites at the start of day 4\n\n",
                   removed);
     }
-    const core::EpochReport r = campaign.run_epoch();
+    const core::EpochReport r = campaign.run_epoch(context);
     table.add_row({std::to_string(day), std::to_string(r.active_satellites),
                    util::Table::duration(r.total_served_seconds),
                    util::Table::duration(r.total_unserved_seconds),
@@ -91,5 +92,10 @@ int main(int argc, char** argv) {
               "remaining parties keep earning; the ledger conserves: sum=%.1f of\n"
               "%.1f minted.\n",
               campaign.ledger().sum_of_balances(), campaign.ledger().total_minted());
+
+  std::printf("\nrun context observed %llu epochs; campaign trace:\n%s",
+              static_cast<unsigned long long>(
+                  context.metrics().counter_value("campaign.epochs")),
+              context.trace().to_string().c_str());
   return 0;
 }

@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
   const cov::CoverageEngine engine(scenario.grid(), scenario.elevation_mask_deg);
   const std::vector<cov::GroundSite> sites = cov::sites_from_cities(cov::paper_cities());
   cov::VisibilityCache cache(engine, sats, sites);
-  cache.precompute_all();
+  sim::RunContext context(scenario);
+  cache.precompute_all(context);
 
   // Party B's fleet fails at t=6h and is repaired at t=12h.
   const double fail_s = 6.0 * 3600.0;
@@ -122,8 +123,9 @@ int main(int argc, char** argv) {
   terms.max_gap_seconds = std::max(7200.0, 1.5 * healthy_b.max_gap_seconds);
   terms.penalty_per_violation = 40.0;
   const core::SlaReport before = core::evaluate_sla(terms, healthy_b);
+  context.use_faults(&faults);
   const core::SlaReport after =
-      core::evaluate_sla(terms, cache, fleet_b, site, faults);
+      core::evaluate_sla(terms, cache, fleet_b, site, context);
   std::printf("\nSLA \"%s\" (min coverage %.1f%%, max gap %s):\n", terms.name.c_str(),
               terms.min_coverage_fraction * 100.0,
               util::Table::duration(terms.max_gap_seconds).c_str());
@@ -160,5 +162,11 @@ int main(int argc, char** argv) {
                 p == 0 ? 'A' : 'B', outage_s[p] / 3600.0, reputation.score(p),
                 reputation.priority_weight(p));
   }
+
+  std::printf("\nobs: %llu SLA evaluation(s), %llu violation(s) on the run context\n",
+              static_cast<unsigned long long>(
+                  context.metrics().counter_value("sla.evaluations")),
+              static_cast<unsigned long long>(
+                  context.metrics().counter_value("sla.violations")));
   return 0;
 }

@@ -119,8 +119,9 @@ int main(int argc, char** argv) {
   const net::BentPipeScheduler scheduler(net::SchedulerConfig{},
                                          consortium.active_satellites(), terminals,
                                          stations);
+  sim::RunContext context(scenario);
   const net::ScheduleResult usage =
-      scheduler.run(scenario.grid(), consortium.parties().size());
+      scheduler.run(scenario.grid(), consortium.parties().size(), context);
 
   std::printf("\nusage over %s:\n",
               util::Table::duration(scenario.grid().duration_seconds()).c_str());

@@ -1,7 +1,11 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "sim/run_context.hpp"
 
 namespace mpleo::core {
 
@@ -55,7 +59,18 @@ std::size_t Campaign::withdraw_party(PartyId party) {
   return consortium_.withdraw_party(party);
 }
 
+EpochReport Campaign::run_epoch(sim::RunContext& context) {
+  return run_epoch_impl(context.pool(), &context);
+}
+
 EpochReport Campaign::run_epoch(util::ThreadPool* pool) {
+  return run_epoch_impl(pool, nullptr);
+}
+
+EpochReport Campaign::run_epoch_impl(util::ThreadPool* pool, sim::RunContext* context) {
+  obs::ScopedTimer epoch_timer(
+      context != nullptr ? context->metrics().histogram("campaign.epoch_seconds")
+                         : obs::Histogram{});
   EpochReport report;
   report.epoch = next_epoch_;
   report.window_start = clock_;
@@ -68,7 +83,10 @@ EpochReport Campaign::run_epoch(util::ThreadPool* pool) {
   const orbit::TimeGrid grid =
       orbit::TimeGrid::over_duration(clock_, config_.epoch_duration_s, config_.step_s);
   const net::BentPipeScheduler scheduler(config_.scheduler, sats, terminals_, stations_);
-  net::ScheduleResult usage = scheduler.run(grid, party_count, /*keep_steps=*/false, pool);
+  net::ScheduleResult usage =
+      context != nullptr
+          ? scheduler.run(grid, party_count, *context, /*keep_steps=*/false)
+          : scheduler.run(grid, party_count, /*keep_steps=*/false, pool);
   report.total_served_seconds = usage.total_served_seconds;
   report.total_unserved_seconds = usage.total_unserved_seconds;
   report.service_fairness = service_fairness(usage);
@@ -122,6 +140,18 @@ EpochReport Campaign::run_epoch(util::ThreadPool* pool) {
   report.usage = std::move(usage.per_party);
   report.balances.reserve(party_count);
   for (AccountId account : accounts_) report.balances.push_back(ledger_.balance(account));
+
+  if (context != nullptr) {
+    context->metrics().counter("campaign.epochs").add(1);
+    context->metrics().counter("campaign.poc_valid").add(report.poc_valid);
+    context->metrics().counter("campaign.poc_rejected").add(report.poc_rejected);
+    std::ostringstream line;
+    line << "epoch " << report.epoch << ": satellites=" << report.active_satellites
+         << " served=" << report.total_served_seconds << "s unserved="
+         << report.total_unserved_seconds << "s poc=" << report.poc_valid << "/"
+         << report.poc_valid + report.poc_rejected << " minted=" << report.emission_minted;
+    context->trace().record(clock_.seconds_since(config_.start), "campaign", line.str());
+  }
 
   clock_ = clock_.plus_seconds(config_.epoch_duration_s);
   ++next_epoch_;

@@ -24,8 +24,12 @@
 #include "core/proof_of_coverage.hpp"
 #include "net/scheduler.hpp"
 #include "orbit/time.hpp"
+#include "util/deprecated.hpp"
 #include "util/rng.hpp"
 
+namespace mpleo::sim {
+class RunContext;
+}
 namespace mpleo::util {
 class ThreadPool;
 }
@@ -69,9 +73,17 @@ class Campaign {
            std::vector<net::GroundStation> stations, CampaignConfig config,
            std::uint64_t seed);
 
-  // Runs the next epoch and returns its report. A pool parallelises the
-  // epoch's scheduling phase 1 (ephemerides, pair masks, candidate lists);
-  // the report is bit-identical for any pool size, including none.
+  // Runs the next epoch and returns its report. The context's pool
+  // parallelises the epoch's scheduling phase 1 (ephemerides, pair masks,
+  // candidate lists); the report is bit-identical for any pool size,
+  // including none. Scheduler metrics land in context.metrics() under
+  // "sched." plus campaign aggregates under "campaign.", and an epoch
+  // summary line is recorded into context.trace().
+  EpochReport run_epoch(sim::RunContext& context);
+
+  // Pre-RunContext forwarder; behaves exactly like run_epoch(context) with a
+  // default context carrying `pool`, minus the metrics/trace recording.
+  MPLEO_DEPRECATED("pass a sim::RunContext: campaign.run_epoch(context)")
   EpochReport run_epoch(util::ThreadPool* pool = nullptr);
 
   // Withdraws a party effective from the next epoch; returns satellites
@@ -85,6 +97,8 @@ class Campaign {
   [[nodiscard]] orbit::TimePoint current_time() const noexcept { return clock_; }
 
  private:
+  EpochReport run_epoch_impl(util::ThreadPool* pool, sim::RunContext* context);
+
   Consortium consortium_;
   std::vector<net::Terminal> terminals_;
   std::vector<net::GroundStation> stations_;

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "fault/timeline.hpp"
+#include "obs/metrics.hpp"
+#include "sim/run_context.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mpleo::core {
@@ -19,6 +21,10 @@ double draw_exponential(util::Xoshiro256PlusPlus& rng, double mean_s) {
 
 void prepare_cache(cov::VisibilityCache& cache, util::ThreadPool* pool) {
   cache.precompute_all(pool);
+}
+
+void prepare_cache(cov::VisibilityCache& cache, sim::RunContext& context) {
+  cache.precompute_all(context);
 }
 
 WithdrawalImpact withdrawal_impact(cov::VisibilityCache& cache,
@@ -177,6 +183,18 @@ std::vector<ResiliencePoint> resilience_sweep(cov::VisibilityCache& cache,
         baseline > 0.0 ? point.mean_coverage_fraction / baseline : 0.0;
     point.mean_worst_gap_seconds = gap_sum / static_cast<double>(config.runs);
   }
+  return points;
+}
+
+std::vector<ResiliencePoint> resilience_sweep(cov::VisibilityCache& cache,
+                                              std::span<const std::size_t> satellite_indices,
+                                              const ResilienceConfig& config,
+                                              sim::RunContext& context) {
+  obs::ScopedTimer timer(context.metrics().histogram("resilience.sweep_seconds"));
+  std::vector<ResiliencePoint> points =
+      resilience_sweep(cache, satellite_indices, config, context.pool());
+  context.metrics().counter("resilience.points").add(points.size());
+  context.metrics().counter("resilience.runs").add(points.size() * config.runs);
   return points;
 }
 

@@ -13,6 +13,9 @@
 namespace mpleo::cov {
 class VisibilityCache;
 }
+namespace mpleo::sim {
+class RunContext;
+}
 namespace mpleo::util {
 class ThreadPool;
 }
@@ -38,6 +41,10 @@ struct WithdrawalImpact {
 // The parallel fill is bit-identical to the lazy serial one; after this,
 // withdrawal_impact calls are pure mask arithmetic.
 void prepare_cache(cov::VisibilityCache& cache, util::ThreadPool* pool = nullptr);
+
+// RunContext entry point: pool and metrics from the context (see
+// VisibilityCache::precompute_all(context)).
+void prepare_cache(cov::VisibilityCache& cache, sim::RunContext& context);
 
 // Coverage impact of removing `withdrawn` (indices into the cache's catalog)
 // from `base` (ditto). `withdrawn` must be a subset of `base`.
@@ -91,5 +98,12 @@ struct ResiliencePoint {
 [[nodiscard]] std::vector<ResiliencePoint> resilience_sweep(
     cov::VisibilityCache& cache, std::span<const std::size_t> satellite_indices,
     const ResilienceConfig& config, util::ThreadPool* pool = nullptr);
+
+// RunContext entry point: pool from the context; sweep time and point/run
+// counts land in context.metrics() under "resilience.". Bit-identical to
+// the pool overload for any context.
+[[nodiscard]] std::vector<ResiliencePoint> resilience_sweep(
+    cov::VisibilityCache& cache, std::span<const std::size_t> satellite_indices,
+    const ResilienceConfig& config, sim::RunContext& context);
 
 }  // namespace mpleo::core

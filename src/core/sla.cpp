@@ -1,8 +1,25 @@
 #include "core/sla.hpp"
 
 #include "fault/timeline.hpp"
+#include "obs/metrics.hpp"
+#include "sim/run_context.hpp"
 
 namespace mpleo::core {
+namespace {
+
+// Shared body of the deprecated tail-parameter overload and the RunContext
+// overload, so neither calls the other (which would trip the deprecation
+// warning inside our own build).
+SlaReport evaluate_sla_impl(const SlaTerms& terms, cov::VisibilityCache& cache,
+                            std::span<const std::size_t> satellite_indices,
+                            std::size_t site_index, const fault::FaultTimeline* faults,
+                            util::ThreadPool* pool) {
+  if (pool != nullptr) cache.precompute_all(pool);
+  const cov::StepMask mask = cache.union_mask(satellite_indices, site_index, faults);
+  return evaluate_sla(terms, cache.engine().stats(mask));
+}
+
+}  // namespace
 
 const char* to_string(SlaClause clause) noexcept {
   switch (clause) {
@@ -48,11 +65,20 @@ SlaReport evaluate_sla(const SlaTerms& terms, const cov::CoverageStats& coverage
 
 SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
                        std::span<const std::size_t> satellite_indices,
+                       std::size_t site_index, sim::RunContext& context) {
+  obs::ScopedTimer timer(context.metrics().histogram("sla.evaluate_seconds"));
+  const SlaReport report = evaluate_sla_impl(terms, cache, satellite_indices, site_index,
+                                             context.faults(), context.pool());
+  context.metrics().counter("sla.evaluations").add(1);
+  context.metrics().counter("sla.violations").add(report.violations.size());
+  return report;
+}
+
+SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
+                       std::span<const std::size_t> satellite_indices,
                        std::size_t site_index, const fault::FaultTimeline& faults,
                        util::ThreadPool* pool) {
-  if (pool != nullptr) cache.precompute_all(pool);
-  const cov::StepMask mask = cache.union_mask(satellite_indices, site_index, &faults);
-  return evaluate_sla(terms, cache.engine().stats(mask));
+  return evaluate_sla_impl(terms, cache, satellite_indices, site_index, &faults, pool);
 }
 
 bool settle_sla_penalty(const SlaReport& report, Ledger& ledger, AccountId provider,

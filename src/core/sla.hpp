@@ -14,9 +14,13 @@
 #include "core/ledger.hpp"
 #include "coverage/engine.hpp"
 #include "net/scheduler.hpp"
+#include "util/deprecated.hpp"
 
 namespace mpleo::fault {
 class FaultTimeline;
+}
+namespace mpleo::sim {
+class RunContext;
 }
 namespace mpleo::util {
 class ThreadPool;
@@ -67,11 +71,21 @@ struct SlaReport {
 // Evaluates the coverage clauses on the fault-degraded union of
 // `satellite_indices` at `site_index`: outages carve real gaps into the
 // coverage timeline, so a failure longer than max_gap_seconds violates the
-// SLA even when the orbital geometry alone would have complied. An empty
-// timeline is bit-identical to evaluating the healthy union. A pool
-// precomputes the cache's visibility masks in parallel across satellites
-// first (bit-identical to the lazy serial fill); pass it when the cache is
-// cold and the catalog large.
+// SLA even when the orbital geometry alone would have complied. The
+// context's timeline degrades the union (none = healthy; an empty timeline
+// is bit-identical to the healthy union) and its pool precomputes the
+// cache's visibility masks in parallel across satellites first
+// (bit-identical to the lazy serial fill). Evaluation time and violation
+// counts land in context.metrics() under "sla.".
+[[nodiscard]] SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
+                                     std::span<const std::size_t> satellite_indices,
+                                     std::size_t site_index, sim::RunContext& context);
+
+// Pre-RunContext forwarder: identical to a context carrying `faults` and
+// `pool`, minus the metrics recording.
+MPLEO_DEPRECATED(
+    "pass a sim::RunContext carrying the timeline and pool: "
+    "evaluate_sla(terms, cache, satellites, site, context)")
 [[nodiscard]] SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
                                      std::span<const std::size_t> satellite_indices,
                                      std::size_t site_index,

@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "fault/timeline.hpp"
+#include "obs/metrics.hpp"
 #include "orbit/propagator.hpp"
+#include "sim/run_context.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
@@ -62,6 +64,14 @@ orbit::EphemerisSet CoverageEngine::ephemerides(
     std::span<const constellation::Satellite> satellites, util::ThreadPool* pool) const {
   const std::vector<orbit::EphemerisSpec> specs = ephemeris_specs(satellites);
   return orbit::EphemerisSet::compute(specs, grid_, gmst_, pool);
+}
+
+orbit::EphemerisSet CoverageEngine::ephemerides(
+    std::span<const constellation::Satellite> satellites, sim::RunContext& context) const {
+  obs::ScopedTimer timer(context.metrics().histogram("cov.propagate_seconds"));
+  orbit::EphemerisSet set = ephemerides(satellites, context.pool());
+  context.metrics().counter("cov.ephemeris_tables").add(satellites.size());
+  return set;
 }
 
 StepMask CoverageEngine::visibility_mask(const constellation::Satellite& satellite,
@@ -199,6 +209,25 @@ void VisibilityCache::ensure_computed(std::size_t satellite_index) {
     masks_[satellite_index * sites_.size() + j] = std::move(per_site[j]);
   }
   computed_[satellite_index] = 1;
+}
+
+void VisibilityCache::precompute_all(sim::RunContext& context) {
+  obs::ScopedTimer timer(context.metrics().histogram("cov.precompute_seconds"));
+  // Count only the fills this call performs, not masks already cached.
+  std::vector<std::size_t> fresh;
+  fresh.reserve(catalog_.size());
+  for (std::size_t sat = 0; sat < catalog_.size(); ++sat) {
+    if (computed_[sat] == 0) fresh.push_back(sat);
+  }
+  precompute_all(context.pool());
+  std::size_t visible = 0;
+  for (const std::size_t sat : fresh) {
+    for (std::size_t j = 0; j < sites_.size(); ++j) {
+      visible += masks_[sat * sites_.size() + j].count();
+    }
+  }
+  context.metrics().counter("cov.masks_filled").add(fresh.size() * sites_.size());
+  context.metrics().counter("cov.visible_steps").add(visible);
 }
 
 void VisibilityCache::precompute_all(util::ThreadPool* pool) {

@@ -31,6 +31,9 @@ class ThreadPool;
 namespace mpleo::fault {
 class FaultTimeline;
 }
+namespace mpleo::sim {
+class RunContext;
+}
 
 namespace mpleo::cov {
 
@@ -82,6 +85,12 @@ class CoverageEngine {
   [[nodiscard]] orbit::EphemerisSet ephemerides(
       std::span<const constellation::Satellite> satellites,
       util::ThreadPool* pool = nullptr) const;
+
+  // RunContext entry point: pool from the context, propagation time and
+  // table counts recorded into context.metrics() under "cov.". Bit-identical
+  // to the pool overload for any context.
+  [[nodiscard]] orbit::EphemerisSet ephemerides(
+      std::span<const constellation::Satellite> satellites, sim::RunContext& context) const;
 
   // Visibility timeline of one satellite over one site.
   [[nodiscard]] StepMask visibility_mask(const constellation::Satellite& satellite,
@@ -158,6 +167,11 @@ class VisibilityCache {
   // Computes every satellite's masks up front. With a pool, satellites are
   // filled concurrently (each writes only its own mask slots).
   void precompute_all(util::ThreadPool* pool = nullptr);
+
+  // RunContext entry point: pool from the context, fill time and mask/step
+  // counts recorded into context.metrics() under "cov.". Bit-identical to
+  // the pool overload for any context.
+  void precompute_all(sim::RunContext& context);
 
   [[nodiscard]] const StepMask& mask(std::size_t satellite_index, std::size_t site_index);
 

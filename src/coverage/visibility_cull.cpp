@@ -195,4 +195,12 @@ void VisibilityCuller::fill(const orbit::EphemerisTable& ephemeris,
   }
 }
 
+void VisibilityCuller::fill(const orbit::EphemerisTable& ephemeris,
+                            const orbit::TopocentricFrame& frame, StepMask& out,
+                            const CullCounters& counters) const {
+  fill(ephemeris, frame, out);
+  counters.masks_filled.add(1);
+  counters.visible_steps.add(out.count());
+}
+
 }  // namespace mpleo::cov

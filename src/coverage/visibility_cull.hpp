@@ -16,11 +16,20 @@
 #pragma once
 
 #include "coverage/step_mask.hpp"
+#include "obs/metrics.hpp"
 #include "orbit/ephemeris.hpp"
 #include "orbit/geodesy.hpp"
 #include "orbit/time.hpp"
 
 namespace mpleo::cov {
+
+// Observability hooks for mask fills. The handles are null-safe, so a
+// default-constructed CullCounters makes the instrumented fill() behave
+// exactly like the plain one.
+struct CullCounters {
+  obs::Counter masks_filled;   // one per completed fill
+  obs::Counter visible_steps;  // set bits emitted across fills
+};
 
 class VisibilityCuller {
  public:
@@ -39,6 +48,12 @@ class VisibilityCuller {
   // frame.visible_above(position, sin_mask()) at every step.
   void fill(const orbit::EphemerisTable& ephemeris, const orbit::TopocentricFrame& frame,
             StepMask& out) const;
+
+  // Instrumented fill: identical output bits, plus counter updates. Safe to
+  // call concurrently from pool workers — counters accumulate into
+  // per-thread shards.
+  void fill(const orbit::EphemerisTable& ephemeris, const orbit::TopocentricFrame& frame,
+            StepMask& out, const CullCounters& counters) const;
 
  private:
   double step_seconds_ = 0.0;

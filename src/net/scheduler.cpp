@@ -8,6 +8,8 @@
 #include "coverage/step_mask.hpp"
 #include "coverage/visibility_cull.hpp"
 #include "fault/timeline.hpp"
+#include "obs/metrics.hpp"
+#include "sim/run_context.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
@@ -188,10 +190,13 @@ struct ConsumeContext {
 // schedule_step exactly: same two passes, same strict-> maximisation, same
 // tie-breaks — a candidate list entry stands in for the (si, best-station)
 // column of the reference's joint scan, so the selected links and their
-// order are bit-identical.
+// order are bit-identical. `beam_rejections` (nullable) counts candidates
+// skipped because their satellite had no beam left — the contention signal
+// the obs layer reports.
 StepSchedule consume_step(const ConsumeContext& ctx, const StepCandidates& sc,
                           std::size_t step, const fault::FaultTimeline* faults,
-                          std::span<const std::uint8_t> blocked_terminals) {
+                          std::span<const std::uint8_t> blocked_terminals,
+                          std::uint64_t* beam_rejections) {
   StepSchedule schedule;
   schedule.step = step;
 
@@ -216,7 +221,10 @@ StepSchedule consume_step(const ConsumeContext& ctx, const StepCandidates& sc,
       bool found = false;
       for (std::uint32_t k = sc.offsets[ti]; k < sc.offsets[ti + 1]; ++k) {
         const Candidate& cand = sc.cands[k];
-        if (beams_left[cand.satellite] <= 0) continue;
+        if (beams_left[cand.satellite] <= 0) {
+          if (beam_rejections != nullptr) ++*beam_rejections;
+          continue;
+        }
         const bool own = ctx.satellites[cand.satellite].owner_party == party;
         if (own == spare_pass) continue;  // pass 0: own only; pass 1: spare only
         if (cand.capacity_bps > best_capacity) {
@@ -321,6 +329,50 @@ void accumulate_step(const StepSchedule& schedule, std::span<const Terminal> ter
     result.total_unserved_seconds += dt_step;
   }
 }
+
+// Metric handles for one run(), registered up front so the hot loops never
+// touch the registry's name tables. All handles are null-safe no-ops when no
+// registry is attached, so the uninstrumented overloads pay only dead
+// branches on null pointers.
+struct RunMetrics {
+  obs::Histogram run_seconds;           // whole pipeline, one observation
+  obs::Histogram propagate_seconds;     // shared ephemeris kernel
+  obs::Histogram cull_seconds;          // pair masks + outages + party_avail
+  obs::Histogram chunk_seconds;         // per phase-1 chunk (worker threads)
+  obs::Histogram wave_drain_seconds;    // per phase-2 wave sweep
+  obs::Histogram candidates_per_step;   // candidate-list occupancy
+  obs::Counter candidates;              // candidates emitted by phase 1
+  obs::Counter cull_masks;              // pair masks filled by the culler
+  obs::Counter cull_visible_steps;      // set bits across the pair masks
+  obs::Counter beam_rejections;         // candidates skipped: no beam left
+  obs::Counter links_granted;
+  obs::Counter steps;
+  obs::Counter failure_forced_detaches;
+  obs::Gauge wave_slots;
+  obs::Gauge threads;
+
+  static RunMetrics attach(obs::MetricsRegistry* registry) {
+    RunMetrics m;
+    if (registry == nullptr) return m;
+    m.run_seconds = registry->histogram("sched.run_seconds");
+    m.propagate_seconds = registry->histogram("sched.propagate_seconds");
+    m.cull_seconds = registry->histogram("sched.cull_seconds");
+    m.chunk_seconds = registry->histogram("sched.phase1_chunk_seconds");
+    m.wave_drain_seconds = registry->histogram("sched.phase2_wave_seconds");
+    m.candidates_per_step = registry->histogram(
+        "sched.candidates_per_step", obs::MetricsRegistry::default_count_bounds());
+    m.candidates = registry->counter("sched.candidates");
+    m.cull_masks = registry->counter("sched.cull_masks");
+    m.cull_visible_steps = registry->counter("sched.cull_visible_steps");
+    m.beam_rejections = registry->counter("sched.beam_rejections");
+    m.links_granted = registry->counter("sched.links_granted");
+    m.steps = registry->counter("sched.steps");
+    m.failure_forced_detaches = registry->counter("sched.failure_forced_detaches");
+    m.wave_slots = registry->gauge("sched.wave_slots");
+    m.threads = registry->gauge("sched.threads");
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -487,13 +539,29 @@ orbit::EphemerisSet BentPipeScheduler::ephemerides(const orbit::TimeGrid& grid,
 
 ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t party_count,
                                       bool keep_steps, util::ThreadPool* pool) const {
-  return run(grid, party_count, nullptr, keep_steps, pool);
+  return run_impl(grid, party_count, nullptr, keep_steps, pool, nullptr);
 }
 
 ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t party_count,
                                       const fault::FaultTimeline* faults, bool keep_steps,
                                       util::ThreadPool* pool) const {
+  return run_impl(grid, party_count, faults, keep_steps, pool, nullptr);
+}
+
+ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t party_count,
+                                      sim::RunContext& context, bool keep_steps) const {
+  return run_impl(grid, party_count, context.faults(), keep_steps, context.pool(),
+                  &context.metrics());
+}
+
+ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
+                                           std::size_t party_count,
+                                           const fault::FaultTimeline* faults,
+                                           bool keep_steps, util::ThreadPool* pool,
+                                           obs::MetricsRegistry* metrics) const {
   validate_owners(party_count);
+  const RunMetrics rm = RunMetrics::attach(metrics);
+  obs::ScopedTimer run_timer(rm.run_seconds);
 
   ScheduleResult result;
   result.per_party.resize(party_count);
@@ -507,12 +575,18 @@ ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t p
 
   // Every satellite propagated once through the shared ephemeris kernel;
   // both phases (and run_reference) read positions from these tables.
-  const orbit::EphemerisSet eph = ephemerides(grid, pool);
+  const orbit::EphemerisSet eph = [&] {
+    obs::ScopedTimer propagate_timer(rm.propagate_seconds);
+    return ephemerides(grid, pool);
+  }();
+
+  obs::ScopedTimer cull_timer(rm.cull_seconds);
 
   // Pair visibility masks through the coverage cull. The cull only skips
   // work — each set bit passed the exact visible_above test the reference
   // runs — so a mask word is precisely 64 reference visibility answers.
   const cov::VisibilityCuller culler(grid, config_.elevation_mask_deg);
+  const cov::CullCounters cull_counters{rm.cull_masks, rm.cull_visible_steps};
   std::vector<cov::StepMask> terminal_vis(sat_count * term_count,
                                           cov::StepMask(step_total));
   std::vector<cov::StepMask> station_vis(sat_count * station_count,
@@ -520,10 +594,12 @@ ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t p
   const auto fill_pair_masks = [&](std::size_t si) {
     const orbit::EphemerisTable& table = eph.table(si);
     for (std::size_t ti = 0; ti < term_count; ++ti) {
-      culler.fill(table, terminal_frames_[ti], terminal_vis[si * term_count + ti]);
+      culler.fill(table, terminal_frames_[ti], terminal_vis[si * term_count + ti],
+                  cull_counters);
     }
     for (std::size_t gi = 0; gi < station_count; ++gi) {
-      culler.fill(table, station_frames_[gi], station_vis[si * station_count + gi]);
+      culler.fill(table, station_frames_[gi], station_vis[si * station_count + gi],
+                  cull_counters);
     }
   };
   if (pool != nullptr) {
@@ -563,6 +639,7 @@ ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t p
       party_avail[party * sat_count + si] |= station_vis[si * station_count + gi];
     }
   }
+  cull_timer.stop();
 
   std::vector<HopEvaluator> uplink_hops;
   uplink_hops.reserve(term_count);
@@ -596,14 +673,22 @@ ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t p
 
   DetachState detach(term_count);
   const double dt_step = grid.step_seconds;
+  rm.wave_slots.set(static_cast<double>(wave_slots));
+  rm.threads.set(static_cast<double>(pool != nullptr ? pool->thread_count() : 1));
+  std::uint64_t beam_rejections = 0;
+  std::uint64_t links_granted = 0;
 
   for (std::size_t wave_begin = 0; wave_begin < chunk_total; wave_begin += wave_slots) {
     const std::size_t batch = std::min(wave_slots, chunk_total - wave_begin);
     const auto build = [&](std::size_t slot) {
+      obs::ScopedTimer chunk_timer(rm.chunk_seconds);
       const std::size_t begin = (wave_begin + slot) * kChunkSteps;
       const std::size_t count = std::min(kChunkSteps, step_total - begin);
       wave[slot].resize(count);
       fill_chunk(ctx, begin, count, wave[slot], scratch[slot]);
+      std::uint64_t emitted = 0;
+      for (const StepCandidates& sc : wave[slot]) emitted += sc.cands.size();
+      rm.candidates.add(emitted);
     };
     if (pool != nullptr) {
       pool->parallel_for(batch, build);
@@ -611,10 +696,12 @@ ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t p
       for (std::size_t slot = 0; slot < batch; ++slot) build(slot);
     }
 
+    obs::ScopedTimer drain_timer(rm.wave_drain_seconds);
     for (std::size_t slot = 0; slot < batch; ++slot) {
       const std::size_t begin = (wave_begin + slot) * kChunkSteps;
       for (std::size_t b = 0; b < wave[slot].size(); ++b) {
         const std::size_t step = begin + b;
+        rm.candidates_per_step.observe(static_cast<double>(wave[slot][b].cands.size()));
         if (faulted) {
           detach.pre_step(*faults, step, config_.reacquisition_backoff_steps, dt_step,
                           result);
@@ -622,13 +709,21 @@ ScheduleResult BentPipeScheduler::run(const orbit::TimeGrid& grid, std::size_t p
         StepSchedule schedule = consume_step(
             cctx, wave[slot][b], step, faults,
             faulted ? std::span<const std::uint8_t>(detach.blocked)
-                    : std::span<const std::uint8_t>{});
+                    : std::span<const std::uint8_t>{},
+            metrics != nullptr ? &beam_rejections : nullptr);
         if (faulted) detach.post_step(schedule);
         accumulate_step(schedule, terminals_, satellites_, dt_step, result);
+        links_granted += schedule.links.size();
         if (keep_steps) result.steps.push_back(std::move(schedule));
       }
     }
+    drain_timer.stop();
   }
+
+  rm.steps.add(step_total);
+  rm.beam_rejections.add(beam_rejections);
+  rm.links_granted.add(links_granted);
+  rm.failure_forced_detaches.add(result.failure_forced_detaches);
   return result;
 }
 

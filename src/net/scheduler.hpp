@@ -39,6 +39,12 @@
 namespace mpleo::fault {
 class FaultTimeline;
 }
+namespace mpleo::obs {
+class MetricsRegistry;
+}
+namespace mpleo::sim {
+class RunContext;
+}
 namespace mpleo::util {
 class ThreadPool;
 }
@@ -143,6 +149,18 @@ class BentPipeScheduler {
                                    bool keep_steps = false,
                                    util::ThreadPool* pool = nullptr) const;
 
+  // RunContext entry point — the preferred API. The context supplies the
+  // pool, the (optional) fault timeline and the metrics registry in one
+  // argument; phase timings (propagate / cull / chunk fill / wave drain),
+  // candidate-list occupancy, beam-allocation rejections and fault-forced
+  // detaches land in context.metrics() under the "sched." prefix. The
+  // returned ScheduleResult is bit-identical to
+  //   run(grid, party_count, context.faults(), keep_steps, context.pool())
+  // for any context, and to the old default-argument run() for a
+  // default-constructed context.
+  [[nodiscard]] ScheduleResult run(const orbit::TimeGrid& grid, std::size_t party_count,
+                                   sim::RunContext& context, bool keep_steps = false) const;
+
   // Degraded-operations run: `faults` gates per-step asset health, and a
   // terminal whose serving satellite or station fails enters a
   // `reacquisition_backoff_steps`-step hold before it may re-attach. With a
@@ -174,6 +192,12 @@ class BentPipeScheduler {
   void validate_owners(std::size_t party_count) const;
   [[nodiscard]] orbit::EphemerisSet ephemerides(const orbit::TimeGrid& grid,
                                                 util::ThreadPool* pool) const;
+  // The one pipeline body behind every run() overload; a null registry
+  // disables instrumentation entirely (the metric handles become no-ops).
+  [[nodiscard]] ScheduleResult run_impl(const orbit::TimeGrid& grid, std::size_t party_count,
+                                        const fault::FaultTimeline* faults, bool keep_steps,
+                                        util::ThreadPool* pool,
+                                        obs::MetricsRegistry* metrics) const;
 
   SchedulerConfig config_;
   std::vector<constellation::Satellite> satellites_;

@@ -1,0 +1,337 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpleo::obs {
+namespace {
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> next{0};
+  return ++next;
+}
+
+std::string format_number(double value, std::ostringstream& scratch) {
+  scratch.str({});
+  scratch << std::setprecision(std::numeric_limits<double>::max_digits10) << value;
+  return scratch.str();
+}
+
+std::size_t find_or_append(std::vector<std::string>& names, std::string_view name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  names.emplace_back(name);
+  return names.size() - 1;
+}
+
+bool contains(const std::vector<std::string>& names, std::string_view name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace
+
+// One thread's private slice of every metric. A shard is written by exactly
+// one thread; vectors grow lazily to the slot being touched, so shards stay
+// tiny when a thread only ever updates a few metrics.
+struct MetricsRegistry::Shard {
+  struct Hist {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    // Bounds are copied from the registry on the shard's first observation
+    // (under the registry lock) so later observes never touch shared state.
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (+inf overflow)
+  };
+
+  std::vector<std::uint64_t> counters;
+  std::vector<Hist> histograms;
+};
+
+void Counter::add(std::uint64_t delta) const {
+  if (registry_ != nullptr) registry_->counter_add(slot_, delta);
+}
+
+void Gauge::set(double value) const {
+  if (registry_ != nullptr) registry_->gauge_set(slot_, value);
+}
+
+void Histogram::observe(double value) const {
+  if (registry_ != nullptr) registry_->histogram_observe(slot_, value);
+}
+
+double ScopedTimer::stop() {
+  if (stopped_) return 0.0;
+  stopped_ = true;
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_;
+  histogram_.observe(elapsed.count());
+  return elapsed.count();
+}
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (contains(gauge_names_, name) || contains(histogram_names_, name)) {
+    throw std::invalid_argument("MetricsRegistry: " + std::string(name) +
+                                " already registered as a different kind");
+  }
+  return Counter(this, find_or_append(counter_names_, name));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (contains(counter_names_, name) || contains(histogram_names_, name)) {
+    throw std::invalid_argument("MetricsRegistry: " + std::string(name) +
+                                " already registered as a different kind");
+  }
+  const std::size_t slot = find_or_append(gauge_names_, name);
+  if (gauge_values_.size() < gauge_names_.size()) gauge_values_.resize(gauge_names_.size(), 0.0);
+  return Gauge(this, slot);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, std::vector<double> upper_bounds) {
+  for (std::size_t i = 0; i + 1 < upper_bounds.size(); ++i) {
+    if (!(upper_bounds[i] < upper_bounds[i + 1])) {
+      throw std::invalid_argument("MetricsRegistry: histogram bounds must strictly increase");
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (contains(counter_names_, name) || contains(gauge_names_, name)) {
+    throw std::invalid_argument("MetricsRegistry: " + std::string(name) +
+                                " already registered as a different kind");
+  }
+  const std::size_t slot = find_or_append(histogram_names_, name);
+  if (histogram_bounds_.size() < histogram_names_.size()) {
+    histogram_bounds_.push_back(std::move(upper_bounds));
+  }
+  return Histogram(this, slot);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, default_seconds_bounds());
+}
+
+bool MetricsRegistry::empty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counter_names_.empty() && gauge_names_.empty() && histogram_names_.empty();
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  struct CacheEntry {
+    std::uint64_t registry_id;
+    Shard* shard;
+  };
+  // Keyed by registry id, not address: ids are never reused, so entries for
+  // destroyed registries simply never match again. Linear scan — a thread
+  // touches few registries, and the hit is the very first entry in the
+  // steady state.
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.registry_id == id_) return *entry.shard;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  cache.push_back({id_, shards_.back().get()});
+  return *shards_.back();
+}
+
+void MetricsRegistry::counter_add(std::size_t slot, std::uint64_t delta) {
+  Shard& shard = local_shard();
+  if (shard.counters.size() <= slot) shard.counters.resize(slot + 1, 0);
+  shard.counters[slot] += delta;
+}
+
+void MetricsRegistry::gauge_set(std::size_t slot, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauge_values_[slot] = value;
+}
+
+void MetricsRegistry::histogram_observe(std::size_t slot, double value) {
+  Shard& shard = local_shard();
+  if (shard.histograms.size() <= slot) shard.histograms.resize(slot + 1);
+  Shard::Hist& hist = shard.histograms[slot];
+  if (hist.buckets.empty()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hist.bounds = histogram_bounds_[slot];
+    hist.buckets.assign(hist.bounds.size() + 1, 0);
+  }
+  if (hist.count == 0) {
+    hist.min = value;
+    hist.max = value;
+  } else {
+    hist.min = std::min(hist.min, value);
+    hist.max = std::max(hist.max, value);
+  }
+  ++hist.count;
+  hist.sum += value;
+  // First bound >= value is the tightest "value <= bound" bucket;
+  // bounds.size() is the +inf overflow.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(hist.bounds.begin(), hist.bounds.end(), value) - hist.bounds.begin());
+  ++hist.buckets[bucket];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t slot = 0; slot < counter_names_.size(); ++slot) {
+    std::uint64_t total = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (slot < shard->counters.size()) total += shard->counters[slot];
+    }
+    snap.counters.emplace_back(counter_names_[slot], total);
+  }
+
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t slot = 0; slot < gauge_names_.size(); ++slot) {
+    snap.gauges.emplace_back(gauge_names_[slot], gauge_values_[slot]);
+  }
+
+  snap.histograms.reserve(histogram_names_.size());
+  for (std::size_t slot = 0; slot < histogram_names_.size(); ++slot) {
+    HistogramSnapshot hist;
+    hist.upper_bounds = histogram_bounds_[slot];
+    hist.bucket_counts.assign(hist.upper_bounds.size() + 1, 0);
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (slot >= shard->histograms.size()) continue;
+      const Shard::Hist& part = shard->histograms[slot];
+      if (part.count == 0) continue;
+      if (hist.count == 0) {
+        hist.min = part.min;
+        hist.max = part.max;
+      } else {
+        hist.min = std::min(hist.min, part.min);
+        hist.max = std::max(hist.max, part.max);
+      }
+      hist.count += part.count;
+      hist.sum += part.sum;
+      for (std::size_t b = 0; b < part.buckets.size(); ++b) {
+        hist.bucket_counts[b] += part.buckets[b];
+      }
+    }
+    snap.histograms.emplace_back(histogram_names_[slot], std::move(hist));
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const MetricsSnapshot snap = snapshot();
+  for (const auto& [counter_name, value] : snap.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+std::string MetricsRegistry::to_json(std::size_t base_indent) const {
+  const MetricsSnapshot snap = snapshot();
+  const std::string pad(base_indent, ' ');
+  std::ostringstream os;
+  std::ostringstream scratch;
+
+  os << "{\n";
+  os << pad << "  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << pad << "    \"" << json_escape(snap.counters[i].first)
+       << "\": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "" : "\n" + pad + "  ") << "},\n";
+
+  os << pad << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << pad << "    \"" << json_escape(snap.gauges[i].first)
+       << "\": " << format_number(snap.gauges[i].second, scratch);
+  }
+  os << (snap.gauges.empty() ? "" : "\n" + pad + "  ") << "},\n";
+
+  os << pad << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& hist = snap.histograms[i].second;
+    os << (i == 0 ? "\n" : ",\n") << pad << "    \"" << json_escape(snap.histograms[i].first)
+       << "\": {\n";
+    os << pad << "      \"count\": " << hist.count << ",\n";
+    os << pad << "      \"sum\": " << format_number(hist.sum, scratch) << ",\n";
+    os << pad << "      \"min\": " << format_number(hist.min, scratch) << ",\n";
+    os << pad << "      \"max\": " << format_number(hist.max, scratch) << ",\n";
+    os << pad << "      \"buckets\": [";
+    for (std::size_t b = 0; b < hist.bucket_counts.size(); ++b) {
+      os << (b == 0 ? "\n" : ",\n") << pad << "        {\"le\": ";
+      if (b < hist.upper_bounds.size()) {
+        os << format_number(hist.upper_bounds[b], scratch);
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << hist.bucket_counts[b] << "}";
+    }
+    os << "\n" << pad << "      ]\n";
+    os << pad << "    }";
+  }
+  os << (snap.histograms.empty() ? "" : "\n" + pad + "  ") << "}\n";
+  os << pad << "}";
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::fill(shard->counters.begin(), shard->counters.end(), 0);
+    for (Shard::Hist& hist : shard->histograms) {
+      hist.count = 0;
+      hist.sum = 0.0;
+      hist.min = 0.0;
+      hist.max = 0.0;
+      std::fill(hist.buckets.begin(), hist.buckets.end(), 0);
+    }
+  }
+  std::fill(gauge_values_.begin(), gauge_values_.end(), 0.0);
+}
+
+std::vector<double> MetricsRegistry::default_seconds_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+}
+
+std::vector<double> MetricsRegistry::default_count_bounds() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0, 65536.0};
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mpleo::obs

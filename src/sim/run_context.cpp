@@ -1,0 +1,49 @@
+#include "sim/run_context.hpp"
+
+namespace mpleo::sim {
+
+RunContext::RunContext(Scenario scenario) : scenario_(std::move(scenario)) {
+  if (scenario_.threads != 1) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(scenario_.threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+RunContext::~RunContext() = default;
+
+RunContext& RunContext::use_threads(std::size_t count) {
+  scenario_.threads = count;
+  owned_pool_.reset();
+  pool_ = nullptr;
+  if (count != 1) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(count);
+    pool_ = owned_pool_.get();
+  }
+  return *this;
+}
+
+RunContext& RunContext::use_pool(util::ThreadPool* pool) {
+  owned_pool_.reset();
+  pool_ = pool;
+  return *this;
+}
+
+RunContext& RunContext::use_faults(fault::FaultTimeline timeline) {
+  owned_faults_ = std::move(timeline);
+  borrowed_faults_ = nullptr;
+  return *this;
+}
+
+RunContext& RunContext::use_faults(const fault::FaultTimeline* timeline) {
+  borrowed_faults_ = timeline;
+  owned_faults_.reset();
+  return *this;
+}
+
+RunContext& RunContext::clear_faults() {
+  owned_faults_.reset();
+  borrowed_faults_ = nullptr;
+  return *this;
+}
+
+}  // namespace mpleo::sim

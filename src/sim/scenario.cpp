@@ -1,6 +1,7 @@
 #include "sim/scenario.hpp"
 
 #include <cstdlib>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -24,36 +25,85 @@ double to_double(std::string_view value, const char* flag) {
   return parsed;
 }
 
+// The single source of truth for the flag set: the parser dispatches on it
+// and unknown-flag errors / flag_help() render it, so the two can never
+// drift apart.
+struct FlagSpec {
+  std::string_view name;  // including the trailing '=' for valued flags
+  std::string_view help;
+  void (*apply)(Scenario&, std::string_view value);
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"--runs=", "Monte-Carlo runs (default 20; the paper uses 100)",
+     [](Scenario& s, std::string_view v) {
+       s.runs = static_cast<std::size_t>(to_double(v, "--runs"));
+     }},
+    {"--step=", "time step in seconds (default 60)",
+     [](Scenario& s, std::string_view v) { s.step_s = to_double(v, "--step"); }},
+    {"--mask=", "elevation mask in degrees (default 25)",
+     [](Scenario& s, std::string_view v) {
+       s.elevation_mask_deg = to_double(v, "--mask");
+     }},
+    {"--seed=", "RNG seed (default 42)",
+     [](Scenario& s, std::string_view v) {
+       s.seed = static_cast<std::uint64_t>(to_double(v, "--seed"));
+     }},
+    {"--days=", "evaluation window in days (default 7)",
+     [](Scenario& s, std::string_view v) {
+       s.duration_s = to_double(v, "--days") * 86400.0;
+     }},
+    {"--epoch=", "ISO-8601 scenario epoch (default 2024-11-18T00:00:00Z)",
+     [](Scenario& s, std::string_view v) {
+       s.epoch = orbit::TimePoint::from_iso8601(std::string(v));
+     }},
+    {"--threads=", "RunContext pool threads: 1 = serial, 0 = all hardware (default 1)",
+     [](Scenario& s, std::string_view v) {
+       s.threads = static_cast<std::size_t>(to_double(v, "--threads"));
+     }},
+    {"--full", "paper fidelity: 100 runs",
+     [](Scenario& s, std::string_view) { s.apply_full_fidelity(); }},
+    {"--quick", "smoke settings: 5 runs, 2 days, 120 s step",
+     [](Scenario& s, std::string_view) {
+       s.runs = 5;
+       s.duration_s = 2.0 * 86400.0;
+       s.step_s = 120.0;
+     }},
+    {"--no-gen2", "drop the Starlink Gen2 shells from the catalog",
+     [](Scenario& s, std::string_view) { s.include_gen2_catalog = false; }},
+};
+
 }  // namespace
+
+std::string flag_help() {
+  std::ostringstream os;
+  for (const FlagSpec& flag : std::span(kFlags)) {
+    os << "  " << flag.name << (flag.name.back() == '=' ? "N" : " ") << "  " << flag.help
+       << '\n';
+  }
+  return os.str();
+}
 
 Scenario parse_scenario(int argc, const char* const* argv, Scenario defaults) {
   Scenario scenario = defaults;
   for (int i = 1; i < argc; ++i) {
-    std::string_view arg(argv[i]);
-    if (arg == "--full") {
-      scenario.apply_full_fidelity();
-    } else if (arg == "--quick") {
-      scenario.runs = 5;
-      scenario.duration_s = 2.0 * 86400.0;
-      scenario.step_s = 120.0;
-    } else if (arg == "--no-gen2") {
-      scenario.include_gen2_catalog = false;
-    } else if (consume_prefix(arg, "--runs=")) {
-      scenario.runs = static_cast<std::size_t>(to_double(arg, "--runs"));
-    } else if (consume_prefix(arg, "--step=")) {
-      scenario.step_s = to_double(arg, "--step");
-    } else if (consume_prefix(arg, "--mask=")) {
-      scenario.elevation_mask_deg = to_double(arg, "--mask");
-    } else if (consume_prefix(arg, "--seed=")) {
-      scenario.seed = static_cast<std::uint64_t>(to_double(arg, "--seed"));
-    } else if (consume_prefix(arg, "--days=")) {
-      scenario.duration_s = to_double(arg, "--days") * 86400.0;
-    } else if (consume_prefix(arg, "--epoch=")) {
-      scenario.epoch = orbit::TimePoint::from_iso8601(std::string(arg));
-    } else {
-      throw std::invalid_argument("unknown flag: " + std::string(argv[i]) +
-                                  " (supported: --runs= --step= --mask= --seed= --days= "
-                                  "--epoch= --full --quick --no-gen2)");
+    const std::string_view raw(argv[i]);
+    bool matched = false;
+    for (const FlagSpec& flag : std::span(kFlags)) {
+      if (flag.name.back() == '=') {
+        std::string_view value = raw;
+        if (!consume_prefix(value, flag.name)) continue;
+        flag.apply(scenario, value);
+      } else {
+        if (raw != flag.name) continue;
+        flag.apply(scenario, {});
+      }
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      throw std::invalid_argument("unknown flag: " + std::string(raw) + "\nvalid flags:\n" +
+                                  flag_help());
     }
   }
   if (scenario.runs == 0) throw std::invalid_argument("--runs must be >= 1");
@@ -67,6 +117,14 @@ std::string describe(const Scenario& scenario) {
   os << "epoch=" << scenario.epoch.to_iso8601() << " window=" << scenario.duration_s / 86400.0
      << "d step=" << scenario.step_s << "s mask=" << scenario.elevation_mask_deg
      << "deg runs=" << scenario.runs << " seed=" << scenario.seed;
+  if (scenario.threads != 1) {
+    os << " threads=";
+    if (scenario.threads == 0) {
+      os << "hw";
+    } else {
+      os << scenario.threads;
+    }
+  }
   return os.str();
 }
 

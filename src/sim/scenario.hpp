@@ -20,6 +20,10 @@ struct Scenario {
   std::size_t runs = 20;     // paper uses 100; see --full
   std::uint64_t seed = 42;
   bool include_gen2_catalog = true;
+  // Worker threads for the RunContext pool: 1 (default) = serial, 0 = all
+  // hardware threads, N = N threads. Results are bit-identical for any
+  // value; only wall-clock time changes.
+  std::size_t threads = 1;
 
   [[nodiscard]] orbit::TimeGrid grid() const {
     return orbit::TimeGrid::over_duration(epoch, duration_s, step_s);
@@ -31,10 +35,15 @@ struct Scenario {
 };
 
 // Parses flags of the form --runs=100 --step=30 --mask=25 --seed=7 --days=7
-// --full (100 runs) --quick (5 runs, 2 days, 120 s). Unknown flags throw.
+// --threads=4 --full (100 runs) --quick (5 runs, 2 days, 120 s). Unknown
+// flags throw with a message listing every valid flag (see flag_help()).
 // Returns the scenario; `defaults` seeds the initial values.
 [[nodiscard]] Scenario parse_scenario(int argc, const char* const* argv,
                                       Scenario defaults = {});
+
+// One "--flag  description" line per supported flag — the text unknown-flag
+// errors carry, reusable by drivers printing usage.
+[[nodiscard]] std::string flag_help();
 
 // Renders the scenario as a one-line header benches print above tables.
 [[nodiscard]] std::string describe(const Scenario& scenario);

@@ -1,6 +1,10 @@
 #include "sim/trace.hpp"
 
+#include <iomanip>
+#include <limits>
 #include <sstream>
+
+#include "obs/metrics.hpp"
 
 namespace mpleo::sim {
 
@@ -29,6 +33,24 @@ std::string TraceRecorder::to_string() const {
   for (const TraceEvent& e : events_) {
     os << "t=" << e.time_s << "s [" << e.category << "] " << e.message << '\n';
   }
+  return os.str();
+}
+
+std::string TraceRecorder::to_json(std::size_t base_indent) const {
+  const std::string pad(base_indent, ' ');
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "{\n";
+  os << pad << "  \"event_count\": " << events_.size() << ",\n";
+  os << pad << "  \"events\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    os << (i == 0 ? "\n" : ",\n") << pad << "    {\"time_s\": " << e.time_s
+       << ", \"category\": \"" << obs::json_escape(e.category) << "\", \"message\": \""
+       << obs::json_escape(e.message) << "\"}";
+  }
+  os << (events_.empty() ? "" : "\n" + pad + "  ") << "]\n";
+  os << pad << "}";
   return os.str();
 }
 

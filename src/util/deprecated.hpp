@@ -1,0 +1,15 @@
+// Deprecation escape hatch for the pre-RunContext entry points.
+//
+// MPLEO_DEPRECATED(msg) expands to [[deprecated(msg)]] unless the including
+// translation unit defines MPLEO_ALLOW_DEPRECATED first — the opt-out used
+// by the tests that pin old-API vs RunContext-API bit-identity, and by
+// downstream code that wants a quiet migration window. CI builds the
+// examples with -Werror=deprecated-declarations to prove the shipped
+// drivers are fully migrated.
+#pragma once
+
+#if defined(MPLEO_ALLOW_DEPRECATED)
+#define MPLEO_DEPRECATED(msg)
+#else
+#define MPLEO_DEPRECATED(msg) [[deprecated(msg)]]
+#endif

@@ -1,3 +1,7 @@
+// This suite pins the legacy tail-parameter API (run_epoch(pool)); the
+// RunContext path is covered by run_context_identity_test.cpp.
+#define MPLEO_ALLOW_DEPRECATED
+
 #include "core/campaign.hpp"
 
 #include <gtest/gtest.h>

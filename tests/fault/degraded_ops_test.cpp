@@ -1,5 +1,10 @@
 // Degraded operations: the fault layer threaded through scheduling, handover
 // analysis, SLA evaluation, and settlement.
+//
+// Pins the legacy evaluate_sla(terms, cache, fleet, site, faults) tail-
+// parameter overload; the RunContext path lives in run_context_identity_test.
+#define MPLEO_ALLOW_DEPRECATED
+
 #include <gtest/gtest.h>
 
 #include "core/ledger.hpp"

@@ -1,0 +1,229 @@
+// MetricsRegistry contracts: handle registration, null-safety, shard-merged
+// snapshots, JSON rendering, reset, and cross-thread accumulation.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace mpleo::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry registry;
+  const Counter c = registry.counter("events");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(registry.counter_value("events"), 42u);
+}
+
+TEST(Metrics, SameNameSameMetric) {
+  MetricsRegistry registry;
+  registry.counter("hits").add(1);
+  registry.counter("hits").add(2);
+  EXPECT_EQ(registry.counter_value("hits"), 3u);
+}
+
+TEST(Metrics, UnregisteredCounterReadsZero) {
+  const MetricsRegistry registry;
+  EXPECT_EQ(registry.counter_value("never"), 0u);
+}
+
+TEST(Metrics, NullHandlesIgnoreUpdates) {
+  const Counter counter;
+  const Gauge gauge;
+  const Histogram histogram;
+  EXPECT_FALSE(static_cast<bool>(counter));
+  EXPECT_FALSE(static_cast<bool>(gauge));
+  EXPECT_FALSE(static_cast<bool>(histogram));
+  counter.add(7);       // must not crash
+  gauge.set(1.0);
+  histogram.observe(2.0);
+  ScopedTimer timer{Histogram{}};
+  EXPECT_GE(timer.stop(), 0.0);
+}
+
+TEST(Metrics, CrossKindNameCollisionThrows) {
+  MetricsRegistry registry;
+  (void)registry.counter("x");
+  EXPECT_THROW((void)registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("x"), std::invalid_argument);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  const Gauge g = registry.gauge("threads");
+  g.set(4.0);
+  g.set(8.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "threads");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 8.0);
+}
+
+TEST(Metrics, HistogramBucketsUseLessOrEqualSemantics) {
+  MetricsRegistry registry;
+  const Histogram h = registry.histogram("sizes", {1.0, 10.0, 100.0});
+  h.observe(1.0);    // == bound -> first bucket (le semantics)
+  h.observe(5.0);    // (1, 10]
+  h.observe(10.0);   // == bound -> second bucket
+  h.observe(1000.0); // past every bound -> +inf overflow
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hist = snap.histograms[0].second;
+  EXPECT_EQ(hist.count, 4u);
+  EXPECT_DOUBLE_EQ(hist.sum, 1016.0);
+  EXPECT_DOUBLE_EQ(hist.min, 1.0);
+  EXPECT_DOUBLE_EQ(hist.max, 1000.0);
+  ASSERT_EQ(hist.upper_bounds.size(), 3u);
+  ASSERT_EQ(hist.bucket_counts.size(), 4u);
+  EXPECT_EQ(hist.bucket_counts[0], 1u);
+  EXPECT_EQ(hist.bucket_counts[1], 2u);
+  EXPECT_EQ(hist.bucket_counts[2], 0u);
+  EXPECT_EQ(hist.bucket_counts[3], 1u);
+}
+
+TEST(Metrics, EmptyHistogramSnapshot) {
+  MetricsRegistry registry;
+  (void)registry.histogram("idle");
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hist = snap.histograms[0].second;
+  EXPECT_EQ(hist.count, 0u);
+  EXPECT_DOUBLE_EQ(hist.min, 0.0);
+  EXPECT_DOUBLE_EQ(hist.max, 0.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : hist.bucket_counts) total += b;
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(Metrics, ScopedTimerRecordsOnce) {
+  MetricsRegistry registry;
+  {
+    ScopedTimer timer(registry.histogram("lap_seconds"));
+    const double elapsed = timer.stop();
+    EXPECT_GE(elapsed, 0.0);
+    EXPECT_EQ(timer.stop(), 0.0);  // second stop is a no-op
+  }  // destructor after stop() must not double-record
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+}
+
+TEST(Metrics, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("zebra").add(1);
+  registry.counter("aardvark").add(1);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "aardvark");
+  EXPECT_EQ(snap.counters[1].first, "zebra");
+}
+
+TEST(Metrics, EmptyAndReset) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  registry.counter("n").add(5);
+  registry.gauge("g").set(3.0);
+  EXPECT_FALSE(registry.empty());
+  registry.reset();
+  EXPECT_FALSE(registry.empty());  // names stay registered
+  EXPECT_EQ(registry.counter_value("n"), 0u);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.0);
+}
+
+TEST(Metrics, ToJsonEmptyRegistry) {
+  const MetricsRegistry registry;
+  EXPECT_EQ(registry.to_json(),
+            "{\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {}\n"
+            "}");
+}
+
+TEST(Metrics, ToJsonRendersEveryKind) {
+  MetricsRegistry registry;
+  registry.counter("sched.steps").add(1440);
+  registry.gauge("sched.threads").set(4.0);
+  registry.histogram("occupancy", {2.0}).observe(1.0);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"sched.steps\": 1440"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sched.threads\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"le\": 2, \"count\": 1}"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"le\": \"inf\", \"count\": 0}"), std::string::npos) << json;
+}
+
+TEST(Metrics, ToJsonBaseIndentPrefixesContinuationLines) {
+  MetricsRegistry registry;
+  registry.counter("a").add(1);
+  const std::string json = registry.to_json(4);
+  EXPECT_EQ(json.rfind("{", 0), 0u);  // first line unindented
+  EXPECT_NE(json.find("\n      \"counters\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\n    }"), std::string::npos) << json;
+}
+
+TEST(Metrics, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(Metrics, DefaultBoundsAreStrictlyIncreasing) {
+  for (const std::vector<double>& bounds :
+       {MetricsRegistry::default_seconds_bounds(), MetricsRegistry::default_count_bounds()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+TEST(Metrics, ConcurrentAddsMergeExactly) {
+  MetricsRegistry registry;
+  const Counter c = registry.counter("hits");
+  const Histogram h = registry.histogram("values", {10.0, 100.0});
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        h.observe(static_cast<double>((t + i) % 128));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter_value("hits"), kThreads * kPerThread);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hist = snap.histograms[0].second;
+  EXPECT_EQ(hist.count, kThreads * kPerThread);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : hist.bucket_counts) total += b;
+  EXPECT_EQ(total, hist.count);
+}
+
+TEST(Metrics, PoolWorkersShareOneRegistry) {
+  // parallel_for returning is the quiescence point the snapshot contract
+  // requires; the merged counter must be exact for any worker count.
+  MetricsRegistry registry;
+  const Counter c = registry.counter("iterations");
+  util::ThreadPool pool(4);
+  pool.parallel_for(1000, [&](std::size_t) { c.add(1); });
+  EXPECT_EQ(registry.counter_value("iterations"), 1000u);
+}
+
+}  // namespace
+}  // namespace mpleo::obs

@@ -2,6 +2,11 @@
 // no-fault code path everywhere it is accepted, seeded sweeps reproduce
 // exactly, and coverage under common-random-numbers thinning is monotone in
 // the failure rate.
+//
+// Deliberately exercises the legacy tail-parameter overloads (the contracts
+// must hold on both API surfaces); hence the deprecation opt-out.
+#define MPLEO_ALLOW_DEPRECATED
+
 #include <gtest/gtest.h>
 
 #include "core/robustness.hpp"

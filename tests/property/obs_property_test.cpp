@@ -1,0 +1,178 @@
+// Observability contracts: merged metrics are pool-size invariant whenever
+// the observations themselves are deterministic. Integer counters and
+// integer-valued histogram observations distribute across per-thread shards
+// in arbitrary ways, but the merge must always sum to exactly the same
+// snapshot — and the scheduler's own counters, recorded from inside the
+// two-phase pipeline, must obey the same invariance end to end.
+#include <gtest/gtest.h>
+
+#include "net/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "orbit/geodesy.hpp"
+#include "sim/run_context.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mpleo {
+namespace {
+
+const orbit::TimePoint kEpoch = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+
+// Deterministic integer workload: item i contributes delta (i % 17) + 1 to
+// the counter and observes value i % 23 into the histogram, regardless of
+// which worker runs it.
+void run_workload(const obs::Counter& counter, const obs::Histogram& histogram,
+                  std::size_t items, util::ThreadPool* pool) {
+  const auto work = [&](std::size_t i) {
+    counter.add(i % 17 + 1);
+    histogram.observe(static_cast<double>(i % 23));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(items, work);
+  } else {
+    for (std::size_t i = 0; i < items; ++i) work(i);
+  }
+}
+
+TEST(ObsProperty, MergedCountersAndHistogramsArePoolSizeInvariant) {
+  constexpr std::size_t kItems = 5000;
+
+  obs::MetricsRegistry serial;
+  run_workload(serial.counter("work"), serial.histogram("values", {4.0, 8.0, 16.0}),
+               kItems, nullptr);
+  const obs::MetricsSnapshot expected = serial.snapshot();
+  ASSERT_EQ(expected.counters.size(), 1u);
+  ASSERT_EQ(expected.histograms.size(), 1u);
+
+  for (const std::size_t threads : {1u, 2u, 3u, 7u}) {
+    util::ThreadPool pool(threads);
+    obs::MetricsRegistry registry;
+    run_workload(registry.counter("work"), registry.histogram("values", {4.0, 8.0, 16.0}),
+                 kItems, &pool);
+    const obs::MetricsSnapshot merged = registry.snapshot();
+
+    ASSERT_EQ(merged.counters.size(), 1u) << "pool size " << threads;
+    EXPECT_EQ(merged.counters[0].second, expected.counters[0].second)
+        << "pool size " << threads;
+
+    ASSERT_EQ(merged.histograms.size(), 1u) << "pool size " << threads;
+    const obs::HistogramSnapshot& got = merged.histograms[0].second;
+    const obs::HistogramSnapshot& want = expected.histograms[0].second;
+    EXPECT_EQ(got.count, want.count) << "pool size " << threads;
+    // Observations are small integers, so even the floating sum is exact.
+    EXPECT_EQ(got.sum, want.sum) << "pool size " << threads;
+    EXPECT_EQ(got.min, want.min) << "pool size " << threads;
+    EXPECT_EQ(got.max, want.max) << "pool size " << threads;
+    EXPECT_EQ(got.bucket_counts, want.bucket_counts) << "pool size " << threads;
+  }
+}
+
+TEST(ObsProperty, RepeatedRunsAccumulateLinearly) {
+  obs::MetricsRegistry registry;
+  const obs::Counter c = registry.counter("work");
+  const obs::Histogram h = registry.histogram("values", {4.0});
+  util::ThreadPool pool(3);
+  run_workload(c, h, 1000, &pool);
+  const std::uint64_t once = registry.counter_value("work");
+  run_workload(c, h, 1000, &pool);
+  EXPECT_EQ(registry.counter_value("work"), 2 * once);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.histograms[0].second.count, 2000u);
+}
+
+// A small mixed-ownership fleet whose candidate lists exercise both the
+// own-link and spare paths; the exact geometry does not matter, only that it
+// is deterministic.
+struct Fleet {
+  net::SchedulerConfig config;
+  std::vector<constellation::Satellite> satellites;
+  std::vector<net::Terminal> terminals;
+  std::vector<net::GroundStation> stations;
+  std::size_t party_count = 3;
+};
+
+Fleet make_fleet() {
+  Fleet f;
+  f.config.beams_per_satellite = 2;
+  for (std::size_t i = 0; i < 12; ++i) {
+    constellation::Satellite sat;
+    sat.id = static_cast<constellation::SatelliteId>(i);
+    sat.owner_party = static_cast<std::uint32_t>(i % f.party_count);
+    sat.elements = orbit::ClassicalElements::circular(
+        550e3 + 10e3 * static_cast<double>(i % 4), 53.0,
+        30.0 * static_cast<double>(i), 40.0 * static_cast<double>(i));
+    sat.epoch = kEpoch;
+    f.satellites.push_back(sat);
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    net::Terminal t;
+    t.id = static_cast<net::TerminalId>(i);
+    t.owner_party = static_cast<std::uint32_t>(i % f.party_count);
+    t.location = orbit::Geodetic::from_degrees(
+        -30.0 + 12.0 * static_cast<double>(i), 10.0 + 8.0 * static_cast<double>(i));
+    t.radio = net::default_user_terminal();
+    t.demand_bps = 50e6;
+    f.terminals.push_back(t);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    net::GroundStation gs;
+    gs.id = static_cast<net::GroundStationId>(i);
+    gs.owner_party = static_cast<std::uint32_t>(i);
+    gs.location = orbit::Geodetic::from_degrees(
+        -25.0 + 15.0 * static_cast<double>(i), 12.0 + 11.0 * static_cast<double>(i));
+    gs.radio = net::default_ground_station();
+    f.stations.push_back(gs);
+  }
+  return f;
+}
+
+TEST(ObsProperty, SchedulerCountersArePoolSizeInvariant) {
+  const Fleet f = make_fleet();
+  const net::BentPipeScheduler scheduler(f.config, f.satellites, f.terminals,
+                                         f.stations);
+  // 90 minutes at 60 s crosses a StepMask word boundary inside the pipeline.
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 5400.0, 60.0);
+
+  const auto counters_for = [&](std::size_t threads) {
+    sim::Scenario scenario;
+    scenario.threads = threads;
+    sim::RunContext context(scenario);
+    const net::ScheduleResult result =
+        scheduler.run(grid, f.party_count, context, /*keep_steps=*/true);
+    EXPECT_EQ(result.steps.size(), grid.count);
+    obs::MetricsSnapshot snap = context.metrics().snapshot();
+    // Wall-clock histograms and pool-shape gauges legitimately vary; strip
+    // everything but the integer counters and the integer-valued
+    // candidates-per-step distribution.
+    std::erase_if(snap.histograms,
+                  [](const auto& h) { return h.first != "sched.candidates_per_step"; });
+    snap.gauges.clear();
+    return snap;
+  };
+
+  const obs::MetricsSnapshot serial = counters_for(1);
+  EXPECT_GT(serial.counters.size(), 0u);
+  ASSERT_EQ(serial.histograms.size(), 1u);
+  EXPECT_EQ(serial.histograms[0].second.count, grid.count);
+
+  for (const std::size_t threads : {2u, 3u, 5u}) {
+    const obs::MetricsSnapshot pooled = counters_for(threads);
+    ASSERT_EQ(pooled.counters.size(), serial.counters.size()) << "pool size " << threads;
+    for (std::size_t i = 0; i < serial.counters.size(); ++i) {
+      EXPECT_EQ(pooled.counters[i].first, serial.counters[i].first);
+      EXPECT_EQ(pooled.counters[i].second, serial.counters[i].second)
+          << serial.counters[i].first << " with pool size " << threads;
+    }
+    ASSERT_EQ(pooled.histograms.size(), 1u);
+    const obs::HistogramSnapshot& got = pooled.histograms[0].second;
+    const obs::HistogramSnapshot& want = serial.histograms[0].second;
+    EXPECT_EQ(got.count, want.count) << "pool size " << threads;
+    EXPECT_EQ(got.sum, want.sum) << "pool size " << threads;
+    EXPECT_EQ(got.min, want.min) << "pool size " << threads;
+    EXPECT_EQ(got.max, want.max) << "pool size " << threads;
+    EXPECT_EQ(got.bucket_counts, want.bucket_counts) << "pool size " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace mpleo

@@ -69,6 +69,39 @@ TEST(Scenario, RejectsUnknownAndInvalid) {
   EXPECT_THROW(parse({"--days=0"}), std::invalid_argument);
 }
 
+TEST(Scenario, ThreadsFlag) {
+  EXPECT_EQ(Scenario{}.threads, 1u);  // default: serial, no pool
+  EXPECT_EQ(parse({"--threads=4"}).threads, 4u);
+  EXPECT_EQ(parse({"--threads=0"}).threads, 0u);  // hardware concurrency
+  EXPECT_THROW(parse({"--threads=abc"}), std::invalid_argument);
+}
+
+TEST(Scenario, UnknownFlagErrorListsEveryValidFlag) {
+  try {
+    parse({"--bogus"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown flag: --bogus"), std::string::npos) << msg;
+    // The message must render the same table flag_help() does, so the flag
+    // list in errors can never drift from the parser's flag set.
+    EXPECT_NE(msg.find(flag_help()), std::string::npos) << msg;
+    for (const char* flag : {"--runs=", "--step=", "--mask=", "--seed=", "--days=",
+                             "--epoch=", "--threads=", "--full", "--quick", "--no-gen2"}) {
+      EXPECT_NE(msg.find(flag), std::string::npos) << "missing " << flag;
+    }
+  }
+}
+
+TEST(Scenario, DescribeMentionsThreadsOnlyWhenNotSerial) {
+  Scenario s;
+  EXPECT_EQ(describe(s).find("threads"), std::string::npos);
+  s.threads = 0;
+  EXPECT_NE(describe(s).find("threads=hw"), std::string::npos);
+  s.threads = 6;
+  EXPECT_NE(describe(s).find("threads=6"), std::string::npos);
+}
+
 TEST(Scenario, DescribeMentionsKeyParameters) {
   const std::string desc = describe(Scenario{});
   EXPECT_NE(desc.find("2024-11-18"), std::string::npos);

@@ -43,5 +43,27 @@ TEST(Trace, ClearResets) {
   EXPECT_TRUE(trace.events().empty());
 }
 
+TEST(Trace, ToJsonEmptyRecorder) {
+  const TraceRecorder trace;
+  EXPECT_EQ(trace.to_json(),
+            "{\n"
+            "  \"event_count\": 0,\n"
+            "  \"events\": []\n"
+            "}");
+}
+
+TEST(Trace, ToJsonEscapesAndIndents) {
+  TraceRecorder trace;
+  trace.record(1.5, "poc", "line\none \"quoted\"");
+  const std::string json = trace.to_json(2);
+  EXPECT_NE(json.find("\"event_count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"time_s\": 1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos) << json;       // newline escaped
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
+  // base_indent prefixes every line after the first, so the object nests
+  // inside an outer report at that depth.
+  EXPECT_NE(json.find("\n    \"events\": ["), std::string::npos) << json;
+}
+
 }  // namespace
 }  // namespace mpleo::sim

@@ -10,6 +10,13 @@ Absolute seconds are machine-dependent, so the gate compares *speedups*
 speedup of every section present in both reports must be at least
 (1 - tolerance) x the baseline speedup, and every bit-identity flag must be
 true. Exits non-zero on any regression, so CI can fail the build.
+
+When the current report carries a scheduler_compare section it must also
+carry the "obs" metrics section perf_simulator emits from its RunContext,
+and that section must be schema-valid: integer counters >= 0, histograms
+whose bucket counts sum to their count over non-decreasing "le" bounds
+ending in "inf", and the scheduler metric names the pipeline is known to
+record. A perf run that silently stopped observing is a regression too.
 """
 
 import argparse
@@ -31,6 +38,98 @@ IDENTITY_FLAGS = [
     ("scheduler_compare", "faulted_bit_identical"),
 ]
 
+# Metric names the scheduler pipeline is known to record; their absence
+# means the obs plumbing came unhooked.
+REQUIRED_OBS_COUNTERS = [
+    "sched.candidates",
+    "sched.beam_rejections",
+    "sched.failure_forced_detaches",
+    "sched.links_granted",
+    "sched.steps",
+]
+REQUIRED_OBS_HISTOGRAMS = [
+    "sched.run_seconds",
+    "sched.phase1_chunk_seconds",
+    "sched.candidates_per_step",
+]
+
+
+def is_uint(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def validate_obs(obs) -> list:
+    """Returns a list of schema-violation strings (empty = valid)."""
+    problems = []
+    if not isinstance(obs, dict):
+        return ["obs section is not an object"]
+    for kind in ("counters", "gauges", "histograms"):
+        if not isinstance(obs.get(kind), dict):
+            problems.append(f"obs.{kind} missing or not an object")
+    if problems:
+        return problems
+
+    for name, value in obs["counters"].items():
+        if not is_uint(value):
+            problems.append(f"obs.counters.{name} is not a non-negative integer")
+    for name, value in obs["gauges"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"obs.gauges.{name} is not a number")
+
+    for name, hist in obs["histograms"].items():
+        if not isinstance(hist, dict):
+            problems.append(f"obs.histograms.{name} is not an object")
+            continue
+        if not is_uint(hist.get("count")):
+            problems.append(f"obs.histograms.{name}.count is not a non-negative integer")
+            continue
+        buckets = hist.get("buckets")
+        if not isinstance(buckets, list) or not buckets:
+            problems.append(f"obs.histograms.{name}.buckets missing or empty")
+            continue
+        total = 0
+        prev_bound = None
+        for i, bucket in enumerate(buckets):
+            le = bucket.get("le") if isinstance(bucket, dict) else None
+            count = bucket.get("count") if isinstance(bucket, dict) else None
+            if not is_uint(count):
+                problems.append(f"obs.histograms.{name}.buckets[{i}].count invalid")
+                break
+            total += count
+            last = i == len(buckets) - 1
+            if last:
+                if le != "inf":
+                    problems.append(
+                        f"obs.histograms.{name} last bucket le is {le!r}, not \"inf\"")
+            else:
+                if not isinstance(le, (int, float)) or isinstance(le, bool):
+                    problems.append(
+                        f"obs.histograms.{name}.buckets[{i}].le is not a number")
+                    break
+                if prev_bound is not None and le <= prev_bound:
+                    problems.append(
+                        f"obs.histograms.{name} bucket bounds not increasing at [{i}]")
+                    break
+                prev_bound = le
+        else:
+            if total != hist["count"]:
+                problems.append(
+                    f"obs.histograms.{name} bucket counts sum to {total}, "
+                    f"count says {hist['count']}")
+        if hist["count"] > 0:
+            for field in ("sum", "min", "max"):
+                value = hist.get(field)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"obs.histograms.{name}.{field} is not a number")
+
+    for name in REQUIRED_OBS_COUNTERS:
+        if name not in obs["counters"]:
+            problems.append(f"obs.counters missing required metric {name}")
+    for name in REQUIRED_OBS_HISTOGRAMS:
+        if name not in obs["histograms"]:
+            problems.append(f"obs.histograms missing required metric {name}")
+    return problems
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -51,6 +150,19 @@ def main() -> int:
             continue
         if current[section].get(flag) is not True:
             failures.append(f"{section}.{flag} is not true in {args.current}")
+
+    if "scheduler_compare" in current:
+        if "obs" not in current:
+            failures.append(f"scheduler_compare present but no obs section in "
+                            f"{args.current}")
+        else:
+            obs_problems = validate_obs(current["obs"])
+            failures.extend(obs_problems)
+            if not obs_problems:
+                n_counters = len(current["obs"]["counters"])
+                n_hists = len(current["obs"]["histograms"])
+                print(f"OK  obs section schema-valid "
+                      f"({n_counters} counters, {n_hists} histograms)")
 
     for section, sub in SPEEDUPS:
         if section not in baseline or section not in current:
