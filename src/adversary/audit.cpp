@@ -1,0 +1,141 @@
+#include "adversary/audit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/validation.hpp"
+#include "obs/metrics.hpp"
+
+namespace mpleo::adversary {
+
+ReceiptAuditor::ReceiptAuditor(AuditConfig config, std::size_t party_count,
+                               obs::MetricsRegistry* metrics)
+    : config_(config), stats_(party_count), metrics_(metrics) {
+  core::require_non_negative(config_.sla_tolerance, "sla_tolerance");
+}
+
+void ReceiptAuditor::set_audit_grid(orbit::TimeGrid grid) {
+  grid_ = grid;
+  mask_cache_.clear();
+}
+
+const cov::StepMask* ReceiptAuditor::prescreen_mask(const core::ProofOfCoverage& poc,
+                                                    const core::CoverageReceipt& receipt) {
+  if (!config_.prescreen_with_masks || !grid_.has_value()) return nullptr;
+  const std::pair<std::uint64_t, std::uint32_t> key{receipt.satellite, receipt.verifier};
+  if (const auto it = mask_cache_.find(key); it != mask_cache_.end()) return &it->second;
+  cov::StepMask mask;
+  try {
+    mask = poc.overhead_steps(receipt.satellite, receipt.verifier, *grid_);
+  } catch (const std::exception&) {
+    return nullptr;  // unknown ids: the authoritative verdict reports them
+  }
+  return &mask_cache_.emplace(key, std::move(mask)).first->second;
+}
+
+core::ReceiptVerdict ReceiptAuditor::audit_and_credit(const core::ProofOfCoverage& poc,
+                                                      const core::CoverageReceipt& receipt,
+                                                      core::PartyId owner_party,
+                                                      core::Ledger& ledger,
+                                                      core::AccountId owner_account,
+                                                      ReceiptProvenance provenance) {
+  PartyAuditStats& stats = stats_.at(owner_party);
+  ++stats.submitted;
+
+  // Prescreen against the ephemeris-kernel visibility mask: does the audit
+  // grid place the claimed satellite over the claimed verifier at the
+  // claimed step? Analytics only — masks quantise to grid steps, so the
+  // exact-geometry check below stays authoritative.
+  bool prescreen_overhead = true;
+  bool prescreened = false;
+  if (const cov::StepMask* mask = prescreen_mask(poc, receipt); mask != nullptr) {
+    const double offset_s = receipt.time.seconds_since(grid_->start);
+    const auto step = static_cast<std::int64_t>(std::floor(offset_s / grid_->step_seconds));
+    prescreened = true;
+    prescreen_overhead = step >= 0 &&
+                         step < static_cast<std::int64_t>(mask->step_count()) &&
+                         mask->test(static_cast<std::size_t>(step));
+    if (!prescreen_overhead) ++stats.prescreen_flagged;
+  }
+
+  const core::ReceiptVerdict verdict =
+      poc.verify_and_reward(receipt, ledger, owner_account);
+  switch (verdict) {
+    case core::ReceiptVerdict::kValid: ++stats.credited; break;
+    case core::ReceiptVerdict::kBadDigest: ++stats.rejected_digest; break;
+    case core::ReceiptVerdict::kNotOverhead:
+      ++stats.rejected_geometry;
+      if (provenance == ReceiptProvenance::kSubmission) ++stats.unsolicited_geometry;
+      break;
+    case core::ReceiptVerdict::kDuplicate: ++stats.rejected_duplicate; break;
+    case core::ReceiptVerdict::kUnknownSatellite:
+    case core::ReceiptVerdict::kUnknownVerifier: ++stats.rejected_unknown; break;
+  }
+  if (prescreened) {
+    const bool exact_overhead = verdict != core::ReceiptVerdict::kNotOverhead;
+    if (prescreen_overhead != exact_overhead) ++stats.prescreen_mismatches;
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("audit.receipts_submitted").add(1);
+    switch (verdict) {
+      case core::ReceiptVerdict::kValid:
+        metrics_->counter("audit.receipts_credited").add(1);
+        break;
+      case core::ReceiptVerdict::kBadDigest:
+      case core::ReceiptVerdict::kDuplicate:
+        metrics_->counter("audit.fraud_detected").add(1);
+        break;
+      case core::ReceiptVerdict::kNotOverhead:
+        metrics_
+            ->counter(provenance == ReceiptProvenance::kSubmission
+                          ? "audit.fraud_detected"
+                          : "audit.challenge_geometry_misses")
+            .add(1);
+        break;
+      case core::ReceiptVerdict::kUnknownSatellite:
+      case core::ReceiptVerdict::kUnknownVerifier:
+        metrics_->counter("audit.receipts_unknown").add(1);
+        break;
+    }
+    if (prescreened && !prescreen_overhead) {
+      metrics_->counter("audit.prescreen_flagged").add(1);
+    }
+  }
+  return verdict;
+}
+
+bool ReceiptAuditor::audit_sla_claim(core::PartyId party, double claimed_seconds,
+                                     double measured_seconds) {
+  core::require_non_negative(claimed_seconds, "claimed_seconds");
+  core::require_non_negative(measured_seconds, "measured_seconds");
+  const bool misreport = claimed_seconds > measured_seconds * (1.0 + config_.sla_tolerance);
+  if (misreport) {
+    ++stats_.at(party).sla_misreports;
+    if (metrics_ != nullptr) metrics_->counter("audit.sla_misreports").add(1);
+  }
+  return misreport;
+}
+
+const PartyAuditStats& ReceiptAuditor::stats(core::PartyId party) const {
+  return stats_.at(party);
+}
+
+PartyAuditStats ReceiptAuditor::totals() const {
+  PartyAuditStats total;
+  for (const PartyAuditStats& s : stats_) {
+    total.submitted += s.submitted;
+    total.credited += s.credited;
+    total.rejected_digest += s.rejected_digest;
+    total.rejected_geometry += s.rejected_geometry;
+    total.unsolicited_geometry += s.unsolicited_geometry;
+    total.rejected_duplicate += s.rejected_duplicate;
+    total.rejected_unknown += s.rejected_unknown;
+    total.sla_misreports += s.sla_misreports;
+    total.prescreen_flagged += s.prescreen_flagged;
+    total.prescreen_mismatches += s.prescreen_mismatches;
+  }
+  return total;
+}
+
+}  // namespace mpleo::adversary

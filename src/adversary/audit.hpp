@@ -1,0 +1,141 @@
+// Receipt audit engine: cross-checks every proof-of-coverage claim before it
+// touches the ledger, and attributes rejections to the submitting party.
+//
+// Two lines of defence, layered:
+//   * The authoritative check is core::ProofOfCoverage::verify_and_reward —
+//     keyed digest, exact orbital geometry, and the ledger's content-hash
+//     duplicate guard. The auditor routes every credit through that exact
+//     path, so honest traffic is bit-identical to the unaudited campaign.
+//   * An optional mask prescreen re-derives the claimed contact from the
+//     shared ephemeris kernel (ProofOfCoverage::overhead_steps over the
+//     audit grid) and flags receipts whose step isn't in the visibility
+//     mask. The prescreen is analytics-only — grid-step masks can disagree
+//     with exact geometry right at the mask boundary, so it never overrides
+//     the verdict; it feeds the fraud telemetry and lets operators see
+//     forgery pressure before verdicts accumulate.
+//
+// The auditor also checks settlement-time SLA claims (served seconds a party
+// reports about itself) against the scheduler's ground truth, flagging
+// overclaims beyond a configured tolerance.
+//
+// Per-party cumulative statistics are the fraud evidence the
+// QuarantineManager escalates on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/ledger.hpp"
+#include "core/party.hpp"
+#include "core/proof_of_coverage.hpp"
+#include "coverage/step_mask.hpp"
+#include "orbit/time.hpp"
+
+namespace mpleo::obs {
+class MetricsRegistry;
+}
+
+namespace mpleo::adversary {
+
+struct AuditConfig {
+  // Re-derive claimed contacts from ephemeris-kernel visibility masks
+  // (analytics-only; see header comment).
+  bool prescreen_with_masks = true;
+  // Fractional SLA overclaim tolerated before a claim counts as a
+  // misreport: claimed > measured * (1 + tolerance) flags. Must be a
+  // finite value >= 0.
+  double sla_tolerance = 0.05;
+};
+
+// Who put the receipt on the table. A verifier-issued challenge answered at
+// an unlucky time fails geometry without any dishonesty — the verifier
+// mistimed the ping. An unsolicited submission claiming a contact geometry
+// says never happened IS the forgery the audit exists to catch. Digest and
+// duplicate rejections are fraud under either provenance (wrong key /
+// double-spend attempt).
+enum class ReceiptProvenance : std::uint8_t {
+  kChallenge,   // verifier-initiated spot check
+  kSubmission,  // party-initiated coverage claim
+};
+
+struct PartyAuditStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t credited = 0;
+  std::uint64_t rejected_digest = 0;
+  std::uint64_t rejected_geometry = 0;  // all kNotOverhead, either provenance
+  std::uint64_t unsolicited_geometry = 0;  // kNotOverhead on a kSubmission
+  std::uint64_t rejected_duplicate = 0;
+  std::uint64_t rejected_unknown = 0;   // unknown satellite or verifier
+  std::uint64_t sla_misreports = 0;
+  // Prescreen telemetry (never part of the verdict).
+  std::uint64_t prescreen_flagged = 0;
+  std::uint64_t prescreen_mismatches = 0;  // mask and exact geometry disagreed
+
+  // Confirmed fraud evidence: bad digests, double submissions, unsolicited
+  // claims with impossible geometry, and SLA overclaims. Challenge-
+  // provenance geometry misses and unknown-id rejections are excluded —
+  // a mistimed ping or a receipt for a withdrawn satellite is stale or
+  // unlucky, not dishonest.
+  [[nodiscard]] std::uint64_t fraud_total() const noexcept {
+    return rejected_digest + unsolicited_geometry + rejected_duplicate + sla_misreports;
+  }
+
+  friend bool operator==(const PartyAuditStats&, const PartyAuditStats&) = default;
+};
+
+class ReceiptAuditor {
+ public:
+  // `metrics` may be null (all instrumentation becomes no-ops). Throws
+  // core::ValidationError on a negative or non-finite sla_tolerance.
+  ReceiptAuditor(AuditConfig config, std::size_t party_count,
+                 obs::MetricsRegistry* metrics = nullptr);
+
+  // Sets the grid the mask prescreen re-derives contacts on (the current
+  // epoch's scheduling grid). Clears the per-pair mask cache; call once per
+  // epoch. Without a grid the prescreen is skipped.
+  void set_audit_grid(orbit::TimeGrid grid);
+
+  // Re-points instrumentation (e.g. at the RunContext registry of the epoch
+  // being run). Null detaches it.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
+  // Audits one receipt and, when valid, credits it through
+  // poc.verify_and_reward — same verdict, same ledger entry, same duplicate
+  // guard as the unaudited path. The verdict is attributed to
+  // `owner_party`'s cumulative stats under the given provenance (see
+  // ReceiptProvenance for what counts as fraud).
+  core::ReceiptVerdict audit_and_credit(
+      const core::ProofOfCoverage& poc, const core::CoverageReceipt& receipt,
+      core::PartyId owner_party, core::Ledger& ledger, core::AccountId owner_account,
+      ReceiptProvenance provenance = ReceiptProvenance::kChallenge);
+
+  // Settlement-time SLA cross-check: true (and recorded as a misreport) when
+  // `claimed_seconds` exceeds `measured_seconds` beyond the configured
+  // tolerance. The measured value is the scheduler's ground truth.
+  bool audit_sla_claim(core::PartyId party, double claimed_seconds,
+                       double measured_seconds);
+
+  [[nodiscard]] const PartyAuditStats& stats(core::PartyId party) const;
+  [[nodiscard]] const std::vector<PartyAuditStats>& all_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] PartyAuditStats totals() const;
+  [[nodiscard]] const AuditConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] const cov::StepMask* prescreen_mask(const core::ProofOfCoverage& poc,
+                                                    const core::CoverageReceipt& receipt);
+
+  AuditConfig config_;
+  std::vector<PartyAuditStats> stats_;
+  std::optional<orbit::TimeGrid> grid_;
+  // Overhead masks per (satellite, verifier) pair, re-derived lazily on the
+  // audit grid and reused across the epoch's receipts.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, cov::StepMask> mask_cache_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace mpleo::adversary

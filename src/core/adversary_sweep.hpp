@@ -1,0 +1,94 @@
+// Adversary sweep: coverage, welfare and honest-party payoff vs the fraction
+// of Byzantine consortium members — the robustness counterpart to the
+// fault-injection resilience sweep, answering the paper's §3.4 question for
+// *misbehaving* (not merely failing) parties: how much of the shared-LEO
+// value survives when a growing coalition forges receipts, withholds spare
+// capacity, and misreports SLAs, with the audit/quarantine machinery
+// fighting back?
+//
+// CRN discipline (shared with core::resilience_sweep): every sweep point
+// samples its BehaviorBook from the SAME seed, so Byzantine sets are nested
+// across fractions and each party keeps its behavior (see
+// adversary::BehaviorBook::sample). The gated headline metric —
+// honest-core payoff — is computed against the running union of excluded
+// parties (withholders plus end-of-run sanctioned parties, accumulated
+// across sweep points), so the serving satellite set shrinks monotonically
+// in the fraction and the payoff is non-increasing BY CONSTRUCTION: mask
+// unions of nested satellite sets are nested. CI gates on this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/audit.hpp"
+#include "adversary/policy.hpp"
+#include "adversary/quarantine.hpp"
+
+namespace mpleo::sim {
+class RunContext;
+}
+
+namespace mpleo::core {
+
+struct AdversarySweepConfig {
+  // Sweep axis: fraction of parties turned Byzantine. Must be
+  // non-decreasing, each validated to [0, 1].
+  std::vector<double> byzantine_fractions = {0.0, 0.125, 0.25, 0.375, 0.5};
+  // Synthetic consortium workload: `parties` members, each contributing one
+  // orbital plane plus its own terminals and ground stations.
+  std::size_t parties = 8;
+  std::size_t satellites_per_party = 12;
+  std::size_t terminals_per_party = 6;
+  std::size_t stations_per_party = 2;
+  // Campaign shape per sweep point.
+  std::size_t epochs = 4;
+  double epoch_duration_s = 6.0 * 3600.0;
+  double step_s = 120.0;
+  double elevation_mask_deg = 25.0;
+  // Token value an hour of full honest-core coverage is worth — scales the
+  // gated payoff metric only.
+  double service_value_per_hour = 100.0;
+  // Byzantine behavior knobs (see adversary::PartyPolicy).
+  double intensity = 1.0;
+  std::size_t receipts_per_epoch = 6;
+  // Behavior mix assigned across the Byzantine prefix; empty = the full
+  // mixed round-robin (mix_for_mode(kMixed)).
+  std::vector<adversary::Behavior> mix;
+  adversary::AuditConfig audit;
+  adversary::QuarantineConfig quarantine;
+  std::uint64_t seed = 1042;
+};
+
+struct AdversarySweepPoint {
+  double byzantine_fraction = 0.0;
+  std::size_t byzantine_parties = 0;
+  // Cumulative over the point's campaign: dishonest submissions (forged +
+  // resubmitted receipts + SLA overclaims) vs audit fraud evidence. The
+  // audit engine guarantees detected >= injected (every injected receipt is
+  // rejected with a fraud verdict); CI gates on it.
+  std::size_t fraud_injected = 0;
+  std::size_t fraud_detected = 0;
+  // End-of-campaign sanction state.
+  std::size_t quarantined_parties = 0;
+  std::size_t expelled_parties = 0;
+  double mean_detection_epochs = 0.0;  // first evidence -> quarantine
+  double total_slashed = 0.0;
+  // Weighted coverage of honest-core sites by non-excluded satellites (the
+  // welfare the honest core actually receives), and the gated payoff it
+  // prices out to. Monotone non-increasing in the fraction by construction.
+  double honest_core_welfare = 0.0;
+  double honest_core_payoff = 0.0;
+  // Mean end-of-campaign token balance across honest-core parties.
+  double mean_honest_balance = 0.0;
+};
+
+// Runs one campaign per fraction (fresh consortium, same seed — only the
+// BehaviorBook differs) and reports the points in config order. The
+// context's pool parallelises mask precomputation and the per-epoch
+// scheduling phase 1; results are bit-identical for any pool size. Sweep
+// counters land in context.metrics() under "adversary_sweep.". Throws
+// core::ValidationError / std::invalid_argument on malformed config.
+[[nodiscard]] std::vector<AdversarySweepPoint> adversary_sweep(
+    const AdversarySweepConfig& config, sim::RunContext& context);
+
+}  // namespace mpleo::core

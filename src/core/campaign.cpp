@@ -3,11 +3,70 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "core/reputation.hpp"
+#include "coverage/step_mask.hpp"
 #include "obs/metrics.hpp"
 #include "sim/run_context.hpp"
 
 namespace mpleo::core {
+
+struct Campaign::AdversaryHarness {
+  adversary::BehaviorBook book;
+  adversary::ReceiptAuditor auditor;
+  adversary::QuarantineManager quarantine;
+  ReputationTracker reputation;
+  // Last receipt the honest spot checks credited per party — the material an
+  // inflation attack resubmits for double pay.
+  std::vector<std::optional<CoverageReceipt>> recent_valid;
+  // Auditor fraud totals at the start of the running epoch, for per-epoch
+  // detection deltas in the report.
+  std::uint64_t fraud_at_epoch_start = 0;
+
+  AdversaryHarness(adversary::BehaviorBook b, adversary::AuditConfig audit_config,
+                   adversary::QuarantineConfig quarantine_config, std::size_t party_count)
+      : book(std::move(b)),
+        auditor(audit_config, party_count),
+        quarantine(quarantine_config, party_count),
+        reputation(party_count),
+        recent_valid(party_count) {}
+};
+
+Campaign::~Campaign() = default;
+Campaign::Campaign(Campaign&&) noexcept = default;
+Campaign& Campaign::operator=(Campaign&&) noexcept = default;
+
+void Campaign::arm_adversaries(adversary::BehaviorBook book,
+                               adversary::AuditConfig audit_config,
+                               adversary::QuarantineConfig quarantine_config) {
+  harness_ = std::make_unique<AdversaryHarness>(std::move(book), audit_config,
+                                                quarantine_config,
+                                                consortium_.parties().size());
+}
+
+namespace {
+[[noreturn]] void throw_unarmed() {
+  throw std::logic_error("Campaign: not armed (call arm_adversaries first)");
+}
+}  // namespace
+
+const adversary::BehaviorBook& Campaign::behavior_book() const {
+  if (harness_ == nullptr) throw_unarmed();
+  return harness_->book;
+}
+const adversary::ReceiptAuditor& Campaign::auditor() const {
+  if (harness_ == nullptr) throw_unarmed();
+  return harness_->auditor;
+}
+const adversary::QuarantineManager& Campaign::quarantine() const {
+  if (harness_ == nullptr) throw_unarmed();
+  return harness_->quarantine;
+}
+const ReputationTracker& Campaign::adversary_reputation() const {
+  if (harness_ == nullptr) throw_unarmed();
+  return harness_->reputation;
+}
 
 Campaign::Campaign(Consortium consortium, std::vector<net::Terminal> terminals,
                    std::vector<net::GroundStation> stations, CampaignConfig config,
@@ -82,7 +141,28 @@ EpochReport Campaign::run_epoch_impl(util::ThreadPool* pool, sim::RunContext* co
   // 1. Schedule the epoch.
   const orbit::TimeGrid grid =
       orbit::TimeGrid::over_duration(clock_, config_.epoch_duration_s, config_.step_s);
-  const net::BentPipeScheduler scheduler(config_.scheduler, sats, terminals_, stations_);
+  net::SchedulerConfig scheduler_config = config_.scheduler;
+  if (harness_ != nullptr) {
+    harness_->auditor.set_metrics(context != nullptr ? &context->metrics() : nullptr);
+    harness_->quarantine.set_metrics(context != nullptr ? &context->metrics() : nullptr);
+    harness_->auditor.set_audit_grid(grid);
+    harness_->fraud_at_epoch_start = harness_->auditor.totals().fraud_total();
+    // Spare-commons governance for this epoch: quarantine sanctions from
+    // prior epochs and the book's withholding fractions. Both vectors stay
+    // absent when all-trivial, so an armed campaign with an empty book runs
+    // the scheduler on the exact historical config.
+    std::vector<std::uint8_t> exclusion = harness_->quarantine.spare_exclusion();
+    if (std::any_of(exclusion.begin(), exclusion.end(),
+                    [](std::uint8_t e) { return e != 0; })) {
+      scheduler_config.spare_exclude_party = std::move(exclusion);
+    }
+    std::vector<double> withheld = harness_->book.withheld_fractions(party_count);
+    if (std::any_of(withheld.begin(), withheld.end(),
+                    [](double f) { return f > 0.0; })) {
+      scheduler_config.spare_withheld_fraction = std::move(withheld);
+    }
+  }
+  const net::BentPipeScheduler scheduler(scheduler_config, sats, terminals_, stations_);
   net::ScheduleResult usage =
       context != nullptr
           ? scheduler.run(grid, party_count, *context, /*keep_steps=*/false)
@@ -115,21 +195,42 @@ EpochReport Campaign::run_epoch_impl(util::ThreadPool* pool, sim::RunContext* co
         }
       }
       if (owner == constellation::Satellite::kUnowned) continue;  // withdrawn
+      // Armed campaigns route the same credit decision through the audit
+      // engine (identical verdicts and ledger entries; the auditor adds the
+      // per-party evidence trail the quarantine ladder runs on).
       const ReceiptVerdict verdict =
-          poc_.verify_and_reward(receipt, ledger_, accounts_[owner]);
+          harness_ != nullptr
+              ? harness_->auditor.audit_and_credit(poc_, receipt, owner, ledger_,
+                                                   accounts_[owner],
+                                                   adversary::ReceiptProvenance::kChallenge)
+              : poc_.verify_and_reward(receipt, ledger_, accounts_[owner]);
       if (verdict == ReceiptVerdict::kValid) {
         ++report.poc_valid;
+        if (harness_ != nullptr) harness_->recent_valid[owner] = receipt;
       } else {
         ++report.poc_rejected;
       }
     }
   }
 
-  // 4. Epoch emission, distributed by stake.
+  // 3b. Byzantine behavior: receipt/SLA injections, then the quarantine
+  // ladder converts this epoch's audit evidence into sanctions effective
+  // from the next epoch's scheduling pass.
+  if (harness_ != nullptr) {
+    inject_adversary_behavior(grid, sats, usage, report);
+  }
+
+  // 4. Epoch emission, distributed by stake. Parties under sanction
+  // (quarantined or expelled) forfeit their share — it stays in the
+  // treasury rather than rewarding confirmed misbehavior.
   report.emission_minted = config_.emission.epoch_reward(next_epoch_);
   if (report.emission_minted > 0.0) {
     ledger_.mint(report.emission_minted, "epoch emission");
     for (const Party& party : consortium_.parties()) {
+      if (harness_ != nullptr &&
+          consortium_.party_status(party.id) != PartyStatus::kActive) {
+        continue;
+      }
       const double share = consortium_.stake(party.id) * report.emission_minted;
       if (share > 0.0) {
         (void)ledger_.reward(accounts_[party.id], share, "emission by stake");
@@ -150,12 +251,149 @@ EpochReport Campaign::run_epoch_impl(util::ThreadPool* pool, sim::RunContext* co
          << " served=" << report.total_served_seconds << "s unserved="
          << report.total_unserved_seconds << "s poc=" << report.poc_valid << "/"
          << report.poc_valid + report.poc_rejected << " minted=" << report.emission_minted;
+    if (report.adversary.has_value()) {
+      context->metrics()
+          .counter("campaign.adversary_receipts_injected")
+          .add(report.adversary->receipts_injected);
+      context->metrics()
+          .counter("campaign.adversary_fraud_detected")
+          .add(report.adversary->fraud_detected);
+      line << " adversary: injected=" << report.adversary->receipts_injected
+           << " fraud_detected=" << report.adversary->fraud_detected
+           << " quarantined=" << report.adversary->quarantined_parties
+           << " expelled=" << report.adversary->expelled_parties;
+    }
     context->trace().record(clock_.seconds_since(config_.start), "campaign", line.str());
   }
 
   clock_ = clock_.plus_seconds(config_.epoch_duration_s);
   ++next_epoch_;
   return report;
+}
+
+void Campaign::inject_adversary_behavior(const orbit::TimeGrid& grid,
+                                         const std::vector<constellation::Satellite>& sats,
+                                         const net::ScheduleResult& usage,
+                                         EpochReport& report) {
+  AdversaryHarness& h = *harness_;
+  AdversaryEpochSummary summary;
+  const std::size_t party_count = consortium_.parties().size();
+
+  // Registration indices (into satellite_keys_) of each party's still-active
+  // satellites: the keys an insider forger actually holds.
+  std::vector<std::vector<std::size_t>> party_regs(party_count);
+  for (std::size_t ri = 0; ri < registered_satellite_ids_.size(); ++ri) {
+    for (const constellation::Satellite& sat : sats) {
+      if (sat.id == registered_satellite_ids_[ri]) {
+        if (sat.owner_party < party_count) party_regs[sat.owner_party].push_back(ri);
+        break;
+      }
+    }
+  }
+
+  for (PartyId party = 0; party < party_count; ++party) {
+    const adversary::PartyPolicy& policy = h.book.policy(party);
+    if (policy.honest()) continue;
+    if (consortium_.party_status(party) == PartyStatus::kWithdrawn) continue;
+    // Behavior randomness comes from the book's (seed, party, epoch) stream,
+    // never from the campaign rng_ — honest draws stay invariant under any
+    // adversary configuration.
+    util::Xoshiro256PlusPlus rng = h.book.stream(party, next_epoch_);
+
+    switch (policy.behavior) {
+      case adversary::Behavior::kForgeReceipts:
+      case adversary::Behavior::kCollude:
+      case adversary::Behavior::kInflateReceipts: {
+        // Forgery material: keys of own satellites — or, for a coalition,
+        // of any member's satellites (shared keys).
+        std::vector<std::size_t> regs;
+        if (policy.behavior == adversary::Behavior::kCollude) {
+          for (PartyId member : h.book.coalition_of(party)) {
+            if (member < party_count) {
+              regs.insert(regs.end(), party_regs[member].begin(),
+                          party_regs[member].end());
+            }
+          }
+        } else {
+          regs = party_regs[party];
+        }
+        for (std::size_t i = 0; i < policy.receipts_per_epoch; ++i) {
+          if (policy.behavior == adversary::Behavior::kInflateReceipts &&
+              h.recent_valid[party].has_value()) {
+            // Inflation: resubmit an already-credited receipt verbatim. The
+            // ledger's content-hash guard verdicts it kDuplicate.
+            (void)h.auditor.audit_and_credit(poc_, *h.recent_valid[party], party,
+                                             ledger_, accounts_[party],
+                                             adversary::ReceiptProvenance::kSubmission);
+            ++summary.receipts_injected;
+            continue;
+          }
+          if (regs.empty() || verifier_ids_.empty() || grid.count == 0) break;
+          // Forgery: a correctly signed receipt (the insider holds the key)
+          // claiming a contact at a step the ephemeris says never happened.
+          const std::size_t ri = regs[rng.uniform_index(regs.size())];
+          const constellation::SatelliteId sat_id = registered_satellite_ids_[ri];
+          const std::uint32_t verifier =
+              verifier_ids_[rng.uniform_index(verifier_ids_.size())];
+          const cov::StepMask overhead = poc_.overhead_steps(sat_id, verifier, grid);
+          std::size_t step = rng.uniform_index(grid.count);
+          bool gap_found = false;
+          for (std::size_t probe = 0; probe < grid.count; ++probe) {
+            const std::size_t s = (step + probe) % grid.count;
+            if (!overhead.test(s)) {
+              step = s;
+              gap_found = true;
+              break;
+            }
+          }
+          CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+              sat_id, satellite_keys_[ri], verifier, grid.at(step), rng.next());
+          if (!gap_found || poc_.verify(receipt) == ReceiptVerdict::kValid) {
+            // Always overhead, or mask-boundary round-off let geometry pass:
+            // degrade to a key-less forgery the MAC check rejects instead.
+            receipt.digest ^= 1;
+          }
+          (void)h.auditor.audit_and_credit(poc_, receipt, party, ledger_,
+                                           accounts_[party],
+                                           adversary::ReceiptProvenance::kSubmission);
+          ++summary.receipts_injected;
+        }
+        break;
+      }
+      case adversary::Behavior::kMisreportSla: {
+        const net::PartyUsage& pu = usage.per_party[party];
+        const double measured = pu.own_link_seconds + pu.spare_used_seconds;
+        const double inflation = policy.sla_inflation();
+        // A claim inside the audit tolerance is indistinguishable from
+        // measurement noise — the adversary only overclaims when the
+        // inflation would actually move the settlement.
+        if (measured > 0.0 && inflation > 1.0 + h.auditor.config().sla_tolerance) {
+          ++summary.misreports_injected;
+          if (h.auditor.audit_sla_claim(party, measured * inflation, measured)) {
+            ++summary.misreports_detected;
+          }
+        }
+        break;
+      }
+      case adversary::Behavior::kWithholdCapacity:
+        // Expressed upstream through SchedulerConfig::spare_withheld_fraction;
+        // nothing to inject at settlement time.
+        break;
+      case adversary::Behavior::kHonest:
+        break;
+    }
+  }
+
+  // Sanctions: this epoch's evidence escalates trust states, slashes stakes
+  // and (eventually) expels repeat offenders.
+  h.quarantine.observe_epoch(next_epoch_, h.auditor, ledger_, accounts_, consortium_,
+                             &h.reputation);
+  summary.quarantined_parties = h.quarantine.quarantined_count();
+  summary.expelled_parties = h.quarantine.expelled_count();
+  summary.slashed_total = h.quarantine.total_slashed();
+  summary.fraud_detected = static_cast<std::size_t>(h.auditor.totals().fraud_total() -
+                                                    h.fraud_at_epoch_start);
+  report.adversary = summary;
 }
 
 }  // namespace mpleo::core

@@ -14,8 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
+#include "adversary/audit.hpp"
+#include "adversary/policy.hpp"
+#include "adversary/quarantine.hpp"
 #include "core/allocation.hpp"
 #include "core/bootstrap.hpp"
 #include "core/consortium.hpp"
@@ -48,6 +53,21 @@ struct CampaignConfig {
   std::size_t poc_challenges_per_party_per_epoch = 4;
 };
 
+// Per-epoch Byzantine accounting; present on EpochReport::adversary only for
+// an armed campaign (see Campaign::arm_adversaries).
+struct AdversaryEpochSummary {
+  std::size_t receipts_injected = 0;    // forged + resubmitted this epoch
+  std::size_t fraud_detected = 0;       // audit fraud evidence, this epoch
+  std::size_t misreports_injected = 0;  // SLA overclaims attempted
+  std::size_t misreports_detected = 0;
+  std::size_t quarantined_parties = 0;  // standing at end of epoch
+  std::size_t expelled_parties = 0;
+  double slashed_total = 0.0;           // cumulative tokens slashed to treasury
+
+  friend bool operator==(const AdversaryEpochSummary&,
+                         const AdversaryEpochSummary&) = default;
+};
+
 struct EpochReport {
   std::size_t epoch = 0;
   orbit::TimePoint window_start;
@@ -63,6 +83,8 @@ struct EpochReport {
   std::size_t poc_rejected = 0;
   std::vector<double> balances;              // per party, end of epoch
   std::size_t active_satellites = 0;
+  // Byzantine accounting; nullopt when the campaign is not armed.
+  std::optional<AdversaryEpochSummary> adversary;
 };
 
 class Campaign {
@@ -90,14 +112,46 @@ class Campaign {
   // removed.
   std::size_t withdraw_party(PartyId party);
 
+  // Arms Byzantine behaviors for every subsequent epoch: parties the book
+  // marks Byzantine inject their misbehavior (forged / resubmitted receipts,
+  // withheld spare beams, inflated SLA claims), every receipt is routed
+  // through a ReceiptAuditor before crediting, and a QuarantineManager turns
+  // confirmed fraud into slashing, spare-commons exclusion and eventual
+  // expulsion. Arming with an empty() book is bit-identical to never arming
+  // — same ledger entries, same allocations, same scheduler output. Arming
+  // twice replaces the previous harness.
+  void arm_adversaries(adversary::BehaviorBook book,
+                       adversary::AuditConfig audit_config = {},
+                       adversary::QuarantineConfig quarantine_config = {});
+
+  [[nodiscard]] bool armed() const noexcept { return harness_ != nullptr; }
+  // Armed-campaign introspection; each throws std::logic_error when the
+  // campaign was never armed.
+  [[nodiscard]] const adversary::BehaviorBook& behavior_book() const;
+  [[nodiscard]] const adversary::ReceiptAuditor& auditor() const;
+  [[nodiscard]] const adversary::QuarantineManager& quarantine() const;
+  [[nodiscard]] const ReputationTracker& adversary_reputation() const;
+
   [[nodiscard]] const Consortium& consortium() const noexcept { return consortium_; }
   [[nodiscard]] const Ledger& ledger() const noexcept { return ledger_; }
   [[nodiscard]] AccountId account_of(PartyId party) const { return accounts_.at(party); }
   [[nodiscard]] std::size_t epochs_run() const noexcept { return next_epoch_; }
   [[nodiscard]] orbit::TimePoint current_time() const noexcept { return clock_; }
 
+  ~Campaign();
+  Campaign(Campaign&&) noexcept;
+  Campaign& operator=(Campaign&&) noexcept;
+
  private:
+  // The armed state: behavior book, audit trail, sanction ladder, reputation
+  // memory, and the per-party stash of credited receipts inflation attacks
+  // resubmit.
+  struct AdversaryHarness;
+
   EpochReport run_epoch_impl(util::ThreadPool* pool, sim::RunContext* context);
+  void inject_adversary_behavior(const orbit::TimeGrid& grid,
+                                 const std::vector<constellation::Satellite>& sats,
+                                 const net::ScheduleResult& usage, EpochReport& report);
 
   Consortium consortium_;
   std::vector<net::Terminal> terminals_;
@@ -112,6 +166,7 @@ class Campaign {
   util::Xoshiro256PlusPlus rng_;
   orbit::TimePoint clock_;
   std::size_t next_epoch_ = 0;
+  std::unique_ptr<AdversaryHarness> harness_;  // null until arm_adversaries
 };
 
 }  // namespace mpleo::core

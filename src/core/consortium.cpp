@@ -2,13 +2,25 @@
 
 #include <stdexcept>
 
+#include "core/validation.hpp"
+
 namespace mpleo::core {
+
+const char* to_string(PartyStatus status) noexcept {
+  switch (status) {
+    case PartyStatus::kActive: return "active";
+    case PartyStatus::kQuarantined: return "quarantined";
+    case PartyStatus::kWithdrawn: return "withdrawn";
+  }
+  return "?";
+}
 
 PartyId Consortium::add_party(Party party) {
   const auto id = static_cast<PartyId>(parties_.size());
   party.id = id;
   party.active = true;
   parties_.push_back(std::move(party));
+  statuses_.push_back(PartyStatus::kActive);
   return id;
 }
 
@@ -43,7 +55,49 @@ std::size_t Consortium::withdraw_party(PartyId party) {
     }
   }
   parties_[party].active = false;
+  statuses_[party] = PartyStatus::kWithdrawn;
   return removed;
+}
+
+void Consortium::quarantine_party(PartyId party) {
+  if (party >= parties_.size()) {
+    throw std::out_of_range("Consortium::quarantine_party: unknown party");
+  }
+  if (statuses_[party] == PartyStatus::kWithdrawn) {
+    throw std::logic_error("Consortium::quarantine_party: party has withdrawn");
+  }
+  statuses_[party] = PartyStatus::kQuarantined;
+}
+
+void Consortium::reinstate_party(PartyId party) {
+  if (party >= parties_.size()) {
+    throw std::out_of_range("Consortium::reinstate_party: unknown party");
+  }
+  if (statuses_[party] != PartyStatus::kQuarantined) {
+    throw std::logic_error("Consortium::reinstate_party: party is not quarantined");
+  }
+  statuses_[party] = PartyStatus::kActive;
+}
+
+PartyStatus Consortium::party_status(PartyId party) const {
+  if (party >= parties_.size()) {
+    throw std::out_of_range("Consortium::party_status: unknown party");
+  }
+  return statuses_[party];
+}
+
+std::vector<std::uint8_t> Consortium::spare_exclusion_mask() const {
+  std::vector<std::uint8_t> mask(parties_.size(), 0);
+  for (std::size_t p = 0; p < statuses_.size(); ++p) {
+    if (statuses_[p] != PartyStatus::kActive) mask[p] = 1;
+  }
+  return mask;
+}
+
+double Consortium::slash_amount(double stake_balance, double fraction) {
+  require_non_negative(stake_balance, "stake_balance");
+  require_fraction(fraction, "slash_fraction");
+  return stake_balance * fraction;
 }
 
 bool Consortium::fail_satellite(constellation::SatelliteId satellite) {

@@ -17,6 +17,18 @@
 
 namespace mpleo::core {
 
+// Membership standing of a party. Quarantine (confirmed misbehavior, see
+// adversary::QuarantineManager) keeps the party's satellites serving its own
+// terminals but bars it from the spare-capacity commons until reinstated;
+// withdrawal (voluntary or expulsion) removes its satellites entirely.
+enum class PartyStatus : std::uint8_t {
+  kActive,
+  kQuarantined,
+  kWithdrawn,
+};
+
+[[nodiscard]] const char* to_string(PartyStatus status) noexcept;
+
 class Consortium {
  public:
   // Registers a party; returns its index (== Party::id assigned here).
@@ -46,6 +58,23 @@ class Consortium {
   [[nodiscard]] std::size_t active_satellite_count() const noexcept;
   [[nodiscard]] std::size_t party_satellite_count(PartyId party) const noexcept;
 
+  // Quarantine semantics: the party stays a member (its satellites keep
+  // serving its own terminals) but its standing drops to kQuarantined until
+  // reinstated. Quarantining a withdrawn party or reinstating a
+  // non-quarantined one throws std::logic_error; quarantining an already
+  // quarantined party is idempotent.
+  void quarantine_party(PartyId party);
+  void reinstate_party(PartyId party);
+  [[nodiscard]] PartyStatus party_status(PartyId party) const;
+  // Byte-per-party mask (1 = quarantined or withdrawn), sized to parties():
+  // the exclusion vector the scheduler/market spare paths consume directly.
+  [[nodiscard]] std::vector<std::uint8_t> spare_exclusion_mask() const;
+
+  // Stake slashing arithmetic with structured validation: negative stakes
+  // and out-of-range fractions raise core::ValidationError (field + value)
+  // instead of being silently clamped.
+  [[nodiscard]] static double slash_amount(double stake_balance, double fraction);
+
   // Stake = party's active satellites / all active satellites, in [0, 1].
   // The paper's proportional-degradation guarantee is expressed against this.
   [[nodiscard]] double stake(PartyId party) const noexcept;
@@ -60,6 +89,7 @@ class Consortium {
     bool active = true;
   };
   std::vector<Party> parties_;
+  std::vector<PartyStatus> statuses_;  // parallel to parties_
   std::vector<Member> members_;
   constellation::SatelliteId next_satellite_id_ = 0;
 };

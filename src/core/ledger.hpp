@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace mpleo::core {
@@ -22,6 +24,8 @@ struct LedgerEntry {
   AccountId to = 0;
   double amount = 0.0;
   std::string memo;
+
+  friend bool operator==(const LedgerEntry&, const LedgerEntry&) = default;
 };
 
 class Ledger {
@@ -42,6 +46,20 @@ class Ledger {
   // Treasury payout helper (rewards): treasury -> account.
   [[nodiscard]] bool reward(AccountId to, double amount, std::string memo = {});
 
+  // Receipt-keyed treasury payout: pays exactly once per receipt hash.
+  // Returns false (recording nothing) when `receipt_hash` was already
+  // credited — the double-submission guard proof-of-coverage rides on. On
+  // the first submission the hash is consumed even if the treasury cannot
+  // cover the payout (a failed reward does not re-open the receipt).
+  bool credit_receipt(AccountId to, double amount, std::uint64_t receipt_hash,
+                      std::string memo = {});
+  [[nodiscard]] bool receipt_credited(std::uint64_t receipt_hash) const {
+    return credited_receipts_.contains(receipt_hash);
+  }
+  [[nodiscard]] std::size_t credited_receipt_count() const noexcept {
+    return credited_receipts_.size();
+  }
+
   [[nodiscard]] double balance(AccountId account) const;
   [[nodiscard]] double total_minted() const noexcept { return minted_; }
   [[nodiscard]] double sum_of_balances() const noexcept;
@@ -51,10 +69,21 @@ class Ledger {
 
   static constexpr AccountId kTreasury = 0;
 
+  // Text serialization with hexfloat amounts, so a round trip reproduces
+  // every balance and entry bit-exactly (doubles included). The format is
+  // line-oriented ("mpleo-ledger v1" header; memos/names are
+  // rest-of-line). deserialize throws std::invalid_argument on malformed
+  // input.
+  void serialize(std::ostream& out) const;
+  [[nodiscard]] static Ledger deserialize(std::istream& in);
+
+  friend bool operator==(const Ledger&, const Ledger&) = default;
+
  private:
   std::vector<double> balances_;
   std::vector<std::string> names_;
   std::vector<LedgerEntry> entries_;
+  std::unordered_set<std::uint64_t> credited_receipts_;
   double minted_ = 0.0;
   std::uint64_t next_sequence_ = 0;
 };

@@ -20,7 +20,40 @@ void CapacityMarket::post_bid(Bid bid) {
 }
 
 ClearingResult CapacityMarket::clear(Ledger& ledger) {
+  return clear(ledger, {});
+}
+
+ClearingResult CapacityMarket::clear(Ledger& ledger,
+                                     std::span<const std::uint8_t> excluded_parties) {
   ClearingResult result;
+
+  const auto excluded = [excluded_parties](std::uint32_t party) {
+    return party < excluded_parties.size() && excluded_parties[party] != 0;
+  };
+  if (!excluded_parties.empty()) {
+    // Sanctioned orders leave the book before matching; their volume is
+    // reported as unmatched so the clearing result still accounts for it.
+    std::vector<Ask> kept_asks;
+    kept_asks.reserve(asks_.size());
+    for (const Ask& ask : asks_) {
+      if (excluded(ask.provider_party)) {
+        result.unmatched_supply_gb += ask.capacity_gb;
+      } else {
+        kept_asks.push_back(ask);
+      }
+    }
+    asks_ = std::move(kept_asks);
+    std::vector<Bid> kept_bids;
+    kept_bids.reserve(bids_.size());
+    for (const Bid& bid : bids_) {
+      if (excluded(bid.consumer_party)) {
+        result.unmatched_demand_gb += bid.demand_gb;
+      } else {
+        kept_bids.push_back(bid);
+      }
+    }
+    bids_ = std::move(kept_bids);
+  }
 
   std::sort(asks_.begin(), asks_.end(),
             [](const Ask& a, const Ask& b) { return a.price_per_gb < b.price_per_gb; });

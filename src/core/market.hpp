@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,15 @@ class CapacityMarket {
   // recorded with settled=false and their quantity returns to the book's
   // unmatched totals. The book is emptied.
   [[nodiscard]] ClearingResult clear(Ledger& ledger);
+
+  // Quarantine-aware clearing: asks and bids posted by parties flagged in
+  // `excluded_parties` (byte per party id; indices beyond the span are not
+  // excluded) are pulled from the book before matching and surface in the
+  // unmatched supply/demand totals — the market degrades gracefully instead
+  // of trading with sanctioned members. An empty span is bit-identical to
+  // clear(ledger).
+  [[nodiscard]] ClearingResult clear(Ledger& ledger,
+                                     std::span<const std::uint8_t> excluded_parties);
 
  private:
   std::vector<Ask> asks_;

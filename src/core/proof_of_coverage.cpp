@@ -31,8 +31,21 @@ const char* to_string(ReceiptVerdict verdict) noexcept {
     case ReceiptVerdict::kNotOverhead: return "not-overhead";
     case ReceiptVerdict::kUnknownSatellite: return "unknown-satellite";
     case ReceiptVerdict::kUnknownVerifier: return "unknown-verifier";
+    case ReceiptVerdict::kDuplicate: return "duplicate";
   }
   return "?";
+}
+
+std::uint64_t CoverageReceipt::content_hash() const noexcept {
+  struct Payload {
+    constellation::SatelliteId satellite;
+    std::uint32_t verifier;
+    double julian_date;
+    std::uint64_t nonce;
+    std::uint64_t digest;
+  } payload{satellite, verifier, time.julian_date(), nonce, digest};
+  static_assert(sizeof(Payload) == 32);
+  return fnv1a(&payload, sizeof payload, 0x72637074ULL);  // "rcpt"
 }
 
 std::uint64_t ProofOfCoverage::digest(std::uint64_t key,
@@ -127,8 +140,13 @@ ReceiptVerdict ProofOfCoverage::verify_and_reward(const CoverageReceipt& receipt
                                                   AccountId owner_account) const {
   const ReceiptVerdict verdict = verify(receipt);
   if (verdict == ReceiptVerdict::kValid) {
-    // A failed reward (empty treasury) does not invalidate the receipt.
-    (void)ledger.reward(owner_account, config_.reward_per_receipt, "proof-of-coverage");
+    // A failed reward (empty treasury) does not invalidate the receipt, but
+    // an already-credited content hash does: paying twice for one receipt is
+    // the inflation attack the audit layer exists to stop.
+    if (!ledger.credit_receipt(owner_account, config_.reward_per_receipt,
+                               receipt.content_hash(), "proof-of-coverage")) {
+      return ReceiptVerdict::kDuplicate;
+    }
   }
   return verdict;
 }

@@ -32,6 +32,12 @@ struct CoverageReceipt {
   orbit::TimePoint time;
   std::uint64_t nonce = 0;
   std::uint64_t digest = 0;
+
+  // Deterministic content hash over every field (unkeyed FNV-1a): the
+  // identity the ledger's duplicate-submission guard keys on. Two receipts
+  // hash equal iff they claim the same (satellite, verifier, time, nonce,
+  // digest) — resubmitting an already-credited receipt cannot double-pay.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept;
 };
 
 enum class ReceiptVerdict {
@@ -40,6 +46,7 @@ enum class ReceiptVerdict {
   kNotOverhead,      // geometry says the satellite wasn't visible
   kUnknownSatellite,
   kUnknownVerifier,
+  kDuplicate,        // valid but already credited (double-submission)
 };
 
 [[nodiscard]] const char* to_string(ReceiptVerdict verdict) noexcept;
@@ -79,8 +86,10 @@ class ProofOfCoverage {
                                              std::uint32_t verifier,
                                              const orbit::TimeGrid& grid) const;
 
-  // Verifies and, if valid, pays the owner account from the treasury.
-  // Returns the verdict; the payment only happens on kValid.
+  // Verifies and, if valid, pays the owner account from the treasury through
+  // Ledger::credit_receipt, keyed on the receipt's content hash — an
+  // identical receipt submitted twice earns once and then verdicts
+  // kDuplicate. Returns the verdict; the payment only happens on kValid.
   ReceiptVerdict verify_and_reward(const CoverageReceipt& receipt, Ledger& ledger,
                                    AccountId owner_account) const;
 

@@ -22,6 +22,13 @@ void ReputationTracker::record_poc(PartyId party, bool valid) {
   score = std::clamp(score, config_.floor, config_.ceiling);
 }
 
+void ReputationTracker::record_fraud(PartyId party, std::size_t count) {
+  if (count == 0) return;
+  double& score = scores_.at(party);
+  score -= config_.fraud_penalty * static_cast<double>(count);
+  score = std::clamp(score, config_.floor, config_.ceiling);
+}
+
 void ReputationTracker::record_reciprocity(PartyId party, double ratio) {
   double& score = scores_.at(party);
   score += ratio >= config_.good_ratio ? config_.reciprocity_gain

@@ -24,6 +24,10 @@ class ReputationTracker {
     double poc_penalty = 0.10;     // per forged/failed receipt
     double reciprocity_gain = 0.05;   // per epoch with ratio >= good_ratio
     double reciprocity_penalty = 0.08;  // per epoch flagged as free riding
+    // Per audit-confirmed fraudulent receipt / SLA misreport (see
+    // adversary::ReceiptAuditor). Heavier than a merely failed receipt:
+    // confirmed forgery is intent, not noise.
+    double fraud_penalty = 0.20;
     // Per hour of a party's assets being down (fault::FaultTimeline outage
     // records). Asymmetric like the rest: uptime earns nothing, downtime
     // erodes trust.
@@ -38,6 +42,9 @@ class ReputationTracker {
   ReputationTracker(std::size_t party_count, Config config);
 
   void record_poc(PartyId party, bool valid);
+  // Feed `count` audit-confirmed fraud events (forged/inflated receipts,
+  // SLA misreports) for one party. Zero count is a no-op.
+  void record_fraud(PartyId party, std::size_t count);
   // Feed an epoch's provided/consumed ratio (see core::Reciprocity::ratio()).
   void record_reciprocity(PartyId party, double ratio);
   // Feed an epoch's accumulated asset downtime for one party (e.g. one

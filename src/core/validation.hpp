@@ -1,0 +1,47 @@
+// Structured input validation for the core layer.
+//
+// The consortium/quarantine surfaces take fraction- and stake-valued inputs
+// from configuration and command lines; silently clamping a negative stake
+// or a fraction of 1.7 hides operator errors behind plausible-looking
+// results. ValidationError carries the offending field name and value so
+// callers (and CI logs) see exactly which knob was wrong.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mpleo::core {
+
+class ValidationError : public std::invalid_argument {
+ public:
+  ValidationError(std::string field, double value, const std::string& requirement)
+      : std::invalid_argument(field + " = " + std::to_string(value) + " " + requirement),
+        field_(std::move(field)),
+        value_(value) {}
+
+  [[nodiscard]] const std::string& field() const noexcept { return field_; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  std::string field_;
+  double value_;
+};
+
+// Requires value in [0, 1] (a stake share, slash fraction, byzantine
+// fraction...). NaN fails both bounds checks and is rejected.
+inline double require_fraction(double value, const char* field) {
+  if (!(value >= 0.0) || !(value <= 1.0)) {
+    throw ValidationError(field, value, "must be a fraction in [0, 1]");
+  }
+  return value;
+}
+
+// Requires value >= 0 and finite (a stake, balance, intensity...).
+inline double require_non_negative(double value, const char* field) {
+  if (!(value >= 0.0) || value > 1e300) {
+    throw ValidationError(field, value, "must be finite and >= 0");
+  }
+  return value;
+}
+
+}  // namespace mpleo::core

@@ -184,7 +184,17 @@ struct ConsumeContext {
   std::span<const constellation::Satellite> satellites;
   std::span<const Terminal> terminals;
   std::span<const std::size_t> spare_order;
+  // Per-satellite beams reserved from the spare pass (withholding).
+  std::span<const int> spare_reserved;
 };
+
+// Spare-commons ban check shared by both phase-2 implementations: parties
+// beyond the exclusion vector are not excluded, so an empty vector bans
+// no one (and constellation::Satellite::kUnowned can never index in).
+bool spare_excluded(const SchedulerConfig& config, std::uint32_t party) noexcept {
+  return party < config.spare_exclude_party.size() &&
+         config.spare_exclude_party[party] != 0;
+}
 
 // Sequentially allocates beams for one step from its candidate list. Mirrors
 // schedule_step exactly: same two passes, same strict-> maximisation, same
@@ -196,7 +206,8 @@ struct ConsumeContext {
 StepSchedule consume_step(const ConsumeContext& ctx, const StepCandidates& sc,
                           std::size_t step, const fault::FaultTimeline* faults,
                           std::span<const std::uint8_t> blocked_terminals,
-                          std::uint64_t* beam_rejections) {
+                          std::uint64_t* beam_rejections,
+                          std::uint64_t* withheld_rejections) {
   StepSchedule schedule;
   schedule.step = step;
 
@@ -216,13 +227,25 @@ StepSchedule consume_step(const ConsumeContext& ctx, const StepCandidates& sc,
       if (served[ti] != 0) continue;
 
       const std::uint32_t party = ctx.terminals[ti].owner_party;
+      // A spare-banned party's terminals take nothing from the commons; its
+      // own pass already ran untouched.
+      if (spare_pass && spare_excluded(ctx.config, party)) continue;
       double best_capacity = 0.0;
       std::size_t best_sat = 0, best_gs = 0;
       bool found = false;
       for (std::uint32_t k = sc.offsets[ti]; k < sc.offsets[ti + 1]; ++k) {
         const Candidate& cand = sc.cands[k];
-        if (beams_left[cand.satellite] <= 0) {
-          if (beam_rejections != nullptr) ++*beam_rejections;
+        if (spare_pass &&
+            spare_excluded(ctx.config, ctx.satellites[cand.satellite].owner_party)) {
+          continue;  // quarantined capacity is not on offer
+        }
+        const int spare_floor = spare_pass ? ctx.spare_reserved[cand.satellite] : 0;
+        if (beams_left[cand.satellite] <= spare_floor) {
+          if (beams_left[cand.satellite] <= 0) {
+            if (beam_rejections != nullptr) ++*beam_rejections;
+          } else if (withheld_rejections != nullptr) {
+            ++*withheld_rejections;
+          }
           continue;
         }
         const bool own = ctx.satellites[cand.satellite].owner_party == party;
@@ -345,6 +368,7 @@ struct RunMetrics {
   obs::Counter cull_masks;              // pair masks filled by the culler
   obs::Counter cull_visible_steps;      // set bits across the pair masks
   obs::Counter beam_rejections;         // candidates skipped: no beam left
+  obs::Counter withheld_rejections;     // spare candidates skipped: beams withheld
   obs::Counter links_granted;
   obs::Counter steps;
   obs::Counter failure_forced_detaches;
@@ -365,6 +389,7 @@ struct RunMetrics {
     m.cull_masks = registry->counter("sched.cull_masks");
     m.cull_visible_steps = registry->counter("sched.cull_visible_steps");
     m.beam_rejections = registry->counter("sched.beam_rejections");
+    m.withheld_rejections = registry->counter("sched.spare_withheld_rejections");
     m.links_granted = registry->counter("sched.links_granted");
     m.steps = registry->counter("sched.steps");
     m.failure_forced_detaches = registry->counter("sched.failure_forced_detaches");
@@ -413,6 +438,27 @@ BentPipeScheduler::BentPipeScheduler(SchedulerConfig config,
       }
     }
   }
+  for (const double fraction : config_.spare_withheld_fraction) {
+    if (!std::isfinite(fraction) || fraction < 0.0 || fraction > 1.0) {
+      throw std::invalid_argument(
+          "BentPipeScheduler: spare_withheld_fraction entries must be in [0, 1]");
+    }
+  }
+  // Withheld beams, resolved per satellite once: ceil(nominal * fraction),
+  // never the full beam count spilled past nominal. All-zero when the config
+  // vector is empty — the spare beam check stays the historical `> 0`.
+  spare_reserved_.assign(satellites_.size(), 0);
+  if (!config_.spare_withheld_fraction.empty()) {
+    for (std::size_t si = 0; si < satellites_.size(); ++si) {
+      const std::uint32_t owner = satellites_[si].owner_party;
+      if (owner >= config_.spare_withheld_fraction.size()) continue;
+      const double fraction = config_.spare_withheld_fraction[owner];
+      spare_reserved_[si] = std::min(
+          config_.beams_per_satellite,
+          static_cast<int>(std::ceil(fraction * config_.beams_per_satellite)));
+    }
+  }
+
   terminal_frames_.reserve(terminals_.size());
   for (const Terminal& t : terminals_) terminal_frames_.emplace_back(t.location);
   station_frames_.reserve(stations_.size());
@@ -466,6 +512,8 @@ StepSchedule BentPipeScheduler::schedule_step(
       if (served[ti] != 0) continue;
 
       const Terminal& term = terminals_[ti];
+      // Spare-commons ban: same rule as the pipelined consume_step.
+      if (spare_pass && spare_excluded(config_, term.owner_party)) continue;
       const orbit::TopocentricFrame& term_frame = terminal_frames_[ti];
 
       // Best (highest end-to-end capacity) feasible satellite+station pair.
@@ -474,7 +522,8 @@ StepSchedule BentPipeScheduler::schedule_step(
       bool found = false;
 
       for (std::size_t si = 0; si < satellites_.size(); ++si) {
-        if (beams_left[si] <= 0) continue;
+        if (spare_pass && spare_excluded(config_, satellites_[si].owner_party)) continue;
+        if (beams_left[si] <= (spare_pass ? spare_reserved_[si] : 0)) continue;
         const bool own = satellites_[si].owner_party == term.owner_party;
         if (own == spare_pass) continue;  // pass 0: own only; pass 1: spare only
         const util::Vec3& sat_pos = satellite_ecef[si];
@@ -657,7 +706,8 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
                             eph,             terminal_vis,   station_vis,
                             party_avail,     uplink_hops,    downlink_hops,
                             config_.relay_mode == RelayMode::kRegenerative};
-  const ConsumeContext cctx{config_, satellites_, terminals_, spare_order_};
+  const ConsumeContext cctx{config_, satellites_, terminals_, spare_order_,
+                            spare_reserved_};
 
   // Waves of chunks: phase 1 builds a wave's candidate lists (parallel over
   // chunks when pooled), phase 2 drains it in step order. Buffers are reused
@@ -676,6 +726,7 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
   rm.wave_slots.set(static_cast<double>(wave_slots));
   rm.threads.set(static_cast<double>(pool != nullptr ? pool->thread_count() : 1));
   std::uint64_t beam_rejections = 0;
+  std::uint64_t withheld_rejections = 0;
   std::uint64_t links_granted = 0;
 
   for (std::size_t wave_begin = 0; wave_begin < chunk_total; wave_begin += wave_slots) {
@@ -710,7 +761,8 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
             cctx, wave[slot][b], step, faults,
             faulted ? std::span<const std::uint8_t>(detach.blocked)
                     : std::span<const std::uint8_t>{},
-            metrics != nullptr ? &beam_rejections : nullptr);
+            metrics != nullptr ? &beam_rejections : nullptr,
+            metrics != nullptr ? &withheld_rejections : nullptr);
         if (faulted) detach.post_step(schedule);
         accumulate_step(schedule, terminals_, satellites_, dt_step, result);
         links_granted += schedule.links.size();
@@ -722,6 +774,7 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
 
   rm.steps.add(step_total);
   rm.beam_rejections.add(beam_rejections);
+  rm.withheld_rejections.add(withheld_rejections);
   rm.links_granted.add(links_granted);
   rm.failure_forced_detaches.add(result.failure_forced_detaches);
   return result;

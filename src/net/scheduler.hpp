@@ -70,6 +70,20 @@ struct SchedulerConfig {
   // re-attach — the re-pointing / re-ranging delay that gives outages tails
   // instead of free instant handovers. 0 = instant re-acquisition.
   std::size_t reacquisition_backoff_steps = 0;
+  // Spare-capacity governance, both empty by default (bit-identical to the
+  // ungoverned scheduler):
+  //  * spare_exclude_party[p] != 0 bars party p from the spare commons in
+  //    BOTH directions — its terminals take no spare capacity and its
+  //    satellites offer none (the quarantine sanction). Own-satellite
+  //    service is untouched: graceful degradation, never a blackout.
+  //    Parties beyond the vector are not excluded.
+  //  * spare_withheld_fraction[p] reserves ceil(beams * fraction) beams of
+  //    every party-p satellite for p's own traffic — a withholding
+  //    adversary hoarding capacity it nominally contributes. Entries must
+  //    be finite fractions in [0, 1] (validated at construction); parties
+  //    beyond the vector withhold nothing.
+  std::vector<std::uint8_t> spare_exclude_party;
+  std::vector<double> spare_withheld_fraction;
 };
 
 // One granted link at one step.
@@ -209,6 +223,10 @@ class BentPipeScheduler {
   // stable by terminal index. Step-invariant, so built once at construction.
   // Own-pass order stays index order.
   std::vector<std::size_t> spare_order_;
+  // Per-satellite beams reserved from the spare pass (withholding); all-zero
+  // when spare_withheld_fraction is empty, keeping the spare beam check
+  // exactly the historical `beams_left > 0`.
+  std::vector<int> spare_reserved_;
   double sin_mask_ = 0.0;
 };
 

@@ -25,6 +25,20 @@ double to_double(std::string_view value, const char* flag) {
   return parsed;
 }
 
+AdversaryMode parse_adversary_mode(std::string_view value) {
+  if (value == "off") return AdversaryMode::kOff;
+  if (value == "forge") return AdversaryMode::kForge;
+  if (value == "inflate") return AdversaryMode::kInflate;
+  if (value == "withhold") return AdversaryMode::kWithhold;
+  if (value == "misreport") return AdversaryMode::kMisreport;
+  if (value == "collude") return AdversaryMode::kCollude;
+  if (value == "mixed") return AdversaryMode::kMixed;
+  throw std::invalid_argument(
+      "invalid value for --adversary=: '" + std::string(value) +
+      "' (valid: off, forge, inflate, withhold, misreport, collude, mixed)\nvalid flags:\n" +
+      flag_help());
+}
+
 // The single source of truth for the flag set: the parser dispatches on it
 // and unknown-flag errors / flag_help() render it, so the two can never
 // drift apart.
@@ -71,6 +85,22 @@ constexpr FlagSpec kFlags[] = {
      }},
     {"--no-gen2", "drop the Starlink Gen2 shells from the catalog",
      [](Scenario& s, std::string_view) { s.include_gen2_catalog = false; }},
+    {"--adversary=",
+     "Byzantine behavior mode: off|forge|inflate|withhold|misreport|collude|mixed "
+     "(default off)",
+     [](Scenario& s, std::string_view v) { s.adversary_mode = parse_adversary_mode(v); }},
+    {"--adversary-fraction=", "fraction of parties turned Byzantine, in [0,1] (default 0.25)",
+     [](Scenario& s, std::string_view v) {
+       s.adversary_fraction = to_double(v, "--adversary-fraction");
+     }},
+    {"--adversary-intensity=", "Byzantine behavior strength, >= 0 (default 1)",
+     [](Scenario& s, std::string_view v) {
+       s.adversary_intensity = to_double(v, "--adversary-intensity");
+     }},
+    {"--adversary-seed=", "seed for the Byzantine behavior book (default 1042)",
+     [](Scenario& s, std::string_view v) {
+       s.adversary_seed = static_cast<std::uint64_t>(to_double(v, "--adversary-seed"));
+     }},
 };
 
 }  // namespace
@@ -109,7 +139,27 @@ Scenario parse_scenario(int argc, const char* const* argv, Scenario defaults) {
   if (scenario.runs == 0) throw std::invalid_argument("--runs must be >= 1");
   if (scenario.step_s <= 0.0) throw std::invalid_argument("--step must be > 0");
   if (scenario.duration_s <= 0.0) throw std::invalid_argument("--days must be > 0");
+  if (!(scenario.adversary_fraction >= 0.0) || !(scenario.adversary_fraction <= 1.0)) {
+    throw std::invalid_argument("--adversary-fraction must be in [0, 1]");
+  }
+  if (!(scenario.adversary_intensity >= 0.0) ||
+      scenario.adversary_intensity > 1e300) {
+    throw std::invalid_argument("--adversary-intensity must be finite and >= 0");
+  }
   return scenario;
+}
+
+const char* to_string(AdversaryMode mode) noexcept {
+  switch (mode) {
+    case AdversaryMode::kOff: return "off";
+    case AdversaryMode::kForge: return "forge";
+    case AdversaryMode::kInflate: return "inflate";
+    case AdversaryMode::kWithhold: return "withhold";
+    case AdversaryMode::kMisreport: return "misreport";
+    case AdversaryMode::kCollude: return "collude";
+    case AdversaryMode::kMixed: return "mixed";
+  }
+  return "unknown";
 }
 
 std::string describe(const Scenario& scenario) {
@@ -124,6 +174,11 @@ std::string describe(const Scenario& scenario) {
     } else {
       os << scenario.threads;
     }
+  }
+  if (scenario.adversary_mode != AdversaryMode::kOff) {
+    os << " adversary=" << to_string(scenario.adversary_mode)
+       << " fraction=" << scenario.adversary_fraction
+       << " intensity=" << scenario.adversary_intensity;
   }
   return os.str();
 }

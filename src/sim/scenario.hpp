@@ -12,6 +12,20 @@
 
 namespace mpleo::sim {
 
+// Which Byzantine behavior mix an adversary-aware bench arms (see
+// adversary::BehaviorBook). kOff is the exact adversary-free code path.
+enum class AdversaryMode : std::uint8_t {
+  kOff,
+  kForge,      // forged proof-of-coverage receipts
+  kInflate,    // duplicate resubmission of credited receipts
+  kWithhold,   // capacity withheld from the spare commons
+  kMisreport,  // inflated SLA claims at settlement
+  kCollude,    // coalition receipt forgery
+  kMixed,      // round-robin over all of the above
+};
+
+[[nodiscard]] const char* to_string(AdversaryMode mode) noexcept;
+
 struct Scenario {
   orbit::TimePoint epoch = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
   double duration_s = 7.0 * 86400.0;  // the paper's one-week window
@@ -24,6 +38,14 @@ struct Scenario {
   // hardware threads, N = N threads. Results are bit-identical for any
   // value; only wall-clock time changes.
   std::size_t threads = 1;
+  // Byzantine-party knobs (adversary-aware benches only; kOff leaves every
+  // consumer bit-identical to the adversary-free path). The fraction is the
+  // share of parties turned Byzantine, validated to [0, 1]; intensity scales
+  // behavior strength and must be >= 0.
+  AdversaryMode adversary_mode = AdversaryMode::kOff;
+  double adversary_fraction = 0.25;
+  double adversary_intensity = 1.0;
+  std::uint64_t adversary_seed = 1042;
 
   [[nodiscard]] orbit::TimeGrid grid() const {
     return orbit::TimeGrid::over_duration(epoch, duration_s, step_s);

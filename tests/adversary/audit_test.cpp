@@ -1,0 +1,170 @@
+#include "adversary/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/proof_of_coverage.hpp"
+#include "core/validation.hpp"
+#include "obs/metrics.hpp"
+#include "orbit/geodesy.hpp"
+#include "orbit/propagator.hpp"
+
+namespace mpleo::adversary {
+namespace {
+
+using core::CoverageReceipt;
+using core::ProofOfCoverage;
+using core::ReceiptVerdict;
+
+// Same controlled geometry as the proof-of-coverage tests: an equatorial
+// satellite with one verifier at its sub-satellite point and one it can
+// never see.
+struct AuditFixture {
+  ProofOfCoverage poc{ProofOfCoverage::Config{}};
+  constellation::Satellite satellite;
+  std::uint64_t key = 0;
+  std::uint32_t overhead_verifier = 0;
+  std::uint32_t far_verifier = 0;
+  orbit::TimePoint epoch = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+  core::Ledger ledger;
+  core::AccountId owner = 0;
+  ReceiptAuditor auditor{AuditConfig{}, /*party_count=*/2};
+
+  AuditFixture() {
+    satellite.id = 7;
+    satellite.elements = orbit::ClassicalElements::circular(550e3, 0.0, 0.0, 0.0);
+    satellite.epoch = epoch;
+    key = poc.register_satellite(satellite, /*consortium_seed=*/1234);
+    const orbit::KeplerianPropagator prop(satellite.elements, epoch);
+    const auto ecef = orbit::eci_to_ecef(prop.state_at(epoch).position, epoch);
+    const orbit::Geodetic below = orbit::ecef_to_geodetic(ecef);
+    overhead_verifier =
+        poc.register_verifier({below.latitude_rad, below.longitude_rad, 0.0});
+    far_verifier = poc.register_verifier(
+        orbit::Geodetic::from_degrees(-60.0, below.longitude_rad > 0 ? -120.0 : 120.0));
+    ledger.mint(100.0);
+    owner = ledger.open_account("party-0");
+    auditor.set_audit_grid(orbit::TimeGrid::over_duration(epoch, 3600.0, 60.0));
+  }
+
+  [[nodiscard]] CoverageReceipt receipt(std::uint32_t verifier,
+                                        std::uint64_t nonce) const {
+    return ProofOfCoverage::answer_challenge(satellite.id, key, verifier, epoch, nonce);
+  }
+};
+
+TEST(ReceiptAuditor, ValidReceiptCreditsThroughLedger) {
+  AuditFixture fx;
+  const ReceiptVerdict verdict = fx.auditor.audit_and_credit(
+      fx.poc, fx.receipt(fx.overhead_verifier, 1), /*owner_party=*/0, fx.ledger,
+      fx.owner);
+  EXPECT_EQ(verdict, ReceiptVerdict::kValid);
+  EXPECT_DOUBLE_EQ(fx.ledger.balance(fx.owner), fx.poc.config().reward_per_receipt);
+  const PartyAuditStats& stats = fx.auditor.stats(0);
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.credited, 1u);
+  EXPECT_EQ(stats.fraud_total(), 0u);
+}
+
+TEST(ReceiptAuditor, ForgedDigestIsFraudUnderEitherProvenance) {
+  AuditFixture fx;
+  CoverageReceipt forged = fx.receipt(fx.overhead_verifier, 2);
+  forged.digest ^= 1;
+  EXPECT_EQ(fx.auditor.audit_and_credit(fx.poc, forged, 0, fx.ledger, fx.owner,
+                                        ReceiptProvenance::kChallenge),
+            ReceiptVerdict::kBadDigest);
+  EXPECT_EQ(fx.auditor.audit_and_credit(fx.poc, forged, 0, fx.ledger, fx.owner,
+                                        ReceiptProvenance::kSubmission),
+            ReceiptVerdict::kBadDigest);
+  EXPECT_EQ(fx.auditor.stats(0).rejected_digest, 2u);
+  EXPECT_EQ(fx.auditor.stats(0).fraud_total(), 2u);
+  EXPECT_DOUBLE_EQ(fx.ledger.balance(fx.owner), 0.0);
+}
+
+TEST(ReceiptAuditor, GeometryMissFraudOnlyWhenUnsolicited) {
+  // A challenge answered at an unlucky time is the verifier's mistimed ping;
+  // the SAME receipt as a party-initiated submission is a coverage lie.
+  AuditFixture fx;
+  const CoverageReceipt lie = fx.receipt(fx.far_verifier, 3);
+  EXPECT_EQ(fx.auditor.audit_and_credit(fx.poc, lie, 0, fx.ledger, fx.owner,
+                                        ReceiptProvenance::kChallenge),
+            ReceiptVerdict::kNotOverhead);
+  EXPECT_EQ(fx.auditor.stats(0).fraud_total(), 0u);
+
+  EXPECT_EQ(fx.auditor.audit_and_credit(fx.poc, lie, 0, fx.ledger, fx.owner,
+                                        ReceiptProvenance::kSubmission),
+            ReceiptVerdict::kNotOverhead);
+  const PartyAuditStats& stats = fx.auditor.stats(0);
+  EXPECT_EQ(stats.rejected_geometry, 2u);
+  EXPECT_EQ(stats.unsolicited_geometry, 1u);
+  EXPECT_EQ(stats.fraud_total(), 1u);
+}
+
+TEST(ReceiptAuditor, ResubmissionIsDuplicateFraud) {
+  AuditFixture fx;
+  const CoverageReceipt receipt = fx.receipt(fx.overhead_verifier, 4);
+  EXPECT_EQ(fx.auditor.audit_and_credit(fx.poc, receipt, 0, fx.ledger, fx.owner),
+            ReceiptVerdict::kValid);
+  EXPECT_EQ(fx.auditor.audit_and_credit(fx.poc, receipt, 0, fx.ledger, fx.owner,
+                                        ReceiptProvenance::kSubmission),
+            ReceiptVerdict::kDuplicate);
+  EXPECT_DOUBLE_EQ(fx.ledger.balance(fx.owner), fx.poc.config().reward_per_receipt);
+  EXPECT_EQ(fx.auditor.stats(0).rejected_duplicate, 1u);
+  EXPECT_EQ(fx.auditor.stats(0).fraud_total(), 1u);
+}
+
+TEST(ReceiptAuditor, PrescreenFlagsImpossibleClaims) {
+  AuditFixture fx;
+  (void)fx.auditor.audit_and_credit(fx.poc, fx.receipt(fx.far_verifier, 5), 0,
+                                    fx.ledger, fx.owner,
+                                    ReceiptProvenance::kSubmission);
+  EXPECT_GE(fx.auditor.stats(0).prescreen_flagged, 1u);
+  // Prescreen and exact geometry agreed here: both said not-overhead.
+  EXPECT_EQ(fx.auditor.stats(0).prescreen_mismatches, 0u);
+}
+
+TEST(ReceiptAuditor, StatsAttributedPerParty) {
+  AuditFixture fx;
+  CoverageReceipt forged = fx.receipt(fx.overhead_verifier, 6);
+  forged.digest ^= 1;
+  (void)fx.auditor.audit_and_credit(fx.poc, forged, /*owner_party=*/1, fx.ledger,
+                                    fx.owner);
+  EXPECT_EQ(fx.auditor.stats(0).submitted, 0u);
+  EXPECT_EQ(fx.auditor.stats(1).submitted, 1u);
+  EXPECT_EQ(fx.auditor.stats(1).fraud_total(), 1u);
+  EXPECT_EQ(fx.auditor.totals().submitted, 1u);
+}
+
+TEST(ReceiptAuditor, SlaClaimsCheckedAgainstGroundTruth) {
+  AuditFixture fx;
+  EXPECT_FALSE(fx.auditor.audit_sla_claim(0, 100.0, 100.0));
+  EXPECT_FALSE(fx.auditor.audit_sla_claim(0, 104.0, 100.0));  // within tolerance
+  EXPECT_TRUE(fx.auditor.audit_sla_claim(0, 120.0, 100.0));
+  EXPECT_EQ(fx.auditor.stats(0).sla_misreports, 1u);
+  EXPECT_EQ(fx.auditor.stats(0).fraud_total(), 1u);
+}
+
+TEST(ReceiptAuditor, MetricsInstrumentationCounts) {
+  obs::MetricsRegistry metrics;
+  AuditFixture fx;
+  fx.auditor.set_metrics(&metrics);
+  (void)fx.auditor.audit_and_credit(fx.poc, fx.receipt(fx.overhead_verifier, 7), 0,
+                                    fx.ledger, fx.owner);
+  CoverageReceipt forged = fx.receipt(fx.overhead_verifier, 8);
+  forged.digest ^= 1;
+  (void)fx.auditor.audit_and_credit(fx.poc, forged, 0, fx.ledger, fx.owner);
+  EXPECT_EQ(metrics.counter_value("audit.receipts_submitted"), 2u);
+  EXPECT_EQ(metrics.counter_value("audit.receipts_credited"), 1u);
+  EXPECT_EQ(metrics.counter_value("audit.fraud_detected"), 1u);
+}
+
+TEST(ReceiptAuditor, ValidatesConfigAndPartyBounds) {
+  AuditConfig bad;
+  bad.sla_tolerance = -0.1;
+  EXPECT_THROW(ReceiptAuditor(bad, 2), core::ValidationError);
+
+  AuditFixture fx;
+  EXPECT_THROW((void)fx.auditor.stats(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mpleo::adversary

@@ -1,0 +1,88 @@
+#include "core/adversary_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/run_context.hpp"
+
+namespace mpleo::core {
+namespace {
+
+// Smallest workload that still exercises every stage: 4 parties, one short
+// epoch, three sweep points.
+AdversarySweepConfig tiny_config() {
+  AdversarySweepConfig config;
+  config.byzantine_fractions = {0.0, 0.25, 0.5};
+  config.parties = 4;
+  config.satellites_per_party = 3;
+  config.terminals_per_party = 2;
+  config.stations_per_party = 1;
+  config.epochs = 2;
+  config.epoch_duration_s = 2.0 * 3600.0;
+  config.step_s = 300.0;
+  return config;
+}
+
+TEST(AdversarySweep, ReportsEveryPointWithMonotonePayoff) {
+  sim::RunContext context;
+  const std::vector<AdversarySweepPoint> points =
+      adversary_sweep(tiny_config(), context);
+  ASSERT_EQ(points.size(), 3u);
+
+  // Point 0 is the adversary-free baseline.
+  EXPECT_EQ(points[0].byzantine_parties, 0u);
+  EXPECT_EQ(points[0].fraud_injected, 0u);
+  EXPECT_EQ(points[0].fraud_detected, 0u);
+  EXPECT_EQ(points[0].quarantined_parties + points[0].expelled_parties, 0u);
+  EXPECT_GT(points[0].honest_core_welfare, 0.0);
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(points[i].byzantine_fraction,
+                     tiny_config().byzantine_fractions[i]);
+    EXPECT_GE(points[i].fraud_detected, points[i].fraud_injected) << "point " << i;
+    if (i > 0) {
+      EXPECT_GE(points[i].byzantine_parties, points[i - 1].byzantine_parties);
+      EXPECT_LE(points[i].honest_core_payoff,
+                points[i - 1].honest_core_payoff + 1e-9)
+          << "payoff not monotone at point " << i;
+    }
+  }
+  // Byzantine behavior was actually injected at the deepest point.
+  EXPECT_GT(points.back().fraud_injected, 0u);
+
+  EXPECT_EQ(context.metrics().counter_value("adversary_sweep.points"), 3u);
+}
+
+TEST(AdversarySweep, DeterministicAcrossRuns) {
+  sim::RunContext a;
+  sim::RunContext b;
+  const std::vector<AdversarySweepPoint> first = adversary_sweep(tiny_config(), a);
+  const std::vector<AdversarySweepPoint> second = adversary_sweep(tiny_config(), b);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].fraud_injected, second[i].fraud_injected);
+    EXPECT_EQ(first[i].fraud_detected, second[i].fraud_detected);
+    EXPECT_EQ(first[i].quarantined_parties, second[i].quarantined_parties);
+    EXPECT_DOUBLE_EQ(first[i].honest_core_payoff, second[i].honest_core_payoff);
+    EXPECT_DOUBLE_EQ(first[i].mean_honest_balance, second[i].mean_honest_balance);
+  }
+}
+
+TEST(AdversarySweep, ValidatesConfig) {
+  sim::RunContext context;
+  AdversarySweepConfig config = tiny_config();
+  config.parties = 0;
+  EXPECT_THROW((void)adversary_sweep(config, context), std::invalid_argument);
+
+  config = tiny_config();
+  config.byzantine_fractions = {0.5, 0.25};  // must be non-decreasing
+  EXPECT_THROW((void)adversary_sweep(config, context), std::invalid_argument);
+
+  config = tiny_config();
+  config.stations_per_party = 5;  // more stations than terminal anchors
+  EXPECT_THROW((void)adversary_sweep(config, context), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpleo::core

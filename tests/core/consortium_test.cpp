@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "constellation/shell.hpp"
+#include "core/validation.hpp"
 
 namespace mpleo::core {
 namespace {
@@ -158,6 +159,69 @@ TEST(Consortium, ProportionalDegradationInvariant) {
   const std::size_t before = c.active_satellite_count();
   const std::size_t removed = c.withdraw_party(parties[4]);
   EXPECT_NEAR(static_cast<double>(removed) / static_cast<double>(before), stake, 1e-12);
+}
+
+TEST(Consortium, QuarantineLifecycle) {
+  Consortium c;
+  const PartyId a = c.add_party(named("a"));
+  const PartyId b = c.add_party(named("b"));
+  c.contribute(a, make_sats(4));
+  c.contribute(b, make_sats(4));
+  EXPECT_EQ(c.party_status(a), PartyStatus::kActive);
+
+  c.quarantine_party(a);
+  EXPECT_EQ(c.party_status(a), PartyStatus::kQuarantined);
+  EXPECT_EQ(c.party_status(b), PartyStatus::kActive);
+  // Quarantine keeps the satellites in the active set (own-fleet service
+  // continues); only the spare-commons standing changes.
+  EXPECT_EQ(c.active_satellite_count(), 8u);
+  EXPECT_EQ(c.spare_exclusion_mask(), (std::vector<std::uint8_t>{1, 0}));
+
+  c.quarantine_party(a);  // idempotent
+  EXPECT_EQ(c.party_status(a), PartyStatus::kQuarantined);
+
+  c.reinstate_party(a);
+  EXPECT_EQ(c.party_status(a), PartyStatus::kActive);
+  EXPECT_EQ(c.spare_exclusion_mask(), (std::vector<std::uint8_t>{0, 0}));
+}
+
+TEST(Consortium, QuarantineTransitionsValidated) {
+  Consortium c;
+  const PartyId a = c.add_party(named("a"));
+  c.contribute(a, make_sats(2));
+
+  EXPECT_THROW(c.reinstate_party(a), std::logic_error);  // not quarantined
+  (void)c.withdraw_party(a);
+  EXPECT_EQ(c.party_status(a), PartyStatus::kWithdrawn);
+  EXPECT_THROW(c.quarantine_party(a), std::logic_error);  // already gone
+  EXPECT_EQ(c.spare_exclusion_mask(), std::vector<std::uint8_t>{1});
+  EXPECT_THROW((void)c.party_status(9), std::out_of_range);
+}
+
+TEST(Consortium, ExpelledPartyStatusIsWithdrawn) {
+  Consortium c;
+  const PartyId a = c.add_party(named("a"));
+  c.contribute(a, make_sats(2));
+  c.quarantine_party(a);
+  (void)c.withdraw_party(a);  // expulsion = withdrawal from quarantine
+  EXPECT_EQ(c.party_status(a), PartyStatus::kWithdrawn);
+  EXPECT_EQ(c.active_satellite_count(), 0u);
+}
+
+TEST(Consortium, SlashAmountValidatesInputs) {
+  EXPECT_DOUBLE_EQ(Consortium::slash_amount(100.0, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(Consortium::slash_amount(0.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Consortium::slash_amount(100.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Consortium::slash_amount(100.0, 1.0), 100.0);
+  EXPECT_THROW((void)Consortium::slash_amount(-1.0, 0.5), ValidationError);
+  EXPECT_THROW((void)Consortium::slash_amount(100.0, -0.1), ValidationError);
+  EXPECT_THROW((void)Consortium::slash_amount(100.0, 1.5), ValidationError);
+}
+
+TEST(Consortium, PartyStatusToString) {
+  EXPECT_STREQ(to_string(PartyStatus::kActive), "active");
+  EXPECT_STREQ(to_string(PartyStatus::kQuarantined), "quarantined");
+  EXPECT_STREQ(to_string(PartyStatus::kWithdrawn), "withdrawn");
 }
 
 }  // namespace

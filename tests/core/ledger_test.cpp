@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -111,6 +112,72 @@ TEST(Ledger, ConservationUnderRandomActivity) {
   }
   // And no account ever went negative.
   for (AccountId a : accounts) EXPECT_GE(ledger.balance(a), -1e-9);
+}
+
+TEST(Ledger, CreditReceiptPaysExactlyOncePerHash) {
+  Ledger ledger;
+  ledger.mint(10.0);
+  const AccountId owner = ledger.open_account("owner");
+  constexpr std::uint64_t kHash = 0xFEEDFACE;
+
+  EXPECT_FALSE(ledger.receipt_credited(kHash));
+  EXPECT_TRUE(ledger.credit_receipt(owner, 2.0, kHash, "poc"));
+  EXPECT_TRUE(ledger.receipt_credited(kHash));
+  EXPECT_DOUBLE_EQ(ledger.balance(owner), 2.0);
+
+  // Resubmission of the same hash records nothing and pays nothing.
+  EXPECT_FALSE(ledger.credit_receipt(owner, 2.0, kHash, "poc again"));
+  EXPECT_DOUBLE_EQ(ledger.balance(owner), 2.0);
+  EXPECT_EQ(ledger.credited_receipt_count(), 1u);
+
+  // A different hash is a different receipt.
+  EXPECT_TRUE(ledger.credit_receipt(owner, 2.0, kHash + 1, "poc"));
+  EXPECT_DOUBLE_EQ(ledger.balance(owner), 4.0);
+}
+
+TEST(Ledger, CreditReceiptConsumesHashEvenWhenTreasuryCannotPay) {
+  Ledger ledger;  // empty treasury
+  const AccountId owner = ledger.open_account("owner");
+  // First submission consumes the hash even though the payout fails.
+  EXPECT_TRUE(ledger.credit_receipt(owner, 5.0, 42, "unfunded"));
+  EXPECT_TRUE(ledger.receipt_credited(42));
+  EXPECT_DOUBLE_EQ(ledger.balance(owner), 0.0);
+  ledger.mint(10.0);
+  // The receipt stays consumed: no retroactive double-claim window.
+  EXPECT_FALSE(ledger.credit_receipt(owner, 5.0, 42, "retry"));
+  EXPECT_DOUBLE_EQ(ledger.balance(owner), 0.0);
+}
+
+TEST(Ledger, SerializationRoundTripsBitExactly) {
+  util::Xoshiro256PlusPlus rng(7);
+  Ledger ledger;
+  std::vector<AccountId> accounts;
+  for (int i = 0; i < 4; ++i) {
+    accounts.push_back(ledger.open_account("party " + std::to_string(i)));
+  }
+  ledger.mint(1.0 / 3.0, "genesis mint");  // non-representable amounts on purpose
+  for (int step = 0; step < 50; ++step) {
+    (void)ledger.transfer(step % 5 == 0 ? Ledger::kTreasury
+                                        : accounts[rng.uniform_index(accounts.size())],
+                          accounts[rng.uniform_index(accounts.size())],
+                          rng.uniform(0.0, 0.01), "memo with spaces " + std::to_string(step));
+  }
+  (void)ledger.credit_receipt(accounts[0], 0.1, 0xDEADBEEF, "receipt");
+
+  std::stringstream stream;
+  ledger.serialize(stream);
+  const Ledger restored = Ledger::deserialize(stream);
+  EXPECT_EQ(restored, ledger);  // balances, entries, receipts — bit for bit
+  EXPECT_TRUE(restored.receipt_credited(0xDEADBEEF));
+  EXPECT_EQ(restored.account_name(accounts[2]), "party 2");
+}
+
+TEST(Ledger, DeserializeRejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW((void)Ledger::deserialize(empty), std::invalid_argument);
+
+  std::stringstream wrong_header("not-a-ledger v9\n");
+  EXPECT_THROW((void)Ledger::deserialize(wrong_header), std::invalid_argument);
 }
 
 }  // namespace

@@ -126,6 +126,57 @@ TEST(Market, AveragePriceQuantityWeighted) {
   EXPECT_DOUBLE_EQ(result.average_price(), 5.0);
 }
 
+TEST(Market, EmptyExclusionSpanIsBitIdentical) {
+  MarketFixture fx;
+  MarketFixture fx2;
+  CapacityMarket market;
+  CapacityMarket market2;
+  for (CapacityMarket* m : {&market, &market2}) {
+    m->post_ask({0, fx.provider_a, 4.0, 2.0});
+    m->post_ask({1, fx.provider_b, 4.0, 6.0});
+    m->post_bid({2, fx.consumer, 8.0, 6.0});
+  }
+  const ClearingResult plain = market.clear(fx.ledger);
+  const ClearingResult guarded = market2.clear(fx2.ledger, {});
+  ASSERT_EQ(plain.trades.size(), guarded.trades.size());
+  EXPECT_EQ(plain.cleared_gb, guarded.cleared_gb);
+  EXPECT_EQ(plain.cleared_value, guarded.cleared_value);
+  EXPECT_EQ(fx.ledger, fx2.ledger);
+}
+
+TEST(Market, ExcludedProviderAsksGoUnmatched) {
+  MarketFixture fx;
+  CapacityMarket market;
+  market.post_ask({0, fx.provider_a, 5.0, 2.0});  // cheapest, but quarantined
+  market.post_ask({1, fx.provider_b, 5.0, 4.0});
+  market.post_bid({2, fx.consumer, 5.0, 6.0});
+  const std::vector<std::uint8_t> excluded{1, 0, 0};
+  const ClearingResult result = market.clear(fx.ledger, excluded);
+  ASSERT_EQ(result.trades.size(), 1u);
+  EXPECT_EQ(result.trades.front().provider_party, 1u);
+  // The pulled ask surfaces as unmatched supply rather than vanishing.
+  EXPECT_DOUBLE_EQ(result.unmatched_supply_gb, 5.0);
+  EXPECT_DOUBLE_EQ(fx.ledger.balance(fx.provider_a), 0.0);
+}
+
+TEST(Market, ExcludedConsumerBidsGoUnmatched) {
+  MarketFixture fx;
+  CapacityMarket market;
+  market.post_ask({0, fx.provider_a, 5.0, 2.0});
+  market.post_bid({2, fx.consumer, 5.0, 9.0});  // quarantined party 2
+  const std::vector<std::uint8_t> excluded{0, 0, 1};
+  const ClearingResult result = market.clear(fx.ledger, excluded);
+  EXPECT_TRUE(result.trades.empty());
+  EXPECT_DOUBLE_EQ(result.unmatched_demand_gb, 5.0);
+  EXPECT_DOUBLE_EQ(result.unmatched_supply_gb, 5.0);
+  // Parties beyond the span stay eligible: the same book trades once the
+  // mask no longer reaches party 2.
+  market.post_ask({0, fx.provider_a, 5.0, 2.0});
+  market.post_bid({2, fx.consumer, 5.0, 9.0});
+  const std::vector<std::uint8_t> short_mask{0, 0};
+  EXPECT_EQ(market.clear(fx.ledger, short_mask).trades.size(), 1u);
+}
+
 TEST(Market, RejectsNegativeInputs) {
   CapacityMarket market;
   EXPECT_THROW(market.post_ask({0, 0, -1.0, 1.0}), std::invalid_argument);

@@ -133,6 +133,56 @@ TEST(ProofOfCoverage, ToStringCoversAllVerdicts) {
   EXPECT_STREQ(to_string(ReceiptVerdict::kNotOverhead), "not-overhead");
   EXPECT_STREQ(to_string(ReceiptVerdict::kUnknownSatellite), "unknown-satellite");
   EXPECT_STREQ(to_string(ReceiptVerdict::kUnknownVerifier), "unknown-verifier");
+  EXPECT_STREQ(to_string(ReceiptVerdict::kDuplicate), "duplicate");
+}
+
+TEST(ProofOfCoverage, ContentHashCoversEveryField) {
+  CoverageReceipt receipt;
+  receipt.satellite = 7;
+  receipt.verifier = 3;
+  receipt.time = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+  receipt.nonce = 42;
+  receipt.digest = 0xABCD;
+  const std::uint64_t base = receipt.content_hash();
+  EXPECT_EQ(base, receipt.content_hash());  // deterministic
+
+  CoverageReceipt mutated = receipt;
+  mutated.satellite = 8;
+  EXPECT_NE(mutated.content_hash(), base);
+  mutated = receipt;
+  mutated.verifier = 4;
+  EXPECT_NE(mutated.content_hash(), base);
+  mutated = receipt;
+  mutated.time = orbit::TimePoint::from_iso8601("2024-11-18T00:00:01Z");
+  EXPECT_NE(mutated.content_hash(), base);
+  mutated = receipt;
+  mutated.nonce = 43;
+  EXPECT_NE(mutated.content_hash(), base);
+  mutated = receipt;
+  mutated.digest = 0xABCE;
+  EXPECT_NE(mutated.content_hash(), base);
+}
+
+TEST(ProofOfCoverage, ResubmittedReceiptVerdictsDuplicate) {
+  // The inflation attack: a once-valid receipt resubmitted verbatim must not
+  // double-pay — the ledger's content-hash guard verdicts it kDuplicate.
+  PocFixture fx;
+  Ledger ledger;
+  ledger.mint(10.0);
+  const AccountId owner = ledger.open_account("owner");
+
+  const CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+      fx.satellite.id, fx.key, fx.overhead_verifier, fx.epoch, 5);
+  EXPECT_EQ(fx.poc.verify_and_reward(receipt, ledger, owner), ReceiptVerdict::kValid);
+  EXPECT_EQ(fx.poc.verify_and_reward(receipt, ledger, owner),
+            ReceiptVerdict::kDuplicate);
+  EXPECT_DOUBLE_EQ(ledger.balance(owner), fx.poc.config().reward_per_receipt);
+
+  // A fresh nonce is a fresh receipt: next overhead pass still pays.
+  const CoverageReceipt fresh = ProofOfCoverage::answer_challenge(
+      fx.satellite.id, fx.key, fx.overhead_verifier, fx.epoch, 6);
+  EXPECT_EQ(fx.poc.verify_and_reward(fresh, ledger, owner), ReceiptVerdict::kValid);
+  EXPECT_DOUBLE_EQ(ledger.balance(owner), 2.0 * fx.poc.config().reward_per_receipt);
 }
 
 TEST(ProofOfCoverage, OverheadStepsPlanValidChallenges) {

@@ -100,6 +100,108 @@ TEST(ScheduleStep, SpareCapacityServesOtherParty) {
   EXPECT_TRUE(schedule.links.front().spare);
 }
 
+TEST(ScheduleStep, SpareExcludedPartyTakesNothingFromCommons) {
+  // Same single-satellite geometry as SpareCapacityServesOtherParty, but
+  // party 1 is spare-banned: its terminal goes unserved even though capacity
+  // is free.
+  SchedulerConfig cfg;
+  cfg.spare_exclude_party = {0, 1};
+  const BentPipeScheduler scheduler(cfg, {owned_satellite(0)},
+                                    {make_terminal(10.0, 20.0, 1)},
+                                    {make_station(10.5, 20.5, 1)});
+  const std::vector<Vec3> positions{overhead_of(10.2, 20.2)};
+  const StepSchedule schedule = scheduler.schedule_step(positions, 0);
+  EXPECT_TRUE(schedule.links.empty());
+  ASSERT_EQ(schedule.unserved_terminals.size(), 1u);
+}
+
+TEST(ScheduleStep, SpareExcludedPartyOffersNothingButServesItself) {
+  // The satellite owner is spare-banned: others get nothing from its beams,
+  // while its own terminal keeps full service (graceful, not a blackout).
+  SchedulerConfig cfg;
+  cfg.spare_exclude_party = {1, 0};
+  const BentPipeScheduler scheduler(
+      cfg, {owned_satellite(0)},
+      {make_terminal(10.0, 20.0, 1, 0), make_terminal(10.3, 20.3, 0, 1)},
+      {make_station(10.5, 20.5, 0, 0), make_station(10.6, 20.6, 1, 1)});
+  const std::vector<Vec3> positions{overhead_of(10.2, 20.2)};
+  const StepSchedule schedule = scheduler.schedule_step(positions, 0);
+  ASSERT_EQ(schedule.links.size(), 1u);
+  EXPECT_EQ(schedule.links.front().terminal_index, 1u);  // owner still served
+  EXPECT_FALSE(schedule.links.front().spare);
+  EXPECT_EQ(schedule.unserved_terminals.size(), 1u);  // party 1 shut out
+}
+
+TEST(ScheduleStep, AllZeroExclusionVectorChangesNothing) {
+  SchedulerConfig plain;
+  SchedulerConfig governed;
+  governed.spare_exclude_party = {0, 0};
+  governed.spare_withheld_fraction = {0.0, 0.0};
+  const std::vector<Satellite> sats{owned_satellite(0)};
+  const std::vector<Terminal> terminals{make_terminal(10.0, 20.0, 1)};
+  const std::vector<GroundStation> stations{make_station(10.5, 20.5, 1)};
+  const BentPipeScheduler a(plain, sats, terminals, stations);
+  const BentPipeScheduler b(governed, sats, terminals, stations);
+  const std::vector<Vec3> positions{overhead_of(10.2, 20.2)};
+  const StepSchedule sa = a.schedule_step(positions, 0);
+  const StepSchedule sb = b.schedule_step(positions, 0);
+  ASSERT_EQ(sa.links.size(), sb.links.size());
+  ASSERT_EQ(sa.links.size(), 1u);
+  EXPECT_EQ(sa.links.front().terminal_index, sb.links.front().terminal_index);
+  EXPECT_EQ(sa.unserved_terminals, sb.unserved_terminals);
+}
+
+TEST(ScheduleStep, WithheldFractionReservesSpareBeams) {
+  // Party 0 withholds half its 2 beams: 1 beam stays reserved for its own
+  // traffic, so of two foreign terminals in range only one rides spare.
+  SchedulerConfig cfg;
+  cfg.beams_per_satellite = 2;
+  cfg.spare_withheld_fraction = {0.5, 0.0};
+  const BentPipeScheduler scheduler(
+      cfg, {owned_satellite(0)},
+      {make_terminal(10.0, 20.0, 1, 0), make_terminal(10.3, 20.3, 1, 1)},
+      {make_station(10.5, 20.5, 1)});
+  const std::vector<Vec3> positions{overhead_of(10.2, 20.2)};
+  const StepSchedule schedule = scheduler.schedule_step(positions, 0);
+  EXPECT_EQ(schedule.links.size(), 1u);
+  EXPECT_EQ(schedule.unserved_terminals.size(), 1u);
+
+  // Full withholding starves the commons entirely.
+  cfg.spare_withheld_fraction = {1.0, 0.0};
+  const BentPipeScheduler hoarder(
+      cfg, {owned_satellite(0)},
+      {make_terminal(10.0, 20.0, 1, 0), make_terminal(10.3, 20.3, 1, 1)},
+      {make_station(10.5, 20.5, 1)});
+  EXPECT_TRUE(hoarder.schedule_step(positions, 0).links.empty());
+}
+
+TEST(ScheduleStep, WithheldBeamsStayAvailableToOwner) {
+  // Withholding reserves beams from the COMMONS, not from the owner: party
+  // 0's own terminals still use all beams.
+  SchedulerConfig cfg;
+  cfg.beams_per_satellite = 2;
+  cfg.spare_withheld_fraction = {1.0};
+  const BentPipeScheduler scheduler(
+      cfg, {owned_satellite(0)},
+      {make_terminal(10.0, 20.0, 0, 0), make_terminal(10.3, 20.3, 0, 1)},
+      {make_station(10.5, 20.5, 0)});
+  const std::vector<Vec3> positions{overhead_of(10.2, 20.2)};
+  EXPECT_EQ(scheduler.schedule_step(positions, 0).links.size(), 2u);
+}
+
+TEST(Scheduler, RejectsInvalidWithheldFractions) {
+  const std::vector<Satellite> sats{owned_satellite(0)};
+  const std::vector<Terminal> terminals{make_terminal(10.0, 20.0, 0)};
+  const std::vector<GroundStation> stations{make_station(10.5, 20.5, 0)};
+  for (const double bad : {-0.1, 1.5, std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    SchedulerConfig cfg;
+    cfg.spare_withheld_fraction = {bad};
+    EXPECT_THROW(BentPipeScheduler(cfg, sats, terminals, stations),
+                 std::invalid_argument);
+  }
+}
+
 TEST(ScheduleStep, OwnerHasPriorityOverSpare) {
   // One beam, one satellite owned by party 0; both parties have a terminal
   // in range. The owner's terminal wins the beam.

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/robustness.hpp"
 #include "core/sla.hpp"
 #include "fault/timeline.hpp"
@@ -201,6 +203,53 @@ TEST(FaultProperty, ResilienceSweepReproducesAndIsMonotone) {
         other[i].mean_coverage_fraction != serial[i].mean_coverage_fraction;
   }
   EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultProperty, StochasticTimelineConvergesToConfiguredMtbfMttr) {
+  // The exponential fail/repair model is only trustworthy if the empirical
+  // statistics of a long draw converge to the configured means: mean outage
+  // duration -> mttr, mean up-time between failures -> mtbf.
+  const double mtbf_s = 2.0 * 86400.0;
+  const double mttr_s = 6.0 * 3600.0;
+  const double horizon_s = 60.0 * 86400.0;
+  constexpr std::size_t kSatellites = 40;
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(epoch(), horizon_s, 600.0);
+  const fault::FaultTimeline timeline = fault::FaultTimeline::stochastic(
+      grid, kSatellites, 0, {mtbf_s, mttr_s}, {0.0, 0.0}, /*seed=*/1042);
+
+  // Group outages per satellite in time order to measure up-gaps.
+  std::vector<std::vector<fault::OutageRecord>> per_sat(kSatellites);
+  for (const fault::OutageRecord& r : timeline.outages()) {
+    ASSERT_EQ(r.kind, fault::AssetKind::kSatellite);
+    ASSERT_LT(r.asset_index, kSatellites);
+    per_sat[r.asset_index].push_back(r);
+  }
+  double down_sum = 0.0, up_sum = 0.0;
+  std::size_t down_count = 0, up_count = 0;
+  for (std::vector<fault::OutageRecord>& records : per_sat) {
+    std::sort(records.begin(), records.end(),
+              [](const fault::OutageRecord& a, const fault::OutageRecord& b) {
+                return a.start_offset_s < b.start_offset_s;
+              });
+    double previous_end = 0.0;
+    for (const fault::OutageRecord& r : records) {
+      ASSERT_GT(r.duration_s(), 0.0);
+      up_sum += r.start_offset_s - previous_end;
+      ++up_count;
+      previous_end = r.end_offset_s;
+      // Truncated tail outages would bias the repair mean low; skip them.
+      if (r.end_offset_s < horizon_s) {
+        down_sum += r.duration_s();
+        ++down_count;
+      }
+    }
+  }
+  // ~26 failure/repair cycles per satellite over 60 days -> ~1000 samples;
+  // a 10% band is ~3 standard errors for an exponential.
+  ASSERT_GT(down_count, 500u);
+  ASSERT_GT(up_count, 500u);
+  EXPECT_NEAR(down_sum / static_cast<double>(down_count), mttr_s, 0.10 * mttr_s);
+  EXPECT_NEAR(up_sum / static_cast<double>(up_count), mtbf_s, 0.10 * mtbf_s);
 }
 
 TEST(FaultProperty, StochasticTimelineRespectsDisabledStations) {

@@ -69,6 +69,48 @@ TEST(Scenario, RejectsUnknownAndInvalid) {
   EXPECT_THROW(parse({"--days=0"}), std::invalid_argument);
 }
 
+TEST(Scenario, AdversaryFlags) {
+  EXPECT_EQ(Scenario{}.adversary_mode, AdversaryMode::kOff);  // default: bit-identical
+  const Scenario s = parse({"--adversary=mixed", "--adversary-fraction=0.5",
+                            "--adversary-intensity=2", "--adversary-seed=77"});
+  EXPECT_EQ(s.adversary_mode, AdversaryMode::kMixed);
+  EXPECT_DOUBLE_EQ(s.adversary_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.adversary_intensity, 2.0);
+  EXPECT_EQ(s.adversary_seed, 77u);
+
+  EXPECT_EQ(parse({"--adversary=off"}).adversary_mode, AdversaryMode::kOff);
+  EXPECT_EQ(parse({"--adversary=forge"}).adversary_mode, AdversaryMode::kForge);
+  EXPECT_EQ(parse({"--adversary=inflate"}).adversary_mode, AdversaryMode::kInflate);
+  EXPECT_EQ(parse({"--adversary=withhold"}).adversary_mode, AdversaryMode::kWithhold);
+  EXPECT_EQ(parse({"--adversary=misreport"}).adversary_mode, AdversaryMode::kMisreport);
+  EXPECT_EQ(parse({"--adversary=collude"}).adversary_mode, AdversaryMode::kCollude);
+}
+
+TEST(Scenario, AdversaryFlagsValidated) {
+  EXPECT_THROW(parse({"--adversary=sabotage"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--adversary-fraction=1.5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--adversary-fraction=-0.1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--adversary-fraction=nan"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--adversary-intensity=-1"}), std::invalid_argument);
+
+  // An unknown mode's error names the valid values and the full flag table.
+  try {
+    parse({"--adversary=sabotage"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'sabotage'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("misreport"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(flag_help()), std::string::npos) << msg;
+  }
+}
+
+TEST(Scenario, DescribeMentionsAdversaryOnlyWhenArmed) {
+  EXPECT_EQ(describe(Scenario{}).find("adversary="), std::string::npos);
+  const std::string armed = describe(parse({"--adversary=forge"}));
+  EXPECT_NE(armed.find("adversary=forge"), std::string::npos) << armed;
+}
+
 TEST(Scenario, ThreadsFlag) {
   EXPECT_EQ(Scenario{}.threads, 1u);  // default: serial, no pool
   EXPECT_EQ(parse({"--threads=4"}).threads, 4u);

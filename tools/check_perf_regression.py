@@ -4,6 +4,7 @@
 Usage:
     check_perf_regression.py --baseline BENCH_perf_simulator.json \
                              --current  BENCH_current.json [--tolerance 0.2]
+    check_perf_regression.py --adversary-sweep BENCH_adversary_sweep.json
 
 Absolute seconds are machine-dependent, so the gate compares *speedups*
 (scalar reference vs optimized path on the same box, same run): the current
@@ -17,6 +18,13 @@ and that section must be schema-valid: integer counters >= 0, histograms
 whose bucket counts sum to their count over non-decreasing "le" bounds
 ending in "inf", and the scheduler metric names the pipeline is known to
 record. A perf run that silently stopped observing is a regression too.
+
+--adversary-sweep validates a BENCH_adversary_sweep.json report instead:
+the sweep's byzantine fractions must start at 0 and be strictly increasing,
+every point must detect at least as much fraud as it injected, the honest-core
+payoff must be non-increasing in the byzantine fraction (the robustness
+contract the sweep is built to certify), and the report's own gate flags must
+be true. No baseline is needed — the properties are absolute, not relative.
 """
 
 import argparse
@@ -131,13 +139,116 @@ def validate_obs(obs) -> list:
     return problems
 
 
+# Fields every adversary-sweep point must carry, with (type check, floor).
+SWEEP_POINT_FIELDS = {
+    "byzantine_fraction": float,
+    "byzantine_parties": int,
+    "fraud_injected": int,
+    "fraud_detected": int,
+    "quarantined_parties": int,
+    "expelled_parties": int,
+    "mean_detection_epochs": float,
+    "total_slashed": float,
+    "honest_core_welfare": float,
+    "honest_core_payoff": float,
+    "mean_honest_balance": float,
+}
+
+# Honest payoff may wiggle by numerical noise, never by economics.
+PAYOFF_MONOTONE_TOLERANCE = 1e-9
+
+
+def check_adversary_sweep(path: str) -> list:
+    """Returns a list of failure strings (empty = report passes the gate)."""
+    with open(path) as f:
+        report = json.load(f)
+    failures = []
+
+    workload = report.get("workload")
+    if not isinstance(workload, dict):
+        failures.append("workload section missing or not an object")
+    else:
+        for field in ("parties", "satellites", "terminals", "stations",
+                      "epochs", "seed"):
+            if not is_uint(workload.get(field)) or workload.get(field) == 0:
+                failures.append(f"workload.{field} missing or not a positive integer")
+
+    points = report.get("points")
+    if not isinstance(points, list) or not points:
+        failures.append("points missing or empty")
+        return failures
+
+    for i, point in enumerate(points):
+        if not isinstance(point, dict):
+            failures.append(f"points[{i}] is not an object")
+            continue
+        for field, kind in SWEEP_POINT_FIELDS.items():
+            value = point.get(field)
+            numeric = (isinstance(value, (int, float))
+                       and not isinstance(value, bool))
+            if kind is int and not is_uint(value):
+                failures.append(f"points[{i}].{field} is not a non-negative integer")
+            elif kind is float and (not numeric or value < 0.0):
+                failures.append(f"points[{i}].{field} is not a non-negative number")
+    if failures:
+        return failures
+
+    if points[0]["byzantine_fraction"] != 0.0:
+        failures.append("points[0].byzantine_fraction is not 0 "
+                        "(the sweep must anchor on the honest baseline)")
+    for i in range(1, len(points)):
+        if points[i]["byzantine_fraction"] <= points[i - 1]["byzantine_fraction"]:
+            failures.append(f"byzantine fractions not strictly increasing at "
+                            f"points[{i}]")
+
+    for i, point in enumerate(points):
+        injected = point["fraud_injected"]
+        detected = point["fraud_detected"]
+        status = "OK " if detected >= injected else "MISSED"
+        print(f"{status} f={point['byzantine_fraction']:.3f}: "
+              f"detected {detected} / injected {injected}, "
+              f"honest payoff {point['honest_core_payoff']:.2f}")
+        if detected < injected:
+            failures.append(f"points[{i}]: audit detected {detected} < "
+                            f"injected {injected}")
+        if i > 0:
+            prev = points[i - 1]["honest_core_payoff"]
+            if point["honest_core_payoff"] > prev + PAYOFF_MONOTONE_TOLERANCE:
+                failures.append(
+                    f"points[{i}]: honest_core_payoff "
+                    f"{point['honest_core_payoff']:.6f} rose above "
+                    f"{prev:.6f} as the byzantine fraction grew")
+
+    for flag in ("honest_payoff_monotone", "fraud_detected_ge_injected"):
+        if report.get(flag) is not True:
+            failures.append(f"report flag {flag} is not true")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline")
+    parser.add_argument("--current")
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional speedup drop (default 0.2)")
+    parser.add_argument("--adversary-sweep", metavar="FILE",
+                        help="validate a BENCH_adversary_sweep.json report "
+                             "(no baseline needed)")
     args = parser.parse_args()
+
+    if args.adversary_sweep:
+        failures = check_adversary_sweep(args.adversary_sweep)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("adversary sweep check passed")
+        if not (args.baseline and args.current):
+            return 0
+
+    if not (args.baseline and args.current):
+        parser.error("--baseline and --current are required unless "
+                     "--adversary-sweep is given")
 
     with open(args.baseline) as f:
         baseline = json.load(f)
