@@ -10,17 +10,27 @@
 //   --compare-scheduler  run_reference vs the two-phase pipelined scheduler
 //                        on 500 satellites x 200 terminals x 20 stations x
 //                        1 day/60s across 4 parties, plus a faulted run
+//   --backends           per-backend ephemeris fill throughput (J2 scalar,
+//                        J2 lane-batched SIMD, SGP4) plus the lane-batched
+//                        bit-identity check and the cross-backend
+//                        position-error report (the accuracy gate)
 //
-// Both may be passed together; the report then carries both sections.
+// All three may be passed together; the report then carries every section.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "constellation/starlink.hpp"
 #include "core/mpleo.hpp"
+#include "orbit/simd.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace mpleo;
@@ -470,22 +480,153 @@ bool run_compare_scheduler(std::FILE* out, sim::RunContext& context) {
   return identical && faulted_identical;
 }
 
+// --backends: per-backend ephemeris-fill throughput on the canonical
+// 500-satellite x 1-day/60s catalog — the pure EphemerisSet fill with no
+// visibility work, so the number isolates the propagation kernel itself.
+// Three variants run serially: the J2 analytic fill with the SIMD dispatch
+// forced scalar, the same fill forced onto the AVX2 lane-batched kernel, and
+// the SGP4 backend. The lane-batched tables must match the scalar tables
+// bit for bit, and the SGP4-vs-J2 maximum position error must stay inside
+// the documented one-day envelope (DESIGN.md §11). Returns false on a
+// bit-identity or envelope violation.
+bool run_compare_backends(std::FILE* out) {
+#if defined(__GLIBC__)
+  // Each timed fill allocates ~23 MB of tables and frees them before the
+  // next repetition. glibc's default trim threshold hands that memory back
+  // to the OS on every free, so every repetition would re-fault every page
+  // and the "fill throughput" would mostly time the kernel's page-fault
+  // path (~3x slower). Keep the arena so the benchmark times the fill.
+  mallopt(M_TRIM_THRESHOLD, INT_MAX);
+#endif
+  const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 86400.0, 60.0);
+  const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
+
+  constellation::WalkerShell shell;
+  shell.plane_count = 25;
+  shell.sats_per_plane = 20;
+  const std::vector<constellation::Satellite> sats = shell.build(kEpoch);
+  const std::vector<orbit::EphemerisSpec> j2_specs = cov::ephemeris_specs(sats);
+  const std::vector<orbit::EphemerisSpec> sgp4_specs =
+      cov::ephemeris_specs(sats, orbit::PropagatorBackend::kSgp4);
+
+  const double sat_steps =
+      static_cast<double>(sats.size()) * static_cast<double>(grid.count);
+  using clock = std::chrono::steady_clock;
+
+  // Best-of-N wall time for one serial fill; the first call's result is kept
+  // for the identity/accuracy checks below.
+  constexpr int kRepeats = 3;
+  const auto timed_fill = [&](const std::vector<orbit::EphemerisSpec>& specs) {
+    orbit::EphemerisSet set;
+    double best = 0.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const auto t0 = clock::now();
+      orbit::EphemerisSet current = orbit::EphemerisSet::compute(specs, grid, gmst);
+      const double sec = std::chrono::duration<double>(clock::now() - t0).count();
+      if (rep == 0) set = std::move(current);
+      if (rep == 0 || sec < best) best = sec;
+    }
+    return std::pair{std::move(set), best};
+  };
+
+  const orbit::SimdMode initial_mode = orbit::active_simd_mode();
+  orbit::force_simd_mode(orbit::SimdMode::kScalar);
+  const auto [scalar_set, sec_scalar] = timed_fill(j2_specs);
+
+  const bool have_avx2 = orbit::cpu_supports_avx2();
+  orbit::force_simd_mode(have_avx2 ? orbit::SimdMode::kAvx2
+                                   : orbit::SimdMode::kScalar);
+  const auto [batched_set, sec_batched] = timed_fill(j2_specs);
+  const auto [sgp4_set, sec_sgp4] = timed_fill(sgp4_specs);
+  orbit::force_simd_mode(initial_mode);
+
+  // Lane-batched J2 vs scalar J2: bit-identical, coordinate by coordinate.
+  bool identical = true;
+  for (std::size_t i = 0; i < sats.size() && identical; ++i) {
+    const orbit::EphemerisTable& a = scalar_set.table(i);
+    const orbit::EphemerisTable& b = batched_set.table(i);
+    for (std::size_t k = 0; k < grid.count; ++k) {
+      if (a.x()[k] != b.x()[k] || a.y()[k] != b.y()[k] || a.z()[k] != b.z()[k] ||
+          a.radius_m()[k] != b.radius_m()[k]) {
+        identical = false;
+        break;
+      }
+    }
+  }
+
+  // Cross-backend accuracy: max |r_sgp4 - r_j2| over every satellite and
+  // step of the day. Dominated by the Kozai vs un-Kozai mean-motion
+  // conventions (see DESIGN.md §11); the envelope matches the
+  // backend-property test's documented worst case.
+  constexpr double kEnvelopeM = 1500e3;
+  double max_error_m = 0.0;
+  bool sgp4_ran = true;
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    if (sgp4_set.backend(i) != orbit::PropagatorBackend::kSgp4) sgp4_ran = false;
+    for (std::size_t k = 0; k < grid.count; ++k) {
+      const util::Vec3 d =
+          scalar_set.table(i).position_ecef(k) - sgp4_set.table(i).position_ecef(k);
+      max_error_m = std::max(max_error_m, d.norm());
+    }
+  }
+  const bool within_envelope = sgp4_ran && max_error_m < kEnvelopeM;
+
+  const double thr_scalar = sat_steps / sec_scalar;
+  const double thr_batched = sat_steps / sec_batched;
+  const double thr_sgp4 = sat_steps / sec_sgp4;
+
+  std::printf("backend workload: %zu satellites x %zu steps (1 day / 60 s)\n",
+              sats.size(), grid.count);
+  std::printf("j2 scalar fill   : %8.3f s  %10.3e sat*steps/s\n", sec_scalar,
+              thr_scalar);
+  std::printf("j2 batched (%s): %8.3f s  %10.3e sat*steps/s  (%.2fx)\n",
+              have_avx2 ? "avx2" : "none", sec_batched, thr_batched,
+              sec_scalar / sec_batched);
+  std::printf("sgp4 fill        : %8.3f s  %10.3e sat*steps/s\n", sec_sgp4, thr_sgp4);
+  std::printf("batched bit-identical: %s\n", identical ? "yes" : "NO");
+  std::printf("sgp4 vs j2 max error : %.3f km over 1 day (envelope %.0f km): %s\n",
+              max_error_m / 1e3, kEnvelopeM / 1e3,
+              within_envelope ? "within" : "EXCEEDED");
+
+  std::fprintf(out,
+               "  \"backend_compare\": {\n"
+               "    \"workload\": {\"satellites\": %zu, \"steps\": %zu,"
+               " \"step_seconds\": 60.0},\n"
+               "    \"simd\": \"%s\",\n"
+               "    \"j2_scalar\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e},\n"
+               "    \"j2_batched\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e,"
+               " \"speedup\": %.4f},\n"
+               "    \"sgp4\": {\"seconds\": %.6f, \"sat_steps_per_sec\": %.6e},\n"
+               "    \"batched_bit_identical\": %s,\n"
+               "    \"cross_backend\": {\"max_error_m\": %.3f, \"envelope_m\": %.1f,"
+               " \"within_envelope\": %s}\n"
+               "  }",
+               sats.size(), grid.count, have_avx2 ? "avx2" : "scalar", sec_scalar,
+               thr_scalar, sec_batched, thr_batched, sec_scalar / sec_batched,
+               sec_sgp4, thr_sgp4, identical ? "true" : "false", max_error_m,
+               kEnvelopeM, within_envelope ? "true" : "false");
+  return identical && within_envelope;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool compare = false;
   bool compare_scheduler = false;
   std::string out_path = "BENCH_perf_simulator.json";
+  bool backends = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--compare") == 0) {
       compare = true;
     } else if (std::strcmp(argv[i], "--compare-scheduler") == 0) {
       compare_scheduler = true;
+    } else if (std::strcmp(argv[i], "--backends") == 0) {
+      backends = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     }
   }
-  if (compare || compare_scheduler) {
+  if (compare || compare_scheduler || backends) {
     std::FILE* out = std::fopen(out_path.c_str(), "w");
     if (out == nullptr) {
       std::fprintf(stderr, "perf_simulator: cannot open %s for writing\n",
@@ -499,11 +640,21 @@ int main(int argc, char** argv) {
     sim::RunContext context(obs_scenario);
     std::fprintf(out, "{\n");
     bool ok = true;
+    bool first_section = true;
+    const auto separate = [&] {
+      if (!first_section) std::fprintf(out, ",\n");
+      first_section = false;
+    };
     if (compare) {
+      separate();
       ok = run_compare(out) && ok;
-      if (compare_scheduler) std::fprintf(out, ",\n");
+    }
+    if (backends) {
+      separate();
+      ok = run_compare_backends(out) && ok;
     }
     if (compare_scheduler) {
+      separate();
       ok = run_compare_scheduler(out, context) && ok;
       std::fprintf(out, ",\n  \"obs\": %s", context.metrics().to_json(2).c_str());
     }

@@ -31,16 +31,18 @@ int main(int argc, char** argv) {
   const std::vector<constellation::Satellite> sats = shell.build(scenario.epoch);
   std::printf("built %zu satellites (%s...)\n\n", sats.size(), sats.front().name.c_str());
 
-  // 3. Coverage of Taipei across the window.
-  const cov::CoverageEngine engine(scenario.grid(), scenario.elevation_mask_deg);
+  // 3. Coverage of Taipei across the window. The engine propagates with the
+  // scenario's backend (--propagator=sgp4 switches every consumer below).
+  const cov::CoverageEngine engine(scenario.grid(), scenario.elevation_mask_deg,
+                                   scenario.propagator);
   const orbit::TopocentricFrame taipei_frame(cov::taipei().location);
   const cov::StepMask mask = engine.coverage_mask(sats, taipei_frame);
   std::fputs(cov::site_report("Taipei", engine.stats(mask)).c_str(), stdout);
 
-  // 4. The first few passes of one satellite.
+  // 4. The first few passes of one satellite, from its shared ephemeris.
   std::printf("\nfirst passes of %s over Taipei:\n", sats.front().name.c_str());
-  const auto passes = cov::find_passes(sats.front(), taipei_frame, engine.grid(),
-                                       scenario.elevation_mask_deg);
+  const auto passes = cov::find_passes(engine.ephemeris(sats.front()), taipei_frame,
+                                       engine.grid(), scenario.elevation_mask_deg);
   std::size_t shown = 0;
   for (const cov::Pass& p : passes) {
     std::printf("  +%7.0fs for %4.0fs, peak elevation %4.1f deg\n", p.start_offset_s,

@@ -66,8 +66,10 @@ std::uint64_t ProofOfCoverage::register_satellite(const constellation::Satellite
                                                   std::uint64_t consortium_seed) {
   const std::uint64_t key =
       fnv1a(&satellite.id, sizeof satellite.id, consortium_seed ^ 0x6d706c656fULL);
-  satellites_.push_back(
-      {satellite, key, orbit::KeplerianPropagator(satellite.elements, satellite.epoch)});
+  orbit::EphemerisSpec spec{satellite.elements, satellite.epoch,
+                            orbit::Perturbation::kJ2Secular};
+  spec.backend = config_.propagator_backend;
+  satellites_.push_back({satellite, key, orbit::make_propagator(spec)});
   return key;
 }
 

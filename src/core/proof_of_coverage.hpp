@@ -20,6 +20,8 @@
 #include "constellation/shell.hpp"
 #include "core/ledger.hpp"
 #include "coverage/step_mask.hpp"
+#include "orbit/any_propagator.hpp"
+#include "orbit/backend.hpp"
 #include "orbit/geodesy.hpp"
 #include "orbit/propagator.hpp"
 #include "orbit/time.hpp"
@@ -56,6 +58,10 @@ class ProofOfCoverage {
   struct Config {
     double elevation_mask_deg = 10.0;  // verifier horizon (lower than service mask)
     double reward_per_receipt = 1.0;   // treasury tokens per valid receipt
+    // Backend for the geometry checks (per-receipt state query and batched
+    // overhead mask). Applied at registration; the default is bit-identical
+    // to the historical KeplerianPropagator-only verifier.
+    orbit::PropagatorBackend propagator_backend = orbit::PropagatorBackend::kJ2Analytic;
   };
 
   explicit ProofOfCoverage(Config config) : config_(config) {}
@@ -105,9 +111,9 @@ class ProofOfCoverage {
   struct RegisteredSatellite {
     constellation::Satellite satellite;
     std::uint64_t key = 0;
-    // Built once at registration; every geometry check (per-receipt state
-    // query or batched overhead mask) reuses it.
-    orbit::KeplerianPropagator propagator;
+    // Built once at registration with the configured backend; every geometry
+    // check (per-receipt state query or batched overhead mask) reuses it.
+    orbit::AnyPropagator propagator;
   };
 
   [[nodiscard]] const RegisteredSatellite* find(constellation::SatelliteId id) const;

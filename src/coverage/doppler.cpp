@@ -14,8 +14,12 @@ std::vector<DopplerSample> doppler_profile(const constellation::Satellite& satel
                                            const orbit::EphemerisTable& ephemeris,
                                            const orbit::TopocentricFrame& site,
                                            const orbit::TimeGrid& grid,
-                                           double elevation_mask_deg, double carrier_hz) {
-  const orbit::KeplerianPropagator prop(satellite.elements, satellite.epoch);
+                                           double elevation_mask_deg, double carrier_hz,
+                                           orbit::PropagatorBackend backend) {
+  orbit::EphemerisSpec spec{satellite.elements, satellite.epoch,
+                            orbit::Perturbation::kJ2Secular};
+  spec.backend = backend;
+  const orbit::AnyPropagator prop = orbit::make_propagator(spec);
   const double mask_rad = util::deg_to_rad(elevation_mask_deg);
   const util::Vec3 omega{0.0, 0.0, util::kEarthRotationRateRadPerSec};
 
@@ -65,10 +69,15 @@ std::vector<DopplerSample> doppler_profile(const constellation::Satellite& satel
 std::vector<DopplerSample> doppler_profile(const constellation::Satellite& satellite,
                                            const orbit::TopocentricFrame& site,
                                            const orbit::TimeGrid& grid,
-                                           double elevation_mask_deg, double carrier_hz) {
-  const orbit::KeplerianPropagator prop(satellite.elements, satellite.epoch);
-  return doppler_profile(satellite, orbit::EphemerisTable::compute(prop, grid), site,
-                         grid, elevation_mask_deg, carrier_hz);
+                                           double elevation_mask_deg, double carrier_hz,
+                                           orbit::PropagatorBackend backend) {
+  orbit::EphemerisSpec spec{satellite.elements, satellite.epoch,
+                            orbit::Perturbation::kJ2Secular};
+  spec.backend = backend;
+  const orbit::EphemerisTable table =
+      orbit::EphemerisTable::compute(orbit::make_propagator(spec), grid);
+  return doppler_profile(satellite, table, site, grid, elevation_mask_deg, carrier_hz,
+                         backend);
 }
 
 double max_doppler_bound_hz(double altitude_m, double carrier_hz) {

@@ -30,15 +30,18 @@ struct DopplerSample {
 // grid.
 [[nodiscard]] std::vector<DopplerSample> doppler_profile(
     const constellation::Satellite& satellite, const orbit::TopocentricFrame& site,
-    const orbit::TimeGrid& grid, double elevation_mask_deg, double carrier_hz);
+    const orbit::TimeGrid& grid, double elevation_mask_deg, double carrier_hz,
+    orbit::PropagatorBackend backend = orbit::PropagatorBackend::kJ2Analytic);
 
 // Same profile reusing a precomputed ephemeris table of `satellite` over
 // `grid` (the batched pipeline's entry point — one table can feed latency,
-// Doppler and visibility without re-propagating).
+// Doppler and visibility without re-propagating). The backend must match the
+// one that filled `ephemeris` for the in-pass states to agree with the table.
 [[nodiscard]] std::vector<DopplerSample> doppler_profile(
     const constellation::Satellite& satellite, const orbit::EphemerisTable& ephemeris,
     const orbit::TopocentricFrame& site, const orbit::TimeGrid& grid,
-    double elevation_mask_deg, double carrier_hz);
+    double elevation_mask_deg, double carrier_hz,
+    orbit::PropagatorBackend backend = orbit::PropagatorBackend::kJ2Analytic);
 
 // Upper bound on |Doppler| for a circular orbit at `altitude_m`:
 // f * v_orbital / c — useful for sizing acquisition search windows.

@@ -29,18 +29,23 @@ std::vector<GroundSite> sites_from_cities(std::span<const City> cities,
 }
 
 std::vector<orbit::EphemerisSpec> ephemeris_specs(
-    std::span<const constellation::Satellite> satellites) {
+    std::span<const constellation::Satellite> satellites,
+    orbit::PropagatorBackend backend) {
   std::vector<orbit::EphemerisSpec> specs;
   specs.reserve(satellites.size());
   for (const constellation::Satellite& sat : satellites) {
-    specs.push_back({sat.elements, sat.epoch, orbit::Perturbation::kJ2Secular});
+    orbit::EphemerisSpec spec{sat.elements, sat.epoch, orbit::Perturbation::kJ2Secular};
+    spec.backend = backend;
+    specs.push_back(std::move(spec));
   }
   return specs;
 }
 
-CoverageEngine::CoverageEngine(const orbit::TimeGrid& grid, double elevation_mask_deg)
+CoverageEngine::CoverageEngine(const orbit::TimeGrid& grid, double elevation_mask_deg,
+                               orbit::PropagatorBackend backend)
     : grid_(grid),
       mask_deg_(elevation_mask_deg),
+      default_backend_(backend),
       mask_rad_(util::deg_to_rad(elevation_mask_deg)),
       sin_mask_(std::sin(util::deg_to_rad(elevation_mask_deg))),
       culler_(grid, elevation_mask_deg),
@@ -56,20 +61,38 @@ CoverageEngine::CoverageEngine(const orbit::TimeGrid& grid, double elevation_mas
 
 orbit::EphemerisTable CoverageEngine::ephemeris(
     const constellation::Satellite& satellite) const {
-  const orbit::KeplerianPropagator prop(satellite.elements, satellite.epoch);
-  return orbit::EphemerisTable::compute(prop, grid_, gmst_);
+  return ephemeris(satellite, default_backend_);
+}
+
+orbit::EphemerisTable CoverageEngine::ephemeris(
+    const constellation::Satellite& satellite, orbit::PropagatorBackend backend) const {
+  if (backend == orbit::PropagatorBackend::kJ2Analytic) {
+    const orbit::KeplerianPropagator prop(satellite.elements, satellite.epoch);
+    return orbit::EphemerisTable::compute(prop, grid_, gmst_);
+  }
+  orbit::EphemerisSpec spec{satellite.elements, satellite.epoch,
+                            orbit::Perturbation::kJ2Secular};
+  spec.backend = backend;
+  return orbit::EphemerisTable::compute(orbit::make_propagator(spec), grid_, gmst_);
 }
 
 orbit::EphemerisSet CoverageEngine::ephemerides(
     std::span<const constellation::Satellite> satellites, util::ThreadPool* pool) const {
-  const std::vector<orbit::EphemerisSpec> specs = ephemeris_specs(satellites);
+  return ephemerides(satellites, pool, default_backend_);
+}
+
+orbit::EphemerisSet CoverageEngine::ephemerides(
+    std::span<const constellation::Satellite> satellites, util::ThreadPool* pool,
+    orbit::PropagatorBackend backend) const {
+  const std::vector<orbit::EphemerisSpec> specs = ephemeris_specs(satellites, backend);
   return orbit::EphemerisSet::compute(specs, grid_, gmst_, pool);
 }
 
 orbit::EphemerisSet CoverageEngine::ephemerides(
     std::span<const constellation::Satellite> satellites, sim::RunContext& context) const {
   obs::ScopedTimer timer(context.metrics().histogram("cov.propagate_seconds"));
-  orbit::EphemerisSet set = ephemerides(satellites, context.pool());
+  orbit::EphemerisSet set =
+      ephemerides(satellites, context.pool(), context.scenario().propagator);
   context.metrics().counter("cov.ephemeris_tables").add(satellites.size());
   return set;
 }

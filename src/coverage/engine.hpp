@@ -49,9 +49,12 @@ struct GroundSite {
 [[nodiscard]] std::vector<GroundSite> sites_from_cities(std::span<const City> cities,
                                                         bool population_weighted = true);
 
-// Ephemeris inputs for a catalog, in catalog order.
+// Ephemeris inputs for a catalog, in catalog order. The backend selects
+// which propagator fills each table; kJ2Analytic is bit-identical to the
+// historical single-backend path.
 [[nodiscard]] std::vector<orbit::EphemerisSpec> ephemeris_specs(
-    std::span<const constellation::Satellite> satellites);
+    std::span<const constellation::Satellite> satellites,
+    orbit::PropagatorBackend backend = orbit::PropagatorBackend::kJ2Analytic);
 
 // Gap statistics of one site's coverage timeline.
 struct CoverageStats {
@@ -65,11 +68,18 @@ struct CoverageStats {
 class CoverageEngine {
  public:
   // `elevation_mask_deg` is the minimum elevation for a usable link; 25° is
-  // Starlink's operational terminal mask and the library default.
-  CoverageEngine(const orbit::TimeGrid& grid, double elevation_mask_deg = 25.0);
+  // Starlink's operational terminal mask and the library default. `backend`
+  // is the propagator every entry point without an explicit backend uses
+  // (e.g. a scenario's --propagator=); the default keeps the engine
+  // bit-identical to the historical J2-only behavior.
+  CoverageEngine(const orbit::TimeGrid& grid, double elevation_mask_deg = 25.0,
+                 orbit::PropagatorBackend backend = orbit::PropagatorBackend::kJ2Analytic);
 
   [[nodiscard]] const orbit::TimeGrid& grid() const noexcept { return grid_; }
   [[nodiscard]] double elevation_mask_deg() const noexcept { return mask_deg_; }
+  [[nodiscard]] orbit::PropagatorBackend default_backend() const noexcept {
+    return default_backend_;
+  }
   [[nodiscard]] const orbit::GmstTable& gmst() const noexcept { return gmst_; }
   // The pair-visibility cull kernel every fill rides; shared with other
   // mask consumers (e.g. the pipelined scheduler) so they cull identically.
@@ -77,18 +87,28 @@ class CoverageEngine {
 
   // One satellite propagated over the engine's grid (reusing the shared
   // GMST table). The table can serve any number of sites or consumers.
+  // Without an explicit backend the engine's default applies.
   [[nodiscard]] orbit::EphemerisTable ephemeris(
       const constellation::Satellite& satellite) const;
+  [[nodiscard]] orbit::EphemerisTable ephemeris(
+      const constellation::Satellite& satellite,
+      orbit::PropagatorBackend backend) const;
 
   // Shared ephemerides of a whole catalog; parallel across satellites when a
-  // pool is given.
+  // pool is given. Without an explicit backend the engine's default applies
+  // (bit-identical to the historical single-backend fill when that default
+  // is kJ2Analytic).
   [[nodiscard]] orbit::EphemerisSet ephemerides(
       std::span<const constellation::Satellite> satellites,
       util::ThreadPool* pool = nullptr) const;
+  [[nodiscard]] orbit::EphemerisSet ephemerides(
+      std::span<const constellation::Satellite> satellites, util::ThreadPool* pool,
+      orbit::PropagatorBackend backend) const;
 
-  // RunContext entry point: pool from the context, propagation time and
-  // table counts recorded into context.metrics() under "cov.". Bit-identical
-  // to the pool overload for any context.
+  // RunContext entry point: pool and propagator backend from the context's
+  // scenario, propagation time and table counts recorded into
+  // context.metrics() under "cov.". Bit-identical to the pool overload for
+  // any context whose scenario keeps the default backend.
   [[nodiscard]] orbit::EphemerisSet ephemerides(
       std::span<const constellation::Satellite> satellites, sim::RunContext& context) const;
 
@@ -146,6 +166,7 @@ class CoverageEngine {
 
   orbit::TimeGrid grid_;
   double mask_deg_;
+  orbit::PropagatorBackend default_backend_;
   double mask_rad_;
   double sin_mask_;
   VisibilityCuller culler_;

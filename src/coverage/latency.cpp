@@ -54,10 +54,14 @@ LatencyStats propagation_latency_stats(const orbit::EphemerisTable& ephemeris,
 LatencyStats propagation_latency_stats(const constellation::Satellite& satellite,
                                        const orbit::TopocentricFrame& site,
                                        const orbit::TimeGrid& grid,
-                                       double elevation_mask_deg) {
-  const orbit::KeplerianPropagator prop(satellite.elements, satellite.epoch);
-  return propagation_latency_stats(orbit::EphemerisTable::compute(prop, grid),
-                                   site, grid, elevation_mask_deg);
+                                       double elevation_mask_deg,
+                                       orbit::PropagatorBackend backend) {
+  orbit::EphemerisSpec spec{satellite.elements, satellite.epoch,
+                            orbit::Perturbation::kJ2Secular};
+  spec.backend = backend;
+  return propagation_latency_stats(
+      orbit::EphemerisTable::compute(orbit::make_propagator(spec), grid), site, grid,
+      elevation_mask_deg);
 }
 
 }  // namespace mpleo::cov

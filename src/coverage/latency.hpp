@@ -30,10 +30,12 @@ struct LatencyStats {
     const orbit::TimeGrid& grid, double elevation_mask_deg);
 
 // Convenience overload: propagates `satellite` over the grid through the
-// shared ephemeris kernel and delegates to the table form.
+// shared ephemeris kernel (with the selected backend) and delegates to the
+// table form.
 [[nodiscard]] LatencyStats propagation_latency_stats(
     const constellation::Satellite& satellite, const orbit::TopocentricFrame& site,
-    const orbit::TimeGrid& grid, double elevation_mask_deg);
+    const orbit::TimeGrid& grid, double elevation_mask_deg,
+    orbit::PropagatorBackend backend = orbit::PropagatorBackend::kJ2Analytic);
 
 // One-way light time (ms) for a given slant range in metres.
 [[nodiscard]] double one_way_delay_ms(double range_m) noexcept;

@@ -6,18 +6,20 @@
 
 namespace mpleo::cov {
 
-std::vector<Pass> find_passes(const constellation::Satellite& satellite,
-                              const orbit::TopocentricFrame& site,
-                              const orbit::TimeGrid& grid, double elevation_mask_deg) {
-  const orbit::KeplerianPropagator prop(satellite.elements, satellite.epoch);
-  const std::vector<util::Vec3> positions = orbit::ecef_positions(prop, grid);
-  const double mask_rad = util::deg_to_rad(elevation_mask_deg);
+namespace {
 
+// Shared sweep over per-step ECEF positions; `position(i)` supplies step i.
+template <typename PositionFn>
+std::vector<Pass> find_passes_impl(PositionFn&& position, std::size_t count,
+                                   const orbit::TopocentricFrame& site,
+                                   const orbit::TimeGrid& grid,
+                                   double elevation_mask_deg) {
+  const double mask_rad = util::deg_to_rad(elevation_mask_deg);
   std::vector<Pass> passes;
   bool in_pass = false;
   Pass current;
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    const double elevation = site.elevation_rad(positions[i]);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double elevation = site.elevation_rad(position(i));
     const bool visible = elevation >= mask_rad;
     const double offset = grid.step_seconds * static_cast<double>(i);
     if (visible && !in_pass) {
@@ -33,6 +35,24 @@ std::vector<Pass> find_passes(const constellation::Satellite& satellite,
   }
   if (in_pass) passes.push_back(current);
   return passes;
+}
+
+}  // namespace
+
+std::vector<Pass> find_passes(const constellation::Satellite& satellite,
+                              const orbit::TopocentricFrame& site,
+                              const orbit::TimeGrid& grid, double elevation_mask_deg) {
+  const orbit::KeplerianPropagator prop(satellite.elements, satellite.epoch);
+  const std::vector<util::Vec3> positions = orbit::ecef_positions(prop, grid);
+  return find_passes_impl([&](std::size_t i) { return positions[i]; },
+                          positions.size(), site, grid, elevation_mask_deg);
+}
+
+std::vector<Pass> find_passes(const orbit::EphemerisTable& ephemeris,
+                              const orbit::TopocentricFrame& site,
+                              const orbit::TimeGrid& grid, double elevation_mask_deg) {
+  return find_passes_impl([&](std::size_t i) { return ephemeris.position_ecef(i); },
+                          ephemeris.size(), site, grid, elevation_mask_deg);
 }
 
 double footprint_half_angle_rad(double altitude_m, double elevation_mask_deg) {

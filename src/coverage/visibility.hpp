@@ -20,8 +20,16 @@ struct Pass {
 };
 
 // Finds all passes of `satellite` over `site` on the grid, with the peak
-// elevation sampled at grid resolution.
+// elevation sampled at grid resolution. Propagates with the J2 analytic
+// model; use the EphemerisTable overload to honor a scenario's backend.
 [[nodiscard]] std::vector<Pass> find_passes(const constellation::Satellite& satellite,
+                                            const orbit::TopocentricFrame& site,
+                                            const orbit::TimeGrid& grid,
+                                            double elevation_mask_deg);
+
+// Same pass extraction from a precomputed ephemeris table (any backend),
+// e.g. CoverageEngine::ephemeris. The table must cover `grid`.
+[[nodiscard]] std::vector<Pass> find_passes(const orbit::EphemerisTable& ephemeris,
                                             const orbit::TopocentricFrame& site,
                                             const orbit::TimeGrid& grid,
                                             double elevation_mask_deg);

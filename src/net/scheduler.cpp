@@ -581,7 +581,9 @@ orbit::EphemerisSet BentPipeScheduler::ephemerides(const orbit::TimeGrid& grid,
   std::vector<orbit::EphemerisSpec> specs;
   specs.reserve(satellites_.size());
   for (const constellation::Satellite& s : satellites_) {
-    specs.push_back({s.elements, s.epoch, orbit::Perturbation::kJ2Secular});
+    orbit::EphemerisSpec spec{s.elements, s.epoch, orbit::Perturbation::kJ2Secular};
+    spec.backend = config_.propagator_backend;
+    specs.push_back(std::move(spec));
   }
   return orbit::EphemerisSet::compute(specs, grid, pool);
 }

@@ -84,6 +84,12 @@ struct SchedulerConfig {
   //    beyond the vector withhold nothing.
   std::vector<std::uint8_t> spare_exclude_party;
   std::vector<double> spare_withheld_fraction;
+  // Orbit propagation backend for the shared ephemeris fill. One knob for
+  // every run path — run(), run(context) and run_reference() all propagate
+  // through it, so the pipeline/reference bit-identity contract holds for
+  // either backend. Scenario-driven callers copy scenario.propagator here
+  // (see sim::parse_scenario's --propagator= flag).
+  orbit::PropagatorBackend propagator_backend = orbit::PropagatorBackend::kJ2Analytic;
 };
 
 // One granted link at one step.

@@ -1,0 +1,55 @@
+// Backend-erased propagator handle. Consumers that need per-instant states
+// (proof-of-coverage receipt checks, Doppler tracks, latency sampling) hold
+// an AnyPropagator instead of a concrete KeplerianPropagator, so the same
+// code path serves both the analytic J2 model and SGP4 without templates or
+// heap indirection.
+#pragma once
+
+#include <variant>
+
+#include "orbit/backend.hpp"
+#include "orbit/propagator.hpp"
+#include "orbit/sgp4.hpp"
+
+namespace mpleo::orbit {
+
+class AnyPropagator {
+ public:
+  explicit AnyPropagator(KeplerianPropagator propagator) noexcept
+      : impl_(std::move(propagator)) {}
+  explicit AnyPropagator(Sgp4Propagator propagator) noexcept
+      : impl_(std::move(propagator)) {}
+
+  [[nodiscard]] PropagatorBackend backend() const noexcept {
+    return std::holds_alternative<Sgp4Propagator>(impl_) ? PropagatorBackend::kSgp4
+                                                         : PropagatorBackend::kJ2Analytic;
+  }
+
+  [[nodiscard]] StateVector state_at(const TimePoint& t) const {
+    return std::visit([&](const auto& p) { return p.state_at(t); }, impl_);
+  }
+  [[nodiscard]] StateVector state_at_offset(double dt_seconds) const {
+    return std::visit([&](const auto& p) { return p.state_at_offset(dt_seconds); },
+                      impl_);
+  }
+  [[nodiscard]] Vec3 position_eci_at_offset(double dt_seconds) const {
+    return std::visit(
+        [&](const auto& p) { return p.position_eci_at_offset(dt_seconds); }, impl_);
+  }
+  [[nodiscard]] TimePoint epoch() const noexcept {
+    return std::visit([](const auto& p) { return p.epoch(); }, impl_);
+  }
+
+  // Concrete accessors; nullptr when the other backend is held.
+  [[nodiscard]] const KeplerianPropagator* keplerian() const noexcept {
+    return std::get_if<KeplerianPropagator>(&impl_);
+  }
+  [[nodiscard]] const Sgp4Propagator* sgp4() const noexcept {
+    return std::get_if<Sgp4Propagator>(&impl_);
+  }
+
+ private:
+  std::variant<KeplerianPropagator, Sgp4Propagator> impl_;
+};
+
+}  // namespace mpleo::orbit

@@ -1,0 +1,22 @@
+#include "orbit/backend.hpp"
+
+#include <stdexcept>
+
+namespace mpleo::orbit {
+
+const char* to_string(PropagatorBackend backend) noexcept {
+  switch (backend) {
+    case PropagatorBackend::kJ2Analytic: return "j2_analytic";
+    case PropagatorBackend::kSgp4: return "sgp4";
+  }
+  return "unknown";
+}
+
+PropagatorBackend propagator_backend_from_string(std::string_view name) {
+  if (name == "j2" || name == "j2_analytic") return PropagatorBackend::kJ2Analytic;
+  if (name == "sgp4") return PropagatorBackend::kSgp4;
+  throw std::invalid_argument("unknown propagator backend: '" + std::string(name) +
+                              "' (valid: j2_analytic, sgp4)");
+}
+
+}  // namespace mpleo::orbit

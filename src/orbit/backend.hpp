@@ -1,0 +1,26 @@
+// Propagator backend selection. The ephemeris kernel is a multi-backend
+// facade: the cheap analytic two-body+J2 model remains the fast path for
+// synthetic Walker catalogs, while SGP4 propagates real TLE catalogs with
+// flight-grade fidelity. Every consumer selects a backend through
+// PropagatorBackend (scenario flag --propagator=) and reads positions from
+// the same EphemerisTable layout regardless of which backend filled it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mpleo::orbit {
+
+enum class PropagatorBackend : std::uint8_t {
+  kJ2Analytic,  // two-body + secular J2 (KeplerianPropagator) — the fast path
+  kSgp4,        // SGP4 mean-element propagation from TLE data (Sgp4Propagator)
+};
+
+[[nodiscard]] const char* to_string(PropagatorBackend backend) noexcept;
+
+// Parses "j2" / "j2_analytic" / "sgp4"; throws std::invalid_argument listing
+// the valid names otherwise.
+[[nodiscard]] PropagatorBackend propagator_backend_from_string(std::string_view name);
+
+}  // namespace mpleo::orbit

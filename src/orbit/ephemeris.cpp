@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "orbit/ephemeris_batch.hpp"
 #include "orbit/kepler.hpp"
+#include "orbit/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mpleo::orbit {
@@ -14,6 +16,8 @@ namespace {
 // rotations. Drift over one interval is a few tens of ulps — sub-micrometre
 // at orbital radii, far below the <1 mm table accuracy contract.
 constexpr std::size_t kResyncInterval = 64;
+static_assert(kResyncInterval == batch::kResyncInterval,
+              "scalar and lane-batched kernels must resync on the same cadence");
 
 // Matches the solve_kepler fast path: below this the orbit is treated as
 // circular (E == M) and the mean anomaly advances linearly in time.
@@ -169,6 +173,91 @@ EphemerisTable EphemerisTable::compute(const KeplerianPropagator& propagator,
   return compute(propagator, grid, GmstTable::for_grid(grid));
 }
 
+EphemerisTable EphemerisTable::compute(const AnyPropagator& propagator,
+                                      const TimeGrid& grid, const GmstTable& gmst) {
+  if (const KeplerianPropagator* keplerian = propagator.keplerian()) {
+    return compute(*keplerian, grid, gmst);
+  }
+  if (gmst.size() != grid.count) {
+    throw std::invalid_argument("EphemerisTable: GmstTable does not match grid");
+  }
+  // Generic pointwise fill for SGP4: one model evaluation per step, then the
+  // shared sidereal rotation. The radius is the recomputed norm here (no
+  // closed-form orbit equation under drag), and the latitude argument stays
+  // invalid — SGP4's z is not an exact sinusoid, so visibility culling falls
+  // back to per-step cone tests.
+  EphemerisTable table;
+  const std::size_t n = grid.count;
+  table.x_.resize(n);
+  table.y_.resize(n);
+  table.z_.resize(n);
+  table.r_.resize(n);
+  if (n == 0) return table;
+
+  const double t0 = grid.start.seconds_since(propagator.epoch());
+  const double h = grid.step_seconds;
+  double r_min = 0.0, r_max = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double dt = t0 + h * static_cast<double>(k);
+    const util::Vec3 eci = propagator.position_eci_at_offset(dt);
+    const double cg = gmst.cos_gmst[k];
+    const double sg = gmst.sin_gmst[k];
+    const double r = std::sqrt(eci.x * eci.x + eci.y * eci.y + eci.z * eci.z);
+    table.x_[k] = cg * eci.x + sg * eci.y;
+    table.y_[k] = -sg * eci.x + cg * eci.y;
+    table.z_[k] = eci.z;
+    table.r_[k] = r;
+    if (k == 0 || r < r_min) r_min = r;
+    if (k == 0 || r > r_max) r_max = r;
+  }
+  table.r_min_ = r_min;
+  table.r_max_ = r_max;
+  return table;
+}
+
+EphemerisTable EphemerisTable::compute(const AnyPropagator& propagator,
+                                      const TimeGrid& grid) {
+  return compute(propagator, grid, GmstTable::for_grid(grid));
+}
+
+EphemerisSpec EphemerisSpec::from_tle(const Tle& tle, PropagatorBackend backend) {
+  EphemerisSpec spec;
+  spec.elements = tle.to_elements();
+  spec.epoch = tle.epoch;
+  spec.backend = backend;
+  spec.tle = tle;
+  return spec;
+}
+
+AnyPropagator make_propagator(const EphemerisSpec& spec) {
+  if (spec.backend == PropagatorBackend::kSgp4) {
+    const Tle tle = spec.tle.has_value()
+                        ? *spec.tle
+                        : Tle::from_elements(spec.elements, spec.epoch,
+                                             /*catalog_number=*/0);
+    if (Sgp4Propagator::supports(tle)) {
+      return AnyPropagator(Sgp4Propagator(tle));
+    }
+    // Deep-space / out-of-domain entry: documented fallback to J2 analytic.
+    return AnyPropagator(
+        KeplerianPropagator(tle.to_elements(), tle.epoch, spec.perturbation));
+  }
+  return AnyPropagator(
+      KeplerianPropagator(spec.elements, spec.epoch, spec.perturbation));
+}
+
+namespace {
+
+// One unit of parallel fill work: either a group of up to kLanes circular J2
+// satellites for the lane-batched kernel, or a single satellite for the
+// per-satellite scalar path.
+struct FillItem {
+  std::size_t first = 0;   // index into the batched-index vector, or spec index
+  std::size_t count = 0;   // > 0: lane group size; 0: single satellite
+};
+
+}  // namespace
+
 EphemerisSet EphemerisSet::compute(std::span<const EphemerisSpec> specs,
                                    const TimeGrid& grid, GmstTable gmst,
                                    util::ThreadPool* pool) {
@@ -179,15 +268,147 @@ EphemerisSet EphemerisSet::compute(std::span<const EphemerisSpec> specs,
   set.grid_ = grid;
   set.gmst_ = std::move(gmst);
   set.tables_.resize(specs.size());
-  const auto fill = [&set, &specs, &grid](std::size_t i) {
-    const KeplerianPropagator propagator(specs[i].elements, specs[i].epoch,
-                                         specs[i].perturbation);
+  set.backends_.assign(specs.size(), PropagatorBackend::kJ2Analytic);
+
+  // Resolve the SIMD mode once, on the calling thread, so an invalid
+  // MPLEO_SIMD setting throws here rather than inside the pool.
+  bool lane_batching = false;
+#if defined(MPLEO_HAVE_AVX2_KERNEL)
+  lane_batching = active_simd_mode() == SimdMode::kAvx2 && grid.count > 0;
+#endif
+
+  // Partition: circular J2 entries go through the lane-batched kernel when
+  // AVX2 is active; everything else (eccentric J2, SGP4) stays per-satellite.
+  std::vector<std::size_t> batched;
+  std::vector<FillItem> items;
+  if (lane_batching) {
+    batched.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].backend == PropagatorBackend::kJ2Analytic &&
+          specs[i].elements.eccentricity < kCircularEccentricity) {
+        batched.push_back(i);
+      }
+    }
+    // Lane groups carry less per-item work than scalar fills, so keep them
+    // whole: one item per group of kLanes (tail group included).
+    for (std::size_t g = 0; g < batched.size(); g += batch::kLanes) {
+      items.push_back({g, std::min(batch::kLanes, batched.size() - g)});
+    }
+  }
+  std::vector<bool> in_batch(specs.size(), false);
+  for (const std::size_t i : batched) in_batch[i] = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!in_batch[i]) items.push_back({i, 0});
+  }
+
+  const auto fill_group = [&set, &specs, &grid, &batched](std::size_t first,
+                                                          std::size_t count) {
+    const std::size_t n = grid.count;
+    const double h = grid.step_seconds;
+    batch::CircularBatch bt{};
+    batch::LaneOutput out[batch::kLanes] = {};
+    // Derived per-lane constants use the exact expressions (and libm calls)
+    // of the scalar EphemerisTable::compute prologue.
+    for (std::size_t l = 0; l < count; ++l) {
+      const EphemerisSpec& spec = specs[batched[first + l]];
+      const KeplerianPropagator propagator(spec.elements, spec.epoch,
+                                           spec.perturbation);
+      const ClassicalElements& coe = propagator.epoch_elements();
+      bt.a[l] = coe.semi_major_axis_m;
+      bt.e[l] = coe.eccentricity;
+      bt.b[l] = bt.a[l] * std::sqrt(1.0 - bt.e[l] * bt.e[l]);
+      bt.cos_i[l] = std::cos(coe.inclination_rad);
+      bt.sin_i[l] = std::sin(coe.inclination_rad);
+      bt.t0[l] = grid.start.seconds_since(propagator.epoch());
+      bt.w0[l] = coe.arg_perigee_rad;
+      bt.o0[l] = coe.raan_rad;
+      bt.m0[l] = coe.mean_anomaly_rad;
+      bt.w_dot[l] = propagator.arg_perigee_rate();
+      bt.o_dot[l] = propagator.raan_rate();
+      bt.m_dot[l] = propagator.mean_anomaly_rate();
+      bt.cdw[l] = std::cos(bt.w_dot[l] * h);
+      bt.sdw[l] = std::sin(bt.w_dot[l] * h);
+      bt.cdo[l] = std::cos(bt.o_dot[l] * h);
+      bt.sdo[l] = std::sin(bt.o_dot[l] * h);
+      bt.cdm[l] = std::cos(bt.m_dot[l] * h);
+      bt.sdm[l] = std::sin(bt.m_dot[l] * h);
+
+      EphemerisTable& table = set.tables_[batched[first + l]];
+      table.x_.resize(n);
+      table.y_.resize(n);
+      table.z_.resize(n);
+      table.r_.resize(n);
+      out[l] = {table.x_.data(), table.y_.data(), table.z_.data(),
+                table.r_.data()};
+    }
+    // Pad unused tail lanes with lane 0's constants; null outputs skip them.
+    for (std::size_t l = count; l < batch::kLanes; ++l) {
+      bt.a[l] = bt.a[0];
+      bt.e[l] = bt.e[0];
+      bt.b[l] = bt.b[0];
+      bt.cos_i[l] = bt.cos_i[0];
+      bt.sin_i[l] = bt.sin_i[0];
+      bt.t0[l] = bt.t0[0];
+      bt.w0[l] = bt.w0[0];
+      bt.o0[l] = bt.o0[0];
+      bt.m0[l] = bt.m0[0];
+      bt.w_dot[l] = bt.w_dot[0];
+      bt.o_dot[l] = bt.o_dot[0];
+      bt.m_dot[l] = bt.m_dot[0];
+      bt.cdw[l] = bt.cdw[0];
+      bt.sdw[l] = bt.sdw[0];
+      bt.cdo[l] = bt.cdo[0];
+      bt.sdo[l] = bt.sdo[0];
+      bt.cdm[l] = bt.cdm[0];
+      bt.sdm[l] = bt.sdm[0];
+    }
+#if defined(MPLEO_HAVE_AVX2_KERNEL)
+    batch::fill_circular_avx2(bt, n, h, set.gmst_.cos_gmst.data(),
+                              set.gmst_.sin_gmst.data(), out);
+#endif
+    // Epilogue per lane: min/max scan (same value set as the scalar in-loop
+    // tracking) and the circular latitude-argument summary.
+    for (std::size_t l = 0; l < count; ++l) {
+      EphemerisTable& table = set.tables_[batched[first + l]];
+      double r_min = 0.0, r_max = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double r = table.r_[k];
+        if (k == 0 || r < r_min) r_min = r;
+        if (k == 0 || r > r_max) r_max = r;
+      }
+      table.r_min_ = r_min;
+      table.r_max_ = r_max;
+      const double u_dot = bt.w_dot[l] + bt.m_dot[l];
+      table.lat_arg_.valid = u_dot > 0.0;
+      table.lat_arg_.u0 = bt.w0[l] + bt.m0[l] + u_dot * bt.t0[l];
+      table.lat_arg_.du = u_dot * h;
+      table.lat_arg_.sin_incl = bt.sin_i[l];
+      table.lat_arg_.radius_m = bt.a[l];
+    }
+  };
+
+  const auto fill = [&set, &specs, &grid, &fill_group, &items](std::size_t w) {
+    const FillItem& item = items[w];
+    if (item.count > 0) {
+      fill_group(item.first, item.count);
+      return;
+    }
+    const std::size_t i = item.first;
+    if (specs[i].backend == PropagatorBackend::kJ2Analytic) {
+      // Unchanged scalar path, kept free of the AnyPropagator indirection.
+      const KeplerianPropagator propagator(specs[i].elements, specs[i].epoch,
+                                           specs[i].perturbation);
+      set.tables_[i] = EphemerisTable::compute(propagator, grid, set.gmst_);
+      return;
+    }
+    const AnyPropagator propagator = make_propagator(specs[i]);
     set.tables_[i] = EphemerisTable::compute(propagator, grid, set.gmst_);
+    set.backends_[i] = propagator.backend();
   };
   if (pool != nullptr) {
-    pool->parallel_for(specs.size(), fill);
+    pool->parallel_for(items.size(), fill);
   } else {
-    for (std::size_t i = 0; i < specs.size(); ++i) fill(i);
+    for (std::size_t w = 0; w < items.size(); ++w) fill(w);
   }
   return set;
 }

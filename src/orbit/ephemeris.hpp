@@ -17,11 +17,15 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "orbit/any_propagator.hpp"
+#include "orbit/backend.hpp"
 #include "orbit/propagator.hpp"
 #include "orbit/time.hpp"
+#include "orbit/tle.hpp"
 #include "util/vec3.hpp"
 
 namespace mpleo::util {
@@ -71,6 +75,12 @@ class EphemerisTable {
                                               const TimeGrid& grid, const GmstTable& gmst);
   [[nodiscard]] static EphemerisTable compute(const KeplerianPropagator& propagator,
                                               const TimeGrid& grid);
+  // Backend-erased overloads: a J2 handle delegates to the specialised path
+  // above (bit-identical); SGP4 runs the generic pointwise fill.
+  [[nodiscard]] static EphemerisTable compute(const AnyPropagator& propagator,
+                                              const TimeGrid& grid, const GmstTable& gmst);
+  [[nodiscard]] static EphemerisTable compute(const AnyPropagator& propagator,
+                                              const TimeGrid& grid);
 
   [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
 
@@ -91,6 +101,8 @@ class EphemerisTable {
   }
 
  private:
+  friend class EphemerisSet;  // lane-batched fill writes the SoA arrays directly
+
   std::vector<double> x_, y_, z_, r_;
   double r_min_ = 0.0;
   double r_max_ = 0.0;
@@ -99,15 +111,33 @@ class EphemerisTable {
 
 // Elements + epoch of one catalog entry, the input to EphemerisSet. Mirrors
 // constellation::Satellite without depending on the constellation layer.
+// Trailing members default so existing {elements, epoch, perturbation}
+// aggregate initialisers keep selecting the J2 analytic backend.
 struct EphemerisSpec {
   ClassicalElements elements;
   TimePoint epoch;
   Perturbation perturbation = Perturbation::kJ2Secular;
+  PropagatorBackend backend = PropagatorBackend::kJ2Analytic;
+  // Source TLE for the SGP4 backend (carries BSTAR drag and the mean-element
+  // fit). When absent, a drag-free TLE is synthesised from `elements`.
+  std::optional<Tle> tle;
+
+  [[nodiscard]] static EphemerisSpec from_tle(const Tle& tle,
+                                              PropagatorBackend backend =
+                                                  PropagatorBackend::kSgp4);
 };
+
+// Builds the propagator a spec asks for. SGP4 requests whose orbit is
+// outside the near-earth SGP4 domain (period >= 225 min) fall back to the J2
+// analytic model — the returned handle's backend() reports what actually ran.
+[[nodiscard]] AnyPropagator make_propagator(const EphemerisSpec& spec);
 
 // Shared ephemerides of a whole catalog over one grid. Tables are computed
 // in parallel across satellites when a thread pool is given; results are
-// identical to the serial fill.
+// identical to the serial fill. Circular J2 entries are additionally batched
+// four satellites across SIMD lanes when the active SimdMode is AVX2 (see
+// orbit/simd.hpp) — the batched fill is bit-identical to the per-satellite
+// scalar path by construction.
 class EphemerisSet {
  public:
   EphemerisSet() = default;
@@ -126,11 +156,17 @@ class EphemerisSet {
   }
   [[nodiscard]] const TimeGrid& grid() const noexcept { return grid_; }
   [[nodiscard]] const GmstTable& gmst() const noexcept { return gmst_; }
+  // The backend that actually produced table `index` (kJ2Analytic when an
+  // SGP4 request fell back on a deep-space orbit).
+  [[nodiscard]] PropagatorBackend backend(std::size_t index) const {
+    return backends_.at(index);
+  }
 
  private:
   TimeGrid grid_;
   GmstTable gmst_;
   std::vector<EphemerisTable> tables_;
+  std::vector<PropagatorBackend> backends_;
 };
 
 }  // namespace mpleo::orbit

@@ -1,0 +1,172 @@
+// AVX2 twin of the scalar circular-orbit fill in ephemeris.cpp. This TU is
+// the only one compiled with -mavx2 (and deliberately without -mfma: the
+// scalar reference never contracts mul+add, so neither may this path —
+// bit-identity is the contract, enforced by the backend property tests).
+//
+// Every vector statement below maps 1:1 onto a line of the scalar loop;
+// change them together or the identity tests will catch the drift.
+#include "orbit/ephemeris_batch.hpp"
+
+#if defined(MPLEO_HAVE_AVX2_KERNEL)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpleo::orbit::batch {
+namespace {
+
+// Moves one staged quantity (lane-major [step][lane]) into the per-satellite
+// output runs via 4x4 register transposes: four steps of four lanes become
+// one contiguous 4-step store per satellite. Pure data movement — values are
+// copied bitwise, so this cannot disturb the bit-identity contract.
+inline void deinterleave_store(const double* stage, double* const dst[kLanes],
+                               std::size_t k, std::size_t block) {
+  std::size_t j = 0;
+  for (; j + 4 <= block; j += 4) {
+    const __m256d r0 = _mm256_load_pd(stage + kLanes * j);
+    const __m256d r1 = _mm256_load_pd(stage + kLanes * (j + 1));
+    const __m256d r2 = _mm256_load_pd(stage + kLanes * (j + 2));
+    const __m256d r3 = _mm256_load_pd(stage + kLanes * (j + 3));
+    const __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+    const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+    const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+    const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+    if (dst[0] != nullptr)
+      _mm256_storeu_pd(dst[0] + k + j, _mm256_permute2f128_pd(t0, t2, 0x20));
+    if (dst[1] != nullptr)
+      _mm256_storeu_pd(dst[1] + k + j, _mm256_permute2f128_pd(t1, t3, 0x20));
+    if (dst[2] != nullptr)
+      _mm256_storeu_pd(dst[2] + k + j, _mm256_permute2f128_pd(t0, t2, 0x31));
+    if (dst[3] != nullptr)
+      _mm256_storeu_pd(dst[3] + k + j, _mm256_permute2f128_pd(t1, t3, 0x31));
+  }
+  for (; j < block; ++j) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      if (dst[l] != nullptr) dst[l][k + j] = stage[kLanes * j + l];
+    }
+  }
+}
+
+}  // namespace
+
+void fill_circular_avx2(const CircularBatch& batch, std::size_t n, double h,
+                        const double* cos_gmst, const double* sin_gmst,
+                        const LaneOutput out[kLanes]) {
+  if (n == 0) return;
+
+  const __m256d a = _mm256_load_pd(batch.a);
+  const __m256d e = _mm256_load_pd(batch.e);
+  const __m256d b = _mm256_load_pd(batch.b);
+  const __m256d cos_i = _mm256_load_pd(batch.cos_i);
+  const __m256d sin_i = _mm256_load_pd(batch.sin_i);
+  const __m256d cdw = _mm256_load_pd(batch.cdw);
+  const __m256d sdw = _mm256_load_pd(batch.sdw);
+  const __m256d cdo = _mm256_load_pd(batch.cdo);
+  const __m256d sdo = _mm256_load_pd(batch.sdo);
+  const __m256d cdm = _mm256_load_pd(batch.cdm);
+  const __m256d sdm = _mm256_load_pd(batch.sdm);
+  const __m256d one = _mm256_set1_pd(1.0);
+
+  __m256d cw = _mm256_setzero_pd(), sw = _mm256_setzero_pd();
+  __m256d co = _mm256_setzero_pd(), so = _mm256_setzero_pd();
+  __m256d ce = _mm256_setzero_pd(), se = _mm256_setzero_pd();
+
+  // Lane-major staging for one resync block; de-interleaved per block so all
+  // stores stay L1-resident.
+  alignas(32) double stage_x[kLanes * kResyncInterval];
+  alignas(32) double stage_y[kLanes * kResyncInterval];
+  alignas(32) double stage_z[kLanes * kResyncInterval];
+  alignas(32) double stage_r[kLanes * kResyncInterval];
+
+  double* dst_x[kLanes];
+  double* dst_y[kLanes];
+  double* dst_z[kLanes];
+  double* dst_r[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    dst_x[l] = out[l].x;
+    dst_y[l] = out[l].y;
+    dst_z[l] = out[l].z;
+    dst_r[l] = out[l].r;
+  }
+
+  std::size_t k = 0;
+  while (k < n) {
+    // Exact libm resynchronisation, per lane, with the scalar path's exact
+    // expression order: dt = t0 + h*k, then angle = angle0 + rate*dt. The
+    // staging buffers double as scratch here; the register loads below
+    // happen before the block loop overwrites them.
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const double dt = batch.t0[l] + h * static_cast<double>(k);
+      const double w = batch.w0[l] + batch.w_dot[l] * dt;
+      const double raan = batch.o0[l] + batch.o_dot[l] * dt;
+      const double m = batch.m0[l] + batch.m_dot[l] * dt;
+      stage_x[l] = std::cos(w);
+      stage_x[kLanes + l] = std::sin(w);
+      stage_y[l] = std::cos(raan);
+      stage_y[kLanes + l] = std::sin(raan);
+      stage_z[l] = std::cos(m);
+      stage_z[kLanes + l] = std::sin(m);
+    }
+    cw = _mm256_load_pd(stage_x);
+    sw = _mm256_load_pd(stage_x + kLanes);
+    co = _mm256_load_pd(stage_y);
+    so = _mm256_load_pd(stage_y + kLanes);
+    ce = _mm256_load_pd(stage_z);
+    se = _mm256_load_pd(stage_z + kLanes);
+
+    const std::size_t block = std::min(kResyncInterval, n - k);
+    for (std::size_t j = 0; j < block; ++j) {
+      // Perifocal coordinates from the (circular) eccentric anomaly.
+      const __m256d xp = _mm256_mul_pd(a, _mm256_sub_pd(ce, e));
+      const __m256d yp = _mm256_mul_pd(b, se);
+      const __m256d r = _mm256_mul_pd(a, _mm256_sub_pd(one, _mm256_mul_pd(e, ce)));
+      // Rz(argp)
+      const __m256d x1 =
+          _mm256_sub_pd(_mm256_mul_pd(xp, cw), _mm256_mul_pd(yp, sw));
+      const __m256d y1 =
+          _mm256_add_pd(_mm256_mul_pd(xp, sw), _mm256_mul_pd(yp, cw));
+      // Rx(inclination)
+      const __m256d y2 = _mm256_mul_pd(y1, cos_i);
+      const __m256d z2 = _mm256_mul_pd(y1, sin_i);
+      // Rz(raan - gmst), sidereal rotation folded in via the shared table.
+      const __m256d cg = _mm256_set1_pd(cos_gmst[k + j]);
+      const __m256d sg = _mm256_set1_pd(sin_gmst[k + j]);
+      const __m256d ca =
+          _mm256_add_pd(_mm256_mul_pd(co, cg), _mm256_mul_pd(so, sg));
+      const __m256d sa =
+          _mm256_sub_pd(_mm256_mul_pd(so, cg), _mm256_mul_pd(co, sg));
+      _mm256_store_pd(stage_x + kLanes * j,
+                      _mm256_sub_pd(_mm256_mul_pd(x1, ca), _mm256_mul_pd(y2, sa)));
+      _mm256_store_pd(stage_y + kLanes * j,
+                      _mm256_add_pd(_mm256_mul_pd(x1, sa), _mm256_mul_pd(y2, ca)));
+      _mm256_store_pd(stage_z + kLanes * j, z2);
+      _mm256_store_pd(stage_r + kLanes * j, r);
+
+      // Advance the incremental rotations to step k+j+1.
+      const __m256d cw_next =
+          _mm256_sub_pd(_mm256_mul_pd(cw, cdw), _mm256_mul_pd(sw, sdw));
+      sw = _mm256_add_pd(_mm256_mul_pd(sw, cdw), _mm256_mul_pd(cw, sdw));
+      cw = cw_next;
+      const __m256d co_next =
+          _mm256_sub_pd(_mm256_mul_pd(co, cdo), _mm256_mul_pd(so, sdo));
+      so = _mm256_add_pd(_mm256_mul_pd(so, cdo), _mm256_mul_pd(co, sdo));
+      co = co_next;
+      const __m256d ce_next =
+          _mm256_sub_pd(_mm256_mul_pd(ce, cdm), _mm256_mul_pd(se, sdm));
+      se = _mm256_add_pd(_mm256_mul_pd(se, cdm), _mm256_mul_pd(ce, sdm));
+      ce = ce_next;
+    }
+
+    deinterleave_store(stage_x, dst_x, k, block);
+    deinterleave_store(stage_y, dst_y, k, block);
+    deinterleave_store(stage_z, dst_z, k, block);
+    deinterleave_store(stage_r, dst_r, k, block);
+    k += block;
+  }
+}
+
+}  // namespace mpleo::orbit::batch
+
+#endif  // MPLEO_HAVE_AVX2_KERNEL

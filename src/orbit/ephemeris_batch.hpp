@@ -1,0 +1,66 @@
+// Internal lane-batched kernel behind EphemerisSet's circular-orbit fill.
+//
+// Layout: satellites across lanes. Each AVX2 lane runs one satellite's
+// per-step arithmetic in exactly the order the scalar EphemerisTable::compute
+// loop uses (incremental plane rotations, libm resync every kResyncInterval
+// steps, no FMA contraction), so lane l of the batched fill is bit-identical
+// to the scalar fill of that satellite. Outputs are staged lane-major per
+// resync block and de-interleaved into each table's contiguous SoA arrays.
+//
+// Only the (near-)circular J2 fast path is batched: its per-step work is
+// branch-free and identical across lanes. Eccentric orbits (data-dependent
+// Kepler iteration counts) and SGP4 stay on per-satellite scalar paths.
+#pragma once
+
+#include <cstddef>
+
+namespace mpleo::orbit::batch {
+
+inline constexpr std::size_t kLanes = 4;
+
+// Must match the scalar kernel's resync cadence (ephemeris.cpp) or the
+// incremental-rotation sequences diverge from the unbatched path.
+inline constexpr std::size_t kResyncInterval = 64;
+
+// Structure-of-arrays epoch constants for one group of up to kLanes circular
+// satellites. Unused tail lanes are padded by replicating lane 0 and their
+// output pointers left null; they compute garbage that is never stored.
+struct CircularBatch {
+  alignas(32) double a[kLanes];       // semi-major axis, m
+  alignas(32) double e[kLanes];       // eccentricity (< circular threshold)
+  alignas(32) double b[kLanes];       // semi-minor axis, m
+  alignas(32) double cos_i[kLanes];
+  alignas(32) double sin_i[kLanes];
+  alignas(32) double t0[kLanes];      // grid start minus satellite epoch, s
+  alignas(32) double w0[kLanes];      // argument of perigee at epoch, rad
+  alignas(32) double o0[kLanes];      // RAAN at epoch, rad
+  alignas(32) double m0[kLanes];      // mean anomaly at epoch, rad
+  alignas(32) double w_dot[kLanes];   // secular rates, rad/s
+  alignas(32) double o_dot[kLanes];
+  alignas(32) double m_dot[kLanes];
+  alignas(32) double cdw[kLanes];     // per-step rotation of each angle:
+  alignas(32) double sdw[kLanes];     // cos/sin(rate * step_seconds)
+  alignas(32) double cdo[kLanes];
+  alignas(32) double sdo[kLanes];
+  alignas(32) double cdm[kLanes];
+  alignas(32) double sdm[kLanes];
+};
+
+// Destination SoA arrays for one lane's table; null x skips the lane.
+struct LaneOutput {
+  double* x = nullptr;
+  double* y = nullptr;
+  double* z = nullptr;
+  double* r = nullptr;
+};
+
+#if defined(MPLEO_HAVE_AVX2_KERNEL)
+// AVX2 build of the circular fill (compiled in a dedicated -mavx2 TU, no
+// -mfma: the scalar reference is compiled without FMA contraction, so the
+// vector twin must not fuse either). Caller guarantees the CPU has AVX2.
+void fill_circular_avx2(const CircularBatch& batch, std::size_t n, double h,
+                        const double* cos_gmst, const double* sin_gmst,
+                        const LaneOutput out[kLanes]);
+#endif
+
+}  // namespace mpleo::orbit::batch

@@ -1,0 +1,318 @@
+#include "orbit/sgp4.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+namespace {
+
+// WGS-72 gravity model — the constant set TLEs are generated against.
+// Mixing in WGS-84 values would *reduce* accuracy: SGP4 must invert the
+// same model the elements were fitted with.
+constexpr double kReKm = 6378.135;          // equatorial radius, km
+constexpr double kMuKm3PerS2 = 398600.8;    // gravitational parameter
+constexpr double kJ2 = 0.001082616;
+constexpr double kJ3 = -0.00000253881;
+constexpr double kJ4 = -0.00000165597;
+constexpr double kJ3OverJ2 = kJ3 / kJ2;
+const double kXke = 60.0 / std::sqrt(kReKm * kReKm * kReKm / kMuKm3PerS2);
+const double kVKmPerSec = kReKm * kXke / 60.0;
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+constexpr double kMinutesPerDay = 1440.0;
+// Near-earth / deep-space split: periods of 225 minutes and longer take the
+// SDP4 branch in the reference implementation.
+constexpr double kDeepSpacePeriodMin = 225.0;
+
+struct MeanMotion {
+  double no_kozai = 0.0;    // rad/min as published in the TLE
+  double no_unkozai = 0.0;  // Brouwer mean motion the model propagates
+};
+
+// The TLE mean motion is a Kozai value; SGP4 runs on the Brouwer convention,
+// recovered by inverting the first-order J2 relation.
+MeanMotion un_kozai(double rev_per_day, double ecco, double inclo) {
+  MeanMotion mm;
+  mm.no_kozai = rev_per_day * kTwoPi / kMinutesPerDay;
+  const double cosio = std::cos(inclo);
+  const double eccsq = ecco * ecco;
+  const double omeosq = 1.0 - eccsq;
+  const double rteosq = std::sqrt(omeosq);
+  const double ak = std::pow(kXke / mm.no_kozai, 2.0 / 3.0);
+  const double d1 =
+      0.75 * kJ2 * (3.0 * cosio * cosio - 1.0) / (rteosq * omeosq);
+  double del = d1 / (ak * ak);
+  const double adel =
+      ak * (1.0 - del * del - del * (1.0 / 3.0 + 134.0 * del * del / 81.0));
+  del = d1 / (adel * adel);
+  mm.no_unkozai = mm.no_kozai / (1.0 + del);
+  return mm;
+}
+
+}  // namespace
+
+bool Sgp4Propagator::supports(const Tle& tle) noexcept {
+  if (!(tle.mean_motion_rev_per_day > 0.0)) return false;
+  if (tle.eccentricity < 0.0 || tle.eccentricity >= 1.0) return false;
+  const double period_min = kMinutesPerDay / tle.mean_motion_rev_per_day;
+  return period_min < kDeepSpacePeriodMin;
+}
+
+Sgp4Propagator::Sgp4Propagator(const Tle& tle) : tle_(tle), epoch_(tle.epoch) {
+  if (!(tle.mean_motion_rev_per_day > 0.0)) {
+    throw std::invalid_argument("Sgp4Propagator: non-positive mean motion");
+  }
+  if (tle.eccentricity < 0.0 || tle.eccentricity >= 1.0) {
+    throw std::invalid_argument("Sgp4Propagator: eccentricity outside [0, 1)");
+  }
+  if (!supports(tle)) {
+    throw std::invalid_argument(
+        "Sgp4Propagator: deep-space orbit (period >= 225 min) requires SDP4, "
+        "which this near-earth implementation does not provide");
+  }
+
+  ecco_ = tle.eccentricity;
+  inclo_ = util::deg_to_rad(tle.inclination_deg);
+  nodeo_ = util::deg_to_rad(tle.raan_deg);
+  argpo_ = util::deg_to_rad(tle.arg_perigee_deg);
+  mo_ = util::deg_to_rad(tle.mean_anomaly_deg);
+  bstar_ = tle.bstar;
+
+  const MeanMotion mm = un_kozai(tle.mean_motion_rev_per_day, ecco_, inclo_);
+  no_unkozai_ = mm.no_unkozai;
+
+  const double cosio = std::cos(inclo_);
+  const double sinio = std::sin(inclo_);
+  const double cosio2 = cosio * cosio;
+  const double eccsq = ecco_ * ecco_;
+  const double omeosq = 1.0 - eccsq;
+  const double rteosq = std::sqrt(omeosq);
+
+  ao_ = std::pow(kXke / no_unkozai_, 2.0 / 3.0);
+  const double po = ao_ * omeosq;
+  const double con42 = 1.0 - 5.0 * cosio2;
+  con41_ = -con42 - 2.0 * cosio2;  // 3*cos^2(i) - 1
+  const double pinvsq = 1.0 / (po * po);
+  const double rp = ao_ * (1.0 - ecco_);  // perigee radius, Earth radii
+
+  // Drag reference altitude: the s4/q0 fit constants shift for perigees
+  // below 156 km (Spacetrack Report #3, section 6).
+  double sfour = 78.0 / kReKm + 1.0;
+  double qzms24 = std::pow((120.0 - 78.0) / kReKm, 4.0);
+  const double perige = (rp - 1.0) * kReKm;
+  if (perige < 156.0) {
+    sfour = perige - 78.0;
+    if (perige < 98.0) sfour = 20.0;
+    qzms24 = std::pow((120.0 - sfour) / kReKm, 4.0);
+    sfour = sfour / kReKm + 1.0;
+  }
+
+  const double tsi = 1.0 / (ao_ - sfour);
+  eta_ = ao_ * ecco_ * tsi;
+  const double etasq = eta_ * eta_;
+  const double eeta = ecco_ * eta_;
+  const double psisq = std::fabs(1.0 - etasq);
+  const double coef = qzms24 * std::pow(tsi, 4.0);
+  const double coef1 = coef / std::pow(psisq, 3.5);
+  const double cc2 =
+      coef1 * no_unkozai_ *
+      (ao_ * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
+       0.375 * kJ2 * tsi / psisq * con41_ *
+           (8.0 + 3.0 * etasq * (8.0 + etasq)));
+  cc1_ = bstar_ * cc2;
+  double cc3 = 0.0;
+  if (ecco_ > 1.0e-4) {
+    cc3 = -2.0 * coef * tsi * kJ3OverJ2 * no_unkozai_ * sinio / ecco_;
+  }
+  x1mth2_ = 1.0 - cosio2;
+  cc4_ = 2.0 * no_unkozai_ * coef1 * ao_ * omeosq *
+         (eta_ * (2.0 + 0.5 * etasq) + ecco_ * (0.5 + 2.0 * etasq) -
+          kJ2 * tsi / (ao_ * psisq) *
+              (-3.0 * con41_ * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
+               0.75 * x1mth2_ * (2.0 * etasq - eeta * (1.0 + etasq)) *
+                   std::cos(2.0 * argpo_)));
+  cc5_ = 2.0 * coef1 * ao_ * omeosq *
+         (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+
+  const double cosio4 = cosio2 * cosio2;
+  const double temp1 = 1.5 * kJ2 * pinvsq * no_unkozai_;
+  const double temp2 = 0.5 * temp1 * kJ2 * pinvsq;
+  const double temp3 = -0.46875 * kJ4 * pinvsq * pinvsq * no_unkozai_;
+  mdot_ = no_unkozai_ + 0.5 * temp1 * rteosq * con41_ +
+          0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
+  argpdot_ = -0.5 * temp1 * con42 +
+             0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
+             temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
+  const double xhdot1 = -temp1 * cosio;
+  nodedot_ = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
+                       2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
+                          cosio;
+  omgcof_ = bstar_ * cc3 * std::cos(argpo_);
+  xmcof_ = 0.0;
+  if (ecco_ > 1.0e-4) xmcof_ = -(2.0 / 3.0) * coef * bstar_ / eeta;
+  nodecf_ = 3.5 * omeosq * xhdot1 * cc1_;
+  t2cof_ = 1.5 * cc1_;
+  // Long-period coefficients; the xlcof denominator degenerates for
+  // retrograde-equatorial orbits (i ~ 180 deg), guarded like the reference.
+  const double denom =
+      std::fabs(1.0 + cosio) > 1.5e-12 ? 1.0 + cosio : 1.5e-12;
+  xlcof_ = -0.25 * kJ3OverJ2 * sinio * (3.0 + 5.0 * cosio) / denom;
+  aycof_ = -0.5 * kJ3OverJ2 * sinio;
+  delmo_ = std::pow(1.0 + eta_ * std::cos(mo_), 3.0);
+  sinmao_ = std::sin(mo_);
+  x7thm1_ = 7.0 * cosio2 - 1.0;
+
+  // Perigees below 220 km skip the higher-order drag terms (isimp branch).
+  isimp_ = rp < 220.0 / kReKm + 1.0;
+  if (!isimp_) {
+    const double cc1sq = cc1_ * cc1_;
+    d2_ = 4.0 * ao_ * tsi * cc1sq;
+    const double temp = d2_ * tsi * cc1_ / 3.0;
+    d3_ = (17.0 * ao_ + sfour) * temp;
+    d4_ = 0.5 * temp * ao_ * tsi * (221.0 * ao_ + 31.0 * sfour) * cc1_;
+    t3cof_ = d2_ + 2.0 * cc1sq;
+    t4cof_ = 0.25 * (3.0 * d3_ + cc1_ * (12.0 * d2_ + 10.0 * cc1sq));
+    t5cof_ = 0.2 * (3.0 * d4_ + 12.0 * cc1_ * d3_ + 6.0 * d2_ * d2_ +
+                    15.0 * cc1sq * (2.0 * d2_ + cc1sq));
+  }
+}
+
+double Sgp4Propagator::semi_major_axis_m() const noexcept {
+  return ao_ * kReKm * 1000.0;
+}
+
+StateVector Sgp4Propagator::state_at_offset(double dt_seconds) const {
+  const double t = dt_seconds / 60.0;  // model time unit is minutes
+
+  // --- Secular gravity and drag -------------------------------------------
+  const double xmdf = mo_ + mdot_ * t;
+  const double argpdf = argpo_ + argpdot_ * t;
+  const double nodedf = nodeo_ + nodedot_ * t;
+  double argpm = argpdf;
+  double mm = xmdf;
+  const double t2 = t * t;
+  double nodem = nodedf + nodecf_ * t2;
+  double tempa = 1.0 - cc1_ * t;
+  double tempe = bstar_ * cc4_ * t;
+  double templ = t2cof_ * t2;
+
+  if (!isimp_) {
+    const double delomg = omgcof_ * t;
+    const double delmtemp = 1.0 + eta_ * std::cos(xmdf);
+    const double delm = xmcof_ * (delmtemp * delmtemp * delmtemp - delmo_);
+    const double temp = delomg + delm;
+    mm = xmdf + temp;
+    argpm = argpdf - temp;
+    const double t3 = t2 * t;
+    const double t4 = t3 * t;
+    tempa = tempa - d2_ * t2 - d3_ * t3 - d4_ * t4;
+    tempe = tempe + bstar_ * cc5_ * (std::sin(mm) - sinmao_);
+    templ = templ + t3cof_ * t3 + t4 * (t4cof_ + t * t5cof_);
+  }
+
+  const double am = ao_ * tempa * tempa;
+  const double nm = kXke / std::pow(am, 1.5);
+  double em = ecco_ - tempe;
+  if (em >= 1.0 || em < -0.001) {
+    throw std::domain_error("Sgp4Propagator: drag drove eccentricity out of range");
+  }
+  if (em < 1.0e-6) em = 1.0e-6;
+  mm = mm + no_unkozai_ * templ;
+
+  nodem = std::fmod(nodem, kTwoPi);
+  argpm = std::fmod(argpm, kTwoPi);
+  mm = std::fmod(mm, kTwoPi);
+
+  // --- Long-period periodics ----------------------------------------------
+  const double sinim = std::sin(inclo_);
+  const double cosim = std::cos(inclo_);
+  const double axnl = em * std::cos(argpm);
+  const double temp_lp = 1.0 / (am * (1.0 - em * em));
+  const double aynl = em * std::sin(argpm) + temp_lp * aycof_;
+  const double xl = mm + argpm + nodem + temp_lp * xlcof_ * axnl;
+
+  // --- Kepler's equation for E + omega ------------------------------------
+  const double u = std::fmod(xl - nodem, kTwoPi);
+  double eo1 = u;
+  double sineo1 = 0.0;
+  double coseo1 = 1.0;
+  double tem5 = 9999.9;
+  for (int ktr = 0; std::fabs(tem5) >= 1.0e-12 && ktr < 10; ++ktr) {
+    sineo1 = std::sin(eo1);
+    coseo1 = std::cos(eo1);
+    tem5 = 1.0 - coseo1 * axnl - sineo1 * aynl;
+    tem5 = (u - aynl * coseo1 + axnl * sineo1 - eo1) / tem5;
+    if (std::fabs(tem5) >= 0.95) tem5 = tem5 > 0.0 ? 0.95 : -0.95;
+    eo1 += tem5;
+  }
+
+  // --- Short-period periodics ---------------------------------------------
+  const double ecose = axnl * coseo1 + aynl * sineo1;
+  const double esine = axnl * sineo1 - aynl * coseo1;
+  const double el2 = axnl * axnl + aynl * aynl;
+  const double pl = am * (1.0 - el2);
+  if (pl < 0.0) {
+    throw std::domain_error("Sgp4Propagator: semi-latus rectum went negative");
+  }
+  const double rl = am * (1.0 - ecose);
+  const double rdotl = std::sqrt(am) * esine / rl;
+  const double rvdotl = std::sqrt(pl) / rl;
+  const double betal = std::sqrt(1.0 - el2);
+  const double temp_sp = esine / (1.0 + betal);
+  const double sinu = am / rl * (sineo1 - aynl - axnl * temp_sp);
+  const double cosu = am / rl * (coseo1 - axnl + aynl * temp_sp);
+  double su = std::atan2(sinu, cosu);
+  const double sin2u = (cosu + cosu) * sinu;
+  const double cos2u = 1.0 - 2.0 * sinu * sinu;
+  const double temp = 1.0 / pl;
+  const double temp1 = 0.5 * kJ2 * temp;
+  const double temp2 = temp1 * temp;
+
+  const double mrt =
+      rl * (1.0 - 1.5 * temp2 * betal * con41_) + 0.5 * temp1 * x1mth2_ * cos2u;
+  if (mrt < 1.0) {
+    throw std::domain_error("Sgp4Propagator: satellite decayed (radius below surface)");
+  }
+  su = su - 0.25 * temp2 * x7thm1_ * sin2u;
+  const double xnode = nodem + 1.5 * temp2 * cosim * sin2u;
+  const double xinc = inclo_ + 1.5 * temp2 * cosim * sinim * cos2u;
+  const double mvt = rdotl - nm * temp1 * x1mth2_ * sin2u / kXke;
+  const double rvdot =
+      rvdotl + nm * temp1 * (x1mth2_ * cos2u + 1.5 * con41_) / kXke;
+
+  // --- Orientation vectors and TEME state ---------------------------------
+  const double sinsu = std::sin(su);
+  const double cossu = std::cos(su);
+  const double snod = std::sin(xnode);
+  const double cnod = std::cos(xnode);
+  const double sini = std::sin(xinc);
+  const double cosi = std::cos(xinc);
+  const double xmx = -snod * cosi;
+  const double xmy = cnod * cosi;
+  const double ux = xmx * sinsu + cnod * cossu;
+  const double uy = xmy * sinsu + snod * cossu;
+  const double uz = sini * sinsu;
+  const double vx = xmx * cossu - cnod * sinsu;
+  const double vy = xmy * cossu - snod * sinsu;
+  const double vz = sini * cossu;
+
+  StateVector state;
+  const double r_km = mrt * kReKm;
+  state.position = {r_km * ux * 1000.0, r_km * uy * 1000.0, r_km * uz * 1000.0};
+  const double vscale = kVKmPerSec * 1000.0;
+  state.velocity = {(mvt * ux + rvdot * vx) * vscale, (mvt * uy + rvdot * vy) * vscale,
+                    (mvt * uz + rvdot * vz) * vscale};
+  return state;
+}
+
+StateVector Sgp4Propagator::state_at(const TimePoint& t) const {
+  return state_at_offset(t.seconds_since(epoch_));
+}
+
+Vec3 Sgp4Propagator::position_eci_at_offset(double dt_seconds) const {
+  return state_at_offset(dt_seconds).position;
+}
+
+}  // namespace mpleo::orbit

@@ -1,0 +1,71 @@
+// SGP4 mean-element propagation — the NORAD model TLE catalogs are fitted
+// against. Implemented from scratch following the Spacetrack Report #3
+// equations as consolidated by Vallado's "Revisiting Spacetrack Report #3"
+// (the near-earth branch: secular J2/J4 gravity, atmospheric drag through
+// BSTAR, long- and short-period periodics).
+//
+// Output frame is TEME (true equator, mean equinox) — the frame TLE elements
+// are defined in. The library's ECI->ECEF transform is the plain GMST
+// rotation, which is exactly the TEME convention used by TLE-class coverage
+// simulators, so SGP4 states slot into the shared ephemeris kernel with no
+// extra frame plumbing.
+//
+// Deep-space orbits (period >= 225 min) need the SDP4 lunar/solar and
+// resonance terms, which are outside this LEO simulator's envelope;
+// initialisation reports them as unsupported and the backend facade falls
+// back to the J2 analytic model for such entries (see make_propagator).
+#pragma once
+
+#include <string>
+
+#include "orbit/elements.hpp"
+#include "orbit/time.hpp"
+#include "orbit/tle.hpp"
+
+namespace mpleo::orbit {
+
+class Sgp4Propagator {
+ public:
+  // Initialises the model from TLE mean elements. Throws
+  // std::invalid_argument on out-of-domain inputs (deep-space period,
+  // eccentricity outside [0, 1), non-positive mean motion).
+  explicit Sgp4Propagator(const Tle& tle);
+
+  // True for TLEs this implementation can propagate (near-earth period
+  // < 225 min and in-range elements) — the facade's routing predicate.
+  [[nodiscard]] static bool supports(const Tle& tle) noexcept;
+
+  // TEME position (m) and velocity (m/s) at `dt_seconds` past the TLE epoch.
+  // Throws std::domain_error if the orbit has decayed (radius below the
+  // Earth surface) or drag drove the elements out of range at `dt_seconds`.
+  [[nodiscard]] StateVector state_at_offset(double dt_seconds) const;
+  [[nodiscard]] StateVector state_at(const TimePoint& t) const;
+  [[nodiscard]] Vec3 position_eci_at_offset(double dt_seconds) const;
+
+  [[nodiscard]] TimePoint epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const Tle& tle() const noexcept { return tle_; }
+
+  // Semi-major axis recovered from the un-Kozai'd mean motion, metres —
+  // useful for sanity checks and footprint sizing.
+  [[nodiscard]] double semi_major_axis_m() const noexcept;
+
+ private:
+  Tle tle_;
+  TimePoint epoch_;
+
+  // Initialised model state (Vallado's variable names, WGS-72 constants in
+  // Earth radii / radians / minutes).
+  bool isimp_ = false;
+  double no_unkozai_ = 0.0;  // mean motion, rad/min
+  double ecco_ = 0.0, inclo_ = 0.0, nodeo_ = 0.0, argpo_ = 0.0, mo_ = 0.0;
+  double bstar_ = 0.0;
+  double ao_ = 0.0, con41_ = 0.0, x1mth2_ = 0.0, x7thm1_ = 0.0;
+  double cc1_ = 0.0, cc4_ = 0.0, cc5_ = 0.0;
+  double d2_ = 0.0, d3_ = 0.0, d4_ = 0.0;
+  double t2cof_ = 0.0, t3cof_ = 0.0, t4cof_ = 0.0, t5cof_ = 0.0;
+  double mdot_ = 0.0, argpdot_ = 0.0, nodedot_ = 0.0, nodecf_ = 0.0;
+  double omgcof_ = 0.0, xmcof_ = 0.0, eta_ = 0.0, delmo_ = 0.0, sinmao_ = 0.0;
+  double xlcof_ = 0.0, aycof_ = 0.0;
+};
+
+}  // namespace mpleo::orbit

@@ -1,0 +1,42 @@
+// Runtime SIMD dispatch for the batched ephemeris kernel.
+//
+// The lane-batched fill exists in two binary-identical-by-construction
+// variants: a portable scalar loop and an AVX2 build of the same operation
+// sequence (satellites across lanes, so per-satellite arithmetic order — and
+// therefore every IEEE rounding — is preserved exactly). Which one runs is
+// resolved once per process from CPU capability and the MPLEO_SIMD
+// environment variable:
+//
+//   MPLEO_SIMD=scalar  force the portable path (CI runs the suite this way)
+//   MPLEO_SIMD=avx2    require AVX2; throws at first use if the CPU lacks it
+//   MPLEO_SIMD=auto    (default) AVX2 when available, scalar otherwise
+//
+// Tests flip the mode in-process via force_simd_mode to pin bit-identity of
+// the two variants against each other and against the unbatched path.
+#pragma once
+
+#include <cstdint>
+
+namespace mpleo::orbit {
+
+enum class SimdMode : std::uint8_t {
+  kScalar,
+  kAvx2,
+};
+
+[[nodiscard]] const char* to_string(SimdMode mode) noexcept;
+
+// True when this build and CPU can run the AVX2 kernel.
+[[nodiscard]] bool cpu_supports_avx2() noexcept;
+
+// The mode the batched kernel dispatches on right now (env + CPU resolved on
+// first call, unless overridden by force_simd_mode). Throws
+// std::runtime_error if MPLEO_SIMD=avx2 was requested on a CPU without AVX2.
+[[nodiscard]] SimdMode active_simd_mode();
+
+// Test hook: overrides the active mode for the rest of the process (or until
+// the next call). Throws std::invalid_argument when asked for AVX2 on a
+// machine that cannot run it.
+void force_simd_mode(SimdMode mode);
+
+}  // namespace mpleo::orbit

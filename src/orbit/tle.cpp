@@ -136,51 +136,120 @@ int tle_checksum(const std::string& line) noexcept {
 TleParseResult parse_tle(const std::string& line0, const std::string& line1,
                          const std::string& line2) {
   TleParseResult result;
-  auto fail = [&result](std::string message) {
+  auto add = [&result](std::string field, std::string message) {
+    result.issues.push_back({std::move(field), std::move(message)});
+  };
+  // Joins the collected issues into the flat `error` summary and returns.
+  auto finish_fail = [&result]() {
     result.ok = false;
-    result.error = std::move(message);
+    for (const TleFieldIssue& issue : result.issues) {
+      if (!result.error.empty()) result.error += "; ";
+      result.error += issue.field + ": " + issue.message;
+    }
     return result;
   };
 
-  if (line1.size() < 69 || line2.size() < 69) return fail("line shorter than 69 columns");
-  if (line1[0] != '1') return fail("line 1 does not start with '1'");
-  if (line2[0] != '2') return fail("line 2 does not start with '2'");
-  if (tle_checksum(line1) != line1[68] - '0') return fail("line 1 checksum mismatch");
-  if (tle_checksum(line2) != line2[68] - '0') return fail("line 2 checksum mismatch");
+  // Structural problems make the column slices meaningless, so they abort
+  // before field extraction; field and range problems are all collected.
+  if (line1.size() < 69) add("line1", "shorter than 69 columns");
+  if (line2.size() < 69) add("line2", "shorter than 69 columns");
+  if (!result.issues.empty()) return finish_fail();
+  if (line1[0] != '1') add("line1", "does not start with '1'");
+  if (line2[0] != '2') add("line2", "does not start with '2'");
+  if (!result.issues.empty()) return finish_fail();
+  if (const int want = line1[68] - '0'; tle_checksum(line1) != want) {
+    add("line1.checksum", "checksum mismatch: computed " +
+                              std::to_string(tle_checksum(line1)) + ", line has " +
+                              std::to_string(want));
+  }
+  if (const int want = line2[68] - '0'; tle_checksum(line2) != want) {
+    add("line2.checksum", "checksum mismatch: computed " +
+                              std::to_string(tle_checksum(line2)) + ", line has " +
+                              std::to_string(want));
+  }
+  if (!result.issues.empty()) return finish_fail();
 
-  bool ok = true;
+  auto parse_num = [&](const char* field, const std::string& text) {
+    bool ok = true;
+    const double v = parse_double(text, &ok);
+    if (!ok) add(field, "unparsable numeric field '" + text + "'");
+    return v;
+  };
+  auto parse_int = [&](const char* field, const std::string& text) {
+    bool ok = true;
+    const long v = parse_long(text, &ok);
+    if (!ok) add(field, "unparsable integer field '" + text + "'");
+    return static_cast<int>(v);
+  };
+  auto parse_imp = [&](const char* field, const std::string& text) {
+    bool ok = true;
+    const double v = parse_implied_exponent(text, &ok);
+    if (!ok) add(field, "unparsable implied-exponent field '" + text + "'");
+    return v;
+  };
+  // Rejects NaN too: !(v >= lo && v <= hi) is true for unordered compares.
+  auto check_range = [&](const char* field, double v, double lo, double hi) {
+    if (!(v >= lo && v <= hi)) {
+      add(field, "value " + std::to_string(v) + " outside [" + std::to_string(lo) +
+                     ", " + std::to_string(hi) + "]");
+    }
+  };
+
   Tle tle;
   tle.name = line0;
   while (!tle.name.empty() && std::isspace(static_cast<unsigned char>(tle.name.back()))) {
     tle.name.pop_back();
   }
 
-  tle.catalog_number = static_cast<int>(parse_long(slice(line1, 3, 5), &ok));
+  tle.catalog_number = parse_int("catalog_number", slice(line1, 3, 5));
   tle.classification = line1[7];
   tle.intl_designator = slice(line1, 10, 8);
   while (!tle.intl_designator.empty() &&
          std::isspace(static_cast<unsigned char>(tle.intl_designator.back()))) {
     tle.intl_designator.pop_back();
   }
-  tle.epoch = parse_tle_epoch(slice(line1, 19, 14), &ok);
-  tle.mean_motion_dot = parse_double(slice(line1, 34, 10), &ok);
-  tle.mean_motion_ddot = parse_implied_exponent(slice(line1, 45, 8), &ok);
-  tle.bstar = parse_implied_exponent(slice(line1, 54, 8), &ok);
-  tle.element_set_number = static_cast<int>(parse_long(slice(line1, 65, 4), &ok));
+  {
+    bool ok = true;
+    tle.epoch = parse_tle_epoch(slice(line1, 19, 14), &ok);
+    if (!ok) add("epoch", "unparsable epoch field '" + slice(line1, 19, 14) + "'");
+  }
+  tle.mean_motion_dot = parse_num("mean_motion_dot", slice(line1, 34, 10));
+  tle.mean_motion_ddot = parse_imp("mean_motion_ddot", slice(line1, 45, 8));
+  tle.bstar = parse_imp("bstar", slice(line1, 54, 8));
+  tle.element_set_number = parse_int("element_set_number", slice(line1, 65, 4));
 
-  const int cat2 = static_cast<int>(parse_long(slice(line2, 3, 5), &ok));
-  if (cat2 != tle.catalog_number) return fail("catalog number differs between lines");
-  tle.inclination_deg = parse_double(slice(line2, 9, 8), &ok);
-  tle.raan_deg = parse_double(slice(line2, 18, 8), &ok);
-  tle.eccentricity = parse_double("0." + slice(line2, 27, 7), &ok);
-  tle.arg_perigee_deg = parse_double(slice(line2, 35, 8), &ok);
-  tle.mean_anomaly_deg = parse_double(slice(line2, 44, 8), &ok);
-  tle.mean_motion_rev_per_day = parse_double(slice(line2, 53, 11), &ok);
-  tle.revolution_number = static_cast<int>(parse_long(slice(line2, 64, 5), &ok));
+  const int cat2 = parse_int("catalog_number", slice(line2, 3, 5));
+  if (cat2 != tle.catalog_number) {
+    add("catalog_number", "catalog number differs between lines (" +
+                              std::to_string(tle.catalog_number) + " vs " +
+                              std::to_string(cat2) + ")");
+    return finish_fail();
+  }
+  tle.inclination_deg = parse_num("inclination_deg", slice(line2, 9, 8));
+  tle.raan_deg = parse_num("raan_deg", slice(line2, 18, 8));
+  tle.eccentricity = parse_num("eccentricity", "0." + slice(line2, 27, 7));
+  tle.arg_perigee_deg = parse_num("arg_perigee_deg", slice(line2, 35, 8));
+  tle.mean_anomaly_deg = parse_num("mean_anomaly_deg", slice(line2, 44, 8));
+  tle.mean_motion_rev_per_day = parse_num("mean_motion", slice(line2, 53, 11));
+  tle.revolution_number = parse_int("revolution_number", slice(line2, 64, 5));
+  if (!result.issues.empty()) return finish_fail();
 
-  if (!ok) return fail("numeric field parse failure");
-  if (tle.mean_motion_rev_per_day <= 0.0) return fail("non-positive mean motion");
-  if (tle.eccentricity < 0.0 || tle.eccentricity >= 1.0) return fail("eccentricity out of range");
+  // Physical element ranges. The upper angle bound is inclusive because
+  // formatted lines legitimately round up to 360.0000.
+  check_range("inclination_deg", tle.inclination_deg, 0.0, 180.0);
+  check_range("raan_deg", tle.raan_deg, 0.0, 360.0);
+  check_range("arg_perigee_deg", tle.arg_perigee_deg, 0.0, 360.0);
+  check_range("mean_anomaly_deg", tle.mean_anomaly_deg, 0.0, 360.0);
+  if (!(tle.eccentricity >= 0.0 && tle.eccentricity < 1.0)) {
+    add("eccentricity",
+        "value " + std::to_string(tle.eccentricity) + " outside [0, 1)");
+  }
+  // No bound orbit above the Earth's surface completes 20+ rev/day.
+  if (!(tle.mean_motion_rev_per_day > 0.0 && tle.mean_motion_rev_per_day <= 20.0)) {
+    add("mean_motion", "value " + std::to_string(tle.mean_motion_rev_per_day) +
+                           " outside (0, 20] rev/day");
+  }
+  if (!result.issues.empty()) return finish_fail();
 
   result.ok = true;
   result.tle = std::move(tle);

@@ -38,11 +38,22 @@ struct Tle {
                                          int catalog_number, std::string name = {});
 };
 
-// Parse results carry an error message instead of throwing: TLE ingestion is
-// a data-plane operation that must tolerate malformed catalog lines.
+// One malformed or out-of-range field, named so ingestion pipelines can
+// triage programmatically instead of string-matching a flat message.
+struct TleFieldIssue {
+  std::string field;    // e.g. "inclination_deg", "line1.checksum"
+  std::string message;  // human-readable reason, includes the offending text
+};
+
+// Parse results carry error details instead of throwing: TLE ingestion is a
+// data-plane operation that must tolerate malformed catalog lines. All field
+// problems found are collected (not just the first), and every element field
+// is range-checked — a line that parses numerically but encodes a physically
+// impossible orbit is rejected, not silently accepted.
 struct TleParseResult {
   bool ok = false;
-  std::string error;
+  std::string error;                  // joined summary of `issues`
+  std::vector<TleFieldIssue> issues;  // every problem found, in field order
   Tle tle;
 };
 

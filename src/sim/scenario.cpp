@@ -25,6 +25,15 @@ double to_double(std::string_view value, const char* flag) {
   return parsed;
 }
 
+orbit::PropagatorBackend parse_backend(std::string_view value) {
+  try {
+    return orbit::propagator_backend_from_string(value);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("invalid value for --propagator=: " +
+                                std::string(e.what()) + "\nvalid flags:\n" + flag_help());
+  }
+}
+
 AdversaryMode parse_adversary_mode(std::string_view value) {
   if (value == "off") return AdversaryMode::kOff;
   if (value == "forge") return AdversaryMode::kForge;
@@ -85,6 +94,9 @@ constexpr FlagSpec kFlags[] = {
      }},
     {"--no-gen2", "drop the Starlink Gen2 shells from the catalog",
      [](Scenario& s, std::string_view) { s.include_gen2_catalog = false; }},
+    {"--propagator=",
+     "orbit propagation backend: j2_analytic|sgp4 (default j2_analytic)",
+     [](Scenario& s, std::string_view v) { s.propagator = parse_backend(v); }},
     {"--adversary=",
      "Byzantine behavior mode: off|forge|inflate|withhold|misreport|collude|mixed "
      "(default off)",
@@ -174,6 +186,9 @@ std::string describe(const Scenario& scenario) {
     } else {
       os << scenario.threads;
     }
+  }
+  if (scenario.propagator != orbit::PropagatorBackend::kJ2Analytic) {
+    os << " propagator=" << orbit::to_string(scenario.propagator);
   }
   if (scenario.adversary_mode != AdversaryMode::kOff) {
     os << " adversary=" << to_string(scenario.adversary_mode)

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "orbit/backend.hpp"
 #include "orbit/time.hpp"
 
 namespace mpleo::sim {
@@ -46,6 +47,10 @@ struct Scenario {
   double adversary_fraction = 0.25;
   double adversary_intensity = 1.0;
   std::uint64_t adversary_seed = 1042;
+  // Orbit propagation backend for every ephemeris consumer reached through
+  // RunContext (coverage, scheduler, proof-of-coverage). The default is the
+  // fast analytic model; sgp4 trades throughput for TLE-grade fidelity.
+  orbit::PropagatorBackend propagator = orbit::PropagatorBackend::kJ2Analytic;
 
   [[nodiscard]] orbit::TimeGrid grid() const {
     return orbit::TimeGrid::over_duration(epoch, duration_s, step_s);

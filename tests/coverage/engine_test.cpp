@@ -242,6 +242,56 @@ TEST(VisibilityCache, PrecomputeMatchesLazyFill) {
   }
 }
 
+TEST(CoverageEngine, DefaultBackendFlowsIntoEveryConsumer) {
+  const orbit::TimeGrid grid = day_grid(60.0);
+  const auto sat = make_sat(550e3, 53.0, 10.0, 20.0, grid.start);
+  const orbit::TopocentricFrame site(orbit::Geodetic::from_degrees(25.0, 121.5));
+
+  const CoverageEngine j2(grid, 25.0);
+  const CoverageEngine sgp4(grid, 25.0, orbit::PropagatorBackend::kSgp4);
+  EXPECT_EQ(j2.default_backend(), orbit::PropagatorBackend::kJ2Analytic);
+  EXPECT_EQ(sgp4.default_backend(), orbit::PropagatorBackend::kSgp4);
+
+  // The no-backend ephemeris entry point follows the engine default and
+  // matches the explicit-backend overload exactly.
+  const orbit::EphemerisTable via_default = sgp4.ephemeris(sat);
+  const orbit::EphemerisTable via_explicit =
+      sgp4.ephemeris(sat, orbit::PropagatorBackend::kSgp4);
+  ASSERT_EQ(via_default.size(), via_explicit.size());
+  for (std::size_t k = 0; k < via_default.size(); ++k) {
+    EXPECT_EQ(via_default.x()[k], via_explicit.x()[k]);
+  }
+  // The two backends genuinely propagate differently.
+  double max_delta = 0.0;
+  const orbit::EphemerisTable j2_table = j2.ephemeris(sat);
+  for (std::size_t k = 0; k < via_default.size(); ++k) {
+    max_delta =
+        std::max(max_delta, (via_default.position_ecef(k) - j2_table.position_ecef(k)).norm());
+  }
+  EXPECT_GT(max_delta, 1.0);
+
+  // A catalog-level fill reports the backend that actually ran.
+  const std::vector<constellation::Satellite> sats{sat};
+  EXPECT_EQ(sgp4.ephemerides(sats).backend(0), orbit::PropagatorBackend::kSgp4);
+  EXPECT_EQ(j2.ephemerides(sats).backend(0), orbit::PropagatorBackend::kJ2Analytic);
+}
+
+TEST(CoverageEngine, FindPassesTableOverloadMatchesSatelliteOverload) {
+  const orbit::TimeGrid grid = day_grid(30.0);
+  const CoverageEngine engine(grid, 25.0);
+  const auto sat = make_sat(550e3, 53.0, 10.0, 20.0, grid.start);
+  const orbit::TopocentricFrame site(orbit::Geodetic::from_degrees(25.0, 121.5));
+
+  const auto direct = find_passes(sat, site, grid, 25.0);
+  const auto via_table = find_passes(engine.ephemeris(sat), site, grid, 25.0);
+  ASSERT_EQ(direct.size(), via_table.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].start_offset_s, via_table[i].start_offset_s) << i;
+    EXPECT_EQ(direct[i].end_offset_s, via_table[i].end_offset_s) << i;
+    EXPECT_NEAR(direct[i].max_elevation_rad, via_table[i].max_elevation_rad, 1e-9) << i;
+  }
+}
+
 TEST(CoverageEngine, EmptySatelliteSetHasZeroCoverage) {
   const orbit::TimeGrid grid = day_grid();
   const CoverageEngine engine(grid, 25.0);

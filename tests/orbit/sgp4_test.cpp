@@ -1,0 +1,166 @@
+// Unit tests for the from-scratch SGP4 backend: the Spacetrack Report #3
+// verification satellite, physical-state sanity, the analytic velocity
+// against a finite difference, and the facade's deep-space fallback.
+#include "orbit/sgp4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/backend.hpp"
+#include "orbit/ephemeris.hpp"
+#include "orbit/tle.hpp"
+#include "util/units.hpp"
+
+namespace mpleo::orbit {
+namespace {
+
+// The classic SGP4 test satellite from Spacetrack Report #3 (and Vallado's
+// "Revisiting Spacetrack Report #3" verification set). Checksums are
+// recomputed so the test pins field content, not transcription.
+Tle spacetrack_test_tle() {
+  std::string line1 =
+      "1 88888U          80275.98708465  .00073094  13844-3  66816-4 0    80";
+  std::string line2 =
+      "2 88888  72.8435 115.9689 0086731  52.6988 110.5714 16.05824518  1050";
+  line1[68] = static_cast<char>('0' + tle_checksum(line1));
+  line2[68] = static_cast<char>('0' + tle_checksum(line2));
+  const TleParseResult result = parse_tle("", line1, line2);
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.tle;
+}
+
+Tle circular_leo_tle() {
+  ClassicalElements coe;
+  coe.semi_major_axis_m = util::kEarthMeanRadiusM + 550e3;
+  coe.eccentricity = 0.001;
+  coe.inclination_rad = util::deg_to_rad(53.0);
+  coe.raan_rad = 1.0;
+  coe.arg_perigee_rad = 0.5;
+  coe.mean_anomaly_rad = 2.0;
+  return Tle::from_elements(coe, TimePoint::from_iso8601("2024-11-18T00:00:00Z"),
+                            43013, "LEO-TEST");
+}
+
+Tle geo_tle() {
+  Tle tle = circular_leo_tle();
+  tle.mean_motion_rev_per_day = 1.0027;  // ~1436 min period: deep space
+  return tle;
+}
+
+TEST(Sgp4, MatchesSpacetrackVerificationCaseAtEpoch) {
+  const Sgp4Propagator prop(spacetrack_test_tle());
+  // Reference TEME position at tsince = 0 from Vallado's "Revisiting
+  // Spacetrack Report #3" verification tables (WGS-72), km:
+  // (2328.96975262, -5995.22051338, 1719.97297192).
+  const StateVector state = prop.state_at_offset(0.0);
+  EXPECT_NEAR(state.position.x, 2328.96975262e3, 5.0);
+  EXPECT_NEAR(state.position.y, -5995.22051338e3, 5.0);
+  EXPECT_NEAR(state.position.z, 1719.97297192e3, 5.0);
+}
+
+TEST(Sgp4, MatchesSpacetrackVerificationCaseAfterSixHours) {
+  const Sgp4Propagator prop(spacetrack_test_tle());
+  // Reference TEME position at tsince = 360 min (km):
+  // (2456.10705566, -6071.93853760, 1222.89727783). Drag terms integrated
+  // over six hours leave ~half a metre of spread between published
+  // implementations; 10 m bounds it comfortably.
+  const StateVector state = prop.state_at_offset(360.0 * 60.0);
+  EXPECT_NEAR(state.position.x, 2456.10705566e3, 10.0);
+  EXPECT_NEAR(state.position.y, -6071.93853760e3, 10.0);
+  EXPECT_NEAR(state.position.z, 1222.89727783e3, 10.0);
+}
+
+TEST(Sgp4, LeoStateIsPhysicallySane) {
+  const Sgp4Propagator prop(circular_leo_tle());
+  for (const double dt : {0.0, 600.0, 3600.0, 6 * 3600.0, 86400.0}) {
+    const StateVector state = prop.state_at_offset(dt);
+    const double radius = state.position.norm();
+    const double speed = state.velocity.norm();
+    EXPECT_GT(radius, util::kEarthMeanRadiusM + 450e3) << "dt=" << dt;
+    EXPECT_LT(radius, util::kEarthMeanRadiusM + 650e3) << "dt=" << dt;
+    EXPECT_GT(speed, 7.4e3) << "dt=" << dt;
+    EXPECT_LT(speed, 7.8e3) << "dt=" << dt;
+  }
+}
+
+TEST(Sgp4, VelocityMatchesFiniteDifferenceOfPosition) {
+  const Sgp4Propagator prop(spacetrack_test_tle());
+  // SGP4's velocity is the analytic derivative of the periodic series with
+  // the slowly-varying coefficients held fixed, so it deviates from the
+  // exact finite difference by O(1e-5) relative — bound it at 0.5 m/s
+  // against a ~7.5 km/s orbital speed.
+  const double h = 0.5;  // seconds
+  for (const double dt : {120.0, 3600.0, 40000.0}) {
+    const StateVector state = prop.state_at_offset(dt);
+    const Vec3 ahead = prop.position_eci_at_offset(dt + h);
+    const Vec3 behind = prop.position_eci_at_offset(dt - h);
+    EXPECT_NEAR(state.velocity.x, (ahead.x - behind.x) / (2.0 * h), 0.5);
+    EXPECT_NEAR(state.velocity.y, (ahead.y - behind.y) / (2.0 * h), 0.5);
+    EXPECT_NEAR(state.velocity.z, (ahead.z - behind.z) / (2.0 * h), 0.5);
+  }
+}
+
+TEST(Sgp4, StateAtAgreesWithOffsetForm) {
+  const Sgp4Propagator prop(circular_leo_tle());
+  const double dt = 5400.0;
+  const TimePoint t = prop.epoch().plus_seconds(dt);
+  const StateVector via_time = prop.state_at(t);
+  const StateVector via_offset = prop.state_at_offset(dt);
+  EXPECT_NEAR(via_time.position.x, via_offset.position.x, 1e-3);
+  EXPECT_NEAR(via_time.position.y, via_offset.position.y, 1e-3);
+  EXPECT_NEAR(via_time.position.z, via_offset.position.z, 1e-3);
+}
+
+TEST(Sgp4, SupportsNearEarthRejectsDeepSpace) {
+  EXPECT_TRUE(Sgp4Propagator::supports(spacetrack_test_tle()));
+  EXPECT_TRUE(Sgp4Propagator::supports(circular_leo_tle()));
+  EXPECT_FALSE(Sgp4Propagator::supports(geo_tle()));
+}
+
+TEST(Sgp4, ConstructorThrowsOnDeepSpaceOrbit) {
+  EXPECT_THROW(Sgp4Propagator{geo_tle()}, std::invalid_argument);
+}
+
+TEST(Sgp4, DecayedOrbitThrowsDomainError) {
+  Tle tle = circular_leo_tle();
+  tle.mean_motion_rev_per_day = 16.4;  // ~230 km altitude
+  tle.eccentricity = 0.01;
+  tle.bstar = 0.5;  // absurd drag so the elements leave range quickly
+  const Sgp4Propagator prop(tle);
+  EXPECT_THROW((void)prop.state_at_offset(50.0 * 86400.0), std::domain_error);
+}
+
+TEST(Sgp4, SemiMajorAxisRecoversLeoAltitude) {
+  const Sgp4Propagator prop(circular_leo_tle());
+  // Un-Kozai recovery shifts a from the Keplerian value by well under 2 km.
+  EXPECT_NEAR(prop.semi_major_axis_m(), util::kEarthMeanRadiusM + 550e3, 2e3);
+}
+
+TEST(Sgp4, MakePropagatorFallsBackToJ2ForDeepSpace) {
+  EphemerisSpec spec = EphemerisSpec::from_tle(geo_tle());
+  ASSERT_EQ(spec.backend, PropagatorBackend::kSgp4);
+  const AnyPropagator prop = make_propagator(spec);
+  EXPECT_EQ(prop.backend(), PropagatorBackend::kJ2Analytic);
+}
+
+TEST(Sgp4, MakePropagatorUsesSgp4ForNearEarth) {
+  const EphemerisSpec spec = EphemerisSpec::from_tle(circular_leo_tle());
+  const AnyPropagator prop = make_propagator(spec);
+  EXPECT_EQ(prop.backend(), PropagatorBackend::kSgp4);
+  ASSERT_NE(prop.sgp4(), nullptr);
+}
+
+TEST(Sgp4, BackendNamesRoundTrip) {
+  EXPECT_STREQ(to_string(PropagatorBackend::kJ2Analytic), "j2_analytic");
+  EXPECT_STREQ(to_string(PropagatorBackend::kSgp4), "sgp4");
+  EXPECT_EQ(propagator_backend_from_string("sgp4"), PropagatorBackend::kSgp4);
+  EXPECT_EQ(propagator_backend_from_string("j2"), PropagatorBackend::kJ2Analytic);
+  EXPECT_EQ(propagator_backend_from_string("j2_analytic"),
+            PropagatorBackend::kJ2Analytic);
+  EXPECT_THROW((void)propagator_backend_from_string("sgp8"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpleo::orbit

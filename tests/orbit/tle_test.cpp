@@ -189,5 +189,78 @@ TEST(TleCatalog, EmptyInputIsEmptyCatalog) {
   EXPECT_TRUE(catalog.errors.empty());
 }
 
+// Overwrites TLE columns [start_col, start_col+text.size()) (1-based) and
+// recomputes the checksum, so validation tests exercise the field checks
+// rather than tripping the checksum guard.
+std::string with_field(const std::string& line, std::size_t start_col,
+                       const std::string& text) {
+  std::string out = line;
+  out.replace(start_col - 1, text.size(), text);
+  out[68] = static_cast<char>('0' + tle_checksum(out));
+  return out;
+}
+
+bool has_issue_for(const TleParseResult& result, const std::string& field) {
+  for (const TleFieldIssue& issue : result.issues) {
+    if (issue.field == field) return true;
+  }
+  return false;
+}
+
+TEST(TleValidation, RejectsOutOfRangeInclination) {
+  const std::string bad = with_field(kIssLine2, 9, "191.6416");
+  const TleParseResult result = parse_tle("", kIssLine1, bad);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_issue_for(result, "inclination_deg")) << result.error;
+}
+
+TEST(TleValidation, RejectsOutOfRangeMeanMotion) {
+  // 25 rev/day: no bound orbit above the surface revolves that fast.
+  const std::string bad = with_field(kIssLine2, 53, "25.72125391");
+  const TleParseResult result = parse_tle("", kIssLine1, bad);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_issue_for(result, "mean_motion")) << result.error;
+}
+
+TEST(TleValidation, RejectsOutOfRangeRaan) {
+  const std::string bad = with_field(kIssLine2, 18, "367.4627");
+  const TleParseResult result = parse_tle("", kIssLine1, bad);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_issue_for(result, "raan_deg")) << result.error;
+}
+
+TEST(TleValidation, RejectsUnparsableNumericFieldByName) {
+  const std::string bad = with_field(kIssLine2, 35, "xxxxxxxx");  // arg of perigee
+  const TleParseResult result = parse_tle("", kIssLine1, bad);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_issue_for(result, "arg_perigee_deg")) << result.error;
+  EXPECT_NE(result.error.find("arg_perigee_deg"), std::string::npos);
+}
+
+TEST(TleValidation, CollectsEveryIssueNotJustTheFirst) {
+  std::string bad = with_field(kIssLine2, 9, "191.6416");
+  bad = with_field(bad, 53, "25.72125391");
+  const TleParseResult result = parse_tle("", kIssLine1, bad);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_issue_for(result, "inclination_deg")) << result.error;
+  EXPECT_TRUE(has_issue_for(result, "mean_motion")) << result.error;
+  EXPECT_GE(result.issues.size(), 2u);
+}
+
+TEST(TleValidation, ChecksumIssueIsStructured) {
+  std::string corrupted(kIssLine1);
+  corrupted[68] = '0';
+  const TleParseResult result = parse_tle("", corrupted, kIssLine2);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_issue_for(result, "line1.checksum")) << result.error;
+}
+
+TEST(TleValidation, ValidLineHasNoIssues) {
+  const TleParseResult result = parse_tle("", kIssLine1, kIssLine2);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.issues.empty());
+  EXPECT_TRUE(result.error.empty());
+}
+
 }  // namespace
 }  // namespace mpleo::orbit

@@ -144,6 +144,20 @@ TEST(Scenario, DescribeMentionsThreadsOnlyWhenNotSerial) {
   EXPECT_NE(describe(s).find("threads=6"), std::string::npos);
 }
 
+TEST(Scenario, PropagatorFlag) {
+  EXPECT_EQ(Scenario{}.propagator, orbit::PropagatorBackend::kJ2Analytic);
+  EXPECT_EQ(parse({"--propagator=sgp4"}).propagator, orbit::PropagatorBackend::kSgp4);
+  EXPECT_EQ(parse({"--propagator=j2"}).propagator,
+            orbit::PropagatorBackend::kJ2Analytic);
+  EXPECT_THROW(parse({"--propagator=sgp8"}), std::invalid_argument);
+}
+
+TEST(Scenario, DescribeMentionsPropagatorOnlyWhenNotDefault) {
+  EXPECT_EQ(describe(Scenario{}).find("propagator"), std::string::npos);
+  const std::string desc = describe(parse({"--propagator=sgp4"}));
+  EXPECT_NE(desc.find("propagator=sgp4"), std::string::npos);
+}
+
 TEST(Scenario, DescribeMentionsKeyParameters) {
   const std::string desc = describe(Scenario{});
   EXPECT_NE(desc.find("2024-11-18"), std::string::npos);

@@ -12,6 +12,13 @@ speedup of every section present in both reports must be at least
 (1 - tolerance) x the baseline speedup, and every bit-identity flag must be
 true. Exits non-zero on any regression, so CI can fail the build.
 
+When the current report carries a backend_compare section (perf_simulator
+--backends), it is schema-checked and gated absolutely: the lane-batched J2
+fill must clear 4x the pre-refactor 1.5e7 sat-steps/sec kernel baseline on
+AVX2 machines, its bit-identity flag must be true, and the SGP4-vs-J2
+cross-backend position error must sit inside the envelope the report
+declares (and above 1 m, proving SGP4 did not silently fall back to J2).
+
 When the current report carries a scheduler_compare section it must also
 carry the "obs" metrics section perf_simulator emits from its RunContext,
 and that section must be schema-valid: integer counters >= 0, histograms
@@ -37,6 +44,7 @@ SPEEDUPS = [
     ("ephemeris_compare", "batched_pooled"),
     ("scheduler_compare", "pipelined_serial"),
     ("scheduler_compare", "pipelined_pooled"),
+    ("backend_compare", "j2_batched"),
 ]
 
 # (section, flag) pairs that must be true in the current report.
@@ -44,7 +52,13 @@ IDENTITY_FLAGS = [
     ("ephemeris_compare", "masks_identical"),
     ("scheduler_compare", "bit_identical"),
     ("scheduler_compare", "faulted_bit_identical"),
+    ("backend_compare", "batched_bit_identical"),
 ]
+
+# Absolute floor for the SIMD lane-batched J2 fill when the report ran on an
+# AVX2 machine: >= 4x the 1.5e7 sat-steps/sec pre-refactor kernel baseline.
+BATCHED_BASELINE_SAT_STEPS_PER_SEC = 1.5e7
+BATCHED_SPEEDUP_FLOOR = 4.0
 
 # Metric names the scheduler pipeline is known to record; their absence
 # means the obs plumbing came unhooked.
@@ -64,6 +78,66 @@ REQUIRED_OBS_HISTOGRAMS = [
 
 def is_uint(value) -> bool:
     return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_backend_compare(section) -> list:
+    """Schema + gates for the per-backend throughput report (empty = valid)."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["backend_compare section is not an object"]
+
+    workload = section.get("workload")
+    if not isinstance(workload, dict) or not is_uint(workload.get("satellites")) \
+            or not is_uint(workload.get("steps")):
+        problems.append("backend_compare.workload missing satellites/steps")
+    if section.get("simd") not in ("avx2", "scalar"):
+        problems.append(f"backend_compare.simd is {section.get('simd')!r}, "
+                        f"expected \"avx2\" or \"scalar\"")
+
+    for name in ("j2_scalar", "j2_batched", "sgp4"):
+        entry = section.get(name)
+        if not isinstance(entry, dict) or not is_number(entry.get("seconds")) \
+                or not is_number(entry.get("sat_steps_per_sec")) \
+                or entry.get("sat_steps_per_sec") <= 0:
+            problems.append(f"backend_compare.{name} missing seconds/"
+                            f"sat_steps_per_sec")
+
+    cross = section.get("cross_backend")
+    if not isinstance(cross, dict) or not is_number(cross.get("max_error_m")) \
+            or not is_number(cross.get("envelope_m")):
+        problems.append("backend_compare.cross_backend missing "
+                        "max_error_m/envelope_m")
+    else:
+        if cross.get("within_envelope") is not True:
+            problems.append("backend_compare.cross_backend.within_envelope "
+                            "is not true")
+        if cross["max_error_m"] >= cross["envelope_m"]:
+            problems.append(
+                f"backend_compare cross-backend error {cross['max_error_m']:.1f} m "
+                f"exceeds the documented envelope {cross['envelope_m']:.1f} m")
+        if cross["max_error_m"] <= 1.0:
+            problems.append(
+                "backend_compare cross-backend error <= 1 m: SGP4 output is "
+                "indistinguishable from J2, the backend likely fell back")
+    if problems:
+        return problems
+
+    # Throughput gate, only meaningful when the SIMD kernel actually ran.
+    if section["simd"] == "avx2":
+        floor = BATCHED_SPEEDUP_FLOOR * BATCHED_BASELINE_SAT_STEPS_PER_SEC
+        thr = section["j2_batched"]["sat_steps_per_sec"]
+        status = "OK " if thr >= floor else "REGRESSED"
+        print(f"{status} backend_compare.j2_batched: {thr:.3e} sat-steps/s "
+              f"(floor {floor:.3e} = {BATCHED_SPEEDUP_FLOOR:.0f}x baseline)")
+        if thr < floor:
+            problems.append(
+                f"backend_compare.j2_batched throughput {thr:.3e} below the "
+                f"{BATCHED_SPEEDUP_FLOOR:.0f}x-over-baseline floor {floor:.3e}")
+    return problems
 
 
 def validate_obs(obs) -> list:
@@ -261,6 +335,15 @@ def main() -> int:
             continue
         if current[section].get(flag) is not True:
             failures.append(f"{section}.{flag} is not true in {args.current}")
+
+    if "backend_compare" in current:
+        backend_problems = validate_backend_compare(current["backend_compare"])
+        failures.extend(backend_problems)
+        if not backend_problems:
+            cross = current["backend_compare"]["cross_backend"]
+            print(f"OK  backend_compare schema-valid (sgp4-vs-j2 max error "
+                  f"{cross['max_error_m'] / 1e3:.1f} km, envelope "
+                  f"{cross['envelope_m'] / 1e3:.0f} km)")
 
     if "scheduler_compare" in current:
         if "obs" not in current:
