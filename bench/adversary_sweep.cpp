@@ -52,9 +52,16 @@ int main(int argc, char** argv) {
     config.epochs = 2;
   }
 
+  core::RfSweepConfig rf_config;
+  if (quick) {
+    rf_config.doppler_trials = 50;
+    rf_config.jammer_fractions = {0.0, 0.25, 0.5};
+  }
+
   sim::RunContext context(scenario);
   const std::vector<core::AdversarySweepPoint> points =
       core::adversary_sweep(config, context);
+  const core::RfSweepResult rf = core::rf_adversary_sweep(config, rf_config, context);
 
   bool monotone = true;
   bool detected_ge_injected = true;
@@ -84,6 +91,59 @@ int main(int argc, char** argv) {
               monotone ? "yes" : "NO");
   std::printf("audit detected >= injected at every point: %s\n",
               detected_ge_injected ? "yes" : "NO");
+
+  // RF section gates: the Doppler fit must reject >= 99% of forged tracks at
+  // every detectable sophistication level while flagging zero honest tracks,
+  // jamming must degrade honest welfare monotonically (nested jammer sets),
+  // and every jamming point with jammers must produce attributed violation
+  // evidence (detection >= injection for continuous emitters).
+  bool rf_detection = true;
+  bool rf_honest_clean = true;
+  util::Table doppler_table({"forgery level", "gated", "forged", "rejected",
+                             "detection", "honest", "flagged"});
+  for (const core::RfDopplerPoint& p : rf.doppler) {
+    if (p.gated && p.detection_rate < 0.99) rf_detection = false;
+    if (p.honest_flagged != 0) rf_honest_clean = false;
+    doppler_table.add_row({rf::to_string(p.level), p.gated ? "yes" : "no",
+                           util::Table::num(static_cast<double>(p.forged_submitted)),
+                           util::Table::num(static_cast<double>(p.forged_rejected)),
+                           util::Table::pct(p.detection_rate),
+                           util::Table::num(static_cast<double>(p.honest_submitted)),
+                           util::Table::num(static_cast<double>(p.honest_flagged))});
+  }
+  bool rf_welfare_monotone = true;
+  bool rf_violations_detected = true;
+  util::Table jamming_table({"jammer frac", "jammers", "nominal bps", "realized bps",
+                             "honest welfare", "violations", "quarantined", "slashed"});
+  for (std::size_t i = 0; i < rf.jamming.size(); ++i) {
+    const core::RfJammingPoint& p = rf.jamming[i];
+    if (i > 0 && p.honest_welfare > rf.jamming[i - 1].honest_welfare + 1e-9) {
+      rf_welfare_monotone = false;
+    }
+    if (p.jamming_parties > 0 && p.violations_detected < p.jamming_parties) {
+      rf_violations_detected = false;
+    }
+    jamming_table.add_row({util::Table::pct(p.jammer_fraction),
+                           util::Table::num(static_cast<double>(p.jamming_parties)),
+                           util::Table::num(p.capacity_nominal_bps),
+                           util::Table::num(p.capacity_realized_bps),
+                           util::Table::pct(p.honest_welfare),
+                           util::Table::num(static_cast<double>(p.violations_detected)),
+                           util::Table::num(static_cast<double>(p.quarantined_parties)),
+                           util::Table::num(p.total_slashed)});
+  }
+  std::printf("\nRF doppler-fit audit (per forgery sophistication):\n");
+  std::fputs(doppler_table.to_string().c_str(), stdout);
+  std::printf("\nRF jamming sweep (per jammer fraction):\n");
+  std::fputs(jamming_table.to_string().c_str(), stdout);
+  std::printf("\ndoppler fit rejects >= 99%% of detectable forgeries: %s\n",
+              rf_detection ? "yes" : "NO");
+  std::printf("doppler fit flags zero honest receipts: %s\n",
+              rf_honest_clean ? "yes" : "NO");
+  std::printf("jamming welfare monotone non-increasing: %s\n",
+              rf_welfare_monotone ? "yes" : "NO");
+  std::printf("violations detected >= jamming parties at every point: %s\n",
+              rf_violations_detected ? "yes" : "NO");
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -118,11 +178,54 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out,
                "\n  ],\n"
+               "  \"rf\": {\n"
+               "    \"doppler_trials\": %zu,\n"
+               "    \"doppler\": [",
+               rf_config.doppler_trials);
+  for (std::size_t i = 0; i < rf.doppler.size(); ++i) {
+    const core::RfDopplerPoint& p = rf.doppler[i];
+    std::fprintf(out,
+                 "%s\n      {\"level\": \"%s\", \"gated\": %s,"
+                 " \"forged_submitted\": %zu, \"forged_rejected\": %zu,"
+                 " \"honest_submitted\": %zu, \"honest_flagged\": %zu,"
+                 " \"detection_rate\": %.6f}",
+                 i == 0 ? "" : ",", rf::to_string(p.level), p.gated ? "true" : "false",
+                 p.forged_submitted, p.forged_rejected, p.honest_submitted,
+                 p.honest_flagged, p.detection_rate);
+  }
+  std::fprintf(out,
+               "\n    ],\n"
+               "    \"jamming\": [");
+  for (std::size_t i = 0; i < rf.jamming.size(); ++i) {
+    const core::RfJammingPoint& p = rf.jamming[i];
+    std::fprintf(out,
+                 "%s\n      {\"jammer_fraction\": %.4f, \"jamming_parties\": %zu,"
+                 " \"capacity_nominal_bps\": %.6f, \"capacity_realized_bps\": %.6f,"
+                 " \"honest_welfare\": %.6f, \"violations_detected\": %zu,"
+                 " \"quarantined_parties\": %zu, \"expelled_parties\": %zu,"
+                 " \"total_slashed\": %.6f}",
+                 i == 0 ? "" : ",", p.jammer_fraction, p.jamming_parties,
+                 p.capacity_nominal_bps, p.capacity_realized_bps, p.honest_welfare,
+                 p.violations_detected, p.quarantined_parties, p.expelled_parties,
+                 p.total_slashed);
+  }
+  std::fprintf(out,
+               "\n    ],\n"
+               "    \"rf_detection_gate\": %s,\n"
+               "    \"rf_honest_clean\": %s,\n"
+               "    \"rf_welfare_monotone\": %s,\n"
+               "    \"rf_violations_detected\": %s\n"
+               "  },\n"
                "  \"honest_payoff_monotone\": %s,\n"
                "  \"fraud_detected_ge_injected\": %s\n"
                "}\n",
-               monotone ? "true" : "false", detected_ge_injected ? "true" : "false");
+               rf_detection ? "true" : "false", rf_honest_clean ? "true" : "false",
+               rf_welfare_monotone ? "true" : "false",
+               rf_violations_detected ? "true" : "false", monotone ? "true" : "false",
+               detected_ge_injected ? "true" : "false");
   std::fclose(out);
   std::printf("report written to %s\n", out_path.c_str());
-  return (monotone && detected_ge_injected) ? 0 : 1;
+  const bool rf_ok =
+      rf_detection && rf_honest_clean && rf_welfare_monotone && rf_violations_detected;
+  return (monotone && detected_ge_injected && rf_ok) ? 0 : 1;
 }

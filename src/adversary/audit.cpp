@@ -1,5 +1,6 @@
 #include "adversary/audit.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -12,6 +13,7 @@ ReceiptAuditor::ReceiptAuditor(AuditConfig config, std::size_t party_count,
                                obs::MetricsRegistry* metrics)
     : config_(config), stats_(party_count), metrics_(metrics) {
   core::require_non_negative(config_.sla_tolerance, "sla_tolerance");
+  rf::throw_if_invalid("adversary::AuditConfig", config_.doppler.validate());
 }
 
 void ReceiptAuditor::set_audit_grid(orbit::TimeGrid grid) {
@@ -38,7 +40,8 @@ core::ReceiptVerdict ReceiptAuditor::audit_and_credit(const core::ProofOfCoverag
                                                       core::PartyId owner_party,
                                                       core::Ledger& ledger,
                                                       core::AccountId owner_account,
-                                                      ReceiptProvenance provenance) {
+                                                      ReceiptProvenance provenance,
+                                                      const rf::DopplerObservation* doppler) {
   PartyAuditStats& stats = stats_.at(owner_party);
   ++stats.submitted;
 
@@ -58,8 +61,54 @@ core::ReceiptVerdict ReceiptAuditor::audit_and_credit(const core::ProofOfCoverag
     if (!prescreen_overhead) ++stats.prescreen_flagged;
   }
 
+  // RF grounding: a claim that passes digest and exact geometry must also
+  // carry a Doppler track whose SHAPE matches what the shared ephemeris
+  // kernel predicts for the claimed pass (constant oscillator offset
+  // removed; see rf::fit_doppler_track). Decided before crediting, so an
+  // implausible receipt never touches the ledger.
+  bool doppler_rejected = false;
+  if (config_.doppler.enabled &&
+      poc.verify(receipt) == core::ReceiptVerdict::kValid) {
+    const std::vector<double> offsets = config_.doppler.sample_offsets_s();
+    const std::vector<core::ProofOfCoverage::DopplerPoint> predicted =
+        poc.doppler_track(receipt.satellite, receipt.verifier, receipt.time,
+                          config_.doppler.carrier_hz, offsets);
+    // A window with fewer measurable samples than min_track_samples cannot
+    // pin a curve shape: inconclusive, fall through to the geometric path.
+    if (predicted.size() >= config_.doppler.min_track_samples) {
+      ++stats.doppler_checked;
+      std::vector<double> measured;
+      std::vector<double> expected;
+      if (doppler != nullptr) {
+        const std::size_t have =
+            std::min(doppler->offsets_s.size(), doppler->doppler_hz.size());
+        for (const core::ProofOfCoverage::DopplerPoint& point : predicted) {
+          for (std::size_t i = 0; i < have; ++i) {
+            if (doppler->offsets_s[i] == point.offset_s) {
+              measured.push_back(doppler->doppler_hz[i]);
+              expected.push_back(point.doppler_hz);
+              break;
+            }
+          }
+        }
+      }
+      if (measured.size() < config_.doppler.min_track_samples) {
+        // The pass was measurable and the claimant brought no (or too little)
+        // track: implausible for a contact it says it had.
+        doppler_rejected = true;
+      } else {
+        const rf::TrackFit fit = rf::fit_doppler_track(measured, expected);
+        if (metrics_ != nullptr) {
+          metrics_->histogram("audit.doppler_rms_hz").observe(fit.rms_hz);
+        }
+        doppler_rejected = fit.rms_hz > config_.doppler.rms_tolerance_hz;
+      }
+    }
+  }
+
   const core::ReceiptVerdict verdict =
-      poc.verify_and_reward(receipt, ledger, owner_account);
+      doppler_rejected ? core::ReceiptVerdict::kRfImplausible
+                       : poc.verify_and_reward(receipt, ledger, owner_account);
   switch (verdict) {
     case core::ReceiptVerdict::kValid: ++stats.credited; break;
     case core::ReceiptVerdict::kBadDigest: ++stats.rejected_digest; break;
@@ -68,6 +117,7 @@ core::ReceiptVerdict ReceiptAuditor::audit_and_credit(const core::ProofOfCoverag
       if (provenance == ReceiptProvenance::kSubmission) ++stats.unsolicited_geometry;
       break;
     case core::ReceiptVerdict::kDuplicate: ++stats.rejected_duplicate; break;
+    case core::ReceiptVerdict::kRfImplausible: ++stats.rf_doppler_rejections; break;
     case core::ReceiptVerdict::kUnknownSatellite:
     case core::ReceiptVerdict::kUnknownVerifier: ++stats.rejected_unknown; break;
   }
@@ -84,6 +134,10 @@ core::ReceiptVerdict ReceiptAuditor::audit_and_credit(const core::ProofOfCoverag
         break;
       case core::ReceiptVerdict::kBadDigest:
       case core::ReceiptVerdict::kDuplicate:
+        metrics_->counter("audit.fraud_detected").add(1);
+        break;
+      case core::ReceiptVerdict::kRfImplausible:
+        metrics_->counter("audit.rf_doppler_rejections").add(1);
         metrics_->counter("audit.fraud_detected").add(1);
         break;
       case core::ReceiptVerdict::kNotOverhead:
@@ -117,6 +171,17 @@ bool ReceiptAuditor::audit_sla_claim(core::PartyId party, double claimed_seconds
   return misreport;
 }
 
+void ReceiptAuditor::record_interference_violations(core::PartyId party,
+                                                    std::uint64_t events,
+                                                    double total_inr) {
+  if (events == 0) return;
+  stats_.at(party).rf_interference_violations += events;
+  if (metrics_ != nullptr) {
+    metrics_->counter("audit.rf_interference_violations").add(events);
+    metrics_->histogram("audit.rf_violation_inr").observe(total_inr);
+  }
+}
+
 const PartyAuditStats& ReceiptAuditor::stats(core::PartyId party) const {
   return stats_.at(party);
 }
@@ -132,6 +197,9 @@ PartyAuditStats ReceiptAuditor::totals() const {
     total.rejected_duplicate += s.rejected_duplicate;
     total.rejected_unknown += s.rejected_unknown;
     total.sla_misreports += s.sla_misreports;
+    total.doppler_checked += s.doppler_checked;
+    total.rf_doppler_rejections += s.rf_doppler_rejections;
+    total.rf_interference_violations += s.rf_interference_violations;
     total.prescreen_flagged += s.prescreen_flagged;
     total.prescreen_mismatches += s.prescreen_mismatches;
   }

@@ -33,6 +33,7 @@
 #include "core/proof_of_coverage.hpp"
 #include "coverage/step_mask.hpp"
 #include "orbit/time.hpp"
+#include "rf/doppler.hpp"
 
 namespace mpleo::obs {
 class MetricsRegistry;
@@ -48,6 +49,11 @@ struct AuditConfig {
   // misreport: claimed > measured * (1 + tolerance) flags. Must be a
   // finite value >= 0.
   double sla_tolerance = 0.05;
+  // Doppler-track fit stage (off by default — the audit path is then
+  // bit-identical to the pre-RF auditor). When enabled, a geometrically
+  // valid claim must also carry a measured Doppler track whose shape matches
+  // the shared-ephemeris prediction within rms_tolerance_hz.
+  rf::DopplerAuditConfig doppler;
 };
 
 // Who put the receipt on the table. A verifier-issued challenge answered at
@@ -70,17 +76,25 @@ struct PartyAuditStats {
   std::uint64_t rejected_duplicate = 0;
   std::uint64_t rejected_unknown = 0;   // unknown satellite or verifier
   std::uint64_t sla_misreports = 0;
+  // RF evidence: receipts whose Doppler track reached a conclusive fit, the
+  // subset the fit rejected, and spectrum-plan violations the interference
+  // accounting attributed to this party.
+  std::uint64_t doppler_checked = 0;
+  std::uint64_t rf_doppler_rejections = 0;
+  std::uint64_t rf_interference_violations = 0;
   // Prescreen telemetry (never part of the verdict).
   std::uint64_t prescreen_flagged = 0;
   std::uint64_t prescreen_mismatches = 0;  // mask and exact geometry disagreed
 
   // Confirmed fraud evidence: bad digests, double submissions, unsolicited
-  // claims with impossible geometry, and SLA overclaims. Challenge-
-  // provenance geometry misses and unknown-id rejections are excluded —
-  // a mistimed ping or a receipt for a withdrawn satellite is stale or
-  // unlucky, not dishonest.
+  // claims with impossible geometry, SLA overclaims, RF-implausible Doppler
+  // tracks, and attributed spectrum-plan violations. Challenge-provenance
+  // geometry misses and unknown-id rejections are excluded — a mistimed
+  // ping or a receipt for a withdrawn satellite is stale or unlucky, not
+  // dishonest.
   [[nodiscard]] std::uint64_t fraud_total() const noexcept {
-    return rejected_digest + unsolicited_geometry + rejected_duplicate + sla_misreports;
+    return rejected_digest + unsolicited_geometry + rejected_duplicate +
+           sla_misreports + rf_doppler_rejections + rf_interference_violations;
   }
 
   friend bool operator==(const PartyAuditStats&, const PartyAuditStats&) = default;
@@ -89,7 +103,9 @@ struct PartyAuditStats {
 class ReceiptAuditor {
  public:
   // `metrics` may be null (all instrumentation becomes no-ops). Throws
-  // core::ValidationError on a negative or non-finite sla_tolerance.
+  // core::ValidationError on a negative or non-finite sla_tolerance, and
+  // std::invalid_argument (every issue joined, TleFieldIssue-style) on an
+  // invalid doppler config.
   ReceiptAuditor(AuditConfig config, std::size_t party_count,
                  obs::MetricsRegistry* metrics = nullptr);
 
@@ -107,16 +123,32 @@ class ReceiptAuditor {
   // guard as the unaudited path. The verdict is attributed to
   // `owner_party`'s cumulative stats under the given provenance (see
   // ReceiptProvenance for what counts as fraud).
+  //
+  // When the Doppler stage is enabled, `doppler` is the measured track
+  // accompanying the claim (evidence alongside the receipt — the receipt
+  // struct and its content hash never change). A geometrically valid claim
+  // whose track misses the ephemeris prediction — or that brings no track
+  // where the geometry says at least min_track_samples were measurable —
+  // verdicts kRfImplausible and is never credited. Windows too short to pin
+  // a curve shape are inconclusive and fall through to the geometric path.
   core::ReceiptVerdict audit_and_credit(
       const core::ProofOfCoverage& poc, const core::CoverageReceipt& receipt,
       core::PartyId owner_party, core::Ledger& ledger, core::AccountId owner_account,
-      ReceiptProvenance provenance = ReceiptProvenance::kChallenge);
+      ReceiptProvenance provenance = ReceiptProvenance::kChallenge,
+      const rf::DopplerObservation* doppler = nullptr);
 
   // Settlement-time SLA cross-check: true (and recorded as a misreport) when
   // `claimed_seconds` exceeds `measured_seconds` beyond the configured
   // tolerance. The measured value is the scheduler's ground truth.
   bool audit_sla_claim(core::PartyId party, double claimed_seconds,
                        double measured_seconds);
+
+  // Records spectrum-plan violations the scheduler's interference accounting
+  // attributed to `party` (see rf::RfLinkStats::violation_inr_by_party):
+  // `events` incidents carrying `total_inr` linear interference-to-noise.
+  // Counts straight into the party's fraud evidence.
+  void record_interference_violations(core::PartyId party, std::uint64_t events,
+                                      double total_inr);
 
   [[nodiscard]] const PartyAuditStats& stats(core::PartyId party) const;
   [[nodiscard]] const std::vector<PartyAuditStats>& all_stats() const noexcept {

@@ -29,6 +29,8 @@ const char* to_string(Behavior behavior) noexcept {
     case Behavior::kWithholdCapacity: return "withhold_capacity";
     case Behavior::kMisreportSla: return "misreport_sla";
     case Behavior::kCollude: return "collude";
+    case Behavior::kJamming: return "jamming";
+    case Behavior::kSpectrumSquatting: return "spectrum_squatting";
   }
   return "unknown";
 }
@@ -123,6 +125,22 @@ std::vector<std::uint8_t> BehaviorBook::byzantine_mask() const {
   return mask;
 }
 
+std::vector<bool> BehaviorBook::jamming_mask() const {
+  std::vector<bool> mask(policies_.size(), false);
+  for (std::size_t party = 0; party < policies_.size(); ++party) {
+    mask[party] = policies_[party].behavior == Behavior::kJamming;
+  }
+  return mask;
+}
+
+std::vector<bool> BehaviorBook::squatting_mask() const {
+  std::vector<bool> mask(policies_.size(), false);
+  for (std::size_t party = 0; party < policies_.size(); ++party) {
+    mask[party] = policies_[party].behavior == Behavior::kSpectrumSquatting;
+  }
+  return mask;
+}
+
 std::vector<core::PartyId> BehaviorBook::coalition_of(core::PartyId party) const {
   std::vector<core::PartyId> members{party};
   if (party >= policies_.size()) return members;
@@ -146,8 +164,12 @@ std::vector<Behavior> mix_for_mode(sim::AdversaryMode mode) {
     case sim::AdversaryMode::kMisreport: return {Behavior::kMisreportSla};
     case sim::AdversaryMode::kCollude: return {Behavior::kCollude};
     case sim::AdversaryMode::kMixed:
+      // Deliberately excludes the RF behaviors: kMixed predates them and its
+      // sweep numbers are pinned by the perf baseline.
       return {Behavior::kForgeReceipts, Behavior::kWithholdCapacity,
               Behavior::kInflateReceipts, Behavior::kMisreportSla, Behavior::kCollude};
+    case sim::AdversaryMode::kJamming: return {Behavior::kJamming};
+    case sim::AdversaryMode::kSpectrumSquat: return {Behavior::kSpectrumSquatting};
   }
   return {};
 }

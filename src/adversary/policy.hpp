@@ -42,6 +42,8 @@ enum class Behavior : std::uint8_t {
   kWithholdCapacity,   // reserves contributed beams away from the spare commons
   kMisreportSla,       // inflates its served-seconds claim at settlement
   kCollude,            // coalition: shared keys, cross-submitted forgeries
+  kJamming,            // radiates boosted power across the shared downlink band
+  kSpectrumSquatting,  // transmits outside its assigned channel at nominal power
 };
 
 [[nodiscard]] const char* to_string(Behavior behavior) noexcept;
@@ -112,6 +114,11 @@ class BehaviorBook {
 
   // Byte-per-party Byzantine membership (1 = Byzantine), sized to the book.
   [[nodiscard]] std::vector<std::uint8_t> byzantine_mask() const;
+
+  // Per-party RF misbehavior flags sized to the book, consumed by
+  // rf::InterferenceEnvironment. Both all-false for an empty() book.
+  [[nodiscard]] std::vector<bool> jamming_mask() const;
+  [[nodiscard]] std::vector<bool> squatting_mask() const;
 
   // Coalition partners of `party` (including itself) — parties sharing its
   // coalition id. A solo party maps to just itself.

@@ -8,12 +8,14 @@
 
 #include "core/campaign.hpp"
 #include "core/validation.hpp"
+#include "coverage/doppler.hpp"
 #include "coverage/engine.hpp"
 #include "net/ground_station.hpp"
 #include "net/terminal.hpp"
 #include "obs/metrics.hpp"
 #include "sim/run_context.hpp"
 #include "sim/scenario.hpp"
+#include "util/units.hpp"
 
 namespace mpleo::core {
 namespace {
@@ -228,6 +230,218 @@ std::vector<AdversarySweepPoint> adversary_sweep(const AdversarySweepConfig& con
     points.push_back(point);
   }
   return points;
+}
+
+RfSweepResult rf_adversary_sweep(const AdversarySweepConfig& config,
+                                 const RfSweepConfig& rf_config,
+                                 sim::RunContext& context) {
+  validate(config);
+  if (rf_config.doppler_trials == 0) {
+    throw std::invalid_argument("rf_adversary_sweep: doppler_trials == 0");
+  }
+  rf::DopplerAuditConfig doppler = rf_config.doppler;
+  doppler.enabled = true;
+  rf::throw_if_invalid("rf_adversary_sweep doppler config", doppler.validate());
+  rf::throw_if_invalid("rf_adversary_sweep spectrum config",
+                       rf_config.spectrum.validate());
+  double previous = 0.0;
+  for (const double fraction : rf_config.jammer_fractions) {
+    require_fraction(fraction, "jammer_fraction");
+    if (fraction < previous) {
+      throw std::invalid_argument(
+          "rf_adversary_sweep: jammer_fractions must be non-decreasing");
+    }
+    previous = fraction;
+  }
+
+  RfSweepResult result;
+  const orbit::TimePoint start = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+
+  // --- Doppler axis: forged vs honest tracks per sophistication level. ---
+  // Every trial claims a contact geometry genuinely supports (the insider
+  // holds the key and the ephemeris), so the geometric audit passes and only
+  // the track fit separates the forger from the honest verifier.
+  {
+    const Workload w = build_workload(config, start);
+    ProofOfCoverage poc{ProofOfCoverage::Config{}};
+    std::vector<std::uint64_t> keys;
+    keys.reserve(w.catalog.size());
+    for (const constellation::Satellite& sat : w.catalog) {
+      keys.push_back(poc.register_satellite(sat, config.seed));
+    }
+    std::vector<std::uint32_t> verifiers;
+    verifiers.reserve(w.terminals.size());
+    for (const net::Terminal& terminal : w.terminals) {
+      verifiers.push_back(poc.register_verifier(terminal.location));
+    }
+    const orbit::TimeGrid grid =
+        orbit::TimeGrid::over_duration(start, config.epoch_duration_s, config.step_s);
+
+    adversary::AuditConfig audit = config.audit;
+    audit.doppler = doppler;
+    adversary::ReceiptAuditor auditor(audit, config.parties, &context.metrics());
+    auditor.set_audit_grid(grid);
+
+    Ledger ledger;
+    ledger.mint(1e6, "rf-sweep treasury");
+    std::vector<AccountId> accounts;
+    accounts.reserve(config.parties);
+    for (std::size_t p = 0; p < config.parties; ++p) {
+      accounts.push_back(ledger.open_account("party-" + std::to_string(p)));
+    }
+
+    // Contact pool: (satellite, verifier, step) claims that verify
+    // geometrically AND whose predicted Doppler window is long enough for a
+    // conclusive fit — the population the ≥99% detection gate is defined
+    // over (shorter windows are inconclusive-accept by design).
+    struct Contact {
+      std::size_t sat_index = 0;
+      std::uint32_t verifier = 0;
+      std::size_t step = 0;
+      std::vector<double> offsets_s;
+      std::vector<double> truth_hz;
+      double max_doppler_hz = 0.0;
+    };
+    const std::vector<double> offsets = doppler.sample_offsets_s();
+    std::vector<Contact> pool;
+    constexpr std::size_t kPoolTarget = 256;
+    for (std::size_t si = 0; si < w.catalog.size() && pool.size() < kPoolTarget; ++si) {
+      const constellation::Satellite& sat = w.catalog[si];
+      const std::uint32_t verifier = verifiers[si % verifiers.size()];
+      const cov::StepMask overhead = poc.overhead_steps(sat.id, verifier, grid);
+      for (std::size_t step = 0; step < grid.count && pool.size() < kPoolTarget; ++step) {
+        if (!overhead.test(step)) continue;
+        const CoverageReceipt probe = ProofOfCoverage::answer_challenge(
+            sat.id, keys[si], verifier, grid.at(step), 0);
+        if (poc.verify(probe) != ReceiptVerdict::kValid) continue;
+        const auto predicted =
+            poc.doppler_track(sat.id, verifier, grid.at(step), doppler.carrier_hz, offsets);
+        if (predicted.size() < doppler.min_track_samples) continue;
+        Contact contact;
+        contact.sat_index = si;
+        contact.verifier = verifier;
+        contact.step = step;
+        contact.offsets_s.reserve(predicted.size());
+        contact.truth_hz.reserve(predicted.size());
+        for (const ProofOfCoverage::DopplerPoint& point : predicted) {
+          contact.offsets_s.push_back(point.offset_s);
+          contact.truth_hz.push_back(point.doppler_hz);
+        }
+        contact.max_doppler_hz = cov::max_doppler_bound_hz(
+            sat.elements.semi_major_axis_m - util::kEarthMeanRadiusM, doppler.carrier_hz);
+        pool.push_back(std::move(contact));
+      }
+    }
+    if (pool.empty()) {
+      throw std::logic_error(
+          "rf_adversary_sweep: workload has no conclusive contact windows");
+    }
+
+    constexpr rf::ForgeryLevel kLevels[] = {
+        rf::ForgeryLevel::kFlatTone, rf::ForgeryLevel::kLinearRamp,
+        rf::ForgeryLevel::kTimeMirrored, rf::ForgeryLevel::kEphemerisExact};
+    util::Xoshiro256PlusPlus rng = util::Xoshiro256PlusPlus(config.seed).split(0xDF01);
+    for (const rf::ForgeryLevel level : kLevels) {
+      RfDopplerPoint point;
+      point.level = level;
+      point.gated = rf::detectable(level);
+      for (std::size_t trial = 0; trial < rf_config.doppler_trials; ++trial) {
+        const Contact& contact = pool[rng.uniform_index(pool.size())];
+        const constellation::Satellite& sat = w.catalog[contact.sat_index];
+        const PartyId owner = sat.owner_party;
+        // Forged claim: fabricated track at the level's sophistication.
+        {
+          const CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+              sat.id, keys[contact.sat_index], contact.verifier, grid.at(contact.step),
+              rng.next());
+          rf::DopplerObservation track;
+          track.carrier_hz = doppler.carrier_hz;
+          track.offsets_s = contact.offsets_s;
+          track.doppler_hz =
+              rf::forge_doppler_track(level, contact.truth_hz, contact.max_doppler_hz, rng);
+          const ReceiptVerdict verdict = auditor.audit_and_credit(
+              poc, receipt, owner, ledger, accounts[owner],
+              adversary::ReceiptProvenance::kSubmission, &track);
+          ++point.forged_submitted;
+          if (verdict == ReceiptVerdict::kRfImplausible) ++point.forged_rejected;
+        }
+        // Honest twin: same contact, true curve plus receiver noise.
+        {
+          const CoverageReceipt receipt = ProofOfCoverage::answer_challenge(
+              sat.id, keys[contact.sat_index], contact.verifier, grid.at(contact.step),
+              rng.next());
+          rf::DopplerObservation track;
+          track.carrier_hz = doppler.carrier_hz;
+          track.offsets_s = contact.offsets_s;
+          track.doppler_hz = rf::observe_doppler_track(
+              contact.truth_hz, doppler.measurement_noise_hz, rng);
+          const ReceiptVerdict verdict = auditor.audit_and_credit(
+              poc, receipt, owner, ledger, accounts[owner],
+              adversary::ReceiptProvenance::kChallenge, &track);
+          ++point.honest_submitted;
+          if (verdict == ReceiptVerdict::kRfImplausible) ++point.honest_flagged;
+        }
+      }
+      point.detection_rate =
+          point.forged_submitted > 0
+              ? static_cast<double>(point.forged_rejected) /
+                    static_cast<double>(point.forged_submitted)
+              : 0.0;
+      context.metrics().counter("rf_sweep.forged_submitted").add(point.forged_submitted);
+      context.metrics().counter("rf_sweep.forged_rejected").add(point.forged_rejected);
+      context.metrics().counter("rf_sweep.honest_flagged").add(point.honest_flagged);
+      result.doppler.push_back(std::move(point));
+    }
+  }
+
+  // --- Jamming axis: one campaign per nested jammer fraction. ---
+  for (const double fraction : rf_config.jammer_fractions) {
+    Workload w = build_workload(config, start);
+    CampaignConfig campaign_config;
+    campaign_config.start = start;
+    campaign_config.epoch_duration_s = config.epoch_duration_s;
+    campaign_config.step_s = config.step_s;
+    campaign_config.scheduler.elevation_mask_deg = config.elevation_mask_deg;
+    Campaign campaign(std::move(w.consortium), std::move(w.terminals),
+                      std::move(w.stations), campaign_config, config.seed);
+    const adversary::Behavior jam_mix[] = {adversary::Behavior::kJamming};
+    campaign.arm_adversaries(
+        adversary::BehaviorBook::sample(config.parties, fraction, jam_mix,
+                                        config.intensity, config.receipts_per_epoch,
+                                        config.seed),
+        config.audit, config.quarantine);
+    campaign.arm_rf(rf_config.spectrum);
+
+    RfJammingPoint point;
+    point.jammer_fraction = fraction;
+    point.jamming_parties = campaign.behavior_book().byzantine_count();
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      const EpochReport report = campaign.run_epoch(context);
+      if (!report.adversary.has_value()) continue;
+      if (epoch == 0) {
+        // Epoch 0 is the welfare probe: quarantine sanctions only bite from
+        // the next epoch's scheduling pass, so link selection is identical
+        // across fractions and realized/nominal is monotone by construction.
+        point.capacity_nominal_bps = report.adversary->rf_nominal_bps;
+        point.capacity_realized_bps =
+            report.adversary->rf_nominal_bps - report.adversary->rf_capacity_lost_bps;
+      }
+      point.violations_detected += report.adversary->rf_interference_violations;
+    }
+    point.honest_welfare = point.capacity_nominal_bps > 0.0
+                               ? point.capacity_realized_bps / point.capacity_nominal_bps
+                               : 1.0;
+    const adversary::QuarantineManager& quarantine = campaign.quarantine();
+    point.quarantined_parties = quarantine.quarantined_count();
+    point.expelled_parties = quarantine.expelled_count();
+    point.total_slashed = quarantine.total_slashed();
+    context.metrics().counter("rf_sweep.jamming_points").add(1);
+    context.metrics()
+        .counter("rf_sweep.violations_detected")
+        .add(point.violations_detected);
+    result.jamming.push_back(point);
+  }
+  return result;
 }
 
 }  // namespace mpleo::core

@@ -23,6 +23,8 @@
 #include "adversary/audit.hpp"
 #include "adversary/policy.hpp"
 #include "adversary/quarantine.hpp"
+#include "rf/doppler.hpp"
+#include "rf/spectrum_plan.hpp"
 
 namespace mpleo::sim {
 class RunContext;
@@ -90,5 +92,71 @@ struct AdversarySweepPoint {
 // core::ValidationError / std::invalid_argument on malformed config.
 [[nodiscard]] std::vector<AdversarySweepPoint> adversary_sweep(
     const AdversarySweepConfig& config, sim::RunContext& context);
+
+// ---------------------------------------------------------------------------
+// RF sweep: the two RF-grounded robustness axes of the audit stack.
+
+struct RfSweepConfig {
+  // Doppler axis: per forgery sophistication level, this many
+  // geometrically-valid forged receipts with fabricated tracks and the same
+  // number of honest receipts with noisy-but-true tracks, audited directly.
+  std::size_t doppler_trials = 200;
+  // Doppler audit stage shared by both axes; `enabled` is forced on for the
+  // doppler axis regardless of its value here.
+  rf::DopplerAuditConfig doppler;
+  // Jamming axis: fraction of parties turned jammers per point. Must start
+  // at 0 and be non-decreasing; sets are nested across fractions (CRN, same
+  // discipline as the byzantine_fractions axis).
+  std::vector<double> jammer_fractions = {0.0, 0.125, 0.25, 0.375};
+  rf::SpectrumConfig spectrum;
+};
+
+// One forgery-sophistication level of the Doppler axis.
+struct RfDopplerPoint {
+  rf::ForgeryLevel level = rf::ForgeryLevel::kFlatTone;
+  // Whether the level sits inside the audit's detection envelope
+  // (rf::detectable); kEphemerisExact is the documented blind spot and is
+  // reported but not gated.
+  bool gated = false;
+  std::size_t forged_submitted = 0;
+  std::size_t forged_rejected = 0;   // verdict kRfImplausible
+  std::size_t honest_submitted = 0;
+  std::size_t honest_flagged = 0;    // must be 0: honest tracks always fit
+  double detection_rate = 0.0;       // forged_rejected / forged_submitted
+};
+
+// One jammer fraction of the interference axis.
+struct RfJammingPoint {
+  double jammer_fraction = 0.0;
+  std::size_t jamming_parties = 0;
+  // Epoch-0 capacity accounting — before any quarantine sanction can alter
+  // link selection, so with nested jammer sets the welfare ratio is monotone
+  // non-increasing BY CONSTRUCTION (same granted links, INR only grows).
+  double capacity_nominal_bps = 0.0;
+  double capacity_realized_bps = 0.0;
+  double honest_welfare = 1.0;  // realized / nominal (1.0 with no jammer)
+  // Cumulative over the campaign: attributed plan-violation evidence and the
+  // sanction state it escalated to.
+  std::size_t violations_detected = 0;
+  std::size_t quarantined_parties = 0;
+  std::size_t expelled_parties = 0;
+  double total_slashed = 0.0;
+};
+
+struct RfSweepResult {
+  std::vector<RfDopplerPoint> doppler;
+  std::vector<RfJammingPoint> jamming;
+};
+
+// Runs the RF robustness sweep: the Doppler axis audits forged-vs-honest
+// receipt tracks per sophistication level through a ReceiptAuditor over the
+// shared workload geometry; the jamming axis runs one campaign per jammer
+// fraction with the interference environment armed. The workload shape,
+// epochs and audit/quarantine configs come from `config`; `rf_config` adds
+// the RF knobs. Counters land in context.metrics() under "rf_sweep.".
+// Throws core::ValidationError / std::invalid_argument on malformed config.
+[[nodiscard]] RfSweepResult rf_adversary_sweep(const AdversarySweepConfig& config,
+                                               const RfSweepConfig& rf_config,
+                                               sim::RunContext& context);
 
 }  // namespace mpleo::core

@@ -6,9 +6,11 @@
 #include <utility>
 
 #include "core/reputation.hpp"
+#include "coverage/doppler.hpp"
 #include "coverage/step_mask.hpp"
 #include "obs/metrics.hpp"
 #include "sim/run_context.hpp"
+#include "util/units.hpp"
 
 namespace mpleo::core {
 
@@ -23,6 +25,20 @@ struct Campaign::AdversaryHarness {
   // Auditor fraud totals at the start of the running epoch, for per-epoch
   // detection deltas in the report.
   std::uint64_t fraud_at_epoch_start = 0;
+  std::uint64_t doppler_rejections_at_epoch_start = 0;
+  std::uint64_t rf_violations_at_epoch_start = 0;
+
+  // RF layer, present only after Campaign::arm_rf: the spectrum plan carved
+  // over the consortium, the interference environment built from the book's
+  // jamming/squatting masks, and the Doppler-track sophistication forgers
+  // fabricate at.
+  struct RfState {
+    rf::SpectrumConfig spectrum;
+    rf::SpectrumPlan plan;
+    rf::InterferenceEnvironment environment;
+    rf::ForgeryLevel forgery_level = rf::ForgeryLevel::kFlatTone;
+  };
+  std::optional<RfState> rf;
 
   AdversaryHarness(adversary::BehaviorBook b, adversary::AuditConfig audit_config,
                    adversary::QuarantineConfig quarantine_config, std::size_t party_count)
@@ -50,6 +66,26 @@ namespace {
   throw std::logic_error("Campaign: not armed (call arm_adversaries first)");
 }
 }  // namespace
+
+void Campaign::arm_rf(rf::SpectrumConfig spectrum, rf::ForgeryLevel forgery_level) {
+  if (harness_ == nullptr) throw_unarmed();
+  rf::SpectrumPlan plan =
+      rf::SpectrumPlan::equal_partition(spectrum, consortium_.parties().size());
+  rf::InterferenceEnvironment environment(spectrum, plan,
+                                          harness_->book.jamming_mask(),
+                                          harness_->book.squatting_mask());
+  harness_->rf.emplace(AdversaryHarness::RfState{spectrum, std::move(plan),
+                                                 std::move(environment), forgery_level});
+}
+
+bool Campaign::rf_armed() const noexcept {
+  return harness_ != nullptr && harness_->rf.has_value();
+}
+
+const rf::InterferenceEnvironment* Campaign::rf_environment() const noexcept {
+  if (harness_ == nullptr || !harness_->rf.has_value()) return nullptr;
+  return &harness_->rf->environment;
+}
 
 const adversary::BehaviorBook& Campaign::behavior_book() const {
   if (harness_ == nullptr) throw_unarmed();
@@ -146,7 +182,16 @@ EpochReport Campaign::run_epoch_impl(util::ThreadPool* pool, sim::RunContext* co
     harness_->auditor.set_metrics(context != nullptr ? &context->metrics() : nullptr);
     harness_->quarantine.set_metrics(context != nullptr ? &context->metrics() : nullptr);
     harness_->auditor.set_audit_grid(grid);
-    harness_->fraud_at_epoch_start = harness_->auditor.totals().fraud_total();
+    const adversary::PartyAuditStats audit_totals = harness_->auditor.totals();
+    harness_->fraud_at_epoch_start = audit_totals.fraud_total();
+    harness_->doppler_rejections_at_epoch_start = audit_totals.rf_doppler_rejections;
+    harness_->rf_violations_at_epoch_start = audit_totals.rf_interference_violations;
+    // RF: an armed environment with at least one active jammer/squatter feeds
+    // the scheduler's post-grant degradation; otherwise the config keeps its
+    // null default and the run is bit-identical to the pre-RF scheduler.
+    if (harness_->rf.has_value() && harness_->rf->environment.any_interferer()) {
+      scheduler_config.rf = &harness_->rf->environment;
+    }
     // Spare-commons governance for this epoch: quarantine sanctions from
     // prior epochs and the book's withholding fractions. Both vectors stay
     // absent when all-trivial, so an armed campaign with an empty book runs
@@ -176,6 +221,19 @@ EpochReport Campaign::run_epoch_impl(util::ThreadPool* pool, sim::RunContext* co
 
   // 3. Proof-of-coverage spot checks: each party's terminals challenge
   // random registered satellites at random times in the epoch.
+  const bool doppler_audit =
+      harness_ != nullptr && harness_->auditor.config().doppler.enabled;
+  std::vector<double> doppler_offsets;
+  std::optional<util::Xoshiro256PlusPlus> doppler_rng;
+  if (doppler_audit) {
+    doppler_offsets = harness_->auditor.config().doppler.sample_offsets_s();
+    // Honest measurement noise draws from a dedicated (book seed, epoch)
+    // stream, never from rng_ — the honest challenge schedule stays invariant
+    // whether or not the Doppler stage is on.
+    doppler_rng.emplace(util::Xoshiro256PlusPlus(harness_->book.seed())
+                            .split(0x0DDF)
+                            .split(next_epoch_));
+  }
   for (std::size_t ti = 0; ti < terminals_.size(); ++ti) {
     for (std::size_t c = 0; c < config_.poc_challenges_per_party_per_epoch; ++c) {
       if (registered_satellite_ids_.empty()) break;
@@ -195,6 +253,28 @@ EpochReport Campaign::run_epoch_impl(util::ThreadPool* pool, sim::RunContext* co
         }
       }
       if (owner == constellation::Satellite::kUnowned) continue;  // withdrawn
+      // With the Doppler stage on, the honest verifier also measures the RF
+      // track of its own challenge: the ephemeris prediction plus receiver
+      // noise, over whatever part of the sample window the pass covers.
+      rf::DopplerObservation observation;
+      const rf::DopplerObservation* track = nullptr;
+      if (doppler_audit) {
+        const rf::DopplerAuditConfig& dcfg = harness_->auditor.config().doppler;
+        const auto predicted = poc_.doppler_track(receipt.satellite, receipt.verifier,
+                                                  receipt.time, dcfg.carrier_hz,
+                                                  doppler_offsets);
+        observation.carrier_hz = dcfg.carrier_hz;
+        std::vector<double> truth;
+        observation.offsets_s.reserve(predicted.size());
+        truth.reserve(predicted.size());
+        for (const auto& point : predicted) {
+          observation.offsets_s.push_back(point.offset_s);
+          truth.push_back(point.doppler_hz);
+        }
+        observation.doppler_hz =
+            rf::observe_doppler_track(truth, dcfg.measurement_noise_hz, *doppler_rng);
+        track = &observation;
+      }
       // Armed campaigns route the same credit decision through the audit
       // engine (identical verdicts and ledger entries; the auditor adds the
       // per-party evidence trail the quarantine ladder runs on).
@@ -202,7 +282,8 @@ EpochReport Campaign::run_epoch_impl(util::ThreadPool* pool, sim::RunContext* co
           harness_ != nullptr
               ? harness_->auditor.audit_and_credit(poc_, receipt, owner, ledger_,
                                                    accounts_[owner],
-                                                   adversary::ReceiptProvenance::kChallenge)
+                                                   adversary::ReceiptProvenance::kChallenge,
+                                                   track)
               : poc_.verify_and_reward(receipt, ledger_, accounts_[owner]);
       if (verdict == ReceiptVerdict::kValid) {
         ++report.poc_valid;
@@ -279,6 +360,25 @@ void Campaign::inject_adversary_behavior(const orbit::TimeGrid& grid,
   AdversaryEpochSummary summary;
   const std::size_t party_count = consortium_.parties().size();
 
+  // RF plan violations attributed by the scheduler's interference accounting
+  // become audit evidence before the quarantine ladder runs. Continuous
+  // off-plan emission is observable at every victim terminal, so detection
+  // within the epoch is a certainty — a boosted jammer yields two independent
+  // direction-finding fixes, a quieter squatter one.
+  if (usage.rf.has_value()) {
+    for (PartyId party = 0;
+         party < party_count && party < usage.rf->violation_inr_by_party.size();
+         ++party) {
+      const double inr = usage.rf->violation_inr_by_party[party];
+      if (inr <= 0.0) continue;
+      const bool jams = h.rf.has_value() && h.rf->environment.jams(party);
+      h.auditor.record_interference_violations(party, jams ? 2 : 1, inr);
+    }
+    summary.rf_nominal_bps = usage.rf->nominal_bps_total;
+    summary.rf_capacity_lost_bps =
+        usage.rf->nominal_bps_total - usage.rf->realized_bps_total;
+  }
+
   // Registration indices (into satellite_keys_) of each party's still-active
   // satellites: the keys an insider forger actually holds.
   std::vector<std::vector<std::size_t>> party_regs(party_count);
@@ -336,6 +436,61 @@ void Campaign::inject_adversary_behavior(const orbit::TimeGrid& grid,
           const std::uint32_t verifier =
               verifier_ids_[rng.uniform_index(verifier_ids_.size())];
           const cov::StepMask overhead = poc_.overhead_steps(sat_id, verifier, grid);
+          if (h.auditor.config().doppler.enabled) {
+            // RF-era forgery: the insider signs a receipt for a step the
+            // geometry DOES support (it holds the key and the ephemeris) and
+            // fabricates the accompanying Doppler track at the armed
+            // sophistication. Digest and geometry both pass; only the track
+            // fit can catch it.
+            std::size_t rf_step = rng.uniform_index(grid.count);
+            bool overhead_found = false;
+            for (std::size_t probe = 0; probe < grid.count; ++probe) {
+              const std::size_t s = (rf_step + probe) % grid.count;
+              if (overhead.test(s)) {
+                rf_step = s;
+                overhead_found = true;
+                break;
+              }
+            }
+            if (overhead_found) {
+              const CoverageReceipt forged = ProofOfCoverage::answer_challenge(
+                  sat_id, satellite_keys_[ri], verifier, grid.at(rf_step), rng.next());
+              const rf::DopplerAuditConfig& dcfg = h.auditor.config().doppler;
+              const auto predicted = poc_.doppler_track(
+                  sat_id, verifier, forged.time, dcfg.carrier_hz, dcfg.sample_offsets_s());
+              rf::DopplerObservation fabricated;
+              fabricated.carrier_hz = dcfg.carrier_hz;
+              std::vector<double> truth;
+              for (const auto& point : predicted) {
+                fabricated.offsets_s.push_back(point.offset_s);
+                truth.push_back(point.doppler_hz);
+              }
+              // Fabricated magnitudes stay inside the physical Doppler
+              // envelope at the satellite's altitude — the forger is not
+              // naive about scale, only (below kEphemerisExact) about shape.
+              double altitude_m = 550e3;
+              for (const constellation::Satellite& sat : sats) {
+                if (sat.id == sat_id) {
+                  altitude_m = sat.elements.semi_major_axis_m - util::kEarthMeanRadiusM;
+                  break;
+                }
+              }
+              const rf::ForgeryLevel level =
+                  h.rf.has_value() ? h.rf->forgery_level : rf::ForgeryLevel::kFlatTone;
+              fabricated.doppler_hz = rf::forge_doppler_track(
+                  level, truth, cov::max_doppler_bound_hz(altitude_m, dcfg.carrier_hz),
+                  rng);
+              (void)h.auditor.audit_and_credit(poc_, forged, party, ledger_,
+                                               accounts_[party],
+                                               adversary::ReceiptProvenance::kSubmission,
+                                               &fabricated);
+              ++summary.receipts_injected;
+              ++summary.rf_forgeries_injected;
+              continue;
+            }
+            // Satellite never overhead for this verifier: fall through to the
+            // classic geometric forgery below.
+          }
           std::size_t step = rng.uniform_index(grid.count);
           bool gap_found = false;
           for (std::size_t probe = 0; probe < grid.count; ++probe) {
@@ -379,6 +534,12 @@ void Campaign::inject_adversary_behavior(const orbit::TimeGrid& grid,
         // Expressed upstream through SchedulerConfig::spare_withheld_fraction;
         // nothing to inject at settlement time.
         break;
+      case adversary::Behavior::kJamming:
+      case adversary::Behavior::kSpectrumSquatting:
+        // Expressed upstream through the scheduler's interference
+        // environment; the violation evidence was recorded from the
+        // schedule's RF accounting above.
+        break;
       case adversary::Behavior::kHonest:
         break;
     }
@@ -391,8 +552,13 @@ void Campaign::inject_adversary_behavior(const orbit::TimeGrid& grid,
   summary.quarantined_parties = h.quarantine.quarantined_count();
   summary.expelled_parties = h.quarantine.expelled_count();
   summary.slashed_total = h.quarantine.total_slashed();
-  summary.fraud_detected = static_cast<std::size_t>(h.auditor.totals().fraud_total() -
-                                                    h.fraud_at_epoch_start);
+  const adversary::PartyAuditStats totals = h.auditor.totals();
+  summary.fraud_detected =
+      static_cast<std::size_t>(totals.fraud_total() - h.fraud_at_epoch_start);
+  summary.rf_doppler_rejections = static_cast<std::size_t>(
+      totals.rf_doppler_rejections - h.doppler_rejections_at_epoch_start);
+  summary.rf_interference_violations = static_cast<std::size_t>(
+      totals.rf_interference_violations - h.rf_violations_at_epoch_start);
   report.adversary = summary;
 }
 

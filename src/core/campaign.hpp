@@ -29,6 +29,8 @@
 #include "core/proof_of_coverage.hpp"
 #include "net/scheduler.hpp"
 #include "orbit/time.hpp"
+#include "rf/doppler.hpp"
+#include "rf/spectrum_plan.hpp"
 #include "util/deprecated.hpp"
 #include "util/rng.hpp"
 
@@ -63,6 +65,12 @@ struct AdversaryEpochSummary {
   std::size_t quarantined_parties = 0;  // standing at end of epoch
   std::size_t expelled_parties = 0;
   double slashed_total = 0.0;           // cumulative tokens slashed to treasury
+  // RF accounting, all zero unless arm_rf / the Doppler audit stage engaged.
+  std::size_t rf_forgeries_injected = 0;       // overhead-step forgeries with fabricated tracks
+  std::size_t rf_doppler_rejections = 0;       // receipts the track fit rejected, this epoch
+  std::size_t rf_interference_violations = 0;  // plan-violation evidence recorded, this epoch
+  double rf_nominal_bps = 0.0;                 // scheduler granted capacity before interference
+  double rf_capacity_lost_bps = 0.0;           // scheduler nominal - realized under interference
 
   friend bool operator==(const AdversaryEpochSummary&,
                          const AdversaryEpochSummary&) = default;
@@ -124,7 +132,23 @@ class Campaign {
                        adversary::AuditConfig audit_config = {},
                        adversary::QuarantineConfig quarantine_config = {});
 
+  // Arms the RF layer on an already-armed campaign: carves an equal-partition
+  // spectrum plan over the consortium's parties, builds the co-channel
+  // interference environment from the book's jamming/squatting masks (fed to
+  // every subsequent epoch's scheduler), and fixes the sophistication level
+  // Byzantine forgers invest in fabricated Doppler tracks (consumed only when
+  // the audit's Doppler stage is enabled). With no jamming or squatting party
+  // in the book the scheduler never sees the environment, so service output
+  // stays bit-identical to the pre-RF campaign. Throws std::logic_error when
+  // the campaign is not armed, std::invalid_argument on an invalid spectrum
+  // config. Calling again replaces the RF state.
+  void arm_rf(rf::SpectrumConfig spectrum,
+              rf::ForgeryLevel forgery_level = rf::ForgeryLevel::kFlatTone);
+
   [[nodiscard]] bool armed() const noexcept { return harness_ != nullptr; }
+  [[nodiscard]] bool rf_armed() const noexcept;
+  // Null until arm_rf is called.
+  [[nodiscard]] const rf::InterferenceEnvironment* rf_environment() const noexcept;
   // Armed-campaign introspection; each throws std::logic_error when the
   // campaign was never armed.
   [[nodiscard]] const adversary::BehaviorBook& behavior_book() const;

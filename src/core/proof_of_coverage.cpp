@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "coverage/doppler.hpp"
 #include "coverage/visibility_cull.hpp"
 #include "orbit/ephemeris.hpp"
 #include "util/units.hpp"
@@ -32,6 +33,7 @@ const char* to_string(ReceiptVerdict verdict) noexcept {
     case ReceiptVerdict::kUnknownSatellite: return "unknown-satellite";
     case ReceiptVerdict::kUnknownVerifier: return "unknown-verifier";
     case ReceiptVerdict::kDuplicate: return "duplicate";
+    case ReceiptVerdict::kRfImplausible: return "rf-implausible";
   }
   return "?";
 }
@@ -135,6 +137,35 @@ cov::StepMask ProofOfCoverage::overhead_steps(constellation::SatelliteId satelli
   cov::StepMask mask(grid.count);
   culler.fill(table, verifiers_[verifier], mask);
   return mask;
+}
+
+std::vector<ProofOfCoverage::DopplerPoint> ProofOfCoverage::doppler_track(
+    constellation::SatelliteId satellite, std::uint32_t verifier,
+    orbit::TimePoint time, double carrier_hz, std::span<const double> offsets_s) const {
+  const RegisteredSatellite* registered = find(satellite);
+  if (registered == nullptr) {
+    throw std::invalid_argument("ProofOfCoverage: unknown satellite");
+  }
+  if (verifier >= verifiers_.size()) {
+    throw std::invalid_argument("ProofOfCoverage: unknown verifier");
+  }
+  const orbit::TopocentricFrame& site = verifiers_[verifier];
+  const double sin_mask = std::sin(util::deg_to_rad(config_.elevation_mask_deg));
+
+  std::vector<DopplerPoint> track;
+  track.reserve(offsets_s.size());
+  for (const double offset : offsets_s) {
+    const orbit::TimePoint t = time.plus_seconds(offset);
+    const orbit::StateVector state = registered->propagator.state_at(t);
+    const double gmst = orbit::gmst_rad(t);
+    const util::Vec3 r_ecef = orbit::eci_to_ecef(state.position, gmst);
+    if (!site.visible_above(r_ecef, sin_mask)) continue;
+    const cov::RangeRate rr =
+        cov::range_rate_ecef(state.velocity, gmst, r_ecef, site.origin_ecef());
+    track.push_back(
+        {offset, cov::doppler_shift_hz(rr.range_rate_m_per_s, carrier_hz)});
+  }
+  return track;
 }
 
 ReceiptVerdict ProofOfCoverage::verify_and_reward(const CoverageReceipt& receipt,

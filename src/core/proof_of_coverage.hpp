@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "constellation/shell.hpp"
@@ -49,6 +50,7 @@ enum class ReceiptVerdict {
   kUnknownSatellite,
   kUnknownVerifier,
   kDuplicate,        // valid but already credited (double-submission)
+  kRfImplausible,    // Doppler track doesn't match the ephemeris prediction
 };
 
 [[nodiscard]] const char* to_string(ReceiptVerdict verdict) noexcept;
@@ -91,6 +93,24 @@ class ProofOfCoverage {
   [[nodiscard]] cov::StepMask overhead_steps(constellation::SatelliteId satellite,
                                              std::uint32_t verifier,
                                              const orbit::TimeGrid& grid) const;
+
+  // One point of a predicted Doppler track around a claimed contact.
+  struct DopplerPoint {
+    double offset_s = 0.0;    // relative to the claimed contact time
+    double doppler_hz = 0.0;  // predicted shift at the requested carrier
+  };
+
+  // RF grounding for the receipt audit: the Doppler curve the shared
+  // ephemeris kernel predicts for `satellite` as seen from `verifier`,
+  // sampled at `time + offsets_s[i]` on carrier `carrier_hz`. Offsets where
+  // the satellite sits below the verifier's horizon contribute no point (a
+  // real measurement cannot exist there), so tracks truncate naturally at
+  // pass edges. Range-rate goes through cov::range_rate_ecef — the same
+  // kernel the coverage Doppler profiles use. Throws on unknown indices.
+  [[nodiscard]] std::vector<DopplerPoint> doppler_track(
+      constellation::SatelliteId satellite, std::uint32_t verifier,
+      orbit::TimePoint time, double carrier_hz,
+      std::span<const double> offsets_s) const;
 
   // Verifies and, if valid, pays the owner account from the treasury through
   // Ledger::credit_receipt, keyed on the receipt's content hash — an

@@ -10,6 +10,27 @@
 
 namespace mpleo::cov {
 
+RangeRate range_rate_ecef(const util::Vec3& v_eci, double gmst,
+                          const util::Vec3& r_ecef,
+                          const util::Vec3& site_origin_ecef) noexcept {
+  const util::Vec3 omega{0.0, 0.0, util::kEarthRotationRateRadPerSec};
+  // Velocity in the rotating frame: rotate the inertial velocity, then
+  // subtract the frame-rotation term omega x r.
+  const util::Vec3 v_rotated = orbit::eci_to_ecef(v_eci, gmst);
+  const util::Vec3 v_ecef = v_rotated - cross(omega, r_ecef);
+
+  const util::Vec3 rho = r_ecef - site_origin_ecef;
+  RangeRate result;
+  result.range_m = rho.norm();
+  result.range_rate_m_per_s =
+      result.range_m > 0.0 ? dot(v_ecef, rho) / result.range_m : 0.0;
+  return result;
+}
+
+double doppler_shift_hz(double range_rate_m_per_s, double carrier_hz) noexcept {
+  return -range_rate_m_per_s / util::kSpeedOfLightMPerSec * carrier_hz;
+}
+
 std::vector<DopplerSample> doppler_profile(const constellation::Satellite& satellite,
                                            const orbit::EphemerisTable& ephemeris,
                                            const orbit::TopocentricFrame& site,
@@ -21,7 +42,6 @@ std::vector<DopplerSample> doppler_profile(const constellation::Satellite& satel
   spec.backend = backend;
   const orbit::AnyPropagator prop = orbit::make_propagator(spec);
   const double mask_rad = util::deg_to_rad(elevation_mask_deg);
-  const util::Vec3 omega{0.0, 0.0, util::kEarthRotationRateRadPerSec};
 
   // Candidate steps from the shared cull; the full state vector (position +
   // inertial velocity) is only evaluated inside passes.
@@ -44,21 +64,14 @@ std::vector<DopplerSample> doppler_profile(const constellation::Satellite& satel
       const double elevation = site.elevation_rad(r_ecef);
       if (elevation < mask_rad) continue;
 
-      // Velocity in the rotating frame: rotate the inertial velocity, then
-      // subtract the frame-rotation term omega x r.
-      const util::Vec3 v_rotated = orbit::eci_to_ecef(state.velocity, gmst);
-      const util::Vec3 v_ecef = v_rotated - cross(omega, r_ecef);
-
-      const util::Vec3 rho = r_ecef - site.origin_ecef();
-      const double range = rho.norm();
-      const double range_rate = range > 0.0 ? dot(v_ecef, rho) / range : 0.0;
+      const RangeRate rr =
+          range_rate_ecef(state.velocity, gmst, r_ecef, site.origin_ecef());
 
       DopplerSample sample;
       sample.offset_seconds = grid.step_seconds * static_cast<double>(i);
-      sample.range_m = range;
-      sample.range_rate_m_per_s = range_rate;
-      sample.doppler_shift_hz =
-          -range_rate / util::kSpeedOfLightMPerSec * carrier_hz;
+      sample.range_m = rr.range_m;
+      sample.range_rate_m_per_s = rr.range_rate_m_per_s;
+      sample.doppler_shift_hz = doppler_shift_hz(rr.range_rate_m_per_s, carrier_hz);
       sample.elevation_rad = elevation;
       samples.push_back(sample);
     }

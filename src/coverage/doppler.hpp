@@ -21,6 +21,27 @@ struct DopplerSample {
   double elevation_rad = 0.0;
 };
 
+// Range and range-rate of a satellite relative to a ground site, both in the
+// Earth-fixed frame.
+struct RangeRate {
+  double range_m = 0.0;
+  double range_rate_m_per_s = 0.0;  // negative = approaching
+};
+
+// The shared range-rate kernel: rotates the inertial velocity into ECEF,
+// subtracts the frame-rotation term omega x r, and projects onto the line of
+// sight. `r_ecef` must be the ECEF position at the same `gmst` (the caller
+// usually already has it for the elevation check). Every consumer of
+// range-rate — the pass profiles below and the RF receipt audit's predicted
+// Doppler tracks — goes through this one function so they agree bit for bit.
+[[nodiscard]] RangeRate range_rate_ecef(const util::Vec3& v_eci, double gmst,
+                                        const util::Vec3& r_ecef,
+                                        const util::Vec3& site_origin_ecef) noexcept;
+
+// Doppler shift of `carrier_hz` for a line-of-sight `range_rate_m_per_s`
+// (negative range-rate = approaching = positive shift).
+[[nodiscard]] double doppler_shift_hz(double range_rate_m_per_s, double carrier_hz) noexcept;
+
 // Samples range, range-rate and Doppler at every grid step where the
 // satellite is above `elevation_mask_deg`. Range-rate is computed from the
 // true relative velocity in the Earth-fixed frame (satellite inertial

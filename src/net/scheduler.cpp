@@ -325,6 +325,60 @@ struct DetachState {
   }
 };
 
+// Post-grant RF degradation (config.rf armed with active interferers). Link
+// SELECTION already happened on nominal capacities — beam grants and their
+// ordering are untouched, so growing the jam set can only degrade honest
+// capacity, never reshuffle grants (the CRN sweep monotonicity carries
+// through). Each granted link maps its nominal capacity to an effective SNR
+// over the plan's reference bandwidth, divides by one plus the aggregate
+// interference-to-noise of every plan-violating emission in view of the
+// victim terminal, and maps back; capacity is only overwritten when some
+// interference actually arrived (INR > 0), keeping clean links bit-identical
+// through the Shannon round-trip's rounding.
+void apply_rf_step(const rf::InterferenceEnvironment& env,
+                   std::span<const util::Vec3> positions,
+                   std::span<const Terminal> terminals,
+                   std::span<const constellation::Satellite> satellites,
+                   std::span<const orbit::TopocentricFrame> terminal_frames,
+                   std::span<const HopEvaluator> jam_hops, double sin_mask,
+                   StepSchedule& schedule, rf::RfLinkStats& stats) {
+  const double band = env.reference_bandwidth_hz();
+  for (LinkAssignment& link : schedule.links) {
+    const std::size_t ti = link.terminal_index;
+    const std::uint32_t victim = terminals[ti].owner_party;
+    const double nominal = link.capacity_bps;
+    double inr_total = 0.0;
+    // Owner-attributed continuous emission: every satellite of a jamming or
+    // squatting party radiates off-plan whenever it is above the victim's
+    // horizon (a bent pipe repeats constantly), at the transponder's
+    // transmit EIRP scaled by the environment's coupling factor.
+    for (std::size_t si = 0; si < satellites.size(); ++si) {
+      const std::uint32_t owner = satellites[si].owner_party;
+      if (owner == constellation::Satellite::kUnowned) continue;
+      if (!env.jams(owner) && !env.squats(owner)) continue;
+      const double coupling = env.coupling(owner, victim);
+      if (coupling <= 0.0) continue;
+      const util::Vec3& pos = positions[si];
+      if (!terminal_frames[ti].visible_above(pos, sin_mask)) continue;
+      const double inr =
+          coupling * jam_hops[ti].snr_linear(terminal_frames[ti].range_m(pos));
+      inr_total += inr;
+      stats.violation_inr_by_party[owner] += inr;
+    }
+    double realized = nominal;
+    if (inr_total > 0.0) {
+      const double snr_eff = std::exp2(nominal / band) - 1.0;
+      realized = band * std::log2(1.0 + snr_eff / (1.0 + inr_total));
+      link.capacity_bps = realized;
+      ++stats.degraded_links;
+    }
+    stats.nominal_bps_by_party[victim] += nominal;
+    stats.realized_bps_by_party[victim] += realized;
+    stats.nominal_bps_total += nominal;
+    stats.realized_bps_total += realized;
+  }
+}
+
 // Folds one step's schedule into the per-party aggregates.
 void accumulate_step(const StepSchedule& schedule, std::span<const Terminal> terminals,
                      std::span<const constellation::Satellite> satellites, double dt_step,
@@ -723,6 +777,22 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
   std::vector<std::vector<StepCandidates>> wave(wave_slots);
   std::vector<FillScratch> scratch(wave_slots);
 
+  // RF interference is applied post-grant, symmetrically with run_reference.
+  const bool rf_active = config_.rf != nullptr && config_.rf->any_interferer();
+  std::vector<HopEvaluator> jam_hops;
+  std::vector<util::Vec3> rf_positions;
+  if (rf_active) {
+    result.rf.emplace();
+    result.rf->nominal_bps_by_party.assign(party_count, 0.0);
+    result.rf->realized_bps_by_party.assign(party_count, 0.0);
+    result.rf->violation_inr_by_party.assign(party_count, 0.0);
+    jam_hops.reserve(term_count);
+    for (const Terminal& terminal : terminals_) {
+      jam_hops.push_back(HopEvaluator::make(config_.transponder.transmit, terminal.radio));
+    }
+    rf_positions.resize(sat_count);
+  }
+
   DetachState detach(term_count);
   const double dt_step = grid.step_seconds;
   rm.wave_slots.set(static_cast<double>(wave_slots));
@@ -766,6 +836,13 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
             metrics != nullptr ? &beam_rejections : nullptr,
             metrics != nullptr ? &withheld_rejections : nullptr);
         if (faulted) detach.post_step(schedule);
+        if (rf_active) {
+          for (std::size_t si = 0; si < sat_count; ++si) {
+            rf_positions[si] = eph.table(si).position_ecef(step);
+          }
+          apply_rf_step(*config_.rf, rf_positions, terminals_, satellites_,
+                        terminal_frames_, jam_hops, sin_mask_, schedule, *result.rf);
+        }
         accumulate_step(schedule, terminals_, satellites_, dt_step, result);
         links_granted += schedule.links.size();
         if (keep_steps) result.steps.push_back(std::move(schedule));
@@ -802,6 +879,19 @@ ScheduleResult BentPipeScheduler::run_reference(const orbit::TimeGrid& grid,
   const bool faulted = faults != nullptr && !faults->empty();
   DetachState detach(terminals_.size());
 
+  const bool rf_active = config_.rf != nullptr && config_.rf->any_interferer();
+  std::vector<HopEvaluator> jam_hops;
+  if (rf_active) {
+    result.rf.emplace();
+    result.rf->nominal_bps_by_party.assign(party_count, 0.0);
+    result.rf->realized_bps_by_party.assign(party_count, 0.0);
+    result.rf->violation_inr_by_party.assign(party_count, 0.0);
+    jam_hops.reserve(terminals_.size());
+    for (const Terminal& terminal : terminals_) {
+      jam_hops.push_back(HopEvaluator::make(config_.transponder.transmit, terminal.radio));
+    }
+  }
+
   for (std::size_t step = 0; step < grid.count; ++step) {
     for (std::size_t si = 0; si < satellites_.size(); ++si) {
       positions[si] = eph.table(si).position_ecef(step);
@@ -814,6 +904,10 @@ ScheduleResult BentPipeScheduler::run_reference(const orbit::TimeGrid& grid,
     StepSchedule schedule = faulted ? schedule_step(positions, step, faults, detach.blocked)
                                     : schedule_step(positions, step);
     if (faulted) detach.post_step(schedule);
+    if (rf_active) {
+      apply_rf_step(*config_.rf, positions, terminals_, satellites_, terminal_frames_,
+                    jam_hops, sin_mask_, schedule, *result.rf);
+    }
     accumulate_step(schedule, terminals_, satellites_, dt_step, result);
     if (keep_steps) result.steps.push_back(std::move(schedule));
   }

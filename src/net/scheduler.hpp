@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "net/terminal.hpp"
 #include "orbit/ephemeris.hpp"
 #include "orbit/time.hpp"
+#include "rf/interference.hpp"
 
 namespace mpleo::fault {
 class FaultTimeline;
@@ -84,6 +86,14 @@ struct SchedulerConfig {
   //    beyond the vector withhold nothing.
   std::vector<std::uint8_t> spare_exclude_party;
   std::vector<double> spare_withheld_fraction;
+  // Co-channel interference environment (non-owning; must outlive the
+  // scheduler's runs). Null by default — and with a null or interferer-free
+  // environment every run is bit-identical to the pre-RF scheduler. When
+  // armed with active jammers/squatters, link SELECTION is unchanged (beam
+  // grants run on nominal capacities), but each granted link's capacity is
+  // degraded post-grant by the aggregate interference-to-noise at the victim
+  // terminal, and the accounting lands in ScheduleResult::rf.
+  const rf::InterferenceEnvironment* rf = nullptr;
   // Orbit propagation backend for the shared ephemeris fill. One knob for
   // every run path — run(), run(context) and run_reference() all propagate
   // through it, so the pipeline/reference bit-identity contract holds for
@@ -135,6 +145,10 @@ struct ScheduleResult {
   // out the re-acquisition backoff after such a drop.
   std::size_t failure_forced_detaches = 0;
   double reacquisition_wait_seconds = 0.0;
+  // RF accounting, engaged only when the config carries an interference
+  // environment with at least one active jammer/squatter (so RF-clean runs
+  // compare equal to pre-RF results).
+  std::optional<rf::RfLinkStats> rf;
 
   friend bool operator==(const ScheduleResult&, const ScheduleResult&) = default;
 };

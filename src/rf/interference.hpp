@@ -1,0 +1,84 @@
+// Co-channel interference (§4 "Spectrum access"): turns spectrum-plan
+// violations into capacity loss. Honest parties sit on disjoint channels, so
+// cross-party coupling is zero by construction and the clean path stays
+// bit-identical. A jamming or spectrum-squatting party radiates onto every
+// victim channel; the environment precomputes one coupling factor per
+// (interferer, victim) pair, and the scheduler folds the resulting
+// interference-to-noise ratios into each granted link's SINR.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rf/spectrum_plan.hpp"
+
+namespace mpleo::rf {
+
+// Precomputed interference geometry over the spectrum plan for one epoch's
+// behavior masks. Coupling(interferer -> victim) multiplies the interferer's
+// received carrier power at the victim terminal:
+//   overlap_fraction * 10^(-off_axis_discrimination_db/10) [* jammer boost].
+// On-plan parties overlap nobody, so their coupling row is zero; jammers and
+// squatters transmit across the whole downlink segment (overlap = 1), with
+// jammers additionally boosted by jammer_power_boost_db.
+class InterferenceEnvironment {
+ public:
+  // `jamming_mask` / `squatting_mask` are per-party flags (Byzantine behavior
+  // assignment for the epoch); shorter masks are treated as false-padded.
+  // Throws std::invalid_argument (joined issues) on an invalid config.
+  InterferenceEnvironment(const SpectrumConfig& config, const SpectrumPlan& plan,
+                          const std::vector<bool>& jamming_mask,
+                          const std::vector<bool>& squatting_mask);
+
+  [[nodiscard]] std::size_t party_count() const noexcept { return parties_; }
+  [[nodiscard]] bool jams(std::uint32_t party) const noexcept;
+  [[nodiscard]] bool squats(std::uint32_t party) const noexcept;
+  // True when any party is jamming or squatting: the scheduler's fast path
+  // skips all RF work when this is false.
+  [[nodiscard]] bool any_interferer() const noexcept { return any_interferer_; }
+
+  // Power coupling factor of `interferer`'s emission into `victim`'s channel;
+  // zero for self and for any on-plan pair.
+  [[nodiscard]] double coupling(std::uint32_t interferer, std::uint32_t victim) const noexcept;
+
+  // True when nonzero coupling between distinct parties exists because the
+  // interferer left its assigned channel — the attributable evidence the
+  // auditor records against jammers and squatters.
+  [[nodiscard]] bool violates_plan(std::uint32_t interferer, std::uint32_t victim) const noexcept;
+
+  // Bandwidth used to convert a granted link's capacity into an effective
+  // SNR and back (the per-party channel width of the plan's config).
+  [[nodiscard]] double reference_bandwidth_hz() const noexcept {
+    return reference_bandwidth_hz_;
+  }
+
+ private:
+  std::size_t parties_ = 0;
+  bool any_interferer_ = false;
+  double reference_bandwidth_hz_ = 0.0;
+  std::vector<double> coupling_;  // row-major [interferer * parties_ + victim]
+  std::vector<bool> jams_;
+  std::vector<bool> squats_;
+};
+
+// Per-run RF accounting the scheduler attaches to its result when a spectrum
+// config is armed. All vectors are indexed by party.
+struct RfLinkStats {
+  // Granted downlink capacity before / after co-channel degradation, summed
+  // over every scheduled step, by the served (victim) party.
+  std::vector<double> nominal_bps_by_party;
+  std::vector<double> realized_bps_by_party;
+  // Interference-to-noise ratio each interfering party injected across all
+  // victim links while violating the plan (linear, summed); the auditor turns
+  // nonzero entries into fraud evidence.
+  std::vector<double> violation_inr_by_party;
+  // Number of granted links whose capacity was actually degraded (INR > 0).
+  std::size_t degraded_links = 0;
+  double nominal_bps_total = 0.0;
+  double realized_bps_total = 0.0;
+
+  bool operator==(const RfLinkStats&) const = default;
+};
+
+}  // namespace mpleo::rf

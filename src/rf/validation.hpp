@@ -1,0 +1,30 @@
+// Structured RF configuration validation, mirroring the TleFieldIssue
+// pattern: every field problem found is collected (not just the first), so an
+// operator fixing a config sees the whole damage report in one pass. Config
+// owners expose `validate()` returning the issue list; constructing a
+// component from an invalid config throws with every issue joined into the
+// message (see rf::throw_if_invalid).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mpleo::rf {
+
+struct RfConfigIssue {
+  std::string field;    // e.g. "doppler.rms_tolerance_hz", "spectrum.band"
+  std::string message;  // human-readable reason, includes the offending value
+};
+
+// Joins issues into one multi-line message: "<context>: N invalid field(s)"
+// followed by one "  field: message" line per issue. Empty issues -> "".
+[[nodiscard]] std::string format_issues(const std::string& context,
+                                        const std::vector<RfConfigIssue>& issues);
+
+// Throws std::invalid_argument carrying format_issues(...) when any issue is
+// present; no-op on an empty list.
+void throw_if_invalid(const std::string& context,
+                      const std::vector<RfConfigIssue>& issues);
+
+}  // namespace mpleo::rf

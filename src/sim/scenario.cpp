@@ -42,10 +42,21 @@ AdversaryMode parse_adversary_mode(std::string_view value) {
   if (value == "misreport") return AdversaryMode::kMisreport;
   if (value == "collude") return AdversaryMode::kCollude;
   if (value == "mixed") return AdversaryMode::kMixed;
+  if (value == "jamming") return AdversaryMode::kJamming;
+  if (value == "spectrum_squat") return AdversaryMode::kSpectrumSquat;
   throw std::invalid_argument(
       "invalid value for --adversary=: '" + std::string(value) +
-      "' (valid: off, forge, inflate, withhold, misreport, collude, mixed)\nvalid flags:\n" +
+      "' (valid: off, forge, inflate, withhold, misreport, collude, mixed, jamming, "
+      "spectrum_squat)\nvalid flags:\n" +
       flag_help());
+}
+
+bool parse_on_off(std::string_view value, const char* flag) {
+  if (value == "on") return true;
+  if (value == "off") return false;
+  throw std::invalid_argument("invalid value for " + std::string(flag) + "=: '" +
+                              std::string(value) + "' (valid: on, off)\nvalid flags:\n" +
+                              flag_help());
 }
 
 // The single source of truth for the flag set: the parser dispatches on it
@@ -98,8 +109,8 @@ constexpr FlagSpec kFlags[] = {
      "orbit propagation backend: j2_analytic|sgp4 (default j2_analytic)",
      [](Scenario& s, std::string_view v) { s.propagator = parse_backend(v); }},
     {"--adversary=",
-     "Byzantine behavior mode: off|forge|inflate|withhold|misreport|collude|mixed "
-     "(default off)",
+     "Byzantine behavior mode: off|forge|inflate|withhold|misreport|collude|mixed|"
+     "jamming|spectrum_squat (default off)",
      [](Scenario& s, std::string_view v) { s.adversary_mode = parse_adversary_mode(v); }},
     {"--adversary-fraction=", "fraction of parties turned Byzantine, in [0,1] (default 0.25)",
      [](Scenario& s, std::string_view v) {
@@ -112,6 +123,12 @@ constexpr FlagSpec kFlags[] = {
     {"--adversary-seed=", "seed for the Byzantine behavior book (default 1042)",
      [](Scenario& s, std::string_view v) {
        s.adversary_seed = static_cast<std::uint64_t>(to_double(v, "--adversary-seed"));
+     }},
+    {"--rf=", "spectrum plan + co-channel interference model: on|off (default off)",
+     [](Scenario& s, std::string_view v) { s.rf = parse_on_off(v, "--rf"); }},
+    {"--audit-doppler=", "Doppler-track fit stage of the receipt audit: on|off (default off)",
+     [](Scenario& s, std::string_view v) {
+       s.audit_doppler = parse_on_off(v, "--audit-doppler");
      }},
 };
 
@@ -170,6 +187,8 @@ const char* to_string(AdversaryMode mode) noexcept {
     case AdversaryMode::kMisreport: return "misreport";
     case AdversaryMode::kCollude: return "collude";
     case AdversaryMode::kMixed: return "mixed";
+    case AdversaryMode::kJamming: return "jamming";
+    case AdversaryMode::kSpectrumSquat: return "spectrum_squat";
   }
   return "unknown";
 }
@@ -195,6 +214,8 @@ std::string describe(const Scenario& scenario) {
        << " fraction=" << scenario.adversary_fraction
        << " intensity=" << scenario.adversary_intensity;
   }
+  if (scenario.rf) os << " rf=on";
+  if (scenario.audit_doppler) os << " audit-doppler=on";
   return os.str();
 }
 

@@ -23,6 +23,10 @@ enum class AdversaryMode : std::uint8_t {
   kMisreport,  // inflated SLA claims at settlement
   kCollude,    // coalition receipt forgery
   kMixed,      // round-robin over all of the above
+  // RF misbehavior (not part of kMixed — these degrade the physical layer
+  // instead of forging claims, so they get their own sweep axis):
+  kJamming,       // boosted wideband interference across the shared band
+  kSpectrumSquat, // transmission outside the assigned channel at nominal power
 };
 
 [[nodiscard]] const char* to_string(AdversaryMode mode) noexcept;
@@ -47,6 +51,12 @@ struct Scenario {
   double adversary_fraction = 0.25;
   double adversary_intensity = 1.0;
   std::uint64_t adversary_seed = 1042;
+  // RF layer knobs (both default off — an RF-disabled run is bit-identical
+  // to the pre-RF code path). `rf` arms the spectrum plan and co-channel
+  // interference model in adversary-aware benches; `audit_doppler` arms the
+  // Doppler-track fit stage of the receipt audit.
+  bool rf = false;
+  bool audit_doppler = false;
   // Orbit propagation backend for every ephemeris consumer reached through
   // RunContext (coverage, scheduler, proof-of-coverage). The default is the
   // fast analytic model; sgp4 trades throughput for TLE-grade fidelity.

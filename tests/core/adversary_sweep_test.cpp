@@ -84,5 +84,106 @@ TEST(AdversarySweep, ValidatesConfig) {
   EXPECT_THROW((void)adversary_sweep(config, context), std::invalid_argument);
 }
 
+RfSweepConfig tiny_rf_config() {
+  RfSweepConfig rf;
+  rf.doppler_trials = 16;
+  rf.jammer_fractions = {0.0, 0.5};
+  return rf;
+}
+
+TEST(RfAdversarySweep, DetectsGatedForgeriesAndSparesHonestTracks) {
+  sim::RunContext context;
+  const RfSweepResult result =
+      rf_adversary_sweep(tiny_config(), tiny_rf_config(), context);
+
+  // One point per forgery sophistication level, ladder order.
+  ASSERT_EQ(result.doppler.size(), 4u);
+  EXPECT_EQ(result.doppler[0].level, rf::ForgeryLevel::kFlatTone);
+  EXPECT_EQ(result.doppler[3].level, rf::ForgeryLevel::kEphemerisExact);
+  for (const RfDopplerPoint& p : result.doppler) {
+    EXPECT_EQ(p.gated, rf::detectable(p.level));
+    EXPECT_EQ(p.forged_submitted, 16u);
+    EXPECT_EQ(p.honest_submitted, 16u);
+    // The acceptance gate in miniature: every gated level fully detected,
+    // zero honest tracks flagged anywhere.
+    if (p.gated) {
+      EXPECT_EQ(p.forged_rejected, p.forged_submitted) << rf::to_string(p.level);
+      EXPECT_DOUBLE_EQ(p.detection_rate, 1.0);
+    }
+    EXPECT_EQ(p.honest_flagged, 0u) << rf::to_string(p.level);
+  }
+  // The blind spot stays blind: an ephemeris-exact forger passes the fit.
+  EXPECT_EQ(result.doppler[3].forged_rejected, 0u);
+
+  // Jamming axis: the 0-fraction anchor is undegraded; jammers bleed
+  // capacity monotonically and every one of them is attributed.
+  ASSERT_EQ(result.jamming.size(), 2u);
+  EXPECT_EQ(result.jamming[0].jamming_parties, 0u);
+  EXPECT_DOUBLE_EQ(result.jamming[0].honest_welfare, 1.0);
+  EXPECT_EQ(result.jamming[0].violations_detected, 0u);
+  // With nobody jamming the scheduler never engages the RF accounting at
+  // all (the bit-identity contract), so the anchor reports no RF capacity.
+  EXPECT_DOUBLE_EQ(result.jamming[0].capacity_nominal_bps, 0.0);
+  EXPECT_DOUBLE_EQ(result.jamming[0].capacity_realized_bps, 0.0);
+  EXPECT_EQ(result.jamming[1].jamming_parties, 2u);
+  EXPECT_GT(result.jamming[1].capacity_nominal_bps, 0.0);
+  EXPECT_LT(result.jamming[1].capacity_realized_bps,
+            result.jamming[1].capacity_nominal_bps);
+  EXPECT_LT(result.jamming[1].honest_welfare, 1.0);
+  EXPECT_GE(result.jamming[1].violations_detected,
+            result.jamming[1].jamming_parties);
+
+  EXPECT_EQ(context.metrics().counter_value("rf_sweep.forged_submitted"), 4u * 16u);
+  EXPECT_EQ(context.metrics().counter_value("rf_sweep.honest_flagged"), 0u);
+  EXPECT_EQ(context.metrics().counter_value("rf_sweep.jamming_points"), 2u);
+}
+
+TEST(RfAdversarySweep, DeterministicAcrossRuns) {
+  sim::RunContext a;
+  sim::RunContext b;
+  const RfSweepResult first = rf_adversary_sweep(tiny_config(), tiny_rf_config(), a);
+  const RfSweepResult second = rf_adversary_sweep(tiny_config(), tiny_rf_config(), b);
+  ASSERT_EQ(first.doppler.size(), second.doppler.size());
+  for (std::size_t i = 0; i < first.doppler.size(); ++i) {
+    EXPECT_EQ(first.doppler[i].forged_rejected, second.doppler[i].forged_rejected);
+    EXPECT_EQ(first.doppler[i].honest_flagged, second.doppler[i].honest_flagged);
+  }
+  ASSERT_EQ(first.jamming.size(), second.jamming.size());
+  for (std::size_t i = 0; i < first.jamming.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first.jamming[i].capacity_realized_bps,
+                     second.jamming[i].capacity_realized_bps);
+    EXPECT_EQ(first.jamming[i].violations_detected,
+              second.jamming[i].violations_detected);
+  }
+}
+
+TEST(RfAdversarySweep, ValidatesRfConfig) {
+  sim::RunContext context;
+  RfSweepConfig rf = tiny_rf_config();
+  rf.doppler_trials = 0;
+  EXPECT_THROW((void)rf_adversary_sweep(tiny_config(), rf, context),
+               std::invalid_argument);
+
+  rf = tiny_rf_config();
+  rf.doppler.rms_tolerance_hz = -1.0;
+  EXPECT_THROW((void)rf_adversary_sweep(tiny_config(), rf, context),
+               std::invalid_argument);
+
+  rf = tiny_rf_config();
+  rf.jammer_fractions = {0.5, 0.25};  // must be non-decreasing
+  EXPECT_THROW((void)rf_adversary_sweep(tiny_config(), rf, context),
+               std::invalid_argument);
+
+  rf = tiny_rf_config();
+  rf.jammer_fractions = {1.5};  // not a fraction
+  EXPECT_THROW((void)rf_adversary_sweep(tiny_config(), rf, context),
+               std::invalid_argument);
+
+  rf = tiny_rf_config();
+  rf.spectrum.channel_bandwidth_hz = -1.0;
+  EXPECT_THROW((void)rf_adversary_sweep(tiny_config(), rf, context),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mpleo::core

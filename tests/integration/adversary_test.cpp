@@ -212,5 +212,131 @@ TEST_F(AdversaryCampaignFixture, AccessorsThrowWhenUnarmed) {
   EXPECT_THROW((void)campaign.adversary_reputation(), std::logic_error);
 }
 
+TEST_F(AdversaryCampaignFixture, ArmRfRequiresAnArmedCampaign) {
+  Campaign campaign = make_campaign();
+  EXPECT_FALSE(campaign.rf_armed());
+  EXPECT_EQ(campaign.rf_environment(), nullptr);
+  EXPECT_THROW(campaign.arm_rf(rf::SpectrumConfig{}), std::logic_error);
+
+  campaign.arm_adversaries(adversary::BehaviorBook());
+  rf::SpectrumConfig bad;
+  bad.channel_bandwidth_hz = -1.0;
+  EXPECT_THROW(campaign.arm_rf(bad), std::invalid_argument);
+
+  campaign.arm_rf(rf::SpectrumConfig{});
+  EXPECT_TRUE(campaign.rf_armed());
+  ASSERT_NE(campaign.rf_environment(), nullptr);
+  // An all-honest book has nothing to jam with: the scheduler never sees the
+  // environment.
+  EXPECT_FALSE(campaign.rf_environment()->any_interferer());
+}
+
+TEST_F(AdversaryCampaignFixture, RfOverEmptyBookIsBitIdenticalToPlain) {
+  // Arming the RF layer over a book with no jammer or squatter must leave
+  // every epoch bit-identical to the never-armed campaign: the spectrum
+  // partition is disjoint, so the clean path never engages.
+  sim::RunContext context;
+  Campaign plain = make_campaign();
+  Campaign armed = make_campaign();
+  armed.arm_adversaries(adversary::BehaviorBook());
+  armed.arm_rf(rf::SpectrumConfig{});
+  for (int e = 0; e < 2; ++e) {
+    const EpochReport rp = plain.run_epoch(context);
+    const EpochReport ra = armed.run_epoch(context);
+    EXPECT_EQ(rp.usage, ra.usage);
+    EXPECT_EQ(rp.balances, ra.balances);
+    ASSERT_TRUE(ra.adversary.has_value());
+    EXPECT_EQ(*ra.adversary, AdversaryEpochSummary{});
+  }
+  EXPECT_EQ(plain.ledger(), armed.ledger());
+}
+
+TEST_F(AdversaryCampaignFixture, ArmRfWithoutRfBehaviorsPerturbsNothing) {
+  // The full classic mix holds no jamming or squatting party, so the same
+  // book runs identically with and without the RF layer armed (the Doppler
+  // audit stage stays off by default).
+  sim::RunContext context;
+  Campaign classic = make_campaign(/*seed=*/1042);
+  Campaign with_rf = make_campaign(/*seed=*/1042);
+  classic.arm_adversaries(
+      adversary::BehaviorBook::sample(4, 0.5, kFullMix, 1.0, 6, 1042));
+  with_rf.arm_adversaries(
+      adversary::BehaviorBook::sample(4, 0.5, kFullMix, 1.0, 6, 1042));
+  with_rf.arm_rf(rf::SpectrumConfig{});
+  EXPECT_FALSE(with_rf.rf_environment()->any_interferer());
+  for (int e = 0; e < 2; ++e) {
+    const EpochReport rc = classic.run_epoch(context);
+    const EpochReport rr = with_rf.run_epoch(context);
+    EXPECT_EQ(rc.usage, rr.usage);
+    EXPECT_EQ(rc.balances, rr.balances);
+    ASSERT_TRUE(rr.adversary.has_value());
+    EXPECT_EQ(rc.adversary->fraud_detected, rr.adversary->fraud_detected);
+    EXPECT_EQ(rr.adversary->rf_forgeries_injected, 0u);
+    EXPECT_EQ(rr.adversary->rf_interference_violations, 0u);
+  }
+  EXPECT_EQ(classic.ledger(), with_rf.ledger());
+}
+
+TEST_F(AdversaryCampaignFixture, JammingDegradesCapacityAndGetsAttributed) {
+  sim::RunContext context;
+  Campaign campaign = make_campaign(/*seed=*/1042);
+  adversary::QuarantineConfig quarantine;
+  quarantine.quarantine_threshold = 2;  // one jamming epoch (2 events) trips it
+  quarantine.reinstate_after_clean_epochs = 100;
+  const std::vector<adversary::Behavior> jam_only = {adversary::Behavior::kJamming};
+  campaign.arm_adversaries(
+      adversary::BehaviorBook::sample(4, 0.5, jam_only, 1.0, 6, 1042),
+      adversary::AuditConfig{}, quarantine);
+  campaign.arm_rf(rf::SpectrumConfig{});
+  ASSERT_TRUE(campaign.rf_environment()->any_interferer());
+
+  const EpochReport report = campaign.run_epoch(context);
+  ASSERT_TRUE(report.adversary.has_value());
+  // Interference bled granted capacity and the plan violations were
+  // attributed as fraud evidence (2 events per jamming party per epoch).
+  EXPECT_GT(report.adversary->rf_nominal_bps, 0.0);
+  EXPECT_GT(report.adversary->rf_capacity_lost_bps, 0.0);
+  EXPECT_LT(report.adversary->rf_capacity_lost_bps, report.adversary->rf_nominal_bps);
+  EXPECT_EQ(report.adversary->rf_interference_violations, 4u);
+  EXPECT_EQ(campaign.auditor().totals().rf_interference_violations, 4u);
+  // Continuous emission is attributable: both jammers are sanctioned already.
+  EXPECT_EQ(report.adversary->quarantined_parties, 2u);
+  EXPECT_GT(report.adversary->slashed_total, 0.0);
+}
+
+TEST_F(AdversaryCampaignFixture, DopplerAuditRejectsRfForgeriesNotHonestTraffic) {
+  sim::RunContext context;
+  Campaign campaign = make_campaign(/*seed=*/1042);
+  adversary::AuditConfig audit;
+  audit.doppler.enabled = true;
+  const std::vector<adversary::Behavior> forge_only = {
+      adversary::Behavior::kForgeReceipts};
+  campaign.arm_adversaries(
+      adversary::BehaviorBook::sample(4, 0.5, forge_only, 1.0, 6, 1042), audit);
+  campaign.arm_rf(rf::SpectrumConfig{}, rf::ForgeryLevel::kFlatTone);
+
+  std::size_t rf_forged = 0;
+  std::size_t rf_rejected = 0;
+  std::size_t poc_valid = 0;
+  for (int e = 0; e < 3; ++e) {
+    const EpochReport report = campaign.run_epoch(context);
+    ASSERT_TRUE(report.adversary.has_value());
+    rf_forged += report.adversary->rf_forgeries_injected;
+    rf_rejected += report.adversary->rf_doppler_rejections;
+    poc_valid += report.poc_valid;
+  }
+  // Forgers with ephemeris access picked overhead steps — geometry passes,
+  // only the fabricated track gives them away.
+  EXPECT_GT(rf_forged, 0u);
+  // Every fabricated track was rejected and no honest receipt was flagged:
+  // rejections match forgeries exactly.
+  EXPECT_EQ(rf_rejected, rf_forged);
+  EXPECT_EQ(campaign.auditor().totals().rf_doppler_rejections, rf_forged);
+  // Honest challenge receipts kept crediting with their noisy-but-true
+  // tracks, and more tracks were checked than forged (honest ones too).
+  EXPECT_GT(poc_valid, 0u);
+  EXPECT_GT(campaign.auditor().totals().doppler_checked, rf_forged);
+}
+
 }  // namespace
 }  // namespace mpleo::core

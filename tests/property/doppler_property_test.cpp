@@ -1,0 +1,153 @@
+// Physical invariants of the Doppler kernel the RF receipt audit trusts:
+//   * An overhead pass is time-symmetric — range-rate at closest approach
+//     +/- dt is antisymmetric, so the fitted curve shape encodes the pass
+//     geometry (what makes a time-mirrored replay detectable).
+//   * The Doppler shift crosses zero exactly where the range bottoms out.
+//   * The J2 and SGP4 backends agree within a documented envelope near
+//     epoch, so a track predicted by one backend cannot falsely convict a
+//     receipt measured under the other (DESIGN.md §12).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <map>
+
+#include "coverage/doppler.hpp"
+#include "orbit/propagator.hpp"
+
+namespace mpleo::cov {
+namespace {
+
+const orbit::TimePoint kEpoch = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+
+// An equatorial satellite starting directly over an equatorial site: the
+// relative motion is purely along-track, so the pass is symmetric about the
+// epoch to grid precision.
+constellation::Satellite equatorial_sat() {
+  constellation::Satellite sat;
+  sat.id = 1;
+  sat.elements = orbit::ClassicalElements::circular(550e3, 0.0, 0.0, 0.0);
+  sat.epoch = kEpoch;
+  return sat;
+}
+
+orbit::TopocentricFrame sub_satellite_site() {
+  const orbit::KeplerianPropagator prop(equatorial_sat().elements, kEpoch);
+  const auto ecef = orbit::eci_to_ecef(prop.state_at(kEpoch).position, kEpoch);
+  const orbit::Geodetic below = orbit::ecef_to_geodetic(ecef);
+  return orbit::TopocentricFrame({below.latitude_rad, below.longitude_rad, 0.0});
+}
+
+// First contiguous pass of a profile (samples closer than 1.5 grid steps).
+std::size_t first_pass_end(const std::vector<DopplerSample>& profile, double step_s) {
+  std::size_t end = 1;
+  while (end < profile.size() &&
+         profile[end].offset_seconds - profile[end - 1].offset_seconds < 1.5 * step_s) {
+    ++end;
+  }
+  return end;
+}
+
+std::size_t min_range_index(const std::vector<DopplerSample>& profile,
+                            std::size_t end) {
+  std::size_t min_index = 0;
+  for (std::size_t i = 1; i < end; ++i) {
+    if (profile[i].range_m < profile[min_index].range_m) min_index = i;
+  }
+  return min_index;
+}
+
+TEST(DopplerProperty, RangeRateIsAntisymmetricAcrossThePass) {
+  const double step_s = 2.0;
+  const orbit::TimeGrid grid =
+      orbit::TimeGrid::over_duration(kEpoch.plus_seconds(-900.0), 1800.0, step_s);
+  const auto profile =
+      doppler_profile(equatorial_sat(), sub_satellite_site(), grid, 10.0, 11.7e9);
+  const std::size_t end = first_pass_end(profile, step_s);
+  ASSERT_GT(end, 40u);
+  const std::size_t ca = min_range_index(profile, end);
+  ASSERT_GT(ca, 10u);
+  ASSERT_LT(ca + 10, end);
+
+  const std::size_t reach = std::min(ca, end - 1 - ca);
+  for (std::size_t k = 1; k <= reach; ++k) {
+    const double before = profile[ca - k].range_rate_m_per_s;
+    const double after = profile[ca + k].range_rate_m_per_s;
+    // Approaching before closest approach, receding after, with mirrored
+    // magnitude. Tolerance covers the closest-approach sample landing up to
+    // half a grid step off the true minimum (range-rate slews ~25 m/s per
+    // second mid-pass).
+    EXPECT_LT(before, 0.0) << "k=" << k;
+    EXPECT_GT(after, 0.0) << "k=" << k;
+    EXPECT_NEAR(before, -after, std::fabs(after) * 0.03 + 60.0) << "k=" << k;
+    // Range itself is symmetric too.
+    EXPECT_NEAR(profile[ca - k].range_m, profile[ca + k].range_m,
+                profile[ca + k].range_m * 0.02 + 2000.0)
+        << "k=" << k;
+  }
+}
+
+TEST(DopplerProperty, ShiftCrossesZeroAtClosestApproach) {
+  const double step_s = 2.0;
+  const orbit::TimeGrid grid =
+      orbit::TimeGrid::over_duration(kEpoch.plus_seconds(-900.0), 1800.0, step_s);
+  const auto profile =
+      doppler_profile(equatorial_sat(), sub_satellite_site(), grid, 10.0, 11.7e9);
+  const std::size_t end = first_pass_end(profile, step_s);
+  ASSERT_GT(end, 40u);
+  const std::size_t ca = min_range_index(profile, end);
+
+  // Positive shift (approaching) strictly before, negative strictly after —
+  // the single zero crossing pins closest approach for the track fit.
+  for (std::size_t i = 0; i + 1 < ca; ++i) {
+    EXPECT_GT(profile[i].doppler_shift_hz, 0.0) << "sample " << i;
+  }
+  for (std::size_t i = ca + 2; i < end; ++i) {
+    EXPECT_LT(profile[i].doppler_shift_hz, 0.0) << "sample " << i;
+  }
+  // At the crossing the shift is a sliver of the ~300 kHz pass swing.
+  EXPECT_LT(std::fabs(profile[ca].doppler_shift_hz), 30e3);
+}
+
+TEST(DopplerProperty, BackendsAgreeWithinTheDocumentedEnvelope) {
+  // The audit predicts tracks with the campaign's configured backend; a
+  // verifier measuring the physical truth (closer to SGP4) must still fit.
+  // DESIGN.md §12 documents the envelope: over the first ~2 h from epoch the
+  // J2 and SGP4 Doppler curves at Ku stay within ~30 kHz of each other
+  // (gated at 50 kHz) — well inside the ~600 kHz peak-to-peak swing of a
+  // pass, but far OUTSIDE the 250 Hz audit tolerance, which is why the
+  // audit must predict with the same backend the campaign runs.
+  const double step_s = 10.0;
+  const orbit::TimeGrid grid =
+      orbit::TimeGrid::over_duration(kEpoch, 2.0 * 3600.0, step_s);
+  const orbit::TopocentricFrame site = sub_satellite_site();
+  const constellation::Satellite sat = equatorial_sat();
+
+  const auto j2 = doppler_profile(sat, site, grid, 10.0, 11.7e9,
+                                  orbit::PropagatorBackend::kJ2Analytic);
+  const auto sgp4 = doppler_profile(sat, site, grid, 10.0, 11.7e9,
+                                    orbit::PropagatorBackend::kSgp4);
+  ASSERT_GT(j2.size(), 20u);
+  ASSERT_GT(sgp4.size(), 20u);
+
+  std::map<double, double> sgp4_by_offset;
+  for (const DopplerSample& s : sgp4) sgp4_by_offset[s.offset_seconds] = s.doppler_shift_hz;
+
+  std::size_t compared = 0;
+  double worst_hz = 0.0;
+  for (const DopplerSample& s : j2) {
+    const auto it = sgp4_by_offset.find(s.offset_seconds);
+    if (it == sgp4_by_offset.end()) continue;  // pass edges may differ a step
+    ++compared;
+    worst_hz = std::max(worst_hz, std::fabs(s.doppler_shift_hz - it->second));
+  }
+  ASSERT_GT(compared, 20u);
+  EXPECT_LT(worst_hz, 50.0e3) << "J2-vs-SGP4 Doppler envelope exceeded";
+  // The backends genuinely differ (SGP4 is not the analytic model in
+  // disguise), the documented reason tracks predicted under one backend are
+  // never audited against the other.
+  EXPECT_GT(worst_hz, 1.0);
+}
+
+}  // namespace
+}  // namespace mpleo::cov

@@ -84,6 +84,47 @@ TEST(Scenario, AdversaryFlags) {
   EXPECT_EQ(parse({"--adversary=withhold"}).adversary_mode, AdversaryMode::kWithhold);
   EXPECT_EQ(parse({"--adversary=misreport"}).adversary_mode, AdversaryMode::kMisreport);
   EXPECT_EQ(parse({"--adversary=collude"}).adversary_mode, AdversaryMode::kCollude);
+  EXPECT_EQ(parse({"--adversary=jamming"}).adversary_mode, AdversaryMode::kJamming);
+  EXPECT_EQ(parse({"--adversary=spectrum_squat"}).adversary_mode,
+            AdversaryMode::kSpectrumSquat);
+}
+
+TEST(Scenario, RfFlags) {
+  // Both default off: an RF-disabled run is bit-identical to the pre-RF path.
+  EXPECT_FALSE(Scenario{}.rf);
+  EXPECT_FALSE(Scenario{}.audit_doppler);
+  const Scenario s = parse({"--rf=on", "--audit-doppler=on"});
+  EXPECT_TRUE(s.rf);
+  EXPECT_TRUE(s.audit_doppler);
+  EXPECT_FALSE(parse({"--rf=off"}).rf);
+  EXPECT_FALSE(parse({"--audit-doppler=off"}).audit_doppler);
+}
+
+TEST(Scenario, RfFlagsRejectUnknownValues) {
+  EXPECT_THROW(parse({"--rf=maybe"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--audit-doppler=1"}), std::invalid_argument);
+  try {
+    parse({"--rf=maybe"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'maybe'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--rf"), std::string::npos) << msg;
+  }
+}
+
+TEST(Scenario, FlagHelpListsRfFlags) {
+  const std::string help = flag_help();
+  EXPECT_NE(help.find("--rf="), std::string::npos);
+  EXPECT_NE(help.find("--audit-doppler="), std::string::npos);
+}
+
+TEST(Scenario, DescribeMentionsRfOnlyWhenArmed) {
+  EXPECT_EQ(describe(Scenario{}).find("rf="), std::string::npos);
+  EXPECT_EQ(describe(Scenario{}).find("audit-doppler="), std::string::npos);
+  const std::string armed = describe(parse({"--rf=on", "--audit-doppler=on"}));
+  EXPECT_NE(armed.find("rf=on"), std::string::npos) << armed;
+  EXPECT_NE(armed.find("audit-doppler=on"), std::string::npos) << armed;
 }
 
 TEST(Scenario, AdversaryFlagsValidated) {

@@ -31,7 +31,13 @@ the sweep's byzantine fractions must start at 0 and be strictly increasing,
 every point must detect at least as much fraud as it injected, the honest-core
 payoff must be non-increasing in the byzantine fraction (the robustness
 contract the sweep is built to certify), and the report's own gate flags must
-be true. No baseline is needed — the properties are absolute, not relative.
+be true. The report's "rf" section is required and gated too: the Doppler-fit
+audit must reject >= 99% of forged tracks at every detectable sophistication
+level while flagging zero honest receipts (ephemeris_exact is the documented
+blind spot and is exempt), jamming welfare must be non-increasing in the
+jammer fraction, and every jamming party must yield at least one attributed
+spectrum-plan violation (detection >= injection for continuous emitters). No
+baseline is needed — the properties are absolute, not relative.
 """
 
 import argparse
@@ -231,6 +237,146 @@ SWEEP_POINT_FIELDS = {
 # Honest payoff may wiggle by numerical noise, never by economics.
 PAYOFF_MONOTONE_TOLERANCE = 1e-9
 
+# Doppler-fit audit floor: fraction of forged tracks the fit must reject at
+# every detectable (gated) sophistication level.
+RF_DETECTION_FLOOR = 0.99
+
+# Forgery ladder the doppler axis must report, in sophistication order;
+# ephemeris_exact is the documented blind spot (gated must be false there).
+RF_FORGERY_LEVELS = ["flat_tone", "linear_ramp", "time_mirrored", "ephemeris_exact"]
+
+RF_DOPPLER_FIELDS = {
+    "level": str,
+    "gated": bool,
+    "forged_submitted": int,
+    "forged_rejected": int,
+    "honest_submitted": int,
+    "honest_flagged": int,
+    "detection_rate": float,
+}
+
+RF_JAMMING_FIELDS = {
+    "jammer_fraction": float,
+    "jamming_parties": int,
+    "capacity_nominal_bps": float,
+    "capacity_realized_bps": float,
+    "honest_welfare": float,
+    "violations_detected": int,
+    "quarantined_parties": int,
+    "expelled_parties": int,
+    "total_slashed": float,
+}
+
+
+def check_rf_section(rf) -> list:
+    """Schema + gates for the RF section of an adversary-sweep report."""
+    failures = []
+    if not isinstance(rf, dict):
+        return ["rf section missing or not an object (RF-grounded audit "
+                "results are required)"]
+    if not is_uint(rf.get("doppler_trials")) or rf.get("doppler_trials") == 0:
+        failures.append("rf.doppler_trials missing or not a positive integer")
+
+    doppler = rf.get("doppler")
+    if not isinstance(doppler, list) or not doppler:
+        failures.append("rf.doppler missing or empty")
+    else:
+        levels = []
+        for i, point in enumerate(doppler):
+            if not isinstance(point, dict):
+                failures.append(f"rf.doppler[{i}] is not an object")
+                continue
+            for field, kind in RF_DOPPLER_FIELDS.items():
+                value = point.get(field)
+                if kind is int and not is_uint(value):
+                    failures.append(
+                        f"rf.doppler[{i}].{field} is not a non-negative integer")
+                elif kind is float and (not is_number(value) or value < 0.0):
+                    failures.append(
+                        f"rf.doppler[{i}].{field} is not a non-negative number")
+                elif kind is bool and not isinstance(value, bool):
+                    failures.append(f"rf.doppler[{i}].{field} is not a boolean")
+                elif kind is str and not isinstance(value, str):
+                    failures.append(f"rf.doppler[{i}].{field} is not a string")
+            if failures:
+                continue
+            levels.append(point["level"])
+            status = "OK "
+            if point["gated"] and point["detection_rate"] < RF_DETECTION_FLOOR:
+                status = "MISSED"
+                failures.append(
+                    f"rf.doppler[{i}] ({point['level']}): detection rate "
+                    f"{point['detection_rate']:.4f} below the "
+                    f"{RF_DETECTION_FLOOR:.2f} floor")
+            if point["honest_flagged"] != 0:
+                status = "MISSED"
+                failures.append(
+                    f"rf.doppler[{i}] ({point['level']}): flagged "
+                    f"{point['honest_flagged']} honest receipts (must be 0)")
+            print(f"{status} rf doppler {point['level']}: "
+                  f"rejected {point['forged_rejected']}/"
+                  f"{point['forged_submitted']} forged, flagged "
+                  f"{point['honest_flagged']}/{point['honest_submitted']} honest")
+        if levels and levels != RF_FORGERY_LEVELS:
+            failures.append(f"rf.doppler levels are {levels}, expected the "
+                            f"full ladder {RF_FORGERY_LEVELS}")
+
+    jamming = rf.get("jamming")
+    if not isinstance(jamming, list) or not jamming:
+        failures.append("rf.jamming missing or empty")
+    else:
+        schema_ok = True
+        for i, point in enumerate(jamming):
+            if not isinstance(point, dict):
+                failures.append(f"rf.jamming[{i}] is not an object")
+                schema_ok = False
+                continue
+            for field, kind in RF_JAMMING_FIELDS.items():
+                value = point.get(field)
+                if kind is int and not is_uint(value):
+                    failures.append(
+                        f"rf.jamming[{i}].{field} is not a non-negative integer")
+                    schema_ok = False
+                elif kind is float and (not is_number(value) or value < 0.0):
+                    failures.append(
+                        f"rf.jamming[{i}].{field} is not a non-negative number")
+                    schema_ok = False
+        if schema_ok:
+            if jamming[0]["jammer_fraction"] != 0.0:
+                failures.append("rf.jamming[0].jammer_fraction is not 0 "
+                                "(the sweep must anchor on the clean baseline)")
+            for i, point in enumerate(jamming):
+                if i > 0:
+                    if point["jammer_fraction"] <= jamming[i - 1]["jammer_fraction"]:
+                        failures.append(
+                            f"rf.jamming fractions not strictly increasing at [{i}]")
+                    if (point["honest_welfare"] >
+                            jamming[i - 1]["honest_welfare"] +
+                            PAYOFF_MONOTONE_TOLERANCE):
+                        failures.append(
+                            f"rf.jamming[{i}]: honest_welfare "
+                            f"{point['honest_welfare']:.6f} rose above "
+                            f"{jamming[i - 1]['honest_welfare']:.6f} as the "
+                            f"jammer fraction grew")
+                # Detection >= injection for continuous emitters: every
+                # jamming party must yield at least one attributed violation.
+                detected = point["violations_detected"]
+                jammers = point["jamming_parties"]
+                status = "OK " if detected >= jammers else "MISSED"
+                print(f"{status} rf jamming f={point['jammer_fraction']:.3f}: "
+                      f"{detected} violations / {jammers} jammers, "
+                      f"honest welfare {point['honest_welfare']:.4f}")
+                if detected < jammers:
+                    failures.append(
+                        f"rf.jamming[{i}]: {detected} violations detected < "
+                        f"{jammers} jamming parties")
+
+    for flag in ("rf_detection_gate", "rf_honest_clean", "rf_welfare_monotone",
+                 "rf_violations_detected"):
+        if rf.get(flag) is not True:
+            failures.append(f"rf flag {flag} is not true")
+    return failures
+
 
 def check_adversary_sweep(path: str) -> list:
     """Returns a list of failure strings (empty = report passes the gate)."""
@@ -296,6 +442,8 @@ def check_adversary_sweep(path: str) -> list:
     for flag in ("honest_payoff_monotone", "fraud_detected_ge_injected"):
         if report.get(flag) is not True:
             failures.append(f"report flag {flag} is not true")
+
+    failures.extend(check_rf_section(report.get("rf")))
     return failures
 
 
