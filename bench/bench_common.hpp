@@ -5,9 +5,25 @@
 #include <cstdio>
 #include <string>
 
+#if defined(__GLIBC__)
+#include <climits>
+#include <malloc.h>
+#endif
+
 #include "core/mpleo.hpp"
 
 namespace mpleo::bench {
+
+// Keeps glibc from handing freed arena pages back to the OS. The benches
+// allocate and free large mask/table working sets between repetitions;
+// with the default trim threshold every repetition re-faults every page and
+// the measurement mostly times the kernel's page-fault path (~3x slower).
+// No-op on non-glibc platforms.
+inline void disable_malloc_trim() {
+#if defined(__GLIBC__)
+  mallopt(M_TRIM_THRESHOLD, INT_MAX);
+#endif
+}
 
 struct Experiment {
   sim::Scenario scenario;
@@ -29,6 +45,7 @@ struct Experiment {
 // usage message on bad flags.
 inline sim::Scenario start(int argc, char** argv, const char* title,
                            const char* paper_claim, sim::Scenario defaults = {}) {
+  disable_malloc_trim();
   sim::Scenario scenario;
   try {
     scenario = sim::parse_scenario(argc, argv, defaults);

@@ -18,19 +18,22 @@
 // All three may be passed together; the report then carries every section.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
-#include <climits>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#if defined(__GLIBC__)
-#include <malloc.h>
+#if defined(__unix__)
+#include <sys/resource.h>
 #endif
 
+#include "bench_common.hpp"
+#include "constellation/population.hpp"
 #include "constellation/starlink.hpp"
 #include "core/mpleo.hpp"
 #include "orbit/simd.hpp"
+#include "sim/workload.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace mpleo;
@@ -361,44 +364,21 @@ bool run_compare(std::FILE* out) {
 // them to the JSON report as the "obs" section.
 bool run_compare_scheduler(std::FILE* out, sim::RunContext& context) {
   const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 86400.0, 60.0);
-  constexpr std::size_t kParties = 4;
 
-  constellation::WalkerShell shell;
-  shell.plane_count = 25;
-  shell.sats_per_plane = 20;
-  std::vector<constellation::Satellite> sats = shell.build(kEpoch);
-  for (std::size_t i = 0; i < sats.size(); ++i) {
-    sats[i].owner_party = static_cast<std::uint32_t>(i % kParties);
-  }
+  // The reference workload comes from the same Scenario scale-preset builder
+  // the mega runs use, so the 500-sat acceptance fleet is defined in exactly
+  // one place (sim::build_workload).
+  const sim::Scenario ref_scenario = sim::ScenarioBuilder()
+                                         .epoch(kEpoch)
+                                         .scale(sim::ScalePreset::kReference)
+                                         .build();
+  const sim::Workload workload = sim::build_workload(ref_scenario);
+  const std::size_t kParties = workload.party_count;
+  const std::vector<constellation::Satellite>& sats = workload.satellites;
+  const std::vector<net::Terminal>& terminals = workload.terminals;
+  const std::vector<net::GroundStation>& stations = workload.stations;
 
-  std::vector<net::Terminal> terminals;
-  terminals.reserve(200);
-  for (std::uint32_t i = 0; i < 200; ++i) {
-    net::Terminal t;
-    t.id = i;
-    t.owner_party = i % kParties;
-    t.location = orbit::Geodetic::from_degrees(
-        -52.0 + 104.0 * static_cast<double>(i % 20) / 19.0,
-        -180.0 + 360.0 * static_cast<double>(i / 20) / 10.0);
-    t.radio = net::default_user_terminal();
-    t.demand_bps = 50e6;
-    terminals.push_back(t);
-  }
-
-  std::vector<net::GroundStation> stations;
-  stations.reserve(20);
-  for (std::uint32_t i = 0; i < 20; ++i) {
-    net::GroundStation gs;
-    gs.id = i;
-    gs.owner_party = i % kParties;
-    gs.location = orbit::Geodetic::from_degrees(
-        -48.0 + 96.0 * static_cast<double>(i % 5) / 4.0,
-        -170.0 + 360.0 * static_cast<double>(i / 5) / 4.0);
-    gs.radio = net::default_ground_station();
-    stations.push_back(gs);
-  }
-
-  const net::BentPipeScheduler scheduler(net::SchedulerConfig{}, sats, terminals,
+  const net::BentPipeScheduler scheduler(workload.scheduler, sats, terminals,
                                          stations);
   using clock = std::chrono::steady_clock;
 
@@ -427,6 +407,18 @@ bool run_compare_scheduler(std::FILE* out, sim::RunContext& context) {
 
   const bool identical = serial == reference && pooled == reference;
 
+  // Footprint-stream phase 1 (no pair masks, spatial-index candidate
+  // discovery, uncapped) against the same reference: with
+  // max_candidates_per_terminal == 0 the streamed path is exact, so the full
+  // ScheduleResult — link ordering included — must match bit for bit.
+  net::SchedulerConfig streamed_config;
+  streamed_config.visibility_mode = net::VisibilityMode::kFootprintStream;
+  const net::BentPipeScheduler streamed_scheduler(streamed_config, sats, terminals,
+                                                  stations);
+  const auto [streamed, sec_streamed] = timed(
+      [&] { return streamed_scheduler.run(grid, kParties, context, /*keep_steps=*/true); });
+  const bool streamed_identical = streamed == reference;
+
   // Faulted identity on a 6 h sub-grid: outages, degradations, and station
   // faults exercise the detach/backoff path through both schedulers.
   const orbit::TimeGrid fault_grid =
@@ -444,9 +436,14 @@ bool run_compare_scheduler(std::FILE* out, sim::RunContext& context) {
     faults.add_station_outage(gi, 3600.0 * static_cast<double>(gi % 4), 3600.0 * 5.0);
   }
   context.use_faults(&faults);
+  const net::ScheduleResult faulted_reference =
+      scheduler.run_reference(fault_grid, kParties, &faults, /*keep_steps=*/true);
   const bool faulted_identical =
       scheduler.run(fault_grid, kParties, context, /*keep_steps=*/true) ==
-      scheduler.run_reference(fault_grid, kParties, &faults, /*keep_steps=*/true);
+      faulted_reference;
+  const bool streamed_faulted_identical =
+      streamed_scheduler.run(fault_grid, kParties, context, /*keep_steps=*/true) ==
+      faulted_reference;
   context.clear_faults();
 
   std::printf(
@@ -458,8 +455,12 @@ bool run_compare_scheduler(std::FILE* out, sim::RunContext& context) {
               sec_reference / sec_serial);
   std::printf("pipelined (%2zu thr)  : %8.3f s  (%.2fx)\n", context.thread_count(),
               sec_pooled, sec_reference / sec_pooled);
-  std::printf("schedules bit-identical: %s   faulted: %s\n",
-              identical ? "yes" : "NO", faulted_identical ? "yes" : "NO");
+  std::printf("streamed  (%2zu thr)  : %8.3f s  (%.2fx)\n", context.thread_count(),
+              sec_streamed, sec_reference / sec_streamed);
+  std::printf("schedules bit-identical: %s   faulted: %s   streamed: %s/%s\n",
+              identical ? "yes" : "NO", faulted_identical ? "yes" : "NO",
+              streamed_identical ? "yes" : "NO",
+              streamed_faulted_identical ? "yes" : "NO");
 
   std::fprintf(out,
                "  \"scheduler_compare\": {\n"
@@ -470,14 +471,19 @@ bool run_compare_scheduler(std::FILE* out, sim::RunContext& context) {
                "    \"scalar_reference\": {\"seconds\": %.6f},\n"
                "    \"pipelined_serial\": {\"seconds\": %.6f, \"speedup\": %.4f},\n"
                "    \"pipelined_pooled\": {\"seconds\": %.6f, \"speedup\": %.4f},\n"
+               "    \"pipelined_streamed\": {\"seconds\": %.6f, \"speedup\": %.4f},\n"
                "    \"bit_identical\": %s,\n"
-               "    \"faulted_bit_identical\": %s\n"
+               "    \"faulted_bit_identical\": %s,\n"
+               "    \"streamed_bit_identical\": %s\n"
                "  }",
                sats.size(), terminals.size(), stations.size(), kParties, grid.count,
                context.thread_count(), sec_reference, sec_serial,
                sec_reference / sec_serial, sec_pooled, sec_reference / sec_pooled,
-               identical ? "true" : "false", faulted_identical ? "true" : "false");
-  return identical && faulted_identical;
+               sec_streamed, sec_reference / sec_streamed,
+               identical ? "true" : "false", faulted_identical ? "true" : "false",
+               streamed_identical && streamed_faulted_identical ? "true" : "false");
+  return identical && faulted_identical && streamed_identical &&
+         streamed_faulted_identical;
 }
 
 // --backends: per-backend ephemeris-fill throughput on the canonical
@@ -490,14 +496,10 @@ bool run_compare_scheduler(std::FILE* out, sim::RunContext& context) {
 // the documented one-day envelope (DESIGN.md §11). Returns false on a
 // bit-identity or envelope violation.
 bool run_compare_backends(std::FILE* out) {
-#if defined(__GLIBC__)
   // Each timed fill allocates ~23 MB of tables and frees them before the
-  // next repetition. glibc's default trim threshold hands that memory back
-  // to the OS on every free, so every repetition would re-fault every page
-  // and the "fill throughput" would mostly time the kernel's page-fault
-  // path (~3x slower). Keep the arena so the benchmark times the fill.
-  mallopt(M_TRIM_THRESHOLD, INT_MAX);
-#endif
+  // next repetition; without the trim guard every repetition would re-fault
+  // every page and mostly time the kernel instead of the fill.
+  bench::disable_malloc_trim();
   const orbit::TimeGrid grid = orbit::TimeGrid::over_duration(kEpoch, 86400.0, 60.0);
   const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
 
@@ -608,6 +610,133 @@ bool run_compare_backends(std::FILE* out) {
   return identical && within_envelope;
 }
 
+// Current peak resident set, in bytes (0 where getrusage is unavailable).
+std::size_t peak_rss_bytes() {
+#if defined(__unix__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KB on Linux
+  }
+#endif
+  return 0;
+}
+
+// --scale=mega|mega-smoke: the mega-constellation scale-out workload. The
+// synthetic Gen2-scale Starlink catalog (~30k satellites across 7 shells)
+// serves population-gridded user terminals over one day at 60 s steps
+// through the footprint-stream scheduler: spatial-index candidate discovery,
+// shell-sharded satellite iteration, bounded-queue chunk streaming, and a
+// per-terminal candidate cap so staging memory stays bounded. mega is the
+// full 30k x 1M acceptance run; mega-smoke cuts the catalog to 3k satellites
+// and 50k terminals so CI can exercise the identical code path in seconds.
+// Writes the "mega_scale" JSON section (throughput + peak RSS, the fields
+// tools/check_perf_regression.py --mega gates on). Returns false if the run
+// granted no links at all (a scheduling pipeline failure).
+bool run_mega(std::FILE* out, bool smoke) {
+  bench::disable_malloc_trim();
+  // The whole workload definition — Gen2-scale catalog, population-gridded
+  // sites, footprint-stream scheduler preset — comes from the Scenario scale
+  // preset, so this bench, the CI smoke step and any example requesting
+  // --scale=mega all run the identical workload.
+  const sim::Scenario scenario =
+      sim::ScenarioBuilder()
+          .epoch(kEpoch)
+          .threads(0)
+          .scale(smoke ? sim::ScalePreset::kMegaSmoke : sim::ScalePreset::kMega)
+          .build();
+  const orbit::TimeGrid grid = scenario.grid();
+  const sim::Workload workload = sim::build_workload(scenario);
+  const std::size_t kParties = workload.party_count;
+  const net::SchedulerConfig& config = workload.scheduler;
+  const std::size_t terminal_count = workload.terminals.size();
+
+  const net::BentPipeScheduler scheduler(config, workload.satellites,
+                                         workload.terminals, workload.stations);
+  sim::RunContext context(scenario);
+
+  std::printf("mega workload: %zu satellites x %zu terminals x %zu stations"
+              " x %zu steps (1 day / 60 s, %zu parties)%s\n",
+              workload.satellites.size(), workload.terminals.size(),
+              workload.stations.size(), grid.count, kParties, smoke ? " [smoke]" : "");
+  std::fflush(stdout);
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const net::ScheduleResult result =
+      scheduler.run(grid, kParties, context, /*keep_steps=*/false);
+  const double seconds = std::chrono::duration<double>(clock::now() - t0).count();
+
+  const double terminal_steps =
+      static_cast<double>(terminal_count) * static_cast<double>(grid.count);
+  const double tps = terminal_steps / seconds;
+  const double links_granted = result.total_served_seconds / grid.step_seconds;
+  const std::size_t rss = peak_rss_bytes();
+
+  // Bit-identity spot check at bench time: the footprint-stream pipeline vs
+  // the pair-mask pipeline on a deterministic sub-fleet of this exact
+  // workload (first 200 satellites, first 2,000 terminals, 6 h). Uncapped,
+  // the streamed path is exact, so the two ScheduleResults must match down
+  // to link ordering. Full-scale identity against run_reference is pinned by
+  // --compare-scheduler; this flag proves the mega catalog/site geometry
+  // never flips bits either, and feeds the "bit_identical" gate in
+  // tools/check_perf_regression.py --mega.
+  const bool identical = [&] {
+    const orbit::TimeGrid sub_grid =
+        orbit::TimeGrid::over_duration(kEpoch, 6.0 * 3600.0, 60.0);
+    const std::vector<constellation::Satellite> sub_sats(
+        workload.satellites.begin(),
+        workload.satellites.begin() +
+            std::min<std::size_t>(workload.satellites.size(), 200));
+    const std::vector<net::Terminal> sub_terminals(
+        workload.terminals.begin(),
+        workload.terminals.begin() +
+            std::min<std::size_t>(workload.terminals.size(), 2000));
+    net::SchedulerConfig streamed_config = config;
+    streamed_config.max_candidates_per_terminal = 0;  // uncapped -> exact
+    net::SchedulerConfig pair_config = streamed_config;
+    pair_config.visibility_mode = net::VisibilityMode::kPairMasks;
+    const net::BentPipeScheduler streamed_scheduler(streamed_config, sub_sats,
+                                                    sub_terminals, workload.stations);
+    const net::BentPipeScheduler pair_scheduler(pair_config, sub_sats,
+                                                sub_terminals, workload.stations);
+    return streamed_scheduler.run(sub_grid, kParties, /*keep_steps=*/true) ==
+           pair_scheduler.run(sub_grid, kParties, /*keep_steps=*/true);
+  }();
+
+  const bool ok = result.total_served_seconds > 0.0 && identical;
+
+  std::printf("scheduled        : %8.1f s  %10.3e terminal*steps/s\n", seconds, tps);
+  std::printf("links granted    : %.0f  (served %.3e s, unserved %.3e s)\n",
+              links_granted, result.total_served_seconds,
+              result.total_unserved_seconds);
+  std::printf("peak RSS         : %.2f GB\n", static_cast<double>(rss) / 1e9);
+  std::printf("sub-fleet identity (stream vs pair-mask): %s\n",
+              identical ? "bit-identical" : "MISMATCH");
+
+  std::fprintf(out,
+               "  \"mega_scale\": {\n"
+               "    \"workload\": {\"satellites\": %zu, \"terminals\": %zu,"
+               " \"stations\": %zu, \"parties\": %zu, \"steps\": %zu,"
+               " \"step_seconds\": 60.0, \"scale\": \"%s\"},\n"
+               "    \"threads\": %zu,\n"
+               "    \"stream\": {\"chunk_steps\": %zu, \"slots\": %zu,"
+               " \"candidate_cap\": %zu},\n"
+               "    \"seconds\": %.3f,\n"
+               "    \"terminal_steps_per_sec\": %.6e,\n"
+               "    \"links_granted\": %.0f,\n"
+               "    \"peak_rss_bytes\": %zu,\n"
+               "    \"bit_identical\": %s,\n"
+               "    \"obs\": %s\n"
+               "  }",
+               workload.satellites.size(), workload.terminals.size(),
+               workload.stations.size(), kParties, grid.count,
+               smoke ? "mega-smoke" : "mega", context.thread_count(),
+               config.stream_chunk_steps, config.stream_slots,
+               config.max_candidates_per_terminal, seconds, tps, links_granted, rss,
+               identical ? "true" : "false", context.metrics().to_json(4).c_str());
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -615,6 +744,8 @@ int main(int argc, char** argv) {
   bool compare_scheduler = false;
   std::string out_path = "BENCH_perf_simulator.json";
   bool backends = false;
+  bool mega = false;
+  bool mega_smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--compare") == 0) {
       compare = true;
@@ -622,11 +753,15 @@ int main(int argc, char** argv) {
       compare_scheduler = true;
     } else if (std::strcmp(argv[i], "--backends") == 0) {
       backends = true;
+    } else if (std::strcmp(argv[i], "--scale=mega") == 0) {
+      mega = true;
+    } else if (std::strcmp(argv[i], "--scale=mega-smoke") == 0) {
+      mega_smoke = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     }
   }
-  if (compare || compare_scheduler || backends) {
+  if (compare || compare_scheduler || backends || mega || mega_smoke) {
     std::FILE* out = std::fopen(out_path.c_str(), "w");
     if (out == nullptr) {
       std::fprintf(stderr, "perf_simulator: cannot open %s for writing\n",
@@ -657,6 +792,10 @@ int main(int argc, char** argv) {
       separate();
       ok = run_compare_scheduler(out, context) && ok;
       std::fprintf(out, ",\n  \"obs\": %s", context.metrics().to_json(2).c_str());
+    }
+    if (mega || mega_smoke) {
+      separate();
+      ok = run_mega(out, /*smoke=*/!mega) && ok;
     }
     std::fprintf(out, "\n}\n");
     std::fclose(out);

@@ -12,9 +12,9 @@ using namespace mpleo;
 
 int main(int argc, char** argv) {
   sim::Scenario scenario;
-  scenario.step_s = 180.0;
   try {
-    scenario = sim::parse_scenario(argc, argv, scenario);
+    scenario = sim::parse_scenario(argc, argv,
+                                   sim::ScenarioBuilder().step_seconds(180.0).build());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

@@ -11,10 +11,12 @@ using namespace mpleo;
 
 int main(int argc, char** argv) {
   sim::Scenario scenario;
-  scenario.duration_s = 86400.0;
-  scenario.step_s = 300.0;
   try {
-    scenario = sim::parse_scenario(argc, argv, scenario);
+    scenario = sim::parse_scenario(argc, argv,
+                                   sim::ScenarioBuilder()
+                                       .duration_seconds(86400.0)
+                                       .step_seconds(300.0)
+                                       .build());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

@@ -12,10 +12,12 @@ using namespace mpleo;
 
 int main(int argc, char** argv) {
   sim::Scenario scenario;
-  scenario.duration_s = 2.0 * 86400.0;
-  scenario.step_s = 120.0;
   try {
-    scenario = sim::parse_scenario(argc, argv, scenario);
+    scenario = sim::parse_scenario(argc, argv,
+                                   sim::ScenarioBuilder()
+                                       .duration_days(2.0)
+                                       .step_seconds(120.0)
+                                       .build());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

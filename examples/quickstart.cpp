@@ -11,9 +11,10 @@ using namespace mpleo;
 int main(int argc, char** argv) {
   // 1. Describe the evaluation window (defaults: paper epoch, 1 week, 60 s).
   sim::Scenario scenario;
-  scenario.duration_s = 86400.0;  // one day is plenty for a demo
   try {
-    scenario = sim::parse_scenario(argc, argv, scenario);
+    // one day is plenty for a demo
+    scenario = sim::parse_scenario(
+        argc, argv, sim::ScenarioBuilder().duration_seconds(86400.0).build());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

@@ -16,10 +16,9 @@ using namespace mpleo;
 
 int main(int argc, char** argv) {
   sim::Scenario scenario;
-  scenario.duration_s = 2.0 * 86400.0;
-  scenario.runs = 5;
   try {
-    scenario = sim::parse_scenario(argc, argv, scenario);
+    scenario = sim::parse_scenario(
+        argc, argv, sim::ScenarioBuilder().duration_days(2.0).runs(5).build());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

@@ -1,5 +1,7 @@
 #include "constellation/shell.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/angles.hpp"
@@ -42,6 +44,30 @@ std::vector<Satellite> WalkerShell::build(orbit::TimePoint epoch,
     }
   }
   return sats;
+}
+
+std::vector<ShellShard> shell_partition(std::span<const Satellite> satellites,
+                                        double semi_major_axis_tol_m,
+                                        double inclination_tol_deg) {
+  std::vector<ShellShard> shards;
+  const double incl_tol_rad = util::deg_to_rad(std::max(0.0, inclination_tol_deg));
+  const double sma_tol = std::max(0.0, semi_major_axis_tol_m);
+  std::size_t begin = 0;
+  while (begin < satellites.size()) {
+    const orbit::ClassicalElements& head = satellites[begin].elements;
+    std::size_t end = begin + 1;
+    while (end < satellites.size()) {
+      const orbit::ClassicalElements& e = satellites[end].elements;
+      if (std::abs(e.semi_major_axis_m - head.semi_major_axis_m) > sma_tol ||
+          std::abs(e.inclination_rad - head.inclination_rad) > incl_tol_rad) {
+        break;
+      }
+      ++end;
+    }
+    shards.push_back({begin, end, head.semi_major_axis_m, head.inclination_rad});
+    begin = end;
+  }
+  return shards;
 }
 
 std::vector<Satellite> single_plane(double altitude_m, double inclination_deg,

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,30 @@ struct WalkerShell {
   [[nodiscard]] std::vector<Satellite> build(orbit::TimePoint epoch,
                                              SatelliteId first_id = 0) const;
 };
+
+// One orbital shell's worth of a satellite list: the contiguous index run
+// [begin, end) sharing (within tolerance) a semi-major axis and inclination.
+// Mega-scale consumers iterate shard-by-shard so per-shell bounds (radius
+// extremes, footprint cones) are computed once per shard instead of once per
+// satellite, and shard-local buffers keep memory proportional to a shell,
+// not the fleet.
+struct ShellShard {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  double semi_major_axis_m = 0.0;
+  double inclination_rad = 0.0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+// Partitions `satellites` into maximal contiguous runs whose elements stay
+// within the given tolerances of the run's first satellite. Catalogs built
+// shell-by-shell (WalkerShell::build, the Starlink presets) yield exactly one
+// shard per shell; arbitrary orderings just yield more, smaller shards —
+// never an incorrect one. Shards cover [0, size) without gaps.
+[[nodiscard]] std::vector<ShellShard> shell_partition(
+    std::span<const Satellite> satellites, double semi_major_axis_tol_m = 1e3,
+    double inclination_tol_deg = 0.1);
 
 // A single orbital plane of `count` satellites spaced uniformly in phase —
 // the paper's Fig-4b/4c micro-constellations.

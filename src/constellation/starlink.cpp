@@ -32,13 +32,42 @@ std::vector<WalkerShell> starlink_shells(bool include_gen2) {
   return shells;
 }
 
-std::vector<Satellite> build_starlink_catalog(orbit::TimePoint epoch,
-                                              const StarlinkCatalogOptions& options) {
+std::vector<WalkerShell> starlink_gen2_shells() {
+  // SpaceX Gen-2 FCC grant (December 2022): three VLEO shells plus the
+  // 525-535 km core and a near-polar shell — 29,520 satellites total.
+  return {
+      {.label = "STARLINK-G2-340", .altitude_m = 340e3, .inclination_deg = 53.0,
+       .plane_count = 48, .sats_per_plane = 110, .phasing_factor = 19},
+      {.label = "STARLINK-G2-345", .altitude_m = 345e3, .inclination_deg = 46.0,
+       .plane_count = 48, .sats_per_plane = 110, .phasing_factor = 23,
+       .raan_offset_deg = 1.9},
+      {.label = "STARLINK-G2-350", .altitude_m = 350e3, .inclination_deg = 38.0,
+       .plane_count = 48, .sats_per_plane = 110, .phasing_factor = 29,
+       .raan_offset_deg = 3.8},
+      {.label = "STARLINK-G2-360", .altitude_m = 360e3, .inclination_deg = 96.9,
+       .plane_count = 30, .sats_per_plane = 120, .phasing_factor = 7},
+      {.label = "STARLINK-G2-525", .altitude_m = 525e3, .inclination_deg = 53.0,
+       .plane_count = 28, .sats_per_plane = 120, .phasing_factor = 13,
+       .raan_offset_deg = 6.4, .phase_offset_deg = 3.0},
+      {.label = "STARLINK-G2-530", .altitude_m = 530e3, .inclination_deg = 43.0,
+       .plane_count = 28, .sats_per_plane = 120, .phasing_factor = 11,
+       .raan_offset_deg = 4.2},
+      {.label = "STARLINK-G2-535", .altitude_m = 535e3, .inclination_deg = 33.0,
+       .plane_count = 28, .sats_per_plane = 120, .phasing_factor = 9,
+       .raan_offset_deg = 2.1},
+  };
+}
+
+namespace {
+
+std::vector<Satellite> build_jittered(std::vector<WalkerShell> shells,
+                                      orbit::TimePoint epoch,
+                                      const StarlinkCatalogOptions& options) {
   std::vector<Satellite> catalog;
   util::Xoshiro256PlusPlus rng(options.jitter_seed);
 
   SatelliteId next_id = 0;
-  for (const WalkerShell& shell : starlink_shells(options.include_gen2)) {
+  for (const WalkerShell& shell : shells) {
     std::vector<Satellite> sats = shell.build(epoch, next_id);
     next_id += static_cast<SatelliteId>(sats.size());
     for (Satellite& sat : sats) {
@@ -54,6 +83,18 @@ std::vector<Satellite> build_starlink_catalog(orbit::TimePoint epoch,
     }
   }
   return catalog;
+}
+
+}  // namespace
+
+std::vector<Satellite> build_starlink_catalog(orbit::TimePoint epoch,
+                                              const StarlinkCatalogOptions& options) {
+  return build_jittered(starlink_shells(options.include_gen2), epoch, options);
+}
+
+std::vector<Satellite> build_starlink_gen2_catalog(
+    orbit::TimePoint epoch, const StarlinkCatalogOptions& options) {
+  return build_jittered(starlink_gen2_shells(), epoch, options);
 }
 
 }  // namespace mpleo::constellation

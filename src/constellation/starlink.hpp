@@ -25,8 +25,20 @@ struct StarlinkCatalogOptions {
 // The FCC-filed shells as WalkerShell descriptions.
 [[nodiscard]] std::vector<WalkerShell> starlink_shells(bool include_gen2 = true);
 
+// The full Gen-2 system from SpaceX's 2022 FCC grant: seven shells, 29,520
+// satellites — the mega-constellation preset the --scale=mega bench and the
+// shell-sharded scheduler paths are sized against. Shells are emitted in
+// altitude-contiguous order so shell_partition recovers exactly seven shards.
+[[nodiscard]] std::vector<WalkerShell> starlink_gen2_shells();
+
 // Builds the full catalog at `epoch`. Satellite ids are contiguous from 0.
 [[nodiscard]] std::vector<Satellite> build_starlink_catalog(
+    orbit::TimePoint epoch, const StarlinkCatalogOptions& options = {});
+
+// Builds the Gen-2-scale catalog (starlink_gen2_shells, ~29.5k satellites)
+// with the same jitter scheme as build_starlink_catalog. Ids contiguous
+// from 0, shell by shell.
+[[nodiscard]] std::vector<Satellite> build_starlink_gen2_catalog(
     orbit::TimePoint epoch, const StarlinkCatalogOptions& options = {});
 
 }  // namespace mpleo::constellation

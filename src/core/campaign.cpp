@@ -158,10 +158,6 @@ EpochReport Campaign::run_epoch(sim::RunContext& context) {
   return run_epoch_impl(context.pool(), &context);
 }
 
-EpochReport Campaign::run_epoch(util::ThreadPool* pool) {
-  return run_epoch_impl(pool, nullptr);
-}
-
 EpochReport Campaign::run_epoch_impl(util::ThreadPool* pool, sim::RunContext* context) {
   obs::ScopedTimer epoch_timer(
       context != nullptr ? context->metrics().histogram("campaign.epoch_seconds")

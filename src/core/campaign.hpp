@@ -31,7 +31,6 @@
 #include "orbit/time.hpp"
 #include "rf/doppler.hpp"
 #include "rf/spectrum_plan.hpp"
-#include "util/deprecated.hpp"
 #include "util/rng.hpp"
 
 namespace mpleo::sim {
@@ -110,11 +109,6 @@ class Campaign {
   // "sched." plus campaign aggregates under "campaign.", and an epoch
   // summary line is recorded into context.trace().
   EpochReport run_epoch(sim::RunContext& context);
-
-  // Pre-RunContext forwarder; behaves exactly like run_epoch(context) with a
-  // default context carrying `pool`, minus the metrics/trace recording.
-  MPLEO_DEPRECATED("pass a sim::RunContext: campaign.run_epoch(context)")
-  EpochReport run_epoch(util::ThreadPool* pool = nullptr);
 
   // Withdraws a party effective from the next epoch; returns satellites
   // removed.

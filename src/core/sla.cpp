@@ -5,22 +5,6 @@
 #include "sim/run_context.hpp"
 
 namespace mpleo::core {
-namespace {
-
-// Shared body of the deprecated tail-parameter overload and the RunContext
-// overload, so neither calls the other (which would trip the deprecation
-// warning inside our own build).
-SlaReport evaluate_sla_impl(const SlaTerms& terms, cov::VisibilityCache& cache,
-                            std::span<const std::size_t> satellite_indices,
-                            std::size_t site_index, const fault::FaultTimeline* faults,
-                            util::ThreadPool* pool) {
-  if (pool != nullptr) cache.precompute_all(pool);
-  const cov::StepMask mask = cache.union_mask(satellite_indices, site_index, faults);
-  return evaluate_sla(terms, cache.engine().stats(mask));
-}
-
-}  // namespace
-
 const char* to_string(SlaClause clause) noexcept {
   switch (clause) {
     case SlaClause::kCoverageFraction: return "coverage-fraction";
@@ -67,18 +51,13 @@ SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
                        std::span<const std::size_t> satellite_indices,
                        std::size_t site_index, sim::RunContext& context) {
   obs::ScopedTimer timer(context.metrics().histogram("sla.evaluate_seconds"));
-  const SlaReport report = evaluate_sla_impl(terms, cache, satellite_indices, site_index,
-                                             context.faults(), context.pool());
+  if (context.pool() != nullptr) cache.precompute_all(context.pool());
+  const cov::StepMask mask =
+      cache.union_mask(satellite_indices, site_index, context.faults());
+  const SlaReport report = evaluate_sla(terms, cache.engine().stats(mask));
   context.metrics().counter("sla.evaluations").add(1);
   context.metrics().counter("sla.violations").add(report.violations.size());
   return report;
-}
-
-SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
-                       std::span<const std::size_t> satellite_indices,
-                       std::size_t site_index, const fault::FaultTimeline& faults,
-                       util::ThreadPool* pool) {
-  return evaluate_sla_impl(terms, cache, satellite_indices, site_index, &faults, pool);
 }
 
 bool settle_sla_penalty(const SlaReport& report, Ledger& ledger, AccountId provider,

@@ -14,16 +14,9 @@
 #include "core/ledger.hpp"
 #include "coverage/engine.hpp"
 #include "net/scheduler.hpp"
-#include "util/deprecated.hpp"
 
-namespace mpleo::fault {
-class FaultTimeline;
-}
 namespace mpleo::sim {
 class RunContext;
-}
-namespace mpleo::util {
-class ThreadPool;
 }
 
 namespace mpleo::core {
@@ -80,17 +73,6 @@ struct SlaReport {
 [[nodiscard]] SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
                                      std::span<const std::size_t> satellite_indices,
                                      std::size_t site_index, sim::RunContext& context);
-
-// Pre-RunContext forwarder: identical to a context carrying `faults` and
-// `pool`, minus the metrics recording.
-MPLEO_DEPRECATED(
-    "pass a sim::RunContext carrying the timeline and pool: "
-    "evaluate_sla(terms, cache, satellites, site, context)")
-[[nodiscard]] SlaReport evaluate_sla(const SlaTerms& terms, cov::VisibilityCache& cache,
-                                     std::span<const std::size_t> satellite_indices,
-                                     std::size_t site_index,
-                                     const fault::FaultTimeline& faults,
-                                     util::ThreadPool* pool = nullptr);
 
 // Executes the penalty transfer; returns false when the provider cannot pay
 // (the shortfall is recorded by the caller — an undercollateralised provider

@@ -1,16 +1,59 @@
-// Structured input validation for the core layer.
+// Structured input validation shared by every configuration surface.
 //
-// The consortium/quarantine surfaces take fraction- and stake-valued inputs
-// from configuration and command lines; silently clamping a negative stake
-// or a fraction of 1.7 hides operator errors behind plausible-looking
-// results. ValidationError carries the offending field name and value so
-// callers (and CI logs) see exactly which knob was wrong.
+// Two complementary tools live here:
+//
+//  * ConfigIssue — the one issue record every config struct's `validate()`
+//    returns. rf::RfConfigIssue, orbit::TleFieldIssue and the scheduler /
+//    scenario validation paths each used to invent their own shape; they are
+//    now thin aliases of this type, so a driver can collect issues from any
+//    layer into one damage report. `validate()` collects every problem found
+//    (not just the first) so an operator fixing a config sees the whole
+//    report in one pass; constructing a component from an invalid config
+//    throws with every issue joined into the message (throw_if_invalid).
+//
+//  * ValidationError / require_* — scalar guards for single-value call sites
+//    (stakes, fractions) where a full issue list is overkill.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace mpleo::core {
+
+enum class IssueSeverity : std::uint8_t {
+  kWarning,  // suspicious but runnable; reported, never thrown on
+  kError,    // the config cannot be used; throw_if_invalid throws
+};
+
+[[nodiscard]] const char* to_string(IssueSeverity severity) noexcept;
+
+// One problem found in one configuration field. `component` names the
+// owning subsystem ("rf.doppler", "orbit.tle", "net.scheduler",
+// "sim.scenario"...), `field` the offending knob within it, and `message`
+// the human-readable reason including the offending value.
+struct ConfigIssue {
+  std::string component;
+  std::string field;
+  std::string message;
+  IssueSeverity severity = IssueSeverity::kError;
+
+  friend bool operator==(const ConfigIssue&, const ConfigIssue&) = default;
+};
+
+// True when any issue is an error (warnings alone leave a config usable).
+[[nodiscard]] bool has_errors(const std::vector<ConfigIssue>& issues) noexcept;
+
+// Joins issues into one multi-line message: "<context>: N invalid field(s)"
+// followed by one "  field: message" line per issue. Empty issues -> "".
+[[nodiscard]] std::string format_issues(const std::string& context,
+                                        const std::vector<ConfigIssue>& issues);
+
+// Throws std::invalid_argument carrying format_issues(...) when any
+// error-severity issue is present; no-op otherwise.
+void throw_if_invalid(const std::string& context,
+                      const std::vector<ConfigIssue>& issues);
 
 class ValidationError : public std::invalid_argument {
  public:

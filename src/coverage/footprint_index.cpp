@@ -1,0 +1,277 @@
+#include "coverage/footprint_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/units.hpp"
+
+namespace mpleo::cov {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kHalfPi = 0.5 * std::numbers::pi;
+
+// Same bounds the VisibilityCuller bakes into its cone (visibility_cull.cpp):
+// geodetic-vertical vs geocentric-radial deflection, plus the angular slack
+// absorbing table round-off. Keeping the constants identical means a
+// FootprintCone is exactly the culler's cone with the family-wide extreme
+// radii substituted in — never tighter.
+constexpr double kVerticalDeflection = 0.0035;
+constexpr double kAngularSlack = 2e-4;
+// Pure floating-point pad on the asin/acos/atan2 chain in cap queries; the
+// geometric margins above dwarf it.
+constexpr double kQuerySlack = 1e-9;
+
+[[nodiscard]] double clamp_unit(double v) { return std::clamp(v, -1.0, 1.0); }
+
+[[nodiscard]] double wrap_lon(double lon) {
+  lon = std::fmod(lon, kTwoPi);
+  if (lon < 0.0) lon += kTwoPi;
+  return lon;
+}
+
+}  // namespace
+
+FootprintCone FootprintCone::make(double r_min_m, double r_max_m,
+                                  double site_r_min_m,
+                                  double elevation_mask_deg) {
+  FootprintCone cone;
+  // Degenerate geometry mirrors the culler's exhaustive fallback: outside the
+  // cone derivation's domain the cap is the whole sphere and the dot test
+  // passes everything (threshold below -|p| for any table position).
+  const bool bad_mask = elevation_mask_deg < 0.0 || elevation_mask_deg >= 90.0;
+  if (bad_mask || !(site_r_min_m > 0.0) || !(r_min_m > 0.0) ||
+      !(r_max_m >= r_min_m) || !(r_max_m > site_r_min_m * 1.001)) {
+    cone.psi_rad = kPi;
+    cone.dot_threshold = -4.0 * std::max(r_max_m, 1.0);
+    cone.exhaustive = true;
+    return cone;
+  }
+
+  // psi = acos(c) - theta_t with c = (R/r_max) * cos(m_eff). Substituting the
+  // family minimum R and maximum r_max minimises c, hence maximises psi: the
+  // family cone contains every member/site cone, and a site outside it is
+  // outside all of them.
+  const double m_eff = util::deg_to_rad(elevation_mask_deg) - kVerticalDeflection;
+  const double theta_t = m_eff - kAngularSlack;
+  const double c = (site_r_min_m / r_max_m) * std::cos(m_eff);  // in (0, 1)
+  const double s_c = std::sqrt(std::max(0.0, 1.0 - c * c));
+  const double cos_psi = c * std::cos(theta_t) + s_c * std::sin(theta_t);
+  cone.psi_rad = std::acos(clamp_unit(cos_psi));
+  // Dot form, bounded below over r in [r_min, r_max] exactly as the culler
+  // does: visible at radius r implies dot(u, p) = r * cos(angle) >=
+  // r * cos_psi >= r_ref * cos_psi > threshold.
+  const double r_ref = cos_psi >= 0.0 ? r_min_m : r_max_m;
+  cone.dot_threshold = cos_psi * r_ref - 1e-6 * r_max_m;
+  return cone;
+}
+
+double max_abs_sin_latitude(const orbit::EphemerisTable& table) {
+  const std::span<const double> zs = table.z();
+  const std::span<const double> rs = table.radius_m();
+  double max_sin = 0.0;
+  for (std::size_t k = 0; k < zs.size(); ++k) {
+    if (!(rs[k] > 0.0)) return 1.0;  // degenerate position: assume anywhere
+    max_sin = std::max(max_sin, std::abs(zs[k]) / rs[k]);
+  }
+  return std::min(max_sin, 1.0);
+}
+
+bool latitude_reachable(double max_abs_sin_lat, double psi_rad,
+                        double site_sin_lat) {
+  if (psi_rad >= kHalfPi) return true;
+  const double sat_lat = std::asin(clamp_unit(max_abs_sin_lat));
+  const double site_lat = std::abs(std::asin(clamp_unit(site_sin_lat)));
+  // Visible => central angle <= psi => |lat_site - lat_sat| <= psi.
+  return site_lat <= sat_lat + psi_rad + kQuerySlack;
+}
+
+FootprintIndex::FootprintIndex(std::span<const orbit::TopocentricFrame> frames,
+                               double band_height_deg) {
+  if (!(band_height_deg > 0.0) || band_height_deg > 180.0) band_height_deg = 4.0;
+  band_height_rad_ = util::deg_to_rad(band_height_deg);
+  band_count_ = static_cast<std::size_t>(std::ceil(kPi / band_height_rad_));
+  const std::size_t n = frames.size();
+
+  // Cells per band shrink with cos(latitude) so cells stay roughly square
+  // (equal-area, same scheme as cov::EarthGrid); the equatorial band gets
+  // ~2*pi / band_height cells.
+  const double base_cells = std::ceil(kTwoPi / band_height_rad_);
+  band_cell_begin_.assign(band_count_ + 1, 0);
+  for (std::size_t b = 0; b < band_count_; ++b) {
+    const double center =
+        -kHalfPi + (static_cast<double>(b) + 0.5) * band_height_rad_;
+    const double cos_c = std::cos(std::clamp(center, -kHalfPi, kHalfPi));
+    const auto cells = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(base_cells * std::max(0.0, cos_c))));
+    band_cell_begin_[b + 1] = band_cell_begin_[b] + cells;
+  }
+  const std::size_t total_cells = band_cell_begin_[band_count_];
+
+  // Two passes: count sites per flat cell, prefix-sum, scatter into SoA.
+  std::vector<std::uint32_t> cell_of(n, 0);
+  std::vector<std::uint32_t> counts(total_cells, 0);
+  std::vector<double> unit(3 * n, 0.0);
+  min_site_radius_m_ = n == 0 ? 0.0 : std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < n; ++i) {
+    const util::Vec3& origin = frames[i].origin_ecef();
+    const double r = origin.norm();
+    min_site_radius_m_ = std::min(min_site_radius_m_, r);
+    double lat = 0.0, lon = 0.0;
+    if (r > 0.0) {
+      const double inv_r = 1.0 / r;
+      unit[3 * i] = origin.x * inv_r;
+      unit[3 * i + 1] = origin.y * inv_r;
+      unit[3 * i + 2] = origin.z * inv_r;
+      lat = std::asin(clamp_unit(origin.z * inv_r));
+      lon = wrap_lon(std::atan2(origin.y, origin.x));
+    }
+    // Zero-radius sites keep a zero unit vector and land in the equatorial
+    // cell; min_site_radius_m() == 0 then forces the paired FootprintCone
+    // exhaustive (psi = pi), so every query still returns them.
+    const std::size_t b = band_of(lat);
+    const std::uint32_t cells_b = band_cell_begin_[b + 1] - band_cell_begin_[b];
+    auto ci = static_cast<std::uint32_t>(lon / kTwoPi * cells_b);
+    ci = std::min(ci, cells_b - 1);
+    cell_of[i] = band_cell_begin_[b] + ci;
+    ++counts[cell_of[i]];
+  }
+  if (n == 0) min_site_radius_m_ = 0.0;
+
+  cell_offsets_.assign(total_cells + 1, 0);
+  for (std::size_t c = 0; c < total_cells; ++c) {
+    cell_offsets_[c + 1] = cell_offsets_[c] + counts[c];
+  }
+  ux_.resize(n);
+  uy_.resize(n);
+  uz_.resize(n);
+  site_ids_.resize(n);
+  std::vector<std::uint32_t> cursor(cell_offsets_.begin(),
+                                    cell_offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = cursor[cell_of[i]]++;
+    ux_[slot] = unit[3 * i];
+    uy_[slot] = unit[3 * i + 1];
+    uz_[slot] = unit[3 * i + 2];
+    site_ids_[slot] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t FootprintIndex::band_of(double lat_rad) const noexcept {
+  const double shifted = (lat_rad + kHalfPi) / band_height_rad_;
+  const auto b = static_cast<long>(std::floor(shifted));
+  return static_cast<std::size_t>(
+      std::clamp(b, 0L, static_cast<long>(band_count_) - 1L));
+}
+
+void FootprintIndex::query_cap(const util::Vec3& center, double psi_rad,
+                               std::vector<Range>& out) const {
+  const auto size = static_cast<std::uint32_t>(site_ids_.size());
+  if (size == 0) return;
+  const double norm = center.norm();
+  if (!(norm > 0.0) || psi_rad >= kPi - kQuerySlack) {
+    out.push_back({0, size});
+    return;
+  }
+  const double lat0 = std::asin(clamp_unit(center.z / norm));
+  const double lon0 = wrap_lon(std::atan2(center.y, center.x));
+  const double sin0 = std::sin(lat0);
+  const double cos0 = std::cos(lat0);
+  const double psi = psi_rad + kQuerySlack;
+  const double cos_psi = std::cos(psi);
+
+  const std::size_t b_lo = band_of(lat0 - psi);
+  const std::size_t b_hi = band_of(lat0 + psi);
+  for (std::size_t b = b_lo; b <= b_hi; ++b) {
+    const double band_lo = -kHalfPi + static_cast<double>(b) * band_height_rad_;
+    const double band_hi = band_lo + band_height_rad_;
+    // Latitudes this band shares with the cap's latitude belt.
+    const double lo = std::clamp(std::max(band_lo, lat0 - psi), -kHalfPi, kHalfPi);
+    const double hi = std::clamp(std::min(band_hi, lat0 + psi), -kHalfPi, kHalfPi);
+    if (lo > hi) continue;
+
+    // Longitude half-width at latitude lambda: cos(dlon) >= f(lambda) with
+    // f = (cos psi - sin lat0 * sin lambda) / (cos lat0 * cos lambda).
+    // Minimise f over [lo, hi]: the interior critical point solves
+    // sin(lambda*) = sin(lat0) / cos(psi); evaluate it plus both endpoints.
+    double min_f = std::numeric_limits<double>::max();
+    bool all_lon = false;
+    const auto eval = [&](double lambda) {
+      const double denom = cos0 * std::cos(lambda);
+      const double numer = cos_psi - sin0 * std::sin(lambda);
+      if (denom <= 1e-12) {
+        // Cap centred at a pole, or the band touches one: every longitude is
+        // within reach unless the cap provably misses the whole latitude
+        // (numer > 0 with a vanishing denominator) — keep it conservative.
+        if (numer <= 1e-12) all_lon = true;
+        return;
+      }
+      min_f = std::min(min_f, numer / denom);
+    };
+    eval(lo);
+    eval(hi);
+    if (cos_psi > 1e-12) {
+      const double s = sin0 / cos_psi;
+      if (s >= -1.0 && s <= 1.0) {
+        const double crit = std::asin(s);
+        if (crit > lo && crit < hi) eval(crit);
+      }
+    } else {
+      // psi >= 90 deg: f is monotone in tan(lambda) only for cos_psi > 0;
+      // cover the wide-cap case by accepting all longitudes in this band.
+      all_lon = true;
+    }
+
+    const std::uint32_t cell_begin = band_cell_begin_[b];
+    const std::uint32_t cells_b = band_cell_begin_[b + 1] - cell_begin;
+    const auto emit_cells = [&](std::uint32_t c0, std::uint32_t c1) {
+      const std::uint32_t first = cell_offsets_[cell_begin + c0];
+      const std::uint32_t last = cell_offsets_[cell_begin + c1 + 1];
+      if (first < last) out.push_back({first, last});
+    };
+    if (all_lon || min_f <= -1.0 + 1e-12) {
+      emit_cells(0, cells_b - 1);
+      continue;
+    }
+    if (min_f > 1.0) continue;  // band corner outside the cap entirely
+    const double dlon = std::acos(clamp_unit(min_f)) + kQuerySlack;
+    const double width = kTwoPi / static_cast<double>(cells_b);
+    const auto c_lo = static_cast<long>(std::floor((lon0 - dlon) / width));
+    const auto c_hi = static_cast<long>(std::floor((lon0 + dlon) / width));
+    if (c_hi - c_lo + 1 >= static_cast<long>(cells_b)) {
+      emit_cells(0, cells_b - 1);
+      continue;
+    }
+    const auto wrap = [&](long c) {
+      long m = c % static_cast<long>(cells_b);
+      if (m < 0) m += static_cast<long>(cells_b);
+      return static_cast<std::uint32_t>(m);
+    };
+    const std::uint32_t w_lo = wrap(c_lo);
+    const std::uint32_t w_hi = wrap(c_hi);
+    if (w_lo <= w_hi) {
+      emit_cells(w_lo, w_hi);
+    } else {
+      // Dateline wrap: two ascending, disjoint runs.
+      emit_cells(0, w_hi);
+      emit_cells(w_lo, cells_b - 1);
+    }
+  }
+}
+
+void FootprintIndex::query_latitude_band(double sin_lat_lo, double sin_lat_hi,
+                                         std::vector<std::uint32_t>& out) const {
+  if (site_ids_.empty() || sin_lat_lo > sin_lat_hi) return;
+  const double lat_lo = std::asin(clamp_unit(sin_lat_lo)) - kQuerySlack;
+  const double lat_hi = std::asin(clamp_unit(sin_lat_hi)) + kQuerySlack;
+  const std::size_t b_lo = band_of(lat_lo);
+  const std::size_t b_hi = band_of(lat_hi);
+  const std::uint32_t first = cell_offsets_[band_cell_begin_[b_lo]];
+  const std::uint32_t last = cell_offsets_[band_cell_begin_[b_hi + 1]];
+  for (std::uint32_t j = first; j < last; ++j) out.push_back(site_ids_[j]);
+}
+
+}  // namespace mpleo::cov

@@ -1,6 +1,7 @@
 #include "coverage/visibility_cull.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numbers>
 
@@ -44,8 +45,10 @@ VisibilityCuller::VisibilityCuller(const orbit::TimeGrid& grid, double elevation
   cull_sin_b_ = std::sin(theta_b);
 }
 
-void VisibilityCuller::fill(const orbit::EphemerisTable& ephemeris,
-                            const orbit::TopocentricFrame& frame, StepMask& out) const {
+template <class Sink>
+void VisibilityCuller::fill_impl(const orbit::EphemerisTable& ephemeris,
+                                 const orbit::TopocentricFrame& frame,
+                                 Sink&& set_bit) const {
   const std::size_t n = ephemeris.size();
   const double* xs = ephemeris.x().data();
   const double* ys = ephemeris.y().data();
@@ -59,7 +62,7 @@ void VisibilityCuller::fill(const orbit::EphemerisTable& ephemeris,
   // fall back to testing every step exactly.
   if (exhaustive_ || !(site_r > 0.0) || !(r_max > site_r * 1.001)) {
     for (std::size_t k = 0; k < n; ++k) {
-      if (frame.visible_above({xs[k], ys[k], zs[k]}, sin_mask_)) out.set(k);
+      if (frame.visible_above({xs[k], ys[k], zs[k]}, sin_mask_)) set_bit(k);
     }
     return;
   }
@@ -83,7 +86,7 @@ void VisibilityCuller::fill(const orbit::EphemerisTable& ephemeris,
     const util::Vec3 p{xs[k], ys[k], zs[k]};
     if (ux * p.x + uy * p.y + uz * p.z >= threshold &&
         frame.visible_above(p, sin_mask_)) {
-      out.set(k);
+      set_bit(k);
     }
   };
 
@@ -196,11 +199,35 @@ void VisibilityCuller::fill(const orbit::EphemerisTable& ephemeris,
 }
 
 void VisibilityCuller::fill(const orbit::EphemerisTable& ephemeris,
+                            const orbit::TopocentricFrame& frame, StepMask& out) const {
+  fill_impl(ephemeris, frame, [&out](std::size_t k) { out.set(k); });
+}
+
+void VisibilityCuller::fill(const orbit::EphemerisTable& ephemeris,
                             const orbit::TopocentricFrame& frame, StepMask& out,
                             const CullCounters& counters) const {
   fill(ephemeris, frame, out);
   counters.masks_filled.add(1);
   counters.visible_steps.add(out.count());
+}
+
+void VisibilityCuller::fill(const orbit::EphemerisTable& ephemeris,
+                            const orbit::TopocentricFrame& frame,
+                            std::span<std::uint64_t> words) const {
+  fill_impl(ephemeris, frame, [words](std::size_t k) {
+    words[k >> 6] |= std::uint64_t{1} << (k & 63);
+  });
+}
+
+void VisibilityCuller::fill(const orbit::EphemerisTable& ephemeris,
+                            const orbit::TopocentricFrame& frame,
+                            std::span<std::uint64_t> words,
+                            const CullCounters& counters) const {
+  fill(ephemeris, frame, words);
+  std::size_t visible = 0;
+  for (const std::uint64_t w : words) visible += static_cast<std::size_t>(std::popcount(w));
+  counters.masks_filled.add(1);
+  counters.visible_steps.add(visible);
 }
 
 }  // namespace mpleo::cov

@@ -15,6 +15,9 @@
 // exhaustive per-step scan over the same ephemeris table.
 #pragma once
 
+#include <cstdint>
+#include <span>
+
 #include "coverage/step_mask.hpp"
 #include "obs/metrics.hpp"
 #include "orbit/ephemeris.hpp"
@@ -55,7 +58,24 @@ class VisibilityCuller {
   void fill(const orbit::EphemerisTable& ephemeris, const orbit::TopocentricFrame& frame,
             StepMask& out, const CullCounters& counters) const;
 
+  // Word-span fill: the same bits as the StepMask overloads OR-ed into a
+  // caller-owned word array (low bit of words[0] = step 0 — the StepMask
+  // layout). This is the PackedMasks path, where tens of millions of pair
+  // masks share slab storage instead of owning vectors. The counters variant
+  // popcounts the span afterwards, so it expects `words` all-zero on entry
+  // (which the plain overload also assumes, like the StepMask ones do).
+  void fill(const orbit::EphemerisTable& ephemeris, const orbit::TopocentricFrame& frame,
+            std::span<std::uint64_t> words) const;
+  void fill(const orbit::EphemerisTable& ephemeris, const orbit::TopocentricFrame& frame,
+            std::span<std::uint64_t> words, const CullCounters& counters) const;
+
  private:
+  // The one cull body behind every overload; Sink is called with each step
+  // index at which the satellite clears the mask, in no particular order.
+  template <class Sink>
+  void fill_impl(const orbit::EphemerisTable& ephemeris,
+                 const orbit::TopocentricFrame& frame, Sink&& set_bit) const;
+
   double step_seconds_ = 0.0;
   double sin_mask_ = 0.0;
   bool exhaustive_ = false;  // mask outside [0, 90): no cone, test every step

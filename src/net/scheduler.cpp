@@ -1,25 +1,30 @@
 #include "net/scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
 
+#include "coverage/footprint_index.hpp"
+#include "coverage/packed_masks.hpp"
 #include "coverage/step_mask.hpp"
 #include "coverage/visibility_cull.hpp"
 #include "fault/timeline.hpp"
 #include "obs/metrics.hpp"
 #include "sim/run_context.hpp"
+#include "util/stream_queue.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace mpleo::net {
 namespace {
 
-// Phase 1 works one StepMask word at a time: a chunk is exactly the 64 steps
-// behind one word of every pair mask, so feasibility of a whole chunk is a
-// single AND and empty chunks cost one load.
-constexpr std::size_t kChunkSteps = 64;
+// Pair-mask storage budget for VisibilityMode::kAuto: below this the classic
+// per-(satellite, terminal) masks are built (fastest while they fit), above
+// it phase 1 switches to the footprint stream, whose memory does not scale
+// with satellites x terminals.
+constexpr std::size_t kPairMaskBudgetBytes = std::size_t{1} << 30;
 
 // One precomputed service option: for a (terminal, satellite) pair visible at
 // a step, the best (highest end-to-end capacity, lowest index on ties) healthy
@@ -41,11 +46,32 @@ struct StepCandidates {
   std::vector<Candidate> cands;
   std::vector<std::uint32_t> offsets;
 
-  void reset(std::size_t terminal_count) {
+  // `reserve_hint` is the running high-water mark of per-step candidate
+  // counts, so steady-state chunks emit into pre-sized vectors instead of
+  // regrowing through the same doubling ladder every chunk.
+  void reset(std::size_t terminal_count, std::size_t reserve_hint) {
     cands.clear();
+    if (cands.capacity() < reserve_hint) cands.reserve(reserve_hint);
     offsets.assign(terminal_count + 1, 0);
   }
 };
+
+// Lock-free running maximum (no std::atomic::fetch_max in C++20).
+void atomic_max(std::atomic<std::size_t>& target, std::size_t value) noexcept {
+  std::size_t cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// The 64-step mask word bits covering steps [chunk_begin, chunk_begin +
+// count). stream_chunk_steps is a validated power of two <= 64, so a chunk
+// never straddles a word; sub-word chunks shift and mask.
+std::uint64_t chunk_word(std::span<const std::uint64_t> words,
+                         std::size_t chunk_begin, std::size_t count) noexcept {
+  const std::uint64_t bits = words[chunk_begin >> 6] >> (chunk_begin & 63);
+  return count >= 64 ? bits : bits & ((std::uint64_t{1} << count) - 1);
+}
 
 // A downlink leg toward one station, cached per (satellite, step) so the
 // satellite->station leg is computed once instead of once per terminal. Only
@@ -66,14 +92,14 @@ struct PipelineContext {
   std::span<const orbit::TopocentricFrame> terminal_frames;
   std::span<const orbit::TopocentricFrame> station_frames;
   const orbit::EphemerisSet& ephemerides;
-  // Pair visibility, outage-subtracted for stations:
-  //   terminal_vis[si * terminals.size() + ti], station_vis[si * stations.size() + gi].
-  std::span<const cov::StepMask> terminal_vis;
-  std::span<const cov::StepMask> station_vis;
-  // party_avail[party * satellites.size() + si]: steps where satellite si can
-  // reach at least one healthy station of `party` — the word that gates all
-  // uplink work for that party's terminals.
-  std::span<const cov::StepMask> party_avail;
+  // Pair visibility in slab-packed word storage, outage-subtracted for
+  // stations: mask si * terminals.size() + ti, mask si * stations.size() + gi.
+  const cov::PackedMasks* terminal_vis = nullptr;
+  const cov::PackedMasks* station_vis = nullptr;
+  // party * satellites.size() + si: steps where satellite si can reach at
+  // least one healthy station of `party` — the word that gates all uplink
+  // work for that party's terminals.
+  const cov::PackedMasks* party_avail = nullptr;
   // Range-independent hop pieces, hoisted once per run: uplink_hops[ti] is
   // terminal ti -> transponder receive, downlink_hops[gi] is transponder
   // transmit -> station gi.
@@ -81,9 +107,12 @@ struct PipelineContext {
   std::span<const HopEvaluator> downlink_hops;
   // Per-hop Shannon terms are only consumed by the regenerative combine.
   bool regenerative = false;
+  // Per-step candidate-count high-water mark, shared across chunk workers
+  // for the reserve hint and reported as a gauge at the end of the run.
+  std::atomic<std::size_t>* step_high_water = nullptr;
 };
 
-// Per-worker scratch for fill_chunk, reused across the chunks a wave slot
+// Per-slot scratch for fill_chunk, reused across the chunks a stream slot
 // processes so the (step, satellite) downlink lists keep their capacity
 // instead of reallocating tens of thousands of small vectors per chunk.
 struct FillScratch {
@@ -102,9 +131,9 @@ void fill_chunk(const PipelineContext& ctx, std::size_t chunk_begin, std::size_t
   const std::size_t sat_count = ctx.satellites.size();
   const std::size_t term_count = ctx.terminals.size();
   const std::size_t station_count = ctx.stations.size();
-  const std::size_t word = chunk_begin / kChunkSteps;
 
-  for (std::size_t b = 0; b < count; ++b) out[b].reset(term_count);
+  const std::size_t hint = ctx.step_high_water->load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < count; ++b) out[b].reset(term_count, hint);
 
   // Downlink legs first: one budget per (satellite, station, step) with both
   // the pair visible and the station healthy. Station order inside each
@@ -114,7 +143,8 @@ void fill_chunk(const PipelineContext& ctx, std::size_t chunk_begin, std::size_t
   for (std::size_t si = 0; si < sat_count; ++si) {
     const orbit::EphemerisTable& table = ctx.ephemerides.table(si);
     for (std::size_t gi = 0; gi < station_count; ++gi) {
-      std::uint64_t bits = ctx.station_vis[si * station_count + gi].words()[word];
+      std::uint64_t bits = chunk_word(ctx.station_vis->words(si * station_count + gi),
+                                      chunk_begin, count);
       while (bits != 0) {
         const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
         bits &= bits - 1;
@@ -135,10 +165,10 @@ void fill_chunk(const PipelineContext& ctx, std::size_t chunk_begin, std::size_t
   for (std::size_t ti = 0; ti < term_count; ++ti) {
     const Terminal& term = ctx.terminals[ti];
     const std::uint32_t party = term.owner_party;
-    const cov::StepMask* avail = &ctx.party_avail[party * sat_count];
     for (std::size_t si = 0; si < sat_count; ++si) {
-      std::uint64_t bits = ctx.terminal_vis[si * term_count + ti].words()[word] &
-                           avail[si].words()[word];
+      std::uint64_t bits =
+          chunk_word(ctx.terminal_vis->words(si * term_count + ti), chunk_begin, count) &
+          chunk_word(ctx.party_avail->words(party * sat_count + si), chunk_begin, count);
       if (bits == 0) continue;
       const orbit::EphemerisTable& table = ctx.ephemerides.table(si);
       while (bits != 0) {
@@ -176,6 +206,247 @@ void fill_chunk(const PipelineContext& ctx, std::size_t chunk_begin, std::size_t
       out[b].offsets[ti + 1] = static_cast<std::uint32_t>(out[b].cands.size());
     }
   }
+  for (std::size_t b = 0; b < count; ++b) {
+    atomic_max(*ctx.step_high_water, out[b].cands.size());
+  }
+}
+
+// Read-only inputs of the footprint-stream (direct) fill: no terminal pair
+// masks exist; visibility is discovered per (satellite, step) through the
+// spatial index and re-tested exactly.
+struct DirectContext {
+  const SchedulerConfig& config;
+  std::span<const constellation::Satellite> satellites;
+  std::span<const Terminal> terminals;
+  std::span<const GroundStation> stations;
+  std::span<const orbit::TopocentricFrame> terminal_frames;
+  std::span<const orbit::TopocentricFrame> station_frames;
+  const orbit::EphemerisSet& ephemerides;
+  const cov::FootprintIndex* index = nullptr;
+  // Orbital-shell shards (contiguous, ascending) and one conservative
+  // footprint cone per shard from the shard's radius extremes.
+  std::span<const constellation::ShellShard> shards;
+  std::span<const cov::FootprintCone> shard_cones;
+  const cov::PackedMasks* station_vis = nullptr;
+  const cov::PackedMasks* party_avail = nullptr;
+  std::span<const HopEvaluator> uplink_hops;
+  std::span<const HopEvaluator> downlink_hops;
+  bool regenerative = false;
+  double sin_mask = 0.0;
+  // max_candidates_per_terminal (0 = exact).
+  std::size_t cap = 0;
+  std::atomic<std::size_t>* step_high_water = nullptr;
+  // (satellite, terminal, step) visits skipped by the index — the pruning
+  // counter surfaced as sched.index_pruned_pairs.
+  std::atomic<std::uint64_t>* pruned_pairs = nullptr;
+};
+
+struct DirectScratch {
+  std::vector<std::vector<StationBudget>> downlinks;   // per step-in-chunk
+  std::vector<util::Vec3> positions;                   // per step-in-chunk
+  std::vector<cov::FootprintIndex::Range> ranges;
+  // Exact mode: per-step emission in (satellite-ascending, site-bucket)
+  // order, counting-sorted into terminal-major afterwards.
+  std::vector<std::vector<Candidate>> emitted;
+  std::vector<std::uint32_t> cursors;
+  // Capped mode: per-(step, terminal) blocks of 2*cap slots — own-satellite
+  // top-K in the front half, spare top-K in the back half, each kept sorted
+  // by capacity descending (stable: earlier = lower satellite index).
+  std::vector<Candidate> blocks;
+  std::vector<std::uint8_t> own_count;
+  std::vector<std::uint8_t> spare_count;
+};
+
+// Keeps region[0..n) the top-`cap` candidates by capacity (descending,
+// stable so the earlier — lower-satellite — entry wins ties).
+void top_k_insert(Candidate* region, std::uint8_t& n, std::size_t cap,
+                  const Candidate& cand) {
+  if (n >= cap && !(cand.capacity_bps > region[cap - 1].capacity_bps)) return;
+  std::size_t pos = n < cap ? n : cap - 1;
+  while (pos > 0 && region[pos - 1].capacity_bps < cand.capacity_bps) {
+    region[pos] = region[pos - 1];
+    --pos;
+  }
+  region[pos] = cand;
+  if (n < cap) ++n;
+}
+
+// The footprint-stream chunk fill. Emission is satellite-major (shards
+// ascending, satellites ascending inside each shard); the per-step counting
+// sort at the end restores the exact terminal-major / satellite-ascending
+// candidate order of fill_chunk, so with cap == 0 the output is bit-identical
+// to the pair-mask path: the index + cone only prune (conservative superset
+// of exact visibility), survivors run the same visible_above and the same
+// hop arithmetic on the same table positions.
+void fill_chunk_direct(const DirectContext& ctx, std::size_t chunk_begin,
+                       std::size_t count, std::span<StepCandidates> out,
+                       DirectScratch& scratch) {
+  const std::size_t sat_count = ctx.satellites.size();
+  const std::size_t term_count = ctx.terminals.size();
+  const std::size_t station_count = ctx.stations.size();
+  const std::size_t cap = ctx.cap;
+
+  const std::size_t hint = ctx.step_high_water->load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < count; ++b) out[b].reset(term_count, hint);
+
+  if (scratch.downlinks.size() < count) scratch.downlinks.resize(count);
+  scratch.positions.resize(count);
+  if (cap == 0) {
+    if (scratch.emitted.size() < count) scratch.emitted.resize(count);
+    for (std::size_t b = 0; b < count; ++b) scratch.emitted[b].clear();
+  } else {
+    scratch.blocks.resize(count * term_count * 2 * cap);
+    scratch.own_count.assign(count * term_count, 0);
+    scratch.spare_count.assign(count * term_count, 0);
+  }
+
+  const std::span<const double> ux = ctx.index->unit_x();
+  const std::span<const double> uy = ctx.index->unit_y();
+  const std::span<const double> uz = ctx.index->unit_z();
+  const std::span<const std::uint32_t> ids = ctx.index->site_ids();
+
+  std::uint64_t pruned = 0;
+  for (std::size_t shard_i = 0; shard_i < ctx.shards.size(); ++shard_i) {
+    const constellation::ShellShard& shard = ctx.shards[shard_i];
+    const cov::FootprintCone& cone = ctx.shard_cones[shard_i];
+    for (std::size_t si = shard.begin; si < shard.end; ++si) {
+      const orbit::EphemerisTable& table = ctx.ephemerides.table(si);
+
+      // Downlink budgets for this satellite over the chunk, station order
+      // ascending (the reference tie-break order).
+      for (std::size_t b = 0; b < count; ++b) scratch.downlinks[b].clear();
+      std::uint64_t any_station = 0;
+      for (std::size_t gi = 0; gi < station_count; ++gi) {
+        std::uint64_t bits = chunk_word(
+            ctx.station_vis->words(si * station_count + gi), chunk_begin, count);
+        any_station |= bits;
+        while (bits != 0) {
+          const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const std::size_t step = chunk_begin + b;
+          const util::Vec3 pos = table.position_ecef(step);
+          const double snr =
+              ctx.downlink_hops[gi].snr_linear(ctx.station_frames[gi].range_m(pos));
+          scratch.downlinks[b].push_back(
+              {static_cast<std::uint32_t>(gi), snr,
+               ctx.regenerative ? ctx.downlink_hops[gi].shannon_bps(snr) : 0.0});
+        }
+      }
+      // No reachable station anywhere in the chunk: no candidate can form
+      // (party_avail is the union of these legs), skip the terminal scan.
+      if (any_station == 0) continue;
+
+      for (std::size_t b = 0; b < count; ++b) {
+        if (scratch.downlinks[b].empty()) continue;
+        const std::size_t step = chunk_begin + b;
+        const util::Vec3 pos = table.position_ecef(step);
+        scratch.ranges.clear();
+        ctx.index->query_cap(pos, cone.psi_rad, scratch.ranges);
+
+        std::size_t visited = 0;
+        for (const cov::FootprintIndex::Range& range : scratch.ranges) {
+          visited += range.end - range.begin;
+          for (std::uint32_t j = range.begin; j < range.end; ++j) {
+            // Conservative cone dot test, then the exact elevation test —
+            // identical accept set to the culler-filled pair mask bit.
+            if (ux[j] * pos.x + uy[j] * pos.y + uz[j] * pos.z < cone.dot_threshold) {
+              continue;
+            }
+            const std::uint32_t ti = ids[j];
+            const std::uint32_t party = ctx.terminals[ti].owner_party;
+            if (!ctx.party_avail->test(party * sat_count + si, step)) continue;
+            if (!ctx.terminal_frames[ti].visible_above(pos, ctx.sin_mask)) continue;
+
+            const double up_snr =
+                ctx.uplink_hops[ti].snr_linear(ctx.terminal_frames[ti].range_m(pos));
+            const double up_shannon =
+                ctx.regenerative ? ctx.uplink_hops[ti].shannon_bps(up_snr) : 0.0;
+            double best_capacity = 0.0;
+            std::uint32_t best_gs = 0;
+            bool found = false;
+            for (const StationBudget& sb : scratch.downlinks[b]) {
+              if (ctx.stations[sb.station].owner_party != party) continue;
+              const double capacity = relay_capacity_bps(
+                  up_snr, up_shannon, sb.snr_linear, sb.shannon_bps,
+                  ctx.config.transponder, ctx.stations[sb.station].radio,
+                  ctx.config.relay_mode);
+              if (capacity > best_capacity) {
+                best_capacity = capacity;
+                best_gs = sb.station;
+                found = true;
+              }
+            }
+            if (!found) continue;
+            const Candidate cand{ti, static_cast<std::uint32_t>(si), best_gs,
+                                 best_capacity};
+            if (cap == 0) {
+              scratch.emitted[b].push_back(cand);
+            } else {
+              const std::size_t idx = b * term_count + ti;
+              const bool spare = ctx.satellites[si].owner_party != party;
+              Candidate* region =
+                  scratch.blocks.data() + idx * 2 * cap + (spare ? cap : 0);
+              top_k_insert(region,
+                           spare ? scratch.spare_count[idx] : scratch.own_count[idx],
+                           cap, cand);
+            }
+          }
+        }
+        pruned += term_count - visited;
+      }
+    }
+  }
+
+  if (cap == 0) {
+    // Counting sort per step: stable by terminal, so within a terminal the
+    // satellite-ascending emission order is preserved — exactly the
+    // pair-mask path's CSR.
+    scratch.cursors.resize(term_count);
+    for (std::size_t b = 0; b < count; ++b) {
+      StepCandidates& sc = out[b];
+      const std::vector<Candidate>& em = scratch.emitted[b];
+      for (const Candidate& cand : em) ++sc.offsets[cand.terminal + 1];
+      for (std::size_t ti = 0; ti < term_count; ++ti) {
+        sc.offsets[ti + 1] += sc.offsets[ti];
+        scratch.cursors[ti] = sc.offsets[ti];
+      }
+      sc.cands.resize(em.size());
+      for (const Candidate& cand : em) {
+        sc.cands[scratch.cursors[cand.terminal]++] = cand;
+      }
+    }
+  } else {
+    // Merge each terminal's own/spare top-K blocks back into satellite-
+    // ascending order (the canonical candidate order phase 2's strict-max
+    // tie-break expects).
+    Candidate merged[128];  // cap <= 64 validated => 2 * cap <= 128
+    for (std::size_t b = 0; b < count; ++b) {
+      StepCandidates& sc = out[b];
+      const std::size_t row = b * term_count;
+      for (std::size_t ti = 0; ti < term_count; ++ti) {
+        const std::size_t idx = row + ti;
+        const std::size_t n_own = scratch.own_count[idx];
+        const std::size_t n_spare = scratch.spare_count[idx];
+        const std::size_t n = n_own + n_spare;
+        if (n != 0) {
+          const Candidate* block = scratch.blocks.data() + idx * 2 * cap;
+          std::copy_n(block, n_own, merged);
+          std::copy_n(block + cap, n_spare, merged + n_own);
+          std::sort(merged, merged + n,
+                    [](const Candidate& a, const Candidate& b_) {
+                      return a.satellite < b_.satellite;
+                    });
+          sc.cands.insert(sc.cands.end(), merged, merged + n);
+        }
+        sc.offsets[ti + 1] = static_cast<std::uint32_t>(sc.cands.size());
+      }
+    }
+  }
+
+  for (std::size_t b = 0; b < count; ++b) {
+    atomic_max(*ctx.step_high_water, out[b].cands.size());
+  }
+  ctx.pruned_pairs->fetch_add(pruned, std::memory_order_relaxed);
 }
 
 // Phase-2 inputs: the step-invariant scheduling state.
@@ -186,6 +457,14 @@ struct ConsumeContext {
   std::span<const std::size_t> spare_order;
   // Per-satellite beams reserved from the spare pass (withholding).
   std::span<const int> spare_reserved;
+};
+
+// Per-run phase-2 scratch: beam counters and the served bitmap are assigned
+// (not reallocated) every step — at a million terminals the per-step
+// allocations the old code made would dominate the sequential phase.
+struct ConsumeScratch {
+  std::vector<int> beams_left;
+  std::vector<std::uint8_t> served;
 };
 
 // Spare-commons ban check shared by both phase-2 implementations: parties
@@ -206,20 +485,22 @@ bool spare_excluded(const SchedulerConfig& config, std::uint32_t party) noexcept
 StepSchedule consume_step(const ConsumeContext& ctx, const StepCandidates& sc,
                           std::size_t step, const fault::FaultTimeline* faults,
                           std::span<const std::uint8_t> blocked_terminals,
-                          std::uint64_t* beam_rejections,
+                          ConsumeScratch& scratch, std::uint64_t* beam_rejections,
                           std::uint64_t* withheld_rejections) {
   StepSchedule schedule;
   schedule.step = step;
 
   const bool faulted = faults != nullptr && !faults->empty();
-  std::vector<int> beams_left(ctx.satellites.size(), ctx.config.beams_per_satellite);
+  std::vector<int>& beams_left = scratch.beams_left;
+  beams_left.assign(ctx.satellites.size(), ctx.config.beams_per_satellite);
   if (faulted) {
     for (std::size_t si = 0; si < ctx.satellites.size(); ++si) {
       beams_left[si] = faults->degraded_beam_count(si, step, ctx.config.beams_per_satellite);
     }
   }
 
-  std::vector<std::uint8_t> served(ctx.terminals.size(), 0);
+  std::vector<std::uint8_t>& served = scratch.served;
+  served.assign(ctx.terminals.size(), 0);
   for (const bool spare_pass : {false, true}) {
     for (std::size_t order_index = 0; order_index < ctx.terminals.size(); ++order_index) {
       const std::size_t ti = spare_pass ? ctx.spare_order[order_index] : order_index;
@@ -416,17 +697,19 @@ struct RunMetrics {
   obs::Histogram propagate_seconds;     // shared ephemeris kernel
   obs::Histogram cull_seconds;          // pair masks + outages + party_avail
   obs::Histogram chunk_seconds;         // per phase-1 chunk (worker threads)
-  obs::Histogram wave_drain_seconds;    // per phase-2 wave sweep
+  obs::Histogram drain_seconds;         // per phase-2 chunk drain
   obs::Histogram candidates_per_step;   // candidate-list occupancy
   obs::Counter candidates;              // candidates emitted by phase 1
   obs::Counter cull_masks;              // pair masks filled by the culler
   obs::Counter cull_visible_steps;      // set bits across the pair masks
+  obs::Counter index_pruned_pairs;      // pair visits skipped by the spatial index
   obs::Counter beam_rejections;         // candidates skipped: no beam left
   obs::Counter withheld_rejections;     // spare candidates skipped: beams withheld
   obs::Counter links_granted;
   obs::Counter steps;
   obs::Counter failure_forced_detaches;
-  obs::Gauge wave_slots;
+  obs::Gauge stream_slots;
+  obs::Gauge candidate_high_water;      // max per-step candidate count seen
   obs::Gauge threads;
 
   static RunMetrics attach(obs::MetricsRegistry* registry) {
@@ -436,24 +719,62 @@ struct RunMetrics {
     m.propagate_seconds = registry->histogram("sched.propagate_seconds");
     m.cull_seconds = registry->histogram("sched.cull_seconds");
     m.chunk_seconds = registry->histogram("sched.phase1_chunk_seconds");
-    m.wave_drain_seconds = registry->histogram("sched.phase2_wave_seconds");
+    m.drain_seconds = registry->histogram("sched.phase2_drain_seconds");
     m.candidates_per_step = registry->histogram(
         "sched.candidates_per_step", obs::MetricsRegistry::default_count_bounds());
     m.candidates = registry->counter("sched.candidates");
     m.cull_masks = registry->counter("sched.cull_masks");
     m.cull_visible_steps = registry->counter("sched.cull_visible_steps");
+    m.index_pruned_pairs = registry->counter("sched.index_pruned_pairs");
     m.beam_rejections = registry->counter("sched.beam_rejections");
     m.withheld_rejections = registry->counter("sched.spare_withheld_rejections");
     m.links_granted = registry->counter("sched.links_granted");
     m.steps = registry->counter("sched.steps");
     m.failure_forced_detaches = registry->counter("sched.failure_forced_detaches");
-    m.wave_slots = registry->gauge("sched.wave_slots");
+    m.stream_slots = registry->gauge("sched.stream_slots");
+    m.candidate_high_water = registry->gauge("sched.candidate_high_water");
     m.threads = registry->gauge("sched.threads");
     return m;
   }
 };
 
 }  // namespace
+
+std::vector<core::ConfigIssue> SchedulerConfig::validate() const {
+  std::vector<core::ConfigIssue> issues;
+  const auto add = [&issues](const char* field, std::string message) {
+    issues.push_back({"net.scheduler", field, std::move(message)});
+  };
+  if (!std::isfinite(elevation_mask_deg)) {
+    add("elevation_mask_deg", "must be finite");
+  }
+  if (beams_per_satellite <= 0) {
+    add("beams_per_satellite",
+        "must be > 0, got " + std::to_string(beams_per_satellite));
+  }
+  if (stream_chunk_steps == 0 || stream_chunk_steps > 64 ||
+      (stream_chunk_steps & (stream_chunk_steps - 1)) != 0) {
+    add("stream_chunk_steps", "must be a power of two in [1, 64], got " +
+                                  std::to_string(stream_chunk_steps));
+  }
+  if (max_candidates_per_terminal > 64) {
+    add("max_candidates_per_terminal",
+        "must be <= 64, got " + std::to_string(max_candidates_per_terminal));
+  }
+  for (const double weight : spare_priority_by_party) {
+    if (!std::isfinite(weight) || weight < 0.0) {
+      add("spare_priority_by_party", "weights must be finite and >= 0");
+      break;
+    }
+  }
+  for (const double fraction : spare_withheld_fraction) {
+    if (!std::isfinite(fraction) || fraction < 0.0 || fraction > 1.0) {
+      add("spare_withheld_fraction", "entries must be in [0, 1]");
+      break;
+    }
+  }
+  return issues;
+}
 
 BentPipeScheduler::BentPipeScheduler(SchedulerConfig config,
                                      std::vector<constellation::Satellite> satellites,
@@ -464,15 +785,7 @@ BentPipeScheduler::BentPipeScheduler(SchedulerConfig config,
       terminals_(std::move(terminals)),
       stations_(std::move(stations)),
       sin_mask_(std::sin(util::deg_to_rad(config.elevation_mask_deg))) {
-  if (config_.beams_per_satellite <= 0) {
-    throw std::invalid_argument("BentPipeScheduler: beams_per_satellite must be > 0");
-  }
-  for (const double weight : config_.spare_priority_by_party) {
-    if (!std::isfinite(weight) || weight < 0.0) {
-      throw std::invalid_argument(
-          "BentPipeScheduler: spare priority weights must be finite and >= 0");
-    }
-  }
+  core::throw_if_invalid("BentPipeScheduler", config_.validate());
   if (!config_.spare_priority_by_party.empty()) {
     // A non-empty weight vector must cover every party index in play;
     // otherwise spare contention silently zero-weights (or worse, indexes
@@ -490,12 +803,6 @@ BentPipeScheduler::BentPipeScheduler(SchedulerConfig config,
         throw std::invalid_argument(
             "BentPipeScheduler: spare_priority_by_party does not cover satellite owner");
       }
-    }
-  }
-  for (const double fraction : config_.spare_withheld_fraction) {
-    if (!std::isfinite(fraction) || fraction < 0.0 || fraction > 1.0) {
-      throw std::invalid_argument(
-          "BentPipeScheduler: spare_withheld_fraction entries must be in [0, 1]");
     }
   }
   // Withheld beams, resolved per satellite once: ceil(nominal * fraction),
@@ -685,27 +992,101 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
     return ephemerides(grid, pool);
   }();
 
+  // Resolve the visibility mode: pair masks while the (satellite, terminal)
+  // mask array fits the budget, footprint stream beyond it.
+  const std::size_t mask_words = (step_total + 63) / 64;
+  VisibilityMode mode = config_.visibility_mode;
+  if (mode == VisibilityMode::kAuto) {
+    const std::size_t pair_bytes = sat_count * term_count * mask_words * 8;
+    mode = pair_bytes > kPairMaskBudgetBytes ? VisibilityMode::kFootprintStream
+                                             : VisibilityMode::kPairMasks;
+  }
+  const bool direct = mode == VisibilityMode::kFootprintStream;
+
   obs::ScopedTimer cull_timer(rm.cull_seconds);
 
-  // Pair visibility masks through the coverage cull. The cull only skips
-  // work — each set bit passed the exact visible_above test the reference
-  // runs — so a mask word is precisely 64 reference visibility answers.
+  // Latitude-band pruning data: a conservative per-satellite footprint cone
+  // (the culler's own derivation with the fleet-wide minimum site radius
+  // substituted, so it can only be wider than any per-site cone) plus each
+  // table's latitude reach. A (satellite, site) pair whose latitude bands
+  // cannot intersect provably has an all-zero mask, so the cull fill is
+  // skipped outright — same bits, no work.
+  double site_r_min = 0.0;
+  {
+    bool first = true;
+    for (const orbit::TopocentricFrame& f : terminal_frames_) {
+      const double r = f.origin_ecef().norm();
+      site_r_min = first ? r : std::min(site_r_min, r);
+      first = false;
+    }
+    for (const orbit::TopocentricFrame& f : station_frames_) {
+      const double r = f.origin_ecef().norm();
+      site_r_min = first ? r : std::min(site_r_min, r);
+      first = false;
+    }
+  }
+  std::vector<double> sat_psi(sat_count, 0.0);
+  std::vector<double> sat_max_sin_lat(sat_count, 1.0);
+  for (std::size_t si = 0; si < sat_count; ++si) {
+    const orbit::EphemerisTable& table = eph.table(si);
+    sat_psi[si] = cov::FootprintCone::make(table.min_radius_m(), table.max_radius_m(),
+                                           site_r_min, config_.elevation_mask_deg)
+                      .psi_rad;
+    sat_max_sin_lat[si] = cov::max_abs_sin_latitude(table);
+  }
+  std::vector<double> station_sin_lat(station_count, 0.0);
+  for (std::size_t gi = 0; gi < station_count; ++gi) {
+    const util::Vec3& o = station_frames_[gi].origin_ecef();
+    const double r = o.norm();
+    station_sin_lat[gi] = r > 0.0 ? o.z / r : 0.0;
+  }
+
+  // Pair visibility masks through the coverage cull, packed into slab
+  // storage. The cull only skips work — each set bit passed the exact
+  // visible_above test the reference runs — so a mask word is precisely 64
+  // reference visibility answers.
   const cov::VisibilityCuller culler(grid, config_.elevation_mask_deg);
   const cov::CullCounters cull_counters{rm.cull_masks, rm.cull_visible_steps};
-  std::vector<cov::StepMask> terminal_vis(sat_count * term_count,
-                                          cov::StepMask(step_total));
-  std::vector<cov::StepMask> station_vis(sat_count * station_count,
-                                         cov::StepMask(step_total));
+  std::atomic<std::uint64_t> pruned_pairs{0};
+
+  cov::PackedMasks station_vis(sat_count * station_count, step_total);
+  cov::PackedMasks terminal_vis;
+  if (!direct) {
+    terminal_vis = cov::PackedMasks(sat_count * term_count, step_total);
+  }
+  std::vector<double> terminal_sin_lat;
+  if (!direct) {
+    terminal_sin_lat.resize(term_count);
+    for (std::size_t ti = 0; ti < term_count; ++ti) {
+      const util::Vec3& o = terminal_frames_[ti].origin_ecef();
+      const double r = o.norm();
+      terminal_sin_lat[ti] = r > 0.0 ? o.z / r : 0.0;
+    }
+  }
   const auto fill_pair_masks = [&](std::size_t si) {
     const orbit::EphemerisTable& table = eph.table(si);
-    for (std::size_t ti = 0; ti < term_count; ++ti) {
-      culler.fill(table, terminal_frames_[ti], terminal_vis[si * term_count + ti],
-                  cull_counters);
+    std::uint64_t local_pruned = 0;
+    if (!direct) {
+      for (std::size_t ti = 0; ti < term_count; ++ti) {
+        if (!cov::latitude_reachable(sat_max_sin_lat[si], sat_psi[si],
+                                     terminal_sin_lat[ti])) {
+          ++local_pruned;
+          continue;
+        }
+        culler.fill(table, terminal_frames_[ti],
+                    terminal_vis.words(si * term_count + ti), cull_counters);
+      }
     }
     for (std::size_t gi = 0; gi < station_count; ++gi) {
-      culler.fill(table, station_frames_[gi], station_vis[si * station_count + gi],
-                  cull_counters);
+      if (!cov::latitude_reachable(sat_max_sin_lat[si], sat_psi[si],
+                                   station_sin_lat[gi])) {
+        ++local_pruned;
+        continue;
+      }
+      culler.fill(table, station_frames_[gi],
+                  station_vis.words(si * station_count + gi), cull_counters);
     }
+    pruned_pairs.fetch_add(local_pruned, std::memory_order_relaxed);
   };
   if (pool != nullptr) {
     pool->parallel_for(sat_count, fill_pair_masks);
@@ -726,7 +1107,7 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
         if (outage->test(step)) clipped.set(step);
       }
       for (std::size_t si = 0; si < sat_count; ++si) {
-        station_vis[si * station_count + gi].subtract(clipped);
+        station_vis.subtract(si * station_count + gi, clipped);
       }
     }
   }
@@ -735,13 +1116,42 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
   // station legs through that satellite. Stations owned by parties outside
   // [0, party_count) can never match a (validated) terminal owner, so they
   // contribute to no mask — exactly the reference's owner filter.
-  std::vector<cov::StepMask> party_avail(party_count * sat_count,
-                                         cov::StepMask(step_total));
+  cov::PackedMasks party_avail(party_count * sat_count, step_total);
   for (std::size_t gi = 0; gi < station_count; ++gi) {
     const std::uint32_t party = stations_[gi].owner_party;
     if (party >= party_count) continue;
     for (std::size_t si = 0; si < sat_count; ++si) {
-      party_avail[party * sat_count + si] |= station_vis[si * station_count + gi];
+      const std::span<std::uint64_t> dst = party_avail.words(party * sat_count + si);
+      const std::span<const std::uint64_t> src =
+          station_vis.words(si * station_count + gi);
+      for (std::size_t w = 0; w < dst.size(); ++w) dst[w] |= src[w];
+    }
+  }
+
+  // Footprint-stream inputs: the terminal spatial index, the shell shards
+  // and one conservative cone per shard.
+  cov::FootprintIndex footprint_index;
+  std::vector<constellation::ShellShard> shards;
+  std::vector<cov::FootprintCone> shard_cones;
+  if (direct) {
+    footprint_index = cov::FootprintIndex(terminal_frames_);
+    shards = constellation::shell_partition(satellites_);
+    shard_cones.reserve(shards.size());
+    for (const constellation::ShellShard& shard : shards) {
+      double r_min = 0.0, r_max = 0.0;
+      for (std::size_t si = shard.begin; si < shard.end; ++si) {
+        const orbit::EphemerisTable& table = eph.table(si);
+        if (si == shard.begin) {
+          r_min = table.min_radius_m();
+          r_max = table.max_radius_m();
+        } else {
+          r_min = std::min(r_min, table.min_radius_m());
+          r_max = std::max(r_max, table.max_radius_m());
+        }
+      }
+      shard_cones.push_back(cov::FootprintCone::make(
+          r_min, r_max, footprint_index.min_site_radius_m(),
+          config_.elevation_mask_deg));
     }
   }
   cull_timer.stop();
@@ -757,25 +1167,59 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
     downlink_hops.push_back(HopEvaluator::make(config_.transponder.transmit, station.radio));
   }
 
-  const PipelineContext ctx{config_,         satellites_,    terminals_,
-                            stations_,       terminal_frames_, station_frames_,
-                            eph,             terminal_vis,   station_vis,
-                            party_avail,     uplink_hops,    downlink_hops,
-                            config_.relay_mode == RelayMode::kRegenerative};
+  std::atomic<std::size_t> step_high_water{0};
+  const bool regenerative = config_.relay_mode == RelayMode::kRegenerative;
+  const PipelineContext ctx{config_,        satellites_,      terminals_,
+                            stations_,      terminal_frames_, station_frames_,
+                            eph,            &terminal_vis,    &station_vis,
+                            &party_avail,   uplink_hops,      downlink_hops,
+                            regenerative,   &step_high_water};
+  const DirectContext dctx{config_,
+                           satellites_,
+                           terminals_,
+                           stations_,
+                           terminal_frames_,
+                           station_frames_,
+                           eph,
+                           &footprint_index,
+                           shards,
+                           shard_cones,
+                           &station_vis,
+                           &party_avail,
+                           uplink_hops,
+                           downlink_hops,
+                           regenerative,
+                           sin_mask_,
+                           config_.max_candidates_per_terminal,
+                           &step_high_water,
+                           &pruned_pairs};
   const ConsumeContext cctx{config_, satellites_, terminals_, spare_order_,
                             spare_reserved_};
 
-  // Waves of chunks: phase 1 builds a wave's candidate lists (parallel over
-  // chunks when pooled), phase 2 drains it in step order. Buffers are reused
-  // across waves, bounding memory; each chunk writes only its own slot, so
-  // the result is bit-identical for any wave size or pool size.
-  const std::size_t chunk_total = (step_total + kChunkSteps - 1) / kChunkSteps;
-  const std::size_t wave_slots =
-      std::min(chunk_total, pool != nullptr
-                                ? std::max<std::size_t>(2 * pool->thread_count(), 8)
-                                : std::size_t{4});
-  std::vector<std::vector<StepCandidates>> wave(wave_slots);
-  std::vector<FillScratch> scratch(wave_slots);
+  // Streaming pipeline: producer chunks publish in step order through a
+  // bounded ring of slots; the sequential grant phase consumes each chunk
+  // the moment it lands and frees the slot for chunk + slots. Peak candidate
+  // memory is `slots` chunks regardless of horizon, and the consumption
+  // order (strictly chunk 0, 1, 2, ...) makes the result bit-identical for
+  // any pool size, slot count, or chunk size.
+  const std::size_t chunk_steps = config_.stream_chunk_steps;
+  const std::size_t chunk_total = (step_total + chunk_steps - 1) / chunk_steps;
+  std::size_t slots;
+  if (config_.stream_slots > 0) {
+    slots = config_.stream_slots;
+  } else if (direct) {
+    // A slot's staging buffers scale with terminals; keep few in flight.
+    slots = pool != nullptr
+                ? std::max<std::size_t>(2, std::min<std::size_t>(pool->thread_count(), 4))
+                : 2;
+  } else {
+    slots = pool != nullptr ? std::max<std::size_t>(2 * pool->thread_count(), 8)
+                            : std::size_t{4};
+  }
+  slots = std::max<std::size_t>(1, std::min(slots, chunk_total));
+  std::vector<std::vector<StepCandidates>> buffers(slots);
+  std::vector<FillScratch> fill_scratch(direct ? 0 : slots);
+  std::vector<DirectScratch> direct_scratch(direct ? slots : 0);
 
   // RF interference is applied post-grant, symmetrically with run_reference.
   const bool rf_active = config_.rf != nullptr && config_.rf->any_interferer();
@@ -794,68 +1238,69 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
   }
 
   DetachState detach(term_count);
+  ConsumeScratch consume_scratch;
   const double dt_step = grid.step_seconds;
-  rm.wave_slots.set(static_cast<double>(wave_slots));
+  rm.stream_slots.set(static_cast<double>(slots));
   rm.threads.set(static_cast<double>(pool != nullptr ? pool->thread_count() : 1));
   std::uint64_t beam_rejections = 0;
   std::uint64_t withheld_rejections = 0;
   std::uint64_t links_granted = 0;
 
-  for (std::size_t wave_begin = 0; wave_begin < chunk_total; wave_begin += wave_slots) {
-    const std::size_t batch = std::min(wave_slots, chunk_total - wave_begin);
-    const auto build = [&](std::size_t slot) {
-      obs::ScopedTimer chunk_timer(rm.chunk_seconds);
-      const std::size_t begin = (wave_begin + slot) * kChunkSteps;
-      const std::size_t count = std::min(kChunkSteps, step_total - begin);
-      wave[slot].resize(count);
-      fill_chunk(ctx, begin, count, wave[slot], scratch[slot]);
-      std::uint64_t emitted = 0;
-      for (const StepCandidates& sc : wave[slot]) emitted += sc.cands.size();
-      rm.candidates.add(emitted);
-    };
-    if (pool != nullptr) {
-      pool->parallel_for(batch, build);
+  const auto produce = [&](std::size_t chunk, std::size_t slot) {
+    obs::ScopedTimer chunk_timer(rm.chunk_seconds);
+    const std::size_t begin = chunk * chunk_steps;
+    const std::size_t count = std::min(chunk_steps, step_total - begin);
+    buffers[slot].resize(count);
+    if (direct) {
+      fill_chunk_direct(dctx, begin, count, buffers[slot], direct_scratch[slot]);
     } else {
-      for (std::size_t slot = 0; slot < batch; ++slot) build(slot);
+      fill_chunk(ctx, begin, count, buffers[slot], fill_scratch[slot]);
     }
+    std::uint64_t emitted = 0;
+    for (const StepCandidates& sc : buffers[slot]) emitted += sc.cands.size();
+    rm.candidates.add(emitted);
+  };
 
-    obs::ScopedTimer drain_timer(rm.wave_drain_seconds);
-    for (std::size_t slot = 0; slot < batch; ++slot) {
-      const std::size_t begin = (wave_begin + slot) * kChunkSteps;
-      for (std::size_t b = 0; b < wave[slot].size(); ++b) {
-        const std::size_t step = begin + b;
-        rm.candidates_per_step.observe(static_cast<double>(wave[slot][b].cands.size()));
-        if (faulted) {
-          detach.pre_step(*faults, step, config_.reacquisition_backoff_steps, dt_step,
-                          result);
-        }
-        StepSchedule schedule = consume_step(
-            cctx, wave[slot][b], step, faults,
-            faulted ? std::span<const std::uint8_t>(detach.blocked)
-                    : std::span<const std::uint8_t>{},
-            metrics != nullptr ? &beam_rejections : nullptr,
-            metrics != nullptr ? &withheld_rejections : nullptr);
-        if (faulted) detach.post_step(schedule);
-        if (rf_active) {
-          for (std::size_t si = 0; si < sat_count; ++si) {
-            rf_positions[si] = eph.table(si).position_ecef(step);
-          }
-          apply_rf_step(*config_.rf, rf_positions, terminals_, satellites_,
-                        terminal_frames_, jam_hops, sin_mask_, schedule, *result.rf);
-        }
-        accumulate_step(schedule, terminals_, satellites_, dt_step, result);
-        links_granted += schedule.links.size();
-        if (keep_steps) result.steps.push_back(std::move(schedule));
+  const auto consume = [&](std::size_t chunk, std::size_t slot) {
+    obs::ScopedTimer drain_timer(rm.drain_seconds);
+    const std::size_t begin = chunk * chunk_steps;
+    for (std::size_t b = 0; b < buffers[slot].size(); ++b) {
+      const std::size_t step = begin + b;
+      rm.candidates_per_step.observe(static_cast<double>(buffers[slot][b].cands.size()));
+      if (faulted) {
+        detach.pre_step(*faults, step, config_.reacquisition_backoff_steps, dt_step,
+                        result);
       }
+      StepSchedule schedule = consume_step(
+          cctx, buffers[slot][b], step, faults,
+          faulted ? std::span<const std::uint8_t>(detach.blocked)
+                  : std::span<const std::uint8_t>{},
+          consume_scratch, metrics != nullptr ? &beam_rejections : nullptr,
+          metrics != nullptr ? &withheld_rejections : nullptr);
+      if (faulted) detach.post_step(schedule);
+      if (rf_active) {
+        for (std::size_t si = 0; si < sat_count; ++si) {
+          rf_positions[si] = eph.table(si).position_ecef(step);
+        }
+        apply_rf_step(*config_.rf, rf_positions, terminals_, satellites_,
+                      terminal_frames_, jam_hops, sin_mask_, schedule, *result.rf);
+      }
+      accumulate_step(schedule, terminals_, satellites_, dt_step, result);
+      links_granted += schedule.links.size();
+      if (keep_steps) result.steps.push_back(std::move(schedule));
     }
-    drain_timer.stop();
-  }
+  };
+
+  util::stream_chunks(pool, chunk_total, slots, produce, consume);
 
   rm.steps.add(step_total);
   rm.beam_rejections.add(beam_rejections);
   rm.withheld_rejections.add(withheld_rejections);
   rm.links_granted.add(links_granted);
   rm.failure_forced_detaches.add(result.failure_forced_detaches);
+  rm.index_pruned_pairs.add(pruned_pairs.load(std::memory_order_relaxed));
+  rm.candidate_high_water.set(
+      static_cast<double>(step_high_water.load(std::memory_order_relaxed)));
   return result;
 }
 

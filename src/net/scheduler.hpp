@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "constellation/shell.hpp"
+#include "core/validation.hpp"
 #include "net/bent_pipe.hpp"
 #include "net/ground_station.hpp"
 #include "net/terminal.hpp"
@@ -52,6 +53,23 @@ class ThreadPool;
 }
 
 namespace mpleo::net {
+
+// How phase 1 discovers (terminal, satellite) visibility.
+enum class VisibilityMode {
+  // Pick per run: pair masks while they fit a memory budget, the footprint
+  // stream beyond it (mega-constellation fleets).
+  kAuto,
+  // Classic: one packed visibility mask per (satellite, terminal) pair,
+  // filled by the conservative zenith-cone cull, pruned pair-by-pair with
+  // the latitude-band reachability test. Exact, and the fastest option while
+  // the masks fit in memory.
+  kPairMasks,
+  // Mega-scale: no terminal pair masks at all. Each chunk streams every
+  // satellite's footprint cap through a cov::FootprintIndex over the
+  // terminals, re-testing survivors exactly — same candidates, same order,
+  // O(sites-in-footprint) instead of O(terminals) per satellite-step.
+  kFootprintStream,
+};
 
 struct SchedulerConfig {
   double elevation_mask_deg = 25.0;
@@ -100,6 +118,35 @@ struct SchedulerConfig {
   // either backend. Scenario-driven callers copy scenario.propagator here
   // (see sim::parse_scenario's --propagator= flag).
   orbit::PropagatorBackend propagator_backend = orbit::PropagatorBackend::kJ2Analytic;
+  // Phase-1 visibility discovery (see VisibilityMode). Every mode produces
+  // bit-identical schedules when max_candidates_per_terminal is 0.
+  VisibilityMode visibility_mode = VisibilityMode::kAuto;
+  // Steps per phase-1 chunk. Must be a power of two in [1, 64] so a chunk
+  // never straddles a mask word. Smaller chunks shrink the streaming
+  // pipeline's in-flight memory (the mega preset runs 8); 64 keeps the
+  // historical one-word-per-chunk behaviour. Chunk size never changes the
+  // result — candidates are a per-step pure function of geometry.
+  std::size_t stream_chunk_steps = 64;
+  // In-flight chunk slots for the phase-1 -> phase-2 streaming pipeline.
+  // 0 = auto (scaled to the pool, smaller under kFootprintStream where a
+  // slot's candidate buffers are the dominant allocation). The slot count
+  // never changes the result — phase 2 consumes chunks strictly in order.
+  std::size_t stream_slots = 0;
+  // Per-terminal candidate cap, applied per step at phase-1 emission: keep
+  // the top-K own-satellite and top-K spare candidates by capacity (ties to
+  // the lower satellite index). 0 = unbounded (exact, bit-identical to
+  // run_reference). A positive cap bounds candidate memory at mega scale —
+  // deterministic for any pool/slot/chunk configuration, but approximate
+  // under beam contention (a terminal whose top-K satellites are all beam-
+  // exhausted goes unserved even if satellite K+1 had a beam). Max 64.
+  std::size_t max_candidates_per_terminal = 0;
+
+  // Collects every invalid field as a unified core::ConfigIssue (component
+  // "net.scheduler"); empty means the config is usable. The scheduler
+  // constructor throws std::invalid_argument joining these; checks that need
+  // the fleet (owner coverage of the spare-priority vector) stay in the
+  // constructor.
+  [[nodiscard]] std::vector<core::ConfigIssue> validate() const;
 };
 
 // One granted link at one step.

@@ -137,7 +137,7 @@ TleParseResult parse_tle(const std::string& line0, const std::string& line1,
                          const std::string& line2) {
   TleParseResult result;
   auto add = [&result](std::string field, std::string message) {
-    result.issues.push_back({std::move(field), std::move(message)});
+    result.issues.push_back({"orbit.tle", std::move(field), std::move(message)});
   };
   // Joins the collected issues into the flat `error` summary and returns.
   auto finish_fail = [&result]() {

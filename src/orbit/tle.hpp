@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/validation.hpp"
 #include "orbit/elements.hpp"
 #include "orbit/time.hpp"
 
@@ -39,11 +40,11 @@ struct Tle {
 };
 
 // One malformed or out-of-range field, named so ingestion pipelines can
-// triage programmatically instead of string-matching a flat message.
-struct TleFieldIssue {
-  std::string field;    // e.g. "inclination_deg", "line1.checksum"
-  std::string message;  // human-readable reason, includes the offending text
-};
+// triage programmatically instead of string-matching a flat message. A thin
+// alias of the unified core::ConfigIssue — `field` is e.g.
+// "inclination_deg" or "line1.checksum", `message` includes the offending
+// text, and parse issues carry component "orbit.tle".
+using TleFieldIssue = core::ConfigIssue;
 
 // Parse results carry error details instead of throwing: TLE ingestion is a
 // data-plane operation that must tolerate malformed catalog lines. All field

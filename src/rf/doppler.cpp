@@ -13,26 +13,10 @@ void add_issue(std::vector<RfConfigIssue>& issues, const char* field,
                double value, const char* requirement) {
   std::ostringstream os;
   os << "value " << value << " " << requirement;
-  issues.push_back({field, os.str()});
+  issues.push_back({"rf", field, os.str()});
 }
 
 }  // namespace
-
-std::string format_issues(const std::string& context,
-                          const std::vector<RfConfigIssue>& issues) {
-  if (issues.empty()) return {};
-  std::ostringstream os;
-  os << context << ": " << issues.size() << " invalid field(s)";
-  for (const RfConfigIssue& issue : issues) {
-    os << "\n  " << issue.field << ": " << issue.message;
-  }
-  return os.str();
-}
-
-void throw_if_invalid(const std::string& context,
-                      const std::vector<RfConfigIssue>& issues) {
-  if (!issues.empty()) throw std::invalid_argument(format_issues(context, issues));
-}
 
 std::vector<RfConfigIssue> DopplerAuditConfig::validate() const {
   std::vector<RfConfigIssue> issues;

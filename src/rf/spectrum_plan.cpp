@@ -16,7 +16,7 @@ void add_issue(std::vector<RfConfigIssue>& issues, const char* field, double val
                const char* requirement) {
   std::ostringstream os;
   os << "value " << value << " " << requirement;
-  issues.push_back({field, os.str()});
+  issues.push_back({"rf", field, os.str()});
 }
 
 void check_segment(std::vector<RfConfigIssue>& issues, const char* lo_field,

@@ -1,30 +1,30 @@
-// Structured RF configuration validation, mirroring the TleFieldIssue
-// pattern: every field problem found is collected (not just the first), so an
-// operator fixing a config sees the whole damage report in one pass. Config
-// owners expose `validate()` returning the issue list; constructing a
-// component from an invalid config throws with every issue joined into the
-// message (see rf::throw_if_invalid).
+// Structured RF configuration validation.
+//
+// RfConfigIssue is a thin alias of the unified core::ConfigIssue (see
+// src/core/validation.hpp): every field problem found is collected (not just
+// the first), so an operator fixing a config sees the whole damage report in
+// one pass. Config owners expose `validate()` returning the issue list;
+// constructing a component from an invalid config throws with every issue
+// joined into the message (see rf::throw_if_invalid). RF issues carry
+// component "rf".
 #pragma once
 
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/validation.hpp"
+
 namespace mpleo::rf {
 
-struct RfConfigIssue {
-  std::string field;    // e.g. "doppler.rms_tolerance_hz", "spectrum.band"
-  std::string message;  // human-readable reason, includes the offending value
-};
+using RfConfigIssue = core::ConfigIssue;
 
-// Joins issues into one multi-line message: "<context>: N invalid field(s)"
-// followed by one "  field: message" line per issue. Empty issues -> "".
-[[nodiscard]] std::string format_issues(const std::string& context,
-                                        const std::vector<RfConfigIssue>& issues);
-
-// Throws std::invalid_argument carrying format_issues(...) when any issue is
-// present; no-op on an empty list.
-void throw_if_invalid(const std::string& context,
-                      const std::vector<RfConfigIssue>& issues);
+// format_issues joins issues into one multi-line message:
+// "<context>: N invalid field(s)" followed by one "  field: message" line per
+// issue (empty issues -> ""). throw_if_invalid throws std::invalid_argument
+// carrying that message when any error-severity issue is present.
+// Using-declarations (not wrappers) so unqualified calls inside mpleo::rf
+// don't become ambiguous with the ADL-found core:: overloads.
+using core::format_issues;
+using core::throw_if_invalid;
 
 }  // namespace mpleo::rf

@@ -51,6 +51,15 @@ AdversaryMode parse_adversary_mode(std::string_view value) {
       flag_help());
 }
 
+ScalePreset parse_scale(std::string_view value) {
+  if (value == "reference") return ScalePreset::kReference;
+  if (value == "mega") return ScalePreset::kMega;
+  if (value == "mega-smoke") return ScalePreset::kMegaSmoke;
+  throw std::invalid_argument("invalid value for --scale=: '" + std::string(value) +
+                              "' (valid: reference, mega, mega-smoke)\nvalid flags:\n" +
+                              flag_help());
+}
+
 bool parse_on_off(std::string_view value, const char* flag) {
   if (value == "on") return true;
   if (value == "off") return false;
@@ -124,6 +133,10 @@ constexpr FlagSpec kFlags[] = {
      [](Scenario& s, std::string_view v) {
        s.adversary_seed = static_cast<std::uint64_t>(to_double(v, "--adversary-seed"));
      }},
+    {"--scale=",
+     "workload scale preset: reference|mega|mega-smoke (default reference; mega pins "
+     "the 30k-sat x 1M-terminal 1-day workload)",
+     [](Scenario& s, std::string_view v) { s.apply_scale(parse_scale(v)); }},
     {"--rf=", "spectrum plan + co-channel interference model: on|off (default off)",
      [](Scenario& s, std::string_view v) { s.rf = parse_on_off(v, "--rf"); }},
     {"--audit-doppler=", "Doppler-track fit stage of the receipt audit: on|off (default off)",
@@ -143,8 +156,139 @@ std::string flag_help() {
   return os.str();
 }
 
+std::vector<core::ConfigIssue> Scenario::validate() const {
+  std::vector<core::ConfigIssue> issues;
+  const auto add = [&issues](const char* field, std::string message) {
+    issues.push_back({"sim.scenario", field, std::move(message)});
+  };
+  if (runs == 0) add("runs", "must be >= 1");
+  if (!(step_s > 0.0) || step_s > 1e300) {
+    add("step_s", "must be finite and > 0, got " + std::to_string(step_s));
+  }
+  if (!(duration_s > 0.0) || duration_s > 1e300) {
+    add("duration_s", "must be finite and > 0, got " + std::to_string(duration_s));
+  }
+  if (!(elevation_mask_deg >= 0.0) || !(elevation_mask_deg < 90.0)) {
+    add("elevation_mask_deg",
+        "must be in [0, 90), got " + std::to_string(elevation_mask_deg));
+  }
+  if (!(adversary_fraction >= 0.0) || !(adversary_fraction <= 1.0)) {
+    add("adversary_fraction",
+        "must be a fraction in [0, 1], got " + std::to_string(adversary_fraction));
+  }
+  if (!(adversary_intensity >= 0.0) || adversary_intensity > 1e300) {
+    add("adversary_intensity",
+        "must be finite and >= 0, got " + std::to_string(adversary_intensity));
+  }
+  if (scale != ScalePreset::kReference) {
+    if (terminal_count == 0) add("terminal_count", "must be > 0 under a mega scale preset");
+    if (station_count == 0) add("station_count", "must be > 0 under a mega scale preset");
+  }
+  return issues;
+}
+
+ScenarioBuilder& ScenarioBuilder::epoch(orbit::TimePoint value) {
+  scenario_.epoch = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::epoch_iso8601(const std::string& value) {
+  scenario_.epoch = orbit::TimePoint::from_iso8601(value);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::duration_days(double value) {
+  scenario_.duration_s = value * 86400.0;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::duration_seconds(double value) {
+  scenario_.duration_s = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::step_seconds(double value) {
+  scenario_.step_s = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::elevation_mask_deg(double value) {
+  scenario_.elevation_mask_deg = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::runs(std::size_t value) {
+  scenario_.runs = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t value) {
+  scenario_.seed = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::threads(std::size_t value) {
+  scenario_.threads = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::include_gen2(bool value) {
+  scenario_.include_gen2_catalog = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::propagator(orbit::PropagatorBackend value) {
+  scenario_.propagator = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::adversary(AdversaryMode value) {
+  scenario_.adversary_mode = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::adversary_fraction(double value) {
+  scenario_.adversary_fraction = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::adversary_intensity(double value) {
+  scenario_.adversary_intensity = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::adversary_seed(std::uint64_t value) {
+  scenario_.adversary_seed = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::rf(bool value) {
+  scenario_.rf = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::audit_doppler(bool value) {
+  scenario_.audit_doppler = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::scale(ScalePreset value) {
+  scenario_.apply_scale(value);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::terminal_count(std::size_t value) {
+  scenario_.terminal_count = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::station_count(std::size_t value) {
+  scenario_.station_count = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::full_fidelity() {
+  scenario_.apply_full_fidelity();
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::quick() {
+  scenario_.runs = 5;
+  scenario_.duration_s = 2.0 * 86400.0;
+  scenario_.step_s = 120.0;
+  return *this;
+}
+
+std::vector<core::ConfigIssue> ScenarioBuilder::issues() const {
+  return scenario_.validate();
+}
+
+Scenario ScenarioBuilder::build() const {
+  core::throw_if_invalid("sim::Scenario", scenario_.validate());
+  return scenario_;
+}
+
 Scenario parse_scenario(int argc, const char* const* argv, Scenario defaults) {
-  Scenario scenario = defaults;
+  ScenarioBuilder builder(std::move(defaults));
   for (int i = 1; i < argc; ++i) {
     const std::string_view raw(argv[i]);
     bool matched = false;
@@ -152,10 +296,10 @@ Scenario parse_scenario(int argc, const char* const* argv, Scenario defaults) {
       if (flag.name.back() == '=') {
         std::string_view value = raw;
         if (!consume_prefix(value, flag.name)) continue;
-        flag.apply(scenario, value);
+        flag.apply(builder.scenario(), value);
       } else {
         if (raw != flag.name) continue;
-        flag.apply(scenario, {});
+        flag.apply(builder.scenario(), {});
       }
       matched = true;
       break;
@@ -165,17 +309,16 @@ Scenario parse_scenario(int argc, const char* const* argv, Scenario defaults) {
                                   flag_help());
     }
   }
-  if (scenario.runs == 0) throw std::invalid_argument("--runs must be >= 1");
-  if (scenario.step_s <= 0.0) throw std::invalid_argument("--step must be > 0");
-  if (scenario.duration_s <= 0.0) throw std::invalid_argument("--days must be > 0");
-  if (!(scenario.adversary_fraction >= 0.0) || !(scenario.adversary_fraction <= 1.0)) {
-    throw std::invalid_argument("--adversary-fraction must be in [0, 1]");
+  return builder.build();
+}
+
+const char* to_string(ScalePreset preset) noexcept {
+  switch (preset) {
+    case ScalePreset::kReference: return "reference";
+    case ScalePreset::kMegaSmoke: return "mega-smoke";
+    case ScalePreset::kMega: return "mega";
   }
-  if (!(scenario.adversary_intensity >= 0.0) ||
-      scenario.adversary_intensity > 1e300) {
-    throw std::invalid_argument("--adversary-intensity must be finite and >= 0");
-  }
-  return scenario;
+  return "unknown";
 }
 
 const char* to_string(AdversaryMode mode) noexcept {
@@ -216,6 +359,10 @@ std::string describe(const Scenario& scenario) {
   }
   if (scenario.rf) os << " rf=on";
   if (scenario.audit_doppler) os << " audit-doppler=on";
+  if (scenario.scale != ScalePreset::kReference) {
+    os << " scale=" << to_string(scenario.scale) << " terminals=" << scenario.terminal_count
+       << " stations=" << scenario.station_count;
+  }
   return os.str();
 }
 

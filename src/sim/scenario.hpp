@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/validation.hpp"
 #include "orbit/backend.hpp"
 #include "orbit/time.hpp"
 
@@ -30,6 +31,19 @@ enum class AdversaryMode : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(AdversaryMode mode) noexcept;
+
+// Workload scale presets (--scale=). kReference leaves the driving bench in
+// charge of workload sizes (the historical behavior). The mega presets pin
+// the mega-constellation scale-out workload: the synthetic Gen2-scale
+// Starlink catalog served population-gridded terminals over one day at 60 s
+// steps through the footprint-stream scheduler (see sim::build_workload).
+enum class ScalePreset : std::uint8_t {
+  kReference,  // bench-defined workload sizes
+  kMegaSmoke,  // 3k satellites x 50k terminals — CI-sized mega path
+  kMega,       // 29,520 satellites x 1M terminals — the acceptance run
+};
+
+[[nodiscard]] const char* to_string(ScalePreset preset) noexcept;
 
 struct Scenario {
   orbit::TimePoint epoch = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
@@ -61,6 +75,13 @@ struct Scenario {
   // RunContext (coverage, scheduler, proof-of-coverage). The default is the
   // fast analytic model; sgp4 trades throughput for TLE-grade fidelity.
   orbit::PropagatorBackend propagator = orbit::PropagatorBackend::kJ2Analytic;
+  // Workload scale (see ScalePreset). apply_scale() pins the mega presets'
+  // window, step and workload sizes; terminal/station counts are consumed by
+  // sim::build_workload and ignored under kReference (where benches size
+  // their own workloads, terminal_count 0 = "bench decides").
+  ScalePreset scale = ScalePreset::kReference;
+  std::size_t terminal_count = 0;
+  std::size_t station_count = 0;
 
   [[nodiscard]] orbit::TimeGrid grid() const {
     return orbit::TimeGrid::over_duration(epoch, duration_s, step_s);
@@ -69,12 +90,94 @@ struct Scenario {
   // The paper's full fidelity (100 runs); benches default lighter so the
   // whole suite runs in minutes.
   void apply_full_fidelity() noexcept { runs = 100; }
+
+  // Applies a scale preset: the mega presets pin the 1-day / 60 s window and
+  // the workload sizes sim::build_workload consumes; kReference restores
+  // bench-defined sizing (without touching window or step).
+  void apply_scale(ScalePreset preset) noexcept {
+    scale = preset;
+    if (preset == ScalePreset::kReference) {
+      terminal_count = 0;
+      station_count = 0;
+      return;
+    }
+    duration_s = 86400.0;
+    step_s = 60.0;
+    terminal_count = preset == ScalePreset::kMega ? 1'000'000 : 50'000;
+    station_count = 128;
+  }
+
+  // Collects every invalid field as a unified core::ConfigIssue (component
+  // "sim.scenario"); empty means runnable. parse_scenario and
+  // ScenarioBuilder::build both throw std::invalid_argument joining these.
+  [[nodiscard]] std::vector<core::ConfigIssue> validate() const;
+};
+
+// Fluent programmatic construction of a Scenario. Examples and tests used to
+// mutate Scenario's public fields in whatever order; the builder names every
+// knob, keeps call sites order-independent, and funnels construction through
+// the same unified validation the flag parser uses: build() throws
+// std::invalid_argument joining every core::ConfigIssue, issues() returns
+// them for callers that want to report instead of throw.
+//
+//   sim::Scenario s = sim::ScenarioBuilder()
+//                         .duration_days(1.0)
+//                         .step_seconds(60.0)
+//                         .threads(0)
+//                         .scale(sim::ScalePreset::kMegaSmoke)
+//                         .build();
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+  // Seeds every knob from an existing scenario (the flag parser's entry).
+  explicit ScenarioBuilder(Scenario base) : scenario_(std::move(base)) {}
+
+  ScenarioBuilder& epoch(orbit::TimePoint value);
+  ScenarioBuilder& epoch_iso8601(const std::string& value);
+  ScenarioBuilder& duration_days(double value);
+  ScenarioBuilder& duration_seconds(double value);
+  ScenarioBuilder& step_seconds(double value);
+  ScenarioBuilder& elevation_mask_deg(double value);
+  ScenarioBuilder& runs(std::size_t value);
+  ScenarioBuilder& seed(std::uint64_t value);
+  ScenarioBuilder& threads(std::size_t value);
+  ScenarioBuilder& include_gen2(bool value);
+  ScenarioBuilder& propagator(orbit::PropagatorBackend value);
+  ScenarioBuilder& adversary(AdversaryMode value);
+  ScenarioBuilder& adversary_fraction(double value);
+  ScenarioBuilder& adversary_intensity(double value);
+  ScenarioBuilder& adversary_seed(std::uint64_t value);
+  ScenarioBuilder& rf(bool value);
+  ScenarioBuilder& audit_doppler(bool value);
+  // Applies the preset immediately (Scenario::apply_scale), so later calls
+  // can still override individual fields it pinned.
+  ScenarioBuilder& scale(ScalePreset value);
+  ScenarioBuilder& terminal_count(std::size_t value);
+  ScenarioBuilder& station_count(std::size_t value);
+  ScenarioBuilder& full_fidelity();
+  ScenarioBuilder& quick();
+
+  // The unified validation report for the current state (empty = buildable).
+  [[nodiscard]] std::vector<core::ConfigIssue> issues() const;
+  // Returns the validated scenario; throws std::invalid_argument joining
+  // every error-severity issue.
+  [[nodiscard]] Scenario build() const;
+  // The in-progress scenario, mutable — the flag parser applies FlagSpec
+  // actions straight onto it so flags and builder share one code path.
+  [[nodiscard]] Scenario& scenario() noexcept { return scenario_; }
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+
+ private:
+  Scenario scenario_;
 };
 
 // Parses flags of the form --runs=100 --step=30 --mask=25 --seed=7 --days=7
-// --threads=4 --full (100 runs) --quick (5 runs, 2 days, 120 s). Unknown
-// flags throw with a message listing every valid flag (see flag_help()).
-// Returns the scenario; `defaults` seeds the initial values.
+// --threads=4 --scale=mega --full (100 runs) --quick (5 runs, 2 days, 120 s).
+// Unknown flags throw with a message listing every valid flag (see
+// flag_help()). A thin front-end over ScenarioBuilder: flags mutate the
+// builder's scenario and the result is ScenarioBuilder::build(), so command
+// lines and programmatic construction report errors through the same
+// unified core::ConfigIssue path. `defaults` seeds the initial values.
 [[nodiscard]] Scenario parse_scenario(int argc, const char* const* argv,
                                       Scenario defaults = {});
 

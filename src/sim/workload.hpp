@@ -1,0 +1,49 @@
+// Scenario -> concrete workload: the one place the scale presets turn into
+// satellites, terminals, stations and a scheduler config. Before this,
+// every bench hand-rolled its own catalog and site loops; the mega-scale
+// acceptance run, the CI smoke and any example wanting "the Gen2 workload"
+// now all build it from a Scenario (typically via ScenarioBuilder +
+// ScalePreset), so the workload definition cannot drift between them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "constellation/shell.hpp"
+#include "net/ground_station.hpp"
+#include "net/scheduler.hpp"
+#include "net/terminal.hpp"
+#include "sim/scenario.hpp"
+
+namespace mpleo::sim {
+
+// A fully-specified scheduler workload. `scheduler` carries the preset's
+// streaming knobs (footprint-stream mode, chunk/slot sizing, candidate cap
+// for the mega presets; defaults for reference scale).
+struct Workload {
+  std::vector<constellation::Satellite> satellites;
+  std::vector<net::Terminal> terminals;
+  std::vector<net::GroundStation> stations;
+  std::size_t party_count = 4;
+  net::SchedulerConfig scheduler;
+};
+
+// Builds the workload for scenario.scale:
+//
+//  * kMega / kMegaSmoke — the synthetic Gen2-scale Starlink catalog
+//    (29,520 satellites; the smoke preset truncates to 3,000) serving
+//    scenario.terminal_count population-gridded terminals and
+//    scenario.station_count stations (constellation::PopulationSampler,
+//    fixed seeds so every run sees the same sites), with the
+//    footprint-stream scheduler preset (8-step chunks, 2 slots, top-4
+//    candidate cap).
+//  * kReference — the 500-satellite Walker shell x 200 grid-spread
+//    terminals x 20 stations workload the scheduler-compare bench has
+//    always used, with a default scheduler config.
+//
+// Satellite/terminal/station owners round-robin over party_count (4).
+// Throws std::invalid_argument (unified ConfigIssue report) when the
+// scenario is invalid.
+[[nodiscard]] Workload build_workload(const Scenario& scenario);
+
+}  // namespace mpleo::sim

@@ -89,6 +89,47 @@ TEST(Starlink, ZeroJitterGivesExactGrid) {
   EXPECT_NEAR(gap, 360.0 / 22.0, 1e-9);
 }
 
+TEST(Starlink, Gen2ScaleCatalogMatchesShellTable) {
+  const auto shells = starlink_gen2_shells();
+  ASSERT_EQ(shells.size(), 7u);
+  int total = 0;
+  for (const WalkerShell& s : shells) total += s.total_count();
+  // 3 x (48*110) + 30*120 + 3 x (28*120) = 15840 + 3600 + 10080 = 29520.
+  EXPECT_EQ(total, 29520);
+
+  const auto catalog = build_starlink_gen2_catalog(orbit::TimePoint{});
+  EXPECT_EQ(catalog.size(), 29520u);
+
+  // The catalog is shell-contiguous: shard detection recovers exactly the
+  // seven shells, in order, covering every satellite — the invariant the
+  // scheduler's shard-outer candidate walk (globally ascending satellite
+  // index) rests on.
+  const auto shards = shell_partition(catalog);
+  ASSERT_EQ(shards.size(), shells.size());
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].begin, cursor);
+    EXPECT_EQ(shards[i].size(), static_cast<std::size_t>(shells[i].total_count()));
+    EXPECT_NEAR(util::rad_to_deg(shards[i].inclination_rad),
+                shells[i].inclination_deg, 0.01);
+    cursor = shards[i].end;
+  }
+  EXPECT_EQ(cursor, catalog.size());
+}
+
+TEST(Starlink, Gen2CatalogIdsAndEpoch) {
+  const auto epoch = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
+  const auto catalog = build_starlink_gen2_catalog(epoch);
+  std::set<SatelliteId> ids;
+  for (const Satellite& s : catalog) {
+    ids.insert(s.id);
+    EXPECT_EQ(s.epoch.julian_date(), epoch.julian_date());
+  }
+  EXPECT_EQ(ids.size(), catalog.size());
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), catalog.size() - 1);
+}
+
 TEST(Starlink, EpochStampedOnAllSatellites) {
   const auto epoch = orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z");
   for (const Satellite& s : build_starlink_catalog(epoch)) {

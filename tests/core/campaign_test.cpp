@@ -1,7 +1,6 @@
-// This suite pins the legacy tail-parameter API (run_epoch(pool)); the
-// RunContext path is covered by run_context_identity_test.cpp.
-#define MPLEO_ALLOW_DEPRECATED
-
+// Campaign behaviour through the RunContext entry point (a serial,
+// pool-less context); pool-size identity is pinned by
+// run_context_identity_test.cpp.
 #include "core/campaign.hpp"
 
 #include <gtest/gtest.h>
@@ -9,6 +8,7 @@
 #include <stdexcept>
 
 #include "constellation/shell.hpp"
+#include "sim/run_context.hpp"
 
 namespace mpleo::core {
 namespace {
@@ -58,6 +58,7 @@ struct CampaignFixture : public ::testing::Test {
   std::vector<net::Terminal> terminals;
   std::vector<net::GroundStation> stations;
   CampaignConfig config;
+  sim::RunContext context;  // serial: no pool, default metrics/trace
 };
 
 TEST_F(CampaignFixture, BootstrapGrantsIssued) {
@@ -70,10 +71,10 @@ TEST_F(CampaignFixture, BootstrapGrantsIssued) {
 
 TEST_F(CampaignFixture, EpochAdvancesClockAndCounters) {
   Campaign campaign(std::move(consortium), terminals, stations, config, 7);
-  const EpochReport r0 = campaign.run_epoch();
+  const EpochReport r0 = campaign.run_epoch(context);
   EXPECT_EQ(r0.epoch, 0u);
   EXPECT_EQ(r0.window_start.julian_date(), config.start.julian_date());
-  const EpochReport r1 = campaign.run_epoch();
+  const EpochReport r1 = campaign.run_epoch(context);
   EXPECT_EQ(r1.epoch, 1u);
   EXPECT_NEAR(r1.window_start.seconds_since(r0.window_start), config.epoch_duration_s,
               1e-6);
@@ -83,7 +84,7 @@ TEST_F(CampaignFixture, EpochAdvancesClockAndCounters) {
 TEST_F(CampaignFixture, LedgerConservedAcrossEpochs) {
   Campaign campaign(std::move(consortium), terminals, stations, config, 7);
   for (int e = 0; e < 3; ++e) {
-    (void)campaign.run_epoch();
+    (void)campaign.run_epoch(context);
     EXPECT_NEAR(campaign.ledger().sum_of_balances(), campaign.ledger().total_minted(),
                 1e-6);
   }
@@ -91,7 +92,7 @@ TEST_F(CampaignFixture, LedgerConservedAcrossEpochs) {
 
 TEST_F(CampaignFixture, EmissionDistributedByStake) {
   Campaign campaign(std::move(consortium), terminals, stations, config, 7);
-  const EpochReport report = campaign.run_epoch();
+  const EpochReport report = campaign.run_epoch(context);
   EXPECT_GT(report.emission_minted, 0.0);
   // Party A contributed 8 of 12 satellites -> 2/3 stake. PoC rewards and
   // settlement also move balances, so check the emission part dominates:
@@ -101,7 +102,7 @@ TEST_F(CampaignFixture, EmissionDistributedByStake) {
 
 TEST_F(CampaignFixture, ServiceHappensAndIsAccounted) {
   Campaign campaign(std::move(consortium), terminals, stations, config, 7);
-  const EpochReport report = campaign.run_epoch();
+  const EpochReport report = campaign.run_epoch(context);
   ASSERT_EQ(report.usage.size(), 2u);
   EXPECT_GT(report.total_served_seconds, 0.0);
   EXPECT_NEAR(report.total_served_seconds + report.total_unserved_seconds,
@@ -115,7 +116,7 @@ TEST_F(CampaignFixture, PocChallengesRunAndMostlyReject) {
   // Random (satellite, time) pairs rarely coincide with an overhead pass,
   // so most receipts must be rejected by geometry — and all are counted.
   Campaign campaign(std::move(consortium), terminals, stations, config, 7);
-  const EpochReport report = campaign.run_epoch();
+  const EpochReport report = campaign.run_epoch(context);
   EXPECT_EQ(report.poc_valid + report.poc_rejected,
             terminals.size() * config.poc_challenges_per_party_per_epoch);
   EXPECT_GE(report.poc_rejected, report.poc_valid);
@@ -123,25 +124,25 @@ TEST_F(CampaignFixture, PocChallengesRunAndMostlyReject) {
 
 TEST_F(CampaignFixture, WithdrawalShrinksNextEpoch) {
   Campaign campaign(std::move(consortium), terminals, stations, config, 7);
-  const EpochReport before = campaign.run_epoch();
+  const EpochReport before = campaign.run_epoch(context);
   EXPECT_EQ(campaign.withdraw_party(party_b), 4u);
-  const EpochReport after = campaign.run_epoch();
+  const EpochReport after = campaign.run_epoch(context);
   EXPECT_EQ(after.active_satellites, 8u);
   EXPECT_LT(after.active_satellites, before.active_satellites);
   // Party B's terminal now rides spare capacity only; the network still
   // serves someone across the following day (no total shutdown). A single
   // 6-hour epoch can legitimately contain no pass, so accumulate a day.
   double served = after.total_served_seconds;
-  for (int e = 0; e < 3; ++e) served += campaign.run_epoch().total_served_seconds;
+  for (int e = 0; e < 3; ++e) served += campaign.run_epoch(context).total_served_seconds;
   EXPECT_GT(served, 0.0);
 }
 
 TEST_F(CampaignFixture, EmissionDecaysAcrossHalvings) {
   config.emission.epochs_per_halving = 2;
   Campaign campaign(std::move(consortium), terminals, stations, config, 7);
-  const double e0 = campaign.run_epoch().emission_minted;
-  (void)campaign.run_epoch();
-  const double e2 = campaign.run_epoch().emission_minted;
+  const double e0 = campaign.run_epoch(context).emission_minted;
+  (void)campaign.run_epoch(context);
+  const double e2 = campaign.run_epoch(context).emission_minted;
   EXPECT_DOUBLE_EQ(e2, e0 * config.emission.decay);
 }
 

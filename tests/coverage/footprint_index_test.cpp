@@ -1,0 +1,276 @@
+// Property tests for the mega-scale footprint pruning chain: the spatial
+// index, the family cone, and the latitude-band reachability test may only
+// ever SKIP (satellite, site, step) work — any pruned combination must be
+// provably invisible, so masks built through the pruned chain stay
+// bit-identical to the exhaustive pair scan.
+#include "coverage/footprint_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "coverage/step_mask.hpp"
+#include "orbit/elements.hpp"
+#include "orbit/ephemeris.hpp"
+#include "orbit/geodesy.hpp"
+#include "orbit/propagator.hpp"
+#include "orbit/time.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "util/vec3.hpp"
+
+namespace mpleo::cov {
+namespace {
+
+constexpr double kMaskDeg = 25.0;
+
+orbit::TimeGrid test_grid() {
+  // Six hours at 60 s: enough revolutions for every fleet member to sweep
+  // its full latitude range while keeping the exhaustive reference cheap.
+  return orbit::TimeGrid::over_duration(
+      orbit::TimePoint::from_iso8601("2024-11-18T00:00:00Z"), 6.0 * 3600.0, 60.0);
+}
+
+// Random sites across the inhabited latitudes, plus pinned polar edge cases
+// (the latitude-band math is most fragile at the caps).
+std::vector<orbit::TopocentricFrame> make_sites(std::uint64_t seed,
+                                                std::size_t count) {
+  util::Xoshiro256PlusPlus rng(seed);
+  std::vector<orbit::TopocentricFrame> frames;
+  frames.reserve(count + 4);
+  for (std::size_t i = 0; i < count; ++i) {
+    frames.emplace_back(orbit::Geodetic::from_degrees(rng.uniform(-80.0, 80.0),
+                                                      rng.uniform(-180.0, 180.0)));
+  }
+  frames.emplace_back(orbit::Geodetic::from_degrees(89.5, 0.0));
+  frames.emplace_back(orbit::Geodetic::from_degrees(-89.5, 123.0));
+  frames.emplace_back(orbit::Geodetic::from_degrees(85.0, -179.9));
+  frames.emplace_back(orbit::Geodetic::from_degrees(-85.0, 179.9));
+  return frames;
+}
+
+// Randomised fleet spanning the cull's hard cases: circular LEO at mixed
+// inclinations, eccentric orbits (r varies, so the family cone must bound
+// with extremes), and a polar pass.
+std::vector<orbit::EphemerisTable> make_tables(std::uint64_t seed,
+                                               const orbit::TimeGrid& grid) {
+  util::Xoshiro256PlusPlus rng(seed);
+  std::vector<orbit::ClassicalElements> elements;
+  for (int i = 0; i < 4; ++i) {
+    elements.push_back(orbit::ClassicalElements::circular(
+        rng.uniform(400e3, 1200e3), rng.uniform(0.0, 98.0),
+        rng.uniform(0.0, 360.0), rng.uniform(0.0, 360.0)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    orbit::ClassicalElements el;
+    el.semi_major_axis_m = rng.uniform(7100e3, 7600e3);
+    el.eccentricity = rng.uniform(0.02, 0.06);  // perigee stays above ~400 km
+    el.inclination_rad = util::deg_to_rad(rng.uniform(20.0, 97.0));
+    el.raan_rad = rng.uniform(0.0, 2.0 * util::kPi);
+    el.arg_perigee_rad = rng.uniform(0.0, 2.0 * util::kPi);
+    el.mean_anomaly_rad = rng.uniform(0.0, 2.0 * util::kPi);
+    elements.push_back(el);
+  }
+  elements.push_back(orbit::ClassicalElements::circular(
+      550e3, 90.0, rng.uniform(0.0, 360.0), rng.uniform(0.0, 360.0)));
+
+  std::vector<orbit::EphemerisTable> tables;
+  tables.reserve(elements.size());
+  const orbit::GmstTable gmst = orbit::GmstTable::for_grid(grid);
+  for (const orbit::ClassicalElements& el : elements) {
+    const orbit::KeplerianPropagator prop(el, grid.start);
+    tables.push_back(orbit::EphemerisTable::compute(prop, grid, gmst));
+  }
+  return tables;
+}
+
+StepMask exhaustive_mask(const orbit::EphemerisTable& table,
+                         const orbit::TopocentricFrame& frame, double sin_mask) {
+  StepMask mask(table.size());
+  for (std::size_t s = 0; s < table.size(); ++s) {
+    if (frame.visible_above(table.position_ecef(s), sin_mask)) mask.set(s);
+  }
+  return mask;
+}
+
+class FootprintIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FootprintIndexProperty, PrunedMasksBitIdenticalToExhaustive) {
+  const std::uint64_t seed = GetParam();
+  const orbit::TimeGrid grid = test_grid();
+  const std::vector<orbit::TopocentricFrame> frames = make_sites(seed, 60);
+  const std::vector<orbit::EphemerisTable> tables = make_tables(seed, grid);
+  const FootprintIndex index(frames);
+  const double sin_mask = std::sin(util::deg_to_rad(kMaskDeg));
+
+  std::vector<FootprintIndex::Range> ranges;
+  for (const orbit::EphemerisTable& table : tables) {
+    const FootprintCone cone =
+        FootprintCone::make(table.min_radius_m(), table.max_radius_m(),
+                            index.min_site_radius_m(), kMaskDeg);
+    ASSERT_FALSE(cone.exhaustive);
+
+    // The pruned chain, exactly as the scheduler's footprint-stream path
+    // walks it: cap query -> cone dot test -> exact visible_above.
+    std::vector<StepMask> pruned(frames.size(), StepMask(table.size()));
+    for (std::size_t s = 0; s < table.size(); ++s) {
+      const util::Vec3 pos = table.position_ecef(s);
+      ranges.clear();
+      index.query_cap(pos, cone.psi_rad, ranges);
+      for (const FootprintIndex::Range& r : ranges) {
+        for (std::uint32_t j = r.begin; j < r.end; ++j) {
+          const double dot = index.unit_x()[j] * pos.x +
+                             index.unit_y()[j] * pos.y +
+                             index.unit_z()[j] * pos.z;
+          if (dot < cone.dot_threshold) continue;
+          const std::uint32_t site = index.site_ids()[j];
+          if (frames[site].visible_above(pos, sin_mask)) pruned[site].set(s);
+        }
+      }
+    }
+
+    const double max_sin_lat = max_abs_sin_latitude(table);
+    std::size_t total_visible = 0;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const StepMask expected = exhaustive_mask(table, frames[i], sin_mask);
+      EXPECT_EQ(pruned[i], expected) << "seed " << seed << " site " << i;
+      total_visible += expected.count();
+
+      // Latitude reachability is the coarser prune layer the coverage
+      // engine uses: false must imply a provably empty mask.
+      const util::Vec3& origin = frames[i].origin_ecef();
+      const double r = origin.norm();
+      const double site_sin_lat = r > 0.0 ? origin.z / r : 0.0;
+      if (!latitude_reachable(max_sin_lat, cone.psi_rad, site_sin_lat)) {
+        EXPECT_EQ(expected.count(), 0u) << "seed " << seed << " site " << i;
+      }
+    }
+    // The fleet geometry must actually exercise visibility, or the
+    // bit-identity assertion above is vacuous.
+    EXPECT_GT(total_visible, 0u) << "seed " << seed;
+  }
+}
+
+TEST_P(FootprintIndexProperty, QueryCapIsSupersetOfCapMembership) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256PlusPlus rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  const std::vector<orbit::TopocentricFrame> frames = make_sites(seed, 80);
+  const FootprintIndex index(frames);
+  ASSERT_EQ(index.site_count(), frames.size());
+
+  std::vector<FootprintIndex::Range> ranges;
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random cap centre on the sphere (area-uniform) at LEO-ish radius.
+    const double z = rng.uniform(-1.0, 1.0);
+    const double lon = rng.uniform(0.0, 2.0 * util::kPi);
+    const double rho = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const double radius = rng.uniform(6.8e6, 7.5e6);
+    const util::Vec3 center{radius * rho * std::cos(lon),
+                            radius * rho * std::sin(lon), radius * z};
+    const double psi = rng.uniform(0.02, 1.2);
+
+    ranges.clear();
+    index.query_cap(center, psi, ranges);
+    std::vector<bool> returned(frames.size(), false);
+    std::uint32_t prev_end = 0;
+    for (const FootprintIndex::Range& r : ranges) {
+      ASSERT_LE(prev_end, r.begin);  // disjoint, ascending
+      ASSERT_LT(r.begin, r.end);
+      ASSERT_LE(r.end, index.site_count());
+      prev_end = r.end;
+      for (std::uint32_t j = r.begin; j < r.end; ++j) {
+        returned[index.site_ids()[j]] = true;
+      }
+    }
+
+    const double inv_norm = 1.0 / center.norm();
+    const double cos_psi = std::cos(psi);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const util::Vec3& origin = frames[i].origin_ecef();
+      const double r = origin.norm();
+      if (!(r > 0.0)) continue;
+      const double cos_angle = (origin.x * center.x + origin.y * center.y +
+                                origin.z * center.z) *
+                               inv_norm / r;
+      // Strictly inside the cap (with margin) must be in the superset.
+      if (cos_angle > cos_psi + 1e-9) {
+        EXPECT_TRUE(returned[i]) << "seed " << seed << " trial " << trial
+                                 << " site " << i;
+      }
+    }
+  }
+}
+
+TEST_P(FootprintIndexProperty, LatitudeBandQueryCoversRequestedSites) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256PlusPlus rng(seed ^ 0xdeadbeefULL);
+  const std::vector<orbit::TopocentricFrame> frames = make_sites(seed, 80);
+  const FootprintIndex index(frames);
+
+  std::vector<std::uint32_t> out;
+  for (int trial = 0; trial < 20; ++trial) {
+    double lo = rng.uniform(-1.0, 1.0);
+    double hi = rng.uniform(-1.0, 1.0);
+    if (lo > hi) std::swap(lo, hi);
+    out.clear();
+    index.query_latitude_band(lo, hi, out);
+    std::vector<bool> returned(frames.size(), false);
+    for (const std::uint32_t id : out) {
+      ASSERT_LT(id, frames.size());
+      returned[id] = true;
+    }
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const util::Vec3& origin = frames[i].origin_ecef();
+      const double r = origin.norm();
+      const double sin_lat = r > 0.0 ? origin.z / r : 0.0;
+      if (sin_lat >= lo + 1e-9 && sin_lat <= hi - 1e-9) {
+        EXPECT_TRUE(returned[i]) << "seed " << seed << " site " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FootprintIndexProperty,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(FootprintCone, DegenerateGeometryFallsBackToExhaustive) {
+  EXPECT_TRUE(FootprintCone::make(7e6, 7.5e6, 6.37e6, -1.0).exhaustive);
+  EXPECT_TRUE(FootprintCone::make(7e6, 7.5e6, 6.37e6, 90.0).exhaustive);
+  EXPECT_TRUE(FootprintCone::make(7e6, 7.5e6, 0.0, 25.0).exhaustive);
+  EXPECT_TRUE(FootprintCone::make(0.0, 7.5e6, 6.37e6, 25.0).exhaustive);
+  // Satellite family not safely above the sites.
+  EXPECT_TRUE(FootprintCone::make(6.3e6, 6.37e6, 6.37e6, 25.0).exhaustive);
+  // Healthy LEO geometry prunes.
+  const FootprintCone cone = FootprintCone::make(6.92e6, 6.93e6, 6.37e6, 25.0);
+  EXPECT_FALSE(cone.exhaustive);
+  EXPECT_GT(cone.psi_rad, 0.0);
+  EXPECT_LT(cone.psi_rad, util::kPi / 2.0);
+}
+
+TEST(FootprintCone, FamilyConeContainsMemberCones) {
+  // Widening the radius family can only widen the cone.
+  const FootprintCone tight = FootprintCone::make(6.92e6, 6.93e6, 6.37e6, 25.0);
+  const FootprintCone wide = FootprintCone::make(6.80e6, 7.40e6, 6.35e6, 25.0);
+  EXPECT_GE(wide.psi_rad, tight.psi_rad);
+}
+
+TEST(FootprintIndex, EmptyIndexYieldsNothing) {
+  const FootprintIndex index{std::span<const orbit::TopocentricFrame>{}};
+  EXPECT_EQ(index.site_count(), 0u);
+  EXPECT_EQ(index.min_site_radius_m(), 0.0);
+  std::vector<FootprintIndex::Range> ranges;
+  index.query_cap({7e6, 0.0, 0.0}, 0.3, ranges);
+  EXPECT_TRUE(ranges.empty());
+  std::vector<std::uint32_t> ids;
+  index.query_latitude_band(-1.0, 1.0, ids);
+  EXPECT_TRUE(ids.empty());
+}
+
+}  // namespace
+}  // namespace mpleo::cov

@@ -1,10 +1,7 @@
 // Degraded operations: the fault layer threaded through scheduling, handover
-// analysis, SLA evaluation, and settlement.
-//
-// Pins the legacy evaluate_sla(terms, cache, fleet, site, faults) tail-
-// parameter overload; the RunContext path lives in run_context_identity_test.
-#define MPLEO_ALLOW_DEPRECATED
-
+// analysis, SLA evaluation, and settlement. SLA evaluation runs through a
+// sim::RunContext carrying the timeline; pool-size identity is pinned by
+// run_context_identity_test.
 #include <gtest/gtest.h>
 
 #include "core/ledger.hpp"
@@ -14,6 +11,7 @@
 #include "net/handover.hpp"
 #include "net/scheduler.hpp"
 #include "orbit/geodesy.hpp"
+#include "sim/run_context.hpp"
 
 namespace mpleo {
 namespace {
@@ -293,14 +291,19 @@ TEST(FaultSla, OutageLongerThanMaxGapViolatesAndSettles) {
   // Healthy geometry complies; bit-identically so through an empty timeline.
   EXPECT_TRUE(core::evaluate_sla(terms, healthy).compliant);
   const fault::FaultTimeline no_faults;
-  EXPECT_TRUE(core::evaluate_sla(terms, cache, fleet, 0, no_faults).compliant);
+  sim::RunContext healthy_context;
+  healthy_context.use_faults(&no_faults);
+  EXPECT_TRUE(core::evaluate_sla(terms, cache, fleet, 0, healthy_context).compliant);
 
   // Everybody out for longer than the allowed gap.
   const double outage_s = terms.max_gap_seconds + 20.0 * grid.step_seconds;
   fault::FaultTimeline faults(grid, sats.size(), 0);
   for (std::size_t i : fleet) faults.add_satellite_outage(i, 0.0, outage_s);
 
-  const core::SlaReport report = core::evaluate_sla(terms, cache, fleet, 0, faults);
+  sim::RunContext faulted_context;
+  faulted_context.use_faults(&faults);
+  const core::SlaReport report =
+      core::evaluate_sla(terms, cache, fleet, 0, faulted_context);
   EXPECT_FALSE(report.compliant);
   ASSERT_EQ(report.violations.size(), 1u);
   EXPECT_EQ(report.violations.front().clause, core::SlaClause::kMaxGap);

@@ -1,13 +1,9 @@
-// RunContext API-redesign acceptance: driving every subsystem through a
-// sim::RunContext must reproduce the legacy tail-parameter calls bit for
-// bit — same ScheduleResult down to link ordering, same coverage masks,
-// same SLA reports, same campaign epochs and resilience points — with the
-// metrics/trace recording observing but never perturbing.
-//
-// This TU deliberately calls the deprecated legacy overloads side by side
-// with the RunContext ones; hence the opt-out.
-#define MPLEO_ALLOW_DEPRECATED
-
+// RunContext API acceptance: driving every subsystem through a
+// sim::RunContext must be bit-identical for any pool size — a serial
+// (pool-less) context, a pooled one and the reference paths all produce
+// the same ScheduleResult down to link ordering, the same coverage masks,
+// the same SLA reports, the same campaign epochs and resilience points —
+// with the metrics/trace recording observing but never perturbing.
 #include <gtest/gtest.h>
 
 #include "core/campaign.hpp"
@@ -188,12 +184,13 @@ TEST(RunContextIdentity, EphemeridesMatchForAnyContext) {
   }
 }
 
-TEST(RunContextIdentity, SlaReportMatchesLegacyOverload) {
+TEST(RunContextIdentity, SlaReportMatchesForAnyContext) {
   const Fleet f = make_fleet();
   const cov::CoverageEngine engine(test_grid(), 25.0);
   const std::vector<cov::GroundSite> sites = {
       {"a", orbit::TopocentricFrame(orbit::Geodetic::from_degrees(10.0, 10.0)), 1.0}};
-  cov::VisibilityCache cache(engine, f.satellites, sites);
+  cov::VisibilityCache serial_cache(engine, f.satellites, sites);
+  cov::VisibilityCache pooled_cache(engine, f.satellites, sites);
   const std::vector<std::size_t> fleet_idx = {0, 1, 2, 3, 4, 5, 6};
   const fault::FaultTimeline faults = make_faults(engine.grid(), f);
 
@@ -202,13 +199,19 @@ TEST(RunContextIdentity, SlaReportMatchesLegacyOverload) {
   terms.max_gap_seconds = 600.0;
   terms.penalty_per_violation = 25.0;
 
+  // Serial context fills the cache lazily; pooled context precomputes the
+  // masks in parallel first. The reports must match bit for bit.
+  sim::RunContext serial_context;
+  serial_context.use_faults(&faults);
   const core::SlaReport legacy =
-      core::evaluate_sla(terms, cache, fleet_idx, 0, faults);
+      core::evaluate_sla(terms, serial_cache, fleet_idx, 0, serial_context);
 
-  sim::RunContext context;
+  sim::Scenario pooled_scenario;
+  pooled_scenario.threads = 2;
+  sim::RunContext context(pooled_scenario);
   context.use_faults(&faults);
   const core::SlaReport via_context =
-      core::evaluate_sla(terms, cache, fleet_idx, 0, context);
+      core::evaluate_sla(terms, pooled_cache, fleet_idx, 0, context);
 
   EXPECT_EQ(via_context.compliant, legacy.compliant);
   EXPECT_EQ(via_context.total_penalty, legacy.total_penalty);
@@ -294,15 +297,16 @@ core::Campaign make_campaign() {
   return core::Campaign(std::move(consortium), terminals, stations, config, 42);
 }
 
-TEST(RunContextIdentity, CampaignEpochMatchesLegacyOverload) {
-  core::Campaign legacy_campaign = make_campaign();
+TEST(RunContextIdentity, CampaignEpochMatchesForAnyPoolSize) {
+  core::Campaign serial_campaign = make_campaign();
   core::Campaign context_campaign = make_campaign();
+  sim::RunContext serial_context;  // no pool
   sim::Scenario scenario;
   scenario.threads = 2;
   sim::RunContext context(scenario);
 
   for (int epoch = 0; epoch < 2; ++epoch) {
-    const core::EpochReport legacy = legacy_campaign.run_epoch();
+    const core::EpochReport legacy = serial_campaign.run_epoch(serial_context);
     const core::EpochReport via_context = context_campaign.run_epoch(context);
     EXPECT_EQ(via_context.epoch, legacy.epoch);
     EXPECT_EQ(via_context.total_served_seconds, legacy.total_served_seconds);

@@ -5,6 +5,8 @@
 // ordering, faulted and unfaulted, for every thread-pool size.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "fault/timeline.hpp"
 #include "net/scheduler.hpp"
 #include "orbit/geodesy.hpp"
@@ -185,6 +187,116 @@ TEST(SchedulerPipeline, AggregatesMatchWithoutKeptSteps) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPipeline, ::testing::Range<std::uint64_t>(0, 12));
+
+// The footprint-stream path (spatial index + shell shards + bounded-queue
+// streaming) must be indistinguishable from the classic pair-mask path when
+// the candidate cap is off — same grants, same link ordering, same metrics-
+// bearing aggregates — regardless of chunk shape, slot count, or pool size.
+class SchedulerFootprintStream : public ::testing::TestWithParam<std::uint64_t> {};
+
+RandomFleet make_streamed_fleet(std::uint64_t seed) {
+  RandomFleet f = make_fleet(seed);
+  f.config.visibility_mode = VisibilityMode::kFootprintStream;
+  return f;
+}
+
+TEST_P(SchedulerFootprintStream, MatchesReferenceBitForBit) {
+  const RandomFleet f = make_streamed_fleet(GetParam());
+  const BentPipeScheduler scheduler(f.config, f.satellites, f.terminals, f.stations);
+  const orbit::TimeGrid grid = test_grid();
+
+  const ScheduleResult reference =
+      scheduler.run_reference(grid, f.party_count, nullptr, /*keep_steps=*/true);
+  const ScheduleResult streamed = scheduler.run(grid, f.party_count, /*keep_steps=*/true);
+  EXPECT_TRUE(streamed == reference);
+}
+
+TEST_P(SchedulerFootprintStream, FaultedMatchesReferenceBitForBit) {
+  const RandomFleet f = make_streamed_fleet(GetParam());
+  const BentPipeScheduler scheduler(f.config, f.satellites, f.terminals, f.stations);
+  const orbit::TimeGrid grid = test_grid();
+  const fault::FaultTimeline faults = make_faults(grid, f, GetParam());
+
+  const ScheduleResult reference =
+      scheduler.run_reference(grid, f.party_count, &faults, /*keep_steps=*/true);
+  const ScheduleResult streamed =
+      scheduler.run(grid, f.party_count, &faults, /*keep_steps=*/true);
+  EXPECT_TRUE(streamed == reference);
+}
+
+TEST_P(SchedulerFootprintStream, ChunkSlotAndPoolShapeNeverChangeResult) {
+  RandomFleet f = make_streamed_fleet(GetParam());
+  const orbit::TimeGrid grid = test_grid();
+  const fault::FaultTimeline faults = make_faults(grid, f, GetParam());
+
+  const BentPipeScheduler baseline(f.config, f.satellites, f.terminals, f.stations);
+  const ScheduleResult expected =
+      baseline.run(grid, f.party_count, &faults, /*keep_steps=*/true);
+
+  for (const std::size_t chunk_steps : {std::size_t{8}, std::size_t{16}}) {
+    for (const std::size_t slots : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+      SchedulerConfig config = f.config;
+      config.stream_chunk_steps = chunk_steps;
+      config.stream_slots = slots;
+      const BentPipeScheduler scheduler(config, f.satellites, f.terminals, f.stations);
+      const ScheduleResult serial =
+          scheduler.run(grid, f.party_count, &faults, /*keep_steps=*/true);
+      EXPECT_TRUE(serial == expected)
+          << "chunk_steps=" << chunk_steps << " slots=" << slots;
+      for (const std::size_t threads : {2u, 3u}) {
+        util::ThreadPool pool(threads);
+        const ScheduleResult pooled =
+            scheduler.run(grid, f.party_count, &faults, /*keep_steps=*/true, &pool);
+        EXPECT_TRUE(pooled == expected)
+            << "chunk_steps=" << chunk_steps << " slots=" << slots
+            << " pool=" << threads;
+      }
+    }
+  }
+}
+
+TEST_P(SchedulerFootprintStream, CandidateCapIsDeterministicAcrossShapes) {
+  // A finite cap may legitimately drop low-capacity candidates, so the result
+  // is not compared against the exact path — but it must be a pure function
+  // of the inputs: pool size, chunk shape, and slot count cannot change it.
+  RandomFleet f = make_streamed_fleet(GetParam());
+  f.config.max_candidates_per_terminal = 2;
+  const orbit::TimeGrid grid = test_grid();
+
+  const BentPipeScheduler baseline(f.config, f.satellites, f.terminals, f.stations);
+  const ScheduleResult expected = baseline.run(grid, f.party_count, /*keep_steps=*/true);
+
+  SchedulerConfig reshaped = f.config;
+  reshaped.stream_chunk_steps = 8;
+  reshaped.stream_slots = 3;
+  const BentPipeScheduler scheduler(reshaped, f.satellites, f.terminals, f.stations);
+  EXPECT_TRUE(scheduler.run(grid, f.party_count, /*keep_steps=*/true) == expected);
+  for (const std::size_t threads : {2u, 3u}) {
+    util::ThreadPool pool(threads);
+    const ScheduleResult pooled =
+        scheduler.run(grid, f.party_count, /*keep_steps=*/true, &pool);
+    EXPECT_TRUE(pooled == expected) << "pool=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFootprintStream,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(SchedulerFootprintStreamConfig, RejectsBadStreamShapes) {
+  const RandomFleet f = make_fleet(3);
+  SchedulerConfig bad_chunk = f.config;
+  bad_chunk.stream_chunk_steps = 12;  // not a power of two
+  EXPECT_THROW(BentPipeScheduler(bad_chunk, f.satellites, f.terminals, f.stations),
+               std::invalid_argument);
+  SchedulerConfig huge_chunk = f.config;
+  huge_chunk.stream_chunk_steps = 128;  // chunks must fit one mask word
+  EXPECT_THROW(BentPipeScheduler(huge_chunk, f.satellites, f.terminals, f.stations),
+               std::invalid_argument);
+  SchedulerConfig big_cap = f.config;
+  big_cap.max_candidates_per_terminal = 65;
+  EXPECT_THROW(BentPipeScheduler(big_cap, f.satellites, f.terminals, f.stations),
+               std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace mpleo::net

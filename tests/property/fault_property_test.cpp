@@ -2,11 +2,6 @@
 // no-fault code path everywhere it is accepted, seeded sweeps reproduce
 // exactly, and coverage under common-random-numbers thinning is monotone in
 // the failure rate.
-//
-// Deliberately exercises the legacy tail-parameter overloads (the contracts
-// must hold on both API surfaces); hence the deprecation opt-out.
-#define MPLEO_ALLOW_DEPRECATED
-
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -16,6 +11,7 @@
 #include "fault/timeline.hpp"
 #include "net/handover.hpp"
 #include "net/scheduler.hpp"
+#include "sim/run_context.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mpleo {
@@ -137,7 +133,10 @@ TEST(FaultProperty, EmptyTimelineLeavesCoverageAndSlaBitIdentical) {
   terms.max_gap_seconds = 3600.0;
   const core::SlaReport plain =
       core::evaluate_sla(terms, engine.stats(cache.union_mask(fleet, 0)));
-  const core::SlaReport gated = core::evaluate_sla(terms, cache, fleet, 0, empty);
+  sim::RunContext empty_context;
+  empty_context.use_faults(&empty);
+  const core::SlaReport gated =
+      core::evaluate_sla(terms, cache, fleet, 0, empty_context);
   EXPECT_EQ(gated.compliant, plain.compliant);
   ASSERT_EQ(gated.violations.size(), plain.violations.size());
   for (std::size_t v = 0; v < plain.violations.size(); ++v) {

@@ -1,0 +1,171 @@
+// ScenarioBuilder: fluent programmatic construction funneled through the
+// same unified core::ConfigIssue validation the flag parser uses — the two
+// front-ends must produce identical scenarios and identical error reports.
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpleo::sim {
+namespace {
+
+Scenario parse(std::initializer_list<const char*> args, Scenario defaults = {}) {
+  std::vector<const char*> argv{"bench"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_scenario(static_cast<int>(argv.size()), argv.data(),
+                        std::move(defaults));
+}
+
+TEST(ScenarioBuilder, FluentSettersCoverEveryKnob) {
+  const Scenario s = ScenarioBuilder()
+                         .epoch_iso8601("2025-01-01T00:00:00Z")
+                         .duration_days(2.0)
+                         .step_seconds(30.0)
+                         .elevation_mask_deg(15.0)
+                         .runs(50)
+                         .seed(99)
+                         .threads(4)
+                         .include_gen2(false)
+                         .propagator(orbit::PropagatorBackend::kSgp4)
+                         .adversary(AdversaryMode::kForge)
+                         .adversary_fraction(0.5)
+                         .adversary_intensity(2.0)
+                         .adversary_seed(7)
+                         .rf(true)
+                         .audit_doppler(true)
+                         .build();
+  EXPECT_EQ(s.epoch.to_civil().year, 2025);
+  EXPECT_DOUBLE_EQ(s.duration_s, 2.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(s.step_s, 30.0);
+  EXPECT_DOUBLE_EQ(s.elevation_mask_deg, 15.0);
+  EXPECT_EQ(s.runs, 50u);
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_EQ(s.threads, 4u);
+  EXPECT_FALSE(s.include_gen2_catalog);
+  EXPECT_EQ(s.propagator, orbit::PropagatorBackend::kSgp4);
+  EXPECT_EQ(s.adversary_mode, AdversaryMode::kForge);
+  EXPECT_DOUBLE_EQ(s.adversary_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.adversary_intensity, 2.0);
+  EXPECT_EQ(s.adversary_seed, 7u);
+  EXPECT_TRUE(s.rf);
+  EXPECT_TRUE(s.audit_doppler);
+}
+
+TEST(ScenarioBuilder, BuildValidatesAndThrowsJoinedIssues) {
+  ScenarioBuilder builder;
+  builder.step_seconds(0.0).runs(0);
+  const std::vector<core::ConfigIssue> issues = builder.issues();
+  EXPECT_EQ(issues.size(), 2u);
+  EXPECT_TRUE(core::has_errors(issues));
+  try {
+    (void)builder.build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("step_s"), std::string::npos);
+    EXPECT_NE(msg.find("runs"), std::string::npos);
+  }
+}
+
+TEST(ScenarioBuilder, ScalePresetPinsMegaWindowAndSizes) {
+  const Scenario smoke = ScenarioBuilder().scale(ScalePreset::kMegaSmoke).build();
+  EXPECT_EQ(smoke.scale, ScalePreset::kMegaSmoke);
+  EXPECT_DOUBLE_EQ(smoke.duration_s, 86400.0);
+  EXPECT_DOUBLE_EQ(smoke.step_s, 60.0);
+  EXPECT_EQ(smoke.terminal_count, 50'000u);
+  EXPECT_EQ(smoke.station_count, 128u);
+
+  const Scenario mega = ScenarioBuilder().scale(ScalePreset::kMega).build();
+  EXPECT_EQ(mega.terminal_count, 1'000'000u);
+
+  // The preset applies immediately, so later setters can still override.
+  const Scenario tweaked = ScenarioBuilder()
+                               .scale(ScalePreset::kMegaSmoke)
+                               .terminal_count(1234)
+                               .build();
+  EXPECT_EQ(tweaked.terminal_count, 1234u);
+
+  // Back to reference wipes the workload sizes.
+  const Scenario reference = ScenarioBuilder()
+                                 .scale(ScalePreset::kMegaSmoke)
+                                 .scale(ScalePreset::kReference)
+                                 .build();
+  EXPECT_EQ(reference.terminal_count, 0u);
+  EXPECT_EQ(reference.station_count, 0u);
+}
+
+TEST(ScenarioBuilder, QuickAndFullMatchFlagPresets) {
+  const Scenario quick = ScenarioBuilder().quick().build();
+  EXPECT_EQ(quick.runs, 5u);
+  EXPECT_DOUBLE_EQ(quick.duration_s, 2.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(quick.step_s, 120.0);
+  EXPECT_EQ(ScenarioBuilder().full_fidelity().build().runs, 100u);
+}
+
+TEST(ScenarioBuilder, FlagParserIsAFrontEndOverTheBuilder) {
+  // The same configuration expressed as flags and as fluent calls must be
+  // indistinguishable. Both front-ends apply --scale / .scale() at the point
+  // it appears, so later step/days overrides win in both — same order here.
+  const Scenario via_flags =
+      parse({"--runs=50", "--seed=99", "--threads=4", "--scale=mega-smoke",
+             "--days=2", "--step=30", "--mask=15"});
+  const Scenario via_builder = ScenarioBuilder()
+                                   .runs(50)
+                                   .seed(99)
+                                   .threads(4)
+                                   .scale(ScalePreset::kMegaSmoke)
+                                   .duration_days(2.0)
+                                   .step_seconds(30.0)
+                                   .elevation_mask_deg(15.0)
+                                   .build();
+  EXPECT_EQ(via_flags.runs, via_builder.runs);
+  EXPECT_EQ(via_flags.seed, via_builder.seed);
+  EXPECT_EQ(via_flags.threads, via_builder.threads);
+  EXPECT_EQ(via_flags.scale, via_builder.scale);
+  EXPECT_EQ(via_flags.terminal_count, via_builder.terminal_count);
+  EXPECT_EQ(via_flags.station_count, via_builder.station_count);
+  EXPECT_DOUBLE_EQ(via_flags.duration_s, via_builder.duration_s);
+  EXPECT_DOUBLE_EQ(via_flags.step_s, via_builder.step_s);
+  EXPECT_DOUBLE_EQ(via_flags.elevation_mask_deg, via_builder.elevation_mask_deg);
+}
+
+TEST(ScenarioBuilder, ParserValidatesThroughTheSamePath) {
+  // An invalid value reaching the parser surfaces as the same unified
+  // ConfigIssue report ScenarioBuilder::build throws.
+  EXPECT_THROW((void)parse({"--step=0"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"--mask=95"}), std::invalid_argument);
+  try {
+    (void)parse({"--step=-5"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("step_s"), std::string::npos);
+  }
+}
+
+TEST(ScenarioBuilder, ScaleFlagParsesAllPresets) {
+  EXPECT_EQ(parse({"--scale=reference"}).scale, ScalePreset::kReference);
+  EXPECT_EQ(parse({"--scale=mega-smoke"}).scale, ScalePreset::kMegaSmoke);
+  EXPECT_EQ(parse({"--scale=mega"}).scale, ScalePreset::kMega);
+  EXPECT_THROW((void)parse({"--scale=giga"}), std::invalid_argument);
+}
+
+TEST(ScenarioBuilder, DescribeMentionsScaleOnlyWhenNotReference) {
+  EXPECT_EQ(describe(ScenarioBuilder().build()).find("scale="), std::string::npos);
+  const std::string mega = describe(ScenarioBuilder().scale(ScalePreset::kMegaSmoke).build());
+  EXPECT_NE(mega.find("scale=mega-smoke"), std::string::npos);
+  EXPECT_NE(mega.find("terminals=50000"), std::string::npos);
+}
+
+TEST(ScenarioBuilder, SeedingFromExistingScenarioPreservesFields) {
+  Scenario base;
+  base.seed = 1234;
+  base.threads = 8;
+  const Scenario rebuilt = ScenarioBuilder(base).runs(3).build();
+  EXPECT_EQ(rebuilt.seed, 1234u);
+  EXPECT_EQ(rebuilt.threads, 8u);
+  EXPECT_EQ(rebuilt.runs, 3u);
+}
+
+}  // namespace
+}  // namespace mpleo::sim

@@ -5,6 +5,7 @@ Usage:
     check_perf_regression.py --baseline BENCH_perf_simulator.json \
                              --current  BENCH_current.json [--tolerance 0.2]
     check_perf_regression.py --adversary-sweep BENCH_adversary_sweep.json
+    check_perf_regression.py --mega BENCH_mega.json
 
 Absolute seconds are machine-dependent, so the gate compares *speedups*
 (scalar reference vs optimized path on the same box, same run): the current
@@ -25,6 +26,13 @@ and that section must be schema-valid: integer counters >= 0, histograms
 whose bucket counts sum to their count over non-decreasing "le" bounds
 ending in "inf", and the scheduler metric names the pipeline is known to
 record. A perf run that silently stopped observing is a regression too.
+
+When the current report carries a mega_scale section (perf_simulator
+--scale=mega or --scale=mega-smoke) it is gated absolutely: throughput must
+clear a loose terminal-steps/sec floor and peak RSS must stay under the
+scale's ceiling — the bounded-memory acceptance criterion of the 30k x 1M
+streaming pipeline. --mega FILE runs the same gate standalone (no baseline),
+which is how CI checks the smoke run it just produced.
 
 --adversary-sweep validates a BENCH_adversary_sweep.json report instead:
 the sweep's byzantine fractions must start at 0 and be strictly increasing,
@@ -58,8 +66,26 @@ IDENTITY_FLAGS = [
     ("ephemeris_compare", "masks_identical"),
     ("scheduler_compare", "bit_identical"),
     ("scheduler_compare", "faulted_bit_identical"),
+    ("scheduler_compare", "streamed_bit_identical"),
     ("backend_compare", "batched_bit_identical"),
 ]
+
+# Absolute gates for the mega_scale section (perf_simulator --scale=mega or
+# --scale=mega-smoke). Throughput floors are deliberately loose — an order of
+# magnitude under a healthy single-threaded run — so they catch the pipeline
+# falling off an algorithmic cliff (accidental O(sats x terminals) scans,
+# unbounded staging), not machine-to-machine noise. The RSS ceilings are the
+# actual acceptance criterion: 30k x 1M must stream through bounded memory.
+MEGA_TPS_FLOOR_FULL = 8e4       # terminal-steps/sec at >= 500k terminals
+MEGA_TPS_FLOOR_SMOKE = 2e5      # terminal-steps/sec below that
+MEGA_RSS_CEILING_FULL = 24e9    # bytes, --scale=mega
+MEGA_RSS_CEILING_SMOKE = 4e9    # bytes, --scale=mega-smoke
+# Wall-clock ceilings: the acceptance criterion says the day-long 30k x 1M
+# run *completes*, so the gate pins "completes in bounded time" too. Both are
+# generous multiples of a healthy single-core run — they catch the pipeline
+# regressing to an overnight job, not machine-to-machine noise.
+MEGA_WALL_CEILING_FULL = 43_200.0   # seconds (12 h), --scale=mega
+MEGA_WALL_CEILING_SMOKE = 1_800.0   # seconds, --scale=mega-smoke
 
 # Absolute floor for the SIMD lane-batched J2 fill when the report ran on an
 # AVX2 machine: >= 4x the 1.5e7 sat-steps/sec pre-refactor kernel baseline.
@@ -217,6 +243,84 @@ def validate_obs(obs) -> list:
         if name not in obs["histograms"]:
             problems.append(f"obs.histograms missing required metric {name}")
     return problems
+
+
+def validate_mega_scale(section) -> list:
+    """Schema + absolute gates for the mega_scale section (empty = valid)."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["mega_scale section is not an object"]
+
+    workload = section.get("workload")
+    if not isinstance(workload, dict):
+        return ["mega_scale.workload missing or not an object"]
+    for field in ("satellites", "terminals", "stations", "parties", "steps"):
+        if not is_uint(workload.get(field)) or workload.get(field) == 0:
+            problems.append(f"mega_scale.workload.{field} missing or not a "
+                            f"positive integer")
+    scale = workload.get("scale")
+    if scale not in ("mega", "mega-smoke"):
+        problems.append(f"mega_scale.workload.scale is {scale!r}, expected "
+                        f"\"mega\" or \"mega-smoke\"")
+    for field in ("seconds", "terminal_steps_per_sec", "links_granted"):
+        if not is_number(section.get(field)) or section.get(field) <= 0:
+            problems.append(f"mega_scale.{field} missing or not positive")
+    if not is_uint(section.get("peak_rss_bytes")):
+        problems.append("mega_scale.peak_rss_bytes missing or invalid")
+    stream = section.get("stream")
+    if not isinstance(stream, dict) or not is_uint(stream.get("chunk_steps")) \
+            or not is_uint(stream.get("slots")) \
+            or not is_uint(stream.get("candidate_cap")):
+        problems.append("mega_scale.stream missing chunk_steps/slots/candidate_cap")
+    if section.get("bit_identical") is not True:
+        problems.append("mega_scale.bit_identical is not true (the sub-fleet "
+                        "stream-vs-pair-mask identity check failed or is missing)")
+    if problems:
+        return problems
+
+    full = workload["terminals"] >= 500_000
+    tps_floor = MEGA_TPS_FLOOR_FULL if full else MEGA_TPS_FLOOR_SMOKE
+    rss_ceiling = (MEGA_RSS_CEILING_FULL if scale == "mega"
+                   else MEGA_RSS_CEILING_SMOKE)
+    tps = section["terminal_steps_per_sec"]
+    rss = section["peak_rss_bytes"]
+
+    status = "OK " if tps >= tps_floor else "REGRESSED"
+    print(f"{status} mega_scale[{scale}] throughput: {tps:.3e} "
+          f"terminal-steps/s (floor {tps_floor:.1e})")
+    if tps < tps_floor:
+        problems.append(f"mega_scale throughput {tps:.3e} terminal-steps/s "
+                        f"below the {tps_floor:.1e} floor")
+
+    # peak_rss_bytes may be 0 where getrusage is unavailable; only gate when
+    # the run actually measured it.
+    if rss > 0:
+        status = "OK " if rss <= rss_ceiling else "REGRESSED"
+        print(f"{status} mega_scale[{scale}] peak RSS: {rss / 1e9:.2f} GB "
+              f"(ceiling {rss_ceiling / 1e9:.0f} GB)")
+        if rss > rss_ceiling:
+            problems.append(f"mega_scale peak RSS {rss / 1e9:.2f} GB exceeds "
+                            f"the {rss_ceiling / 1e9:.0f} GB ceiling")
+
+    wall = section["seconds"]
+    wall_ceiling = (MEGA_WALL_CEILING_FULL if scale == "mega"
+                    else MEGA_WALL_CEILING_SMOKE)
+    status = "OK " if wall <= wall_ceiling else "REGRESSED"
+    print(f"{status} mega_scale[{scale}] wall clock: {wall:.1f} s "
+          f"(ceiling {wall_ceiling:.0f} s)")
+    if wall > wall_ceiling:
+        problems.append(f"mega_scale wall clock {wall:.1f} s exceeds the "
+                        f"{wall_ceiling:.0f} s ceiling")
+    return problems
+
+
+def check_mega(path: str) -> list:
+    """Standalone gate for a report carrying a mega_scale section."""
+    with open(path) as f:
+        report = json.load(f)
+    if "mega_scale" not in report:
+        return [f"no mega_scale section in {path}"]
+    return validate_mega_scale(report["mega_scale"])
 
 
 # Fields every adversary-sweep point must carry, with (type check, floor).
@@ -456,6 +560,9 @@ def main() -> int:
     parser.add_argument("--adversary-sweep", metavar="FILE",
                         help="validate a BENCH_adversary_sweep.json report "
                              "(no baseline needed)")
+    parser.add_argument("--mega", metavar="FILE",
+                        help="validate the mega_scale section of a perf "
+                             "report absolutely (no baseline needed)")
     args = parser.parse_args()
 
     if args.adversary_sweep:
@@ -465,12 +572,22 @@ def main() -> int:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
         print("adversary sweep check passed")
+        if not (args.baseline and args.current) and not args.mega:
+            return 0
+
+    if args.mega:
+        failures = check_mega(args.mega)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("mega scale check passed")
         if not (args.baseline and args.current):
             return 0
 
     if not (args.baseline and args.current):
         parser.error("--baseline and --current are required unless "
-                     "--adversary-sweep is given")
+                     "--adversary-sweep or --mega is given")
 
     with open(args.baseline) as f:
         baseline = json.load(f)
@@ -492,6 +609,10 @@ def main() -> int:
             print(f"OK  backend_compare schema-valid (sgp4-vs-j2 max error "
                   f"{cross['max_error_m'] / 1e3:.1f} km, envelope "
                   f"{cross['envelope_m'] / 1e3:.0f} km)")
+
+    if "mega_scale" in current:
+        mega_problems = validate_mega_scale(current["mega_scale"])
+        failures.extend(mega_problems)
 
     if "scheduler_compare" in current:
         if "obs" not in current:
