@@ -1,0 +1,202 @@
+#include "core/chaos_sweep.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "net/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "sim/run_context.hpp"
+#include "sim/workload.hpp"
+
+namespace mpleo::core {
+namespace {
+
+// The centralized twin: the identical fleet with every owner collapsed to
+// party 0, so the only degree of freedom between the two topologies is who
+// owns what — satellites, orbits, sites and radios are shared bit-for-bit
+// (and so are the event book's draws, which key on asset indices).
+sim::Workload centralize(sim::Workload workload) {
+  for (constellation::Satellite& sat : workload.satellites) sat.owner_party = 0;
+  for (net::Terminal& terminal : workload.terminals) terminal.owner_party = 0;
+  for (net::GroundStation& station : workload.stations) station.owner_party = 0;
+  workload.party_count = 1;
+  return workload;
+}
+
+net::ScheduleResult replay(const sim::Workload& workload,
+                           const net::DegradationPolicy& policy,
+                           const orbit::TimeGrid& grid,
+                           const fault::FaultTimeline* faults, bool keep_steps,
+                           sim::RunContext& context) {
+  net::SchedulerConfig config = workload.scheduler;
+  config.degradation = policy;
+  const net::BentPipeScheduler scheduler(config, workload.satellites,
+                                         workload.terminals, workload.stations);
+  return scheduler.run(grid, workload.party_count, faults, keep_steps,
+                       context.pool());
+}
+
+ChaosCell make_cell(fault::EventProfile profile, bool decentralized,
+                    const net::ScheduleResult& result) {
+  ChaosCell cell;
+  cell.profile = profile;
+  cell.decentralized = decentralized;
+  if (result.slo.has_value()) cell.slo = *result.slo;
+  cell.failure_forced_detaches = result.failure_forced_detaches;
+  cell.reacquisition_wait_seconds = result.reacquisition_wait_seconds;
+  double sum = 0.0;
+  for (const double seconds : cell.slo.recovery_seconds) {
+    sum += seconds;
+    cell.max_recovery_s = std::max(cell.max_recovery_s, seconds);
+  }
+  if (!cell.slo.recovery_seconds.empty()) {
+    cell.mean_recovery_s =
+        sum / static_cast<double>(cell.slo.recovery_seconds.size());
+  }
+  return cell;
+}
+
+// Full structural equality of two kept-steps runs: link-by-link (order
+// included), unserved sets, and the per-party aggregates. This is the
+// empty-book identity the chaos bench gates on.
+bool identical_runs(const net::ScheduleResult& a, const net::ScheduleResult& b) {
+  if (a.steps.size() != b.steps.size()) return false;
+  for (std::size_t s = 0; s < a.steps.size(); ++s) {
+    const net::StepSchedule& sa = a.steps[s];
+    const net::StepSchedule& sb = b.steps[s];
+    if (sa.step != sb.step || sa.links.size() != sb.links.size() ||
+        sa.unserved_terminals != sb.unserved_terminals) {
+      return false;
+    }
+    for (std::size_t k = 0; k < sa.links.size(); ++k) {
+      const net::LinkAssignment& la = sa.links[k];
+      const net::LinkAssignment& lb = sb.links[k];
+      if (la.terminal_index != lb.terminal_index ||
+          la.satellite_index != lb.satellite_index ||
+          la.station_index != lb.station_index ||
+          la.capacity_bps != lb.capacity_bps || la.spare != lb.spare) {
+        return false;
+      }
+    }
+  }
+  if (a.total_served_seconds != b.total_served_seconds ||
+      a.total_unserved_seconds != b.total_unserved_seconds ||
+      a.failure_forced_detaches != b.failure_forced_detaches ||
+      a.per_party.size() != b.per_party.size()) {
+    return false;
+  }
+  for (std::size_t p = 0; p < a.per_party.size(); ++p) {
+    if (a.per_party[p].own_link_seconds != b.per_party[p].own_link_seconds ||
+        a.per_party[p].spare_used_seconds != b.per_party[p].spare_used_seconds ||
+        a.per_party[p].unserved_terminal_seconds !=
+            b.per_party[p].unserved_terminal_seconds) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<core::ConfigIssue> ChaosSweepConfig::validate() const {
+  std::vector<core::ConfigIssue> issues;
+  const auto add = [&issues](const char* field, std::string message) {
+    issues.push_back({"core.chaos_sweep", field, std::move(message)});
+  };
+  if (!(duration_s > 0.0) || duration_s > 1e300) {
+    add("duration_s", "must be finite and > 0");
+  }
+  if (!(step_s > 0.0) || step_s > 1e300) add("step_s", "must be finite and > 0");
+  if (!(elevation_mask_deg >= 0.0) || !(elevation_mask_deg < 90.0)) {
+    add("elevation_mask_deg", "must be in [0, 90)");
+  }
+  if (!(event_intensity >= 0.0) || event_intensity > 1e300) {
+    add("event_intensity", "must be finite and >= 0");
+  }
+  if (profiles.empty()) add("profiles", "must name at least one event profile");
+  for (const fault::EventProfile profile : profiles) {
+    if (profile == fault::EventProfile::kOff) {
+      add("profiles", "kOff is not a chaos cell (the identity pair covers it)");
+      break;
+    }
+  }
+  if (slo_window_steps == 0) add("slo_window_steps", "must be > 0");
+  for (core::ConfigIssue& issue : policy.validate()) {
+    issues.push_back(std::move(issue));
+  }
+  return issues;
+}
+
+ChaosSweepResult chaos_sweep(const ChaosSweepConfig& config,
+                             sim::RunContext& context) {
+  core::throw_if_invalid("core::chaos_sweep", config.validate());
+
+  sim::Scenario scenario;
+  scenario.duration_s = config.duration_s;
+  scenario.step_s = config.step_s;
+  scenario.elevation_mask_deg = config.elevation_mask_deg;
+  const sim::Workload decentralized = sim::build_workload(scenario);
+  const sim::Workload centralized = centralize(decentralized);
+  const orbit::TimeGrid grid = scenario.grid();
+
+  net::DegradationPolicy policy = config.policy;
+  policy.slo_window_steps = config.slo_window_steps;
+
+  obs::Counter cells_counter = context.metrics().counter("chaos_sweep.cells");
+  obs::Counter events_counter = context.metrics().counter("chaos_sweep.events");
+
+  ChaosSweepResult result;
+  for (const fault::EventProfile profile : config.profiles) {
+    const fault::EventBook book = fault::EventBook::preset(
+        profile, grid.duration_seconds(), config.event_seed,
+        config.event_intensity);
+    events_counter.add(book.event_count());
+    for (const bool dec : {true, false}) {
+      const sim::Workload& workload = dec ? decentralized : centralized;
+      const fault::FaultTimeline timeline =
+          book.compile(grid, workload.satellites, workload.stations);
+      const net::ScheduleResult run =
+          replay(workload, policy, grid, &timeline, false, context);
+      result.cells.push_back(make_cell(profile, dec, run));
+      cells_counter.add(1);
+    }
+  }
+
+  // Empty-book identity: an empty book compiled onto a fresh timeline plus a
+  // disabled policy must replay bit-identically to the plain fault-free run.
+  {
+    const fault::EventBook empty_book(config.event_seed);
+    const fault::FaultTimeline empty_timeline = empty_book.compile(
+        grid, decentralized.satellites, decentralized.stations);
+    const net::DegradationPolicy disabled;
+    const net::ScheduleResult with_book =
+        replay(decentralized, disabled, grid, &empty_timeline, true, context);
+    const net::ScheduleResult baseline =
+        replay(decentralized, disabled, grid, nullptr, true, context);
+    result.empty_book_identity = identical_runs(with_book, baseline);
+  }
+
+  // Hysteresis A/B: the decentralized storm cell with the sweep policy's
+  // spare margin vs the same policy with the margin zeroed. Flap counts come
+  // from the SLO section, so both runs keep it engaged.
+  {
+    const fault::EventBook storm_book = fault::EventBook::preset(
+        fault::EventProfile::kStorm, grid.duration_seconds(), config.event_seed,
+        config.event_intensity);
+    const fault::FaultTimeline storm_timeline = storm_book.compile(
+        grid, decentralized.satellites, decentralized.stations);
+    net::DegradationPolicy margin_off = policy;
+    margin_off.spare_hysteresis_margin = 0.0;
+    const net::ScheduleResult on =
+        replay(decentralized, policy, grid, &storm_timeline, false, context);
+    const net::ScheduleResult off =
+        replay(decentralized, margin_off, grid, &storm_timeline, false, context);
+    result.storm_flaps_hysteresis_on = on.slo.has_value() ? on.slo->grant_flaps : 0;
+    result.storm_flaps_hysteresis_off =
+        off.slo.has_value() ? off.slo->grant_flaps : 0;
+  }
+
+  return result;
+}
+
+}  // namespace mpleo::core

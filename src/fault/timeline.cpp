@@ -37,15 +37,29 @@ FaultTimeline::FaultTimeline(const orbit::TimeGrid& grid, std::size_t satellite_
   }
 }
 
+std::vector<core::ConfigIssue> FaultTimeline::validate_window(double start_offset_s,
+                                                              double end_offset_s) {
+  std::vector<core::ConfigIssue> issues;
+  if (!(start_offset_s >= 0.0) || !std::isfinite(start_offset_s)) {
+    issues.push_back({"fault.timeline", "start_offset_s",
+                      "must be finite and >= 0, got " + std::to_string(start_offset_s)});
+  }
+  if (!(end_offset_s > start_offset_s)) {
+    issues.push_back({"fault.timeline", "end_offset_s",
+                      "must be > start (" + std::to_string(start_offset_s) + "), got " +
+                          std::to_string(end_offset_s) + " — inverted or empty window"});
+  }
+  return issues;
+}
+
 void FaultTimeline::add_outage(AssetKind kind, std::size_t index,
                                double start_offset_s, double end_offset_s) {
   auto& masks = kind == AssetKind::kSatellite ? satellite_out_ : station_out_;
   if (index >= masks.size()) {
     throw std::invalid_argument("FaultTimeline: asset index out of range");
   }
-  if (!(start_offset_s >= 0.0) || !(end_offset_s > start_offset_s)) {
-    throw std::invalid_argument("FaultTimeline: outage needs 0 <= start < end");
-  }
+  core::throw_if_invalid("fault::FaultTimeline outage",
+                         validate_window(start_offset_s, end_offset_s));
   cov::StepMask& mask = masks[index];
   if (mask.step_count() == 0) mask = cov::StepMask(grid_.count);
 
@@ -78,13 +92,13 @@ void FaultTimeline::add_transponder_degradation(std::size_t satellite,
   if (satellite >= satellite_out_.size()) {
     throw std::invalid_argument("FaultTimeline: satellite index out of range");
   }
-  if (!(start_offset_s >= 0.0) || !(end_offset_s > start_offset_s)) {
-    throw std::invalid_argument("FaultTimeline: degradation needs 0 <= start < end");
-  }
+  std::vector<core::ConfigIssue> issues = validate_window(start_offset_s, end_offset_s);
   if (!(capacity_factor > 0.0) || capacity_factor > 1.0) {
-    throw std::invalid_argument(
-        "FaultTimeline: capacity factor must be in (0, 1]; use an outage for 0");
+    issues.push_back({"fault.timeline", "capacity_factor",
+                      "must be in (0, 1] (use an outage for 0), got " +
+                          std::to_string(capacity_factor)});
   }
+  core::throw_if_invalid("fault::FaultTimeline degradation", issues);
   degradations_.push_back({satellite, start_offset_s, end_offset_s, capacity_factor});
 }
 
@@ -182,6 +196,43 @@ cov::StepMask FaultTimeline::satellite_availability(std::size_t satellite) const
     available.subtract(*out);
   }
   return available;
+}
+
+void FaultTimeline::normalize() {
+  if (records_.empty()) return;
+  const double window = grid_.duration_seconds();
+  // Clip to the grid window first; records entirely outside it vanish.
+  std::vector<OutageRecord> clipped;
+  clipped.reserve(records_.size());
+  for (const OutageRecord& r : records_) {
+    const double start = std::max(0.0, r.start_offset_s);
+    const double end = std::min(window, r.end_offset_s);
+    if (end > start) clipped.push_back({r.kind, r.asset_index, start, end});
+  }
+  std::sort(clipped.begin(), clipped.end(),
+            [](const OutageRecord& a, const OutageRecord& b) {
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.asset_index != b.asset_index) return a.asset_index < b.asset_index;
+              if (a.start_offset_s != b.start_offset_s) {
+                return a.start_offset_s < b.start_offset_s;
+              }
+              return a.end_offset_s < b.end_offset_s;
+            });
+  // Merge overlapping or touching records of the same asset.
+  std::vector<OutageRecord> merged;
+  merged.reserve(clipped.size());
+  for (const OutageRecord& r : clipped) {
+    if (!merged.empty()) {
+      OutageRecord& last = merged.back();
+      if (last.kind == r.kind && last.asset_index == r.asset_index &&
+          r.start_offset_s <= last.end_offset_s) {
+        last.end_offset_s = std::max(last.end_offset_s, r.end_offset_s);
+        continue;
+      }
+    }
+    merged.push_back(r);
+  }
+  records_ = std::move(merged);
 }
 
 std::vector<FaultEvent> FaultTimeline::events() const {

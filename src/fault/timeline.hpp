@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "core/validation.hpp"
 #include "coverage/step_mask.hpp"
 #include "orbit/time.hpp"
 
@@ -80,7 +81,10 @@ class FaultTimeline {
 
   // Deterministic schedules. Offsets are seconds from grid start; a grid
   // step is affected when its sample instant falls inside [start, end).
-  // Overlapping records are allowed and union.
+  // Overlapping records are allowed and union. Windows are validated via
+  // core::ConfigIssue (component "fault.timeline"): NaN, negative start or
+  // end <= start throw std::invalid_argument with the structured report
+  // instead of silently accepting an inverted window.
   void add_satellite_outage(std::size_t satellite, double start_offset_s,
                             double end_offset_s);
   void add_station_outage(std::size_t station, double start_offset_s,
@@ -125,6 +129,22 @@ class FaultTimeline {
 
   // Availability as a positive mask (set bit = healthy), always materialized.
   [[nodiscard]] cov::StepMask satellite_availability(std::size_t satellite) const;
+
+  // Canonicalizes the outage record list in place: records are sorted by
+  // (kind, asset, start), clipped to the grid window [0, duration), and
+  // overlapping or touching records of the same asset are merged into one.
+  // Masks are untouched (they already union), but events() stops emitting
+  // redundant fail/repair edge pairs and outage_seconds_by_party stops
+  // double-counting overlap — call this after bulk injection (EventBook
+  // compilation does it automatically). Deterministic: the result depends
+  // only on the record set, never on insertion order.
+  void normalize();
+
+  // The validation behind add_*: issues (component "fault.timeline") for a
+  // non-finite / negative start or an end not strictly after the start.
+  // Empty means the window is usable.
+  [[nodiscard]] static std::vector<core::ConfigIssue> validate_window(
+      double start_offset_s, double end_offset_s);
 
   [[nodiscard]] const std::vector<OutageRecord>& outages() const noexcept {
     return records_;

@@ -486,7 +486,9 @@ StepSchedule consume_step(const ConsumeContext& ctx, const StepCandidates& sc,
                           std::size_t step, const fault::FaultTimeline* faults,
                           std::span<const std::uint8_t> blocked_terminals,
                           ConsumeScratch& scratch, std::uint64_t* beam_rejections,
-                          std::uint64_t* withheld_rejections) {
+                          std::uint64_t* withheld_rejections,
+                          std::span<const std::uint32_t> sticky_prev = {},
+                          double sticky_margin = 0.0) {
   StepSchedule schedule;
   schedule.step = step;
 
@@ -511,6 +513,16 @@ StepSchedule consume_step(const ConsumeContext& ctx, const StepCandidates& sc,
       // A spare-banned party's terminals take nothing from the commons; its
       // own pass already ran untouched.
       if (spare_pass && spare_excluded(ctx.config, party)) continue;
+      // Sticky spare grants (hysteresis): remember last step's satellite if
+      // it is still a feasible spare candidate, and keep it unless some
+      // competitor beats it by more than the margin.
+      const std::uint32_t sticky_sat =
+          spare_pass && sticky_margin > 0.0 && ti < sticky_prev.size()
+              ? sticky_prev[ti]
+              : 0xFFFFFFFFu;
+      double sticky_capacity = 0.0;
+      std::size_t sticky_gs = 0;
+      bool sticky_found = false;
       double best_capacity = 0.0;
       std::size_t best_sat = 0, best_gs = 0;
       bool found = false;
@@ -531,12 +543,23 @@ StepSchedule consume_step(const ConsumeContext& ctx, const StepCandidates& sc,
         }
         const bool own = ctx.satellites[cand.satellite].owner_party == party;
         if (own == spare_pass) continue;  // pass 0: own only; pass 1: spare only
+        if (cand.satellite == sticky_sat) {
+          sticky_capacity = cand.capacity_bps;
+          sticky_gs = cand.station;
+          sticky_found = true;
+        }
         if (cand.capacity_bps > best_capacity) {
           best_capacity = cand.capacity_bps;
           best_sat = cand.satellite;
           best_gs = cand.station;
           found = true;
         }
+      }
+      if (sticky_found && best_sat != sticky_sat &&
+          !(best_capacity > sticky_capacity * (1.0 + sticky_margin))) {
+        best_capacity = sticky_capacity;
+        best_sat = sticky_sat;
+        best_gs = sticky_gs;
       }
       if (found) {
         --beams_left[best_sat];
@@ -563,6 +586,9 @@ struct DetachState {
   std::vector<std::uint32_t> prev_station;
   std::vector<std::size_t> backoff_remaining;
   std::vector<std::uint8_t> blocked;
+  // Engaged only by DegradationPolicy::backoff_initial_steps > 0; otherwise
+  // the constant reacquisition_backoff_steps hold applies (PR 2 behavior).
+  std::vector<ReacquisitionBackoff> machines;
 
   explicit DetachState(std::size_t terminal_count)
       : prev_satellite(terminal_count, kNone),
@@ -570,21 +596,38 @@ struct DetachState {
         backoff_remaining(terminal_count, 0),
         blocked(terminal_count, 0) {}
 
+  void configure(const DegradationPolicy& policy) {
+    if (policy.enabled && policy.backoff_initial_steps > 0) {
+      machines.assign(blocked.size(),
+                      ReacquisitionBackoff(policy.backoff_initial_steps,
+                                           policy.backoff_multiplier,
+                                           policy.backoff_max_steps,
+                                           policy.backoff_clean_horizon_steps));
+    }
+  }
+
   // A terminal whose serving satellite or station just went down is
   // failure-force-detached: it must re-acquire, which costs
-  // reacquisition_backoff_steps of no service. Elevation-driven loss (the
-  // satellite flying out of view) stays a free handover.
+  // reacquisition_backoff_steps of no service (or the policy's exponential
+  // hold when engaged). Elevation-driven loss (the satellite flying out of
+  // view) stays a free handover.
   void pre_step(const fault::FaultTimeline& faults, std::size_t step,
-                std::size_t backoff_steps, double dt_step, ScheduleResult& result) {
+                std::size_t backoff_steps, double dt_step, ScheduleResult& result,
+                SloAccumulator* slo = nullptr) {
     for (std::size_t ti = 0; ti < blocked.size(); ++ti) {
       if (prev_satellite[ti] != kNone &&
           (!faults.satellite_available(prev_satellite[ti], step) ||
            (prev_station[ti] != kNone &&
             !faults.station_available(prev_station[ti], step)))) {
         ++result.failure_forced_detaches;
-        backoff_remaining[ti] = std::max(backoff_remaining[ti], backoff_steps);
+        const std::size_t hold =
+            machines.empty() ? backoff_steps : machines[ti].on_failure();
+        backoff_remaining[ti] = std::max(backoff_remaining[ti], hold);
         prev_satellite[ti] = kNone;
         prev_station[ti] = kNone;
+        if (slo != nullptr) slo->on_failure_detach(ti, step);
+      } else if (!machines.empty()) {
+        machines[ti].on_clean_step();
       }
       blocked[ti] = backoff_remaining[ti] > 0 ? 1 : 0;
       if (blocked[ti]) result.reacquisition_wait_seconds += dt_step;
@@ -603,6 +646,99 @@ struct DetachState {
       prev_station[link.terminal_index] =
           static_cast<std::uint32_t>(link.station_index);
     }
+  }
+};
+
+// One run's degradation-policy + SLO driver, shared verbatim by run() and
+// run_reference() so both paths step the policy identically and the
+// disabled-policy/no-SLO configuration stays bit-identical to the pre-policy
+// scheduler (the blocked span handed to the step scheduler is exactly the
+// historical one unless shedding actually fires).
+struct PolicyDriver {
+  const SchedulerConfig& config;
+  std::span<const constellation::Satellite> satellites;
+  std::span<const Terminal> terminals;
+  const fault::FaultTimeline* faults;
+  bool faulted = false;
+  bool shedding = false;
+  bool sticky = false;
+  DetachState detach;
+  SloAccumulator slo;
+  std::vector<std::uint8_t> shed_blocked;  // detach.blocked | shed flags
+  std::uint64_t shed_terminal_steps = 0;
+
+  PolicyDriver(const SchedulerConfig& cfg,
+               std::span<const constellation::Satellite> sats,
+               std::span<const Terminal> terms, const fault::FaultTimeline* f,
+               std::size_t party_count, double dt_step)
+      : config(cfg),
+        satellites(sats),
+        terminals(terms),
+        faults(f),
+        detach(terms.size()) {
+    faulted = f != nullptr && !f->empty();
+    const DegradationPolicy& policy = cfg.degradation;
+    shedding = policy.enabled && faulted && !policy.shed_below.empty();
+    sticky = policy.enabled && policy.spare_hysteresis_margin > 0.0;
+    if (policy.slo_window_steps > 0) {
+      slo = SloAccumulator(party_count, terms.size(), policy.slo_window_steps,
+                           dt_step);
+    }
+    if (shedding) shed_blocked.resize(terms.size(), 0);
+    detach.configure(policy);
+  }
+
+  // Detach bookkeeping plus load shedding for `step`; returns the blocked
+  // span the step scheduler must honor (empty when nothing can block).
+  std::span<const std::uint8_t> pre_step(std::size_t step, double dt_step,
+                                         ScheduleResult& result) {
+    if (!faulted) return {};
+    detach.pre_step(*faults, step, config.reacquisition_backoff_steps, dt_step,
+                    result, slo.engaged() ? &slo : nullptr);
+    if (!shedding) return detach.blocked;
+    // Healthy-beam fraction across the fleet at this step; a tier whose
+    // threshold exceeds it is deliberately unserved so better tiers keep the
+    // surviving capacity.
+    const int nominal = config.beams_per_satellite;
+    double healthy = 0.0;
+    for (std::size_t si = 0; si < satellites.size(); ++si) {
+      healthy += static_cast<double>(faults->degraded_beam_count(
+          si, step, nominal));
+    }
+    const double denom =
+        static_cast<double>(satellites.size()) * static_cast<double>(nominal);
+    const double fraction = denom > 0.0 ? healthy / denom : 1.0;
+    for (std::size_t ti = 0; ti < terminals.size(); ++ti) {
+      std::uint8_t block = detach.blocked[ti];
+      if (block == 0 &&
+          fraction < config.degradation.shed_threshold(terminals[ti].owner_party)) {
+        block = 1;
+        ++shed_terminal_steps;
+        if (slo.engaged()) slo.on_shed(terminals[ti].owner_party);
+      }
+      shed_blocked[ti] = block;
+    }
+    return shed_blocked;
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> sticky_prev() const {
+    return sticky ? std::span<const std::uint32_t>(detach.prev_satellite)
+                  : std::span<const std::uint32_t>{};
+  }
+  [[nodiscard]] double sticky_margin() const {
+    return sticky ? config.degradation.spare_hysteresis_margin : 0.0;
+  }
+
+  void post_step(const StepSchedule& schedule) {
+    // Sticky grants need last step's satellites even on fault-free runs;
+    // with no faults and no hysteresis this bookkeeping is skipped exactly
+    // as before.
+    if (faulted || sticky) detach.post_step(schedule);
+    if (slo.engaged()) slo.record_step(schedule, terminals);
+  }
+
+  void finish(ScheduleResult& result) {
+    if (slo.engaged()) result.slo = slo.finish();
   }
 };
 
@@ -708,6 +844,8 @@ struct RunMetrics {
   obs::Counter links_granted;
   obs::Counter steps;
   obs::Counter failure_forced_detaches;
+  obs::Counter shed_terminal_steps;    // terminals shed by the degradation policy
+  obs::Counter grant_flaps;            // SLO-tracked serving-satellite changes
   obs::Gauge stream_slots;
   obs::Gauge candidate_high_water;      // max per-step candidate count seen
   obs::Gauge threads;
@@ -731,6 +869,8 @@ struct RunMetrics {
     m.links_granted = registry->counter("sched.links_granted");
     m.steps = registry->counter("sched.steps");
     m.failure_forced_detaches = registry->counter("sched.failure_forced_detaches");
+    m.shed_terminal_steps = registry->counter("sched.shed_terminal_steps");
+    m.grant_flaps = registry->counter("sched.grant_flaps");
     m.stream_slots = registry->gauge("sched.stream_slots");
     m.candidate_high_water = registry->gauge("sched.candidate_high_water");
     m.threads = registry->gauge("sched.threads");
@@ -772,6 +912,9 @@ std::vector<core::ConfigIssue> SchedulerConfig::validate() const {
       add("spare_withheld_fraction", "entries must be in [0, 1]");
       break;
     }
+  }
+  for (core::ConfigIssue& issue : degradation.validate()) {
+    issues.push_back(std::move(issue));
   }
   return issues;
 }
@@ -849,7 +992,9 @@ StepSchedule BentPipeScheduler::schedule_step(std::span<const util::Vec3> satell
 StepSchedule BentPipeScheduler::schedule_step(
     std::span<const util::Vec3> satellite_ecef, std::size_t step,
     const fault::FaultTimeline* faults,
-    std::span<const std::uint8_t> blocked_terminals) const {
+    std::span<const std::uint8_t> blocked_terminals,
+    std::span<const std::uint32_t> sticky_prev_satellite,
+    double sticky_margin) const {
   StepSchedule schedule;
   schedule.step = step;
 
@@ -881,6 +1026,15 @@ StepSchedule BentPipeScheduler::schedule_step(
       double best_capacity = 0.0;
       std::size_t best_sat = 0, best_gs = 0;
       bool found = false;
+      // Sticky spare grants: same hysteresis rule as the pipelined
+      // consume_step — remember last step's satellite if still feasible.
+      const std::uint32_t sticky_sat =
+          spare_pass && sticky_margin > 0.0 && ti < sticky_prev_satellite.size()
+              ? sticky_prev_satellite[ti]
+              : 0xFFFFFFFFu;
+      double sticky_capacity = 0.0;
+      std::size_t sticky_gs = 0;
+      bool sticky_found = false;
 
       for (std::size_t si = 0; si < satellites_.size(); ++si) {
         if (spare_pass && spare_excluded(config_, satellites_[si].owner_party)) continue;
@@ -900,6 +1054,11 @@ StepSchedule BentPipeScheduler::schedule_step(
           const RelayBudget budget = compute_relay(term.radio, config_.transponder,
                                                    stations_[gi].radio, up, down,
                                                    config_.relay_mode);
+          if (si == sticky_sat && budget.end_to_end_capacity_bps > sticky_capacity) {
+            sticky_capacity = budget.end_to_end_capacity_bps;
+            sticky_gs = gi;
+            sticky_found = true;
+          }
           if (budget.end_to_end_capacity_bps > best_capacity) {
             best_capacity = budget.end_to_end_capacity_bps;
             best_sat = si;
@@ -907,6 +1066,13 @@ StepSchedule BentPipeScheduler::schedule_step(
             found = true;
           }
         }
+      }
+
+      if (sticky_found && best_sat != sticky_sat &&
+          !(best_capacity > sticky_capacity * (1.0 + sticky_margin))) {
+        best_capacity = sticky_capacity;
+        best_sat = sticky_sat;
+        best_gs = sticky_gs;
       }
 
       if (found) {
@@ -1237,9 +1403,10 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
     rf_positions.resize(sat_count);
   }
 
-  DetachState detach(term_count);
-  ConsumeScratch consume_scratch;
   const double dt_step = grid.step_seconds;
+  PolicyDriver policy(config_, satellites_, terminals_, faults, party_count,
+                      dt_step);
+  ConsumeScratch consume_scratch;
   rm.stream_slots.set(static_cast<double>(slots));
   rm.threads.set(static_cast<double>(pool != nullptr ? pool->thread_count() : 1));
   std::uint64_t beam_rejections = 0;
@@ -1267,17 +1434,14 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
     for (std::size_t b = 0; b < buffers[slot].size(); ++b) {
       const std::size_t step = begin + b;
       rm.candidates_per_step.observe(static_cast<double>(buffers[slot][b].cands.size()));
-      if (faulted) {
-        detach.pre_step(*faults, step, config_.reacquisition_backoff_steps, dt_step,
-                        result);
-      }
+      const std::span<const std::uint8_t> blocked =
+          policy.pre_step(step, dt_step, result);
       StepSchedule schedule = consume_step(
-          cctx, buffers[slot][b], step, faults,
-          faulted ? std::span<const std::uint8_t>(detach.blocked)
-                  : std::span<const std::uint8_t>{},
-          consume_scratch, metrics != nullptr ? &beam_rejections : nullptr,
-          metrics != nullptr ? &withheld_rejections : nullptr);
-      if (faulted) detach.post_step(schedule);
+          cctx, buffers[slot][b], step, faults, blocked, consume_scratch,
+          metrics != nullptr ? &beam_rejections : nullptr,
+          metrics != nullptr ? &withheld_rejections : nullptr,
+          policy.sticky_prev(), policy.sticky_margin());
+      policy.post_step(schedule);
       if (rf_active) {
         for (std::size_t si = 0; si < sat_count; ++si) {
           rf_positions[si] = eph.table(si).position_ecef(step);
@@ -1293,6 +1457,9 @@ ScheduleResult BentPipeScheduler::run_impl(const orbit::TimeGrid& grid,
 
   util::stream_chunks(pool, chunk_total, slots, produce, consume);
 
+  policy.finish(result);
+  rm.shed_terminal_steps.add(policy.shed_terminal_steps);
+  if (result.slo.has_value()) rm.grant_flaps.add(result.slo->grant_flaps);
   rm.steps.add(step_total);
   rm.beam_rejections.add(beam_rejections);
   rm.withheld_rejections.add(withheld_rejections);
@@ -1321,8 +1488,8 @@ ScheduleResult BentPipeScheduler::run_reference(const orbit::TimeGrid& grid,
 
   std::vector<util::Vec3> positions(satellites_.size());
   const double dt_step = grid.step_seconds;
-  const bool faulted = faults != nullptr && !faults->empty();
-  DetachState detach(terminals_.size());
+  PolicyDriver policy(config_, satellites_, terminals_, faults, party_count,
+                      dt_step);
 
   const bool rf_active = config_.rf != nullptr && config_.rf->any_interferer();
   std::vector<HopEvaluator> jam_hops;
@@ -1342,13 +1509,11 @@ ScheduleResult BentPipeScheduler::run_reference(const orbit::TimeGrid& grid,
       positions[si] = eph.table(si).position_ecef(step);
     }
 
-    if (faulted) {
-      detach.pre_step(*faults, step, config_.reacquisition_backoff_steps, dt_step,
-                      result);
-    }
-    StepSchedule schedule = faulted ? schedule_step(positions, step, faults, detach.blocked)
-                                    : schedule_step(positions, step);
-    if (faulted) detach.post_step(schedule);
+    const std::span<const std::uint8_t> blocked =
+        policy.pre_step(step, dt_step, result);
+    StepSchedule schedule = schedule_step(positions, step, faults, blocked,
+                                          policy.sticky_prev(), policy.sticky_margin());
+    policy.post_step(schedule);
     if (rf_active) {
       apply_rf_step(*config_.rf, positions, terminals_, satellites_, terminal_frames_,
                     jam_hops, sin_mask_, schedule, *result.rf);
@@ -1356,6 +1521,7 @@ ScheduleResult BentPipeScheduler::run_reference(const orbit::TimeGrid& grid,
     accumulate_step(schedule, terminals_, satellites_, dt_step, result);
     if (keep_steps) result.steps.push_back(std::move(schedule));
   }
+  policy.finish(result);
   return result;
 }
 

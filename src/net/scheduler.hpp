@@ -33,6 +33,7 @@
 #include "constellation/shell.hpp"
 #include "core/validation.hpp"
 #include "net/bent_pipe.hpp"
+#include "net/degradation.hpp"
 #include "net/ground_station.hpp"
 #include "net/terminal.hpp"
 #include "orbit/ephemeris.hpp"
@@ -140,6 +141,13 @@ struct SchedulerConfig {
   // under beam contention (a terminal whose top-K satellites are all beam-
   // exhausted goes unserved even if satellite K+1 had a beam). Max 64.
   std::size_t max_candidates_per_terminal = 0;
+  // Graceful-degradation policy (net/degradation.hpp): priority-tiered load
+  // shedding under capacity collapse, sticky spare grants (hysteresis), and
+  // bounded exponential re-acquisition backoff, plus SLO observation. A
+  // default-constructed (disabled) policy is bit-identical to the pre-policy
+  // scheduler on every run path; slo_window_steps > 0 only adds
+  // ScheduleResult::slo, never changes links.
+  DegradationPolicy degradation;
 
   // Collects every invalid field as a unified core::ConfigIssue (component
   // "net.scheduler"); empty means the config is usable. The scheduler
@@ -196,6 +204,10 @@ struct ScheduleResult {
   // environment with at least one active jammer/squatter (so RF-clean runs
   // compare equal to pre-RF results).
   std::optional<rf::RfLinkStats> rf;
+  // SLO accounting, engaged only when config.degradation.slo_window_steps
+  // > 0 (so SLO-silent runs compare equal to pre-SLO results). Identical
+  // between run() and run_reference() like everything else here.
+  std::optional<SloStats> slo;
 
   friend bool operator==(const ScheduleResult&, const ScheduleResult&) = default;
 };
@@ -212,13 +224,19 @@ class BentPipeScheduler {
 
   // Fault- and backoff-aware step: faulted satellites and stations are
   // skipped, degraded satellites offer fewer beams, and terminals flagged in
-  // `blocked_terminals` (byte per terminal; re-acquisition backoff) go
-  // straight to unserved. nullptr/empty faults and no blocked flags are
+  // `blocked_terminals` (byte per terminal; re-acquisition backoff or policy
+  // shedding) go straight to unserved. `sticky_prev_satellite` (one entry
+  // per terminal, 0xFFFFFFFF = none) with a positive `sticky_margin` makes
+  // the spare pass keep a terminal's previous satellite unless a competitor
+  // beats it by more than the margin (spare-reallocation hysteresis).
+  // nullptr/empty faults, no blocked flags and no sticky state are
   // bit-identical to the plain overload.
   [[nodiscard]] StepSchedule schedule_step(
       std::span<const util::Vec3> satellite_ecef, std::size_t step,
       const fault::FaultTimeline* faults,
-      std::span<const std::uint8_t> blocked_terminals = {}) const;
+      std::span<const std::uint8_t> blocked_terminals = {},
+      std::span<const std::uint32_t> sticky_prev_satellite = {},
+      double sticky_margin = 0.0) const;
 
   // Runs the whole grid through the two-phase pipeline and aggregates
   // per-party usage. `party_count` sizes the aggregate vector;

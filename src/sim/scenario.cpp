@@ -51,6 +51,17 @@ AdversaryMode parse_adversary_mode(std::string_view value) {
       flag_help());
 }
 
+fault::EventProfile parse_events(std::string_view value) {
+  if (const std::optional<fault::EventProfile> profile =
+          fault::event_profile_from_string(value)) {
+    return *profile;
+  }
+  throw std::invalid_argument(
+      "invalid value for --events=: '" + std::string(value) +
+      "' (valid: off, storm, blackout, withdrawal, debris, mixed)\nvalid flags:\n" +
+      flag_help());
+}
+
 ScalePreset parse_scale(std::string_view value) {
   if (value == "reference") return ScalePreset::kReference;
   if (value == "mega") return ScalePreset::kMega;
@@ -137,6 +148,18 @@ constexpr FlagSpec kFlags[] = {
      "workload scale preset: reference|mega|mega-smoke (default reference; mega pins "
      "the 30k-sat x 1M-terminal 1-day workload)",
      [](Scenario& s, std::string_view v) { s.apply_scale(parse_scale(v)); }},
+    {"--events=",
+     "correlated-failure event profile: off|storm|blackout|withdrawal|debris|mixed "
+     "(default off)",
+     [](Scenario& s, std::string_view v) { s.events = parse_events(v); }},
+    {"--event-seed=", "seed for the correlated-failure event book (default 2042)",
+     [](Scenario& s, std::string_view v) {
+       s.event_seed = static_cast<std::uint64_t>(to_double(v, "--event-seed"));
+     }},
+    {"--event-intensity=", "correlated-failure event strength, >= 0 (default 1)",
+     [](Scenario& s, std::string_view v) {
+       s.event_intensity = to_double(v, "--event-intensity");
+     }},
     {"--rf=", "spectrum plan + co-channel interference model: on|off (default off)",
      [](Scenario& s, std::string_view v) { s.rf = parse_on_off(v, "--rf"); }},
     {"--audit-doppler=", "Doppler-track fit stage of the receipt audit: on|off (default off)",
@@ -183,6 +206,10 @@ std::vector<core::ConfigIssue> Scenario::validate() const {
   if (scale != ScalePreset::kReference) {
     if (terminal_count == 0) add("terminal_count", "must be > 0 under a mega scale preset");
     if (station_count == 0) add("station_count", "must be > 0 under a mega scale preset");
+  }
+  if (!(event_intensity >= 0.0) || event_intensity > 1e300) {
+    add("event_intensity",
+        "must be finite and >= 0, got " + std::to_string(event_intensity));
   }
   return issues;
 }
@@ -253,6 +280,18 @@ ScenarioBuilder& ScenarioBuilder::rf(bool value) {
 }
 ScenarioBuilder& ScenarioBuilder::audit_doppler(bool value) {
   scenario_.audit_doppler = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::events(fault::EventProfile value) {
+  scenario_.events = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::event_seed(std::uint64_t value) {
+  scenario_.event_seed = value;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::event_intensity(double value) {
+  scenario_.event_intensity = value;
   return *this;
 }
 ScenarioBuilder& ScenarioBuilder::scale(ScalePreset value) {
@@ -359,6 +398,11 @@ std::string describe(const Scenario& scenario) {
   }
   if (scenario.rf) os << " rf=on";
   if (scenario.audit_doppler) os << " audit-doppler=on";
+  if (scenario.events != fault::EventProfile::kOff) {
+    os << " events=" << fault::to_string(scenario.events)
+       << " event-seed=" << scenario.event_seed
+       << " event-intensity=" << scenario.event_intensity;
+  }
   if (scenario.scale != ScalePreset::kReference) {
     os << " scale=" << to_string(scenario.scale) << " terminals=" << scenario.terminal_count
        << " stations=" << scenario.station_count;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/validation.hpp"
+#include "fault/event_book.hpp"
 #include "orbit/backend.hpp"
 #include "orbit/time.hpp"
 
@@ -82,6 +83,14 @@ struct Scenario {
   ScalePreset scale = ScalePreset::kReference;
   std::size_t terminal_count = 0;
   std::size_t station_count = 0;
+  // Correlated-failure events (fault::EventBook presets). kOff leaves every
+  // consumer bit-identical to the event-free path; any other profile seeds
+  // the preset book scaled by `event_intensity` (>= 0, 1 = nominal) from
+  // `event_seed`, compiled onto the run's FaultTimeline (see
+  // sim::build_event_timeline).
+  fault::EventProfile events = fault::EventProfile::kOff;
+  std::uint64_t event_seed = 2042;
+  double event_intensity = 1.0;
 
   [[nodiscard]] orbit::TimeGrid grid() const {
     return orbit::TimeGrid::over_duration(epoch, duration_s, step_s);
@@ -149,6 +158,9 @@ class ScenarioBuilder {
   ScenarioBuilder& adversary_seed(std::uint64_t value);
   ScenarioBuilder& rf(bool value);
   ScenarioBuilder& audit_doppler(bool value);
+  ScenarioBuilder& events(fault::EventProfile value);
+  ScenarioBuilder& event_seed(std::uint64_t value);
+  ScenarioBuilder& event_intensity(double value);
   // Applies the preset immediately (Scenario::apply_scale), so later calls
   // can still override individual fields it pinned.
   ScenarioBuilder& scale(ScalePreset value);

@@ -106,4 +106,13 @@ Workload build_workload(const Scenario& scenario) {
   return build_reference(scenario);
 }
 
+fault::FaultTimeline build_event_timeline(const Scenario& scenario,
+                                          const Workload& workload) {
+  const orbit::TimeGrid grid = scenario.grid();
+  const fault::EventBook book = fault::EventBook::preset(
+      scenario.events, grid.duration_seconds(), scenario.event_seed,
+      scenario.event_intensity);
+  return book.compile(grid, workload.satellites, workload.stations);
+}
+
 }  // namespace mpleo::sim

@@ -46,4 +46,11 @@ struct Workload {
 // scenario is invalid.
 [[nodiscard]] Workload build_workload(const Scenario& scenario);
 
+// Compiles the scenario's correlated-failure event profile (Scenario::events,
+// seeded by event_seed, scaled by event_intensity) against the workload's
+// fleet into a FaultTimeline on the scenario grid. kOff returns an empty
+// timeline — every consumer stays bit-identical to the event-free path.
+[[nodiscard]] fault::FaultTimeline build_event_timeline(const Scenario& scenario,
+                                                        const Workload& workload);
+
 }  // namespace mpleo::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <limits>
 #include <stdexcept>
 
 namespace mpleo::fault {
@@ -168,6 +170,92 @@ TEST(FaultTimeline, RejectsInvalidArguments) {
                std::invalid_argument);
   EXPECT_THROW(timeline.add_transponder_degradation(0, 0.0, 60.0, 1.5),
                std::invalid_argument);
+}
+
+TEST(FaultTimeline, NormalizeMergesOverlappingAndTouchingRecords) {
+  FaultTimeline timeline(make_grid(600.0, 60.0), 2, 1);
+  // Inserted deliberately out of order and overlapping: [180,300) then
+  // [60,200), plus a touching [300,360) — one merged [60,360) must survive.
+  timeline.add_satellite_outage(0, 180.0, 300.0);
+  timeline.add_satellite_outage(0, 60.0, 200.0);
+  timeline.add_satellite_outage(0, 300.0, 360.0);
+  timeline.add_satellite_outage(1, 0.0, 60.0);  // a different asset: untouched
+  timeline.add_station_outage(0, 60.0, 120.0);
+  ASSERT_EQ(timeline.outages().size(), 5u);
+
+  // Pin the mask BEFORE normalizing: normalize() canonicalizes the record
+  // list only, the step masks (which already union) must not move.
+  const std::size_t mask_bits = timeline.satellite_outage_steps(0)->count();
+  timeline.normalize();
+  EXPECT_EQ(timeline.satellite_outage_steps(0)->count(), mask_bits);
+
+  ASSERT_EQ(timeline.outages().size(), 3u);
+  const OutageRecord& merged = timeline.outages()[0];
+  EXPECT_EQ(merged.kind, AssetKind::kSatellite);
+  EXPECT_EQ(merged.asset_index, 0u);
+  EXPECT_DOUBLE_EQ(merged.start_offset_s, 60.0);
+  EXPECT_DOUBLE_EQ(merged.end_offset_s, 360.0);
+  EXPECT_EQ(timeline.outages()[1].asset_index, 1u);
+  EXPECT_EQ(timeline.outages()[2].kind, AssetKind::kGroundStation);
+
+  // events() now emits one balanced fail/repair pair per merged record, and
+  // party attribution stops double-counting the overlap.
+  std::size_t sat0_edges = 0;
+  for (const FaultEvent& e : timeline.events()) {
+    if (e.kind == AssetKind::kSatellite && e.asset_index == 0) ++sat0_edges;
+  }
+  EXPECT_EQ(sat0_edges, 2u);
+  const std::vector<std::uint32_t> sat_owner{0, 0};
+  const std::vector<std::uint32_t> gs_owner{0};
+  EXPECT_DOUBLE_EQ(timeline.outage_seconds_by_party(sat_owner, gs_owner, 1)[0],
+                   300.0 + 60.0 + 60.0);
+}
+
+TEST(FaultTimeline, NormalizeClipsToWindowAndDropsOutsideRecords) {
+  FaultTimeline timeline(make_grid(600.0, 60.0), 2, 0);
+  timeline.add_satellite_outage(0, 480.0, 1e9);  // runs past the window end
+  timeline.add_satellite_outage(1, 700.0, 900.0);  // entirely outside
+  timeline.normalize();
+  ASSERT_EQ(timeline.outages().size(), 1u);
+  EXPECT_EQ(timeline.outages()[0].asset_index, 0u);
+  EXPECT_DOUBLE_EQ(timeline.outages()[0].end_offset_s,
+                   timeline.grid().duration_seconds());
+}
+
+TEST(FaultTimeline, NormalizeIsInsertionOrderIndependent) {
+  const auto build = [](bool reversed) {
+    FaultTimeline timeline(make_grid(600.0, 60.0), 2, 0);
+    const std::vector<std::array<double, 2>> windows = {
+        {60.0, 180.0}, {120.0, 240.0}, {300.0, 420.0}};
+    if (reversed) {
+      for (auto it = windows.rbegin(); it != windows.rend(); ++it) {
+        timeline.add_satellite_outage(0, (*it)[0], (*it)[1]);
+      }
+    } else {
+      for (const auto& w : windows) timeline.add_satellite_outage(0, w[0], w[1]);
+    }
+    timeline.normalize();
+    return timeline;
+  };
+  const FaultTimeline a = build(false);
+  const FaultTimeline b = build(true);
+  ASSERT_EQ(a.outages().size(), b.outages().size());
+  ASSERT_EQ(a.outages().size(), 2u);
+  for (std::size_t i = 0; i < a.outages().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outages()[i].start_offset_s, b.outages()[i].start_offset_s);
+    EXPECT_DOUBLE_EQ(a.outages()[i].end_offset_s, b.outages()[i].end_offset_s);
+  }
+}
+
+TEST(FaultTimeline, ValidateWindowReportsStructuredIssues) {
+  EXPECT_TRUE(FaultTimeline::validate_window(0.0, 60.0).empty());
+  const auto inverted = FaultTimeline::validate_window(60.0, 60.0);
+  ASSERT_FALSE(inverted.empty());
+  EXPECT_EQ(inverted[0].component, "fault.timeline");
+  EXPECT_FALSE(FaultTimeline::validate_window(-1.0, 60.0).empty());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(FaultTimeline::validate_window(nan, 60.0).empty());
+  EXPECT_FALSE(FaultTimeline::validate_window(0.0, nan).empty());
 }
 
 TEST(FaultTimelineStochastic, SameSeedReproducesExactly) {

@@ -153,5 +153,48 @@ TEST_P(SchedulerProperty, OwnerPriorityNeverServesSpareWhenOwnBeamFree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
                          ::testing::Range<std::uint64_t>(1, 21));
 
+// Re-acquisition backoff invariants under randomized parameters: the hold is
+// monotone non-decreasing over consecutive failures, never exceeds the cap,
+// and a clean horizon resets the machine to its first-failure hold. With
+// initial steps == 0 the machine always returns 0 — the scheduler then falls
+// back to its constant reacquisition_backoff_steps, pinning the pre-policy
+// (PR 2) behavior.
+class BackoffProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackoffProperty, MonotoneCappedAndResetsAfterCleanHorizon) {
+  util::Xoshiro256PlusPlus rng(GetParam());
+  const std::size_t initial = 1 + rng.uniform_index(8);
+  const double multiplier = rng.uniform(1.0, 3.0);
+  const std::size_t max_steps = initial + rng.uniform_index(64);
+  const std::size_t horizon = 1 + rng.uniform_index(10);
+  ReacquisitionBackoff backoff(initial, multiplier, max_steps, horizon);
+
+  const std::size_t first = backoff.on_failure();
+  EXPECT_EQ(first, initial);  // the first failure holds exactly initial steps
+  std::size_t previous = first;
+  for (std::size_t n = 2; n <= 24; ++n) {
+    // Interleave clean steps strictly inside the horizon: they must never
+    // shrink the next hold.
+    const std::size_t quiet = rng.uniform_index(horizon);
+    for (std::size_t q = 0; q < quiet; ++q) backoff.on_clean_step();
+    const std::size_t hold = backoff.on_failure();
+    EXPECT_GE(hold, previous) << "failure " << n << " shrank the hold";
+    EXPECT_LE(hold, max_steps) << "failure " << n << " exceeded the cap";
+    previous = hold;
+  }
+
+  // A full clean horizon resets the machine: the next failure pays the
+  // first-failure hold again.
+  for (std::size_t q = 0; q < horizon; ++q) backoff.on_clean_step();
+  EXPECT_EQ(backoff.consecutive_failures(), 0u);
+  EXPECT_EQ(backoff.on_failure(), first);
+
+  ReacquisitionBackoff constant(0, multiplier, max_steps, horizon);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(constant.on_failure(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackoffProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
 }  // namespace
 }  // namespace mpleo::net

@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -105,6 +107,35 @@ TEST(StreamChunks, ProducerErrorPropagatesWithoutDeadlock) {
             [&](std::size_t, std::size_t) {}),
         std::runtime_error);
   }
+}
+
+TEST(StreamChunks, ProducerThrowAgainstBlockedSlotRingDoesNotDeadlock) {
+  // The nasty variant: a slow consumer keeps the bounded slot ring full, so
+  // producers are blocked in begin_produce() when one of them throws. The
+  // stream must abort (waking the blocked producers), rethrow exactly the
+  // first producer's error, and leave the pool reusable for a fresh stream.
+  ThreadPool pool(3);
+  std::atomic<int> consumed{0};
+  try {
+    stream_chunks(
+        &pool, 64, 2,
+        [&](std::size_t chunk, std::size_t) {
+          if (chunk == 7) throw std::runtime_error("late producer boom");
+        },
+        [&](std::size_t, std::size_t) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          ++consumed;
+        });
+    FAIL() << "producer error did not propagate";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "late producer boom");
+  }
+  EXPECT_LT(consumed.load(), 64);
+  int after = 0;
+  stream_chunks(
+      &pool, 8, 2, [](std::size_t, std::size_t) {},
+      [&](std::size_t, std::size_t) { ++after; });
+  EXPECT_EQ(after, 8);
 }
 
 TEST(StreamChunks, ConsumerErrorPropagatesWithoutDeadlock) {

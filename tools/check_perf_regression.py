@@ -6,6 +6,7 @@ Usage:
                              --current  BENCH_current.json [--tolerance 0.2]
     check_perf_regression.py --adversary-sweep BENCH_adversary_sweep.json
     check_perf_regression.py --mega BENCH_mega.json
+    check_perf_regression.py --chaos BENCH_chaos_sweep.json
 
 Absolute seconds are machine-dependent, so the gate compares *speedups*
 (scalar reference vs optimized path on the same box, same run): the current
@@ -34,6 +35,17 @@ scale's ceiling — the bounded-memory acceptance criterion of the 30k x 1M
 streaming pipeline. --mega FILE runs the same gate standalone (no baseline),
 which is how CI checks the smoke run it just produced.
 
+--chaos FILE validates a BENCH_chaos_sweep.json report absolutely (no
+baseline): the report's own gate flags (empty_book_identity,
+availability_gate, slo_finite) must be true, every cell's availability and
+worst-window availability must be finite and inside [0, 1] (a NaN that
+leaked through the bench's own finiteness check is caught here too), cells
+must come in (decentralized, centralized) pairs per profile on the same
+seed, the decentralized worst-window availability must be at least the
+centralized one on every withdrawal-bearing profile AND strictly positive
+there (the consortium keeps a floor where the single operator collapses to
+zero), and spare-grant hysteresis must not increase storm flap counts.
+
 --adversary-sweep validates a BENCH_adversary_sweep.json report instead:
 the sweep's byzantine fractions must start at 0 and be strictly increasing,
 every point must detect at least as much fraud as it injected, the honest-core
@@ -50,6 +62,7 @@ baseline is needed — the properties are absolute, not relative.
 
 import argparse
 import json
+import math
 import sys
 
 # (section, subsection) pairs whose "speedup" field is gated.
@@ -314,6 +327,142 @@ def validate_mega_scale(section) -> list:
     return problems
 
 
+# Chaos-sweep cell schema: field -> (type, is a [0, 1] fraction).
+CHAOS_CELL_FIELDS = {
+    "profile": (str, False),
+    "topology": (str, False),
+    "availability": (float, True),
+    "worst_window_availability": (float, True),
+    "grant_flaps": (int, False),
+    "failure_forced_detaches": (int, False),
+    "recoveries": (int, False),
+    "mean_recovery_seconds": (float, False),
+    "max_recovery_seconds": (float, False),
+    "unrecovered_terminals": (int, False),
+    "shed_terminal_steps": (int, False),
+}
+
+CHAOS_PROFILES = {"storm", "blackout", "withdrawal", "debris", "mixed"}
+CHAOS_WITHDRAWAL_BEARING = {"withdrawal", "mixed"}
+
+
+def check_chaos(path: str) -> list:
+    """Returns a list of failure strings (empty = report passes the gate)."""
+    with open(path) as f:
+        report = json.load(f)
+    failures = []
+
+    workload = report.get("workload")
+    if not isinstance(workload, dict):
+        failures.append("workload section missing or not an object")
+    else:
+        for field in ("duration_seconds", "step_seconds", "event_intensity"):
+            if not is_number(workload.get(field)) or workload.get(field) <= 0:
+                failures.append(f"workload.{field} missing or not positive")
+        if not is_uint(workload.get("event_seed")):
+            failures.append("workload.event_seed missing or invalid")
+        if not is_uint(workload.get("slo_window_steps")) \
+                or workload.get("slo_window_steps") == 0:
+            failures.append("workload.slo_window_steps missing or zero")
+
+    cells = report.get("cells")
+    if not isinstance(cells, list) or not cells:
+        failures.append("cells missing or empty")
+        return failures
+
+    for i, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            failures.append(f"cells[{i}] is not an object")
+            continue
+        for field, (kind, fraction) in CHAOS_CELL_FIELDS.items():
+            value = cell.get(field)
+            if kind is str:
+                if not isinstance(value, str):
+                    failures.append(f"cells[{i}].{field} is not a string")
+                continue
+            if kind is int and not is_uint(value):
+                failures.append(f"cells[{i}].{field} is not a non-negative integer")
+                continue
+            if kind is float:
+                # json.load happily parses NaN/Infinity literals, so the
+                # finiteness of every SLO number is gated here, not just by
+                # the bench's own slo_finite flag.
+                if not is_number(value) or not math.isfinite(value) or value < 0.0:
+                    failures.append(f"cells[{i}].{field} is not a finite "
+                                    f"non-negative number")
+                    continue
+                if fraction and value > 1.0:
+                    failures.append(f"cells[{i}].{field} = {value} is outside [0, 1]")
+    if failures:
+        return failures
+
+    # Cells come in (decentralized, centralized) pairs per profile.
+    if len(cells) % 2 != 0:
+        failures.append(f"cells has {len(cells)} entries, expected "
+                        f"(decentralized, centralized) pairs")
+        return failures
+    for i in range(0, len(cells), 2):
+        dec, cen = cells[i], cells[i + 1]
+        profile = dec["profile"]
+        if profile not in CHAOS_PROFILES:
+            failures.append(f"cells[{i}].profile {profile!r} is not a known "
+                            f"chaos profile")
+            continue
+        if cen["profile"] != profile:
+            failures.append(f"cells[{i + 1}].profile {cen['profile']!r} does "
+                            f"not pair with {profile!r}")
+            continue
+        if dec["topology"] != "decentralized" or cen["topology"] != "centralized":
+            failures.append(f"cells[{i}..{i + 1}] topologies are "
+                            f"({dec['topology']!r}, {cen['topology']!r}), "
+                            f"expected (decentralized, centralized)")
+            continue
+        status = "OK "
+        if profile in CHAOS_WITHDRAWAL_BEARING:
+            # The decentralized consortium must keep a service floor where
+            # the centralized operator's worst window collapses to zero.
+            if dec["worst_window_availability"] < cen["worst_window_availability"]:
+                status = "REGRESSED"
+                failures.append(
+                    f"{profile}: decentralized worst-window availability "
+                    f"{dec['worst_window_availability']:.4f} below centralized "
+                    f"{cen['worst_window_availability']:.4f}")
+            if dec["worst_window_availability"] <= 0.0:
+                status = "REGRESSED"
+                failures.append(
+                    f"{profile}: decentralized worst-window availability is "
+                    f"zero — the consortium lost its whole-fleet floor")
+        print(f"{status} chaos {profile}: worst-window dec "
+              f"{dec['worst_window_availability']:.4f} vs cen "
+              f"{cen['worst_window_availability']:.4f}, availability dec "
+              f"{dec['availability']:.4f} vs cen {cen['availability']:.4f}")
+
+    if not any(cells[i]["profile"] in CHAOS_WITHDRAWAL_BEARING
+               for i in range(0, len(cells), 2)):
+        failures.append("no withdrawal-bearing profile in the sweep — the "
+                        "centralized-vs-decentralized gate never ran")
+
+    for flag in ("empty_book_identity", "availability_gate", "slo_finite"):
+        if report.get(flag) is not True:
+            failures.append(f"report flag {flag} is not true")
+
+    flaps_on = report.get("storm_flaps_hysteresis_on")
+    flaps_off = report.get("storm_flaps_hysteresis_off")
+    if not is_uint(flaps_on) or not is_uint(flaps_off):
+        failures.append("storm_flaps_hysteresis_on/off missing or invalid")
+    else:
+        status = "OK " if flaps_on <= flaps_off else "REGRESSED"
+        print(f"{status} chaos hysteresis: {flaps_on} storm flaps on vs "
+              f"{flaps_off} off")
+        if flaps_on > flaps_off:
+            failures.append(f"spare-grant hysteresis increased storm flaps: "
+                            f"{flaps_on} on vs {flaps_off} off")
+        if flaps_off > 0 and flaps_on >= flaps_off:
+            failures.append(f"spare-grant hysteresis did not reduce storm "
+                            f"flaps: {flaps_on} on vs {flaps_off} off")
+    return failures
+
+
 def check_mega(path: str) -> list:
     """Standalone gate for a report carrying a mega_scale section."""
     with open(path) as f:
@@ -563,6 +712,9 @@ def main() -> int:
     parser.add_argument("--mega", metavar="FILE",
                         help="validate the mega_scale section of a perf "
                              "report absolutely (no baseline needed)")
+    parser.add_argument("--chaos", metavar="FILE",
+                        help="validate a BENCH_chaos_sweep.json report "
+                             "(no baseline needed)")
     args = parser.parse_args()
 
     if args.adversary_sweep:
@@ -572,6 +724,17 @@ def main() -> int:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
         print("adversary sweep check passed")
+        if not (args.baseline and args.current) and not args.mega \
+                and not args.chaos:
+            return 0
+
+    if args.chaos:
+        failures = check_chaos(args.chaos)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("chaos sweep check passed")
         if not (args.baseline and args.current) and not args.mega:
             return 0
 
@@ -587,7 +750,7 @@ def main() -> int:
 
     if not (args.baseline and args.current):
         parser.error("--baseline and --current are required unless "
-                     "--adversary-sweep or --mega is given")
+                     "--adversary-sweep, --mega or --chaos is given")
 
     with open(args.baseline) as f:
         baseline = json.load(f)
